@@ -1,0 +1,91 @@
+//! Ablation benches for the optimizations the paper proposes
+//! (Section 4.2's "Removing ..." subsections and Section 6):
+//! cache-affinity scheduling, cache-bypassing block operations, and
+//! hot-first kernel code layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oscar_core::stall::{table1_row, table4_row, table6_row};
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_os::{Rid, SchedPolicy, Subsystem};
+use oscar_workloads::WorkloadKind;
+
+fn cfg(kind: WorkloadKind) -> ExperimentConfig {
+    ExperimentConfig::new(kind)
+        .warmup(45_000_000)
+        .measure(10_000_000)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // --- affinity scheduling ---
+    println!("Ablation: cache-affinity scheduling (Oracle)");
+    for policy in [SchedPolicy::FreeMigration, SchedPolicy::Affinity] {
+        let mut e = cfg(WorkloadKind::Oracle);
+        e.tuning.policy = policy;
+        let art = run(&e);
+        let an = analyze(&art);
+        let r = table4_row(&art, &an);
+        println!(
+            "  {:14?} migrations {:6}  migration-miss stall {:5.2}%  OS stall {:5.2}%",
+            policy,
+            art.os_stats.migrations,
+            r.stall_pct,
+            table1_row(&art, &an).stall_os_pct
+        );
+    }
+
+    // --- block-op cache bypass ---
+    println!("Ablation: cache-bypassing block operations (Pmake)");
+    for bypass in [false, true] {
+        let mut e = cfg(WorkloadKind::Pmake);
+        e.tuning.block_op_bypass = bypass;
+        let art = run(&e);
+        let an = analyze(&art);
+        let r = table6_row(&art, &an);
+        println!(
+            "  bypass={bypass:5}  block-op misses {:7}  stall {:5.2}%  OS stall {:5.2}%",
+            an.blockop_d.total(),
+            r.stall_pct,
+            table1_row(&art, &an).stall_os_pct
+        );
+    }
+
+    // --- hot-first code layout ---
+    println!("Ablation: hot-first kernel code layout (Pmake)");
+    {
+        let base = run(&cfg(WorkloadKind::Pmake));
+        let an0 = analyze(&base);
+        let mut order: Vec<Rid> = Rid::ALL.to_vec();
+        order.sort_by_key(|r| matches!(r.subsystem(), Subsystem::Cold));
+        let mut e = cfg(WorkloadKind::Pmake);
+        e.tuning.layout_order = Some(order);
+        let relinked = run(&e);
+        let an1 = analyze(&relinked);
+        println!(
+            "  default layout : Dispos I-misses {:7}  OS I-misses {:7}",
+            an0.os.instr.disp_os,
+            an0.os.instr.total()
+        );
+        println!(
+            "  hot-first      : Dispos I-misses {:7}  OS I-misses {:7}",
+            an1.os.instr.disp_os,
+            an1.os.instr.total()
+        );
+    }
+
+    // Criterion: measure the cost of a short ablation run itself.
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("pmake_short_run", |b| {
+        b.iter(|| {
+            black_box(run(&ExperimentConfig::new(WorkloadKind::Pmake)
+                .warmup(1_000_000)
+                .measure(2_000_000)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 6: OS instruction-miss rate versus I-cache size and
+//! associativity, regenerated per workload by trace-driven
+//! re-simulation, plus a Criterion measurement of the re-simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oscar_core::resim::{figure6_sweep, resim};
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_machine::config::CacheConfig;
+use oscar_workloads::WorkloadKind;
+
+fn bench_fig6(c: &mut Criterion) {
+    for kind in WorkloadKind::ALL {
+        let art = run(&ExperimentConfig::new(kind)
+            .warmup(45_000_000)
+            .measure(12_000_000));
+        let an = analyze(&art);
+        println!("Figure 6 — {kind} (OS I-misses relative to 64KB direct-mapped)");
+        let points = figure6_sweep(&an.istream, art.machine_config.num_cpus as usize);
+        let base = points
+            .iter()
+            .find(|p| p.size_bytes == 64 * 1024 && p.assoc == 1)
+            .map(|p| p.os_misses.max(1))
+            .unwrap_or(1) as f64;
+        for p in &points {
+            println!(
+                "  {:5} KB {}-way  rel {:6.3}  inval-floor {:6.3}",
+                p.size_bytes / 1024,
+                p.assoc,
+                p.os_misses as f64 / base,
+                p.os_inval_misses as f64 / base
+            );
+        }
+        let mut g = c.benchmark_group(format!("fig6/{kind}"));
+        g.sample_size(10);
+        g.bench_function("resim_256k_dm", |b| {
+            b.iter(|| {
+                black_box(resim(
+                    black_box(&an.istream),
+                    4,
+                    CacheConfig::direct_mapped(256 * 1024),
+                ))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Section 6, "Implications for Larger Machines": what the paper argues
+//! should happen on cluster-based machines (DASH / Paradigm / Gigamax),
+//! measured on the simulator's cluster mode.
+//!
+//! For each machine shape the bench compares the flat OS (single run
+//! queue, one kernel-text image — the measured 4D/340 software) against
+//! the clustered OS (text replicated per cluster, distributed run
+//! queues, first-touch page placement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oscar_core::stall::table1_row;
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_os::LockFamily;
+use oscar_workloads::WorkloadKind;
+
+fn shape(kind: WorkloadKind, cpus: u8, clusters: u8, clustered_os: bool) -> ExperimentConfig {
+    let base = ExperimentConfig::new(kind)
+        .warmup(30_000_000)
+        .measure(10_000_000);
+    if clustered_os {
+        base.clustered(cpus, clusters, 30)
+    } else {
+        base.clustered_machine_flat_os(cpus, clusters, 30)
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    println!("Section 6 — larger machines (Multpgm)");
+    println!(
+        "{:>6} {:>9} {:>13} {:>13} {:>12} {:>12}",
+        "cpus", "clusters", "os-variant", "remote-fill%", "runqlk-fail%", "os-stall%"
+    );
+    for (cpus, clusters) in [(4u8, 1u8), (8, 2), (16, 4)] {
+        for clustered_os in [false, true] {
+            if clusters == 1 && clustered_os {
+                continue;
+            }
+            let art = run(&shape(WorkloadKind::Multpgm, cpus, clusters, clustered_os));
+            let an = analyze(&art);
+            let remote = 100.0 * art.remote_fills() as f64 / art.total_fills().max(1) as f64;
+            let fail = art
+                .lock_family(LockFamily::Runqlk)
+                .map(|s| 100.0 * s.failed_fraction())
+                .unwrap_or(0.0);
+            println!(
+                "{:>6} {:>9} {:>13} {:>13.2} {:>12.2} {:>12.2}",
+                cpus,
+                clusters,
+                if clustered_os { "clustered" } else { "flat" },
+                remote,
+                fail,
+                table1_row(&art, &an).stall_os_pct
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    g.bench_function("multpgm_16cpu_4cluster_short", |b| {
+        b.iter(|| {
+            black_box(run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+                .warmup(1_000_000)
+                .measure(2_000_000)
+                .clustered(16, 4, 30)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates every per-workload table and figure of the paper
+//! (Tables 1, 3-7, 9, 10, 12; Figures 1-5, 7-10) and benchmarks the
+//! postprocessing pipeline that produces them.
+//!
+//! The exhibit rows are printed once during setup — that output *is*
+//! the reproduction; Criterion then measures the analysis cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use oscar_core::report;
+use oscar_core::{analyze, run, ExperimentConfig, RunArtifacts};
+use oscar_workloads::WorkloadKind;
+
+fn traced(kind: WorkloadKind) -> RunArtifacts {
+    run(&ExperimentConfig::new(kind)
+        .warmup(45_000_000)
+        .measure(12_000_000))
+}
+
+fn bench_exhibits(c: &mut Criterion) {
+    for kind in WorkloadKind::ALL {
+        let art = traced(kind);
+        let an = analyze(&art);
+        // The reproduction output.
+        println!("{}", report::render_table1(&art, &an));
+        println!("{}", report::render_fig1(&art, &an));
+        println!("{}", report::render_fig2(&art, &an));
+        println!("{}", report::render_fig3(&art, &an));
+        println!("{}", report::render_fig4(&art, &an));
+        println!("{}", report::render_fig5(&art, &an));
+        println!("{}", report::render_fig7(&art, &an));
+        println!("{}", report::render_table3(&art));
+        println!("{}", report::render_fig8(&art, &an));
+        println!("{}", report::render_table4(&art, &an));
+        println!("{}", report::render_table5(&art, &an));
+        println!("{}", report::render_table6(&art, &an));
+        println!("{}", report::render_table7(&art, &an));
+        println!("{}", report::render_fig9(&art, &an));
+        println!("{}", report::render_table9(&art, &an));
+        println!("{}", report::render_fig10(&art, &an));
+        println!("{}", report::render_table10(&art));
+        println!("{}", report::render_table11());
+        println!("{}", report::render_table12(&art));
+
+        let mut g = c.benchmark_group(format!("postprocess/{kind}"));
+        g.sample_size(10);
+        g.bench_function("analyze_trace", |b| {
+            b.iter(|| black_box(analyze(black_box(&art))))
+        });
+        g.bench_function("render_all", |b| {
+            b.iter(|| black_box(report::render_all(black_box(&art), black_box(&an))))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_exhibits);
+criterion_main!(benches);

@@ -1,0 +1,847 @@
+//! The single-pass trace analyzer: reconstructs OS/application context
+//! from the escape events, classifies every miss against per-CPU cache
+//! mirrors, attributes OS data misses to kernel structures and
+//! contexts, and accumulates every statistic the paper's tables and
+//! figures need.
+
+use std::collections::{BTreeMap, HashMap};
+
+use oscar_machine::addr::{Ppn, Vpn};
+use oscar_machine::monitor::BusRecord;
+use oscar_os::stats::ModeCycles;
+use oscar_os::user::segs;
+use oscar_os::{AttrCtx, KernelRegion, Layout, Mode, OpClass, OsEvent, Rid};
+
+use crate::classify::{ArchClass, IdCounts, Mirror};
+use crate::decode::{Decoded, Decoder};
+use crate::experiment::RunArtifacts;
+use crate::histogram::Histogram;
+
+/// Attribution source of a sharing miss (Figure 8's categories:
+/// structures plus the block-copy/clear pseudo-sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SharingSource {
+    /// A kernel structure or region.
+    Region(KernelRegion),
+    /// Pages touched by the block-copy routine.
+    Bcopy,
+    /// Pages touched by the block-clear routine.
+    Bclear,
+}
+
+impl SharingSource {
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SharingSource::Region(r) => r.label(),
+            SharingSource::Bcopy => "bcopy-pages",
+            SharingSource::Bclear => "bclear-pages",
+        }
+    }
+}
+
+/// Migration-miss operation categories (Table 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationByOp {
+    /// Run-queue management.
+    pub runq: u64,
+    /// Low-level exception handling.
+    pub low_level: u64,
+    /// Read/write syscall recognition and setup.
+    pub rw_setup: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
+impl MigrationByOp {
+    /// Total migration misses.
+    pub fn total(&self) -> u64 {
+        self.runq + self.low_level + self.rw_setup + self.other
+    }
+}
+
+/// OS data misses inside block operations (Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockOpMisses {
+    /// In `bcopy`.
+    pub copy: u64,
+    /// In `bzero`.
+    pub clear: u64,
+    /// In the page-descriptor traversal.
+    pub pfdat_scan: u64,
+}
+
+impl BlockOpMisses {
+    /// Total block-operation data misses.
+    pub fn total(&self) -> u64 {
+        self.copy + self.clear + self.pfdat_scan
+    }
+}
+
+/// Per-mode bus-access counts (the stall-time basis: each access stalls
+/// the CPU ~35 cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillCounts {
+    /// Accesses charged to OS execution.
+    pub os: u64,
+    /// Accesses charged to the application.
+    pub app: u64,
+    /// Accesses in the idle loop.
+    pub idle: u64,
+}
+
+/// An item of the data-miss stream, kept for the larger-D-cache
+/// re-simulation (Section 4.2.2's "Removing Sharing Misses" argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DStreamItem {
+    /// CPU index.
+    pub cpu: u8,
+    /// Block address.
+    pub block: u64,
+    /// Write (read-exclusive or upgrade).
+    pub write: bool,
+    /// Whether the OS (or idle loop) issued it.
+    pub os: bool,
+}
+
+/// An item of the instruction-fetch miss stream, kept for the Figure 6
+/// cache re-simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IStreamItem {
+    /// An instruction fill.
+    Fetch {
+        /// CPU index.
+        cpu: u8,
+        /// Block address.
+        block: u64,
+        /// Whether the OS (or idle loop) fetched it.
+        os: bool,
+    },
+    /// An I-cache page invalidation.
+    Flush {
+        /// The flushed page.
+        ppn: u32,
+    },
+}
+
+/// Aggregated per-invocation statistics (Figures 1 and 3).
+#[derive(Debug)]
+pub struct InvocationStats {
+    /// Number of OS invocations (excluding pure-UTLB ones).
+    pub count: u64,
+    /// Total cycles across invocations.
+    pub cycles: u64,
+    /// Total instruction misses.
+    pub i_misses: u64,
+    /// Total data misses.
+    pub d_misses: u64,
+    /// Distribution of instruction misses per invocation.
+    pub hist_i: Histogram,
+    /// Distribution of data misses per invocation.
+    pub hist_d: Histogram,
+    /// Distribution of cycles per invocation.
+    pub hist_cycles: Histogram,
+}
+
+/// UTLB fast-path statistics (Figure 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UtlbStats {
+    /// Fast-path faults handled.
+    pub count: u64,
+    /// Total handling cycles.
+    pub cycles: u64,
+    /// Total misses during handling.
+    pub misses: u64,
+}
+
+/// Application-invocation statistics (Figure 1; the distributions are
+/// the companion technical report's charts).
+#[derive(Debug)]
+pub struct AppSpanStats {
+    /// Application invocations observed.
+    pub count: u64,
+    /// Total user-mode cycles across them.
+    pub user_cycles: u64,
+    /// Total misses during user execution.
+    pub misses: u64,
+    /// Total UTLB faults embedded in them.
+    pub utlb_faults: u64,
+    /// Distribution of user cycles per application invocation.
+    pub hist_cycles: Histogram,
+    /// Distribution of misses per application invocation.
+    pub hist_misses: Histogram,
+}
+
+impl Default for AppSpanStats {
+    fn default() -> Self {
+        AppSpanStats {
+            count: 0,
+            user_cycles: 0,
+            misses: 0,
+            utlb_faults: 0,
+            hist_cycles: Histogram::linear(400_000, 40),
+            hist_misses: Histogram::linear(2_000, 40),
+        }
+    }
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// Per-CPU user/kernel/idle cycles, reconstructed from events.
+    pub cpu_cycles: Vec<ModeCycles>,
+    /// OS miss classification.
+    pub os: IdCounts,
+    /// Application miss classification (`disp_os` = the paper's
+    /// *Ap_dispos*).
+    pub app: IdCounts,
+    /// Idle-loop miss classification.
+    pub idle: IdCounts,
+    /// Sharing misses by source structure (Figure 8).
+    pub sharing_by_source: BTreeMap<SharingSource, u64>,
+    /// OS *Dispos* instruction misses by routine (Figure 5).
+    pub dispos_i_by_routine: BTreeMap<Rid, u64>,
+    /// OS *Dispos* instruction misses in 1 KB bins of kernel text
+    /// (Figure 5's x-axis).
+    pub dispos_i_bins_1k: Vec<u64>,
+    /// OS instruction misses by kernel subsystem.
+    pub os_i_by_subsystem: BTreeMap<oscar_os::Subsystem, u64>,
+    /// OS misses by operation class `(instr, data)` (Figure 9).
+    pub os_by_op: [(u64, u64); OpClass::ALL.len()],
+    /// Operations observed, by class (Figure 2).
+    pub ops_seen: [u64; OpClass::ALL.len()],
+    /// OS data misses inside block operations (Table 6).
+    pub blockop_d: BlockOpMisses,
+    /// Migration misses (sharing misses in the per-process structures)
+    /// by structure.
+    pub migration_by_region: BTreeMap<KernelRegion, u64>,
+    /// Migration misses by operation (Table 5).
+    pub migration_by_op: MigrationByOp,
+    /// Block-operation size classes from `BlockOp` events
+    /// (Table 7): `[copy, clear] × [full, regular, irregular]`.
+    pub block_op_sizes: [[u64; 3]; 2],
+    /// OS invocation statistics.
+    pub invocations: InvocationStats,
+    /// UTLB fast-path statistics.
+    pub utlb: UtlbStats,
+    /// Application invocation statistics.
+    pub app_spans: AppSpanStats,
+    /// Bus accesses by mode (stall basis).
+    pub fills: FillCounts,
+    /// Write-backs observed (buffered; not part of stall).
+    pub writebacks: u64,
+    /// Escape reads observed.
+    pub escapes: u64,
+    /// Escape reads that failed to decode (must be 0).
+    pub undecodable: u64,
+    /// The instruction miss stream for cache re-simulation (Figure 6).
+    pub istream: Vec<IStreamItem>,
+    /// The data miss stream for D-cache re-simulation.
+    pub dstream: Vec<DStreamItem>,
+    /// Measured window in cycles.
+    pub window_cycles: u64,
+}
+
+impl TraceAnalysis {
+    /// Total misses (OS + application, the paper's denominator for
+    /// Table 1 column 5).
+    pub fn total_misses(&self) -> u64 {
+        self.os.total() + self.app.total()
+    }
+
+    /// Aggregate non-idle cycles.
+    pub fn non_idle_cycles(&self) -> u64 {
+        self.cpu_cycles.iter().map(|c| c.non_idle()).sum()
+    }
+
+    /// Aggregate cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.cpu_cycles.iter().map(|c| c.total()).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inv {
+    start: u64,
+    i: u64,
+    d: u64,
+    non_utlb: bool,
+}
+
+struct CpuAn {
+    mode: Mode,
+    last_time: u64,
+    in_os: bool,
+    in_idle: bool,
+    cycles: ModeCycles,
+    cur_pid: u32,
+    class_stack: Vec<OpClass>,
+    saved_stacks: HashMap<u32, Vec<OpClass>>,
+    last_class: OpClass,
+    ctx_stack: Vec<AttrCtx>,
+    epoch: u64,
+    inv: Option<Inv>,
+    span_active: bool,
+    span_user_cycles_at_start: u64,
+    span_user_misses_at_start: u64,
+    span_utlb: u64,
+    user_misses: u64,
+    imirror: Mirror,
+    dmirror: Mirror,
+}
+
+impl CpuAn {
+    fn new(start: u64, isize: u64, dsize: u64) -> Self {
+        CpuAn {
+            mode: Mode::User,
+            last_time: start,
+            in_os: false,
+            in_idle: false,
+            cycles: ModeCycles::default(),
+            cur_pid: u32::MAX,
+            class_stack: Vec::new(),
+            saved_stacks: HashMap::new(),
+            last_class: OpClass::OtherSyscall,
+            ctx_stack: Vec::new(),
+            epoch: 0,
+            inv: None,
+            span_active: false,
+            span_user_cycles_at_start: 0,
+            span_user_misses_at_start: 0,
+            span_utlb: 0,
+            user_misses: 0,
+            imirror: Mirror::new(isize),
+            dmirror: Mirror::new(dsize),
+        }
+    }
+
+    fn set_mode(&mut self, t: u64, mode: Mode) {
+        let dt = t.saturating_sub(self.last_time);
+        self.cycles.add(self.mode, dt);
+        self.last_time = t;
+        if mode == Mode::User && self.mode != Mode::User {
+            self.epoch += 1;
+        }
+        self.mode = mode;
+    }
+
+    fn effective_mode(&self) -> Mode {
+        if self.in_os {
+            Mode::Kernel
+        } else if self.in_idle {
+            Mode::Idle
+        } else {
+            Mode::User
+        }
+    }
+
+    fn top_class(&self) -> OpClass {
+        self.class_stack.last().copied().unwrap_or(self.last_class)
+    }
+}
+
+/// Runs the full analysis over one run's artifacts.
+///
+/// # Panics
+///
+/// Panics if the machine's caches are not direct-mapped (content
+/// reconstruction from the miss trace requires direct mapping; use the
+/// re-simulator for associative ablations).
+pub fn analyze(art: &RunArtifacts) -> TraceAnalysis {
+    let cfg = &art.machine_config;
+    assert_eq!(
+        cfg.icache.assoc, 1,
+        "trace classification requires direct-mapped caches"
+    );
+    assert_eq!(cfg.l2d.assoc, 1, "trace classification requires direct-mapped caches");
+    Analyzer::new(art).run()
+}
+
+struct Analyzer<'a> {
+    art: &'a RunArtifacts,
+    layout: &'a Layout,
+    cpus: Vec<CpuAn>,
+    ppn_vpn: HashMap<u32, Vpn>,
+    out: TraceAnalysis,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(art: &'a RunArtifacts) -> Self {
+        let n = art.machine_config.num_cpus as usize;
+        let isize = art.machine_config.icache.size_bytes;
+        let dsize = art.machine_config.l2d.size_bytes;
+        let text_kb = (art.layout.text_size() / 1024 + 1) as usize;
+        Analyzer {
+            art,
+            layout: &art.layout,
+            cpus: (0..n)
+                .map(|_| CpuAn::new(art.measure_start, isize, dsize))
+                .collect(),
+            ppn_vpn: HashMap::new(),
+            out: TraceAnalysis {
+                cpu_cycles: vec![ModeCycles::default(); n],
+                os: IdCounts::default(),
+                app: IdCounts::default(),
+                idle: IdCounts::default(),
+                sharing_by_source: BTreeMap::new(),
+                dispos_i_by_routine: BTreeMap::new(),
+                dispos_i_bins_1k: vec![0; text_kb],
+                os_i_by_subsystem: BTreeMap::new(),
+                os_by_op: [(0, 0); OpClass::ALL.len()],
+                ops_seen: [0; OpClass::ALL.len()],
+                blockop_d: BlockOpMisses::default(),
+                migration_by_region: BTreeMap::new(),
+                migration_by_op: MigrationByOp::default(),
+                block_op_sizes: [[0; 3]; 2],
+                invocations: InvocationStats {
+                    count: 0,
+                    cycles: 0,
+                    i_misses: 0,
+                    d_misses: 0,
+                    hist_i: Histogram::linear(800, 40),
+                    hist_d: Histogram::linear(800, 40),
+                    hist_cycles: Histogram::linear(40_000, 40),
+                },
+                utlb: UtlbStats::default(),
+                app_spans: AppSpanStats::default(),
+                fills: FillCounts::default(),
+                writebacks: 0,
+                escapes: 0,
+                undecodable: 0,
+                istream: Vec::new(),
+                dstream: Vec::new(),
+                window_cycles: art.measure_end - art.measure_start,
+            },
+        }
+    }
+
+    fn run(mut self) -> TraceAnalysis {
+        let n = self.cpus.len();
+        let mut decoder = Decoder::new(n);
+        for &rec in &self.art.trace {
+            if rec.kind == oscar_machine::BusKind::UncachedRead {
+                self.out.escapes += 1;
+            }
+            if let Some(item) = decoder.push(rec) {
+                self.handle(item);
+            }
+        }
+        self.out.undecodable = decoder.undecodable;
+        // Close out mode integrals and dangling spans.
+        let end = self.art.measure_end;
+        for (i, ca) in self.cpus.iter_mut().enumerate() {
+            ca.set_mode(end, ca.effective_mode());
+            self.out.cpu_cycles[i] = ca.cycles;
+        }
+        self.finish_spans();
+        self.out
+    }
+
+    fn finish_spans(&mut self) {
+        for ca in &mut self.cpus {
+            if ca.span_active {
+                let cycles = ca.cycles.user - ca.span_user_cycles_at_start;
+                let misses = ca.user_misses - ca.span_user_misses_at_start;
+                self.out.app_spans.count += 1;
+                self.out.app_spans.user_cycles += cycles;
+                self.out.app_spans.misses += misses;
+                self.out.app_spans.utlb_faults += ca.span_utlb;
+                self.out.app_spans.hist_cycles.record(cycles);
+                self.out.app_spans.hist_misses.record(misses);
+            }
+        }
+    }
+
+    fn handle(&mut self, item: Decoded) {
+        match item {
+            Decoded::Fill { rec, write } => self.handle_access(rec, write, false),
+            Decoded::Upgrade { rec } => self.handle_access(rec, true, true),
+            Decoded::WriteBack { .. } => self.out.writebacks += 1,
+            Decoded::Event { time, cpu, event } => self.handle_event(time, cpu.index(), event),
+        }
+    }
+
+    fn handle_event(&mut self, t: u64, i: usize, ev: OsEvent) {
+        match ev {
+            OsEvent::TraceStart => {}
+            OsEvent::EnterOs(class) => {
+                let ca = &mut self.cpus[i];
+                if !ca.in_os {
+                    ca.in_os = true;
+                    ca.set_mode(t, Mode::Kernel);
+                    // A non-UTLB operation ends the application span.
+                    if class != OpClass::UtlbFault && ca.span_active {
+                        ca.span_active = false;
+                        let cycles = ca.cycles.user - ca.span_user_cycles_at_start;
+                        let misses = ca.user_misses - ca.span_user_misses_at_start;
+                        self.out.app_spans.count += 1;
+                        self.out.app_spans.user_cycles += cycles;
+                        self.out.app_spans.misses += misses;
+                        self.out.app_spans.utlb_faults += ca.span_utlb;
+                        self.out.app_spans.hist_cycles.record(cycles);
+                        self.out.app_spans.hist_misses.record(misses);
+                        ca.span_utlb = 0;
+                    }
+                    if ca.inv.is_none() {
+                        ca.inv = Some(Inv {
+                            start: t,
+                            i: 0,
+                            d: 0,
+                            non_utlb: class != OpClass::UtlbFault,
+                        });
+                    }
+                } else if let Some(inv) = &mut ca.inv {
+                    inv.non_utlb |= class != OpClass::UtlbFault;
+                }
+                ca.class_stack.push(class);
+                ca.last_class = class;
+                self.out.ops_seen[class.code() as usize] += 1;
+            }
+            OsEvent::OpReclass(class) => {
+                let ca = &mut self.cpus[i];
+                if let Some(top) = ca.class_stack.last_mut() {
+                    self.out.ops_seen[top.code() as usize] =
+                        self.out.ops_seen[top.code() as usize].saturating_sub(1);
+                    *top = class;
+                    self.out.ops_seen[class.code() as usize] += 1;
+                }
+                ca.last_class = class;
+                if let Some(inv) = &mut ca.inv {
+                    inv.non_utlb |= class != OpClass::UtlbFault;
+                }
+            }
+            OsEvent::OpEnd => {
+                let ca = &mut self.cpus[i];
+                ca.class_stack.pop();
+            }
+            OsEvent::ExitOs => {
+                let ca = &mut self.cpus[i];
+                ca.in_os = false;
+                let to_idle = ca.in_idle;
+                ca.set_mode(t, if to_idle { Mode::Idle } else { Mode::User });
+                if let Some(inv) = ca.inv.take() {
+                    let cycles = t.saturating_sub(inv.start);
+                    if inv.non_utlb {
+                        let s = &mut self.out.invocations;
+                        s.count += 1;
+                        s.cycles += cycles;
+                        s.i_misses += inv.i;
+                        s.d_misses += inv.d;
+                        s.hist_i.record(inv.i);
+                        s.hist_d.record(inv.d);
+                        s.hist_cycles.record(cycles);
+                    } else {
+                        self.out.utlb.count += 1;
+                        self.out.utlb.cycles += cycles;
+                        self.out.utlb.misses += inv.i + inv.d;
+                        ca.span_utlb += 1;
+                    }
+                }
+                if !to_idle && !ca.span_active {
+                    ca.span_active = true;
+                    ca.span_user_cycles_at_start = ca.cycles.user;
+                    ca.span_user_misses_at_start = ca.user_misses;
+                }
+            }
+            OsEvent::EnterIdle => {
+                let ca = &mut self.cpus[i];
+                ca.in_idle = true;
+                if !ca.in_os {
+                    ca.set_mode(t, Mode::Idle);
+                }
+                ca.span_active = false;
+            }
+            OsEvent::ExitIdle => {
+                let ca = &mut self.cpus[i];
+                ca.in_idle = false;
+                // The dispatcher runs next (kernel work without its own
+                // operation marker).
+                ca.in_os = true;
+                ca.set_mode(t, Mode::Kernel);
+            }
+            OsEvent::PidChange { pid } => {
+                let ca = &mut self.cpus[i];
+                let old = std::mem::take(&mut ca.class_stack);
+                ca.saved_stacks.insert(ca.cur_pid, old);
+                ca.class_stack = ca.saved_stacks.remove(&pid).unwrap_or_default();
+                ca.cur_pid = pid;
+            }
+            OsEvent::TlbSet { vpn, ppn, .. } => {
+                self.ppn_vpn.insert(ppn, Vpn(vpn));
+            }
+            OsEvent::CtxEnter(ctx) => self.cpus[i].ctx_stack.push(ctx),
+            OsEvent::CtxExit => {
+                self.cpus[i].ctx_stack.pop();
+            }
+            OsEvent::IcacheFlush { ppn } => {
+                for ca in &mut self.cpus {
+                    ca.imirror.flush_page(Ppn(ppn));
+                }
+                self.out.istream.push(IStreamItem::Flush { ppn });
+            }
+            OsEvent::BlockOp { kind, bytes } => {
+                let k = match kind {
+                    oscar_os::BlockOpKind::Copy => 0,
+                    oscar_os::BlockOpKind::Clear => 1,
+                };
+                let s = match oscar_os::BlockSizeClass::of(bytes as u64) {
+                    oscar_os::BlockSizeClass::FullPage => 0,
+                    oscar_os::BlockSizeClass::RegularFragment => 1,
+                    oscar_os::BlockSizeClass::IrregularChunk => 2,
+                };
+                self.out.block_op_sizes[k][s] += 1;
+            }
+        }
+    }
+
+    fn is_instr(&self, i: usize, rec: &BusRecord, write: bool) -> bool {
+        if write {
+            return false;
+        }
+        match self.layout.classify(rec.paddr) {
+            // Kernel text, including per-cluster replicas.
+            KernelRegion::Text => true,
+            KernelRegion::FramePool => {
+                if let Some(vpn) = self.ppn_vpn.get(&(rec.paddr.page().0)) {
+                    segs::is_text(*vpn) && self.cpus[i].effective_mode() == Mode::User
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn handle_access(&mut self, rec: BusRecord, write: bool, upgrade: bool) {
+        let i = rec.cpu.index();
+        let instr = self.is_instr(i, &rec, write);
+        let block = rec.paddr.block();
+        let mode = self.cpus[i].effective_mode();
+        let os_fill = mode != Mode::User;
+
+        // Classify.
+        let class = if upgrade {
+            // An upgrade is coherence traffic on a resident line.
+            ArchClass::Sharing
+        } else {
+            let ca = &mut self.cpus[i];
+            let epoch = ca.epoch;
+            if instr {
+                ca.imirror.classify_fill(block, os_fill, epoch)
+            } else {
+                ca.dmirror.classify_fill(block, os_fill, epoch)
+            }
+        };
+
+        // Coherence: writes invalidate other caches' copies.
+        if write && !instr {
+            for (j, other) in self.cpus.iter_mut().enumerate() {
+                if j != i {
+                    other.dmirror.invalidate(block);
+                }
+            }
+        }
+
+        // Bucket the miss.
+        let bucket = match mode {
+            Mode::Kernel => &mut self.out.os,
+            Mode::User => &mut self.out.app,
+            Mode::Idle => &mut self.out.idle,
+        };
+        if instr {
+            bucket.instr.record(class);
+        } else {
+            bucket.data.record(class);
+        }
+        match mode {
+            Mode::Kernel => self.out.fills.os += 1,
+            Mode::User => {
+                self.out.fills.app += 1;
+                self.cpus[i].user_misses += 1;
+            }
+            Mode::Idle => self.out.fills.idle += 1,
+        }
+
+        if instr {
+            self.out.istream.push(IStreamItem::Fetch {
+                cpu: rec.cpu.0,
+                block: block.0,
+                os: os_fill,
+            });
+        } else {
+            self.out.dstream.push(DStreamItem {
+                cpu: rec.cpu.0,
+                block: block.0,
+                write,
+                os: os_fill,
+            });
+        }
+
+        if mode != Mode::Kernel {
+            return;
+        }
+
+        // --- OS-miss attributions ---
+        let ca = &mut self.cpus[i];
+        if let Some(inv) = &mut ca.inv {
+            if instr {
+                inv.i += 1;
+            } else {
+                inv.d += 1;
+            }
+        }
+        let top_ctx = ca.ctx_stack.last().copied();
+        let op = ca.top_class();
+        let e = &mut self.out.os_by_op[op.code() as usize];
+        if instr {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+
+        if instr {
+            if let Some(rid) = self.layout.routine_at(rec.paddr) {
+                *self
+                    .out
+                    .os_i_by_subsystem
+                    .entry(rid.subsystem())
+                    .or_default() += 1;
+            }
+            if let ArchClass::DispOs { .. } = class {
+                if let Some(rid) = self.layout.routine_at(rec.paddr) {
+                    *self.out.dispos_i_by_routine.entry(rid).or_default() += 1;
+                }
+                let kb = (self.layout.canonical_text_addr(rec.paddr).raw() / 1024) as usize;
+                if kb < self.out.dispos_i_bins_1k.len() {
+                    self.out.dispos_i_bins_1k[kb] += 1;
+                }
+            }
+            return;
+        }
+
+        // Data-miss attributions.
+        if let Some(ctx) = top_ctx {
+            match ctx {
+                AttrCtx::BlockCopy => self.out.blockop_d.copy += 1,
+                AttrCtx::BlockClear => self.out.blockop_d.clear += 1,
+                AttrCtx::PfdatScan => self.out.blockop_d.pfdat_scan += 1,
+                _ => {}
+            }
+        }
+        if class == ArchClass::Sharing {
+            let region = self.layout.classify(rec.paddr);
+            let source = match top_ctx {
+                Some(AttrCtx::BlockCopy) => SharingSource::Bcopy,
+                Some(AttrCtx::BlockClear) => SharingSource::Bclear,
+                _ => SharingSource::Region(region),
+            };
+            *self.out.sharing_by_source.entry(source).or_default() += 1;
+            let migration = matches!(
+                region,
+                KernelRegion::KernelStack
+                    | KernelRegion::Pcb
+                    | KernelRegion::Eframe
+                    | KernelRegion::URest
+                    | KernelRegion::ProcTable
+            );
+            if migration {
+                *self.out.migration_by_region.entry(region).or_default() += 1;
+                match top_ctx {
+                    Some(AttrCtx::RunQueueMgmt) => self.out.migration_by_op.runq += 1,
+                    Some(AttrCtx::LowLevelException) => self.out.migration_by_op.low_level += 1,
+                    Some(AttrCtx::ReadWriteSetup) => self.out.migration_by_op.rw_setup += 1,
+                    _ => self.out.migration_by_op.other += 1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run, ExperimentConfig};
+    use oscar_workloads::WorkloadKind;
+
+    fn analysis() -> (RunArtifacts, TraceAnalysis) {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(4_000_000));
+        let an = analyze(&art);
+        (art, an)
+    }
+
+    #[test]
+    fn decodes_cleanly_and_balances_time() {
+        let (art, an) = analysis();
+        assert_eq!(an.undecodable, 0, "every escape must decode");
+        // Reconstructed cycles cover the window (within instrumentation
+        // slack per CPU).
+        for mc in &an.cpu_cycles {
+            let total = mc.total();
+            let window = an.window_cycles;
+            assert!(
+                total as f64 >= 0.9 * window as f64 && total as f64 <= 1.1 * window as f64,
+                "cpu cycles {total} vs window {window}"
+            );
+        }
+        let _ = art;
+    }
+
+    #[test]
+    fn trace_side_matches_ground_truth() {
+        let (art, an) = analysis();
+        let gt = &art.os_stats;
+        // Kernel misses: trace classification vs OS ground truth.
+        let trace_os = an.os.total();
+        let gt_os = gt.kernel_misses.total();
+        let rel = (trace_os as f64 - gt_os as f64).abs() / gt_os.max(1) as f64;
+        assert!(rel < 0.08, "OS misses: trace {trace_os} vs ground truth {gt_os}");
+        // Mode cycle split close to ground truth.
+        let t = an
+            .cpu_cycles
+            .iter()
+            .fold(ModeCycles::default(), |mut a, c| {
+                a.user += c.user;
+                a.kernel += c.kernel;
+                a.idle += c.idle;
+                a
+            });
+        let g = gt.total_cycles();
+        let rel_k = (t.kernel as f64 - g.kernel as f64).abs() / g.kernel.max(1) as f64;
+        assert!(rel_k < 0.1, "kernel cycles: trace {} vs gt {}", t.kernel, g.kernel);
+    }
+
+    #[test]
+    fn every_miss_is_classified_once() {
+        let (_, an) = analysis();
+        assert_eq!(
+            an.fills.os + an.fills.app + an.fills.idle,
+            an.os.total() + an.app.total() + an.idle.total()
+        );
+        assert!(an.os.total() > 0);
+        assert!(an.app.total() > 0);
+    }
+
+    #[test]
+    fn op_attribution_covers_all_os_misses() {
+        let (_, an) = analysis();
+        let by_op: u64 = an.os_by_op.iter().map(|(i, d)| i + d).sum();
+        assert_eq!(by_op, an.os.total());
+    }
+
+    #[test]
+    fn utlb_faults_are_cheap_and_frequent() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(45_000_000)
+            .measure(10_000_000));
+        let an = analyze(&art);
+        assert!(an.utlb.count > 0);
+        let per = an.utlb.misses as f64 / an.utlb.count as f64;
+        assert!(per < 6.0, "UTLB faults must be nearly miss-free, got {per}");
+        // Count matches ground truth closely.
+        let gt = art.os_stats.utlb_faults;
+        let rel = (an.utlb.count as f64 - gt as f64).abs() / gt.max(1) as f64;
+        assert!(rel < 0.25, "utlb: trace {} vs gt {}", an.utlb.count, gt);
+    }
+}

@@ -1,0 +1,142 @@
+//! CSV export of the figure series, for plotting the reproduction next
+//! to the paper's charts.
+
+use std::fmt::Write as _;
+
+use oscar_os::OpClass;
+
+use crate::analyze::TraceAnalysis;
+use crate::experiment::RunArtifacts;
+use crate::resim::ResimPoint;
+use crate::syncstats::{table12_rows, Fig11Point};
+
+/// Figure 3 histograms: `metric,bin_lo,bin_hi,count,fraction`.
+pub fn fig3_csv(an: &TraceAnalysis) -> String {
+    let mut s = String::from("metric,bin_lo,bin_hi,count,fraction\n");
+    for (name, h) in [
+        ("i_misses", &an.invocations.hist_i),
+        ("d_misses", &an.invocations.hist_d),
+        ("cycles", &an.invocations.hist_cycles),
+    ] {
+        for (lo, hi, n, frac) in h.rows() {
+            let _ = writeln!(s, "{name},{lo},{hi},{n},{frac:.6}");
+        }
+        let _ = writeln!(s, "{name},overflow,,{},", h.overflow());
+    }
+    s
+}
+
+/// Figure 5 series: `text_kb,cache_multiple,dispos_misses`.
+pub fn fig5_csv(an: &TraceAnalysis) -> String {
+    let mut s = String::from("text_kb,icache_multiple,dispos_misses\n");
+    for (kb, &n) in an.dispos_i_bins_1k.iter().enumerate() {
+        let _ = writeln!(s, "{},{:.4},{}", kb, kb as f64 / 64.0, n);
+    }
+    s
+}
+
+/// Figure 6 series: `size_kb,assoc,os_misses,os_inval,app_misses`.
+pub fn fig6_csv(points: &[ResimPoint]) -> String {
+    let mut s = String::from("size_kb,assoc,os_misses,os_inval_misses,app_misses\n");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            p.size_bytes / 1024,
+            p.assoc,
+            p.os_misses,
+            p.os_inval_misses,
+            p.app_misses
+        );
+    }
+    s
+}
+
+/// Figure 8 series: `source,sharing_misses`.
+pub fn fig8_csv(an: &TraceAnalysis) -> String {
+    let mut s = String::from("source,sharing_misses\n");
+    for (src, n) in &an.sharing_by_source {
+        let _ = writeln!(s, "{},{}", src.label(), n);
+    }
+    s
+}
+
+/// Figure 9 series: `operation,instr_misses,data_misses`.
+pub fn fig9_csv(an: &TraceAnalysis) -> String {
+    let mut s = String::from("operation,instr_misses,data_misses\n");
+    for c in OpClass::ALL {
+        let (i, d) = an.os_by_op[c.code() as usize];
+        let _ = writeln!(s, "{},{i},{d}", c.label());
+    }
+    s
+}
+
+/// Figure 11 series: `cpus,lock,failed_per_ms`.
+pub fn fig11_csv(points: &[Fig11Point]) -> String {
+    let mut s = String::from("cpus,lock,failed_per_ms\n");
+    for p in points {
+        let _ = writeln!(s, "{},{},{:.4}", p.cpus, p.family.label(), p.failed_per_ms);
+    }
+    s
+}
+
+/// Table 12 rows as CSV.
+pub fn table12_csv(art: &RunArtifacts) -> String {
+    let mut s = String::from(
+        "lock,acquires,kcycles_between_acquires,failed_pct,waiters_if_any,same_cpu_pct,cached_over_uncached_pct\n",
+    );
+    for r in table12_rows(art) {
+        let _ = writeln!(
+            s,
+            "{},{},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            r.family.label(),
+            r.acquires,
+            r.kcycles_between_acquires,
+            r.failed_pct,
+            r.waiters_if_any,
+            r.same_cpu_pct,
+            r.cached_over_uncached_pct
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::experiment::{run, ExperimentConfig};
+    use crate::resim::figure6_sweep;
+    use oscar_workloads::WorkloadKind;
+
+    #[test]
+    fn csv_outputs_are_well_formed() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(3_000_000));
+        let an = analyze(&art);
+        let f3 = fig3_csv(&an);
+        assert!(f3.starts_with("metric,"));
+        assert!(f3.lines().count() > 10);
+        let f5 = fig5_csv(&an);
+        assert_eq!(
+            f5.lines().count(),
+            an.dispos_i_bins_1k.len() + 1,
+            "one row per text KB"
+        );
+        let points = figure6_sweep(&an.istream, 4);
+        let f6 = fig6_csv(&points);
+        assert_eq!(f6.lines().count(), points.len() + 1);
+        let f9 = fig9_csv(&an);
+        assert_eq!(f9.lines().count(), OpClass::ALL.len() + 1);
+        let t12 = table12_csv(&art);
+        assert!(t12.contains("Runqlk"));
+        // Every CSV has a consistent column count per line.
+        for csv in [&f3, &f5, &f6, &f9, &t12] {
+            let cols = csv.lines().next().unwrap().split(',').count();
+            for line in csv.lines().skip(1).filter(|l| !l.is_empty()) {
+                assert_eq!(line.split(',').count(), cols, "{line}");
+            }
+        }
+    }
+}

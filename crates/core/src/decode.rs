@@ -1,0 +1,243 @@
+//! Trace decoding: turning the monitor's raw bus records back into
+//! misses and instrumentation events.
+//!
+//! The escape encoding is positional, as in the paper: an uncached read
+//! of an odd address in the reserved range announces an event opcode;
+//! the next N uncached odd-address reads *by the same CPU* carry the
+//! payload values. Cache misses interleaved with an escape sequence are
+//! reads of even addresses and cannot be confused with it.
+
+use oscar_machine::addr::CpuId;
+use oscar_machine::monitor::BusRecord;
+use oscar_machine::BusKind;
+use oscar_os::OsEvent;
+
+/// One decoded trace item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decoded {
+    /// A cache fill (read or read-exclusive).
+    Fill {
+        /// The raw record.
+        rec: BusRecord,
+        /// Write (read-exclusive) fill.
+        write: bool,
+    },
+    /// An ownership upgrade (write to a shared line).
+    Upgrade {
+        /// The raw record.
+        rec: BusRecord,
+    },
+    /// A write-back of a dirty line (buffered; no CPU stall).
+    WriteBack {
+        /// The raw record.
+        rec: BusRecord,
+    },
+    /// A decoded instrumentation event.
+    Event {
+        /// Time of the opcode read.
+        time: u64,
+        /// Emitting CPU.
+        cpu: CpuId,
+        /// The event.
+        event: OsEvent,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct Pending {
+    opcode: u32,
+    time: u64,
+    payloads: Vec<u32>,
+    needed: usize,
+}
+
+/// Streaming decoder: feed records in trace order, receive decoded
+/// items.
+#[derive(Debug)]
+pub struct Decoder {
+    pending: Vec<Option<Pending>>,
+    /// Escape reads that did not decode (protocol errors; must stay 0).
+    pub undecodable: u64,
+}
+
+impl Decoder {
+    /// A decoder for `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        Decoder {
+            pending: vec![None; num_cpus],
+            undecodable: 0,
+        }
+    }
+
+    /// Feeds one record; returns the decoded item, if any completes.
+    pub fn push(&mut self, rec: BusRecord) -> Option<Decoded> {
+        match rec.kind {
+            BusKind::Read => Some(Decoded::Fill { rec, write: false }),
+            BusKind::ReadEx => Some(Decoded::Fill { rec, write: true }),
+            BusKind::Upgrade => Some(Decoded::Upgrade { rec }),
+            BusKind::WriteBack => Some(Decoded::WriteBack { rec }),
+            BusKind::UncachedRead => self.push_escape(rec),
+        }
+    }
+
+    fn push_escape(&mut self, rec: BusRecord) -> Option<Decoded> {
+        let i = rec.cpu.index();
+        if let Some(p) = &mut self.pending[i] {
+            p.payloads.push(OsEvent::decode_payload(rec.paddr));
+            if p.payloads.len() == p.needed {
+                let p = self.pending[i].take().expect("pending exists");
+                return match OsEvent::decode(p.opcode, &p.payloads) {
+                    Some(event) => Some(Decoded::Event {
+                        time: p.time,
+                        cpu: rec.cpu,
+                        event,
+                    }),
+                    None => {
+                        self.undecodable += 1;
+                        None
+                    }
+                };
+            }
+            return None;
+        }
+        let Some(opcode) = OsEvent::decode_opcode(rec.paddr) else {
+            self.undecodable += 1;
+            return None;
+        };
+        let needed = OsEvent::payload_count(opcode);
+        if needed == 0 {
+            return match OsEvent::decode(opcode, &[]) {
+                Some(event) => Some(Decoded::Event {
+                    time: rec.time,
+                    cpu: rec.cpu,
+                    event,
+                }),
+                None => {
+                    self.undecodable += 1;
+                    None
+                }
+            };
+        }
+        self.pending[i] = Some(Pending {
+            opcode,
+            time: rec.time,
+            payloads: Vec::with_capacity(needed),
+            needed,
+        });
+        None
+    }
+
+    /// Decodes a whole trace.
+    pub fn decode_all(num_cpus: usize, trace: &[BusRecord]) -> (Vec<Decoded>, u64) {
+        let mut d = Decoder::new(num_cpus);
+        let mut out = Vec::with_capacity(trace.len());
+        for &rec in trace {
+            if let Some(item) = d.push(rec) {
+                out.push(item);
+            }
+        }
+        (out, d.undecodable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_machine::addr::PAddr;
+    use oscar_os::OpClass;
+
+    fn rec(cpu: u8, paddr: PAddr, kind: BusKind) -> BusRecord {
+        BusRecord {
+            time: 0,
+            cpu: CpuId(cpu),
+            paddr,
+            kind,
+        }
+    }
+
+    fn escape_records(cpu: u8, ev: OsEvent) -> Vec<BusRecord> {
+        ev.encode()
+            .into_iter()
+            .map(|a| rec(cpu, a, BusKind::UncachedRead))
+            .collect()
+    }
+
+    #[test]
+    fn decodes_simple_event() {
+        let mut d = Decoder::new(4);
+        let recs = escape_records(1, OsEvent::ExitOs);
+        assert_eq!(recs.len(), 1);
+        match d.push(recs[0]) {
+            Some(Decoded::Event { event, cpu, .. }) => {
+                assert_eq!(event, OsEvent::ExitOs);
+                assert_eq!(cpu, CpuId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decodes_payload_event_with_interleaved_misses() {
+        let mut d = Decoder::new(4);
+        let ev = OsEvent::TlbSet {
+            index: 5,
+            vpn: 1000,
+            ppn: 77,
+            pid: 3,
+        };
+        let recs = escape_records(0, ev);
+        assert_eq!(recs.len(), 5);
+        // Interleave instruction misses (even addresses) by the same CPU
+        // and escapes by another CPU.
+        assert!(d.push(recs[0]).is_none());
+        assert!(matches!(
+            d.push(rec(0, PAddr::new(0x4000), BusKind::Read)),
+            Some(Decoded::Fill { .. })
+        ));
+        assert!(d.push(recs[1]).is_none());
+        // CPU 2 emits its own complete event in the middle.
+        for r in escape_records(2, OsEvent::EnterOs(OpClass::IoSyscall)) {
+            match d.push(r) {
+                Some(Decoded::Event { event, .. }) => {
+                    assert_eq!(event, OsEvent::EnterOs(OpClass::IoSyscall));
+                }
+                None => panic!("cpu2 event must decode"),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(d.push(recs[2]).is_none());
+        assert!(d.push(recs[3]).is_none());
+        match d.push(recs[4]) {
+            Some(Decoded::Event { event, .. }) => assert_eq!(event, ev),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.undecodable, 0);
+    }
+
+    #[test]
+    fn nonescape_kinds_pass_through() {
+        let mut d = Decoder::new(1);
+        assert!(matches!(
+            d.push(rec(0, PAddr::new(0x100), BusKind::ReadEx)),
+            Some(Decoded::Fill { write: true, .. })
+        ));
+        assert!(matches!(
+            d.push(rec(0, PAddr::new(0x100), BusKind::Upgrade)),
+            Some(Decoded::Upgrade { .. })
+        ));
+        assert!(matches!(
+            d.push(rec(0, PAddr::new(0x100), BusKind::WriteBack)),
+            Some(Decoded::WriteBack { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_escape_counts_undecodable() {
+        let mut d = Decoder::new(1);
+        // Odd address below the escape base, not part of any sequence.
+        assert!(d
+            .push(rec(0, PAddr::new(0x1001), BusKind::UncachedRead))
+            .is_none());
+        assert_eq!(d.undecodable, 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! The experiment driver: wires a machine, a kernel and a workload
+//! together, runs the interleaving engine for a measured horizon, and
+//! returns everything the paper's postprocessing needs — the monitor
+//! trace plus the OS-side ground truth used for cross-validation.
+
+use oscar_machine::addr::CpuId;
+use oscar_machine::monitor::{BufferMode, BusRecord};
+use oscar_machine::{CpuCounters, Machine, MachineConfig};
+use oscar_os::{FamilyStats, Layout, LockFamily, OsStats, OsTuning, OsWorld};
+use oscar_workloads::WorkloadKind;
+
+/// Configuration of one measured run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Which workload to run.
+    pub workload: WorkloadKind,
+    /// Machine configuration (defaults to the 4D/340).
+    pub machine: MachineConfig,
+    /// Kernel tuning.
+    pub tuning: OsTuning,
+    /// Cycles run before the monitor is armed (cache/kernel warm-up;
+    /// the paper also traces mid-workload).
+    pub warmup_cycles: u64,
+    /// Cycles traced after warm-up.
+    pub measure_cycles: u64,
+    /// Run the paper's network daemon pinned to CPU 1 (the trace-
+    /// shipping perturbation the paper describes in Section 2.1).
+    pub network_daemon: bool,
+}
+
+impl ExperimentConfig {
+    /// A configuration for `workload` with paper-default machine and
+    /// kernel parameters and a short default horizon.
+    pub fn new(workload: WorkloadKind) -> Self {
+        ExperimentConfig {
+            workload,
+            machine: MachineConfig::sgi_4d340(),
+            tuning: OsTuning::default(),
+            warmup_cycles: 40_000_000,
+            measure_cycles: 30_000_000,
+            network_daemon: false,
+        }
+    }
+
+    /// Enables the CPU-1 network daemon.
+    pub fn with_network_daemon(mut self) -> Self {
+        self.network_daemon = true;
+        self
+    }
+
+    /// Overrides the workload randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.tuning.seed = seed;
+        self
+    }
+
+    /// Overrides the measured horizon.
+    pub fn measure(mut self, cycles: u64) -> Self {
+        self.measure_cycles = cycles;
+        self
+    }
+
+    /// Overrides the warm-up length.
+    pub fn warmup(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Overrides the number of CPUs (for the Figure 11 sweep).
+    pub fn cpus(mut self, n: u8) -> Self {
+        self.machine.num_cpus = n;
+        self
+    }
+
+    /// A Section 6 cluster configuration: `num_cpus` CPUs in `clusters`
+    /// clusters with an inter-cluster fill penalty, replicated OS text
+    /// and distributed run queues.
+    pub fn clustered(mut self, num_cpus: u8, clusters: u8, remote_extra: u64) -> Self {
+        self.machine = oscar_machine::MachineConfig::clustered(num_cpus, clusters, remote_extra);
+        self.tuning.clusters = clusters.max(1);
+        self.tuning.replicate_os_text = true;
+        self.tuning.distributed_runq = true;
+        self
+    }
+
+    /// Same machine shape as [`ExperimentConfig::clustered`] but with
+    /// the flat OS (single run queue, unreplicated text) — the baseline
+    /// Section 6 argues against.
+    pub fn clustered_machine_flat_os(
+        mut self,
+        num_cpus: u8,
+        clusters: u8,
+        remote_extra: u64,
+    ) -> Self {
+        self.machine = oscar_machine::MachineConfig::clustered(num_cpus, clusters, remote_extra);
+        self.tuning.clusters = clusters.max(1);
+        self.tuning.replicate_os_text = false;
+        self.tuning.distributed_runq = false;
+        self
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The monitor trace of the measured window.
+    pub trace: Vec<BusRecord>,
+    /// OS ground-truth statistics (measured window only; warm-up stats
+    /// are subtracted where meaningful).
+    pub os_stats: OsStats,
+    /// Per-lock-family statistics (whole run; dominated by the measured
+    /// window).
+    pub lock_stats: Vec<(LockFamily, FamilyStats)>,
+    /// Per-CPU machine counters.
+    pub cpu_counters: Vec<CpuCounters>,
+    /// The kernel symbol table, for the postprocessor.
+    pub layout: Layout,
+    /// The machine configuration used.
+    pub machine_config: MachineConfig,
+    /// First cycle of the measured window.
+    pub measure_start: u64,
+    /// Horizon cycle (end of the measured window).
+    pub measure_end: u64,
+    /// The workload that ran.
+    pub workload: WorkloadKind,
+}
+
+impl RunArtifacts {
+    /// Total remote (inter-cluster) fills across CPUs (cluster mode).
+    pub fn remote_fills(&self) -> u64 {
+        self.cpu_counters.iter().map(|c| c.remote_fills).sum()
+    }
+
+    /// Total fills across CPUs.
+    pub fn total_fills(&self) -> u64 {
+        self.cpu_counters
+            .iter()
+            .map(|c| c.ifetch_fills + c.data_fills)
+            .sum()
+    }
+
+    /// Non-idle cycles over the measured window, from ground truth.
+    pub fn non_idle_cycles(&self) -> u64 {
+        self.os_stats.total_cycles().non_idle()
+    }
+
+    /// Lock statistics for one family.
+    pub fn lock_family(&self, family: LockFamily) -> Option<&FamilyStats> {
+        self.lock_stats
+            .iter()
+            .find(|(f, _)| *f == family)
+            .map(|(_, s)| s)
+    }
+}
+
+/// Runs one experiment to completion.
+///
+/// The run is fully deterministic for a given configuration.
+pub fn run(config: &ExperimentConfig) -> RunArtifacts {
+    run_with(config, config.workload.build())
+}
+
+/// Runs an experiment with an explicitly built workload (for variants
+/// outside [`WorkloadKind`], such as the standard-sized Oracle
+/// database). The `workload` field of `config` still labels the run.
+pub fn run_with(config: &ExperimentConfig, workload: oscar_workloads::Workload) -> RunArtifacts {
+    let mut machine = Machine::with_buffer(config.machine.clone(), BufferMode::Unbounded);
+    let mut os = OsWorld::new(
+        config.machine.num_cpus,
+        config.machine.memory_bytes,
+        config.tuning.clone(),
+    );
+    os.init_page_homes(&mut machine);
+    for task in workload.tasks {
+        os.spawn_initial(task);
+    }
+    if config.network_daemon && config.machine.num_cpus > 1 {
+        os.spawn_initial_pinned(
+            Box::new(oscar_workloads::NetDaemon::default()),
+            oscar_machine::addr::CpuId(1),
+        );
+    }
+
+    // Warm-up: monitor disarmed, stats discarded afterwards.
+    machine.monitor_mut().set_enabled(false);
+    run_until(&mut machine, &mut os, config.warmup_cycles);
+    let measure_start = (0..config.machine.num_cpus)
+        .map(|c| machine.now(CpuId(c)))
+        .max()
+        .unwrap_or(0);
+
+    // Reset the ground-truth window and arm the monitor.
+    let warm_stats = os.stats().clone();
+    machine.monitor_mut().set_enabled(true);
+    os.emit_trace_start(&mut machine);
+    let horizon = measure_start + config.measure_cycles;
+    run_until(&mut machine, &mut os, horizon);
+    machine.monitor_mut().set_enabled(false);
+
+    let os_stats = diff_stats(os.stats(), &warm_stats);
+    let lock_stats = os
+        .locks()
+        .iter_stats()
+        .map(|(f, s)| (f, *s))
+        .collect();
+    let cpu_counters = (0..config.machine.num_cpus)
+        .map(|c| *machine.counters(CpuId(c)))
+        .collect();
+    RunArtifacts {
+        trace: machine.monitor_mut().dump(),
+        os_stats,
+        lock_stats,
+        cpu_counters,
+        layout: os.layout().clone(),
+        machine_config: config.machine.clone(),
+        measure_start,
+        measure_end: horizon,
+        workload: config.workload,
+    }
+}
+
+/// Advances the system until every CPU clock passes `horizon` (or the
+/// workload fully drains).
+fn run_until(machine: &mut Machine, os: &mut OsWorld, horizon: u64) {
+    loop {
+        let cpu = machine.earliest_cpu();
+        if machine.now(cpu) >= horizon {
+            break;
+        }
+        if !os.step(machine, cpu) {
+            break;
+        }
+    }
+}
+
+/// Ground-truth deltas over the measured window.
+fn diff_stats(total: &OsStats, warm: &OsStats) -> OsStats {
+    let mut d = total.clone();
+    for (i, w) in warm.cycles.iter().enumerate() {
+        d.cycles[i].user -= w.user;
+        d.cycles[i].kernel -= w.kernel;
+        d.cycles[i].idle -= w.idle;
+    }
+    d.kernel_misses.instr -= warm.kernel_misses.instr;
+    d.kernel_misses.data -= warm.kernel_misses.data;
+    d.user_misses.instr -= warm.user_misses.instr;
+    d.user_misses.data -= warm.user_misses.data;
+    d.idle_misses.instr -= warm.idle_misses.instr;
+    d.idle_misses.data -= warm.idle_misses.data;
+    for i in 0..d.ops.len() {
+        d.ops[i] -= warm.ops[i];
+    }
+    d.utlb_faults -= warm.utlb_faults;
+    d.dispatches -= warm.dispatches;
+    d.migrations -= warm.migrations;
+    d.escape_reads -= warm.escape_reads;
+    d.escape_cycles -= warm.escape_cycles;
+    d.forks -= warm.forks;
+    d.execs -= warm.execs;
+    d.exits -= warm.exits;
+    d.buffer_hits -= warm.buffer_hits;
+    d.buffer_misses -= warm.buffer_misses;
+    d.disk_reads -= warm.disk_reads;
+    d.disk_writes -= warm.disk_writes;
+    d.demand_zero -= warm.demand_zero;
+    d.cow_copies -= warm.cow_copies;
+    d.pageouts -= warm.pageouts;
+    d.icache_flushes -= warm.icache_flushes;
+    d.clock_interrupts -= warm.clock_interrupts;
+    d.disk_interrupts -= warm.disk_interrupts;
+    d.ipis -= warm.ipis;
+    d.readaheads -= warm.readaheads;
+    d.sginap_calls -= warm.sginap_calls;
+    for k in 0..2 {
+        for s in 0..3 {
+            d.block_ops[k][s].count -= warm.block_ops[k][s].count;
+            d.block_ops[k][s].bytes -= warm.block_ops[k][s].bytes;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(workload: WorkloadKind) -> ExperimentConfig {
+        ExperimentConfig::new(workload)
+            .warmup(200_000)
+            .measure(1_500_000)
+    }
+
+
+    fn warmed(workload: WorkloadKind) -> ExperimentConfig {
+        // Long enough for the workloads to reach steady state (the
+        // Oracle master's 560 KB image exec alone takes several million
+        // cycles of cold disk reads).
+        ExperimentConfig::new(workload)
+            .warmup(55_000_000)
+            .measure(8_000_000)
+    }
+
+    #[test]
+    fn pmake_runs_and_traces() {
+        let art = run(&tiny(WorkloadKind::Pmake));
+        assert!(!art.trace.is_empty(), "trace must not be empty");
+        assert!(art.os_stats.total_cycles().total() > 0);
+        assert!(art.os_stats.ops_of(oscar_os::OpClass::IoSyscall) > 0);
+        // Trace is time-ordered.
+        for w in art.trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&tiny(WorkloadKind::Pmake));
+        let b = run(&tiny(WorkloadKind::Pmake));
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.os_stats.dispatches, b.os_stats.dispatches);
+        assert_eq!(
+            a.os_stats.kernel_misses.total(),
+            b.os_stats.kernel_misses.total()
+        );
+        for (x, y) in a.trace.iter().zip(&b.trace) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn multpgm_exercises_sginap() {
+        let art = run(&warmed(WorkloadKind::Multpgm));
+        assert!(
+            art.os_stats.ops_of(oscar_os::OpClass::Sginap) > 0
+                || art.os_stats.sginap_calls > 0,
+            "user lock contention must trigger sginap"
+        );
+    }
+
+    #[test]
+    fn oracle_exercises_positional_io() {
+        let art = run(&warmed(WorkloadKind::Oracle));
+        assert!(art.os_stats.disk_writes > 0, "redo log must hit the disk");
+        assert!(art.os_stats.ops_of(oscar_os::OpClass::IoSyscall) > 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Small fixed-bin histograms for the distribution figures.
+
+/// A linear-bin histogram over `[0, max)` with an overflow bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    max: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram of `bins` equal bins over `[0, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max == 0`.
+    pub fn linear(max: u64, bins: usize) -> Self {
+        assert!(bins > 0 && max > 0, "degenerate histogram");
+        Histogram {
+            max,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        if v >= self.max {
+            self.overflow += 1;
+        } else {
+            let i = (v * self.bins.len() as u64 / self.max) as usize;
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples beyond `max`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bin_low, bin_high, count, fraction)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, u64, u64, f64)> + '_ {
+        let w = self.max / self.bins.len() as u64;
+        let n = self.count.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as u64 * w, (i as u64 + 1) * w, c, c as f64 / n))
+    }
+
+    /// The value below which `q` of the samples fall (approximate, by
+    /// bin).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let target = (self.count as f64 * q) as u64;
+        let mut acc = 0;
+        let w = self.max / self.bins.len() as u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as u64 + 1) * w;
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_bins() {
+        let mut h = Histogram::linear(100, 10);
+        for v in [0, 5, 15, 95, 100, 250] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.overflow(), 2);
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].2, 2, "0 and 5 fall in the first bin");
+        assert_eq!(rows[1].2, 1, "15 falls in the second bin");
+        assert_eq!(rows[9].2, 1, "95 falls in the last bin");
+    }
+
+    #[test]
+    fn mean_and_quantile() {
+        let mut h = Histogram::linear(1000, 100);
+        for v in 0..100 {
+            h.record(v * 10);
+        }
+        assert!((h.mean() - 495.0).abs() < 1e-9);
+        let med = h.quantile(0.5);
+        assert!((400..=600).contains(&med), "median ≈ 500, got {med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_bins_panics() {
+        let _ = Histogram::linear(10, 0);
+    }
+}

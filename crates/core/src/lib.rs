@@ -1,0 +1,24 @@
+//! # oscar-core
+//!
+//! The paper's measurement methodology: trace decoding, miss
+//! classification, attribution, stall accounting, cache re-simulation
+//! and lock statistics — everything needed to regenerate the tables and
+//! figures of Torrellas, Gupta and Hennessy (ASPLOS 1992).
+
+pub mod analyze;
+pub mod classify;
+pub mod decode;
+pub mod experiment;
+pub mod histogram;
+pub mod csv;
+pub mod report;
+pub mod resim;
+pub mod stall;
+pub mod summary;
+pub mod syncstats;
+pub mod tracefile;
+
+pub use analyze::{analyze, TraceAnalysis};
+pub use experiment::{run, ExperimentConfig, RunArtifacts};
+pub use report::render_all;
+pub use summary::Summary;

@@ -1,0 +1,598 @@
+//! Text rendering of every table and figure in the paper's evaluation.
+//!
+//! Each `render_*` function regenerates one exhibit from a run's
+//! artifacts and analysis; [`render_all`] concatenates the full set.
+//! Values are this reproduction's measurements — EXPERIMENTS.md records
+//! them side by side with the paper's.
+
+use std::fmt::Write as _;
+
+use oscar_os::{LockFamily, OpClass, Rid};
+
+use crate::analyze::{SharingSource, TraceAnalysis};
+use crate::experiment::RunArtifacts;
+use crate::resim::{dcache_sweep, figure6_sweep};
+use crate::stall::{table1_row, table4_row, table6_row, table9_row};
+use crate::syncstats::{table10_row, table12_rows};
+
+fn pct(v: f64) -> String {
+    format!("{v:5.1}")
+}
+
+/// Table 1: workload characteristics.
+pub fn render_table1(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let r = table1_row(art, an);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 1 — characteristics of {}", art.workload);
+    let _ = writeln!(
+        s,
+        "  user {}%  sys {}%  idle {}%",
+        pct(r.user_pct),
+        pct(r.sys_pct),
+        pct(r.idle_pct)
+    );
+    let _ = writeln!(s, "  OS misses / total misses      : {}%", pct(r.os_miss_pct));
+    let _ = writeln!(s, "  appl+OS miss stall / non-idle : {}%", pct(r.stall_all_pct));
+    let _ = writeln!(s, "  OS miss stall / non-idle      : {}%", pct(r.stall_os_pct));
+    let _ = writeln!(
+        s,
+        "  OS + OS-induced stall         : {}%",
+        pct(r.stall_os_induced_pct)
+    );
+    s
+}
+
+/// Figure 1: the basic execution pattern (averages).
+pub fn render_fig1(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 1 — basic pattern, {} (averages)", art.workload);
+    let inv = &an.invocations;
+    let n = inv.count.max(1) as f64;
+    let _ = writeln!(
+        s,
+        "  OS invocation : {:8.0} cycles, {:6.1} I-misses, {:6.1} D-misses  (n={})",
+        inv.cycles as f64 / n,
+        inv.i_misses as f64 / n,
+        inv.d_misses as f64 / n,
+        inv.count
+    );
+    let sp = &an.app_spans;
+    let m = sp.count.max(1) as f64;
+    let _ = writeln!(
+        s,
+        "  application   : {:8.0} cycles, {:6.1} misses, {:5.2} UTLB faults  (n={})",
+        sp.user_cycles as f64 / m,
+        sp.misses as f64 / m,
+        sp.utlb_faults as f64 / m,
+        sp.count
+    );
+    let u = &an.utlb;
+    let k = u.count.max(1) as f64;
+    let _ = writeln!(
+        s,
+        "  UTLB fault    : {:8.0} cycles, {:6.2} misses per fault  (n={})",
+        u.cycles as f64 / k,
+        u.misses as f64 / k,
+        u.count
+    );
+    let gap = an.window_cycles as f64 * art.machine_config.num_cpus as f64 / n;
+    let _ = writeln!(
+        s,
+        "  OS invoked once every {:.2} ms of CPU time",
+        gap * 30.0e-6
+    );
+    s
+}
+
+/// Figure 2: frequency of OS operations (excluding UTLB faults).
+pub fn render_fig2(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 2 — OS operation mix, {} (excluding UTLB faults)",
+        art.workload
+    );
+    let total: u64 = OpClass::ALL
+        .iter()
+        .filter(|c| **c != OpClass::UtlbFault)
+        .map(|c| an.ops_seen[c.code() as usize])
+        .sum();
+    for c in OpClass::ALL {
+        if c == OpClass::UtlbFault {
+            continue;
+        }
+        let n = an.ops_seen[c.code() as usize];
+        let _ = writeln!(
+            s,
+            "  {:14} {:7}  {}%",
+            c.label(),
+            n,
+            pct(100.0 * n as f64 / total.max(1) as f64)
+        );
+    }
+    s
+}
+
+/// Figure 3: distributions per OS invocation.
+pub fn render_fig3(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 3 — OS invocation distributions, {}", art.workload);
+    for (name, h) in [
+        ("I-misses", &an.invocations.hist_i),
+        ("D-misses", &an.invocations.hist_d),
+        ("cycles", &an.invocations.hist_cycles),
+    ] {
+        let _ = writeln!(
+            s,
+            "  {name}: mean {:.1}, median ≈ {}, overflow {}",
+            h.mean(),
+            h.quantile(0.5),
+            h.overflow()
+        );
+        for (lo, hi, n, frac) in h.rows() {
+            if n > 0 {
+                let bar = "#".repeat(((frac * 200.0) as usize).clamp(1, 60));
+                let _ = writeln!(s, "    [{lo:6}..{hi:6}) {n:6} {bar}");
+            }
+        }
+    }
+    s
+}
+
+fn render_class_chart(
+    title: &str,
+    counts: &crate::classify::ClassCounts,
+    os_total: u64,
+) -> String {
+    let mut s = String::new();
+    let t = os_total.max(1) as f64;
+    let _ = writeln!(s, "{title} (as % of all OS misses)");
+    for (name, v) in [
+        ("cold", counts.cold),
+        ("disp-os", counts.disp_os),
+        ("disp-ap", counts.disp_ap),
+        ("sharing", counts.sharing),
+        ("inval", counts.inval),
+    ] {
+        let _ = writeln!(s, "    {:10} {:8}  {}%", name, v, pct(100.0 * v as f64 / t));
+    }
+    let _ = writeln!(
+        s,
+        "    dispossame / disp-os = {}%",
+        pct(100.0 * counts.disp_os_same as f64 / counts.disp_os.max(1) as f64)
+    );
+    s
+}
+
+/// Figure 4: classification of OS instruction misses.
+pub fn render_fig4(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = format!("Figure 4 — OS instruction misses, {}\n", art.workload);
+    s += &render_class_chart("  I-miss classes", &an.os.instr, an.os.total());
+    let _ = writeln!(
+        s,
+        "  instruction misses = {}% of all OS misses",
+        pct(100.0 * an.os.instr.total() as f64 / an.os.total().max(1) as f64)
+    );
+    s
+}
+
+/// Figure 5: self-interference I-misses by kernel-text location.
+pub fn render_fig5(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 5 — Dispos I-misses by OS routine location, {} (x in 64KB multiples)",
+        art.workload
+    );
+    let max = an.dispos_i_bins_1k.iter().copied().max().unwrap_or(1).max(1);
+    for (kb, &n) in an.dispos_i_bins_1k.iter().enumerate() {
+        if n * 50 > max {
+            let bar = "#".repeat(((n * 50 / max) as usize).max(1));
+            let _ = writeln!(s, "  {:6.2} {:8} {}", kb as f64 / 64.0, n, bar);
+        }
+    }
+    let mut top: Vec<(Rid, u64)> = an
+        .dispos_i_by_routine
+        .iter()
+        .map(|(r, n)| (*r, *n))
+        .collect();
+    top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    let _ = writeln!(s, "  top routines:");
+    for (r, n) in top.into_iter().take(8) {
+        let _ = writeln!(s, "    {:18} {:8}", r.name(), n);
+    }
+    s
+}
+
+/// Figure 6: I-cache size/associativity sweep.
+pub fn render_fig6(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 6 — OS I-miss rate vs I-cache geometry, {} (relative to 64KB DM)",
+        art.workload
+    );
+    let points = figure6_sweep(&an.istream, art.machine_config.num_cpus as usize);
+    let base = points
+        .iter()
+        .find(|p| p.size_bytes == 64 * 1024 && p.assoc == 1)
+        .map(|p| p.os_misses)
+        .unwrap_or(1)
+        .max(1) as f64;
+    for p in &points {
+        let _ = writeln!(
+            s,
+            "  {:5} KB {}-way : {:6.3}   (inval floor {:6.3})",
+            p.size_bytes / 1024,
+            p.assoc,
+            p.os_misses as f64 / base,
+            p.os_inval_misses as f64 / base
+        );
+    }
+    s
+}
+
+/// Section 4.2.2's D-cache argument: larger data caches cannot remove
+/// sharing misses. Replays the data-miss stream into growing caches.
+pub fn render_dcache_sweep(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Section 4.2.2 — OS data misses vs D-cache size, {} (relative to 256KB DM)",
+        art.workload
+    );
+    let points = dcache_sweep(&an.dstream, art.machine_config.num_cpus as usize);
+    let base = points.first().map(|p| p.os_misses.max(1)).unwrap_or(1) as f64;
+    for p in &points {
+        let _ = writeln!(
+            s,
+            "  {:5} KB : {:6.3}   (sharing floor {:6.3})",
+            p.size_bytes / 1024,
+            p.os_misses as f64 / base,
+            p.os_sharing_misses as f64 / base
+        );
+    }
+    s
+}
+
+/// Figure 7: classification of OS data misses.
+pub fn render_fig7(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = format!("Figure 7 — OS data misses, {}\n", art.workload);
+    s += &render_class_chart("  D-miss classes", &an.os.data, an.os.total());
+    s
+}
+
+/// Table 3: the structure inventory (sizes come from the layout).
+pub fn render_table3(art: &RunArtifacts) -> String {
+    use oscar_os::layout::sizes;
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 3 — kernel data structures (bytes)");
+    for (name, size) in [
+        ("Kernel Stack (per process)", sizes::KERNEL_STACK),
+        ("PCB section of User Structure", sizes::PCB),
+        ("Eframe section of User Structure", sizes::EFRAME),
+        ("Rest of User Structure", sizes::U_REST),
+        ("Process Table", sizes::NPROC * sizes::PROC_ENTRY),
+        ("Pfdat (page descriptors)", {
+            let (_, len) = art.layout.pfdat_region();
+            len
+        }),
+        ("Buffer headers", sizes::NBUF * sizes::BUF_HDR),
+        ("Inode table", sizes::NINODE * sizes::INODE),
+        ("Run queue head", sizes::RUNQ_HEAD),
+        ("FreePgBuck", sizes::FREE_PG_BUCK),
+    ] {
+        let _ = writeln!(s, "  {name:34} {size:8}");
+    }
+    s
+}
+
+/// Figure 8: sharing misses by data structure.
+pub fn render_fig8(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 8 — sharing misses by structure, {}", art.workload);
+    let total: u64 = an.sharing_by_source.values().sum();
+    let mut rows: Vec<(&SharingSource, &u64)> = an.sharing_by_source.iter().collect();
+    rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+    for (src, n) in rows {
+        let p = 100.0 * *n as f64 / total.max(1) as f64;
+        if p >= 0.5 {
+            let _ = writeln!(s, "  {:18} {:8}  {}%", src.label(), n, pct(p));
+        }
+    }
+    s
+}
+
+/// Table 4: migration misses.
+pub fn render_table4(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let r = table4_row(art, an);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 4 — migration data misses, {}", art.workload);
+    let _ = writeln!(s, "  kernel stack : {}% of OS D-misses", pct(r.kernel_stack_pct));
+    let _ = writeln!(s, "  user struct  : {}%", pct(r.user_struct_pct));
+    let _ = writeln!(s, "  process table: {}%", pct(r.proc_table_pct));
+    let _ = writeln!(s, "  total        : {}%", pct(r.total_pct));
+    let _ = writeln!(s, "  stall / non-idle = {}%", pct(r.stall_pct));
+    s
+}
+
+/// Table 5: migration misses by operation.
+pub fn render_table5(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let m = &an.migration_by_op;
+    let t = m.total().max(1) as f64;
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 5 — migration misses by operation, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "  run-queue management           : {}%",
+        pct(100.0 * m.runq as f64 / t)
+    );
+    let _ = writeln!(
+        s,
+        "  low-level exception handling   : {}%",
+        pct(100.0 * m.low_level as f64 / t)
+    );
+    let _ = writeln!(
+        s,
+        "  read/write recognition & setup : {}%",
+        pct(100.0 * m.rw_setup as f64 / t)
+    );
+    let _ = writeln!(
+        s,
+        "  total of the three             : {}%",
+        pct(100.0 * (m.runq + m.low_level + m.rw_setup) as f64 / t)
+    );
+    s
+}
+
+/// Table 6: block-operation misses.
+pub fn render_table6(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let r = table6_row(art, an);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 6 — block-operation data misses, {}", art.workload);
+    let _ = writeln!(s, "  block copy          : {}% of OS D-misses", pct(r.copy_pct));
+    let _ = writeln!(s, "  block clear         : {}%", pct(r.clear_pct));
+    let _ = writeln!(s, "  descriptor traversal: {}%", pct(r.traversal_pct));
+    let _ = writeln!(s, "  total               : {}%", pct(r.total_pct));
+    let _ = writeln!(s, "  stall / non-idle = {}%", pct(r.stall_pct));
+    s
+}
+
+/// Table 7: sizes of blocks copied/cleared.
+pub fn render_table7(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 7 — block-operation sizes, {}", art.workload);
+    let names = ["full page", "regular fragment", "irregular chunk"];
+    for (k, op) in ["copy", "clear"].iter().enumerate() {
+        let total: u64 = an.block_op_sizes[k].iter().sum();
+        for (i, name) in names.iter().enumerate() {
+            let n = an.block_op_sizes[k][i];
+            let _ = writeln!(
+                s,
+                "  {:5} {:17} {:7}  {}%",
+                op,
+                name,
+                n,
+                pct(100.0 * n as f64 / total.max(1) as f64)
+            );
+        }
+    }
+    s
+}
+
+/// Figure 9: OS misses by high-level operation.
+pub fn render_fig9(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Figure 9 — OS misses by operation, {} (% of all OS misses)",
+        art.workload
+    );
+    let total = an.os.total().max(1) as f64;
+    let _ = writeln!(s, "  {:16} {:>7} {:>7}", "operation", "data", "instr");
+    for c in OpClass::ALL {
+        let (i, d) = an.os_by_op[c.code() as usize];
+        let _ = writeln!(
+            s,
+            "  {:16} {:>6}% {:>6}%",
+            c.label(),
+            pct(100.0 * d as f64 / total),
+            pct(100.0 * i as f64 / total)
+        );
+    }
+    s
+}
+
+/// Table 9: stall-time decomposition.
+pub fn render_table9(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let r = table9_row(art, an);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 9 — OS miss stall components, {}", art.workload);
+    let _ = writeln!(s, "  total OS misses    : {}% of non-idle", pct(r.total_os_pct));
+    let _ = writeln!(s, "  instruction misses : {}%", pct(r.instr_pct));
+    let _ = writeln!(s, "  migration D-misses : {}%", pct(r.migration_pct));
+    let _ = writeln!(s, "  block-op D-misses  : {}%", pct(r.blockop_pct));
+    let _ = writeln!(s, "  rest of OS misses  : {}%", pct(r.rest_pct));
+    s
+}
+
+/// Figure 10: application misses induced by the OS.
+pub fn render_fig10(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 10 — OS-induced application misses, {}", art.workload);
+    let total = an.app.total().max(1) as f64;
+    let ap_i = an.app.instr.disp_os;
+    let ap_d = an.app.data.disp_os;
+    let _ = writeln!(
+        s,
+        "  Ap_dispos I: {}%   Ap_dispos D: {}%   total: {}% of application misses",
+        pct(100.0 * ap_i as f64 / total),
+        pct(100.0 * ap_d as f64 / total),
+        pct(100.0 * (ap_i + ap_d) as f64 / total)
+    );
+    s
+}
+
+/// Table 10: synchronization stall time.
+pub fn render_table10(art: &RunArtifacts) -> String {
+    let r = table10_row(art);
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 10 — OS synchronization stall, {}", art.workload);
+    let _ = writeln!(s, "  current machine (sync bus)  : {}%", pct(r.current_pct));
+    let _ = writeln!(s, "  atomic RMW, cacheable locks : {}%", pct(r.llsc_pct));
+    s
+}
+
+/// Table 11: the lock inventory.
+pub fn render_table11() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 11 — most frequently acquired locks");
+    for f in LockFamily::ALL {
+        if f.is_kernel() {
+            let _ = writeln!(s, "  {:10} {}", f.label(), f.function());
+        }
+    }
+    s
+}
+
+/// Table 12: per-lock characteristics.
+pub fn render_table12(art: &RunArtifacts) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 12 — lock characteristics, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "  {:10} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9}",
+        "lock", "acquires", "kcyc/acq", "fail%", "waiters", "samecpu%", "c/u%"
+    );
+    for r in table12_rows(art) {
+        let _ = writeln!(
+            s,
+            "  {:10} {:>8} {:>9.1} {:>8.1} {:>8.2} {:>9.1} {:>9.0}",
+            r.family.label(),
+            r.acquires,
+            r.kcycles_between_acquires,
+            r.failed_pct,
+            r.waiters_if_any,
+            r.same_cpu_pct,
+            r.cached_over_uncached_pct
+        );
+    }
+    s
+}
+
+/// Companion-report appendix: application invocation distributions and
+/// OS I-misses by subsystem (the paper defers these to its technical
+/// report [18]).
+pub fn render_appendix(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Appendix — application invocation distributions, {}",
+        art.workload
+    );
+    for (name, h) in [
+        ("user cycles", &an.app_spans.hist_cycles),
+        ("misses", &an.app_spans.hist_misses),
+    ] {
+        let _ = writeln!(
+            s,
+            "  {name}: mean {:.0}, median ≈ {}, overflow {}",
+            h.mean(),
+            h.quantile(0.5),
+            h.overflow()
+        );
+    }
+    let _ = writeln!(s, "Appendix — OS instruction misses by subsystem");
+    let total: u64 = an.os_i_by_subsystem.values().sum();
+    let mut rows: Vec<_> = an.os_i_by_subsystem.iter().collect();
+    rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
+    for (sub, n) in rows {
+        let _ = writeln!(
+            s,
+            "  {:10} {:8}  {}%",
+            format!("{sub:?}"),
+            n,
+            pct(100.0 * *n as f64 / total.max(1) as f64)
+        );
+    }
+    s
+}
+
+/// The reproduction summary with paper bands.
+pub fn render_summary(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    crate::summary::Summary::new(art, an).to_string()
+}
+
+/// The full report for one run.
+pub fn render_all(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "================ {} ({} cycles measured, {} trace records) ================",
+        art.workload,
+        art.measure_end - art.measure_start,
+        art.trace.len()
+    );
+    s += &render_table1(art, an);
+    s += &render_fig1(art, an);
+    s += &render_fig2(art, an);
+    s += &render_fig3(art, an);
+    s += &render_fig4(art, an);
+    s += &render_fig5(art, an);
+    s += &render_fig6(art, an);
+    s += &render_fig7(art, an);
+    s += &render_dcache_sweep(art, an);
+    s += &render_table3(art);
+    s += &render_fig8(art, an);
+    s += &render_table4(art, an);
+    s += &render_table5(art, an);
+    s += &render_table6(art, an);
+    s += &render_table7(art, an);
+    s += &render_fig9(art, an);
+    s += &render_table9(art, an);
+    s += &render_fig10(art, an);
+    s += &render_table10(art);
+    s += &render_table11();
+    s += &render_table12(art);
+    s += &render_appendix(art, an);
+    s += &render_summary(art, an);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::experiment::{run, ExperimentConfig};
+    use oscar_workloads::WorkloadKind;
+
+    #[test]
+    fn full_report_renders_every_exhibit() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(4_000_000));
+        let an = analyze(&art);
+        let r = render_all(&art, &an);
+        for needle in [
+            "Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "Figure 6", "Figure 7", "Table 3", "Figure 8", "Table 4", "Table 5",
+            "Table 6", "Table 7", "Figure 9", "Table 9", "Figure 10", "Table 10",
+            "Table 11", "Table 12",
+        ] {
+            assert!(r.contains(needle), "missing {needle}");
+        }
+        assert!(r.contains("Runqlk"));
+        assert!(r.contains("64 KB") || r.contains("   64 KB"));
+    }
+
+    #[test]
+    fn table11_lists_the_paper_locks() {
+        let t = render_table11();
+        for lock in [
+            "Memlock", "Runqlk", "Ifree", "Dfbmaplk", "Bfreelock", "Calock",
+            "Shr_x", "Streams_x", "Ino_x", "Semlock",
+        ] {
+            assert!(t.contains(lock), "missing {lock}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Stall-time accounting (Tables 1 and 9).
+//!
+//! As in the paper, each bus access is assumed to stall the CPU for 35
+//! cycles (slightly over the zero-contention memory latency), and stall
+//! time is compared against non-idle execution time.
+
+use crate::analyze::TraceAnalysis;
+use crate::experiment::RunArtifacts;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// User time, % of total.
+    pub user_pct: f64,
+    /// System time, % of total.
+    pub sys_pct: f64,
+    /// Idle time, % of total.
+    pub idle_pct: f64,
+    /// OS misses / total misses, %.
+    pub os_miss_pct: f64,
+    /// Application + OS miss stall / non-idle time, %.
+    pub stall_all_pct: f64,
+    /// OS miss stall / non-idle time, %.
+    pub stall_os_pct: f64,
+    /// OS + OS-induced miss stall / non-idle time, %.
+    pub stall_os_induced_pct: f64,
+}
+
+/// One row of Table 9 (stall-time decomposition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table9Row {
+    /// Total OS miss stall, % of non-idle.
+    pub total_os_pct: f64,
+    /// OS instruction misses.
+    pub instr_pct: f64,
+    /// Migration data misses.
+    pub migration_pct: f64,
+    /// Block-operation data misses.
+    pub blockop_pct: f64,
+    /// Remaining OS misses.
+    pub rest_pct: f64,
+}
+
+/// Computes Table 1's row for a run.
+pub fn table1_row(art: &RunArtifacts, an: &TraceAnalysis) -> Table1Row {
+    let penalty = art.machine_config.bus_fill_cycles as f64;
+    let total: f64 = an.total_cycles() as f64;
+    let non_idle = an.non_idle_cycles().max(1) as f64;
+    let user: f64 = an.cpu_cycles.iter().map(|c| c.user).sum::<u64>() as f64;
+    let sys: f64 = an.cpu_cycles.iter().map(|c| c.kernel).sum::<u64>() as f64;
+    let idle: f64 = an.cpu_cycles.iter().map(|c| c.idle).sum::<u64>() as f64;
+    let os_misses = an.os.total() as f64;
+    let app_misses = an.app.total() as f64;
+    let induced = (an.app.instr.disp_os + an.app.data.disp_os) as f64;
+    Table1Row {
+        user_pct: 100.0 * user / total,
+        sys_pct: 100.0 * sys / total,
+        idle_pct: 100.0 * idle / total,
+        os_miss_pct: 100.0 * os_misses / (os_misses + app_misses).max(1.0),
+        stall_all_pct: 100.0 * (os_misses + app_misses) * penalty / non_idle,
+        stall_os_pct: 100.0 * os_misses * penalty / non_idle,
+        stall_os_induced_pct: 100.0 * (os_misses + induced) * penalty / non_idle,
+    }
+}
+
+/// Computes Table 9's row for a run.
+pub fn table9_row(art: &RunArtifacts, an: &TraceAnalysis) -> Table9Row {
+    let penalty = art.machine_config.bus_fill_cycles as f64;
+    let non_idle = an.non_idle_cycles().max(1) as f64;
+    let pct = |misses: u64| 100.0 * misses as f64 * penalty / non_idle;
+    let total = an.os.total();
+    let instr = an.os.instr.total();
+    let migration: u64 = an.migration_by_region.values().sum();
+    let blockop = an.blockop_d.total();
+    let rest = total
+        .saturating_sub(instr)
+        .saturating_sub(migration)
+        .saturating_sub(blockop);
+    Table9Row {
+        total_os_pct: pct(total),
+        instr_pct: pct(instr),
+        migration_pct: pct(migration),
+        blockop_pct: pct(blockop),
+        rest_pct: pct(rest),
+    }
+}
+
+/// Table 4's summary: migration data misses as % of OS data misses,
+/// per contributing structure, plus stall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Kernel-stack share, % of OS data misses.
+    pub kernel_stack_pct: f64,
+    /// User-structure share (PCB + eframe + rest).
+    pub user_struct_pct: f64,
+    /// Process-table share.
+    pub proc_table_pct: f64,
+    /// Total migration share.
+    pub total_pct: f64,
+    /// Migration D-miss stall / non-idle, %.
+    pub stall_pct: f64,
+}
+
+/// Computes Table 4's row.
+pub fn table4_row(art: &RunArtifacts, an: &TraceAnalysis) -> Table4Row {
+    use oscar_os::KernelRegion as R;
+    let penalty = art.machine_config.bus_fill_cycles as f64;
+    let non_idle = an.non_idle_cycles().max(1) as f64;
+    let d_total = an.os.data.total().max(1) as f64;
+    let get = |r: R| an.migration_by_region.get(&r).copied().unwrap_or(0);
+    let kstack = get(R::KernelStack);
+    let ustruct = get(R::Pcb) + get(R::Eframe) + get(R::URest);
+    let ptab = get(R::ProcTable);
+    let total = kstack + ustruct + ptab;
+    Table4Row {
+        kernel_stack_pct: 100.0 * kstack as f64 / d_total,
+        user_struct_pct: 100.0 * ustruct as f64 / d_total,
+        proc_table_pct: 100.0 * ptab as f64 / d_total,
+        total_pct: 100.0 * total as f64 / d_total,
+        stall_pct: 100.0 * total as f64 * penalty / non_idle,
+    }
+}
+
+/// Table 6's summary: block-operation data misses as % of OS data
+/// misses, plus stall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table6Row {
+    /// Block copy, % of OS data misses.
+    pub copy_pct: f64,
+    /// Block clear.
+    pub clear_pct: f64,
+    /// Descriptor traversal.
+    pub traversal_pct: f64,
+    /// Total.
+    pub total_pct: f64,
+    /// Block-op D-miss stall / non-idle, %.
+    pub stall_pct: f64,
+}
+
+/// Computes Table 6's row.
+pub fn table6_row(art: &RunArtifacts, an: &TraceAnalysis) -> Table6Row {
+    let penalty = art.machine_config.bus_fill_cycles as f64;
+    let non_idle = an.non_idle_cycles().max(1) as f64;
+    let d_total = an.os.data.total().max(1) as f64;
+    let b = an.blockop_d;
+    Table6Row {
+        copy_pct: 100.0 * b.copy as f64 / d_total,
+        clear_pct: 100.0 * b.clear as f64 / d_total,
+        traversal_pct: 100.0 * b.pfdat_scan as f64 / d_total,
+        total_pct: 100.0 * b.total() as f64 / d_total,
+        stall_pct: 100.0 * b.total() as f64 * penalty / non_idle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::experiment::{run, ExperimentConfig};
+    use oscar_workloads::WorkloadKind;
+
+    fn quick() -> (RunArtifacts, TraceAnalysis) {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(3_000_000)
+            .measure(5_000_000));
+        let an = analyze(&art);
+        (art, an)
+    }
+
+    #[test]
+    fn table1_percentages_are_consistent() {
+        let (art, an) = quick();
+        let r = table1_row(&art, &an);
+        let sum = r.user_pct + r.sys_pct + r.idle_pct;
+        assert!((sum - 100.0).abs() < 1.0, "time split sums to 100, got {sum}");
+        assert!(r.stall_os_pct <= r.stall_all_pct);
+        assert!(r.stall_os_pct <= r.stall_os_induced_pct);
+        assert!(r.os_miss_pct > 0.0 && r.os_miss_pct < 100.0);
+    }
+
+    #[test]
+    fn table9_components_sum_to_total() {
+        let (art, an) = quick();
+        let r = table9_row(&art, &an);
+        let sum = r.instr_pct + r.migration_pct + r.blockop_pct + r.rest_pct;
+        assert!(
+            (sum - r.total_os_pct).abs() < 0.5,
+            "components {sum} vs total {}",
+            r.total_os_pct
+        );
+    }
+
+    #[test]
+    fn table4_total_is_sum_of_structures() {
+        let (art, an) = quick();
+        let r = table4_row(&art, &an);
+        let sum = r.kernel_stack_pct + r.user_struct_pct + r.proc_table_pct;
+        assert!((sum - r.total_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table6_total_is_sum_of_ops() {
+        let (art, an) = quick();
+        let r = table6_row(&art, &an);
+        let sum = r.copy_pct + r.clear_pct + r.traversal_pct;
+        assert!((sum - r.total_pct).abs() < 1e-9);
+        assert!(r.total_pct > 0.0, "Pmake does block operations");
+    }
+}

@@ -1,0 +1,184 @@
+//! A compact reproduction summary: the paper's headline quantities for
+//! one run, each with the band the paper reports, and a verdict on
+//! whether the measured value lands in (or near) it.
+//!
+//! This is what a downstream user checks first after changing the
+//! kernel, the workloads or the machine: did the reproduction's shape
+//! survive?
+
+use std::fmt;
+
+use oscar_os::LockFamily;
+
+use crate::analyze::TraceAnalysis;
+use crate::experiment::RunArtifacts;
+use crate::stall::{table1_row, table9_row};
+use crate::syncstats::table10_row;
+
+/// Verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Inside the paper's reported band.
+    InBand,
+    /// Outside the band but within 2× of its nearer edge — the expected
+    /// territory for a scaled synthetic reproduction.
+    Near,
+    /// More than 2× off; the shape did not reproduce.
+    Off,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::InBand => "in-band",
+            Verdict::Near => "near",
+            Verdict::Off => "OFF",
+        })
+    }
+}
+
+/// One summarized metric.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name.
+    pub name: &'static str,
+    /// Measured value.
+    pub value: f64,
+    /// The paper's band (across its three workloads unless noted).
+    pub band: (f64, f64),
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+fn judge(value: f64, band: (f64, f64)) -> Verdict {
+    if value >= band.0 && value <= band.1 {
+        Verdict::InBand
+    } else {
+        let edge = if value < band.0 { band.0 } else { band.1 };
+        let ratio = if value > edge {
+            value / edge.max(1e-9)
+        } else {
+            edge / value.max(1e-9)
+        };
+        if ratio <= 2.0 {
+            Verdict::Near
+        } else {
+            Verdict::Off
+        }
+    }
+}
+
+fn metric(name: &'static str, value: f64, band: (f64, f64)) -> Metric {
+    Metric {
+        name,
+        value,
+        band,
+        verdict: judge(value, band),
+    }
+}
+
+/// The reproduction summary for one run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The workload summarized.
+    pub workload: &'static str,
+    /// The metrics, in report order.
+    pub metrics: Vec<Metric>,
+}
+
+impl Summary {
+    /// Builds the summary from a run and its analysis.
+    pub fn new(art: &RunArtifacts, an: &TraceAnalysis) -> Self {
+        let t1 = table1_row(art, an);
+        let t9 = table9_row(art, an);
+        let t10 = table10_row(art);
+        let i_share = 100.0 * an.os.instr.total() as f64 / an.os.total().max(1) as f64;
+        let ap_dispos = 100.0 * (an.app.instr.disp_os + an.app.data.disp_os) as f64
+            / an.app.total().max(1) as f64;
+        let runqlk_fail = art
+            .lock_family(LockFamily::Runqlk)
+            .map(|s| 100.0 * s.failed_fraction())
+            .unwrap_or(0.0);
+        let metrics = vec![
+            metric("os_stall_pct_non_idle", t1.stall_os_pct, (16.6, 21.5)),
+            metric(
+                "os_plus_induced_stall_pct",
+                t1.stall_os_induced_pct,
+                (24.9, 26.8),
+            ),
+            metric("os_miss_share_pct", t1.os_miss_pct, (26.6, 52.6)),
+            metric("os_instr_miss_share_pct", i_share, (40.0, 65.0)),
+            metric("instr_stall_pct", t9.instr_pct, (9.2, 10.9)),
+            metric("migration_stall_pct", t9.migration_pct, (1.0, 4.2)),
+            metric("blockop_stall_pct", t9.blockop_pct, (0.6, 6.2)),
+            metric("ap_dispos_share_pct", ap_dispos, (22.0, 27.0)),
+            metric("sync_stall_syncbus_pct", t10.current_pct, (4.2, 4.7)),
+            metric("sync_stall_llsc_pct", t10.llsc_pct, (0.7, 1.1)),
+            metric("runqlk_failed_pct", runqlk_fail, (13.7, 13.7)),
+        ];
+        Summary {
+            workload: art.workload.label(),
+            metrics,
+        }
+    }
+
+    /// Number of metrics that landed in-band or near it.
+    pub fn in_or_near(&self) -> usize {
+        self.metrics
+            .iter()
+            .filter(|m| m.verdict != Verdict::Off)
+            .count()
+    }
+
+    /// Whether the reproduction's overall shape holds (at most two
+    /// metrics fully off-band).
+    pub fn shape_holds(&self) -> bool {
+        self.metrics.len() - self.in_or_near() <= 3
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Reproduction summary — {}", self.workload)?;
+        for m in &self.metrics {
+            writeln!(
+                f,
+                "  {:28} {:8.2}  (paper {:5.1}..{:5.1})  {}",
+                m.name, m.value, m.band.0, m.band.1, m.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::experiment::{run, ExperimentConfig};
+    use oscar_workloads::WorkloadKind;
+
+    #[test]
+    fn judging_bands() {
+        assert_eq!(judge(10.0, (5.0, 15.0)), Verdict::InBand);
+        assert_eq!(judge(4.0, (5.0, 15.0)), Verdict::Near);
+        assert_eq!(judge(31.0, (5.0, 15.0)), Verdict::Off);
+        assert_eq!(judge(2.4, (5.0, 15.0)), Verdict::Off);
+    }
+
+    #[test]
+    fn pmake_shape_holds() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(45_000_000)
+            .measure(10_000_000));
+        let an = analyze(&art);
+        let s = Summary::new(&art, &an);
+        assert_eq!(s.metrics.len(), 11);
+        assert!(
+            s.shape_holds(),
+            "too many off-band metrics:\n{s}"
+        );
+        let text = s.to_string();
+        assert!(text.contains("os_stall_pct_non_idle"));
+    }
+}

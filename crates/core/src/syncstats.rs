@@ -1,0 +1,172 @@
+//! Synchronization statistics (Section 5: Tables 10, 11, 12 and
+//! Figure 11).
+//!
+//! Lock accesses ride the synchronization bus, invisible to the monitor;
+//! like the paper, these statistics come from the OS's own counters
+//! (the paper exports them through pages mapped into a user process).
+//! Table 10's second scenario — cacheable locks with load-linked /
+//! store-conditional — uses the per-lock cache-line simulation kept by
+//! the lock table.
+
+use oscar_os::{FamilyStats, LockFamily};
+
+use crate::experiment::RunArtifacts;
+
+/// Table 10: stall time caused by OS synchronization accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table10Row {
+    /// Current machine (uncached sync-bus protocol), % of non-idle.
+    pub current_pct: f64,
+    /// Simulated atomic RMW + cacheable locks, % of non-idle.
+    pub llsc_pct: f64,
+}
+
+/// Computes Table 10's row for a run.
+pub fn table10_row(art: &RunArtifacts) -> Table10Row {
+    let non_idle = art.os_stats.total_cycles().non_idle().max(1) as f64;
+    // Sync-bus stall comes from the machine's per-CPU counters; the
+    // kernel share is approximated by the kernel fraction of sync ops.
+    let total_sync_stall: u64 = art.cpu_counters.iter().map(|c| c.sync_stall).sum();
+    let total_sync_ops: u64 = art.cpu_counters.iter().map(|c| c.sync_ops).sum();
+    let kernel_ops: u64 = art
+        .lock_stats
+        .iter()
+        .filter(|(f, _)| f.is_kernel())
+        .map(|(_, s)| s.sync_ops)
+        .sum();
+    let kernel_frac = kernel_ops as f64 / total_sync_ops.max(1) as f64;
+    let kernel_llsc: u64 = art
+        .lock_stats
+        .iter()
+        .filter(|(f, _)| f.is_kernel())
+        .map(|(_, s)| s.llsc_misses)
+        .sum();
+    let penalty = art.machine_config.bus_fill_cycles as f64;
+    Table10Row {
+        current_pct: 100.0 * total_sync_stall as f64 * kernel_frac / non_idle,
+        llsc_pct: 100.0 * kernel_llsc as f64 * penalty / non_idle,
+    }
+}
+
+/// One row of Table 12 (per-lock characteristics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table12Row {
+    /// The lock family.
+    pub family: LockFamily,
+    /// Thousands of cycles between consecutive successful acquires.
+    pub kcycles_between_acquires: f64,
+    /// % of acquire operations whose first attempt failed.
+    pub failed_pct: f64,
+    /// Mean number of waiters at release, when any.
+    pub waiters_if_any: f64,
+    /// % of acquires by the same CPU as the previous one with no
+    /// intervening attempt.
+    pub same_cpu_pct: f64,
+    /// Misses under the cacheable protocol / sync-bus operations, %.
+    pub cached_over_uncached_pct: f64,
+    /// Successful acquires (context for the rates).
+    pub acquires: u64,
+}
+
+fn row(family: LockFamily, s: &FamilyStats) -> Table12Row {
+    Table12Row {
+        family,
+        kcycles_between_acquires: s.mean_gap().unwrap_or(0.0) / 1000.0,
+        failed_pct: 100.0 * s.failed_fraction(),
+        waiters_if_any: s.mean_waiters().unwrap_or(1.0),
+        same_cpu_pct: 100.0 * s.locality(),
+        cached_over_uncached_pct: 100.0 * s.cached_over_uncached(),
+        acquires: s.acquires,
+    }
+}
+
+/// Computes Table 12: kernel lock families ordered by acquire
+/// frequency (most frequent first), dropping untouched families.
+pub fn table12_rows(art: &RunArtifacts) -> Vec<Table12Row> {
+    let mut rows: Vec<Table12Row> = art
+        .lock_stats
+        .iter()
+        .filter(|(f, s)| f.is_kernel() && s.acquires > 0)
+        .map(|(f, s)| row(*f, s))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.acquires));
+    rows
+}
+
+/// One series point of Figure 11: failed acquires per millisecond for a
+/// lock family at a given CPU count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Point {
+    /// Number of CPUs in the run.
+    pub cpus: u8,
+    /// The lock family.
+    pub family: LockFamily,
+    /// Failed first attempts per millisecond of (total, idle-inclusive)
+    /// time, as in the paper's figure.
+    pub failed_per_ms: f64,
+}
+
+/// Extracts Figure 11 points for the most contended families of a run.
+pub fn fig11_points(art: &RunArtifacts, cpus: u8) -> Vec<Fig11Point> {
+    // Total wall time including idle, per the paper's note.
+    let wall_cycles = (art.measure_end - art.measure_start).max(1);
+    let ms = wall_cycles as f64 * 30.0e-6; // 30 ns per cycle at 33 MHz
+    art.lock_stats
+        .iter()
+        .filter(|(f, _)| f.is_kernel())
+        .map(|(f, s)| Fig11Point {
+            cpus,
+            family: *f,
+            failed_per_ms: s.failed_first as f64 / ms,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run, ExperimentConfig};
+    use oscar_workloads::WorkloadKind;
+
+    fn quick() -> RunArtifacts {
+        run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(3_000_000)
+            .measure(5_000_000))
+    }
+
+    #[test]
+    fn llsc_scenario_is_much_cheaper() {
+        let art = quick();
+        let r = table10_row(&art);
+        assert!(r.current_pct > 0.0);
+        assert!(
+            r.llsc_pct < r.current_pct,
+            "cacheable locks must cost less: {} vs {}",
+            r.llsc_pct,
+            r.current_pct
+        );
+    }
+
+    #[test]
+    fn table12_is_sorted_and_kernel_only() {
+        let art = quick();
+        let rows = table12_rows(&art);
+        assert!(!rows.is_empty());
+        for w in rows.windows(2) {
+            assert!(w[0].acquires >= w[1].acquires);
+        }
+        assert!(rows.iter().all(|r| r.family.is_kernel()));
+        // Locality percentages are sane.
+        for r in &rows {
+            assert!((0.0..=100.0).contains(&r.same_cpu_pct), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig11_points_cover_families() {
+        let art = quick();
+        let pts = fig11_points(&art, 4);
+        assert!(pts.iter().any(|p| p.family == LockFamily::Runqlk));
+        assert!(pts.iter().all(|p| p.failed_per_ms >= 0.0));
+    }
+}

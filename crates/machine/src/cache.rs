@@ -1,0 +1,356 @@
+//! A set-associative cache model with LRU replacement.
+//!
+//! The model tracks tags only (the simulator never stores data). Each line
+//! carries a dirty bit so the same type serves as the write-back second
+//! level data cache and (with the bit unused) the write-through first
+//! level and instruction caches.
+
+use crate::addr::{BlockAddr, Ppn, BLOCK_SHIFT, PAGE_SHIFT};
+use crate::config::CacheConfig;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block was present.
+    Hit,
+    /// The block was absent; it has been filled. If a valid line was
+    /// evicted to make room, the victim is reported along with whether it
+    /// was dirty (and therefore needs a write-back).
+    Miss {
+        /// Evicted block, if the chosen way held a valid line.
+        victim: Option<Victim>,
+    },
+}
+
+/// An evicted cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The block address that was evicted.
+    pub block: BlockAddr,
+    /// Whether the line was dirty (write-back required).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    block: BlockAddr,
+    dirty: bool,
+    /// Monotonic LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A set-associative, physically indexed, physically tagged cache.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_machine::cache::{Cache, Lookup};
+/// use oscar_machine::config::CacheConfig;
+/// use oscar_machine::addr::BlockAddr;
+///
+/// let mut c = Cache::new(CacheConfig::direct_mapped(1024));
+/// assert!(matches!(c.access(BlockAddr(1), false), Lookup::Miss { .. }));
+/// assert_eq!(c.access(BlockAddr(1), false), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u64,
+    assoc: usize,
+    /// `sets * assoc` slots, set-major.
+    lines: Vec<Option<Line>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly (see
+    /// [`CacheConfig::num_sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.num_sets();
+        let assoc = config.assoc as usize;
+        Cache {
+            config,
+            sets,
+            assoc,
+            lines: vec![None; (sets as usize) * assoc],
+            tick: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// The set index a block maps to.
+    pub fn set_of(&self, block: BlockAddr) -> u64 {
+        debug_assert_eq!(self.config.block_bytes, 1 << BLOCK_SHIFT);
+        block.0 % self.sets
+    }
+
+    fn slot_range(&self, set: u64) -> std::ops::Range<usize> {
+        let s = set as usize * self.assoc;
+        s..s + self.assoc
+    }
+
+    /// Whether `block` is currently resident (no state change).
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.lines[self.slot_range(set)]
+            .iter()
+            .flatten()
+            .any(|l| l.block == block)
+    }
+
+    /// Whether `block` is resident and dirty (no state change).
+    pub fn probe_dirty(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.lines[self.slot_range(set)]
+            .iter()
+            .flatten()
+            .any(|l| l.block == block && l.dirty)
+    }
+
+    /// Accesses `block`, filling it on a miss. `write` marks the line
+    /// dirty on both hit and miss.
+    pub fn access(&mut self, block: BlockAddr, write: bool) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(block);
+        let range = self.slot_range(set);
+
+        // Hit?
+        for line in self.lines[range.clone()].iter_mut().flatten() {
+            if line.block == block {
+                line.stamp = tick;
+                line.dirty |= write;
+                return Lookup::Hit;
+            }
+        }
+
+        // Miss: pick an invalid slot, else the LRU slot.
+        let mut chosen = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            match &self.lines[i] {
+                None => {
+                    chosen = i;
+                    break;
+                }
+                Some(line) if line.stamp < best => {
+                    chosen = i;
+                    best = line.stamp;
+                }
+                Some(_) => {}
+            }
+        }
+        let victim = self.lines[chosen].map(|l| Victim {
+            block: l.block,
+            dirty: l.dirty,
+        });
+        self.lines[chosen] = Some(Line {
+            block,
+            dirty: write,
+            stamp: tick,
+        });
+        Lookup::Miss { victim }
+    }
+
+    /// Fills `block` without reporting (used when mirroring another
+    /// level's contents). Returns the victim, if any.
+    pub fn fill(&mut self, block: BlockAddr, dirty: bool) -> Option<Victim> {
+        match self.access(block, dirty) {
+            Lookup::Hit => None,
+            Lookup::Miss { victim } => victim,
+        }
+    }
+
+    /// Invalidates `block` if present; reports whether it was present and
+    /// dirty.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<Victim> {
+        let set = self.set_of(block);
+        let range = self.slot_range(set);
+        for slot in &mut self.lines[range] {
+            if let Some(line) = slot {
+                if line.block == block {
+                    let v = Victim {
+                        block: line.block,
+                        dirty: line.dirty,
+                    };
+                    *slot = None;
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Clears the dirty bit of `block` if resident (after a snoop
+    /// write-back, the line stays valid but clean).
+    pub fn clean(&mut self, block: BlockAddr) {
+        let set = self.set_of(block);
+        let range = self.slot_range(set);
+        for line in self.lines[range].iter_mut().flatten() {
+            if line.block == block {
+                line.dirty = false;
+            }
+        }
+    }
+
+    /// Invalidates every line belonging to physical page `page`. Returns
+    /// the number of lines dropped. Used for I-cache flushes when a code
+    /// page is reallocated.
+    pub fn invalidate_page(&mut self, page: Ppn) -> usize {
+        let mut dropped = 0;
+        for slot in &mut self.lines {
+            if let Some(line) = slot {
+                if line.block.page() == page {
+                    *slot = None;
+                    dropped += 1;
+                }
+            }
+        }
+        let _ = PAGE_SHIFT; // geometry tie-in documented above
+        dropped
+    }
+
+    /// Invalidates the entire cache, returning the number of valid lines
+    /// dropped.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for slot in &mut self.lines {
+            if slot.take().is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Iterates over all resident blocks.
+    pub fn iter_resident(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.lines.iter().flatten().map(|l| l.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAddr;
+
+    fn dm_1k() -> Cache {
+        Cache::new(CacheConfig::direct_mapped(1024))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = dm_1k();
+        let b = PAddr::new(0x40).block();
+        assert_eq!(c.access(b, false), Lookup::Miss { victim: None });
+        assert_eq!(c.access(b, false), Lookup::Hit);
+        assert!(c.probe(b));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_1k();
+        // 1024-byte DM cache with 16B blocks: 64 sets. Blocks 0 and 64
+        // conflict.
+        let a = BlockAddr(0);
+        let b = BlockAddr(64);
+        c.access(a, true);
+        match c.access(b, false) {
+            Lookup::Miss { victim: Some(v) } => {
+                assert_eq!(v.block, a);
+                assert!(v.dirty, "a was written, eviction must be dirty");
+            }
+            other => panic!("expected conflict eviction, got {other:?}"),
+        }
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+    }
+
+    #[test]
+    fn two_way_lru_order() {
+        let mut c = Cache::new(CacheConfig::set_associative(2048, 2));
+        // 2048B 2-way: 64 sets. Blocks 0, 64, 128 share set 0.
+        c.access(BlockAddr(0), false);
+        c.access(BlockAddr(64), false);
+        // Touch 0 so 64 becomes LRU.
+        assert_eq!(c.access(BlockAddr(0), false), Lookup::Hit);
+        match c.access(BlockAddr(128), false) {
+            Lookup::Miss { victim: Some(v) } => assert_eq!(v.block, BlockAddr(64)),
+            other => panic!("expected LRU eviction of 64, got {other:?}"),
+        }
+        assert!(c.probe(BlockAddr(0)));
+        assert!(c.probe(BlockAddr(128)));
+    }
+
+    #[test]
+    fn write_sets_dirty_and_clean_clears_it() {
+        let mut c = dm_1k();
+        let b = BlockAddr(5);
+        c.access(b, false);
+        assert!(!c.probe_dirty(b));
+        c.access(b, true);
+        assert!(c.probe_dirty(b));
+        c.clean(b);
+        assert!(c.probe_dirty(b) == false && c.probe(b));
+    }
+
+    #[test]
+    fn invalidate_reports_dirty_victim() {
+        let mut c = dm_1k();
+        let b = BlockAddr(7);
+        c.access(b, true);
+        let v = c.invalidate(b).expect("was resident");
+        assert!(v.dirty);
+        assert_eq!(v.block, b);
+        assert!(c.invalidate(b).is_none());
+    }
+
+    #[test]
+    fn invalidate_page_drops_all_page_lines() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(64 * 1024));
+        let page = Ppn(3);
+        let base = page.base().block();
+        for i in 0..256 {
+            c.access(BlockAddr(base.0 + i), false);
+        }
+        // One line from another page survives.
+        c.access(Ppn(9).base().block(), false);
+        assert_eq!(c.invalidate_page(page), 256);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_all() {
+        let mut c = dm_1k();
+        for i in 0..10 {
+            c.access(BlockAddr(i), false);
+        }
+        assert_eq!(c.invalidate_all(), 10);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn set_mapping_wraps_modulo_sets() {
+        let c = dm_1k();
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.set_of(BlockAddr(65)), 1);
+        assert_eq!(c.set_of(BlockAddr(64 * 3 + 7)), 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! Machine configuration.
+//!
+//! The defaults mirror the SGI POWER Station 4D/340 measured in the paper:
+//! four 33 MHz MIPS R3000 CPUs, each with a 64 KB direct-mapped I-cache and
+//! a two-level data cache (64 KB first level, 256 KB second level), 16-byte
+//! blocks, 32 MB of main memory, and a 35-cycle bus service penalty.
+
+use crate::addr::BLOCK_SIZE;
+
+/// Geometry of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache of `size_bytes` with 16-byte blocks.
+    pub const fn direct_mapped(size_bytes: u64) -> Self {
+        CacheConfig {
+            size_bytes,
+            assoc: 1,
+            block_bytes: BLOCK_SIZE,
+        }
+    }
+
+    /// A set-associative cache of `size_bytes` with 16-byte blocks.
+    pub const fn set_associative(size_bytes: u64, assoc: u32) -> Self {
+        CacheConfig {
+            size_bytes,
+            assoc,
+            block_bytes: BLOCK_SIZE,
+        }
+    }
+
+    /// Number of sets implied by this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn num_sets(&self) -> u64 {
+        assert!(
+            self.block_bytes > 0 && self.size_bytes.is_multiple_of(self.block_bytes),
+            "cache geometry must divide evenly: {self:?}"
+        );
+        let lines = self.size_bytes / self.block_bytes;
+        assert!(
+            lines > 0 && lines.is_multiple_of(self.assoc as u64),
+            "cache geometry must divide evenly: {self:?}"
+        );
+        lines / self.assoc as u64
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of CPUs on the bus.
+    pub num_cpus: u8,
+    /// Instruction cache geometry (per CPU).
+    pub icache: CacheConfig,
+    /// First-level data cache geometry (per CPU, write-through).
+    pub l1d: CacheConfig,
+    /// Second-level data cache geometry (per CPU, write-back, snooped).
+    pub l2d: CacheConfig,
+    /// Main memory size in bytes.
+    pub memory_bytes: u64,
+    /// CPU stall cycles charged per bus fill (the paper's estimate: 35).
+    pub bus_fill_cycles: u64,
+    /// Bus occupancy per transaction (arbitration + transfer).
+    pub bus_occupancy_cycles: u64,
+    /// Stall cycles for an L1-miss / L2-hit data access (invisible to the
+    /// bus monitor, as in the real machine).
+    pub l2_hit_cycles: u64,
+    /// Cost in cycles of one uncached escape read (comparable to a miss).
+    pub uncached_read_cycles: u64,
+    /// Cost in cycles of one synchronization-bus operation.
+    pub sync_op_cycles: u64,
+    /// Nominal CPU clock in MHz (33 on the 4D/340); one cycle is 30 ns.
+    pub clock_mhz: u32,
+    /// Capacity of the hardware monitor's trace buffer, in records.
+    /// The paper's monitor stores "over 2 million bus transactions".
+    pub trace_buffer_records: usize,
+    /// Number of clusters the CPUs are grouped into (1 = the flat
+    /// bus-based machine of the paper; >1 models the DASH/Paradigm-style
+    /// machines of the paper's Section 6).
+    pub clusters: u8,
+    /// Extra stall cycles for a fill whose home cluster differs from the
+    /// requester's cluster (0 in the flat machine).
+    pub remote_fill_extra: u64,
+    /// Model a write buffer: write fills overlap with computation and
+    /// stall the CPU for only this fraction (percent) of the fill
+    /// penalty. 100 = no overlap (the paper's conservative stall
+    /// estimate); the paper notes reality lies between full overlap and
+    /// none.
+    pub write_stall_pct: u8,
+}
+
+impl MachineConfig {
+    /// The configuration of the machine measured in the paper.
+    pub fn sgi_4d340() -> Self {
+        MachineConfig {
+            num_cpus: 4,
+            icache: CacheConfig::direct_mapped(64 * 1024),
+            l1d: CacheConfig::direct_mapped(64 * 1024),
+            l2d: CacheConfig::direct_mapped(256 * 1024),
+            memory_bytes: 32 * 1024 * 1024,
+            bus_fill_cycles: 35,
+            bus_occupancy_cycles: 24,
+            l2_hit_cycles: 14,
+            uncached_read_cycles: 20,
+            sync_op_cycles: 28,
+            clock_mhz: 33,
+            trace_buffer_records: 2_200_000,
+            clusters: 1,
+            remote_fill_extra: 0,
+            write_stall_pct: 100,
+        }
+    }
+
+    /// A clustered variant: `clusters` groups of CPUs with an extra
+    /// inter-cluster fill penalty (Section 6's large machines).
+    pub fn clustered(num_cpus: u8, clusters: u8, remote_fill_extra: u64) -> Self {
+        let mut c = Self::sgi_4d340();
+        c.num_cpus = num_cpus;
+        c.clusters = clusters.max(1);
+        c.remote_fill_extra = remote_fill_extra;
+        c
+    }
+
+    /// The cluster a CPU belongs to.
+    pub fn cluster_of_cpu(&self, cpu: u8) -> u8 {
+        let per = (self.num_cpus / self.clusters.max(1)).max(1);
+        (cpu / per).min(self.clusters - 1)
+    }
+
+    /// Cycles per tick of the monitor's 60 ns counter (two 30 ns CPU
+    /// cycles at 33 MHz).
+    pub fn monitor_tick_cycles(&self) -> u64 {
+        2
+    }
+
+    /// Total number of physical pages.
+    pub fn num_pages(&self) -> u32 {
+        (self.memory_bytes / crate::addr::PAGE_SIZE) as u32
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::sgi_4d340()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_4d340() {
+        let c = MachineConfig::default();
+        assert_eq!(c.num_cpus, 4);
+        assert_eq!(c.icache.num_sets(), 4096);
+        assert_eq!(c.l1d.num_sets(), 4096);
+        assert_eq!(c.l2d.num_sets(), 16384);
+        assert_eq!(c.num_pages(), 8192);
+        assert_eq!(c.bus_fill_cycles, 35);
+        assert_eq!(c.clusters, 1);
+    }
+
+    #[test]
+    fn clustered_cpu_mapping() {
+        let c = MachineConfig::clustered(8, 2, 30);
+        assert_eq!(c.cluster_of_cpu(0), 0);
+        assert_eq!(c.cluster_of_cpu(3), 0);
+        assert_eq!(c.cluster_of_cpu(4), 1);
+        assert_eq!(c.cluster_of_cpu(7), 1);
+        let odd = MachineConfig::clustered(6, 4, 30);
+        // Uneven division clamps into range.
+        for cpu in 0..6 {
+            assert!(odd.cluster_of_cpu(cpu) < 4);
+        }
+    }
+
+    #[test]
+    fn set_associative_geometry() {
+        let c = CacheConfig::set_associative(128 * 1024, 2);
+        assert_eq!(c.num_sets(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_geometry_panics() {
+        CacheConfig {
+            size_bytes: 100,
+            assoc: 3,
+            block_bytes: 16,
+        }
+        .num_sets();
+    }
+}

@@ -1,0 +1,218 @@
+//! The hardware bus monitor.
+//!
+//! The paper's monitor snoops the memory bus and stores, for every bus
+//! transaction, the physical address and the ID of the originating
+//! processor, timestamped by a 60 ns counter, into a buffer of over two
+//! million records. Synchronization accesses are diverted to a separate
+//! bus and are invisible here.
+//!
+//! This module reproduces that observable: a [`BusRecord`] per
+//! transaction, a bounded [`TraceBuffer`], and the dump bookkeeping used
+//! by the master-process suspend/dump/restart protocol.
+
+use crate::addr::{CpuId, PAddr};
+use crate::bus::BusKind;
+
+/// One monitored bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusRecord {
+    /// Time of the transaction, in CPU cycles (30 ns at 33 MHz). The real
+    /// monitor's counter ticks every 60 ns; [`BusRecord::monitor_time`]
+    /// applies that granularity.
+    pub time: u64,
+    /// Originating CPU.
+    pub cpu: CpuId,
+    /// Physical address on the bus.
+    pub paddr: PAddr,
+    /// Transaction kind.
+    pub kind: BusKind,
+}
+
+impl BusRecord {
+    /// The timestamp as the monitor's 60 ns counter would report it.
+    pub fn monitor_time(&self) -> u64 {
+        self.time / 2
+    }
+}
+
+/// Capacity policy of the trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferMode {
+    /// Unbounded recording (used for analysis runs).
+    Unbounded,
+    /// Bounded, as the real hardware: records beyond the capacity are
+    /// lost and counted, which is what the master-process protocol must
+    /// prevent.
+    Bounded(usize),
+}
+
+/// The monitor's trace buffer.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    mode: BufferMode,
+    records: Vec<BusRecord>,
+    lost: u64,
+    total_seen: u64,
+    enabled: bool,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer with the given capacity policy; recording starts
+    /// enabled.
+    pub fn new(mode: BufferMode) -> Self {
+        TraceBuffer {
+            mode,
+            records: Vec::new(),
+            lost: 0,
+            total_seen: 0,
+            enabled: true,
+        }
+    }
+
+    /// Starts or stops recording (the monitor can be armed/disarmed).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record, dropping it (and counting the loss) if the
+    /// buffer is full.
+    pub fn record(&mut self, rec: BusRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.total_seen += 1;
+        match self.mode {
+            BufferMode::Unbounded => self.records.push(rec),
+            BufferMode::Bounded(cap) => {
+                if self.records.len() < cap {
+                    self.records.push(rec);
+                } else {
+                    self.lost += 1;
+                }
+            }
+        }
+    }
+
+    /// Fraction of the buffer currently occupied (always < 1.0 for
+    /// unbounded buffers only when empty capacity is infinite; returns
+    /// 0.0 in unbounded mode).
+    pub fn fill_fraction(&self) -> f64 {
+        match self.mode {
+            BufferMode::Unbounded => 0.0,
+            BufferMode::Bounded(cap) => {
+                if cap == 0 {
+                    1.0
+                } else {
+                    self.records.len() as f64 / cap as f64
+                }
+            }
+        }
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records lost to overflow (must stay 0 under a correct master
+    /// protocol).
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Total records offered while enabled (buffered + lost).
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Dumps and clears the buffer, as the master process does when it
+    /// ships a trace segment to the remote disk.
+    pub fn dump(&mut self) -> Vec<BusRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Read-only view of the buffered records.
+    pub fn records(&self) -> &[BusRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> BusRecord {
+        BusRecord {
+            time: t,
+            cpu: CpuId(0),
+            paddr: PAddr::new(t * 16),
+            kind: BusKind::Read,
+        }
+    }
+
+    #[test]
+    fn unbounded_records_everything() {
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        for t in 0..100 {
+            b.record(rec(t));
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.lost(), 0);
+        assert_eq!(b.fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bounded_overflow_counts_losses() {
+        let mut b = TraceBuffer::new(BufferMode::Bounded(10));
+        for t in 0..15 {
+            b.record(rec(t));
+        }
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.lost(), 5);
+        assert_eq!(b.total_seen(), 15);
+        assert!((b.fill_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dump_clears_and_returns() {
+        let mut b = TraceBuffer::new(BufferMode::Bounded(10));
+        for t in 0..10 {
+            b.record(rec(t));
+        }
+        let dumped = b.dump();
+        assert_eq!(dumped.len(), 10);
+        assert!(b.is_empty());
+        // After a dump there is room again.
+        b.record(rec(99));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.lost(), 0);
+    }
+
+    #[test]
+    fn disabled_buffer_ignores_records() {
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_enabled(false);
+        b.record(rec(1));
+        assert!(b.is_empty());
+        assert_eq!(b.total_seen(), 0);
+        b.set_enabled(true);
+        b.record(rec(2));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn monitor_granularity_is_60ns() {
+        let r = rec(101);
+        assert_eq!(r.monitor_time(), 50);
+    }
+}

@@ -1,0 +1,238 @@
+//! The per-CPU translation lookaside buffer.
+//!
+//! The R3000 TLB is 64-entry and fully associative; entries are tagged
+//! with an address-space identifier so a context switch does not flush
+//! the TLB. Replacement is FIFO over the non-wired entries, approximating
+//! the R3000's random-register convention deterministically.
+
+use crate::addr::{Ppn, Vpn};
+
+/// Number of entries in the R3000 TLB.
+pub const TLB_ENTRIES: usize = 64;
+
+/// An address-space identifier (we use the owning process id).
+pub type Asid = u32;
+
+/// One TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number.
+    pub vpn: Vpn,
+    /// Physical page number.
+    pub ppn: Ppn,
+    /// Owning address space.
+    pub asid: Asid,
+}
+
+/// A 64-entry fully-associative TLB.
+///
+/// # Examples
+///
+/// ```
+/// use oscar_machine::tlb::Tlb;
+/// use oscar_machine::addr::{Vpn, Ppn};
+///
+/// let mut tlb = Tlb::new();
+/// assert_eq!(tlb.lookup(Vpn(5), 1), None);
+/// tlb.insert(Vpn(5), Ppn(42), 1);
+/// assert_eq!(tlb.lookup(Vpn(5), 1), Some(Ppn(42)));
+/// assert_eq!(tlb.lookup(Vpn(5), 2), None, "different address space");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: [Option<TlbEntry>; TLB_ENTRIES],
+    next_victim: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new() -> Self {
+        Tlb {
+            entries: [None; TLB_ENTRIES],
+            next_victim: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `(vpn, asid)`, recording a hit or miss.
+    pub fn lookup(&mut self, vpn: Vpn, asid: Asid) -> Option<Ppn> {
+        for e in self.entries.iter().flatten() {
+            if e.vpn == vpn && e.asid == asid {
+                self.hits += 1;
+                return Some(e.ppn);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Translates without touching the statistics (for mirrors and
+    /// assertions).
+    pub fn peek(&self, vpn: Vpn, asid: Asid) -> Option<Ppn> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.vpn == vpn && e.asid == asid)
+            .map(|e| e.ppn)
+    }
+
+    /// Installs a translation, evicting the FIFO victim if full. Returns
+    /// the slot index written (the paper's escape sequence reports it).
+    pub fn insert(&mut self, vpn: Vpn, ppn: Ppn, asid: Asid) -> usize {
+        // Replace an existing mapping for the same (vpn, asid) in place.
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if let Some(entry) = e {
+                if entry.vpn == vpn && entry.asid == asid {
+                    entry.ppn = ppn;
+                    return i;
+                }
+            }
+        }
+        // Else take the first empty slot, else the FIFO victim.
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.is_none())
+            .unwrap_or_else(|| {
+                let v = self.next_victim;
+                self.next_victim = (self.next_victim + 1) % TLB_ENTRIES;
+                v
+            });
+        self.entries[slot] = Some(TlbEntry { vpn, ppn, asid });
+        slot
+    }
+
+    /// Drops every translation belonging to `asid` (process exit).
+    /// Returns how many entries were dropped.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if matches!(e, Some(entry) if entry.asid == asid) {
+                *e = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Drops any translation that maps to physical page `ppn` (page
+    /// reclaimed). Returns how many entries were dropped.
+    pub fn flush_ppn(&mut self, ppn: Ppn) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if matches!(e, Some(entry) if entry.ppn == ppn) {
+                *e = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Snapshot of the valid entries with their slot indices (dumped to
+    /// the trace when tracing starts, as the paper's system call does).
+    pub fn snapshot(&self) -> Vec<(usize, TlbEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .collect()
+    }
+
+    /// (hits, misses) counters accumulated by [`Tlb::lookup`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut t = Tlb::new();
+        assert_eq!(t.lookup(Vpn(1), 7), None);
+        t.insert(Vpn(1), Ppn(100), 7);
+        assert_eq!(t.lookup(Vpn(1), 7), Some(Ppn(100)));
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = Tlb::new();
+        t.insert(Vpn(1), Ppn(100), 1);
+        t.insert(Vpn(1), Ppn(200), 2);
+        assert_eq!(t.lookup(Vpn(1), 1), Some(Ppn(100)));
+        assert_eq!(t.lookup(Vpn(1), 2), Some(Ppn(200)));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut t = Tlb::new();
+        let s1 = t.insert(Vpn(1), Ppn(100), 1);
+        let s2 = t.insert(Vpn(1), Ppn(101), 1);
+        assert_eq!(s1, s2);
+        assert_eq!(t.peek(Vpn(1), 1), Some(Ppn(101)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut t = Tlb::new();
+        for i in 0..TLB_ENTRIES as u32 {
+            t.insert(Vpn(i), Ppn(i), 1);
+        }
+        assert_eq!(t.occupancy(), TLB_ENTRIES);
+        // Next insert evicts slot 0 (vpn 0).
+        t.insert(Vpn(999), Ppn(999), 1);
+        assert_eq!(t.peek(Vpn(0), 1), None);
+        assert_eq!(t.peek(Vpn(999), 1), Some(Ppn(999)));
+        // And the one after evicts slot 1.
+        t.insert(Vpn(998), Ppn(998), 1);
+        assert_eq!(t.peek(Vpn(1), 1), None);
+    }
+
+    #[test]
+    fn flush_asid_drops_only_that_space() {
+        let mut t = Tlb::new();
+        t.insert(Vpn(1), Ppn(1), 1);
+        t.insert(Vpn(2), Ppn(2), 1);
+        t.insert(Vpn(3), Ppn(3), 2);
+        assert_eq!(t.flush_asid(1), 2);
+        assert_eq!(t.peek(Vpn(3), 2), Some(Ppn(3)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn flush_ppn_drops_reverse_mappings() {
+        let mut t = Tlb::new();
+        t.insert(Vpn(1), Ppn(50), 1);
+        t.insert(Vpn(9), Ppn(50), 2);
+        t.insert(Vpn(2), Ppn(51), 1);
+        assert_eq!(t.flush_ppn(Ppn(50)), 2);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_valid_entries() {
+        let mut t = Tlb::new();
+        t.insert(Vpn(4), Ppn(5), 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1.vpn, Vpn(4));
+    }
+}

@@ -1,0 +1,347 @@
+//! Kernel execution micro-operations.
+//!
+//! The synthetic kernel "executes" by consuming queues of [`KOp`]
+//! micro-operations: sequential instruction fetches over routine code
+//! ranges (OS code is famously loop-less, which is why the paper finds
+//! instruction fetches to be the largest source of OS misses), data
+//! touches and sweeps over kernel structures, lock operations, escape
+//! emissions, and [`KCall`] decision points that run kernel logic and may
+//! push further operations.
+
+use std::collections::VecDeque;
+
+use oscar_machine::addr::{PAddr, BLOCK_SIZE};
+
+use crate::instrument::OsEvent;
+use crate::locks::LockId;
+use crate::types::{OpClass, Pid, ProcSlot};
+
+/// A sleep/wakeup channel (the System V `sleep()` address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chan {
+    /// Waiting for buffer-cache buffer `i`'s I/O to complete.
+    Buf(usize),
+    /// A reader waiting for data in pipe `i`.
+    PipeData(usize),
+    /// A writer waiting for space in pipe `i`.
+    PipeSpace(usize),
+    /// A parent waiting for any child to exit.
+    Child(ProcSlot),
+    /// Waiting for a callout to fire (keyed by pid).
+    Timer(Pid),
+    /// Waiting on user semaphore `i`.
+    Sem(u32),
+    /// Waiting for a (sleep-lock) in-core inode lock to be released.
+    InoWait(u32),
+}
+
+/// What to do with the outgoing process at a context switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Put it back on the run queue (preemption, `sginap`).
+    Requeue,
+    /// Put it to sleep on a channel.
+    Sleep(Chan),
+    /// It has exited.
+    Exit,
+    /// The CPU was idle; there is no outgoing process.
+    FromIdle,
+}
+
+/// How a freshly allocated user page is initialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageInit {
+    /// Demand-zero: the page is block-cleared.
+    Zero,
+    /// Copy-on-write resolution: copied from the given source frame
+    /// (raw physical page number).
+    CopyFrom(u32),
+    /// Mapped without initialization (text loaded separately, shared
+    /// memory attach).
+    None,
+}
+
+/// Sentinel buffer index for raw disk I/O with no buffer to complete
+/// (page-out writes).
+pub const DISK_NO_BUF: usize = usize::MAX;
+
+/// Deferred kernel decision points, executed in queue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KCall {
+    /// Context switch: requeue/sleep/exit the current process, pick the
+    /// next one, and build the dispatch frame.
+    Swtch(Disposition),
+    /// Tail of a context switch: pick the next process from the run
+    /// queue (while `Runqlk` is held) and commit it to the CPU.
+    SwtchCommit,
+    /// UTLB fast path: install the PTE if valid, otherwise escalate to a
+    /// full fault.
+    TlbRefill {
+        /// Faulting virtual page.
+        vpn: u32,
+        /// The faulting access was a write.
+        write: bool,
+    },
+    /// Install a translation in the running CPU's TLB (emits the
+    /// four-payload `TlbSet` escape).
+    TlbInsert {
+        /// Virtual page.
+        vpn: u32,
+        /// Physical page.
+        ppn: u32,
+    },
+    /// Allocate (and initialize) a frame for the faulting page, pushing
+    /// the page-out scan first if memory is short.
+    AllocPage {
+        /// Faulting virtual page.
+        vpn: u32,
+        /// Initialization policy.
+        init: PageInit,
+    },
+    /// Synchronous write: mark `buf` busy and start its disk write (at
+    /// run time, so no one can wait on a not-yet-submitted request).
+    SyncWriteStart {
+        /// Buffer index.
+        buf: usize,
+    },
+    /// Start disk I/O for buffer `buf`.
+    DiskEnqueue {
+        /// Buffer index.
+        buf: usize,
+        /// Whether this is a write.
+        write: bool,
+        /// Sequential with the previous request for this file (no seek).
+        seq: bool,
+    },
+    /// Put the current process to sleep on `chan` and switch. The sleep
+    /// is *conditional*: if the awaited condition already holds (the
+    /// buffer I/O completed, the callout fired), the call is a no-op —
+    /// this closes the classic lost-wakeup races.
+    Sleep {
+        /// The channel to sleep on.
+        chan: Chan,
+    },
+    /// Create the pending child process (fork tail).
+    ForkChild,
+    /// Replace the current address space (exec tail); pushes the
+    /// text-load operations.
+    ExecReplace {
+        /// The new image.
+        image: crate::user::ExecImage,
+    },
+    /// Load one page of the new image through the buffer cache, then
+    /// chain to the next (keeps at most one buffer busy per exec).
+    ExecLoad {
+        /// The image being loaded.
+        image: crate::user::ExecImage,
+        /// The page to load now.
+        page: u32,
+    },
+    /// Final exit bookkeeping: free pages, zombify, wake parent.
+    ExitFinish,
+    /// `wait`: reap a zombie child or sleep until one exits.
+    WaitCheck,
+    /// Apply a semaphore operation (may sleep or wake).
+    SemOpApply {
+        /// Semaphore index.
+        sem: u32,
+        /// +1 for V, -1 for P.
+        delta: i32,
+    },
+    /// Move bytes between a pipe buffer and the process (may sleep).
+    PipeXfer {
+        /// Pipe index.
+        pipe: usize,
+        /// Bytes to transfer.
+        bytes: u32,
+        /// True when writing into the pipe.
+        write: bool,
+    },
+    /// Arm a callout that wakes this process after `ticks` clock ticks,
+    /// then sleep on it.
+    NapArm {
+        /// Clock ticks until wakeup.
+        ticks: u32,
+    },
+    /// Clock-tick bookkeeping: quantum accounting, callout scan results.
+    ClockTick,
+    /// Periodic scheduler priority recomputation (`schedcpu`).
+    SchedCpuScan,
+    /// Disk interrupt tail: complete the head request, wake sleepers,
+    /// start the next queued request.
+    DiskIntrDone,
+    /// Attach shared-memory segment pages to the current page table.
+    ShmMap {
+        /// Segment id.
+        seg: u32,
+        /// Pages in the segment.
+        pages: u32,
+    },
+}
+
+/// One kernel micro-operation.
+#[derive(Debug)]
+pub enum KOp {
+    /// Sequential instruction fetch over physical `[cur, end)`.
+    IFetch {
+        /// Next byte to fetch.
+        cur: u64,
+        /// One past the last byte.
+        end: u64,
+    },
+    /// A single data access.
+    Data {
+        /// Physical address.
+        addr: u64,
+        /// Write?
+        write: bool,
+    },
+    /// A strided data sweep over physical `[cur, end)`.
+    DSweep {
+        /// Next address.
+        cur: u64,
+        /// One past the end.
+        end: u64,
+        /// Stride in bytes (0 is treated as one block).
+        stride: u32,
+        /// Write?
+        write: bool,
+    },
+    /// Pure computation (register-only work).
+    Compute {
+        /// Cycles to burn.
+        cycles: u64,
+    },
+    /// Emit an instrumentation event as an escape sequence.
+    Escape(OsEvent),
+    /// Spin until the lock is acquired.
+    Lock(LockId),
+    /// Release the lock.
+    Unlock(LockId),
+    /// A deferred kernel decision point.
+    Call(KCall),
+}
+
+impl KOp {
+    /// An instruction-fetch sweep over a whole routine window.
+    pub fn fetch(base: PAddr, len: u32) -> KOp {
+        KOp::IFetch {
+            cur: base.raw(),
+            end: base.raw() + len as u64,
+        }
+    }
+
+    /// A data sweep of `len` bytes from `base` at the given stride.
+    pub fn sweep(base: PAddr, len: u64, stride: u32, write: bool) -> KOp {
+        KOp::DSweep {
+            cur: base.raw(),
+            end: base.raw() + len,
+            stride,
+            write,
+        }
+    }
+
+    /// A single read.
+    pub fn read(addr: PAddr) -> KOp {
+        KOp::Data {
+            addr: addr.raw(),
+            write: false,
+        }
+    }
+
+    /// A single write.
+    pub fn write(addr: PAddr) -> KOp {
+        KOp::Data {
+            addr: addr.raw(),
+            write: true,
+        }
+    }
+}
+
+/// A kernel activation frame: a queue of micro-operations plus the
+/// operation class it is accounted to.
+#[derive(Debug)]
+pub struct KFrame {
+    /// Remaining operations.
+    pub ops: VecDeque<KOp>,
+    /// Functional class of this activation (Figure 9 accounting).
+    pub class: OpClass,
+}
+
+impl KFrame {
+    /// Creates a frame from operations.
+    pub fn new(class: OpClass, ops: Vec<KOp>) -> Self {
+        KFrame {
+            ops: ops.into(),
+            class,
+        }
+    }
+
+    /// Pushes operations to run *next*, before everything already
+    /// queued (used by `KCall` handlers to expand in place).
+    pub fn push_front_ops(&mut self, ops: Vec<KOp>) {
+        for op in ops.into_iter().rev() {
+            self.ops.push_front(op);
+        }
+    }
+
+    /// Appends operations at the back.
+    pub fn push_back_ops(&mut self, ops: Vec<KOp>) {
+        self.ops.extend(ops);
+    }
+}
+
+/// Advance amount for one executor step of a sweep/fetch op.
+pub(crate) fn sweep_step(cur: u64, stride: u32) -> u64 {
+    let s = if stride == 0 { BLOCK_SIZE } else { stride as u64 };
+    cur + s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kframe_push_front_preserves_order() {
+        let mut f = KFrame::new(OpClass::IoSyscall, vec![KOp::Compute { cycles: 1 }]);
+        f.push_front_ops(vec![KOp::Compute { cycles: 10 }, KOp::Compute { cycles: 20 }]);
+        let cycles: Vec<u64> = f
+            .ops
+            .iter()
+            .map(|op| match op {
+                KOp::Compute { cycles } => *cycles,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(cycles, vec![10, 20, 1]);
+    }
+
+    #[test]
+    fn helpers_build_expected_ranges() {
+        let op = KOp::fetch(PAddr::new(0x100), 64);
+        match op {
+            KOp::IFetch { cur, end } => {
+                assert_eq!(cur, 0x100);
+                assert_eq!(end, 0x140);
+            }
+            _ => panic!(),
+        }
+        match KOp::sweep(PAddr::new(0x200), 32, 16, true) {
+            KOp::DSweep {
+                cur,
+                end,
+                stride,
+                write,
+            } => {
+                assert_eq!((cur, end, stride, write), (0x200, 0x220, 16, true));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sweep_step_treats_zero_stride_as_block() {
+        assert_eq!(sweep_step(0, 0), 16);
+        assert_eq!(sweep_step(0, 4), 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! The buffer cache and the disk model.
+//!
+//! A classic System V buffer cache: a fixed array of buffer headers (the
+//! `Buffer` structure of Table 3) caching 4 KB file blocks, with an LRU
+//! free list protected by `Bfreelock`, plus a single disk that services
+//! one request at a time and raises a completion interrupt.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Key identifying a cached file block: `(inode, file block number)`.
+pub type BlockKey = (u32, u32);
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Buffer {
+    key: Option<BlockKey>,
+    dirty: bool,
+    /// I/O in progress.
+    busy: bool,
+    lru: u64,
+}
+
+/// Outcome of a buffer-cache lookup-or-allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetBlk {
+    /// The block was cached; the buffer index is ready to use.
+    Hit(usize),
+    /// The block was not cached; the returned victim buffer has been
+    /// re-keyed and marked busy, and the caller must schedule a read.
+    /// `flushed_dirty` reports that the victim's previous contents were
+    /// dirty and an asynchronous write-back was needed.
+    Miss {
+        /// The buffer now assigned to the block.
+        buf: usize,
+        /// The victim held dirty data that must be written out.
+        flushed_dirty: bool,
+    },
+}
+
+/// The buffer cache.
+#[derive(Debug)]
+pub struct BufferCache {
+    bufs: Vec<Buffer>,
+    map: HashMap<BlockKey, usize>,
+    tick: u64,
+}
+
+impl BufferCache {
+    /// Creates a cache of `nbuf` buffers.
+    pub fn new(nbuf: usize) -> Self {
+        BufferCache {
+            bufs: vec![Buffer::default(); nbuf],
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether the cache has no buffers (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Whether `key` is currently cached (no state change).
+    pub fn probe(&self, key: BlockKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Looks up `key`, allocating the LRU non-busy buffer on a miss.
+    pub fn getblk(&mut self, key: BlockKey) -> GetBlk {
+        self.tick += 1;
+        if let Some(&i) = self.map.get(&key) {
+            self.bufs[i].lru = self.tick;
+            return GetBlk::Hit(i);
+        }
+        // Victim: least recently used non-busy buffer.
+        let victim = self
+            .bufs
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.busy)
+            .min_by_key(|(_, b)| b.lru)
+            .map(|(i, _)| i)
+            .expect("all buffers busy: buffer cache too small for workload");
+        let flushed_dirty = self.bufs[victim].dirty;
+        if let Some(old) = self.bufs[victim].key.take() {
+            self.map.remove(&old);
+        }
+        self.bufs[victim] = Buffer {
+            key: Some(key),
+            dirty: false,
+            busy: true,
+            lru: self.tick,
+        };
+        self.map.insert(key, victim);
+        GetBlk::Miss {
+            buf: victim,
+            flushed_dirty,
+        }
+    }
+
+    /// Marks buffer `i`'s I/O complete.
+    pub fn io_done(&mut self, i: usize) {
+        self.bufs[i].busy = false;
+    }
+
+    /// Marks buffer `i` busy (I/O started outside `getblk`, e.g. a
+    /// synchronous write).
+    pub fn set_busy(&mut self, i: usize) {
+        self.bufs[i].busy = true;
+    }
+
+    /// Marks buffer `i` dirty (delayed write).
+    pub fn mark_dirty(&mut self, i: usize) {
+        self.bufs[i].dirty = true;
+    }
+
+    /// Marks buffer `i` clean (written out).
+    pub fn mark_clean(&mut self, i: usize) {
+        self.bufs[i].dirty = false;
+    }
+
+    /// Whether buffer `i` has I/O in progress.
+    pub fn is_busy(&self, i: usize) -> bool {
+        self.bufs[i].busy
+    }
+
+    /// Whether buffer `i` is dirty.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.bufs[i].dirty
+    }
+
+    /// Number of dirty buffers (reporting).
+    pub fn dirty_count(&self) -> usize {
+        self.bufs.iter().filter(|b| b.dirty).count()
+    }
+}
+
+/// A disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskReq {
+    /// Buffer to fill or flush.
+    pub buf: usize,
+    /// Write (true) or read (false).
+    pub write: bool,
+    /// Completion time in cycles.
+    pub done_at: u64,
+}
+
+/// A single disk servicing requests in order.
+#[derive(Debug)]
+pub struct Disk {
+    queue: VecDeque<DiskReq>,
+    busy_until: u64,
+    latency: u64,
+    /// Service time for sequential (no-seek) transfers.
+    seq_latency: u64,
+    /// Simple deterministic jitter state.
+    jitter: u64,
+    jitter_state: u64,
+}
+
+impl Disk {
+    /// Creates a disk with the given nominal latency and jitter span.
+    pub fn new(latency: u64, jitter: u64) -> Self {
+        Disk {
+            queue: VecDeque::new(),
+            busy_until: 0,
+            latency,
+            seq_latency: (latency / 7).max(1),
+            jitter,
+            jitter_state: 0x243f_6a88_85a3_08d3,
+        }
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        // xorshift: deterministic, seed-independent of workloads.
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        if self.jitter == 0 {
+            0
+        } else {
+            x % self.jitter
+        }
+    }
+
+    /// Submits a request at `now`; returns its completion time.
+    /// `sequential` transfers (consecutive blocks of the same file)
+    /// skip the seek and are much faster.
+    pub fn submit(&mut self, now: u64, buf: usize, write: bool, sequential: bool) -> u64 {
+        let start = now.max(self.busy_until);
+        let service = if sequential {
+            self.seq_latency
+        } else {
+            self.latency + self.next_jitter()
+        };
+        let done_at = start + service;
+        self.busy_until = done_at;
+        self.queue.push_back(DiskReq {
+            buf,
+            write,
+            done_at,
+        });
+        done_at
+    }
+
+    /// The completion time of the earliest outstanding request, if any.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.queue.front().map(|r| r.done_at)
+    }
+
+    /// Pops the head request if it has completed by `now`.
+    pub fn pop_completed(&mut self, now: u64) -> Option<DiskReq> {
+        if self.queue.front().is_some_and(|r| r.done_at <= now) {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Outstanding requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a request for buffer `buf` is outstanding.
+    pub fn has_request(&self, buf: usize) -> bool {
+        self.queue.iter().any(|r| r.buf == buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getblk_hit_after_miss() {
+        let mut bc = BufferCache::new(4);
+        let key = (7, 3);
+        match bc.getblk(key) {
+            GetBlk::Miss { buf, flushed_dirty } => {
+                assert!(!flushed_dirty);
+                bc.io_done(buf);
+            }
+            GetBlk::Hit(_) => panic!("cold cache cannot hit"),
+        }
+        assert!(matches!(bc.getblk(key), GetBlk::Hit(_)));
+        assert!(bc.probe(key));
+    }
+
+    #[test]
+    fn lru_victim_selection() {
+        let mut bc = BufferCache::new(2);
+        let GetBlk::Miss { buf: b0, .. } = bc.getblk((1, 0)) else {
+            panic!()
+        };
+        bc.io_done(b0);
+        let GetBlk::Miss { buf: b1, .. } = bc.getblk((1, 1)) else {
+            panic!()
+        };
+        bc.io_done(b1);
+        // Touch (1,0) so (1,1) is LRU.
+        assert!(matches!(bc.getblk((1, 0)), GetBlk::Hit(_)));
+        let GetBlk::Miss { buf, .. } = bc.getblk((1, 2)) else {
+            panic!()
+        };
+        assert_eq!(buf, b1, "LRU buffer evicted");
+        assert!(!bc.probe((1, 1)));
+        assert!(bc.probe((1, 0)));
+    }
+
+    #[test]
+    fn dirty_victim_reports_flush() {
+        let mut bc = BufferCache::new(1);
+        let GetBlk::Miss { buf, .. } = bc.getblk((1, 0)) else {
+            panic!()
+        };
+        bc.io_done(buf);
+        bc.mark_dirty(buf);
+        let GetBlk::Miss { flushed_dirty, .. } = bc.getblk((1, 1)) else {
+            panic!()
+        };
+        assert!(flushed_dirty);
+    }
+
+    #[test]
+    fn busy_buffers_are_not_victims() {
+        let mut bc = BufferCache::new(2);
+        let GetBlk::Miss { buf: b0, .. } = bc.getblk((1, 0)) else {
+            panic!()
+        };
+        // b0 still busy; next miss must pick the other buffer.
+        let GetBlk::Miss { buf: b1, .. } = bc.getblk((1, 1)) else {
+            panic!()
+        };
+        assert_ne!(b0, b1);
+    }
+
+    #[test]
+    fn disk_serializes_requests() {
+        let mut d = Disk::new(1000, 0);
+        let t1 = d.submit(0, 0, false, false);
+        let t2 = d.submit(0, 1, false, false);
+        assert_eq!(t1, 1000);
+        assert_eq!(t2, 2000);
+        assert_eq!(d.next_completion(), Some(1000));
+        assert!(d.pop_completed(500).is_none());
+        let r = d.pop_completed(1500).unwrap();
+        assert_eq!(r.buf, 0);
+        assert_eq!(d.queue_len(), 1);
+    }
+
+    #[test]
+    fn disk_jitter_is_bounded() {
+        let mut d = Disk::new(1000, 100);
+        let mut prev_end = 0;
+        for i in 0..50 {
+            let t = d.submit(prev_end, i, false, false);
+            let service = t - prev_end;
+            assert!((1000..1100).contains(&service), "service = {service}");
+            prev_end = t;
+        }
+    }
+}

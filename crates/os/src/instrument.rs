@@ -1,0 +1,350 @@
+//! OS instrumentation events and the escape-reference encoding.
+//!
+//! The paper's key measurement trick (Section 2.2): the OS transfers
+//! events to the address trace by issuing *uncached byte reads of odd
+//! physical addresses*. An event is one read of an opcode address inside
+//! a reserved range where only OS code lives, followed by zero or more
+//! payload reads whose addresses are `(value << 1) | 1`. Payloads are
+//! recognized *positionally* — the next N odd uncached reads by the same
+//! CPU — so they may land anywhere in the address space, exactly as in
+//! the paper. Instruction misses interleaved with an escape sequence
+//! cannot be confused with it because code addresses are even.
+
+use oscar_machine::addr::PAddr;
+
+use crate::layout::Layout;
+use crate::types::{AttrCtx, OpClass};
+
+/// Kind of a block operation, for [`OsEvent::BlockOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockOpKind {
+    /// `bcopy`: block copy.
+    Copy,
+    /// `bzero`: block clear.
+    Clear,
+}
+
+impl BlockOpKind {
+    fn code(self) -> u32 {
+        match self {
+            BlockOpKind::Copy => 0,
+            BlockOpKind::Clear => 1,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<Self> {
+        match c {
+            0 => Some(BlockOpKind::Copy),
+            1 => Some(BlockOpKind::Clear),
+            _ => None,
+        }
+    }
+}
+
+/// An instrumentation event the OS transfers to the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsEvent {
+    /// Tracing starts; the kernel follows this with TLB-dump and
+    /// pid-dump events describing machine state, as the paper's system
+    /// call does.
+    TraceStart,
+    /// The CPU enters the OS for an operation of the given class.
+    EnterOs(OpClass),
+    /// The CPU leaves the OS.
+    ExitOs,
+    /// The CPU enters the kernel idle loop.
+    EnterIdle,
+    /// The CPU leaves the idle loop.
+    ExitIdle,
+    /// The process running on this CPU changed.
+    PidChange {
+        /// New pid (`u32::MAX` encodes "none").
+        pid: u32,
+    },
+    /// A TLB entry was written (index, virtual page, physical page,
+    /// owning pid) — the paper's four-payload example.
+    TlbSet {
+        /// TLB slot index.
+        index: u32,
+        /// Virtual page number installed.
+        vpn: u32,
+        /// Physical page number installed.
+        ppn: u32,
+        /// Owning process.
+        pid: u32,
+    },
+    /// The CPU enters an attributed kernel context (run-queue
+    /// management, block copy, ...).
+    CtxEnter(AttrCtx),
+    /// The CPU leaves the innermost attributed context.
+    CtxExit,
+    /// A block operation of `bytes` bytes starts (drives Table 7).
+    BlockOp {
+        /// Copy or clear.
+        kind: BlockOpKind,
+        /// Operation size in bytes.
+        bytes: u32,
+    },
+    /// The OS invalidated all I-cache lines of a physical page
+    /// (code-page reallocation; the source of *Inval* misses).
+    IcacheFlush {
+        /// The flushed physical page.
+        ppn: u32,
+    },
+    /// Refines the operation class of the current invocation (a TLB
+    /// fault is classified cheap/expensive only once handling knows).
+    OpReclass(OpClass),
+    /// The current OS operation ends (paired with [`OsEvent::EnterOs`];
+    /// nested operations nest their pairs).
+    OpEnd,
+}
+
+/// Number of distinct escape opcodes.
+pub const NUM_OPCODES: u32 = 19;
+
+const OP_TRACE_START: u32 = 0;
+const OP_ENTER_OS_BASE: u32 = 1; // ..=7, one per OpClass
+const OP_EXIT_OS: u32 = 8;
+const OP_ENTER_IDLE: u32 = 9;
+const OP_EXIT_IDLE: u32 = 10;
+const OP_PID_CHANGE: u32 = 11;
+const OP_TLB_SET: u32 = 12;
+const OP_CTX_ENTER: u32 = 13;
+const OP_CTX_EXIT: u32 = 14;
+const OP_BLOCK_OP: u32 = 15;
+const OP_ICACHE_FLUSH: u32 = 16;
+const OP_RECLASS: u32 = 17;
+const OP_OP_END: u32 = 18;
+
+impl OsEvent {
+    /// The opcode of this event.
+    pub fn opcode(&self) -> u32 {
+        match self {
+            OsEvent::TraceStart => OP_TRACE_START,
+            OsEvent::EnterOs(c) => OP_ENTER_OS_BASE + c.code(),
+            OsEvent::ExitOs => OP_EXIT_OS,
+            OsEvent::EnterIdle => OP_ENTER_IDLE,
+            OsEvent::ExitIdle => OP_EXIT_IDLE,
+            OsEvent::PidChange { .. } => OP_PID_CHANGE,
+            OsEvent::TlbSet { .. } => OP_TLB_SET,
+            OsEvent::CtxEnter(_) => OP_CTX_ENTER,
+            OsEvent::CtxExit => OP_CTX_EXIT,
+            OsEvent::BlockOp { .. } => OP_BLOCK_OP,
+            OsEvent::IcacheFlush { .. } => OP_ICACHE_FLUSH,
+            OsEvent::OpReclass(_) => OP_RECLASS,
+            OsEvent::OpEnd => OP_OP_END,
+        }
+    }
+
+    /// Number of payload reads that follow an opcode.
+    pub fn payload_count(opcode: u32) -> usize {
+        match opcode {
+            OP_PID_CHANGE | OP_CTX_ENTER | OP_ICACHE_FLUSH | OP_RECLASS => 1,
+            OP_BLOCK_OP => 2,
+            OP_TLB_SET => 4,
+            _ => 0,
+        }
+    }
+
+    /// Physical address whose uncached read signals `opcode`.
+    pub fn opcode_addr(opcode: u32) -> PAddr {
+        debug_assert!(opcode < NUM_OPCODES);
+        PAddr::new(Layout::ESCAPE_BASE + (opcode as u64) * 2 + 1)
+    }
+
+    /// Physical address encoding one payload value: the value shifted
+    /// left one bit with the least significant bit set, per the paper.
+    pub fn payload_addr(value: u32) -> PAddr {
+        PAddr::new(((value as u64) << 1) | 1)
+    }
+
+    /// Decodes an opcode from an escape-range address.
+    pub fn decode_opcode(paddr: PAddr) -> Option<u32> {
+        let a = paddr.raw();
+        if !paddr.is_odd() || a < Layout::ESCAPE_BASE {
+            return None;
+        }
+        let op = (a - Layout::ESCAPE_BASE) / 2;
+        if (a - Layout::ESCAPE_BASE) % 2 == 1 && op < NUM_OPCODES as u64 {
+            Some(op as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Decodes a payload value from its address.
+    pub fn decode_payload(paddr: PAddr) -> u32 {
+        debug_assert!(paddr.is_odd());
+        (paddr.raw() >> 1) as u32
+    }
+
+    /// The full escape sequence (opcode address, then payload addresses)
+    /// that transfers this event to the trace.
+    pub fn encode(&self) -> Vec<PAddr> {
+        let mut seq = vec![Self::opcode_addr(self.opcode())];
+        match *self {
+            OsEvent::PidChange { pid } => seq.push(Self::payload_addr(pid)),
+            OsEvent::TlbSet {
+                index,
+                vpn,
+                ppn,
+                pid,
+            } => {
+                seq.push(Self::payload_addr(index));
+                seq.push(Self::payload_addr(vpn));
+                seq.push(Self::payload_addr(ppn));
+                seq.push(Self::payload_addr(pid));
+            }
+            OsEvent::CtxEnter(ctx) => seq.push(Self::payload_addr(ctx.code())),
+            OsEvent::BlockOp { kind, bytes } => {
+                seq.push(Self::payload_addr(kind.code()));
+                seq.push(Self::payload_addr(bytes));
+            }
+            OsEvent::IcacheFlush { ppn } => seq.push(Self::payload_addr(ppn)),
+            OsEvent::OpReclass(c) => seq.push(Self::payload_addr(c.code())),
+            _ => {}
+        }
+        seq
+    }
+
+    /// Reassembles an event from its opcode and decoded payload values.
+    /// Returns `None` for malformed payloads.
+    pub fn decode(opcode: u32, payloads: &[u32]) -> Option<OsEvent> {
+        if payloads.len() != Self::payload_count(opcode) {
+            return None;
+        }
+        Some(match opcode {
+            OP_TRACE_START => OsEvent::TraceStart,
+            op if (OP_ENTER_OS_BASE..OP_ENTER_OS_BASE + 7).contains(&op) => {
+                OsEvent::EnterOs(OpClass::from_code(op - OP_ENTER_OS_BASE)?)
+            }
+            OP_EXIT_OS => OsEvent::ExitOs,
+            OP_ENTER_IDLE => OsEvent::EnterIdle,
+            OP_EXIT_IDLE => OsEvent::ExitIdle,
+            OP_PID_CHANGE => OsEvent::PidChange { pid: payloads[0] },
+            OP_TLB_SET => OsEvent::TlbSet {
+                index: payloads[0],
+                vpn: payloads[1],
+                ppn: payloads[2],
+                pid: payloads[3],
+            },
+            OP_CTX_ENTER => OsEvent::CtxEnter(AttrCtx::from_code(payloads[0])?),
+            OP_CTX_EXIT => OsEvent::CtxExit,
+            OP_BLOCK_OP => OsEvent::BlockOp {
+                kind: BlockOpKind::from_code(payloads[0])?,
+                bytes: payloads[1],
+            },
+            OP_ICACHE_FLUSH => OsEvent::IcacheFlush { ppn: payloads[0] },
+            OP_RECLASS => OsEvent::OpReclass(OpClass::from_code(payloads[0])?),
+            OP_OP_END => OsEvent::OpEnd,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: OsEvent) {
+        let seq = ev.encode();
+        let opcode = OsEvent::decode_opcode(seq[0]).expect("opcode decodes");
+        assert_eq!(opcode, ev.opcode());
+        assert_eq!(seq.len() - 1, OsEvent::payload_count(opcode));
+        let payloads: Vec<u32> = seq[1..]
+            .iter()
+            .map(|&a| OsEvent::decode_payload(a))
+            .collect();
+        assert_eq!(OsEvent::decode(opcode, &payloads), Some(ev));
+    }
+
+    #[test]
+    fn all_events_roundtrip() {
+        roundtrip(OsEvent::TraceStart);
+        for c in OpClass::ALL {
+            roundtrip(OsEvent::EnterOs(c));
+            roundtrip(OsEvent::OpReclass(c));
+        }
+        roundtrip(OsEvent::ExitOs);
+        roundtrip(OsEvent::EnterIdle);
+        roundtrip(OsEvent::ExitIdle);
+        roundtrip(OsEvent::PidChange { pid: 1234 });
+        roundtrip(OsEvent::PidChange { pid: u32::MAX });
+        roundtrip(OsEvent::TlbSet {
+            index: 63,
+            vpn: 0x7fff,
+            ppn: 0x1fff,
+            pid: 77,
+        });
+        for ctx in AttrCtx::ALL {
+            roundtrip(OsEvent::CtxEnter(ctx));
+        }
+        roundtrip(OsEvent::CtxExit);
+        roundtrip(OsEvent::BlockOp {
+            kind: BlockOpKind::Copy,
+            bytes: 4096,
+        });
+        roundtrip(OsEvent::BlockOp {
+            kind: BlockOpKind::Clear,
+            bytes: 300,
+        });
+        roundtrip(OsEvent::IcacheFlush { ppn: 8191 });
+        roundtrip(OsEvent::OpEnd);
+    }
+
+    #[test]
+    fn every_escape_address_is_odd() {
+        let events = [
+            OsEvent::TraceStart,
+            OsEvent::EnterOs(OpClass::IoSyscall),
+            OsEvent::TlbSet {
+                index: 1,
+                vpn: 2,
+                ppn: 3,
+                pid: 4,
+            },
+            OsEvent::BlockOp {
+                kind: BlockOpKind::Clear,
+                bytes: 4096,
+            },
+        ];
+        for ev in events {
+            for addr in ev.encode() {
+                assert!(addr.is_odd(), "{addr} must be odd");
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_addresses_live_in_reserved_range() {
+        for op in 0..NUM_OPCODES {
+            let a = OsEvent::opcode_addr(op);
+            assert!(a.raw() >= Layout::ESCAPE_BASE);
+            assert_eq!(OsEvent::decode_opcode(a), Some(op));
+        }
+    }
+
+    #[test]
+    fn even_and_out_of_range_addresses_are_not_opcodes() {
+        assert_eq!(OsEvent::decode_opcode(PAddr::new(0x100)), None);
+        assert_eq!(
+            OsEvent::decode_opcode(PAddr::new(Layout::ESCAPE_BASE)),
+            None,
+            "even address in range"
+        );
+        assert_eq!(
+            OsEvent::decode_opcode(PAddr::new(Layout::ESCAPE_BASE + 2 * NUM_OPCODES as u64 + 1)),
+            None,
+            "beyond opcode range"
+        );
+        // A payload for a small value is odd and *below* the range.
+        assert_eq!(OsEvent::decode_opcode(OsEvent::payload_addr(5)), None);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert_eq!(OsEvent::decode(OP_TLB_SET, &[1, 2, 3]), None);
+        assert_eq!(OsEvent::decode(OP_CTX_ENTER, &[99]), None);
+        assert_eq!(OsEvent::decode(999, &[]), None);
+    }
+}

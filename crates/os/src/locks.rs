@@ -1,0 +1,530 @@
+//! Kernel spin locks and their statistics.
+//!
+//! The paper measures lock behaviour with OS-internal counters exported
+//! through mapped statistics pages (Section 2.2), because lock accesses
+//! ride a synchronization bus the hardware monitor cannot see. This
+//! module keeps exactly those statistics, per lock family of Table 11:
+//! acquire frequency, failed first attempts (contention), waiters at
+//! release, same-CPU re-acquire locality, and — for Table 12's last
+//! column and Table 10's LL/SC scenario — a per-lock cache-line
+//! simulation that counts the misses the locks *would* take if they were
+//! cacheable with load-linked/store-conditional support.
+
+use std::collections::HashMap;
+
+use oscar_machine::addr::CpuId;
+
+/// The lock families of Table 11 (the `_x` families are arrays of locks,
+/// one per protected structure), plus the pipe and user-level families
+/// our workloads add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockFamily {
+    /// Physical-memory allocation structures.
+    Memlock,
+    /// The scheduler's run queue.
+    Runqlk,
+    /// The list of free inodes.
+    Ifree,
+    /// The table of free disk blocks.
+    Dfbmaplk,
+    /// The buffer-cache free list.
+    Bfreelock,
+    /// The callout (alarm/timeout) table.
+    Calock,
+    /// Per-process page tables and related structures.
+    Shr,
+    /// Character-device (STREAMS) management.
+    Streams,
+    /// Per-inode operations.
+    Ino,
+    /// The array of semaphores for user programs.
+    Semlock,
+    /// Per-pipe locks (implementation companion to `Streams`).
+    Pipe,
+    /// User-level spin locks in shared memory (drive `sginap`; not an OS
+    /// lock and excluded from the kernel tables).
+    User,
+}
+
+impl LockFamily {
+    /// Every family, kernel families first.
+    pub const ALL: [LockFamily; 12] = [
+        LockFamily::Memlock,
+        LockFamily::Runqlk,
+        LockFamily::Ifree,
+        LockFamily::Dfbmaplk,
+        LockFamily::Bfreelock,
+        LockFamily::Calock,
+        LockFamily::Shr,
+        LockFamily::Streams,
+        LockFamily::Ino,
+        LockFamily::Semlock,
+        LockFamily::Pipe,
+        LockFamily::User,
+    ];
+
+    /// The paper's name for the family.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockFamily::Memlock => "Memlock",
+            LockFamily::Runqlk => "Runqlk",
+            LockFamily::Ifree => "Ifree",
+            LockFamily::Dfbmaplk => "Dfbmaplk",
+            LockFamily::Bfreelock => "Bfreelock",
+            LockFamily::Calock => "Calock",
+            LockFamily::Shr => "Shr_x",
+            LockFamily::Streams => "Streams_x",
+            LockFamily::Ino => "Ino_x",
+            LockFamily::Semlock => "Semlock",
+            LockFamily::Pipe => "Pipe_x",
+            LockFamily::User => "User_x",
+        }
+    }
+
+    /// What the lock protects (Table 11).
+    pub fn function(self) -> &'static str {
+        match self {
+            LockFamily::Memlock => "Data struct. that allocate/deallocate physical memory",
+            LockFamily::Runqlk => "Scheduler's run queue",
+            LockFamily::Ifree => "List of free inodes",
+            LockFamily::Dfbmaplk => "Table of free blocks on the disk",
+            LockFamily::Bfreelock => "List of free buffers for the buffer cache",
+            LockFamily::Calock => "Table of outstanding actions like alarms or timeouts",
+            LockFamily::Shr => "Per-process page tables and related structures",
+            LockFamily::Streams => "Management of a character-oriented device",
+            LockFamily::Ino => "Operations on a given inode, like read or write",
+            LockFamily::Semlock => "Array of semaphores for the programmer to use",
+            LockFamily::Pipe => "Per-pipe buffer state",
+            LockFamily::User => "User-level spin locks in shared memory",
+        }
+    }
+
+    /// Whether this family belongs to the OS (Tables 10-12 cover only
+    /// these).
+    pub fn is_kernel(self) -> bool {
+        !matches!(self, LockFamily::User)
+    }
+
+    fn index(self) -> usize {
+        LockFamily::ALL.iter().position(|&f| f == self).unwrap()
+    }
+}
+
+/// Identifies one lock: a family plus an instance number (0 for the
+/// singleton locks; the structure index for `_x` families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LockId {
+    /// The family this lock belongs to.
+    pub family: LockFamily,
+    /// Instance within the family.
+    pub instance: u32,
+}
+
+impl LockId {
+    /// Shorthand constructor.
+    pub fn new(family: LockFamily, instance: u32) -> Self {
+        LockId { family, instance }
+    }
+
+    /// The singleton lock of a family.
+    pub fn singleton(family: LockFamily) -> Self {
+        LockId::new(family, 0)
+    }
+}
+
+/// Aggregated statistics for one lock family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyStats {
+    /// Successful acquires.
+    pub acquires: u64,
+    /// All acquire attempts (first tries and spins).
+    pub attempts: u64,
+    /// Acquire operations whose *first* attempt found the lock taken
+    /// (the paper's contention metric; spinning retries are ignored).
+    pub failed_first: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Releases that found at least one waiter.
+    pub waiter_events: u64,
+    /// Total waiters observed over those releases.
+    pub waiter_sum: u64,
+    /// Successful acquires by the same CPU as the previous one with no
+    /// intervening attempt by another CPU (Table 12's locality column).
+    pub local_reacquires: u64,
+    /// Synchronization-bus operations (attempts + releases).
+    pub sync_ops: u64,
+    /// Misses the lock would take under a cacheable LL/SC protocol
+    /// (Table 12's last column; Table 10's simulated scenario).
+    pub llsc_misses: u64,
+    /// Sum of cycle gaps between consecutive successful acquires.
+    pub gap_cycles: u64,
+    /// Number of gaps accumulated in [`FamilyStats::gap_cycles`].
+    pub gap_count: u64,
+}
+
+impl FamilyStats {
+    /// Mean cycles between successful acquires, if at least two occurred.
+    pub fn mean_gap(&self) -> Option<f64> {
+        (self.gap_count > 0).then(|| self.gap_cycles as f64 / self.gap_count as f64)
+    }
+
+    /// Fraction of acquire operations that found the lock taken.
+    pub fn failed_fraction(&self) -> f64 {
+        if self.acquires + self.failed_first == 0 {
+            0.0
+        } else {
+            // An acquire op either succeeds first try or registers one
+            // failed first attempt before eventually succeeding.
+            self.failed_first as f64 / self.acquires.max(1) as f64
+        }
+    }
+
+    /// Mean waiters at release, over releases that had any.
+    pub fn mean_waiters(&self) -> Option<f64> {
+        (self.waiter_events > 0).then(|| self.waiter_sum as f64 / self.waiter_events as f64)
+    }
+
+    /// Fraction of successful acquires that were local re-acquires.
+    pub fn locality(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.local_reacquires as f64 / self.acquires as f64
+        }
+    }
+
+    /// Ratio of cacheable-protocol misses to sync-bus operations
+    /// (Table 12's "Misses Cached / Misses Uncached").
+    pub fn cached_over_uncached(&self) -> f64 {
+        if self.sync_ops == 0 {
+            0.0
+        } else {
+            self.llsc_misses as f64 / self.sync_ops as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LockState {
+    held_by: Option<CpuId>,
+    /// Bitmask of CPUs currently spinning on this lock.
+    spinning: u8,
+    last_acquirer: Option<CpuId>,
+    other_touched: bool,
+    last_acquire_time: Option<u64>,
+    /// Bitmask of CPUs whose (hypothetical) cache holds the lock line.
+    llsc_sharers: u8,
+    /// Whether the acquire op in flight per CPU already failed once.
+    first_failed: u8,
+}
+
+/// The kernel lock table: lock state plus per-family statistics.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<LockId, LockState>,
+    stats: [FamilyStats; LockFamily::ALL.len()],
+}
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryAcquire {
+    /// The lock was free and is now held by the caller.
+    Acquired,
+    /// The lock is held by another CPU; the caller should spin or yield.
+    Busy,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn mask(cpu: CpuId) -> u8 {
+        1 << cpu.index()
+    }
+
+    /// Attempts to acquire `lock` for `cpu` at time `now` (one
+    /// synchronization-bus operation). Callers retry on [`TryAcquire::Busy`].
+    pub fn try_acquire(&mut self, lock: LockId, cpu: CpuId, now: u64) -> TryAcquire {
+        let st = self.locks.entry(lock).or_default();
+        let fam = lock.family.index();
+        let stats = &mut self.stats[fam];
+        stats.attempts += 1;
+        stats.sync_ops += 1;
+
+        // LL/SC line simulation: the first attempt after someone else
+        // touched the line misses; spinning re-reads hit in cache.
+        if st.llsc_sharers & Self::mask(cpu) == 0 {
+            stats.llsc_misses += 1;
+            st.llsc_sharers |= Self::mask(cpu);
+        }
+
+        if st.last_acquirer != Some(cpu) {
+            st.other_touched = true;
+        }
+
+        match st.held_by {
+            None => {
+                // Success. The SC store invalidates other copies.
+                if st.llsc_sharers != Self::mask(cpu) {
+                    stats.llsc_misses += 1;
+                    st.llsc_sharers = Self::mask(cpu);
+                }
+                stats.acquires += 1;
+                if let Some(t) = st.last_acquire_time {
+                    stats.gap_cycles += now.saturating_sub(t);
+                    stats.gap_count += 1;
+                }
+                st.last_acquire_time = Some(now);
+                if st.last_acquirer == Some(cpu) && !st.other_touched {
+                    stats.local_reacquires += 1;
+                }
+                st.last_acquirer = Some(cpu);
+                st.other_touched = false;
+                st.held_by = Some(cpu);
+                st.spinning &= !Self::mask(cpu);
+                st.first_failed &= !Self::mask(cpu);
+                TryAcquire::Acquired
+            }
+            Some(holder) => {
+                debug_assert_ne!(holder, cpu, "recursive kernel lock acquire");
+                if st.first_failed & Self::mask(cpu) == 0 {
+                    stats.failed_first += 1;
+                    st.first_failed |= Self::mask(cpu);
+                }
+                st.spinning |= Self::mask(cpu);
+                TryAcquire::Busy
+            }
+        }
+    }
+
+    /// Releases `lock` held by `cpu` (one synchronization-bus
+    /// operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the caller does not hold the lock.
+    pub fn release(&mut self, lock: LockId, cpu: CpuId) {
+        debug_assert_eq!(
+            self.locks.get(&lock).and_then(|s| s.held_by),
+            Some(cpu),
+            "release by non-holder of {lock:?}"
+        );
+        self.release_any(lock, cpu);
+    }
+
+    /// Releases `lock` on behalf of its holder, from whichever CPU the
+    /// holding process resumed on (sleep locks migrate with their
+    /// process).
+    pub fn release_any(&mut self, lock: LockId, cpu: CpuId) {
+        let st = self.locks.entry(lock).or_default();
+        debug_assert!(st.held_by.is_some(), "release of free lock {lock:?}");
+        let fam = lock.family.index();
+        let stats = &mut self.stats[fam];
+        stats.releases += 1;
+        stats.sync_ops += 1;
+        let waiters = st.spinning.count_ones() as u64;
+        if waiters > 0 {
+            stats.waiter_events += 1;
+            stats.waiter_sum += waiters;
+        }
+        // The release store invalidates spinners' copies.
+        if st.llsc_sharers != Self::mask(cpu) {
+            stats.llsc_misses += 1;
+            st.llsc_sharers = Self::mask(cpu);
+        }
+        st.held_by = None;
+    }
+
+    /// Whether `lock` is currently held.
+    pub fn is_held(&self, lock: LockId) -> bool {
+        self.locks.get(&lock).is_some_and(|s| s.held_by.is_some())
+    }
+
+    /// The holder of `lock`, if held.
+    pub fn holder(&self, lock: LockId) -> Option<CpuId> {
+        self.locks.get(&lock).and_then(|s| s.held_by)
+    }
+
+    /// Statistics for one family.
+    pub fn family_stats(&self, family: LockFamily) -> &FamilyStats {
+        &self.stats[family.index()]
+    }
+
+    /// Iterates over `(family, stats)` pairs.
+    pub fn iter_stats(&self) -> impl Iterator<Item = (LockFamily, &FamilyStats)> {
+        LockFamily::ALL
+            .iter()
+            .map(move |&f| (f, &self.stats[f.index()]))
+    }
+
+    /// Total synchronization-bus operations across kernel families.
+    pub fn kernel_sync_ops(&self) -> u64 {
+        self.iter_stats()
+            .filter(|(f, _)| f.is_kernel())
+            .map(|(_, s)| s.sync_ops)
+            .sum()
+    }
+
+    /// Total LL/SC-simulated misses across kernel families.
+    pub fn kernel_llsc_misses(&self) -> u64 {
+        self.iter_stats()
+            .filter(|(f, _)| f.is_kernel())
+            .map(|(_, s)| s.llsc_misses)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CpuId = CpuId(0);
+    const C1: CpuId = CpuId(1);
+
+    fn runq() -> LockId {
+        LockId::singleton(LockFamily::Runqlk)
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut t = LockTable::new();
+        assert_eq!(t.try_acquire(runq(), C0, 100), TryAcquire::Acquired);
+        assert!(t.is_held(runq()));
+        assert_eq!(t.holder(runq()), Some(C0));
+        t.release(runq(), C0);
+        assert!(!t.is_held(runq()));
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.acquires, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.sync_ops, 2);
+    }
+
+    #[test]
+    fn contention_counts_first_attempt_only() {
+        let mut t = LockTable::new();
+        t.try_acquire(runq(), C0, 0);
+        // C1 spins three times: one failed first attempt.
+        for _ in 0..3 {
+            assert_eq!(t.try_acquire(runq(), C1, 10), TryAcquire::Busy);
+        }
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.failed_first, 1);
+        assert_eq!(s.attempts, 4);
+    }
+
+    #[test]
+    fn waiters_recorded_at_release() {
+        let mut t = LockTable::new();
+        t.try_acquire(runq(), C0, 0);
+        t.try_acquire(runq(), C1, 1);
+        t.release(runq(), C0);
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.waiter_events, 1);
+        assert_eq!(s.waiter_sum, 1);
+        assert_eq!(s.mean_waiters(), Some(1.0));
+        // C1 can now take it.
+        assert_eq!(t.try_acquire(runq(), C1, 2), TryAcquire::Acquired);
+    }
+
+    #[test]
+    fn locality_tracks_same_cpu_reacquires() {
+        let mut t = LockTable::new();
+        for i in 0..4 {
+            assert_eq!(t.try_acquire(runq(), C0, i * 100), TryAcquire::Acquired);
+            t.release(runq(), C0);
+        }
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.acquires, 4);
+        assert_eq!(s.local_reacquires, 3, "first acquire cannot be local");
+        assert!((s.locality() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervening_attempt_breaks_locality() {
+        let mut t = LockTable::new();
+        t.try_acquire(runq(), C0, 0);
+        // C1 tries while held.
+        t.try_acquire(runq(), C1, 1);
+        t.release(runq(), C0);
+        // C1 grabs and releases.
+        t.try_acquire(runq(), C1, 2);
+        t.release(runq(), C1);
+        // C0 again: not local (C1 held in between).
+        t.try_acquire(runq(), C0, 3);
+        t.release(runq(), C0);
+        // C0 again immediately: local.
+        t.try_acquire(runq(), C0, 4);
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.local_reacquires, 1);
+    }
+
+    #[test]
+    fn llsc_misses_stay_low_for_local_use() {
+        let mut t = LockTable::new();
+        for i in 0..100 {
+            t.try_acquire(runq(), C0, i);
+            t.release(runq(), C0);
+        }
+        let s = t.family_stats(LockFamily::Runqlk);
+        // First attempt misses; everything after hits in C0's cache.
+        assert_eq!(s.llsc_misses, 1);
+        assert_eq!(s.sync_ops, 200);
+        assert!(s.cached_over_uncached() < 0.01);
+    }
+
+    #[test]
+    fn llsc_misses_grow_with_migration_of_the_lock() {
+        let mut t = LockTable::new();
+        for i in 0..10 {
+            let cpu = if i % 2 == 0 { C0 } else { C1 };
+            t.try_acquire(runq(), cpu, i);
+            t.release(runq(), cpu);
+        }
+        let s = t.family_stats(LockFamily::Runqlk);
+        // Every handoff misses at least once.
+        assert!(s.llsc_misses >= 10, "llsc_misses = {}", s.llsc_misses);
+    }
+
+    #[test]
+    fn gap_statistics() {
+        let mut t = LockTable::new();
+        t.try_acquire(runq(), C0, 1000);
+        t.release(runq(), C0);
+        t.try_acquire(runq(), C0, 3000);
+        t.release(runq(), C0);
+        t.try_acquire(runq(), C0, 6000);
+        let s = t.family_stats(LockFamily::Runqlk);
+        assert_eq!(s.gap_count, 2);
+        assert_eq!(s.mean_gap(), Some(2500.0));
+    }
+
+    #[test]
+    fn families_are_independent() {
+        let mut t = LockTable::new();
+        t.try_acquire(LockId::new(LockFamily::Ino, 7), C0, 0);
+        t.try_acquire(LockId::new(LockFamily::Ino, 8), C1, 0);
+        assert!(t.is_held(LockId::new(LockFamily::Ino, 7)));
+        assert!(t.is_held(LockId::new(LockFamily::Ino, 8)));
+        assert_eq!(t.family_stats(LockFamily::Ino).acquires, 2);
+        assert_eq!(t.family_stats(LockFamily::Memlock).acquires, 0);
+    }
+
+    #[test]
+    fn kernel_totals_exclude_user_locks() {
+        let mut t = LockTable::new();
+        t.try_acquire(LockId::new(LockFamily::User, 0), C0, 0);
+        t.release(LockId::new(LockFamily::User, 0), C0);
+        assert_eq!(t.kernel_sync_ops(), 0);
+        t.try_acquire(LockId::singleton(LockFamily::Memlock), C0, 0);
+        assert_eq!(t.kernel_sync_ops(), 1);
+    }
+
+    #[test]
+    fn table11_labels() {
+        assert_eq!(LockFamily::Shr.label(), "Shr_x");
+        assert!(LockFamily::Runqlk.function().contains("run queue"));
+        assert!(LockFamily::User.is_kernel() == false);
+    }
+}

@@ -1,0 +1,235 @@
+//! Processes and the process table.
+
+use std::collections::HashMap;
+
+use oscar_machine::addr::{CpuId, Ppn, Vpn};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::exec::{Chan, KFrame};
+use crate::types::{Pid, ProcSlot};
+use crate::user::{ExecImage, UOp, UserTask};
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// On the run queue.
+    Ready,
+    /// Executing on a CPU.
+    Running(CpuId),
+    /// Asleep on a channel.
+    Sleeping(Chan),
+    /// Exited, awaiting `wait` by the parent.
+    Zombie,
+}
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing frame.
+    pub ppn: Ppn,
+    /// Copy-on-write: the frame is shared with the fork partner and must
+    /// be copied on the first write.
+    pub cow: bool,
+}
+
+/// One process.
+pub struct Process {
+    /// Process id (never reused).
+    pub pid: Pid,
+    /// Process-table slot (reused after exit).
+    pub slot: ProcSlot,
+    /// Parent slot, if any.
+    pub parent: Option<ProcSlot>,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// CPU this process last ran on (drives migration accounting and
+    /// affinity scheduling).
+    pub last_cpu: Option<CpuId>,
+    /// Hard CPU pin (the paper's network daemons run on CPU 1 only).
+    pub pinned_cpu: Option<CpuId>,
+    /// The user program.
+    pub task: Box<dyn UserTask>,
+    /// Pending kernel activation frames (syscalls/faults in progress).
+    pub kstack: Vec<KFrame>,
+    /// The user operation currently being executed, if any.
+    pub cur_uop: Option<UOp>,
+    /// Software page table.
+    pub page_table: HashMap<Vpn, Pte>,
+    /// Per-file sequential positions (inode → byte offset).
+    pub files: HashMap<u32, u64>,
+    /// Clock ticks left in the quantum.
+    pub quantum: u32,
+    /// Child task parked by a `fork` in progress.
+    pub pending_child: Option<Box<dyn UserTask>>,
+    /// The image this process is executing, if it has `exec`ed.
+    pub image: Option<ExecImage>,
+    /// Per-process deterministic randomness.
+    pub rng: SmallRng,
+    /// Number of children that have exited but not been reaped.
+    pub zombie_children: u32,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("slot", &self.slot)
+            .field("state", &self.state)
+            .field("task", &self.task.name())
+            .field("kstack_depth", &self.kstack.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Process {
+    /// Whether the process is currently inside the kernel.
+    pub fn in_kernel(&self) -> bool {
+        !self.kstack.is_empty()
+    }
+}
+
+/// The process table.
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    slots: Vec<Option<Process>>,
+    next_pid: u32,
+    live: usize,
+}
+
+impl ProcTable {
+    /// Creates a table with `nproc` slots.
+    pub fn new(nproc: usize) -> Self {
+        ProcTable {
+            slots: (0..nproc).map(|_| None).collect(),
+            next_pid: 1,
+            live: 0,
+        }
+    }
+
+    /// Allocates a slot for a new process running `task`.
+    ///
+    /// Returns `None` when the table is full.
+    pub fn spawn(
+        &mut self,
+        task: Box<dyn UserTask>,
+        parent: Option<ProcSlot>,
+        quantum: u32,
+        seed: u64,
+    ) -> Option<ProcSlot> {
+        let idx = self.slots.iter().position(|s| s.is_none())?;
+        let slot = ProcSlot(idx as u16);
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.slots[idx] = Some(Process {
+            pid,
+            slot,
+            parent,
+            state: ProcState::Ready,
+            last_cpu: None,
+            pinned_cpu: None,
+            task,
+            kstack: Vec::new(),
+            cur_uop: None,
+            page_table: HashMap::new(),
+            files: HashMap::new(),
+            quantum,
+            pending_child: None,
+            image: None,
+            rng: SmallRng::seed_from_u64(seed ^ (pid.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            zombie_children: 0,
+        });
+        self.live += 1;
+        Some(slot)
+    }
+
+    /// Frees a slot (after the zombie is reaped).
+    pub fn reap(&mut self, slot: ProcSlot) {
+        if self.slots[slot.index()].take().is_some() {
+            self.live -= 1;
+        }
+    }
+
+    /// The process in `slot`, if any.
+    pub fn get(&self, slot: ProcSlot) -> Option<&Process> {
+        self.slots.get(slot.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the process in `slot`.
+    pub fn get_mut(&mut self, slot: ProcSlot) -> Option<&mut Process> {
+        self.slots.get_mut(slot.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Number of live processes (including zombies).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over live processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.slots.iter().flatten()
+    }
+
+    /// Iterates mutably over live processes.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.slots.iter_mut().flatten()
+    }
+
+    /// Slots of all live processes sleeping on `chan`.
+    pub fn sleepers(&self, chan: Chan) -> Vec<ProcSlot> {
+        self.iter()
+            .filter(|p| p.state == ProcState::Sleeping(chan))
+            .map(|p| p.slot)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user::ScriptTask;
+
+    fn task() -> Box<dyn UserTask> {
+        Box::new(ScriptTask::new("t", vec![]))
+    }
+
+    #[test]
+    fn spawn_assigns_unique_pids_and_reuses_slots() {
+        let mut t = ProcTable::new(2);
+        let a = t.spawn(task(), None, 3, 1).unwrap();
+        let b = t.spawn(task(), Some(a), 3, 1).unwrap();
+        assert_eq!(t.live(), 2);
+        assert!(t.spawn(task(), None, 3, 1).is_none(), "table full");
+        let pid_b = t.get(b).unwrap().pid;
+        t.reap(b);
+        assert_eq!(t.live(), 1);
+        let c = t.spawn(task(), None, 3, 1).unwrap();
+        assert_eq!(c, b, "slot reused");
+        assert_ne!(t.get(c).unwrap().pid, pid_b, "pid not reused");
+    }
+
+    #[test]
+    fn sleepers_filters_by_channel() {
+        let mut t = ProcTable::new(4);
+        let a = t.spawn(task(), None, 3, 1).unwrap();
+        let b = t.spawn(task(), None, 3, 1).unwrap();
+        t.get_mut(a).unwrap().state = ProcState::Sleeping(Chan::Buf(1));
+        t.get_mut(b).unwrap().state = ProcState::Sleeping(Chan::Buf(2));
+        assert_eq!(t.sleepers(Chan::Buf(1)), vec![a]);
+        assert_eq!(t.sleepers(Chan::PipeData(0)), vec![]);
+    }
+
+    #[test]
+    fn parent_links() {
+        let mut t = ProcTable::new(4);
+        let a = t.spawn(task(), None, 3, 1).unwrap();
+        let b = t.spawn(task(), Some(a), 3, 1).unwrap();
+        assert_eq!(t.get(b).unwrap().parent, Some(a));
+        assert!(!t.get(a).unwrap().in_kernel());
+    }
+}

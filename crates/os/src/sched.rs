@@ -1,0 +1,159 @@
+//! The run queue.
+//!
+//! IRIX 3.2 has a single run queue shared by all CPUs and protected by
+//! `Runqlk`; processes migrate freely, which the paper identifies as the
+//! second major source of OS misses. The optional cache-affinity mode
+//! implements the mitigation the paper points to (Squillante/Lazowska,
+//! Vaswani/Zahorjan): a CPU prefers a runnable process that last ran on
+//! it, falling back to the queue head for load balance.
+
+use std::collections::VecDeque;
+
+use oscar_machine::addr::CpuId;
+
+use crate::types::ProcSlot;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Plain FIFO: the queue head runs next wherever a CPU frees up
+    /// (free migration, as measured in the paper).
+    #[default]
+    FreeMigration,
+    /// Cache affinity: prefer a process whose last CPU is the dispatching
+    /// CPU; take the head only if none matches.
+    Affinity,
+}
+
+/// The shared run queue.
+#[derive(Debug, Default)]
+pub struct RunQueue {
+    q: VecDeque<ProcSlot>,
+    policy: SchedPolicy,
+}
+
+impl RunQueue {
+    /// Creates an empty run queue with the given policy.
+    pub fn new(policy: SchedPolicy) -> Self {
+        RunQueue {
+            q: VecDeque::new(),
+            policy,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Appends a process (`setrq`).
+    pub fn enqueue(&mut self, slot: ProcSlot) {
+        debug_assert!(!self.q.contains(&slot), "{slot:?} already queued");
+        self.q.push_back(slot);
+    }
+
+    /// Picks the next process for `cpu` (`choose_proc`), honoring the
+    /// policy. `last_cpu_of` reports where a candidate last ran;
+    /// `eligible` filters out processes pinned to other CPUs.
+    pub fn pick(
+        &mut self,
+        cpu: CpuId,
+        eligible: impl Fn(ProcSlot) -> bool,
+        last_cpu_of: impl Fn(ProcSlot) -> Option<CpuId>,
+    ) -> Option<ProcSlot> {
+        match self.policy {
+            SchedPolicy::FreeMigration => {
+                let pos = self.q.iter().position(|&s| eligible(s))?;
+                self.q.remove(pos)
+            }
+            SchedPolicy::Affinity => {
+                if let Some(pos) = self
+                    .q
+                    .iter()
+                    .position(|&s| eligible(s) && last_cpu_of(s) == Some(cpu))
+                {
+                    self.q.remove(pos)
+                } else {
+                    let pos = self.q.iter().position(|&s| eligible(s))?;
+                    self.q.remove(pos)
+                }
+            }
+        }
+    }
+
+    /// Number of queued processes.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Removes a specific process (used when a sleeping wakeup races a
+    /// reap).
+    pub fn remove(&mut self, slot: ProcSlot) -> bool {
+        if let Some(pos) = self.q.iter().position(|&s| s == slot) {
+            self.q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CpuId = CpuId(0);
+    const C1: CpuId = CpuId(1);
+
+    #[test]
+    fn fifo_order_under_free_migration() {
+        let mut rq = RunQueue::new(SchedPolicy::FreeMigration);
+        rq.enqueue(ProcSlot(1));
+        rq.enqueue(ProcSlot(2));
+        assert_eq!(rq.pick(C0, |_| true, |_| None), Some(ProcSlot(1)));
+        assert_eq!(rq.pick(C1, |_| true, |_| None), Some(ProcSlot(2)));
+        assert_eq!(rq.pick(C0, |_| true, |_| None), None);
+    }
+
+    #[test]
+    fn affinity_prefers_matching_last_cpu() {
+        let mut rq = RunQueue::new(SchedPolicy::Affinity);
+        rq.enqueue(ProcSlot(1)); // last ran on C1
+        rq.enqueue(ProcSlot(2)); // last ran on C0
+        let last = |s: ProcSlot| {
+            if s == ProcSlot(1) {
+                Some(C1)
+            } else {
+                Some(C0)
+            }
+        };
+        assert_eq!(rq.pick(C0, |_| true, last), Some(ProcSlot(2)));
+        // Fallback to head when nothing matches.
+        assert_eq!(rq.pick(C0, |_| true, last), Some(ProcSlot(1)));
+    }
+
+    #[test]
+    fn pinned_processes_are_skipped() {
+        let mut rq = RunQueue::new(SchedPolicy::FreeMigration);
+        rq.enqueue(ProcSlot(1)); // pinned elsewhere
+        rq.enqueue(ProcSlot(2));
+        let eligible = |s: ProcSlot| s != ProcSlot(1);
+        assert_eq!(rq.pick(C0, eligible, |_| None), Some(ProcSlot(2)));
+        assert_eq!(rq.len(), 1, "pinned process stays queued");
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut rq = RunQueue::new(SchedPolicy::FreeMigration);
+        rq.enqueue(ProcSlot(1));
+        rq.enqueue(ProcSlot(2));
+        assert!(rq.remove(ProcSlot(1)));
+        assert!(!rq.remove(ProcSlot(1)));
+        assert_eq!(rq.len(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! OS-side ground-truth statistics.
+//!
+//! The paper's OS keeps internal statistics readable through mapped
+//! pages (used for the synchronization study); we generalize that to a
+//! full ground-truth record. The monitor-side postprocessor in
+//! `oscar-core` must reproduce the observable subset of these numbers —
+//! the integration tests cross-check them.
+
+use crate::instrument::BlockOpKind;
+use crate::types::{BlockSizeClass, Mode, OpClass};
+
+/// Cycle totals per mode for one CPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCycles {
+    /// Cycles in user mode.
+    pub user: u64,
+    /// Cycles in kernel mode (including kernel time in interrupts).
+    pub kernel: u64,
+    /// Cycles in the idle loop.
+    pub idle: u64,
+}
+
+impl ModeCycles {
+    /// Total cycles accounted.
+    pub fn total(&self) -> u64 {
+        self.user + self.kernel + self.idle
+    }
+
+    /// Non-idle cycles.
+    pub fn non_idle(&self) -> u64 {
+        self.user + self.kernel
+    }
+
+    /// Adds cycles to the bucket for `mode`.
+    pub fn add(&mut self, mode: Mode, cycles: u64) {
+        match mode {
+            Mode::User => self.user += cycles,
+            Mode::Kernel => self.kernel += cycles,
+            Mode::Idle => self.idle += cycles,
+        }
+    }
+}
+
+/// Per-mode bus-fill counts, split instruction/data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissCounts {
+    /// Instruction fills.
+    pub instr: u64,
+    /// Data fills (including read-exclusive) and upgrades.
+    pub data: u64,
+}
+
+impl MissCounts {
+    /// Total fills.
+    pub fn total(&self) -> u64 {
+        self.instr + self.data
+    }
+}
+
+/// Counters for one block-operation kind and size class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockOpCounter {
+    /// Invocations.
+    pub count: u64,
+    /// Total bytes operated on.
+    pub bytes: u64,
+}
+
+/// The complete ground-truth statistics of a run.
+#[derive(Debug, Clone, Default)]
+pub struct OsStats {
+    /// Per-CPU mode cycle totals.
+    pub cycles: Vec<ModeCycles>,
+    /// Kernel-mode misses per CPU.
+    pub kernel_misses: MissCounts,
+    /// User-mode misses.
+    pub user_misses: MissCounts,
+    /// Idle-loop misses.
+    pub idle_misses: MissCounts,
+    /// Operations executed, by class (one invocation can contain
+    /// several, e.g. nested interrupts).
+    pub ops: [u64; OpClass::ALL.len()],
+    /// UTLB fast-path faults handled.
+    pub utlb_faults: u64,
+    /// Context switches performed.
+    pub dispatches: u64,
+    /// Dispatches where the incoming process last ran on another CPU.
+    pub migrations: u64,
+    /// Block-operation counters: `[copy, clear] × size class`.
+    pub block_ops: [[BlockOpCounter; 3]; 2],
+    /// Escape (uncached) reads issued, and the cycles they cost — the
+    /// paper's instrumentation distortion (1.5–7% of cycles).
+    pub escape_reads: u64,
+    /// Cycles consumed by escape reads.
+    pub escape_cycles: u64,
+    /// Forks performed.
+    pub forks: u64,
+    /// Execs performed.
+    pub execs: u64,
+    /// Process exits.
+    pub exits: u64,
+    /// Buffer-cache lookups that hit.
+    pub buffer_hits: u64,
+    /// Buffer-cache lookups that missed (requiring disk I/O).
+    pub buffer_misses: u64,
+    /// Disk read requests issued.
+    pub disk_reads: u64,
+    /// Disk write requests issued.
+    pub disk_writes: u64,
+    /// Demand-zero page allocations.
+    pub demand_zero: u64,
+    /// Copy-on-write page copies.
+    pub cow_copies: u64,
+    /// Pages stolen by the page-out scan.
+    pub pageouts: u64,
+    /// I-cache page flushes (code-page reallocations).
+    pub icache_flushes: u64,
+    /// Clock interrupts delivered.
+    pub clock_interrupts: u64,
+    /// Disk interrupts delivered.
+    pub disk_interrupts: u64,
+    /// Inter-CPU interrupts (TLB shootdowns) delivered.
+    pub ipis: u64,
+    /// Read-ahead blocks scheduled (`breada`).
+    pub readaheads: u64,
+    /// `sginap` calls issued by the user lock library.
+    pub sginap_calls: u64,
+}
+
+impl OsStats {
+    /// Creates statistics for `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        OsStats {
+            cycles: vec![ModeCycles::default(); num_cpus],
+            ..Default::default()
+        }
+    }
+
+    /// Records one operation of `class`.
+    pub fn count_op(&mut self, class: OpClass) {
+        self.ops[class.code() as usize] += 1;
+        if class == OpClass::UtlbFault {
+            self.utlb_faults += 1;
+        }
+    }
+
+    /// Operations recorded for `class`.
+    pub fn ops_of(&self, class: OpClass) -> u64 {
+        self.ops[class.code() as usize]
+    }
+
+    /// Reclassifies one operation from `from` to `to` (a TLB fault's
+    /// true class is known only once handling has begun).
+    pub fn reclass(&mut self, from: OpClass, to: OpClass) {
+        let f = &mut self.ops[from.code() as usize];
+        *f = f.saturating_sub(1);
+        self.ops[to.code() as usize] += 1;
+        if from == OpClass::UtlbFault {
+            self.utlb_faults = self.utlb_faults.saturating_sub(1);
+        }
+        if to == OpClass::UtlbFault {
+            self.utlb_faults += 1;
+        }
+    }
+
+    /// Records a block operation.
+    pub fn count_block_op(&mut self, kind: BlockOpKind, bytes: u64) {
+        let k = match kind {
+            BlockOpKind::Copy => 0,
+            BlockOpKind::Clear => 1,
+        };
+        let s = match BlockSizeClass::of(bytes) {
+            BlockSizeClass::FullPage => 0,
+            BlockSizeClass::RegularFragment => 1,
+            BlockSizeClass::IrregularChunk => 2,
+        };
+        self.block_ops[k][s].count += 1;
+        self.block_ops[k][s].bytes += bytes;
+    }
+
+    /// `(count, bytes)` for a block-op kind and size class.
+    pub fn block_op(&self, kind: BlockOpKind, class: BlockSizeClass) -> BlockOpCounter {
+        let k = match kind {
+            BlockOpKind::Copy => 0,
+            BlockOpKind::Clear => 1,
+        };
+        let s = match class {
+            BlockSizeClass::FullPage => 0,
+            BlockSizeClass::RegularFragment => 1,
+            BlockSizeClass::IrregularChunk => 2,
+        };
+        self.block_ops[k][s]
+    }
+
+    /// Aggregate mode cycles over all CPUs.
+    pub fn total_cycles(&self) -> ModeCycles {
+        let mut t = ModeCycles::default();
+        for c in &self.cycles {
+            t.user += c.user;
+            t.kernel += c.kernel;
+            t.idle += c.idle;
+        }
+        t
+    }
+
+    /// Misses charged to a mode.
+    pub fn misses(&self, mode: Mode) -> MissCounts {
+        match mode {
+            Mode::User => self.user_misses,
+            Mode::Kernel => self.kernel_misses,
+            Mode::Idle => self.idle_misses,
+        }
+    }
+
+    /// Mutable miss counter for a mode.
+    pub fn misses_mut(&mut self, mode: Mode) -> &mut MissCounts {
+        match mode {
+            Mode::User => &mut self.user_misses,
+            Mode::Kernel => &mut self.kernel_misses,
+            Mode::Idle => &mut self.idle_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_cycles_accounting() {
+        let mut mc = ModeCycles::default();
+        mc.add(Mode::User, 10);
+        mc.add(Mode::Kernel, 5);
+        mc.add(Mode::Idle, 3);
+        assert_eq!(mc.total(), 18);
+        assert_eq!(mc.non_idle(), 15);
+    }
+
+    #[test]
+    fn op_counting() {
+        let mut s = OsStats::new(4);
+        s.count_op(OpClass::IoSyscall);
+        s.count_op(OpClass::IoSyscall);
+        s.count_op(OpClass::UtlbFault);
+        assert_eq!(s.ops_of(OpClass::IoSyscall), 2);
+        assert_eq!(s.ops_of(OpClass::UtlbFault), 1);
+        assert_eq!(s.utlb_faults, 1);
+        assert_eq!(s.ops_of(OpClass::Interrupt), 0);
+    }
+
+    #[test]
+    fn block_op_counting() {
+        let mut s = OsStats::new(1);
+        s.count_block_op(BlockOpKind::Copy, 4096);
+        s.count_block_op(BlockOpKind::Copy, 1024);
+        s.count_block_op(BlockOpKind::Clear, 100);
+        assert_eq!(
+            s.block_op(BlockOpKind::Copy, BlockSizeClass::FullPage).count,
+            1
+        );
+        assert_eq!(
+            s.block_op(BlockOpKind::Copy, BlockSizeClass::RegularFragment)
+                .bytes,
+            1024
+        );
+        assert_eq!(
+            s.block_op(BlockOpKind::Clear, BlockSizeClass::IrregularChunk)
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn totals_aggregate_cpus() {
+        let mut s = OsStats::new(2);
+        s.cycles[0].add(Mode::User, 7);
+        s.cycles[1].add(Mode::Idle, 3);
+        let t = s.total_cycles();
+        assert_eq!(t.user, 7);
+        assert_eq!(t.idle, 3);
+        assert_eq!(t.non_idle(), 7);
+    }
+
+    #[test]
+    fn per_mode_miss_counters() {
+        let mut s = OsStats::new(1);
+        s.misses_mut(Mode::Kernel).instr += 2;
+        s.misses_mut(Mode::User).data += 1;
+        assert_eq!(s.misses(Mode::Kernel).instr, 2);
+        assert_eq!(s.misses(Mode::User).data, 1);
+        assert_eq!(s.misses(Mode::Idle).total(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Identifiers and small enums shared across the kernel model.
+
+use std::fmt;
+
+/// A process identifier. Monotonically increasing; never reused within a
+/// run (the process-table *slot* is reused, the pid is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A slot in the process table (bounded; reused after exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcSlot(pub u16);
+
+impl ProcSlot {
+    /// The slot index as a `usize` for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a CPU is doing, for time accounting (Table 1's user/system/idle
+/// split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Running application code.
+    User,
+    /// Running kernel code on behalf of a process or interrupt.
+    Kernel,
+    /// Spinning in the kernel idle loop.
+    Idle,
+}
+
+/// The paper's high-level OS operations (Table 8). Every kernel
+/// invocation is tagged with one of these for the functional
+/// classification of Figure 9 and the operation mix of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// TLB fault that requires allocating a physical page (possibly with
+    /// a page copy/clear or disk I/O).
+    ExpensiveTlbFault,
+    /// TLB fault needing neither memory allocation nor I/O, *excluding*
+    /// the UTLB fast path.
+    CheapTlbFault,
+    /// The UTLB fast path: copying a page-table entry into the TLB.
+    UtlbFault,
+    /// System call that reads or writes the file system.
+    IoSyscall,
+    /// The `sginap` reschedule system call, issued by the user
+    /// synchronization library after 20 failed spins.
+    Sginap,
+    /// Any other system call.
+    OtherSyscall,
+    /// Any interrupt (clock, disk, terminal, inter-CPU).
+    Interrupt,
+}
+
+impl OpClass {
+    /// All operation classes, in the paper's Table 8 order.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::ExpensiveTlbFault,
+        OpClass::CheapTlbFault,
+        OpClass::UtlbFault,
+        OpClass::IoSyscall,
+        OpClass::Sginap,
+        OpClass::OtherSyscall,
+        OpClass::Interrupt,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::ExpensiveTlbFault => "expensive-tlb",
+            OpClass::CheapTlbFault => "cheap-tlb",
+            OpClass::UtlbFault => "utlb",
+            OpClass::IoSyscall => "io-syscall",
+            OpClass::Sginap => "sginap",
+            OpClass::OtherSyscall => "other-syscall",
+            OpClass::Interrupt => "interrupt",
+        }
+    }
+
+    /// A stable small integer for escape encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            OpClass::ExpensiveTlbFault => 0,
+            OpClass::CheapTlbFault => 1,
+            OpClass::UtlbFault => 2,
+            OpClass::IoSyscall => 3,
+            OpClass::Sginap => 4,
+            OpClass::OtherSyscall => 5,
+            OpClass::Interrupt => 6,
+        }
+    }
+
+    /// Inverse of [`OpClass::code`].
+    pub fn from_code(code: u32) -> Option<Self> {
+        OpClass::ALL.into_iter().find(|c| c.code() == code)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Attributed kernel activity contexts: while one of these is active on a
+/// CPU, misses are charged to it. These drive the migration-miss
+/// operation breakdown (Table 5) and the block-operation accounting
+/// (Tables 6 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttrCtx {
+    /// The seven routines that manage the run queue (save/restore
+    /// context, enqueue/dequeue, pick, scheduler).
+    RunQueueMgmt,
+    /// Assembly-level initial/final exception handling (eframe
+    /// save/restore, dispatch).
+    LowLevelException,
+    /// Recognition and setup of read/write system calls.
+    ReadWriteSetup,
+    /// The block copy routine.
+    BlockCopy,
+    /// The block clear routine.
+    BlockClear,
+    /// Traversal of the physical page descriptors (page-out scan).
+    PfdatScan,
+}
+
+impl AttrCtx {
+    /// All attribution contexts.
+    pub const ALL: [AttrCtx; 6] = [
+        AttrCtx::RunQueueMgmt,
+        AttrCtx::LowLevelException,
+        AttrCtx::ReadWriteSetup,
+        AttrCtx::BlockCopy,
+        AttrCtx::BlockClear,
+        AttrCtx::PfdatScan,
+    ];
+
+    /// A stable small integer for escape encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            AttrCtx::RunQueueMgmt => 0,
+            AttrCtx::LowLevelException => 1,
+            AttrCtx::ReadWriteSetup => 2,
+            AttrCtx::BlockCopy => 3,
+            AttrCtx::BlockClear => 4,
+            AttrCtx::PfdatScan => 5,
+        }
+    }
+
+    /// Inverse of [`AttrCtx::code`].
+    pub fn from_code(code: u32) -> Option<Self> {
+        AttrCtx::ALL.into_iter().find(|c| c.code() == code)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttrCtx::RunQueueMgmt => "runq-mgmt",
+            AttrCtx::LowLevelException => "low-level-exc",
+            AttrCtx::ReadWriteSetup => "rw-setup",
+            AttrCtx::BlockCopy => "bcopy",
+            AttrCtx::BlockClear => "bclear",
+            AttrCtx::PfdatScan => "pfdat-scan",
+        }
+    }
+}
+
+impl fmt::Display for AttrCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Category of a block operation's size, per Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockSizeClass {
+    /// A full 4 KB page.
+    FullPage,
+    /// A regular fraction of a page (1/2, 1/4, 1/8).
+    RegularFragment,
+    /// Anything else (strings, syscall parameters, heap structures).
+    IrregularChunk,
+}
+
+impl BlockSizeClass {
+    /// Classifies a byte count.
+    pub fn of(bytes: u64) -> Self {
+        const PAGE: u64 = 4096;
+        if bytes == PAGE {
+            BlockSizeClass::FullPage
+        } else if bytes == PAGE / 2 || bytes == PAGE / 4 || bytes == PAGE / 8 {
+            BlockSizeClass::RegularFragment
+        } else {
+            BlockSizeClass::IrregularChunk
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockSizeClass::FullPage => "full-page",
+            BlockSizeClass::RegularFragment => "regular-fragment",
+            BlockSizeClass::IrregularChunk => "irregular-chunk",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opclass_codes_roundtrip() {
+        for c in OpClass::ALL {
+            assert_eq!(OpClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(OpClass::from_code(99), None);
+    }
+
+    #[test]
+    fn attrctx_codes_roundtrip() {
+        for c in AttrCtx::ALL {
+            assert_eq!(AttrCtx::from_code(c.code()), Some(c));
+        }
+        assert_eq!(AttrCtx::from_code(42), None);
+    }
+
+    #[test]
+    fn block_size_classes() {
+        assert_eq!(BlockSizeClass::of(4096), BlockSizeClass::FullPage);
+        assert_eq!(BlockSizeClass::of(2048), BlockSizeClass::RegularFragment);
+        assert_eq!(BlockSizeClass::of(1024), BlockSizeClass::RegularFragment);
+        assert_eq!(BlockSizeClass::of(512), BlockSizeClass::RegularFragment);
+        assert_eq!(BlockSizeClass::of(300), BlockSizeClass::IrregularChunk);
+        assert_eq!(BlockSizeClass::of(8192), BlockSizeClass::IrregularChunk);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            OpClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), OpClass::ALL.len());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Pid(3).to_string(), "pid3");
+        assert_eq!(OpClass::Sginap.to_string(), "sginap");
+        assert_eq!(AttrCtx::BlockCopy.to_string(), "bcopy");
+    }
+}

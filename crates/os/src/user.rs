@@ -1,0 +1,480 @@
+//! The user-program interface: virtual address-space conventions, user
+//! micro-operations, and the [`UserTask`] trait that workload models
+//! implement.
+
+use oscar_machine::addr::{VAddr, PAGE_SIZE};
+use rand::rngs::SmallRng;
+
+use crate::types::Pid;
+
+/// Virtual address-space conventions (segment bases). The classifier
+/// uses these vpn ranges to tell user instruction pages from data pages,
+/// as the paper does with TLB-derived virtual addresses.
+pub mod segs {
+    use oscar_machine::addr::{VAddr, Vpn};
+
+    /// Base of the text (code) segment.
+    pub const TEXT_BASE: VAddr = VAddr::new(0x0040_0000);
+    /// Base of the data/heap segment.
+    pub const DATA_BASE: VAddr = VAddr::new(0x1000_0000);
+    /// Base of the shared-memory segment window.
+    pub const SHM_BASE: VAddr = VAddr::new(0x2000_0000);
+    /// Base of the (downward-growing) stack segment.
+    pub const STACK_BASE: VAddr = VAddr::new(0x7fff_0000);
+    /// One past the last stack page.
+    pub const STACK_END: VAddr = VAddr::new(0x8000_0000);
+
+    /// Whether a virtual page holds code.
+    pub fn is_text(vpn: Vpn) -> bool {
+        vpn >= TEXT_BASE.page() && vpn < DATA_BASE.page()
+    }
+
+    /// Whether a virtual page belongs to the shared-memory window.
+    pub fn is_shm(vpn: Vpn) -> bool {
+        vpn >= SHM_BASE.page() && vpn < STACK_BASE.page()
+    }
+
+    /// Whether a virtual page belongs to the stack.
+    pub fn is_stack(vpn: Vpn) -> bool {
+        vpn >= STACK_BASE.page() && vpn < STACK_END.page()
+    }
+}
+
+/// Parameters of an executable image for `exec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecImage {
+    /// Identity of the image file (its inode); images shared between
+    /// processes (the C compiler run 8× concurrently) hit in the buffer
+    /// cache.
+    pub inode: u32,
+    /// Text size in bytes.
+    pub text_bytes: u32,
+    /// Initialized-data size in bytes (also loaded from the image).
+    pub data_bytes: u32,
+}
+
+impl ExecImage {
+    /// Number of text pages.
+    pub fn text_pages(&self) -> u32 {
+        self.text_bytes.div_ceil(PAGE_SIZE as u32)
+    }
+}
+
+/// A request into the kernel.
+pub enum SysReq {
+    /// Read `bytes` sequentially from `inode` at the process's current
+    /// position for that file.
+    Read {
+        /// File identity.
+        inode: u32,
+        /// Bytes to read.
+        bytes: u32,
+    },
+    /// Write `bytes` sequentially to `inode`.
+    Write {
+        /// File identity.
+        inode: u32,
+        /// Bytes to write.
+        bytes: u32,
+    },
+    /// Read `bytes` from `inode` at an explicit offset (databases doing
+    /// their own file management issue these).
+    ReadAt {
+        /// File identity.
+        inode: u32,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        bytes: u32,
+    },
+    /// Write `bytes` sequentially to `inode` and wait for the data to
+    /// reach the disk (redo-log style synchronous commit).
+    SyncWrite {
+        /// File identity.
+        inode: u32,
+        /// Bytes to write.
+        bytes: u32,
+    },
+    /// Write `bytes` to `inode` at an explicit offset.
+    WriteAt {
+        /// File identity.
+        inode: u32,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        bytes: u32,
+    },
+    /// Path lookup + in-core inode activation.
+    Open {
+        /// File identity.
+        inode: u32,
+        /// Path components to resolve.
+        components: u32,
+    },
+    /// Release the file.
+    Close {
+        /// File identity.
+        inode: u32,
+    },
+    /// Yield the CPU (issued by the user lock library after 20 failed
+    /// spins).
+    Sginap,
+    /// Create a child running `child` (the model's fork+exec splits:
+    /// fork clones, the child's task usually starts with `Exec`).
+    Fork {
+        /// The child's user program.
+        child: Box<dyn UserTask>,
+    },
+    /// Replace this process's address space with `image`.
+    Exec {
+        /// The new image.
+        image: ExecImage,
+    },
+    /// Terminate.
+    Exit,
+    /// Wait for a child to exit.
+    Wait,
+    /// Grow the heap by `pages`.
+    Brk {
+        /// Pages to add.
+        pages: u32,
+    },
+    /// Attach shared segment `seg` (created on first attach).
+    ShmAttach {
+        /// Segment id.
+        seg: u32,
+        /// Segment size in pages.
+        pages: u32,
+    },
+    /// Semaphore operation (P: delta=-1, V: delta=+1).
+    SemOp {
+        /// Semaphore index.
+        sem: u32,
+        /// Increment.
+        delta: i32,
+    },
+    /// Read from pipe `pipe` (blocks when empty).
+    PipeRead {
+        /// Pipe index.
+        pipe: u32,
+        /// Bytes.
+        bytes: u32,
+    },
+    /// Write to pipe `pipe` (wakes readers).
+    PipeWrite {
+        /// Pipe index.
+        pipe: u32,
+        /// Bytes.
+        bytes: u32,
+    },
+    /// Write to the terminal via the STREAMS path.
+    TtyWrite {
+        /// Session (stream) index.
+        stream: u32,
+        /// Bytes.
+        bytes: u32,
+    },
+    /// Sleep for `ticks` clock ticks (callout-based).
+    Nap {
+        /// Clock ticks.
+        ticks: u32,
+    },
+    /// Receive pending network data (runs the network stack, which the
+    /// kernel executes on CPU 1 only, as in IRIX 3.2).
+    SockRecv {
+        /// Bytes expected.
+        bytes: u32,
+    },
+}
+
+/// One user-level micro-operation, yielded by a [`UserTask`].
+#[derive(Debug)]
+pub enum UOp {
+    /// Execute straight-line code over virtual `[cur, end)`.
+    Run {
+        /// Next instruction byte.
+        cur: u64,
+        /// One past the end.
+        end: u64,
+    },
+    /// Execute a loop: `iters` passes over a `len`-byte body at `base`.
+    RunLoop {
+        /// Loop body base address.
+        base: u64,
+        /// Body length in bytes.
+        len: u32,
+        /// Iterations remaining.
+        iters: u32,
+        /// Byte offset within the current pass.
+        off: u32,
+    },
+    /// One data access.
+    Touch {
+        /// Virtual address.
+        addr: u64,
+        /// Write?
+        write: bool,
+    },
+    /// A strided data sweep over virtual `[cur, end)`.
+    Sweep {
+        /// Next address.
+        cur: u64,
+        /// One past the end.
+        end: u64,
+        /// Stride in bytes (0 = one block).
+        stride: u32,
+        /// Write?
+        write: bool,
+    },
+    /// Pure computation.
+    Compute {
+        /// Cycles to burn.
+        cycles: u64,
+    },
+    /// A pseudo-random pointer-chasing walk: `left` touches uniformly
+    /// spread over `[base, base+span)` (an LCG drives the sequence, so
+    /// walks are deterministic).
+    Walk {
+        /// Base virtual address.
+        base: u64,
+        /// Span in bytes.
+        span: u64,
+        /// Touches remaining.
+        left: u32,
+        /// LCG state.
+        state: u64,
+        /// Fraction of touches that write (0-255 scale).
+        write_ratio: u8,
+    },
+    /// Trap into the kernel.
+    Syscall(SysReq),
+    /// Acquire user spin lock `lock` (in shared memory). After 20
+    /// failed spins the library calls `sginap`, exactly as in the paper.
+    LockAcq {
+        /// User lock id.
+        lock: u32,
+        /// Failed spins so far (library state).
+        spins: u32,
+    },
+    /// Release user spin lock `lock`.
+    LockRel {
+        /// User lock id.
+        lock: u32,
+    },
+}
+
+impl UOp {
+    /// Straight-line execution of `len` bytes of code at `base`.
+    pub fn run(base: VAddr, len: u32) -> UOp {
+        UOp::Run {
+            cur: base.raw(),
+            end: base.raw() + len as u64,
+        }
+    }
+
+    /// A loop of `iters` passes over `len` bytes at `base`.
+    pub fn run_loop(base: VAddr, len: u32, iters: u32) -> UOp {
+        UOp::RunLoop {
+            base: base.raw(),
+            len,
+            iters,
+            off: 0,
+        }
+    }
+
+    /// A data sweep of `len` bytes from `base`.
+    pub fn sweep(base: VAddr, len: u64, stride: u32, write: bool) -> UOp {
+        UOp::Sweep {
+            cur: base.raw(),
+            end: base.raw() + len,
+            stride,
+            write,
+        }
+    }
+
+    /// A pointer-chasing walk of `count` touches over `span` bytes at
+    /// `base`.
+    pub fn walk(base: VAddr, span: u64, count: u32, seed: u64) -> UOp {
+        UOp::Walk {
+            base: base.raw(),
+            span: span.max(64),
+            left: count,
+            state: seed | 1,
+            write_ratio: 64,
+        }
+    }
+
+    /// A single data read.
+    pub fn read(addr: VAddr) -> UOp {
+        UOp::Touch {
+            addr: addr.raw(),
+            write: false,
+        }
+    }
+
+    /// A single data write.
+    pub fn write(addr: VAddr) -> UOp {
+        UOp::Touch {
+            addr: addr.raw(),
+            write: true,
+        }
+    }
+}
+
+/// Execution context handed to a task when it is asked for its next
+/// operation.
+pub struct TaskEnv<'a> {
+    /// Deterministic per-process randomness.
+    pub rng: &'a mut SmallRng,
+    /// The process's pid.
+    pub pid: Pid,
+    /// Current cycle time on the executing CPU.
+    pub now: u64,
+}
+
+impl std::fmt::Debug for TaskEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskEnv")
+            .field("pid", &self.pid)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A user program: a state machine yielding user micro-operations.
+///
+/// Returning `None` means the program has finished; the kernel runs an
+/// implicit `exit` for it.
+pub trait UserTask {
+    /// The next operation to execute, or `None` when done.
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp>;
+
+    /// A short name for debugging and reports.
+    fn name(&self) -> &'static str {
+        "task"
+    }
+}
+
+impl std::fmt::Debug for dyn UserTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UserTask({})", self.name())
+    }
+}
+
+impl std::fmt::Debug for SysReq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SysReq::Read { inode, bytes } => write!(f, "Read(i{inode}, {bytes}B)"),
+            SysReq::ReadAt {
+                inode,
+                offset,
+                bytes,
+            } => write!(f, "ReadAt(i{inode}, @{offset}, {bytes}B)"),
+            SysReq::WriteAt {
+                inode,
+                offset,
+                bytes,
+            } => write!(f, "WriteAt(i{inode}, @{offset}, {bytes}B)"),
+            SysReq::Write { inode, bytes } => write!(f, "Write(i{inode}, {bytes}B)"),
+            SysReq::SyncWrite { inode, bytes } => write!(f, "SyncWrite(i{inode}, {bytes}B)"),
+            SysReq::Open { inode, components } => write!(f, "Open(i{inode}, {components})"),
+            SysReq::Close { inode } => write!(f, "Close(i{inode})"),
+            SysReq::Sginap => write!(f, "Sginap"),
+            SysReq::Fork { child } => write!(f, "Fork({})", child.name()),
+            SysReq::Exec { image } => write!(f, "Exec({image:?})"),
+            SysReq::Exit => write!(f, "Exit"),
+            SysReq::Wait => write!(f, "Wait"),
+            SysReq::Brk { pages } => write!(f, "Brk({pages})"),
+            SysReq::ShmAttach { seg, pages } => write!(f, "ShmAttach({seg}, {pages})"),
+            SysReq::SemOp { sem, delta } => write!(f, "SemOp({sem}, {delta})"),
+            SysReq::PipeRead { pipe, bytes } => write!(f, "PipeRead({pipe}, {bytes}B)"),
+            SysReq::PipeWrite { pipe, bytes } => write!(f, "PipeWrite({pipe}, {bytes}B)"),
+            SysReq::TtyWrite { stream, bytes } => write!(f, "TtyWrite({stream}, {bytes}B)"),
+            SysReq::Nap { ticks } => write!(f, "Nap({ticks})"),
+            SysReq::SockRecv { bytes } => write!(f, "SockRecv({bytes}B)"),
+        }
+    }
+}
+
+/// A trivial task used in tests: runs a code loop and touches data, then
+/// finishes.
+#[derive(Debug)]
+pub struct ScriptTask {
+    ops: std::collections::VecDeque<UOp>,
+    name: &'static str,
+}
+
+impl ScriptTask {
+    /// Creates a task that plays back `ops` in order.
+    pub fn new(name: &'static str, ops: Vec<UOp>) -> Self {
+        ScriptTask {
+            ops: ops.into(),
+            name,
+        }
+    }
+}
+
+impl UserTask for ScriptTask {
+    fn next(&mut self, _env: &mut TaskEnv<'_>) -> Option<UOp> {
+        self.ops.pop_front()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_predicates() {
+        assert!(segs::is_text(segs::TEXT_BASE.page()));
+        assert!(!segs::is_text(segs::DATA_BASE.page()));
+        assert!(segs::is_shm(segs::SHM_BASE.page()));
+        assert!(segs::is_stack(segs::STACK_BASE.page()));
+        assert!(!segs::is_stack(VAddr::new(0x8000_0000).page()));
+    }
+
+    #[test]
+    fn exec_image_pages() {
+        let img = ExecImage {
+            inode: 9,
+            text_bytes: 4096 * 3 + 1,
+            data_bytes: 0,
+        };
+        assert_eq!(img.text_pages(), 4);
+    }
+
+    #[test]
+    fn script_task_plays_back() {
+        let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut env = TaskEnv {
+            rng: &mut rng,
+            pid: Pid(1),
+            now: 0,
+        };
+        let mut t = ScriptTask::new("t", vec![UOp::Compute { cycles: 5 }]);
+        assert!(matches!(
+            t.next(&mut env),
+            Some(UOp::Compute { cycles: 5 })
+        ));
+        assert!(t.next(&mut env).is_none());
+    }
+
+    #[test]
+    fn uop_builders() {
+        match UOp::run(segs::TEXT_BASE, 100) {
+            UOp::Run { cur, end } => assert_eq!(end - cur, 100),
+            _ => panic!(),
+        }
+        match UOp::run_loop(segs::TEXT_BASE, 64, 10) {
+            UOp::RunLoop { len, iters, .. } => {
+                assert_eq!(len, 64);
+                assert_eq!(iters, 10);
+            }
+            _ => panic!(),
+        }
+    }
+}

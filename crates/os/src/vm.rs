@@ -1,0 +1,345 @@
+//! Physical frame management: the free-page pool, frame ownership
+//! records (the `pfdat` analog), and shared-memory segments.
+
+use std::collections::{HashMap, VecDeque};
+
+use oscar_machine::addr::{Ppn, Vpn};
+
+use crate::types::Pid;
+
+/// What a frame is being used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameUse {
+    /// On the free list.
+    Free,
+    /// Backing a private user page.
+    User {
+        /// Owning process.
+        pid: Pid,
+        /// Virtual page in that process.
+        vpn: Vpn,
+        /// Whether the page holds code (reallocating it later forces an
+        /// I-cache flush — the source of *Inval* misses).
+        text: bool,
+    },
+    /// Backing a shared-memory segment page.
+    Shm {
+        /// Segment id.
+        seg: u32,
+        /// Page index within the segment.
+        index: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameInfo {
+    use_: FrameUse,
+    /// The frame held code at some point since it was last I-cache
+    /// flushed.
+    was_code: bool,
+    /// Reference count (fork shares frames copy-on-write).
+    refs: u32,
+}
+
+/// Result of allocating a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameAlloc {
+    /// The allocated frame.
+    pub ppn: Ppn,
+    /// The frame previously held code, so the I-caches must be flushed
+    /// for this page before reuse.
+    pub needs_icache_flush: bool,
+}
+
+/// The frame database.
+#[derive(Debug)]
+pub struct FrameDb {
+    first: u32,
+    /// Free frames bucketed by cache color (64 KB cache / 4 KB pages =
+    /// 16 colors). The allocator prefers a frame whose color matches the
+    /// virtual page, the classic page-coloring trick real kernels use to
+    /// keep physically-indexed caches predictable.
+    free: [VecDeque<Ppn>; NUM_COLORS],
+    free_total: usize,
+    next_color: usize,
+    info: Vec<FrameInfo>,
+    /// Allocation order, for page-out victim selection (FIFO).
+    fifo: VecDeque<Ppn>,
+    segments: HashMap<u32, Vec<Option<Ppn>>>,
+}
+
+/// Number of page colors (cache size / page size).
+pub const NUM_COLORS: usize = 16;
+
+fn color_of(ppn: Ppn) -> usize {
+    (ppn.0 as usize) % NUM_COLORS
+}
+
+impl FrameDb {
+    /// Creates a database managing frames `[first, end)`.
+    pub fn new(first: Ppn, end: Ppn) -> Self {
+        let n = (end.0 - first.0) as usize;
+        let mut free: [VecDeque<Ppn>; NUM_COLORS] = Default::default();
+        for p in first.0..end.0 {
+            free[color_of(Ppn(p))].push_back(Ppn(p));
+        }
+        FrameDb {
+            first: first.0,
+            free,
+            free_total: n,
+            next_color: 0,
+            info: vec![
+                FrameInfo {
+                    use_: FrameUse::Free,
+                    was_code: false,
+                    refs: 0,
+                };
+                n
+            ],
+            fifo: VecDeque::new(),
+            segments: HashMap::new(),
+        }
+    }
+
+    fn idx(&self, ppn: Ppn) -> usize {
+        debug_assert!(ppn.0 >= self.first);
+        (ppn.0 - self.first) as usize
+    }
+
+    /// Frames currently free.
+    pub fn free_count(&self) -> usize {
+        self.free_total
+    }
+
+    /// Total managed frames.
+    pub fn capacity(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Allocates a frame for `use_`. Returns `None` when the pool is
+    /// empty (the caller must run the page-out scan first).
+    pub fn alloc(&mut self, use_: FrameUse, is_code: bool) -> Option<FrameAlloc> {
+        let c = self.next_color;
+        self.next_color = (self.next_color + 1) % NUM_COLORS;
+        self.alloc_colored(use_, is_code, c as u8)
+    }
+
+    /// Allocates a frame preferring cache color `color` (falling back to
+    /// the nearest non-empty color).
+    pub fn alloc_colored(&mut self, use_: FrameUse, is_code: bool, color: u8) -> Option<FrameAlloc> {
+        if self.free_total == 0 {
+            return None;
+        }
+        let want = color as usize % NUM_COLORS;
+        let ppn = (0..NUM_COLORS)
+            .map(|d| (want + d) % NUM_COLORS)
+            .find_map(|c| self.free[c].pop_front())?;
+        self.free_total -= 1;
+        Some(self.install(ppn, use_, is_code))
+    }
+
+    fn install(&mut self, ppn: Ppn, use_: FrameUse, is_code: bool) -> FrameAlloc {
+        let i = self.idx(ppn);
+        let needs_icache_flush = self.info[i].was_code;
+        self.info[i] = FrameInfo {
+            use_,
+            was_code: is_code,
+            refs: 1,
+        };
+        self.fifo.push_back(ppn);
+        FrameAlloc {
+            ppn,
+            needs_icache_flush,
+        }
+    }
+
+    /// Adds a reference (fork sharing a frame copy-on-write).
+    pub fn add_ref(&mut self, ppn: Ppn) {
+        let i = self.idx(ppn);
+        debug_assert_ne!(self.info[i].use_, FrameUse::Free);
+        self.info[i].refs += 1;
+    }
+
+    /// Drops a reference; frees the frame when it reaches zero. Returns
+    /// whether the frame was actually freed.
+    pub fn release(&mut self, ppn: Ppn) -> bool {
+        let i = self.idx(ppn);
+        debug_assert_ne!(self.info[i].use_, FrameUse::Free, "double free of {ppn}");
+        self.info[i].refs -= 1;
+        if self.info[i].refs == 0 {
+            self.info[i].use_ = FrameUse::Free;
+            self.free[color_of(ppn)].push_back(ppn);
+            self.free_total += 1;
+            if let Some(pos) = self.fifo.iter().position(|&p| p == ppn) {
+                self.fifo.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current use of a frame.
+    pub fn use_of(&self, ppn: Ppn) -> FrameUse {
+        self.info[self.idx(ppn)].use_
+    }
+
+    /// Reference count of a frame.
+    pub fn refs(&self, ppn: Ppn) -> u32 {
+        self.info[self.idx(ppn)].refs
+    }
+
+    /// Records that the I-caches were flushed for this frame, clearing
+    /// its stale-code mark.
+    pub fn note_icache_flushed(&mut self, ppn: Ppn) {
+        let i = self.idx(ppn);
+        self.info[i].was_code = false;
+    }
+
+    /// Picks up to `n` page-out victims in allocation (FIFO) order,
+    /// skipping shared and multiply-referenced frames. The caller
+    /// invalidates the owners' mappings and then [`FrameDb::release`]s
+    /// them.
+    pub fn pageout_victims(&mut self, n: usize) -> Vec<(Ppn, FrameUse)> {
+        let mut victims = Vec::new();
+        let mut rotated = 0;
+        while victims.len() < n && rotated < self.fifo.len() {
+            let Some(ppn) = self.fifo.pop_front() else {
+                break;
+            };
+            let i = self.idx(ppn);
+            match self.info[i].use_ {
+                FrameUse::User { .. } if self.info[i].refs == 1 => {
+                    victims.push((ppn, self.info[i].use_));
+                    // The caller releases; keep it out of the FIFO.
+                }
+                FrameUse::Free => {}
+                other => {
+                    let _ = other;
+                    self.fifo.push_back(ppn);
+                    rotated += 1;
+                }
+            }
+        }
+        victims
+    }
+
+    /// Gets or creates shared segment `seg` with `pages` pages.
+    pub fn segment_mut(&mut self, seg: u32, pages: u32) -> &mut Vec<Option<Ppn>> {
+        self.segments
+            .entry(seg)
+            .or_insert_with(|| vec![None; pages as usize])
+    }
+
+    /// Looks up the frame backing `(seg, index)`, if mapped.
+    pub fn segment_frame(&self, seg: u32, index: u32) -> Option<Ppn> {
+        self.segments
+            .get(&seg)
+            .and_then(|v| v.get(index as usize).copied().flatten())
+    }
+
+    /// Records the frame backing `(seg, index)`.
+    pub fn set_segment_frame(&mut self, seg: u32, index: u32, ppn: Ppn) {
+        if let Some(v) = self.segments.get_mut(&seg) {
+            if let Some(slot) = v.get_mut(index as usize) {
+                *slot = Some(ppn);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> FrameDb {
+        FrameDb::new(Ppn(100), Ppn(110))
+    }
+
+    fn user_use(pid: u32) -> FrameUse {
+        FrameUse::User {
+            pid: Pid(pid),
+            vpn: Vpn(1),
+            text: false,
+        }
+    }
+
+    #[test]
+    fn alloc_and_release_cycle() {
+        let mut d = db();
+        assert_eq!(d.free_count(), 10);
+        let a = d.alloc(user_use(1), false).unwrap();
+        assert_eq!(d.free_count(), 9);
+        assert!(!a.needs_icache_flush);
+        assert!(d.release(a.ppn));
+        assert_eq!(d.free_count(), 10);
+        assert_eq!(d.use_of(a.ppn), FrameUse::Free);
+    }
+
+    #[test]
+    fn code_frame_reallocation_requires_flush() {
+        let mut d = db();
+        let a = d.alloc(user_use(1), true).unwrap();
+        d.release(a.ppn);
+        // Drain the pool so the code frame comes back around.
+        let mut seen_flush = false;
+        for _ in 0..10 {
+            let f = d.alloc(user_use(2), false).unwrap();
+            if f.ppn == a.ppn {
+                assert!(f.needs_icache_flush);
+                seen_flush = true;
+                d.note_icache_flushed(f.ppn);
+            }
+        }
+        assert!(seen_flush);
+    }
+
+    #[test]
+    fn cow_refcounting() {
+        let mut d = db();
+        let a = d.alloc(user_use(1), false).unwrap();
+        d.add_ref(a.ppn);
+        assert_eq!(d.refs(a.ppn), 2);
+        assert!(!d.release(a.ppn), "still referenced");
+        assert!(d.release(a.ppn), "now free");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut d = db();
+        for _ in 0..10 {
+            assert!(d.alloc(user_use(1), false).is_some());
+        }
+        assert!(d.alloc(user_use(1), false).is_none());
+    }
+
+    #[test]
+    fn pageout_picks_fifo_user_victims() {
+        let mut d = db();
+        let a = d.alloc(user_use(1), false).unwrap();
+        let b = d.alloc(user_use(2), false).unwrap();
+        // A shared frame is skipped.
+        let c = d
+            .alloc(FrameUse::Shm { seg: 1, index: 0 }, false)
+            .unwrap();
+        let victims = d.pageout_victims(2);
+        let ppns: Vec<Ppn> = victims.iter().map(|v| v.0).collect();
+        assert_eq!(ppns, vec![a.ppn, b.ppn]);
+        assert!(!ppns.contains(&c.ppn));
+        for (ppn, _) in victims {
+            d.release(ppn);
+        }
+        assert_eq!(d.free_count(), 9);
+    }
+
+    #[test]
+    fn shared_segments() {
+        let mut d = db();
+        d.segment_mut(7, 4);
+        assert_eq!(d.segment_frame(7, 0), None);
+        let f = d.alloc(FrameUse::Shm { seg: 7, index: 0 }, false).unwrap();
+        d.set_segment_frame(7, 0, f.ppn);
+        assert_eq!(d.segment_frame(7, 0), Some(f.ppn));
+        assert_eq!(d.segment_frame(9, 0), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! `oscar-reports`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! oscar-reports [WORKLOAD] [MEASURE] [WARMUP] [flags]
+//!
+//! WORKLOAD   pmake | multpgm | oracle | all        (default: all)
+//! MEASURE    measured window in cycles             (default: 45000000)
+//! WARMUP     warm-up cycles before measuring       (default: 45000000)
+//!
+//! flags:
+//!   --csv DIR          also write the figure series as CSV files
+//!   --save-trace DIR   save each run's raw monitor trace (.oscartrace)
+//!   --from-trace FILE  skip simulation; analyze a saved trace instead
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use oscar_core::resim::figure6_sweep;
+use oscar_core::{analyze, csv, render_all, run, tracefile, ExperimentConfig, RunArtifacts};
+use oscar_workloads::WorkloadKind;
+
+struct Args {
+    kinds: Vec<WorkloadKind>,
+    measure: u64,
+    warmup: u64,
+    csv_dir: Option<PathBuf>,
+    save_trace_dir: Option<PathBuf>,
+    from_trace: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut kinds = WorkloadKind::ALL.to_vec();
+    let mut positional = Vec::new();
+    let mut csv_dir = None;
+    let mut save_trace_dir = None;
+    let mut from_trace = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv_dir = it.next().map(PathBuf::from),
+            "--save-trace" => save_trace_dir = it.next().map(PathBuf::from),
+            "--from-trace" => from_trace = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: oscar-reports [pmake|multpgm|oracle|all] [measure] [warmup] [--csv DIR] [--save-trace DIR] [--from-trace FILE]");
+                std::process::exit(0);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(w) = positional.first() {
+        kinds = match w.as_str() {
+            "pmake" => vec![WorkloadKind::Pmake],
+            "multpgm" => vec![WorkloadKind::Multpgm],
+            "oracle" => vec![WorkloadKind::Oracle],
+            _ => WorkloadKind::ALL.to_vec(),
+        };
+    }
+    let measure = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45_000_000);
+    let warmup = positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45_000_000);
+    Args {
+        kinds,
+        measure,
+        warmup,
+        csv_dir,
+        save_trace_dir,
+        from_trace,
+    }
+}
+
+fn emit(art: &RunArtifacts, args: &Args) {
+    let an = analyze(art);
+    println!("{}", render_all(art, &an));
+    if let Some(dir) = &args.csv_dir {
+        fs::create_dir_all(dir).expect("create csv dir");
+        let tag = art.workload.label().to_lowercase();
+        let write = |name: &str, data: String| {
+            let path = dir.join(format!("{tag}_{name}.csv"));
+            fs::write(&path, data).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        };
+        write("fig3", csv::fig3_csv(&an));
+        write("fig5", csv::fig5_csv(&an));
+        write(
+            "fig6",
+            csv::fig6_csv(&figure6_sweep(
+                &an.istream,
+                art.machine_config.num_cpus as usize,
+            )),
+        );
+        write("fig8", csv::fig8_csv(&an));
+        write("fig9", csv::fig9_csv(&an));
+        write("table12", csv::table12_csv(art));
+    }
+    if let Some(dir) = &args.save_trace_dir {
+        fs::create_dir_all(dir).expect("create trace dir");
+        let path = dir.join(format!(
+            "{}.oscartrace",
+            art.workload.label().to_lowercase()
+        ));
+        let mut f = fs::File::create(&path).expect("create trace file");
+        tracefile::save(art, &mut f).expect("save trace");
+        eprintln!("wrote {} ({} records)", path.display(), art.trace.len());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.from_trace {
+        let mut f = fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let art = tracefile::load(&mut f).unwrap_or_else(|e| {
+            eprintln!("error: {} is not a readable oscar trace: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "loaded {} records ({}, window {} cycles)",
+            art.trace.len(),
+            art.workload,
+            art.measure_end - art.measure_start
+        );
+        emit(&art, &args);
+        return;
+    }
+    for kind in args.kinds.clone() {
+        let art = run(&ExperimentConfig::new(kind)
+            .warmup(args.warmup)
+            .measure(args.measure));
+        emit(&art, &args);
+    }
+}

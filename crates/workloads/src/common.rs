@@ -1,0 +1,125 @@
+//! Shared conventions for the workload models: the simulated file-system
+//! namespace (inode numbers), executable images, and address-space
+//! constants.
+
+use oscar_os::user::segs;
+use oscar_os::ExecImage;
+use oscar_machine::addr::VAddr;
+
+/// Inode nambering of the simulated file system.
+pub mod inodes {
+    /// The `cc` compiler driver image (shared by every compile job).
+    pub const IMG_CC: u32 = 50;
+    /// The Mp3d particle-simulator image.
+    pub const IMG_MP3D: u32 = 51;
+    /// The `ed` editor image.
+    pub const IMG_ED: u32 = 52;
+    /// The Oracle server image.
+    pub const IMG_ORACLE: u32 = 53;
+    /// The Makefile.
+    pub const MAKEFILE: u32 = 100;
+    /// C source files: `SRC_BASE + file_index`.
+    pub const SRC_BASE: u32 = 200;
+    /// Shared header files: `HDR_BASE + header_index`.
+    pub const HDR_BASE: u32 = 300;
+    /// Compiler outputs: `OUT_BASE + file_index`.
+    pub const OUT_BASE: u32 = 400;
+    /// The editor's text files: `TEXT_BASE + session`.
+    pub const TEXT_BASE: u32 = 500;
+    /// Oracle data files: `DB_BASE + file`.
+    pub const DB_BASE: u32 = 600;
+    /// The Oracle redo log.
+    pub const DB_LOG: u32 = 640;
+}
+
+/// The C compiler image: a mid-sized text segment whose phases loop over
+/// different windows.
+pub fn cc_image() -> ExecImage {
+    ExecImage {
+        inode: inodes::IMG_CC,
+        text_bytes: 180 * 1024,
+        data_bytes: 24 * 1024,
+    }
+}
+
+/// The Mp3d image.
+pub fn mp3d_image() -> ExecImage {
+    ExecImage {
+        inode: inodes::IMG_MP3D,
+        text_bytes: 56 * 1024,
+        data_bytes: 16 * 1024,
+    }
+}
+
+/// The `ed` image.
+pub fn ed_image() -> ExecImage {
+    ExecImage {
+        inode: inodes::IMG_ED,
+        text_bytes: 44 * 1024,
+        data_bytes: 8 * 1024,
+    }
+}
+
+/// The Oracle server image: the paper notes its instruction working set
+/// is large (Figure 6 only flattens at 1 MB I-caches).
+pub fn oracle_image() -> ExecImage {
+    ExecImage {
+        inode: inodes::IMG_ORACLE,
+        text_bytes: 560 * 1024,
+        data_bytes: 64 * 1024,
+    }
+}
+
+/// Virtual address of byte `off` within the text segment.
+pub fn text_at(off: u64) -> VAddr {
+    segs::TEXT_BASE.add(off)
+}
+
+/// Virtual address of byte `off` within the private heap, *after* the
+/// two I/O buffer pages and the initialized-data pages the kernel
+/// reserves at the heap base.
+pub fn heap_at(off: u64) -> VAddr {
+    segs::DATA_BASE.add(64 * 1024 + off)
+}
+
+/// Virtual address of byte `off` within shared segment `seg`.
+pub fn shm_at(seg: u32, off: u64) -> VAddr {
+    oscar_os::shm_base_vpn(seg).base().add(off)
+}
+
+/// Virtual address of byte `off` within the stack segment.
+pub fn stack_at(off: u64) -> VAddr {
+    segs::STACK_BASE.add(off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_land_in_their_segments() {
+        assert!(segs::is_text(text_at(1000).page()));
+        assert!(!segs::is_text(heap_at(0).page()));
+        assert!(segs::is_shm(shm_at(0, 0).page()));
+        assert!(segs::is_shm(shm_at(2, 4 * 1024 * 1024 - 1).page()));
+        assert!(segs::is_stack(stack_at(16).page()));
+    }
+
+    #[test]
+    fn images_are_distinct_files() {
+        let inodes = [
+            cc_image().inode,
+            mp3d_image().inode,
+            ed_image().inode,
+            oracle_image().inode,
+        ];
+        let set: std::collections::HashSet<_> = inodes.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn oracle_image_is_the_largest() {
+        assert!(oracle_image().text_bytes > cc_image().text_bytes);
+        assert!(oracle_image().text_pages() >= 140);
+    }
+}

@@ -1,0 +1,260 @@
+//! A screen-edit session: a simulated typist feeding `ed` commands
+//! through a pipe, exactly as the paper constructs it — bursts of 1–15
+//! characters at a time, rate-limited, driving character searches and
+//! text edits in the editor, which echoes to the terminal through the
+//! STREAMS path.
+//!
+//! Scaling note: the paper limits the typist to 25 characters per 5
+//! seconds over a 1–2 minute trace; our traces are a few hundred
+//! milliseconds to a few seconds, so the inter-burst naps are scaled
+//! down (configurable) to keep the sessions active within the horizon.
+
+use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
+use rand::Rng;
+
+use crate::common::{ed_image, heap_at, inodes};
+
+/// The simulated typist: naps, then sends a burst of 1–15 characters
+/// down the pipe.
+#[derive(Debug)]
+pub struct Typist {
+    pipe: u32,
+    min_nap_ticks: u32,
+    max_nap_ticks: u32,
+    napping: bool,
+}
+
+impl Typist {
+    /// A typist writing to `pipe`, napping 1–4 clock ticks between
+    /// bursts (scaled from the paper's 5-second cap; see module docs).
+    pub fn new(pipe: u32) -> Self {
+        Typist {
+            pipe,
+            min_nap_ticks: 1,
+            max_nap_ticks: 4,
+            napping: true,
+        }
+    }
+}
+
+impl UserTask for Typist {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        if self.napping {
+            self.napping = false;
+            let ticks = env.rng.gen_range(self.min_nap_ticks..=self.max_nap_ticks);
+            Some(UOp::Syscall(SysReq::Nap { ticks }))
+        } else {
+            self.napping = true;
+            // "bursts of 1-15 characters at a time" via rand().
+            let chars = env.rng.gen_range(1..=15);
+            Some(UOp::Syscall(SysReq::PipeWrite {
+                pipe: self.pipe,
+                bytes: chars,
+            }))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "typist"
+    }
+}
+
+/// The `ed` process: reads commands from the pipe, executes character
+/// searches and edits over its text buffer, echoes to the terminal.
+#[derive(Debug)]
+pub struct EdSession {
+    pipe: u32,
+    stream: u32,
+    text_inode: u32,
+    state: EdState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdState {
+    Exec,
+    OpenText,
+    LoadText { chunk: u32 },
+    AwaitCommand,
+    Search,
+    Edit,
+    Echo,
+}
+
+/// Size of the edited file held in the editor's buffer.
+const TEXT_BYTES: u64 = 96 * 1024;
+const LOAD_CHUNKS: u32 = 12;
+
+impl EdSession {
+    /// An editor session reading from `pipe`, echoing on terminal
+    /// `stream`, and editing text file `session`.
+    pub fn new(session: u32, pipe: u32, stream: u32) -> Self {
+        EdSession {
+            pipe,
+            stream,
+            text_inode: inodes::TEXT_BASE + session,
+            state: EdState::Exec,
+        }
+    }
+}
+
+impl UserTask for EdSession {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        use EdState::*;
+        match self.state {
+            Exec => {
+                self.state = OpenText;
+                Some(UOp::Syscall(SysReq::Exec { image: ed_image() }))
+            }
+            OpenText => {
+                self.state = LoadText { chunk: 0 };
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: self.text_inode,
+                    components: 2,
+                }))
+            }
+            LoadText { chunk } => {
+                self.state = if chunk + 1 >= LOAD_CHUNKS {
+                    AwaitCommand
+                } else {
+                    LoadText { chunk: chunk + 1 }
+                };
+                Some(UOp::Syscall(SysReq::Read {
+                    inode: self.text_inode,
+                    bytes: (TEXT_BYTES / LOAD_CHUNKS as u64) as u32,
+                }))
+            }
+            AwaitCommand => {
+                self.state = Search;
+                // Blocks until the typist sends a burst.
+                Some(UOp::Syscall(SysReq::PipeRead {
+                    pipe: self.pipe,
+                    bytes: 15,
+                }))
+            }
+            Search => {
+                self.state = if env.rng.gen_bool(0.4) { Edit } else { Echo };
+                // Character search: scan a window of the text buffer.
+                let start = env.rng.gen_range(0..TEXT_BYTES / 2);
+                let len = env.rng.gen_range(4..32) * 1024u64;
+                Some(UOp::sweep(heap_at(start), len.min(TEXT_BYTES - start), 16, false))
+            }
+            Edit => {
+                self.state = Echo;
+                let at = env.rng.gen_range(0..TEXT_BYTES - 4096);
+                Some(UOp::sweep(heap_at(at), 512, 16, true))
+            }
+            Echo => {
+                self.state = AwaitCommand;
+                Some(UOp::Syscall(SysReq::TtyWrite {
+                    stream: self.stream,
+                    bytes: env.rng.gen_range(8..64),
+                }))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ed"
+    }
+}
+
+/// Spawning wrapper: forks the `ed` child and then becomes the typist
+/// (so one initial process yields the connected pair).
+#[derive(Debug)]
+pub struct EdPair {
+    session: u32,
+    forked: bool,
+    typist: Typist,
+}
+
+impl EdPair {
+    /// A connected typist/editor pair for session number `session`.
+    pub fn new(session: u32) -> Self {
+        EdPair {
+            session,
+            forked: false,
+            typist: Typist::new(session),
+        }
+    }
+}
+
+impl UserTask for EdPair {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        if !self.forked {
+            self.forked = true;
+            Some(UOp::Syscall(SysReq::Fork {
+                child: Box::new(EdSession::new(self.session, self.session, self.session)),
+            }))
+        } else {
+            self.typist.next(env)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ed-pair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_os::Pid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn drive(task: &mut dyn UserTask, n: usize) -> Vec<String> {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let mut e = TaskEnv {
+                rng: &mut rng,
+                pid: Pid(1),
+                now: 0,
+            };
+            match task.next(&mut e) {
+                Some(op) => out.push(format!("{op:?}")),
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn typist_alternates_nap_and_burst() {
+        let mut t = Typist::new(0);
+        let ops = drive(&mut t, 10);
+        assert!(ops[0].contains("Nap"));
+        assert!(ops[1].contains("PipeWrite"));
+        assert!(ops[2].contains("Nap"));
+        // Bursts stay within 1..=15 characters.
+        for op in ops.iter().filter(|o| o.contains("PipeWrite")) {
+            let digits: String = op
+                .split(", ")
+                .nth(1)
+                .unwrap()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            let bytes: u32 = digits.parse().unwrap();
+            assert!((1..=15).contains(&bytes), "{op}");
+        }
+    }
+
+    #[test]
+    fn ed_session_reads_pipe_then_searches() {
+        let mut ed = EdSession::new(0, 0, 0);
+        let ops = drive(&mut ed, 40);
+        assert!(ops[0].contains("Exec"));
+        assert!(ops.iter().any(|o| o.contains("PipeRead")));
+        assert!(ops.iter().any(|o| o.contains("Sweep")));
+        assert!(ops.iter().any(|o| o.contains("TtyWrite")));
+    }
+
+    #[test]
+    fn pair_forks_editor_then_types() {
+        let mut pair = EdPair::new(2);
+        let ops = drive(&mut pair, 5);
+        assert!(ops[0].contains("Fork"));
+        assert!(ops[1].contains("Nap"));
+    }
+}

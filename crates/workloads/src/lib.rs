@@ -1,0 +1,166 @@
+//! # oscar-workloads
+//!
+//! The three parallel workloads measured in the paper, as synthetic
+//! user-program models for the `oscar-os` kernel:
+//!
+//! * [`pmake`] — a parallel make of 56 C files with at most 8
+//!   concurrent jobs;
+//! * [`multpgm`] — a timesharing mix: the Mp3d particle simulator (4
+//!   processes, 50,000 particles) plus Pmake plus five screen-edit
+//!   sessions;
+//! * [`oracle`] — a scaled-down TP1 database (10 branches, 100 tellers,
+//!   10,000 accounts) with server processes sharing an in-memory
+//!   buffer pool.
+//!
+//! # Examples
+//!
+//! ```
+//! use oscar_workloads::{pmake, Workload};
+//!
+//! let w: Workload = pmake();
+//! assert_eq!(w.name, "Pmake");
+//! assert_eq!(w.tasks.len(), 1, "make master forks the jobs itself");
+//! ```
+
+pub mod common;
+pub mod edit;
+pub mod mp3d;
+pub mod netdaemon;
+pub mod oracle;
+pub mod pmake;
+
+use oscar_os::user::UserTask;
+
+pub use edit::{EdPair, EdSession, Typist};
+pub use netdaemon::NetDaemon;
+pub use mp3d::{Mp3dMaster, Mp3dWorker};
+pub use oracle::{OracleMaster, OracleServer};
+pub use pmake::{CompileJob, MakeMaster};
+
+/// A named set of initial processes.
+pub struct Workload {
+    /// Workload name as used in the paper's tables.
+    pub name: &'static str,
+    /// Initial processes (they fork the rest themselves).
+    pub tasks: Vec<Box<dyn UserTask>>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({}, {} initial tasks)", self.name, self.tasks.len())
+    }
+}
+
+/// Which of the paper's workloads to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Parallel make.
+    Pmake,
+    /// Timesharing mix.
+    Multpgm,
+    /// TP1 database.
+    Oracle,
+}
+
+impl WorkloadKind {
+    /// All workloads, in the paper's table order.
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::Pmake,
+        WorkloadKind::Multpgm,
+        WorkloadKind::Oracle,
+    ];
+
+    /// The paper's name for the workload.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Pmake => "Pmake",
+            WorkloadKind::Multpgm => "Multpgm",
+            WorkloadKind::Oracle => "Oracle",
+        }
+    }
+
+    /// Builds the workload.
+    pub fn build(self) -> Workload {
+        match self {
+            WorkloadKind::Pmake => pmake(),
+            WorkloadKind::Multpgm => multpgm(),
+            WorkloadKind::Oracle => oracle(),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The *Pmake* workload: a parallel make of 56 files, `-J 8`.
+pub fn pmake() -> Workload {
+    Workload {
+        name: "Pmake",
+        tasks: vec![Box::new(MakeMaster::new().looping())],
+    }
+}
+
+/// The *Multpgm* workload: Mp3d + Pmake + five edit sessions, all
+/// started at the same time, as in the paper.
+pub fn multpgm() -> Workload {
+    let mut tasks: Vec<Box<dyn UserTask>> = vec![
+        Box::new(Mp3dMaster::new()),
+        Box::new(MakeMaster::new().looping()),
+    ];
+    for session in 0..5 {
+        tasks.push(Box::new(EdPair::new(session)));
+    }
+    Workload {
+        name: "Multpgm",
+        tasks,
+    }
+}
+
+/// The *Oracle* workload: the scaled TP1 database.
+pub fn oracle() -> Workload {
+    Workload {
+        name: "Oracle",
+        tasks: vec![Box::new(OracleMaster::new())],
+    }
+}
+
+/// The standard-sized TP1 variant (does not fit in memory; heavy I/O).
+/// The paper ran this too and reports the OS-miss characteristics are
+/// qualitatively the same as the scaled benchmark's.
+pub fn oracle_standard() -> Workload {
+    Workload {
+        name: "Oracle",
+        tasks: vec![Box::new(OracleMaster::standard_size())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_composition() {
+        assert_eq!(pmake().tasks.len(), 1);
+        assert_eq!(multpgm().tasks.len(), 7, "mp3d + make + 5 ed pairs");
+        assert_eq!(oracle().tasks.len(), 1);
+    }
+
+    #[test]
+    fn kinds_build_their_workloads() {
+        for k in WorkloadKind::ALL {
+            let w = k.build();
+            assert_eq!(w.name, k.label());
+            assert!(!w.tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let d = format!("{:?}", multpgm());
+        assert!(d.contains("Multpgm"));
+        assert!(d.contains("7"));
+    }
+}

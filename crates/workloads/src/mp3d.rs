@@ -1,0 +1,355 @@
+//! The Mp3d particle simulator: a 3-D rarefied-flow code run with four
+//! processes and 50,000 particles, as in the paper's *Multpgm*
+//! workload. Workers share the particle array and cell grid through a
+//! shared-memory segment and synchronize each timestep with user-level
+//! spin locks — whose failures trigger the `sginap` system calls the
+//! paper finds dominating Multpgm's OS operation mix (Figure 2).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
+use rand::Rng;
+
+use crate::common::{mp3d_image, shm_at, text_at};
+
+/// Shared per-step barrier bookkeeping (the simulator is single
+/// threaded, so plain `Rc<Cell<_>>` models the shared counters the real
+/// workers keep in shared memory; the *memory traffic* of the barrier is
+/// modeled by the lock and counter operations the workers issue).
+#[derive(Debug, Default)]
+pub struct Barrier {
+    arrived: Cell<u32>,
+    round: Cell<u64>,
+}
+
+/// Particles simulated (as in the paper).
+pub const NUM_PARTICLES: u64 = 50_000;
+/// Worker processes (as in the paper).
+pub const NUM_WORKERS: u32 = 4;
+/// Bytes per particle record.
+pub const PARTICLE_BYTES: u64 = 36;
+/// Shared segment id used for the particle arrays and cell grid.
+pub const SEG: u32 = 0;
+/// Shared-segment pages (particles + cells + counters).
+pub const SEG_PAGES: u32 = 560;
+/// User lock id of the per-step barrier lock.
+pub const BARRIER_LOCK: u32 = 0;
+/// User lock id guarding the shared cell grid.
+pub const CELL_LOCK: u32 = 1;
+
+/// The Mp3d master: creates the shared segment, forks the workers and
+/// then waits for them (forever, for the measured horizon).
+#[derive(Debug)]
+pub struct Mp3dMaster {
+    forked: u32,
+    state: MasterState,
+    barrier: Rc<Barrier>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MasterState {
+    Exec,
+    Attach,
+    Fork,
+    Wait,
+}
+
+impl Mp3dMaster {
+    /// A master with the paper's four workers.
+    pub fn new() -> Self {
+        Mp3dMaster {
+            forked: 0,
+            state: MasterState::Exec,
+            barrier: Rc::new(Barrier::default()),
+        }
+    }
+}
+
+impl Default for Mp3dMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserTask for Mp3dMaster {
+    fn next(&mut self, _env: &mut TaskEnv<'_>) -> Option<UOp> {
+        match self.state {
+            MasterState::Exec => {
+                self.state = MasterState::Attach;
+                Some(UOp::Syscall(SysReq::Exec {
+                    image: mp3d_image(),
+                }))
+            }
+            MasterState::Attach => {
+                self.state = MasterState::Fork;
+                Some(UOp::Syscall(SysReq::ShmAttach {
+                    seg: SEG,
+                    pages: SEG_PAGES,
+                }))
+            }
+            MasterState::Fork => {
+                if self.forked < NUM_WORKERS {
+                    let w = self.forked;
+                    self.forked += 1;
+                    Some(UOp::Syscall(SysReq::Fork {
+                        child: Box::new(Mp3dWorker::with_barrier(w, Rc::clone(&self.barrier))),
+                    }))
+                } else {
+                    self.state = MasterState::Wait;
+                    Some(UOp::Syscall(SysReq::Wait))
+                }
+            }
+            MasterState::Wait => Some(UOp::Syscall(SysReq::Wait)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mp3d"
+    }
+}
+
+/// One Mp3d worker: per timestep, move its quarter of the particles
+/// (a read-write sweep), collide them against the shared cell grid, and
+/// pass the step barrier. Worker 0 coordinates the barrier: it holds
+/// the barrier lock until every worker has arrived, so the others
+/// exhaust their 20 spins and call `sginap` — the paper's dominant
+/// Multpgm OS operation.
+#[derive(Debug)]
+pub struct Mp3dWorker {
+    id: u32,
+    state: WorkerState,
+    barrier: Rc<Barrier>,
+    my_round: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    Attach,
+    BarrierArrive,
+    CoordAcq,
+    CoordWait,
+    CoordRelease,
+    WaiterSpin,
+    WaiterGotIt,
+    MoveChunk { chunk: u32 },
+    CellAcq { chunk: u32 },
+    CellTouch { chunk: u32 },
+    CellRel { chunk: u32 },
+    StepEnd,
+}
+
+/// Particle chunks per step: each chunk's move phase ends at the shared
+/// cell grid, so all four workers keep colliding on the cell lock —
+/// which is what drives the paper's sginap-heavy Multpgm profile.
+const CHUNKS: u32 = 16;
+
+impl Mp3dWorker {
+    /// Worker `id` (0-based) with a private barrier (standalone use).
+    pub fn new(id: u32) -> Self {
+        Self::with_barrier(id, Rc::new(Barrier::default()))
+    }
+
+    /// Worker `id` sharing `barrier` with its siblings.
+    pub fn with_barrier(id: u32, barrier: Rc<Barrier>) -> Self {
+        Mp3dWorker {
+            id,
+            state: WorkerState::Attach,
+            barrier,
+            my_round: 0,
+        }
+    }
+
+    fn my_particles(&self) -> (u64, u64) {
+        let per = NUM_PARTICLES / NUM_WORKERS as u64;
+        let base = self.id as u64 * per * PARTICLE_BYTES;
+        (base, per * PARTICLE_BYTES)
+    }
+}
+
+/// Byte offset of the cell grid within the segment (after the particle
+/// array).
+const CELLS_OFF: u64 = NUM_PARTICLES * PARTICLE_BYTES;
+/// Cell grid size in bytes.
+const CELLS_BYTES: u64 = 256 * 1024;
+
+impl UserTask for Mp3dWorker {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        use WorkerState::*;
+        match self.state {
+            Attach => {
+                self.state = MoveChunk { chunk: 0 };
+                Some(UOp::Syscall(SysReq::ShmAttach {
+                    seg: SEG,
+                    pages: SEG_PAGES,
+                }))
+            }
+            BarrierArrive => {
+                self.my_round = self.barrier.round.get();
+                self.barrier.arrived.set(self.barrier.arrived.get() + 1);
+                // A worker running alone (unit tests) opens its own
+                // barrier immediately.
+                if self.barrier.arrived.get() >= NUM_WORKERS {
+                    self.barrier.arrived.set(0);
+                    self.barrier.round.set(self.my_round + 1);
+                }
+                self.state = if self.id == 0 { CoordAcq } else { WaiterSpin };
+                // The arrival count is a hot shared write.
+                Some(UOp::write(shm_at(SEG, CELLS_OFF + CELLS_BYTES)))
+            }
+            CoordAcq => {
+                self.state = CoordWait;
+                Some(UOp::LockAcq {
+                    lock: BARRIER_LOCK,
+                    spins: 0,
+                })
+            }
+            CoordWait => {
+                if self.barrier.round.get() != self.my_round {
+                    self.state = CoordRelease;
+                    Some(UOp::read(shm_at(SEG, CELLS_OFF + CELLS_BYTES)))
+                } else {
+                    // Poll the arrival count while holding the lock.
+                    Some(UOp::Compute { cycles: 250 })
+                }
+            }
+            CoordRelease => {
+                self.state = MoveChunk { chunk: 0 };
+                Some(UOp::LockRel {
+                    lock: BARRIER_LOCK,
+                })
+            }
+            WaiterSpin => {
+                if self.barrier.round.get() != self.my_round {
+                    self.state = MoveChunk { chunk: 0 };
+                    return Some(UOp::read(shm_at(SEG, CELLS_OFF + CELLS_BYTES)));
+                }
+                // Spin on the coordinator-held lock: after 20 failed
+                // attempts the library calls sginap, per the paper.
+                self.state = WaiterGotIt;
+                Some(UOp::LockAcq {
+                    lock: BARRIER_LOCK,
+                    spins: 0,
+                })
+            }
+            WaiterGotIt => {
+                self.state = WaiterSpin;
+                Some(UOp::LockRel {
+                    lock: BARRIER_LOCK,
+                })
+            }
+            MoveChunk { chunk } => {
+                self.state = CellAcq { chunk };
+                let (base, len) = self.my_particles();
+                let piece = len / CHUNKS as u64;
+                // Move phase: read-modify-write sweep of this chunk of
+                // the particle records.
+                Some(UOp::sweep(
+                    shm_at(SEG, base + chunk as u64 * piece),
+                    piece,
+                    PARTICLE_BYTES as u32,
+                    true,
+                ))
+            }
+            CellAcq { chunk } => {
+                self.state = CellTouch { chunk };
+                Some(UOp::LockAcq {
+                    lock: CELL_LOCK,
+                    spins: 0,
+                })
+            }
+            CellTouch { chunk } => {
+                self.state = CellRel { chunk };
+                // Collision computation against the shared grid while
+                // the lock is held: long enough that waiters regularly
+                // exhaust their 20 spins and call sginap, as the paper
+                // observes for Multpgm.
+                let off = CELLS_OFF + (env.rng.gen_range(0..CELLS_BYTES / 64 - 8)) * 64;
+                Some(UOp::sweep(shm_at(SEG, off), 320, 64, true))
+            }
+            CellRel { chunk } => {
+                self.state = if chunk + 1 >= CHUNKS {
+                    StepEnd
+                } else {
+                    MoveChunk { chunk: chunk + 1 }
+                };
+                Some(UOp::LockRel { lock: CELL_LOCK })
+            }
+            StepEnd => {
+                self.state = BarrierArrive;
+                // Per-step numeric work over the worker's own code.
+                Some(UOp::run_loop(
+                    text_at(0x400 + (self.id as u64) * 0x800),
+                    8 * 1024,
+                    env.rng.gen_range(24..64),
+                ))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mp3d-worker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_os::Pid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn master_forks_four_workers_then_waits() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut master = Mp3dMaster::new();
+        let mut forks = 0;
+        for _ in 0..20 {
+            let mut e = TaskEnv {
+                rng: &mut rng,
+                pid: Pid(1),
+                now: 0,
+            };
+            match master.next(&mut e) {
+                Some(UOp::Syscall(SysReq::Fork { .. })) => forks += 1,
+                Some(UOp::Syscall(SysReq::Wait)) => break,
+                _ => {}
+            }
+        }
+        assert_eq!(forks, NUM_WORKERS);
+    }
+
+    #[test]
+    fn workers_partition_the_particle_array() {
+        let mut covered = 0;
+        for w in 0..NUM_WORKERS {
+            let (base, len) = Mp3dWorker::new(w).my_particles();
+            assert_eq!(base, w as u64 * len);
+            covered += len;
+        }
+        assert_eq!(covered, (NUM_PARTICLES / 4) * 4 * PARTICLE_BYTES);
+    }
+
+    #[test]
+    fn worker_cycles_through_barrier_and_move() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut w = Mp3dWorker::new(1);
+        let mut locks = 0;
+        let mut sweeps = 0;
+        for _ in 0..200 {
+            let mut e = TaskEnv {
+                rng: &mut rng,
+                pid: Pid(2),
+                now: 0,
+            };
+            match w.next(&mut e) {
+                Some(UOp::LockAcq { .. }) => locks += 1,
+                Some(UOp::Sweep { .. }) => sweeps += 1,
+                None => panic!("workers run forever"),
+                _ => {}
+            }
+        }
+        assert!(locks > 10);
+        assert!(sweeps >= 10, "chunked move phase sweeps often");
+    }
+}

@@ -1,0 +1,131 @@
+//! The network daemons of the paper's measurement setup.
+//!
+//! The traced traces were shipped to a remote disk over the network, and
+//! the paper notes that *"the activity of the network deamons ...
+//! partially destroy the I and D-cache state of the processor on which
+//! they run (processor 1 on the SGI 4D/340)"* — network functions in
+//! IRIX 3.2 are not multithreaded and run on CPU 1 only. This task
+//! models that perturbation: a daemon that wakes periodically, receives
+//! a network burst (running the kernel's network stack), and touches its
+//! own protocol buffers.
+
+use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
+use rand::Rng;
+
+use crate::common::{heap_at, text_at};
+
+/// The network daemon (pin it to CPU 1 with
+/// `OsWorld::spawn_initial_pinned`, as the experiment driver does).
+#[derive(Debug)]
+pub struct NetDaemon {
+    state: DaemonState,
+    /// Wake period in clock ticks.
+    period: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DaemonState {
+    Nap,
+    Recv { burst: u32 },
+    Process { burst: u32 },
+}
+
+impl NetDaemon {
+    /// A daemon waking every `period` clock ticks.
+    pub fn new(period: u32) -> Self {
+        NetDaemon {
+            state: DaemonState::Nap,
+            period: period.max(1),
+        }
+    }
+}
+
+impl Default for NetDaemon {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl UserTask for NetDaemon {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        use DaemonState::*;
+        match self.state {
+            Nap => {
+                self.state = Recv {
+                    burst: env.rng.gen_range(2..6),
+                };
+                Some(UOp::Syscall(SysReq::Nap { ticks: self.period }))
+            }
+            Recv { burst } => {
+                self.state = Process { burst };
+                Some(UOp::Syscall(SysReq::SockRecv {
+                    bytes: env.rng.gen_range(256..4096),
+                }))
+            }
+            Process { burst } => {
+                self.state = if burst <= 1 {
+                    Nap
+                } else {
+                    Recv { burst: burst - 1 }
+                };
+                // Protocol processing: code loops plus buffer churn —
+                // the cache perturbation the paper describes.
+                if burst % 2 == 0 {
+                    Some(UOp::run_loop(
+                        text_at(0x2000),
+                        6 * 1024,
+                        env.rng.gen_range(3..8),
+                    ))
+                } else {
+                    Some(UOp::sweep(
+                        heap_at((burst as u64 % 4) * 16 * 1024),
+                        16 * 1024,
+                        32,
+                        true,
+                    ))
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "netdaemon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_os::Pid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn daemon_cycles_nap_recv_process() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut d = NetDaemon::new(2);
+        let mut naps = 0;
+        let mut recvs = 0;
+        for _ in 0..100 {
+            let mut e = TaskEnv {
+                rng: &mut rng,
+                pid: Pid(9),
+                now: 0,
+            };
+            match d.next(&mut e) {
+                Some(UOp::Syscall(SysReq::Nap { ticks })) => {
+                    naps += 1;
+                    assert_eq!(ticks, 2);
+                }
+                Some(UOp::Syscall(SysReq::SockRecv { bytes })) => {
+                    recvs += 1;
+                    assert!((256..4096).contains(&bytes));
+                }
+                None => panic!("daemons run forever"),
+                _ => {}
+            }
+        }
+        assert!(naps > 5);
+        assert!(recvs > naps, "several bursts per wake");
+    }
+}

@@ -1,0 +1,507 @@
+//! The *Pmake* workload: a parallel make of 56 C files (~480 lines
+//! each) with at most 8 concurrent jobs (`-J 8`), as in the paper. The
+//! workload alternates I/O-heavy preprocessing with compute-intensive
+//! optimization, exactly the mix the paper describes.
+
+use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
+use rand::Rng;
+
+use crate::common::{cc_image, heap_at, inodes, text_at};
+
+/// Number of files compiled (as in the paper).
+pub const NUM_FILES: u32 = 56;
+/// Maximum concurrent jobs (`-J 8`).
+pub const MAX_JOBS: u32 = 8;
+
+/// The `make` master process: reads the Makefile, keeps up to
+/// [`MAX_JOBS`] compile jobs running, waits for them all, exits.
+#[derive(Debug)]
+pub struct MakeMaster {
+    files: u32,
+    max_jobs: u32,
+    started: u32,
+    running: u32,
+    state: MasterState,
+    looping: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MasterState {
+    OpenMakefile,
+    ReadMakefile(u32),
+    Think,
+    Stat,
+    Dispatch,
+    AwaitSlot,
+    Reaped,
+    Drain,
+}
+
+impl MakeMaster {
+    /// A master for the paper's configuration (56 files, 8 jobs).
+    pub fn new() -> Self {
+        Self::with_size(NUM_FILES, MAX_JOBS)
+    }
+
+    /// A master for an explicit configuration.
+    pub fn with_size(files: u32, max_jobs: u32) -> Self {
+        MakeMaster {
+            files,
+            max_jobs: max_jobs.max(1),
+            started: 0,
+            running: 0,
+            state: MasterState::OpenMakefile,
+            looping: false,
+        }
+    }
+
+    /// Restart the build as soon as it finishes (for long measurement
+    /// windows; one pass of the real build is 1-2 minutes of machine
+    /// time, which scaled runs cannot cover).
+    pub fn looping(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+}
+
+impl Default for MakeMaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserTask for MakeMaster {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        match self.state {
+            MasterState::OpenMakefile => {
+                self.state = MasterState::ReadMakefile(4);
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: inodes::MAKEFILE,
+                    components: 2,
+                }))
+            }
+            MasterState::ReadMakefile(left) => {
+                if left == 0 {
+                    self.state = MasterState::Dispatch;
+                    Some(UOp::Syscall(SysReq::Close {
+                        inode: inodes::MAKEFILE,
+                    }))
+                } else {
+                    self.state = MasterState::ReadMakefile(left - 1);
+                    Some(UOp::Syscall(SysReq::Read {
+                        inode: inodes::MAKEFILE,
+                        bytes: 2048,
+                    }))
+                }
+            }
+            MasterState::Think => {
+                self.state = MasterState::Stat;
+                // Dependency analysis: a bit of user work.
+                Some(UOp::run_loop(
+                    text_at(0x200),
+                    1536,
+                    env.rng.gen_range(6..14),
+                ))
+            }
+            MasterState::Stat => {
+                self.state = MasterState::Dispatch;
+                // make stats the target and its dependencies.
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: inodes::SRC_BASE + self.started.saturating_sub(1) % NUM_FILES,
+                    components: 3,
+                }))
+            }
+            MasterState::Dispatch => {
+                if self.started < self.files && self.running < self.max_jobs {
+                    let file = self.started;
+                    self.started += 1;
+                    self.running += 1;
+                    self.state = MasterState::Think;
+                    Some(UOp::Syscall(SysReq::Fork {
+                        child: Box::new(CompileJob::new(file)),
+                    }))
+                } else if self.running > 0 {
+                    self.state = MasterState::Reaped;
+                    Some(UOp::Syscall(SysReq::Wait))
+                } else if self.started < self.files {
+                    self.state = MasterState::AwaitSlot;
+                    Some(UOp::Compute { cycles: 500 })
+                } else if self.looping {
+                    self.started = 0;
+                    self.state = MasterState::OpenMakefile;
+                    Some(UOp::Compute { cycles: 2000 })
+                } else {
+                    self.state = MasterState::Drain;
+                    Some(UOp::Compute { cycles: 100 })
+                }
+            }
+            MasterState::AwaitSlot => {
+                self.state = MasterState::Dispatch;
+                Some(UOp::Compute { cycles: 500 })
+            }
+            MasterState::Reaped => {
+                // The Wait syscall has returned: one child is gone.
+                self.running = self.running.saturating_sub(1);
+                self.state = MasterState::Dispatch;
+                Some(UOp::Touch {
+                    addr: heap_at(64).raw(),
+                    write: true,
+                })
+            }
+            MasterState::Drain => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "make"
+    }
+}
+
+/// One compile job: `exec`s the (shared) compiler image, preprocesses
+/// (source + header reads), compiles (compute loops over a large code
+/// working set), and writes the object file.
+#[derive(Debug)]
+pub struct CompileJob {
+    file: u32,
+    state: JobState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Exec,
+    OpenSrc,
+    ReadSrc { chunk: u32 },
+    Scan { chunk: u32 },
+    OpenHdr { hdr: u32 },
+    ReadHdr { hdr: u32, chunk: u32 },
+    CloseSrc,
+    WriteTmp { pass: u32, chunk: u32 },
+    ReadTmp { pass: u32, chunk: u32 },
+    Compile { phase: u32 },
+    CompileData { phase: u32 },
+    OpenOut,
+    WriteOut { chunk: u32 },
+    CloseOut,
+    Done,
+}
+
+/// Source file size: ~480 lines of C.
+const SRC_BYTES: u32 = 20 * 1024;
+const SRC_CHUNK: u32 = 2048;
+const NUM_HDRS: u32 = 6;
+const HDR_CHUNKS: u32 = 2;
+const OUT_BYTES: u32 = 10 * 1024;
+const OUT_CHUNK: u32 = 2048;
+const COMPILE_PHASES: u32 = 9;
+/// Temp-file size written between compiler passes (cpp -> cc1 -> as).
+const TMP_BYTES: u32 = 24 * 1024;
+const TMP_CHUNK: u32 = 4096;
+/// Compile phases per temp-file pass boundary.
+const PHASES_PER_PASS: u32 = 3;
+
+impl CompileJob {
+    /// A job compiling file number `file`.
+    pub fn new(file: u32) -> Self {
+        CompileJob {
+            file,
+            state: JobState::Exec,
+        }
+    }
+}
+
+impl UserTask for CompileJob {
+    fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp> {
+        use JobState::*;
+        match self.state {
+            Exec => {
+                self.state = OpenSrc;
+                Some(UOp::Syscall(SysReq::Exec { image: cc_image() }))
+            }
+            OpenSrc => {
+                self.state = ReadSrc { chunk: 0 };
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: inodes::SRC_BASE + self.file,
+                    components: 3,
+                }))
+            }
+            ReadSrc { chunk } => {
+                self.state = Scan { chunk };
+                Some(UOp::Syscall(SysReq::Read {
+                    inode: inodes::SRC_BASE + self.file,
+                    bytes: SRC_CHUNK,
+                }))
+            }
+            Scan { chunk } => {
+                // Tokenize the chunk just read: user work over the I/O
+                // buffer and the cpp tables.
+                self.state = if (chunk + 1) * SRC_CHUNK >= SRC_BYTES {
+                    OpenHdr { hdr: 0 }
+                } else {
+                    ReadSrc { chunk: chunk + 1 }
+                };
+                Some(UOp::run_loop(
+                    text_at(0x1000),
+                    4 * 1024,
+                    env.rng.gen_range(30..80),
+                ))
+            }
+            OpenHdr { hdr } => {
+                self.state = ReadHdr { hdr, chunk: 0 };
+                // Headers are shared across jobs: later opens hit the
+                // buffer cache warm.
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: inodes::HDR_BASE + (self.file + hdr) % 12,
+                    components: 2,
+                }))
+            }
+            ReadHdr { hdr, chunk } => {
+                self.state = if chunk + 1 >= HDR_CHUNKS {
+                    if hdr + 1 >= NUM_HDRS {
+                        CloseSrc
+                    } else {
+                        OpenHdr { hdr: hdr + 1 }
+                    }
+                } else {
+                    ReadHdr {
+                        hdr,
+                        chunk: chunk + 1,
+                    }
+                };
+                Some(UOp::Syscall(SysReq::Read {
+                    inode: inodes::HDR_BASE + (self.file + hdr) % 12,
+                    bytes: 4096,
+                }))
+            }
+            CloseSrc => {
+                self.state = WriteTmp { pass: 0, chunk: 0 };
+                Some(UOp::Syscall(SysReq::Close {
+                    inode: inodes::SRC_BASE + self.file,
+                }))
+            }
+            WriteTmp { pass, chunk } => {
+                // cpp/cc1 hand off through /tmp files, as the real cc
+                // driver does; these hit the buffer cache warm.
+                if chunk * TMP_CHUNK >= TMP_BYTES {
+                    self.state = ReadTmp { pass, chunk: 0 };
+                    return Some(UOp::Compute { cycles: 2000 });
+                }
+                self.state = WriteTmp {
+                    pass,
+                    chunk: chunk + 1,
+                };
+                Some(UOp::Syscall(SysReq::WriteAt {
+                    inode: inodes::OUT_BASE + 100 + self.file * 4 + pass,
+                    offset: (chunk * TMP_CHUNK) as u64,
+                    bytes: TMP_CHUNK,
+                }))
+            }
+            ReadTmp { pass, chunk } => {
+                if chunk * TMP_CHUNK >= TMP_BYTES {
+                    self.state = Compile {
+                        phase: pass * PHASES_PER_PASS,
+                    };
+                    return Some(UOp::Compute { cycles: 2000 });
+                }
+                self.state = ReadTmp {
+                    pass,
+                    chunk: chunk + 1,
+                };
+                Some(UOp::Syscall(SysReq::ReadAt {
+                    inode: inodes::OUT_BASE + 100 + self.file * 4 + pass,
+                    offset: (chunk * TMP_CHUNK) as u64,
+                    bytes: TMP_CHUNK,
+                }))
+            }
+            Compile { phase } => {
+                // cc1/optimizer: loop over a window of the compiler's
+                // large text segment.
+                self.state = CompileData { phase };
+                let off = (phase as u64 * 31 * 1024 + env.rng.gen_range(0..8u64) * 1024)
+                    % (150 * 1024);
+                let body = env.rng.gen_range(6..24u32) * 1024;
+                Some(UOp::run_loop(
+                    text_at(off),
+                    body,
+                    env.rng.gen_range(240..480),
+                ))
+            }
+            CompileData { phase } => {
+                self.state = if phase + 1 >= COMPILE_PHASES {
+                    OpenOut
+                } else if (phase + 1) % PHASES_PER_PASS == 0 {
+                    WriteTmp {
+                        pass: (phase + 1) / PHASES_PER_PASS,
+                        chunk: 0,
+                    }
+                } else {
+                    Compile { phase: phase + 1 }
+                };
+                // Walk the IR: linear sweeps over an arena a bit larger
+                // than the second-level cache, plus a page-strided
+                // chasing pass for TLB pressure.
+                const ARENA: u64 = 384 * 1024;
+                match phase % 3 {
+                    0 => {
+                        let len = env.rng.gen_range(32..96) * 1024u64;
+                        let base = (phase as u64 * 37 * 1024) % (ARENA - len);
+                        Some(UOp::sweep(heap_at(base), len, 32, phase % 2 == 1))
+                    }
+                    1 => Some(UOp::walk(
+                        heap_at(0),
+                        192 * 1024,
+                        env.rng.gen_range(2000..5000),
+                        env.rng.gen(),
+                    )),
+                    _ => Some(UOp::sweep(heap_at(0), ARENA, 4160, false)),
+                }
+            }
+            OpenOut => {
+                self.state = WriteOut { chunk: 0 };
+                Some(UOp::Syscall(SysReq::Open {
+                    inode: inodes::OUT_BASE + self.file,
+                    components: 3,
+                }))
+            }
+            WriteOut { chunk } => {
+                if chunk * OUT_CHUNK >= OUT_BYTES {
+                    self.state = CloseOut;
+                    return Some(UOp::Syscall(SysReq::Close {
+                        inode: inodes::OUT_BASE + self.file,
+                    }));
+                }
+                self.state = WriteOut { chunk: chunk + 1 };
+                Some(UOp::Syscall(SysReq::Write {
+                    inode: inodes::OUT_BASE + self.file,
+                    bytes: OUT_CHUNK,
+                }))
+            }
+            CloseOut => {
+                self.state = Done;
+                // Assembler tail work.
+                Some(UOp::run_loop(text_at(0x8000), 4096, 3))
+            }
+            Done => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscar_os::Pid;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn env(rng: &mut SmallRng) -> TaskEnv<'_> {
+        TaskEnv {
+            rng,
+            pid: Pid(1),
+            now: 0,
+        }
+    }
+
+    #[test]
+    fn master_spawns_all_files_then_finishes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut master = MakeMaster::with_size(5, 2);
+        let mut forks = 0;
+        let mut waits = 0;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "master did not terminate");
+            let mut e = env(&mut rng);
+            match master.next(&mut e) {
+                None => break,
+                Some(UOp::Syscall(SysReq::Fork { .. })) => forks += 1,
+                Some(UOp::Syscall(SysReq::Wait)) => waits += 1,
+                Some(_) => {}
+            }
+        }
+        assert_eq!(forks, 5);
+        assert_eq!(waits, 5, "every job is waited for");
+    }
+
+    #[test]
+    fn master_respects_job_limit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut master = MakeMaster::with_size(10, 3);
+        let mut in_flight: i32 = 0;
+        let mut peak = 0;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000);
+            let mut e = env(&mut rng);
+            match master.next(&mut e) {
+                None => break,
+                Some(UOp::Syscall(SysReq::Fork { .. })) => {
+                    in_flight += 1;
+                    peak = peak.max(in_flight);
+                }
+                Some(UOp::Syscall(SysReq::Wait)) => in_flight -= 1,
+                Some(_) => {}
+            }
+        }
+        assert_eq!(peak, 3);
+    }
+
+    #[test]
+    fn compile_job_execs_reads_computes_writes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut job = CompileJob::new(3);
+        let mut saw_exec = false;
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut loops = 0;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "job did not terminate");
+            let mut e = env(&mut rng);
+            match job.next(&mut e) {
+                None => break,
+                Some(UOp::Syscall(SysReq::Exec { image })) => {
+                    saw_exec = true;
+                    assert_eq!(image.inode, inodes::IMG_CC);
+                }
+                Some(UOp::Syscall(SysReq::Read { .. })) => reads += 1,
+                Some(UOp::Syscall(SysReq::Write { .. })) => writes += 1,
+                Some(UOp::RunLoop { .. }) => loops += 1,
+                Some(_) => {}
+            }
+        }
+        assert!(saw_exec);
+        assert!(reads >= 10, "reads = {reads}");
+        assert_eq!(writes, (OUT_BYTES / OUT_CHUNK) as i32);
+        assert!(loops >= COMPILE_PHASES as i32);
+    }
+
+    #[test]
+    fn jobs_are_deterministic_for_a_seed() {
+        for seed in [1u64, 42] {
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let mut a = CompileJob::new(0);
+            let mut b = CompileJob::new(0);
+            for _ in 0..200 {
+                let x = {
+                    let mut e = env(&mut r1);
+                    a.next(&mut e).map(|o| format!("{o:?}"))
+                };
+                let y = {
+                    let mut e = env(&mut r2);
+                    b.next(&mut e).map(|o| format!("{o:?}"))
+                };
+                assert_eq!(x, y);
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Cache-affinity scheduling ablation (the mitigation the paper points
+//! to for migration misses, Section 4.2.2).
+//!
+//! Runs the same workload under free migration (as measured in the
+//! paper) and under affinity scheduling, and compares process
+//! migrations, migration misses and their stall time.
+//!
+//! ```sh
+//! cargo run --release --example affinity_ablation [pmake|multpgm|oracle]
+//! ```
+
+use oscar_core::stall::table4_row;
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_os::SchedPolicy;
+use oscar_workloads::WorkloadKind;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "oracle".into());
+    let kind = match which.as_str() {
+        "pmake" => WorkloadKind::Pmake,
+        "multpgm" => WorkloadKind::Multpgm,
+        _ => WorkloadKind::Oracle,
+    };
+    println!("affinity ablation on {kind}");
+    println!(
+        "{:>16} {:>12} {:>12} {:>14} {:>10}",
+        "policy", "dispatches", "migrations", "migr-misses", "stall%"
+    );
+    for policy in [SchedPolicy::FreeMigration, SchedPolicy::Affinity] {
+        let mut cfg = ExperimentConfig::new(kind)
+            .warmup(40_000_000)
+            .measure(20_000_000);
+        cfg.tuning.policy = policy;
+        let art = run(&cfg);
+        let an = analyze(&art);
+        let migr: u64 = an.migration_by_region.values().sum();
+        let r = table4_row(&art, &an);
+        println!(
+            "{:>16} {:>12} {:>12} {:>14} {:>10.2}",
+            format!("{policy:?}"),
+            art.os_stats.dispatches,
+            art.os_stats.migrations,
+            migr,
+            r.stall_pct
+        );
+    }
+    println!("(affinity should cut migrations and migration-miss stall)");
+}

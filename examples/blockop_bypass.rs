@@ -1,0 +1,44 @@
+//! Cache-bypassing block operations ablation (Section 4.2.2's second
+//! proposal: pay the transfer latency but do not wipe the caches with
+//! seldom-reused data).
+//!
+//! ```sh
+//! cargo run --release --example blockop_bypass [pmake|multpgm|oracle]
+//! ```
+
+use oscar_core::stall::{table1_row, table6_row};
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_workloads::WorkloadKind;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "pmake".into());
+    let kind = match which.as_str() {
+        "multpgm" => WorkloadKind::Multpgm,
+        "oracle" => WorkloadKind::Oracle,
+        _ => WorkloadKind::Pmake,
+    };
+    println!("block-operation cache-bypass ablation on {kind}");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "bypass", "blockop-miss", "blockop-stall%", "os-stall%", "all-stall%"
+    );
+    for bypass in [false, true] {
+        let mut cfg = ExperimentConfig::new(kind)
+            .warmup(40_000_000)
+            .measure(20_000_000);
+        cfg.tuning.block_op_bypass = bypass;
+        let art = run(&cfg);
+        let an = analyze(&art);
+        let t6 = table6_row(&art, &an);
+        let t1 = table1_row(&art, &an);
+        println!(
+            "{:>10} {:>14} {:>14.2} {:>14.2} {:>14.2}",
+            bypass,
+            an.blockop_d.total(),
+            t6.stall_pct,
+            t1.stall_os_pct,
+            t1.stall_all_pct
+        );
+    }
+    println!("(bypassing should remove most block-operation misses and their displacement damage)");
+}

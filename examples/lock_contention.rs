@@ -1,0 +1,48 @@
+//! Figure 11: lock contention as a function of the number of CPUs.
+//!
+//! Reruns the Multpgm workload on 1-4 CPU machines and prints failed
+//! acquires per millisecond for the most contended kernel locks — the
+//! paper's evidence that `Runqlk` becomes a bottleneck as machines grow.
+//!
+//! ```sh
+//! cargo run --release --example lock_contention
+//! ```
+
+use oscar_core::syncstats::fig11_points;
+use oscar_core::{run, ExperimentConfig};
+use oscar_os::LockFamily;
+use oscar_workloads::WorkloadKind;
+
+fn main() {
+    let families = [
+        LockFamily::Runqlk,
+        LockFamily::Memlock,
+        LockFamily::Bfreelock,
+        LockFamily::Ino,
+        LockFamily::Calock,
+    ];
+    println!("Figure 11 — failed acquires per ms, Multpgm (time includes idle)");
+    print!("{:>5}", "cpus");
+    for f in families {
+        print!(" {:>10}", f.label());
+    }
+    println!();
+    for cpus in 1..=4u8 {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+            .cpus(cpus)
+            .warmup(40_000_000)
+            .measure(20_000_000));
+        let points = fig11_points(&art, cpus);
+        print!("{cpus:>5}");
+        for f in families {
+            let v = points
+                .iter()
+                .find(|p| p.family == f)
+                .map(|p| p.failed_per_ms)
+                .unwrap_or(0.0);
+            print!(" {v:>10.2}");
+        }
+        println!();
+    }
+    println!("(expect contention, especially Runqlk's, to grow with the CPU count)");
+}

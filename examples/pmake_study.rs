@@ -1,0 +1,27 @@
+//! The full characterization study for one workload: every table and
+//! figure of the paper, regenerated from a single traced run.
+//!
+//! ```sh
+//! cargo run --release --example pmake_study [pmake|multpgm|oracle] [measure_cycles]
+//! ```
+
+use oscar_core::{analyze, render_all, run, ExperimentConfig};
+use oscar_workloads::WorkloadKind;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "pmake".into());
+    let measure: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000_000);
+    let kind = match which.as_str() {
+        "multpgm" => WorkloadKind::Multpgm,
+        "oracle" => WorkloadKind::Oracle,
+        _ => WorkloadKind::Pmake,
+    };
+    let art = run(&ExperimentConfig::new(kind)
+        .warmup(40_000_000)
+        .measure(measure));
+    let an = analyze(&art);
+    println!("{}", render_all(&art, &an));
+}

@@ -1,0 +1,173 @@
+//! Ablation tests for the optimizations the paper proposes but does not
+//! fully evaluate: cache-affinity scheduling, cache-bypassing block
+//! operations, set-associative I-caches, and kernel code re-layout.
+
+use oscar_core::resim::{figure6_sweep, resim};
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_machine::config::CacheConfig;
+use oscar_os::{Rid, SchedPolicy};
+use oscar_workloads::WorkloadKind;
+
+fn cfg(kind: WorkloadKind) -> ExperimentConfig {
+    ExperimentConfig::new(kind)
+        .warmup(45_000_000)
+        .measure(8_000_000)
+}
+
+#[test]
+fn affinity_scheduling_reduces_migrations() {
+    // Affinity needs a run queue with choice: Multpgm keeps most of its
+    // 17 processes runnable.
+    let free = run(&cfg(WorkloadKind::Multpgm));
+    let mut acfg = cfg(WorkloadKind::Multpgm);
+    acfg.tuning.policy = SchedPolicy::Affinity;
+    let aff = run(&acfg);
+    assert!(
+        (aff.os_stats.migrations as f64) < 0.7 * free.os_stats.migrations.max(2) as f64,
+        "affinity {} vs free {}",
+        aff.os_stats.migrations,
+        free.os_stats.migrations
+    );
+    // And the migration misses follow.
+    let an_free = analyze(&free);
+    let an_aff = analyze(&aff);
+    let m_free: u64 = an_free.migration_by_region.values().sum();
+    let m_aff: u64 = an_aff.migration_by_region.values().sum();
+    assert!(
+        m_aff < m_free,
+        "migration misses: affinity {m_aff} vs free {m_free}"
+    );
+}
+
+#[test]
+fn block_op_bypass_removes_block_misses() {
+    let base = run(&cfg(WorkloadKind::Pmake));
+    let mut bcfg = cfg(WorkloadKind::Pmake);
+    bcfg.tuning.block_op_bypass = true;
+    let byp = run(&bcfg);
+    let an_base = analyze(&base);
+    let an_byp = analyze(&byp);
+    assert!(
+        an_byp.blockop_d.total() * 4 < an_base.blockop_d.total().max(4),
+        "bypass {} vs base {}",
+        an_byp.blockop_d.total(),
+        an_base.blockop_d.total()
+    );
+}
+
+#[test]
+fn two_way_icache_reduces_os_misses_in_resim() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    let dm = resim(&an.istream, 4, CacheConfig::direct_mapped(128 * 1024));
+    let sa = resim(&an.istream, 4, CacheConfig::set_associative(128 * 1024, 2));
+    assert!(
+        sa.os_misses < dm.os_misses,
+        "2-way {} vs DM {}",
+        sa.os_misses,
+        dm.os_misses
+    );
+}
+
+#[test]
+fn resim_is_monotone_in_cache_size() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    let points = figure6_sweep(&an.istream, 4);
+    let dm: Vec<_> = points.iter().filter(|p| p.assoc == 1).collect();
+    for w in dm.windows(2) {
+        assert!(
+            w[1].os_misses <= w[0].os_misses,
+            "misses must not grow with size: {:?} -> {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    // The inval floor is (weakly) size-independent and nonzero once
+    // code pages get recycled.
+    let floor_small = dm.first().unwrap().os_inval_misses;
+    let floor_big = dm.last().unwrap().os_inval_misses;
+    assert!(floor_big <= floor_small.max(1) * 4);
+}
+
+#[test]
+fn hot_first_code_layout_changes_self_interference() {
+    // Re-link the kernel with all hot exception/scheduler/fs routines
+    // first (packed together at the bottom of the text segment) and
+    // compare Dispos I-misses.
+    let base = run(&cfg(WorkloadKind::Pmake));
+    let an_base = analyze(&base);
+
+    let mut order: Vec<Rid> = Rid::ALL.to_vec();
+    // Move the cold-text blobs to the very end, hot routines first.
+    order.sort_by_key(|r| matches!(r.subsystem(), oscar_os::Subsystem::Cold));
+    let mut lcfg = cfg(WorkloadKind::Pmake);
+    lcfg.tuning.layout_order = Some(order);
+    let relinked = run(&lcfg);
+    let an_rel = analyze(&relinked);
+
+    let d_base = an_base.os.instr.disp_os;
+    let d_rel = an_rel.os.instr.disp_os;
+    // The ablation must run and produce a comparable measurement; the
+    // direction depends on the conflict pattern, so assert both runs
+    // are alive and within an order of magnitude.
+    assert!(d_base > 0 && d_rel > 0);
+    assert!(
+        d_rel < d_base * 10 && d_base < d_rel * 10,
+        "relayout produced wild change: {d_base} -> {d_rel}"
+    );
+}
+
+#[test]
+fn larger_machine_contention_grows() {
+    // Figure 11's trend: failed acquires per ms grow with CPU count.
+    let mut failed = Vec::new();
+    for cpus in [2u8, 4] {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+            .cpus(cpus)
+            .warmup(30_000_000)
+            .measure(8_000_000));
+        let total: u64 = art
+            .lock_stats
+            .iter()
+            .filter(|(f, _)| f.is_kernel())
+            .map(|(_, s)| s.failed_first)
+            .sum();
+        failed.push(total);
+    }
+    assert!(
+        failed[1] > failed[0],
+        "contention must grow with CPUs: {failed:?}"
+    );
+}
+
+#[test]
+fn write_buffer_overlap_reduces_stall_but_not_misses() {
+    // The paper's stall estimate charges every bus access 35 cycles and
+    // notes that a write buffer could overlap write misses with
+    // computation. With full overlap the *misses* are unchanged but the
+    // stall time drops.
+    let base = run(&cfg(WorkloadKind::Pmake));
+    let mut wcfg = cfg(WorkloadKind::Pmake);
+    wcfg.machine.write_stall_pct = 0;
+    let wb = run(&wcfg);
+    let stall = |art: &oscar_core::RunArtifacts| -> u64 {
+        art.cpu_counters.iter().map(|c| c.bus_stall).sum()
+    };
+    let misses = |art: &oscar_core::RunArtifacts| -> u64 {
+        art.cpu_counters
+            .iter()
+            .map(|c| c.ifetch_fills + c.data_fills)
+            .sum()
+    };
+    assert!(
+        stall(&wb) < stall(&base),
+        "write overlap must cut measured stall: {} vs {}",
+        stall(&wb),
+        stall(&base)
+    );
+    // Miss counts stay within run-perturbation noise (timing changes
+    // shift the interleaving, so exact equality is not expected).
+    let (a, b) = (misses(&base) as f64, misses(&wb) as f64);
+    assert!((a - b).abs() / a < 0.35, "misses {a} vs {b}");
+}

@@ -1,0 +1,126 @@
+//! Tests of the Section 6 "larger machines" mode: clustered CPUs,
+//! replicated kernel text, distributed run queues, first-touch page
+//! placement and TLB-shootdown IPIs.
+
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_machine::addr::PAddr;
+use oscar_os::{Layout, Rid};
+use oscar_workloads::WorkloadKind;
+
+fn clustered(cpus: u8, clusters: u8) -> ExperimentConfig {
+    ExperimentConfig::new(WorkloadKind::Multpgm)
+        .warmup(30_000_000)
+        .measure(8_000_000)
+        .clustered(cpus, clusters, 30)
+}
+
+fn flat_on_clustered_hw(cpus: u8, clusters: u8) -> ExperimentConfig {
+    ExperimentConfig::new(WorkloadKind::Multpgm)
+        .warmup(30_000_000)
+        .measure(8_000_000)
+        .clustered_machine_flat_os(cpus, clusters, 30)
+}
+
+#[test]
+fn replica_addressing_roundtrips() {
+    let l = Layout::replicated(32 * 1024 * 1024, 4);
+    assert_eq!(l.replicas(), 4);
+    for rid in [Rid::ReadSys, Rid::Swtch, Rid::ColdFs] {
+        let (base, size) = l.routine_range(rid);
+        for cluster in 0..4u8 {
+            let addr = l.replicate_text_addr(base.add(size as u64 / 2), cluster);
+            assert_eq!(
+                l.canonical_text_addr(addr),
+                base.add(size as u64 / 2),
+                "cluster {cluster} roundtrip for {rid:?}"
+            );
+            assert_eq!(l.routine_at(addr), Some(rid));
+            assert_eq!(
+                l.classify(addr),
+                oscar_os::KernelRegion::Text,
+                "replica addresses classify as text"
+            );
+        }
+    }
+    // Cluster 0 uses the canonical copy.
+    let (base, _) = l.routine_range(Rid::Swtch);
+    assert_eq!(l.replicate_text_addr(base, 0), base);
+}
+
+#[test]
+fn replicas_do_not_collide_with_each_other() {
+    let l = Layout::replicated(32 * 1024 * 1024, 4);
+    let (base, _) = l.routine_range(Rid::ReadSys);
+    let addrs: Vec<PAddr> = (0..4u8).map(|c| l.replicate_text_addr(base, c)).collect();
+    let set: std::collections::HashSet<u64> = addrs.iter().map(|a| a.raw()).collect();
+    assert_eq!(set.len(), 4, "one distinct copy per cluster: {addrs:?}");
+    // And every replica page lies below the frame pool.
+    for a in addrs {
+        assert!(a.page().0 < l.frame_pool_first().0);
+    }
+}
+
+#[test]
+fn clustered_os_eliminates_remote_text_fills() {
+    let flat = run(&flat_on_clustered_hw(8, 2));
+    let clus = run(&clustered(8, 2));
+    let flat_frac = flat.remote_fills() as f64 / flat.total_fills().max(1) as f64;
+    let clus_frac = clus.remote_fills() as f64 / clus.total_fills().max(1) as f64;
+    assert!(
+        clus_frac < flat_frac,
+        "replication + first-touch must cut remote fills: {clus_frac:.3} vs {flat_frac:.3}"
+    );
+    // The flat OS on clustered hardware fetches kernel text remotely
+    // from the non-home cluster about half the time, so its remote
+    // fraction is substantial.
+    assert!(flat_frac > 0.1, "flat remote fraction {flat_frac:.3}");
+}
+
+#[test]
+fn distributed_runq_reduces_runqlk_contention() {
+    let flat = run(&flat_on_clustered_hw(8, 2));
+    let clus = run(&clustered(8, 2));
+    let failed = |art: &oscar_core::RunArtifacts| {
+        art.lock_family(oscar_os::LockFamily::Runqlk)
+            .map(|s| s.failed_fraction())
+            .unwrap_or(0.0)
+    };
+    assert!(
+        failed(&clus) < failed(&flat),
+        "distributed queues must cut Runqlk contention: {:.3} vs {:.3}",
+        failed(&clus),
+        failed(&flat)
+    );
+}
+
+#[test]
+fn clustered_run_still_classifies_cleanly() {
+    let art = run(&clustered(8, 2));
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    assert!(an.os.total() > 0);
+    // Replicated-text misses attribute to routines (canonicalized).
+    assert!(
+        !an.dispos_i_by_routine.is_empty(),
+        "routine attribution must survive replication"
+    );
+    // Replica fetches must classify as *instruction* misses: the OS
+    // I-miss share stays in the normal band even though most CPUs
+    // fetch from replica addresses.
+    let i_share = an.os.instr.total() as f64 / an.os.total().max(1) as f64;
+    assert!(
+        i_share > 0.3,
+        "replica text misclassified as data? I-share {i_share:.2}"
+    );
+    assert!(art.os_stats.ipis > 0 || art.os_stats.pageouts == 0);
+}
+
+#[test]
+fn four_clusters_of_four_run() {
+    let art = run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+        .warmup(20_000_000)
+        .measure(5_000_000)
+        .clustered(16, 4, 40));
+    assert_eq!(art.cpu_counters.len(), 16);
+    assert!(!art.trace.is_empty());
+}

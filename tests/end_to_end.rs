@@ -1,0 +1,186 @@
+//! End-to-end integration tests: machine + kernel + workloads + monitor
+//! + postprocessing, cross-checked against simulator ground truth.
+
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_os::{Mode, OpClass};
+use oscar_workloads::WorkloadKind;
+
+fn cfg(kind: WorkloadKind) -> ExperimentConfig {
+    ExperimentConfig::new(kind)
+        .warmup(45_000_000)
+        .measure(8_000_000)
+}
+
+fn rel_err(a: u64, b: u64) -> f64 {
+    (a as f64 - b as f64).abs() / (b.max(1) as f64)
+}
+
+#[test]
+fn pmake_trace_classification_matches_ground_truth() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    assert!(rel_err(an.os.total(), art.os_stats.kernel_misses.total()) < 0.08);
+    assert!(rel_err(an.app.total(), art.os_stats.misses(Mode::User).total()) < 0.08);
+    // Instruction/data splits agree too.
+    assert!(rel_err(an.os.instr.total(), art.os_stats.kernel_misses.instr) < 0.1);
+}
+
+#[test]
+fn multpgm_runs_all_components() {
+    let art = run(&cfg(WorkloadKind::Multpgm));
+    let s = &art.os_stats;
+    // Pipes (editor sessions), user locks (Mp3d) and the compiler all
+    // leave footprints.
+    assert!(s.ops_of(OpClass::IoSyscall) > 0, "editor/compiler I/O");
+    assert!(
+        s.sginap_calls > 0 || s.ops_of(OpClass::Sginap) > 0,
+        "Mp3d lock contention triggers sginap"
+    );
+    assert!(s.utlb_faults > 0, "TLB pressure");
+    assert!(s.clock_interrupts > 0);
+    let an = analyze(&art);
+    assert!(an.os.total() > 1000);
+    // Multpgm is the always-runnable mix: idle is tiny (paper: 0.1%).
+    let t = art.os_stats.total_cycles();
+    assert!(
+        (t.idle as f64) < 0.15 * t.total() as f64,
+        "idle {} of {}",
+        t.idle,
+        t.total()
+    );
+}
+
+#[test]
+fn oracle_behaves_like_a_database() {
+    let art = run(&cfg(WorkloadKind::Oracle));
+    let an = analyze(&art);
+    // The database manages its own buffer pool: positional I/O happens,
+    // and I/O syscalls dominate the OS data misses among syscall
+    // classes (the paper folds Oracle's paging into I/O).
+    assert!(art.os_stats.disk_writes > 0);
+    let io = an.os_by_op[OpClass::IoSyscall.code() as usize];
+    let other = an.os_by_op[OpClass::OtherSyscall.code() as usize];
+    assert!(io.0 + io.1 > other.0 + other.1);
+    // Migration misses are prominent in Oracle (paper: 44% of OS
+    // D-misses; we accept a broad band).
+    let migr: u64 = an.migration_by_region.values().sum();
+    assert!(
+        migr as f64 > 0.05 * an.os.data.total() as f64,
+        "migration misses too rare: {migr} of {}",
+        an.os.data.total()
+    );
+}
+
+#[test]
+fn paper_shape_os_stall_band() {
+    // The headline result: OS misses stall CPUs for roughly 17-21% of
+    // non-idle time. Accept a generous band for the scaled runs.
+    for kind in [WorkloadKind::Pmake, WorkloadKind::Oracle] {
+        let art = run(&cfg(kind));
+        let an = analyze(&art);
+        let r = oscar_core::stall::table1_row(&art, &an);
+        assert!(
+            (5.0..45.0).contains(&r.stall_os_pct),
+            "{kind}: OS stall {:.1}% out of band",
+            r.stall_os_pct
+        );
+        assert!(
+            r.stall_os_induced_pct > r.stall_os_pct,
+            "{kind}: induced misses must add stall"
+        );
+        assert!(
+            (10.0..80.0).contains(&r.os_miss_pct),
+            "{kind}: OS miss share {:.1}%",
+            r.os_miss_pct
+        );
+    }
+}
+
+#[test]
+fn instruction_misses_are_a_major_os_source() {
+    // Paper: I-misses are 40-65% of OS misses.
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    let frac = an.os.instr.total() as f64 / an.os.total().max(1) as f64;
+    assert!(
+        (0.25..0.75).contains(&frac),
+        "OS I-miss share {frac:.2} out of band"
+    );
+}
+
+#[test]
+fn runs_are_reproducible_across_invocations() {
+    let a = run(&cfg(WorkloadKind::Oracle));
+    let b = run(&cfg(WorkloadKind::Oracle));
+    assert_eq!(a.trace.len(), b.trace.len());
+    assert_eq!(
+        a.os_stats.kernel_misses.total(),
+        b.os_stats.kernel_misses.total()
+    );
+    let an_a = analyze(&a);
+    let an_b = analyze(&b);
+    assert_eq!(an_a.os.total(), an_b.os.total());
+    assert_eq!(an_a.invocations.count, an_b.invocations.count);
+}
+
+#[test]
+fn cpu_count_sweep_runs_one_to_four() {
+    for cpus in 1..=4u8 {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+            .cpus(cpus)
+            .warmup(20_000_000)
+            .measure(4_000_000));
+        assert_eq!(art.cpu_counters.len(), cpus as usize);
+        assert!(!art.trace.is_empty());
+        let an = analyze(&art);
+        assert_eq!(an.cpu_cycles.len(), cpus as usize);
+    }
+}
+
+#[test]
+fn standard_sized_oracle_keeps_the_os_miss_character() {
+    // The paper (Section 3): "the characteristics of the OS misses in
+    // the standard benchmark are qualitatively the same as the ones in
+    // Oracle". The standard-sized database misses the SGA far more and
+    // hammers the disk, but the OS-side instruction-miss share stays in
+    // the same region.
+    let scaled = run(&cfg(WorkloadKind::Oracle));
+    let standard = oscar_core::experiment::run_with(
+        &cfg(WorkloadKind::Oracle),
+        oscar_workloads::oracle_standard(),
+    );
+    assert!(
+        standard.os_stats.disk_reads > scaled.os_stats.disk_reads,
+        "standard DB must read the disk more: {} vs {}",
+        standard.os_stats.disk_reads,
+        scaled.os_stats.disk_reads
+    );
+    let share = |art: &oscar_core::RunArtifacts| {
+        let an = analyze(art);
+        an.os.instr.total() as f64 / an.os.total().max(1) as f64
+    };
+    let (a, b) = (share(&scaled), share(&standard));
+    assert!(
+        (a - b).abs() < 0.20,
+        "OS I-miss share should be qualitatively unchanged: {a:.2} vs {b:.2}"
+    );
+}
+
+#[test]
+fn different_seeds_differ_in_detail_but_agree_in_shape() {
+    let a = run(&cfg(WorkloadKind::Pmake).seed(1));
+    let b = run(&cfg(WorkloadKind::Pmake).seed(2));
+    assert_ne!(a.trace.len(), b.trace.len(), "seeds must change the run");
+    let an_a = analyze(&a);
+    let an_b = analyze(&b);
+    let share = |an: &oscar_core::TraceAnalysis| {
+        an.os.instr.total() as f64 / an.os.total().max(1) as f64
+    };
+    assert!(
+        (share(&an_a) - share(&an_b)).abs() < 0.2,
+        "I-share robust across seeds: {:.2} vs {:.2}",
+        share(&an_a),
+        share(&an_b)
+    );
+}

@@ -1,0 +1,189 @@
+//! Tests of the measurement methodology itself: the escape channel, the
+//! bounded trace buffer with the master dump protocol, and agreement
+//! between trace-derived and OS-internal statistics.
+
+use oscar_core::decode::{Decoded, Decoder};
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_machine::monitor::BufferMode;
+use oscar_machine::{BusKind, Machine, MachineConfig};
+use oscar_os::{OpClass, OsEvent, OsTuning, OsWorld};
+use oscar_workloads::WorkloadKind;
+
+fn cfg(kind: WorkloadKind) -> ExperimentConfig {
+    ExperimentConfig::new(kind)
+        .warmup(45_000_000)
+        .measure(8_000_000)
+}
+
+#[test]
+fn escape_channel_is_lossless_for_operations() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    // Every operation the OS counted appears in the trace, per class.
+    for c in OpClass::ALL {
+        let gt = art.os_stats.ops_of(c);
+        let tr = an.ops_seen[c.code() as usize];
+        let tol = (gt / 20).max(4); // boundary effects at window edges
+        assert!(
+            tr.abs_diff(gt) <= tol,
+            "{c}: trace {tr} vs ground truth {gt}"
+        );
+    }
+}
+
+#[test]
+fn block_op_events_match_ground_truth() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    use oscar_os::{BlockOpKind, BlockSizeClass};
+    let classes = [
+        BlockSizeClass::FullPage,
+        BlockSizeClass::RegularFragment,
+        BlockSizeClass::IrregularChunk,
+    ];
+    for (k, kind) in [BlockOpKind::Copy, BlockOpKind::Clear].into_iter().enumerate() {
+        for (s, class) in classes.into_iter().enumerate() {
+            let gt = art.os_stats.block_op(kind, class).count;
+            let tr = an.block_op_sizes[k][s];
+            let tol = (gt / 20).max(4);
+            assert!(
+                tr.abs_diff(gt) <= tol,
+                "{kind:?}/{class:?}: trace {tr} vs gt {gt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn escapes_are_invisible_to_miss_accounting_and_cheap() {
+    let art = run(&cfg(WorkloadKind::Pmake));
+    let an = analyze(&art);
+    // All uncached reads decoded as events, none classified as misses.
+    assert_eq!(
+        an.fills.os + an.fills.app + an.fills.idle,
+        an.os.total() + an.app.total() + an.idle.total()
+    );
+    // Instrumentation distortion stays in the paper's 1.5-7% band
+    // (we accept up to 8%).
+    let distortion =
+        art.os_stats.escape_cycles as f64 / art.os_stats.total_cycles().total() as f64;
+    assert!(distortion < 0.08, "escape distortion {distortion:.3}");
+}
+
+#[test]
+fn bounded_buffer_with_master_dump_protocol_loses_nothing() {
+    // Reproduce the paper's master-process protocol: a small trace
+    // buffer, periodically checked; when it fills past a threshold the
+    // master "suspends the workload" (here: dumps synchronously) and
+    // ships the segment. Nothing may be lost.
+    let machine_config = MachineConfig::sgi_4d340();
+    let mut machine = Machine::with_buffer(machine_config, BufferMode::Bounded(50_000));
+    let mut os = OsWorld::new(4, 32 * 1024 * 1024, OsTuning::default());
+    for t in oscar_workloads::pmake().tasks {
+        os.spawn_initial(t);
+    }
+    os.emit_trace_start(&mut machine);
+    let mut segments: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+    for _ in 0..2_000_000 {
+        if !os.step_earliest(&mut machine) {
+            break;
+        }
+        if machine.monitor().fill_fraction() > 0.9 {
+            let seg = machine.monitor_mut().dump();
+            total += seg.len();
+            segments.push(seg.len());
+        }
+    }
+    total += machine.monitor().len();
+    assert_eq!(machine.monitor().lost(), 0, "master protocol must not lose records");
+    assert_eq!(machine.monitor().total_seen() as usize, total);
+    assert!(!segments.is_empty(), "buffer must have filled at least once");
+}
+
+#[test]
+fn decoder_handles_interleaved_multi_cpu_escapes() {
+    // Four CPUs emitting interleaved multi-payload events decode
+    // correctly even when their sequences overlap in trace order.
+    let mut d = Decoder::new(4);
+    let evs: Vec<OsEvent> = (0..4)
+        .map(|c| OsEvent::TlbSet {
+            index: c,
+            vpn: 100 + c,
+            ppn: 200 + c,
+            pid: c,
+        })
+        .collect();
+    let seqs: Vec<Vec<oscar_machine::addr::PAddr>> =
+        evs.iter().map(|e| e.encode()).collect();
+    let mut decoded = Vec::new();
+    // Round-robin interleave the four escape sequences.
+    for step in 0..seqs[0].len() {
+        for cpu in 0..4 {
+            let rec = oscar_machine::monitor::BusRecord {
+                time: (step * 4 + cpu) as u64,
+                cpu: oscar_machine::addr::CpuId(cpu as u8),
+                paddr: seqs[cpu][step],
+                kind: BusKind::UncachedRead,
+            };
+            if let Some(Decoded::Event { event, .. }) = d.push(rec) {
+                decoded.push(event);
+            }
+        }
+    }
+    assert_eq!(decoded.len(), 4);
+    for ev in evs {
+        assert!(decoded.contains(&ev));
+    }
+    assert_eq!(d.undecodable, 0);
+}
+
+#[test]
+fn time_reconstruction_tracks_ground_truth_split() {
+    let art = run(&cfg(WorkloadKind::Oracle));
+    let an = analyze(&art);
+    let gt = art.os_stats.total_cycles();
+    let tr_user: u64 = an.cpu_cycles.iter().map(|c| c.user).sum();
+    let tr_kernel: u64 = an.cpu_cycles.iter().map(|c| c.kernel).sum();
+    let total = gt.total() as f64;
+    let du = (tr_user as f64 - gt.user as f64).abs() / total;
+    let dk = (tr_kernel as f64 - gt.kernel as f64).abs() / total;
+    assert!(du < 0.06, "user split off by {du:.3} of total");
+    assert!(dk < 0.06, "kernel split off by {dk:.3} of total");
+}
+
+#[test]
+fn utlb_faults_look_like_the_papers_spikes() {
+    let art = run(&cfg(WorkloadKind::Multpgm));
+    let an = analyze(&art);
+    assert!(an.utlb.count > 100, "UTLB faults are frequent");
+    let misses_per = an.utlb.misses as f64 / an.utlb.count as f64;
+    assert!(misses_per < 4.0, "nearly miss-free, got {misses_per:.2}");
+    let cycles_per = an.utlb.cycles as f64 / an.utlb.count as f64;
+    assert!(cycles_per < 2_000.0, "fast, got {cycles_per:.0} cycles");
+}
+
+#[test]
+fn network_daemon_perturbs_cpu1_like_the_paper_says() {
+    // Section 2.1: the network daemons "partially destroy the I and
+    // D-cache state of the processor on which they run (processor 1)".
+    let base = run(&cfg(WorkloadKind::Pmake));
+    let with = run(&cfg(WorkloadKind::Pmake).with_network_daemon());
+    // The daemon's kernel work happens: SockRecv runs the network stack
+    // on CPU 1 only (it is pinned).
+    assert!(
+        with.cpu_counters[1].ifetch_fills > 0,
+        "cpu1 executes the daemon"
+    );
+    // Its presence measurably changes CPU 1's fill counts versus the
+    // undisturbed run while remaining a small perturbation overall.
+    let fills = |art: &oscar_core::RunArtifacts, cpu: usize| {
+        art.cpu_counters[cpu].ifetch_fills + art.cpu_counters[cpu].data_fills
+    };
+    assert_ne!(fills(&base, 1), fills(&with, 1));
+    let total_base: u64 = (0..4).map(|c| fills(&base, c)).sum();
+    let total_with: u64 = (0..4).map(|c| fills(&with, c)).sum();
+    let rel = (total_with as f64 - total_base as f64).abs() / total_base as f64;
+    assert!(rel < 0.5, "perturbation should not dominate: {rel:.3}");
+}

@@ -1,0 +1,124 @@
+//! Stress and failure-injection tests: memory pressure (page-out scans,
+//! I-cache invalidations), tiny trace windows, and degenerate
+//! configurations.
+
+use oscar_core::{analyze, run, ExperimentConfig};
+use oscar_workloads::WorkloadKind;
+
+/// A machine with only 12 MB of memory: the frame pool shrinks to about
+/// two thousand frames, so eight concurrent compile jobs create real
+/// memory pressure.
+fn pressured() -> ExperimentConfig {
+    // Measure from early on, so the allocation wave (and the page-out
+    // scans it forces) falls inside the traced window.
+    let mut cfg = ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(30_000_000)
+        .measure(30_000_000);
+    cfg.machine.memory_bytes = 8 * 1024 * 1024;
+    cfg.tuning.low_free_frames = 700;
+    cfg
+}
+
+#[test]
+fn memory_pressure_triggers_pageout_and_inval() {
+    let art = run(&pressured());
+    let s = &art.os_stats;
+    assert!(s.pageouts > 0, "the page-out scan must run under pressure");
+    assert!(
+        s.icache_flushes > 0,
+        "recycled code pages must force I-cache flushes"
+    );
+    let an = analyze(&art);
+    assert!(
+        an.blockop_d.pfdat_scan > 0,
+        "descriptor-traversal misses appear (Table 6's third column)"
+    );
+    // The flush events reach the trace (they become Inval misses once a
+    // recycled frame holds code again; the classifier unit tests cover
+    // that path directly).
+    use oscar_core::analyze::IStreamItem;
+    assert!(
+        an.istream
+            .iter()
+            .any(|i| matches!(i, IStreamItem::Flush { .. })),
+        "I-cache flush events must appear in the instruction stream"
+    );
+    // TLB shootdown IPIs accompany the page steals.
+    assert!(s.ipis > 0, "pageout posts TLB-shootdown IPIs");
+}
+
+#[test]
+fn pressure_survives_and_stays_consistent() {
+    let art = run(&pressured());
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    // Conservation: every fill classified exactly once.
+    assert_eq!(
+        an.fills.os + an.fills.app + an.fills.idle,
+        an.os.total() + an.app.total() + an.idle.total()
+    );
+    // Ground truth still tracks the trace side under pressure.
+    let gt = art.os_stats.kernel_misses.total();
+    let tr = an.os.total();
+    let rel = (tr as f64 - gt as f64).abs() / gt.max(1) as f64;
+    assert!(rel < 0.1, "trace {tr} vs ground truth {gt}");
+}
+
+#[test]
+fn empty_window_analyzes_cleanly() {
+    let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(1_000_000)
+        .measure(0));
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    assert_eq!(an.invocations.count, 0);
+}
+
+#[test]
+fn single_cpu_machine_works() {
+    let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+        .cpus(1)
+        .warmup(20_000_000)
+        .measure(5_000_000));
+    let an = analyze(&art);
+    assert_eq!(an.undecodable, 0);
+    // With one CPU there is no coherence: no sharing data misses from
+    // migration (upgrades can't happen either).
+    assert_eq!(art.os_stats.migrations, 0);
+    assert_eq!(
+        an.migration_by_region.values().sum::<u64>(),
+        0,
+        "no migration misses on one CPU"
+    );
+}
+
+#[test]
+fn tiny_buffer_monitor_with_periodic_dumps_matches_unbounded() {
+    // Run the same experiment with an unbounded monitor and verify the
+    // total record count equals what a bounded buffer with dumps sees.
+    use oscar_machine::monitor::BufferMode;
+    use oscar_machine::{Machine, MachineConfig};
+    use oscar_os::{OsTuning, OsWorld};
+
+    let drive = |mode: BufferMode| -> u64 {
+        let mut m = Machine::with_buffer(MachineConfig::sgi_4d340(), mode);
+        let mut os = OsWorld::new(4, 32 * 1024 * 1024, OsTuning::default());
+        for t in oscar_workloads::pmake().tasks {
+            os.spawn_initial(t);
+        }
+        let mut dumped = 0u64;
+        for _ in 0..1_500_000 {
+            if !os.step_earliest(&mut m) {
+                break;
+            }
+            if m.monitor().fill_fraction() > 0.8 {
+                dumped += m.monitor_mut().dump().len() as u64;
+            }
+        }
+        assert_eq!(m.monitor().lost(), 0);
+        dumped + m.monitor().len() as u64
+    };
+    let unbounded = drive(BufferMode::Unbounded);
+    let bounded = drive(BufferMode::Bounded(20_000));
+    assert_eq!(unbounded, bounded, "the dump protocol loses nothing");
+}

@@ -1,0 +1,238 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use oscar_core::classify::Mirror;
+use oscar_machine::addr::{BlockAddr, CpuId, PAddr, Ppn, Vpn};
+use oscar_machine::cache::{Cache, Lookup};
+use oscar_machine::config::CacheConfig;
+use oscar_machine::tlb::{Tlb, TLB_ENTRIES};
+use oscar_os::{AttrCtx, OpClass, OsEvent};
+
+proptest! {
+    /// The classifier's direct-mapped mirror tracks residency exactly
+    /// like the machine's cache when fed the same fill stream.
+    #[test]
+    fn mirror_matches_cache_residency(blocks in prop::collection::vec(0u64..2048, 1..400)) {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(8 * 1024));
+        let mut mirror = Mirror::new(8 * 1024);
+        for &b in &blocks {
+            let block = BlockAddr(b);
+            match cache.access(block, false) {
+                Lookup::Hit => {
+                    prop_assert!(mirror.resident(block), "mirror lost {block}");
+                }
+                Lookup::Miss { .. } => {
+                    prop_assert!(!mirror.resident(block), "mirror kept {block}");
+                    mirror.classify_fill(block, true, 0);
+                }
+            }
+        }
+        // Final states agree for every block ever touched.
+        for &b in &blocks {
+            prop_assert_eq!(cache.probe(BlockAddr(b)), mirror.resident(BlockAddr(b)));
+        }
+    }
+
+    /// Any escape-encoded event decodes back to itself through the
+    /// address channel.
+    #[test]
+    fn escape_roundtrip(
+        which in 0usize..8,
+        a in 0u32..1 << 13,
+        b in 0u32..1 << 13,
+        c in 0u32..1 << 13,
+        d in 0u32..1 << 13,
+    ) {
+        let ev = match which {
+            0 => OsEvent::EnterOs(OpClass::ALL[(a as usize) % OpClass::ALL.len()]),
+            1 => OsEvent::ExitOs,
+            2 => OsEvent::PidChange { pid: a },
+            3 => OsEvent::TlbSet { index: a % 64, vpn: b, ppn: c, pid: d },
+            4 => OsEvent::CtxEnter(AttrCtx::ALL[(a as usize) % AttrCtx::ALL.len()]),
+            5 => OsEvent::IcacheFlush { ppn: a },
+            6 => OsEvent::OpEnd,
+            _ => OsEvent::OpReclass(OpClass::ALL[(b as usize) % OpClass::ALL.len()]),
+        };
+        let seq = ev.encode();
+        prop_assert!(seq.iter().all(|p| p.is_odd()));
+        let opcode = OsEvent::decode_opcode(seq[0]).expect("opcode");
+        let payloads: Vec<u32> = seq[1..].iter().map(|&p| OsEvent::decode_payload(p)).collect();
+        prop_assert_eq!(OsEvent::decode(opcode, &payloads), Some(ev));
+    }
+
+    /// The TLB never exceeds capacity, and a just-inserted entry is
+    /// always found.
+    #[test]
+    fn tlb_capacity_and_lookup(ops in prop::collection::vec((0u32..200, 0u32..512, 1u32..6), 1..300)) {
+        let mut tlb = Tlb::new();
+        for &(vpn, ppn, asid) in &ops {
+            tlb.insert(Vpn(vpn), Ppn(ppn), asid);
+            prop_assert_eq!(tlb.peek(Vpn(vpn), asid), Some(Ppn(ppn)));
+            prop_assert!(tlb.occupancy() <= TLB_ENTRIES);
+        }
+        // Flushing an asid removes exactly its entries.
+        let victim = ops[0].2;
+        tlb.flush_asid(victim);
+        for &(vpn, _, asid) in &ops {
+            if asid == victim {
+                prop_assert_eq!(tlb.peek(Vpn(vpn), asid), None);
+            }
+        }
+    }
+
+    /// A set-associative cache never exceeds its capacity and never
+    /// evicts a block that still hits.
+    #[test]
+    fn cache_capacity_invariant(
+        blocks in prop::collection::vec(0u64..4096, 1..300),
+        assoc in prop::sample::select(vec![1u32, 2, 4]),
+    ) {
+        let config = CacheConfig::set_associative(16 * 1024, assoc);
+        let lines = (config.size_bytes / config.block_bytes) as usize;
+        let mut cache = Cache::new(config);
+        for &b in &blocks {
+            cache.access(BlockAddr(b), b % 3 == 0);
+            prop_assert!(cache.resident_lines() <= lines);
+            prop_assert!(cache.probe(BlockAddr(b)), "just-filled block resident");
+        }
+    }
+
+    /// Page invalidation drops exactly the page's resident lines.
+    #[test]
+    fn invalidate_page_is_exact(blocks in prop::collection::vec(0u64..4096, 1..200), page in 0u32..16) {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(64 * 1024));
+        for &b in &blocks {
+            cache.access(BlockAddr(b), false);
+        }
+        let before: Vec<BlockAddr> = cache.iter_resident().collect();
+        let expect = before.iter().filter(|b| b.page() == Ppn(page)).count();
+        let dropped = cache.invalidate_page(Ppn(page));
+        prop_assert_eq!(dropped, expect);
+        for b in cache.iter_resident() {
+            prop_assert_ne!(b.page(), Ppn(page));
+        }
+    }
+
+    /// PAddr block/page arithmetic is consistent for any address.
+    #[test]
+    fn address_arithmetic(raw in 0u64..(1 << 34)) {
+        let a = PAddr::new(raw);
+        prop_assert_eq!(a.block().base().raw(), raw & !15);
+        prop_assert_eq!(a.page().base().raw(), raw & !4095);
+        prop_assert_eq!(a.block().page(), a.page());
+        prop_assert!(a.offset_in_block() < 16);
+        prop_assert!(a.offset_in_page() < 4096);
+    }
+
+    /// Lock-table invariants under random acquire/release schedules:
+    /// locality and contention counters never exceed acquires.
+    #[test]
+    fn lock_table_counters(seq in prop::collection::vec((0u8..4, any::<bool>()), 1..400)) {
+        use oscar_os::{LockFamily, LockId, LockTable};
+        let mut t = LockTable::new();
+        let id = LockId::singleton(LockFamily::Memlock);
+        let mut holder: Option<u8> = None;
+        let mut now = 0u64;
+        for &(cpu, release) in &seq {
+            now += 10;
+            if release {
+                if holder == Some(cpu) {
+                    t.release(id, CpuId(cpu));
+                    holder = None;
+                }
+            } else if holder.is_none() {
+                if t.try_acquire(id, CpuId(cpu), now) == oscar_os::locks::TryAcquire::Acquired {
+                    holder = Some(cpu);
+                }
+            } else if holder != Some(cpu) {
+                let _ = t.try_acquire(id, CpuId(cpu), now);
+            }
+        }
+        let s = t.family_stats(LockFamily::Memlock);
+        prop_assert!(s.local_reacquires <= s.acquires);
+        prop_assert!(s.failed_first <= s.attempts);
+        prop_assert!(s.releases <= s.acquires);
+        prop_assert!(s.llsc_misses <= s.sync_ops + s.acquires);
+    }
+
+    /// Histograms preserve sample counts and means.
+    #[test]
+    fn histogram_conservation(values in prop::collection::vec(0u64..10_000, 1..200)) {
+        use oscar_core::histogram::Histogram;
+        let mut h = Histogram::linear(5_000, 50);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let binned: u64 = h.rows().map(|(_, _, n, _)| n).sum::<u64>() + h.overflow();
+        prop_assert_eq!(binned, values.len() as u64);
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    /// The positional escape decoder recovers every event even when
+    /// four CPUs' sequences interleave arbitrarily with miss traffic.
+    #[test]
+    fn decoder_survives_arbitrary_interleavings(
+        schedule in prop::collection::vec(0u8..4, 40..160),
+        seed in any::<u32>(),
+    ) {
+        use oscar_core::decode::{Decoded, Decoder};
+        use oscar_machine::monitor::BusRecord;
+        use oscar_machine::BusKind;
+
+        // Each CPU repeatedly emits a TlbSet (5 escape reads) followed
+        // by one even-address miss; the schedule drives whose next
+        // record is appended.
+        let mut queues: Vec<Vec<(PAddr, BusKind)>> = (0..4)
+            .map(|c| {
+                let ev = OsEvent::TlbSet {
+                    index: c as u32,
+                    vpn: seed.wrapping_add(c as u32) & 0xffff,
+                    ppn: c as u32 * 7 + 1,
+                    pid: c as u32 + 1,
+                };
+                let mut v: Vec<(PAddr, BusKind)> = ev
+                    .encode()
+                    .into_iter()
+                    .map(|a| (a, BusKind::UncachedRead))
+                    .collect();
+                v.push((PAddr::new(0x1000 * (c as u64 + 1)), BusKind::Read));
+                v
+            })
+            .collect();
+        let mut cursors = [0usize; 4];
+        let mut decoder = Decoder::new(4);
+        let mut events = 0u32;
+        let mut expected = [0u32; 4];
+        for (t, &c) in schedule.iter().enumerate() {
+            let q = &mut queues[c as usize];
+            let (paddr, kind) = q[cursors[c as usize] % q.len()];
+            cursors[c as usize] += 1;
+            // The event completes when its fifth escape read (queue
+            // index 4) has been pushed.
+            if cursors[c as usize] % q.len() == 5 {
+                expected[c as usize] += 1;
+            }
+            let rec = BusRecord {
+                time: t as u64,
+                cpu: CpuId(c),
+                paddr,
+                kind,
+            };
+            if let Some(Decoded::Event { event, cpu, .. }) = decoder.push(rec) {
+                events += 1;
+                // The decoded event must be the one this CPU emits.
+                match event {
+                    OsEvent::TlbSet { pid, .. } => prop_assert_eq!(pid, cpu.0 as u32 + 1),
+                    other => prop_assert!(false, "unexpected event {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(events, expected.iter().sum::<u32>());
+        prop_assert_eq!(decoder.undecodable, 0);
+    }
+}
