@@ -3,8 +3,7 @@
 //! cache-affinity scheduling, cache-bypassing block operations, and
 //! hot-first kernel code layout.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use oscar_bench::{black_box, Harness};
 
 use oscar_core::stall::{table1_row, table4_row, table6_row};
 use oscar_core::{analyze, run, ExperimentConfig};
@@ -17,7 +16,7 @@ fn cfg(kind: WorkloadKind) -> ExperimentConfig {
         .measure(10_000_000)
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     // --- affinity scheduling ---
     println!("Ablation: cache-affinity scheduling (Oracle)");
     for policy in [SchedPolicy::FreeMigration, SchedPolicy::Affinity] {
@@ -74,18 +73,12 @@ fn bench_ablations(c: &mut Criterion) {
         );
     }
 
-    // Criterion: measure the cost of a short ablation run itself.
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("pmake_short_run", |b| {
-        b.iter(|| {
-            black_box(run(&ExperimentConfig::new(WorkloadKind::Pmake)
-                .warmup(1_000_000)
-                .measure(2_000_000)))
-        })
+    // Measure the cost of a short ablation run itself.
+    let mut h = Harness::new("ablations");
+    h.bench("ablations/pmake_short_run", || {
+        black_box(run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(1_000_000)
+            .measure(2_000_000)))
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,16 +1,16 @@
 //! Figure 6: OS instruction-miss rate versus I-cache size and
 //! associativity, regenerated per workload by trace-driven
-//! re-simulation, plus a Criterion measurement of the re-simulator.
+//! re-simulation, plus a measurement of the re-simulator itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use oscar_bench::{black_box, Harness};
 
 use oscar_core::resim::{figure6_sweep, resim};
 use oscar_core::{analyze, run, ExperimentConfig};
 use oscar_machine::config::CacheConfig;
 use oscar_workloads::WorkloadKind;
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("fig6_resim");
     for kind in WorkloadKind::ALL {
         let art = run(&ExperimentConfig::new(kind)
             .warmup(45_000_000)
@@ -32,20 +32,13 @@ fn bench_fig6(c: &mut Criterion) {
                 p.os_inval_misses as f64 / base
             );
         }
-        let mut g = c.benchmark_group(format!("fig6/{kind}"));
-        g.sample_size(10);
-        g.bench_function("resim_256k_dm", |b| {
-            b.iter(|| {
-                black_box(resim(
-                    black_box(&an.istream),
-                    4,
-                    CacheConfig::direct_mapped(256 * 1024),
-                ))
-            })
+        h.bench(&format!("fig6/{kind}/resim_256k_dm"), || {
+            black_box(resim(
+                black_box(&an.istream),
+                4,
+                CacheConfig::direct_mapped(256 * 1024),
+            ))
         });
-        g.finish();
     }
+    h.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -7,8 +7,7 @@
 //! the clustered OS (text replicated per cluster, distributed run
 //! queues, first-touch page placement).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use oscar_bench::{black_box, Harness};
 
 use oscar_core::stall::table1_row;
 use oscar_core::{analyze, run, ExperimentConfig};
@@ -26,7 +25,7 @@ fn shape(kind: WorkloadKind, cpus: u8, clusters: u8, clustered_os: bool) -> Expe
     }
 }
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     println!("Section 6 — larger machines (Multpgm)");
     println!(
         "{:>6} {:>9} {:>13} {:>13} {:>12} {:>12}",
@@ -56,18 +55,12 @@ fn bench_scaling(c: &mut Criterion) {
         }
     }
 
-    let mut g = c.benchmark_group("scaling");
-    g.sample_size(10);
-    g.bench_function("multpgm_16cpu_4cluster_short", |b| {
-        b.iter(|| {
-            black_box(run(&ExperimentConfig::new(WorkloadKind::Multpgm)
-                .warmup(1_000_000)
-                .measure(2_000_000)
-                .clustered(16, 4, 30)))
-        })
+    let mut h = Harness::new("larger_machines");
+    h.bench("scaling/multpgm_16cpu_4cluster_short", || {
+        black_box(run(&ExperimentConfig::new(WorkloadKind::Multpgm)
+            .warmup(1_000_000)
+            .measure(2_000_000)
+            .clustered(16, 4, 30)))
     });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Microbenchmarks of the simulator substrate itself: cache probes,
 //! TLB lookups, coherence traffic and full-engine stepping throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use oscar_bench::{black_box, Harness};
 
 use oscar_machine::addr::{BlockAddr, CpuId, PAddr, Ppn, Vpn};
 use oscar_machine::cache::Cache;
@@ -11,94 +10,77 @@ use oscar_machine::tlb::Tlb;
 use oscar_machine::Machine;
 use oscar_os::{OsTuning, OsWorld};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("dm_hit", |b| {
+fn main() {
+    let mut h = Harness::new("machine_micro");
+
+    {
         let mut cache = Cache::new(CacheConfig::direct_mapped(64 * 1024));
         cache.access(BlockAddr(7), false);
-        b.iter(|| black_box(cache.access(black_box(BlockAddr(7)), false)))
-    });
-    g.bench_function("dm_conflict_stream", |b| {
+        h.bench("cache/dm_hit", || {
+            black_box(cache.access(black_box(BlockAddr(7)), false))
+        });
+    }
+    {
         let mut cache = Cache::new(CacheConfig::direct_mapped(64 * 1024));
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("cache/dm_conflict_stream", || {
             i = i.wrapping_add(4096);
             black_box(cache.access(BlockAddr(i % (1 << 20)), false))
-        })
-    });
-    g.bench_function("two_way_mixed", |b| {
+        });
+    }
+    {
         let mut cache = Cache::new(CacheConfig::set_associative(256 * 1024, 2));
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("cache/two_way_mixed", || {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
             black_box(cache.access(BlockAddr((i >> 20) % (1 << 18)), i & 1 == 0))
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("hit", |b| {
+    {
         let mut tlb = Tlb::new();
         tlb.insert(Vpn(5), Ppn(9), 1);
-        b.iter(|| black_box(tlb.lookup(black_box(Vpn(5)), 1)))
-    });
-    g.bench_function("miss_insert_cycle", |b| {
+        h.bench("tlb/hit", || black_box(tlb.lookup(black_box(Vpn(5)), 1)));
+    }
+    {
         let mut tlb = Tlb::new();
         let mut v = 0u32;
-        b.iter(|| {
+        h.bench("tlb/miss_insert_cycle", || {
             v = v.wrapping_add(1) % 512;
             if tlb.lookup(Vpn(v), 1).is_none() {
                 tlb.insert(Vpn(v), Ppn(v), 1);
             }
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("data_access_coherent", |b| {
+    {
         let mut m = Machine::new(MachineConfig::sgi_4d340());
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("machine/data_access_coherent", || {
             i = i.wrapping_add(1);
             let cpu = CpuId((i % 4) as u8);
-            black_box(m.data_access(cpu, PAddr::new((i * 64) % (16 << 20)), i % 5 == 0, 1))
-        })
-    });
-    g.finish();
+            black_box(m.data_access(
+                cpu,
+                PAddr::new((i * 64) % (16 << 20)),
+                i.is_multiple_of(5),
+                1,
+            ))
+        });
+    }
 
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("pmake_steps_1m_cycles", |b| {
-        b.iter_batched(
-            || {
-                let m = Machine::new(MachineConfig::sgi_4d340());
-                let mut os = OsWorld::new(4, 32 * 1024 * 1024, OsTuning::default());
-                for t in oscar_workloads::pmake().tasks {
-                    os.spawn_initial(t);
-                }
-                (m, os)
-            },
-            |(mut m, mut os)| {
-                while m.now(m.earliest_cpu()) < 1_000_000 {
-                    if !os.step_earliest(&mut m) {
-                        break;
-                    }
-                }
-                black_box(m.bus_transactions())
-            },
-            criterion::BatchSize::LargeInput,
-        )
+    h.bench("engine/pmake_steps_1m_cycles", || {
+        let mut m = Machine::new(MachineConfig::sgi_4d340());
+        let mut os = OsWorld::new(4, 32 * 1024 * 1024, OsTuning::default());
+        for t in oscar_workloads::pmake().tasks {
+            os.spawn_initial(t);
+        }
+        while m.now(m.earliest_cpu()) < 1_000_000 {
+            if !os.step_earliest(&mut m) {
+                break;
+            }
+        }
+        black_box(m.bus_transactions())
     });
-    g.finish();
+
+    h.finish();
 }
-
-criterion_group!(benches, bench_cache, bench_tlb, bench_machine);
-criterion_main!(benches);

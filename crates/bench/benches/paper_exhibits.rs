@@ -3,10 +3,9 @@
 //! postprocessing pipeline that produces them.
 //!
 //! The exhibit rows are printed once during setup — that output *is*
-//! the reproduction; Criterion then measures the analysis cost.
+//! the reproduction; the harness then measures the analysis cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use oscar_bench::{black_box, Harness};
 
 use oscar_core::report;
 use oscar_core::{analyze, run, ExperimentConfig, RunArtifacts};
@@ -18,7 +17,8 @@ fn traced(kind: WorkloadKind) -> RunArtifacts {
         .measure(12_000_000))
 }
 
-fn bench_exhibits(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("paper_exhibits");
     for kind in WorkloadKind::ALL {
         let art = traced(kind);
         let an = analyze(&art);
@@ -43,17 +43,12 @@ fn bench_exhibits(c: &mut Criterion) {
         println!("{}", report::render_table11());
         println!("{}", report::render_table12(&art));
 
-        let mut g = c.benchmark_group(format!("postprocess/{kind}"));
-        g.sample_size(10);
-        g.bench_function("analyze_trace", |b| {
-            b.iter(|| black_box(analyze(black_box(&art))))
+        h.bench(&format!("postprocess/{kind}/analyze_trace"), || {
+            black_box(analyze(black_box(&art)))
         });
-        g.bench_function("render_all", |b| {
-            b.iter(|| black_box(report::render_all(black_box(&art), black_box(&an))))
+        h.bench(&format!("postprocess/{kind}/render_all"), || {
+            black_box(report::render_all(black_box(&art), black_box(&an)))
         });
-        g.finish();
     }
+    h.finish();
 }
-
-criterion_group!(benches, bench_exhibits);
-criterion_main!(benches);

@@ -1,1 +1,155 @@
-//! Criterion bench crate: see `benches/`.
+//! # oscar-bench
+//!
+//! A self-contained benchmark harness (the workspace builds offline
+//! with no external dependencies, so Criterion is out) plus one bench
+//! per paper exhibit family under `benches/`:
+//!
+//! * `paper_exhibits` — Tables 1, 3–7, 9–12 and Figures 1–5, 7–10 per
+//!   workload, and the cost of the postprocessing that produces them;
+//! * `fig6_resim` — the Figure 6 I-cache re-simulation sweep;
+//! * `fig11_contention` — lock contention vs CPU count (Figure 11);
+//! * `ablations` — affinity scheduling, block-op bypass, hot-first
+//!   layout (Section 4.2);
+//! * `larger_machines` — the Section 6 cluster-machine sweep;
+//! * `machine_micro` — microbenchmarks of the simulator substrate.
+//!
+//! Every bench prints a human table and writes a `BENCH_<name>.json`
+//! summary (same schema as the experiment engine's perf summary — see
+//! [`oscar_core::perf`]) so perf baselines are diffable across PRs.
+//!
+//! Environment knobs:
+//!
+//! * `OSCAR_BENCH_SAMPLES` — samples per benchmark (default 10);
+//! * `OSCAR_BENCH_OUT` — directory for `BENCH_*.json` (default `.`);
+//! * `OSCAR_BENCH_FAST` — set to shrink sample counts for smoke runs.
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+use oscar_core::perf::{peak_rss_kb, PerfSummary, PhaseStats};
+
+/// One benchmark's timing result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark identifier (`group/name`).
+    pub id: String,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Samples taken.
+    pub samples: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+}
+
+/// The harness: times closures, prints a table, writes
+/// `BENCH_<name>.json`.
+pub struct Harness {
+    name: String,
+    samples: u64,
+    started: Instant,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness named `name` (the JSON becomes `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        let fast = std::env::var_os("OSCAR_BENCH_FAST").is_some();
+        let samples = std::env::var("OSCAR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if fast { 3 } else { 10 });
+        Harness {
+            name: name.to_string(),
+            samples: samples.max(1),
+            started: Instant::now(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, auto-calibrating iterations per sample so each sample
+    /// runs at least ~5 ms (one warm-up call is discarded).
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // Warm up and calibrate.
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let target_ns = 5_000_000u64;
+        let iters = (target_ns / once_ns).clamp(1, 1 << 20);
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut total_ns = 0.0f64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per = t.elapsed().as_nanos() as f64 / iters as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+            total_ns += per;
+        }
+        let r = BenchResult {
+            id: id.to_string(),
+            iters,
+            samples: self.samples,
+            mean_ns: total_ns / self.samples as f64,
+            min_ns,
+            max_ns,
+        };
+        eprintln!(
+            "bench {:40} {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} iters x {} samples)",
+            r.id, r.mean_ns, r.min_ns, r.max_ns, r.iters, r.samples
+        );
+        self.results.push(r);
+    }
+
+    /// Prints the summary and writes `BENCH_<name>.json` into
+    /// `OSCAR_BENCH_OUT` (or the current directory).
+    pub fn finish(self) {
+        let mut summary = PerfSummary::new(&self.name, 1);
+        for r in &self.results {
+            summary.phases.push(PhaseStats {
+                id: r.id.clone(),
+                wall_s: r.mean_ns * r.iters as f64 * r.samples as f64 / 1e9,
+                cycles: 0,
+                records: r.iters * r.samples,
+            });
+        }
+        summary.wall_s = self.started.elapsed().as_secs_f64();
+        summary.peak_rss_kb = peak_rss_kb();
+        let dir = std::env::var("OSCAR_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        match std::fs::write(&path, summary.to_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+        eprintln!("{}", summary.human_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_records() {
+        std::env::set_var("OSCAR_BENCH_SAMPLES", "2");
+        let mut h = Harness::new("unit-test");
+        let mut x = 0u64;
+        h.bench("noop", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(h.results.len(), 1);
+        let r = &h.results[0];
+        assert!(r.mean_ns >= 0.0);
+        assert!(r.min_ns <= r.max_ns);
+        assert!(r.iters >= 1);
+        std::env::remove_var("OSCAR_BENCH_SAMPLES");
+    }
+}

@@ -3,11 +3,30 @@
 //! mirrors, attributes OS data misses to kernel structures and
 //! contexts, and accumulates every statistic the paper's tables and
 //! figures need.
+//!
+//! The analyzer is a *streaming* consumer: [`StreamAnalyzer`] accepts
+//! bus records one at a time ([`StreamAnalyzer::push`]) and never needs
+//! the whole trace in memory. [`analyze`] is the batch wrapper that
+//! replays a materialized [`RunArtifacts::trace`]; the streaming
+//! pipeline in [`crate::pipeline`] instead feeds records through a
+//! bounded channel as the simulation produces them.
+//!
+//! Classification against the per-CPU cache mirrors is the only part of
+//! the analysis whose *outputs* depend on cache state; every attribution
+//! input (mode, operation, context, region) is known at access time.
+//! The analyzer therefore supports *deferred* classification: it emits
+//! a [`ClassifyMsg`] per access and captures a pending-attribution
+//! record, and one or more [`ClassShard`]s — each owning a subset of the
+//! CPUs' mirrors — classify the stream concurrently. The fold of shard
+//! verdicts into the final [`TraceAnalysis`]
+//! ([`StreamAnalyzer::finish_deferred`]) is commutative, so sharded
+//! results are identical to inline ones.
 
 use std::collections::{BTreeMap, HashMap};
 
-use oscar_machine::addr::{Ppn, Vpn};
+use oscar_machine::addr::{BlockAddr, Ppn, Vpn};
 use oscar_machine::monitor::BusRecord;
+use oscar_machine::MachineConfig;
 use oscar_os::stats::ModeCycles;
 use oscar_os::user::segs;
 use oscar_os::{AttrCtx, KernelRegion, Layout, Mode, OpClass, OsEvent, Rid};
@@ -16,6 +35,9 @@ use crate::classify::{ArchClass, IdCounts, Mirror};
 use crate::decode::{Decoded, Decoder};
 use crate::experiment::RunArtifacts;
 use crate::histogram::Histogram;
+use crate::resim::{
+    dcache_configs, figure6_configs, DResimBank, DResimPoint, IResimBank, ResimPoint,
+};
 
 /// Attribution source of a sharing miss (Figure 8's categories:
 /// structures plus the block-copy/clear pseudo-sources).
@@ -235,9 +257,19 @@ pub struct TraceAnalysis {
     /// Escape reads that failed to decode (must be 0).
     pub undecodable: u64,
     /// The instruction miss stream for cache re-simulation (Figure 6).
+    /// Empty when the analyzer ran with
+    /// [`AnalyzeOptions::keep_streams`] off (the streaming pipeline's
+    /// bounded-memory mode); use [`TraceAnalysis::fig6`] then.
     pub istream: Vec<IStreamItem>,
-    /// The data miss stream for D-cache re-simulation.
+    /// The data miss stream for D-cache re-simulation. Empty under
+    /// bounded-memory streaming; use [`TraceAnalysis::dcache`] then.
     pub dstream: Vec<DStreamItem>,
+    /// The Figure 6 sweep, when it was computed online
+    /// ([`AnalyzeOptions::online_sweeps`]). Identical to
+    /// [`crate::resim::figure6_sweep`] over `istream`.
+    pub fig6: Option<Vec<ResimPoint>>,
+    /// The Section 4.2.2 D-cache sweep, when computed online.
+    pub dcache: Option<Vec<DResimPoint>>,
     /// Measured window in cycles.
     pub window_cycles: u64,
 }
@@ -257,6 +289,24 @@ impl TraceAnalysis {
     /// Aggregate cycles.
     pub fn total_cycles(&self) -> u64 {
         self.cpu_cycles.iter().map(|c| c.total()).sum()
+    }
+
+    /// The Figure 6 sweep: precomputed if the analyzer ran it online,
+    /// otherwise replayed from the kept instruction stream.
+    pub fn figure6_points(&self, num_cpus: usize) -> Vec<ResimPoint> {
+        match &self.fig6 {
+            Some(p) => p.clone(),
+            None => crate::resim::figure6_sweep(&self.istream, num_cpus),
+        }
+    }
+
+    /// The D-cache sweep: precomputed or replayed, like
+    /// [`TraceAnalysis::figure6_points`].
+    pub fn dcache_points(&self, num_cpus: usize) -> Vec<DResimPoint> {
+        match &self.dcache {
+            Some(p) => p.clone(),
+            None => crate::resim::dcache_sweep(&self.dstream, num_cpus),
+        }
     }
 }
 
@@ -340,7 +390,62 @@ impl CpuAn {
     }
 }
 
-/// Runs the full analysis over one run's artifacts.
+/// The trace-side metadata the analyzer needs before the first record
+/// arrives: everything in [`RunArtifacts`] except the trace and the
+/// OS-side ground truth.
+#[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// The kernel symbol table.
+    pub layout: Layout,
+    /// The machine configuration that produced the trace.
+    pub machine_config: MachineConfig,
+    /// First cycle of the measured window.
+    pub measure_start: u64,
+    /// Horizon cycle (end of the measured window).
+    pub measure_end: u64,
+}
+
+impl TraceMeta {
+    /// Extracts the metadata of a materialized run.
+    pub fn of(art: &RunArtifacts) -> Self {
+        TraceMeta {
+            layout: art.layout.clone(),
+            machine_config: art.machine_config.clone(),
+            measure_start: art.measure_start,
+            measure_end: art.measure_end,
+        }
+    }
+}
+
+/// Analyzer behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Run the Figure 6 / D-cache sweeps online, filling
+    /// [`TraceAnalysis::fig6`] and [`TraceAnalysis::dcache`] as records
+    /// stream through instead of requiring a materialized miss stream.
+    pub online_sweeps: bool,
+    /// Keep the materialized `istream`/`dstream` vectors. Turning this
+    /// off (with `online_sweeps` on) bounds the analyzer's memory
+    /// regardless of trace length.
+    pub keep_streams: bool,
+    /// Defer mirror classification: the analyzer emits [`ClassifyMsg`]s
+    /// (drained with [`StreamAnalyzer::take_classify_msgs`]) for
+    /// [`ClassShard`] workers, and the caller folds their verdicts back
+    /// with [`StreamAnalyzer::finish_deferred`].
+    pub deferred_classification: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            online_sweeps: false,
+            keep_streams: true,
+            deferred_classification: false,
+        }
+    }
+}
+
+/// Runs the full analysis over one run's materialized artifacts.
 ///
 /// # Panics
 ///
@@ -348,36 +453,300 @@ impl CpuAn {
 /// reconstruction from the miss trace requires direct mapping; use the
 /// re-simulator for associative ablations).
 pub fn analyze(art: &RunArtifacts) -> TraceAnalysis {
-    let cfg = &art.machine_config;
-    assert_eq!(
-        cfg.icache.assoc, 1,
-        "trace classification requires direct-mapped caches"
-    );
-    assert_eq!(cfg.l2d.assoc, 1, "trace classification requires direct-mapped caches");
-    Analyzer::new(art).run()
+    analyze_with(art, AnalyzeOptions::default())
 }
 
-struct Analyzer<'a> {
-    art: &'a RunArtifacts,
-    layout: &'a Layout,
+/// [`analyze`] with explicit options.
+///
+/// # Panics
+///
+/// Panics if the machine's caches are not direct-mapped.
+pub fn analyze_with(art: &RunArtifacts, opts: AnalyzeOptions) -> TraceAnalysis {
+    assert!(
+        !opts.deferred_classification,
+        "deferred classification needs a shard driver; use StreamAnalyzer directly"
+    );
+    let mut a = StreamAnalyzer::new(TraceMeta::of(art), opts);
+    for &rec in &art.trace {
+        a.push(rec);
+    }
+    a.finish()
+}
+
+/// One unit of classification work, emitted by a deferred-mode
+/// [`StreamAnalyzer`] and consumed by every [`ClassShard`] (each shard
+/// classifies the fills of the CPUs it owns and applies the coherence
+/// side effects of everyone else's writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyMsg {
+    /// A cache fill to classify against the issuing CPU's mirror.
+    Fill {
+        /// Issuing CPU.
+        cpu: u8,
+        /// Block address.
+        block: u64,
+        /// Instruction fill (I-mirror) or data fill (D-mirror).
+        instr: bool,
+        /// The fill was issued in OS or idle mode.
+        os: bool,
+        /// The issuing CPU's application epoch.
+        epoch: u64,
+        /// Read-exclusive: invalidates the block in other CPUs'
+        /// D-mirrors.
+        write: bool,
+    },
+    /// An ownership upgrade: pure coherence traffic (the class is
+    /// `Sharing` by definition and is folded inline), but other CPUs'
+    /// D-mirrors still lose the block.
+    Upgrade {
+        /// Issuing CPU.
+        cpu: u8,
+        /// Block address.
+        block: u64,
+    },
+    /// An explicit I-cache page invalidation on every CPU.
+    Flush {
+        /// The flushed page.
+        ppn: u32,
+    },
+}
+
+/// One classification worker: owns the cache mirrors of the CPUs with
+/// `cpu % shards == shard` and replays the full [`ClassifyMsg`] stream,
+/// producing per-CPU class sequences (in fill order). Running the same
+/// stream through `shards` shards on separate threads partitions the
+/// mirror work without changing any verdict.
+#[derive(Debug)]
+pub struct ClassShard {
+    mirrors: Vec<Option<(Mirror, Mirror)>>,
+    classes: Vec<Vec<ArchClass>>,
+}
+
+impl ClassShard {
+    /// A shard owning the CPUs with `cpu % shards == shard`, with
+    /// mirror geometry taken from `config`.
+    pub fn new(config: &MachineConfig, shard: usize, shards: usize) -> Self {
+        let n = config.num_cpus as usize;
+        ClassShard {
+            mirrors: (0..n)
+                .map(|i| {
+                    (i % shards.max(1) == shard).then(|| {
+                        (
+                            Mirror::new(config.icache.size_bytes),
+                            Mirror::new(config.l2d.size_bytes),
+                        )
+                    })
+                })
+                .collect(),
+            classes: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Replays one message.
+    pub fn push(&mut self, msg: &ClassifyMsg) {
+        match *msg {
+            ClassifyMsg::Fill {
+                cpu,
+                block,
+                instr,
+                os,
+                epoch,
+                write,
+            } => {
+                let b = BlockAddr(block);
+                let i = cpu as usize;
+                if let Some((im, dm)) = &mut self.mirrors[i] {
+                    let class = if instr {
+                        im.classify_fill(b, os, epoch)
+                    } else {
+                        dm.classify_fill(b, os, epoch)
+                    };
+                    self.classes[i].push(class);
+                }
+                if write && !instr {
+                    self.invalidate_others(i, b);
+                }
+            }
+            ClassifyMsg::Upgrade { cpu, block } => {
+                self.invalidate_others(cpu as usize, BlockAddr(block));
+            }
+            ClassifyMsg::Flush { ppn } => {
+                for m in self.mirrors.iter_mut().flatten() {
+                    m.0.flush_page(Ppn(ppn));
+                }
+            }
+        }
+    }
+
+    fn invalidate_others(&mut self, writer: usize, b: BlockAddr) {
+        for (j, m) in self.mirrors.iter_mut().enumerate() {
+            if j != writer {
+                if let Some((_, dm)) = m {
+                    dm.invalidate(b);
+                }
+            }
+        }
+    }
+
+    /// The per-CPU class sequences of the owned CPUs.
+    pub fn finish(self) -> Vec<(usize, Vec<ArchClass>)> {
+        self.mirrors
+            .into_iter()
+            .zip(self.classes)
+            .enumerate()
+            .filter_map(|(i, (m, c))| m.map(|_| (i, c)))
+            .collect()
+    }
+}
+
+/// Attribution context captured at access time, joined with the
+/// (possibly deferred) class verdict by [`fold_class`].
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    mode: Mode,
+    instr: bool,
+    /// Kernel instruction miss: the routine fetched.
+    rid: Option<Rid>,
+    /// Kernel instruction miss: 1 KB text bin, `u32::MAX` otherwise.
+    kb: u32,
+    /// Kernel data miss: the structure region.
+    region: KernelRegion,
+    /// Kernel data miss: innermost attribution context.
+    ctx: Option<AttrCtx>,
+}
+
+/// Folds one class verdict into the analysis. Pure accumulation —
+/// commutative across accesses, which is what makes sharded
+/// classification equivalent to inline.
+fn fold_class(out: &mut TraceAnalysis, p: &PendingFill, class: ArchClass) {
+    let bucket = match p.mode {
+        Mode::Kernel => &mut out.os,
+        Mode::User => &mut out.app,
+        Mode::Idle => &mut out.idle,
+    };
+    if p.instr {
+        bucket.instr.record(class);
+    } else {
+        bucket.data.record(class);
+    }
+    if p.mode != Mode::Kernel {
+        return;
+    }
+    if p.instr {
+        if let ArchClass::DispOs { .. } = class {
+            if let Some(rid) = p.rid {
+                *out.dispos_i_by_routine.entry(rid).or_default() += 1;
+            }
+            let kb = p.kb as usize;
+            if kb < out.dispos_i_bins_1k.len() {
+                out.dispos_i_bins_1k[kb] += 1;
+            }
+        }
+        return;
+    }
+    if class == ArchClass::Sharing {
+        let source = match p.ctx {
+            Some(AttrCtx::BlockCopy) => SharingSource::Bcopy,
+            Some(AttrCtx::BlockClear) => SharingSource::Bclear,
+            _ => SharingSource::Region(p.region),
+        };
+        *out.sharing_by_source.entry(source).or_default() += 1;
+        let migration = matches!(
+            p.region,
+            KernelRegion::KernelStack
+                | KernelRegion::Pcb
+                | KernelRegion::Eframe
+                | KernelRegion::URest
+                | KernelRegion::ProcTable
+        );
+        if migration {
+            *out.migration_by_region.entry(p.region).or_default() += 1;
+            match p.ctx {
+                Some(AttrCtx::RunQueueMgmt) => out.migration_by_op.runq += 1,
+                Some(AttrCtx::LowLevelException) => out.migration_by_op.low_level += 1,
+                Some(AttrCtx::ReadWriteSetup) => out.migration_by_op.rw_setup += 1,
+                _ => out.migration_by_op.other += 1,
+            }
+        }
+    }
+}
+
+struct DeferredState {
+    /// Per-CPU attribution records, in fill order (aligned with the
+    /// class sequences the shards return).
+    pending: Vec<Vec<PendingFill>>,
+    /// Messages accumulated since the last
+    /// [`StreamAnalyzer::take_classify_msgs`].
+    msgs: Vec<ClassifyMsg>,
+}
+
+/// The streaming analyzer: owns all analysis state, consumes bus
+/// records one at a time, and yields the [`TraceAnalysis`] on
+/// [`StreamAnalyzer::finish`] (or
+/// [`StreamAnalyzer::finish_deferred`] in sharded mode).
+pub struct StreamAnalyzer {
+    meta: TraceMeta,
+    opts: AnalyzeOptions,
+    decoder: Decoder,
     cpus: Vec<CpuAn>,
     ppn_vpn: HashMap<u32, Vpn>,
+    ibanks: Option<Vec<IResimBank>>,
+    dbanks: Option<Vec<DResimBank>>,
+    deferred: Option<DeferredState>,
     out: TraceAnalysis,
 }
 
-impl<'a> Analyzer<'a> {
-    fn new(art: &'a RunArtifacts) -> Self {
-        let n = art.machine_config.num_cpus as usize;
-        let isize = art.machine_config.icache.size_bytes;
-        let dsize = art.machine_config.l2d.size_bytes;
-        let text_kb = (art.layout.text_size() / 1024 + 1) as usize;
-        Analyzer {
-            art,
-            layout: &art.layout,
+impl StreamAnalyzer {
+    /// Builds an analyzer for a trace described by `meta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's caches are not direct-mapped.
+    pub fn new(meta: TraceMeta, opts: AnalyzeOptions) -> Self {
+        let cfg = &meta.machine_config;
+        assert_eq!(
+            cfg.icache.assoc, 1,
+            "trace classification requires direct-mapped caches"
+        );
+        assert_eq!(
+            cfg.l2d.assoc, 1,
+            "trace classification requires direct-mapped caches"
+        );
+        let n = cfg.num_cpus as usize;
+        let isize = cfg.icache.size_bytes;
+        let dsize = cfg.l2d.size_bytes;
+        let text_kb = (meta.layout.text_size() / 1024 + 1) as usize;
+        let (ibanks, dbanks) = if opts.online_sweeps {
+            (
+                Some(
+                    figure6_configs()
+                        .into_iter()
+                        .map(|c| IResimBank::new(n, c))
+                        .collect(),
+                ),
+                Some(
+                    dcache_configs()
+                        .into_iter()
+                        .map(|c| DResimBank::new(n, c))
+                        .collect(),
+                ),
+            )
+        } else {
+            (None, None)
+        };
+        let deferred = opts.deferred_classification.then(|| DeferredState {
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            msgs: Vec::new(),
+        });
+        StreamAnalyzer {
+            decoder: Decoder::new(n),
             cpus: (0..n)
-                .map(|_| CpuAn::new(art.measure_start, isize, dsize))
+                .map(|_| CpuAn::new(meta.measure_start, isize, dsize))
                 .collect(),
             ppn_vpn: HashMap::new(),
+            ibanks,
+            dbanks,
+            deferred,
             out: TraceAnalysis {
                 cpu_cycles: vec![ModeCycles::default(); n],
                 os: IdCounts::default(),
@@ -410,31 +779,91 @@ impl<'a> Analyzer<'a> {
                 undecodable: 0,
                 istream: Vec::new(),
                 dstream: Vec::new(),
-                window_cycles: art.measure_end - art.measure_start,
+                fig6: None,
+                dcache: None,
+                window_cycles: meta.measure_end - meta.measure_start,
             },
+            meta,
+            opts,
         }
     }
 
-    fn run(mut self) -> TraceAnalysis {
-        let n = self.cpus.len();
-        let mut decoder = Decoder::new(n);
-        for &rec in &self.art.trace {
-            if rec.kind == oscar_machine::BusKind::UncachedRead {
-                self.out.escapes += 1;
-            }
-            if let Some(item) = decoder.push(rec) {
-                self.handle(item);
+    /// Consumes one bus record, in trace order.
+    pub fn push(&mut self, rec: BusRecord) {
+        if rec.kind == oscar_machine::BusKind::UncachedRead {
+            self.out.escapes += 1;
+        }
+        if let Some(item) = self.decoder.push(rec) {
+            self.handle(item);
+        }
+    }
+
+    /// Drains the classification messages accumulated since the last
+    /// call (deferred mode; empty otherwise). Feed them, in order, to
+    /// every [`ClassShard`].
+    pub fn take_classify_msgs(&mut self) -> Vec<ClassifyMsg> {
+        match &mut self.deferred {
+            Some(d) => std::mem::take(&mut d.msgs),
+            None => Vec::new(),
+        }
+    }
+
+    /// Completes an inline-classification analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics in deferred mode (use
+    /// [`StreamAnalyzer::finish_deferred`]).
+    pub fn finish(mut self) -> TraceAnalysis {
+        assert!(
+            self.deferred.is_none(),
+            "deferred analyzer must finish with shard verdicts"
+        );
+        self.finish_common();
+        self.out
+    }
+
+    /// Completes a deferred-classification analysis by folding the
+    /// shards' per-CPU class sequences (indexed by CPU, in fill order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CPU's class sequence does not match its fill count.
+    pub fn finish_deferred(mut self, classes: Vec<Vec<ArchClass>>) -> TraceAnalysis {
+        let d = self
+            .deferred
+            .take()
+            .expect("finish_deferred requires deferred mode");
+        assert_eq!(classes.len(), d.pending.len(), "one class list per CPU");
+        for (cpu, (pend, cls)) in d.pending.iter().zip(&classes).enumerate() {
+            assert_eq!(
+                pend.len(),
+                cls.len(),
+                "cpu {cpu}: classes must cover every fill"
+            );
+            for (p, &c) in pend.iter().zip(cls) {
+                fold_class(&mut self.out, p, c);
             }
         }
-        self.out.undecodable = decoder.undecodable;
+        self.finish_common();
+        self.out
+    }
+
+    fn finish_common(&mut self) {
+        self.out.undecodable = self.decoder.undecodable;
         // Close out mode integrals and dangling spans.
-        let end = self.art.measure_end;
+        let end = self.meta.measure_end;
         for (i, ca) in self.cpus.iter_mut().enumerate() {
             ca.set_mode(end, ca.effective_mode());
             self.out.cpu_cycles[i] = ca.cycles;
         }
         self.finish_spans();
-        self.out
+        if let Some(banks) = &self.ibanks {
+            self.out.fig6 = Some(banks.iter().map(|b| b.point()).collect());
+        }
+        if let Some(banks) = &self.dbanks {
+            self.out.dcache = Some(banks.iter().map(|b| b.point()).collect());
+        }
     }
 
     fn finish_spans(&mut self) {
@@ -458,6 +887,28 @@ impl<'a> Analyzer<'a> {
             Decoded::Upgrade { rec } => self.handle_access(rec, true, true),
             Decoded::WriteBack { .. } => self.out.writebacks += 1,
             Decoded::Event { time, cpu, event } => self.handle_event(time, cpu.index(), event),
+        }
+    }
+
+    fn push_istream(&mut self, item: IStreamItem) {
+        if let Some(banks) = &mut self.ibanks {
+            for b in banks {
+                b.push(&item);
+            }
+        }
+        if self.opts.keep_streams {
+            self.out.istream.push(item);
+        }
+    }
+
+    fn push_dstream(&mut self, item: DStreamItem) {
+        if let Some(banks) = &mut self.dbanks {
+            for b in banks {
+                b.push(&item);
+            }
+        }
+        if self.opts.keep_streams {
+            self.out.dstream.push(item);
         }
     }
 
@@ -574,10 +1025,15 @@ impl<'a> Analyzer<'a> {
                 self.cpus[i].ctx_stack.pop();
             }
             OsEvent::IcacheFlush { ppn } => {
-                for ca in &mut self.cpus {
-                    ca.imirror.flush_page(Ppn(ppn));
+                match &mut self.deferred {
+                    Some(d) => d.msgs.push(ClassifyMsg::Flush { ppn }),
+                    None => {
+                        for ca in &mut self.cpus {
+                            ca.imirror.flush_page(Ppn(ppn));
+                        }
+                    }
                 }
-                self.out.istream.push(IStreamItem::Flush { ppn });
+                self.push_istream(IStreamItem::Flush { ppn });
             }
             OsEvent::BlockOp { kind, bytes } => {
                 let k = match kind {
@@ -598,7 +1054,7 @@ impl<'a> Analyzer<'a> {
         if write {
             return false;
         }
-        match self.layout.classify(rec.paddr) {
+        match self.meta.layout.classify(rec.paddr) {
             // Kernel text, including per-cluster replicas.
             KernelRegion::Text => true,
             KernelRegion::FramePool => {
@@ -619,40 +1075,7 @@ impl<'a> Analyzer<'a> {
         let mode = self.cpus[i].effective_mode();
         let os_fill = mode != Mode::User;
 
-        // Classify.
-        let class = if upgrade {
-            // An upgrade is coherence traffic on a resident line.
-            ArchClass::Sharing
-        } else {
-            let ca = &mut self.cpus[i];
-            let epoch = ca.epoch;
-            if instr {
-                ca.imirror.classify_fill(block, os_fill, epoch)
-            } else {
-                ca.dmirror.classify_fill(block, os_fill, epoch)
-            }
-        };
-
-        // Coherence: writes invalidate other caches' copies.
-        if write && !instr {
-            for (j, other) in self.cpus.iter_mut().enumerate() {
-                if j != i {
-                    other.dmirror.invalidate(block);
-                }
-            }
-        }
-
-        // Bucket the miss.
-        let bucket = match mode {
-            Mode::Kernel => &mut self.out.os,
-            Mode::User => &mut self.out.app,
-            Mode::Idle => &mut self.out.idle,
-        };
-        if instr {
-            bucket.instr.record(class);
-        } else {
-            bucket.data.record(class);
-        }
+        // --- Class-independent accounting (always sequential) ---
         match mode {
             Mode::Kernel => self.out.fills.os += 1,
             Mode::User => {
@@ -663,13 +1086,13 @@ impl<'a> Analyzer<'a> {
         }
 
         if instr {
-            self.out.istream.push(IStreamItem::Fetch {
+            self.push_istream(IStreamItem::Fetch {
                 cpu: rec.cpu.0,
                 block: block.0,
                 os: os_fill,
             });
         } else {
-            self.out.dstream.push(DStreamItem {
+            self.push_dstream(DStreamItem {
                 cpu: rec.cpu.0,
                 block: block.0,
                 write,
@@ -677,81 +1100,111 @@ impl<'a> Analyzer<'a> {
             });
         }
 
-        if mode != Mode::Kernel {
-            return;
-        }
-
-        // --- OS-miss attributions ---
-        let ca = &mut self.cpus[i];
-        if let Some(inv) = &mut ca.inv {
+        // Attribution context, captured now so the class fold can run
+        // later (or immediately, in inline mode).
+        let mut pending = PendingFill {
+            mode,
+            instr,
+            rid: None,
+            kb: u32::MAX,
+            region: KernelRegion::FramePool,
+            ctx: None,
+        };
+        if mode == Mode::Kernel {
+            let top_ctx = self.cpus[i].ctx_stack.last().copied();
+            pending.ctx = top_ctx;
             if instr {
-                inv.i += 1;
+                pending.rid = self.meta.layout.routine_at(rec.paddr);
+                pending.kb = (self.meta.layout.canonical_text_addr(rec.paddr).raw() / 1024)
+                    .min(u64::from(u32::MAX)) as u32;
             } else {
-                inv.d += 1;
+                pending.region = self.meta.layout.classify(rec.paddr);
             }
-        }
-        let top_ctx = ca.ctx_stack.last().copied();
-        let op = ca.top_class();
-        let e = &mut self.out.os_by_op[op.code() as usize];
-        if instr {
-            e.0 += 1;
-        } else {
-            e.1 += 1;
+
+            let ca = &mut self.cpus[i];
+            if let Some(inv) = &mut ca.inv {
+                if instr {
+                    inv.i += 1;
+                } else {
+                    inv.d += 1;
+                }
+            }
+            let op = ca.top_class();
+            let e = &mut self.out.os_by_op[op.code() as usize];
+            if instr {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+            if instr {
+                if let Some(rid) = pending.rid {
+                    *self
+                        .out
+                        .os_i_by_subsystem
+                        .entry(rid.subsystem())
+                        .or_default() += 1;
+                }
+            } else if let Some(ctx) = top_ctx {
+                match ctx {
+                    AttrCtx::BlockCopy => self.out.blockop_d.copy += 1,
+                    AttrCtx::BlockClear => self.out.blockop_d.clear += 1,
+                    AttrCtx::PfdatScan => self.out.blockop_d.pfdat_scan += 1,
+                    _ => {}
+                }
+            }
         }
 
-        if instr {
-            if let Some(rid) = self.layout.routine_at(rec.paddr) {
-                *self
-                    .out
-                    .os_i_by_subsystem
-                    .entry(rid.subsystem())
-                    .or_default() += 1;
-            }
-            if let ArchClass::DispOs { .. } = class {
-                if let Some(rid) = self.layout.routine_at(rec.paddr) {
-                    *self.out.dispos_i_by_routine.entry(rid).or_default() += 1;
-                }
-                let kb = (self.layout.canonical_text_addr(rec.paddr).raw() / 1024) as usize;
-                if kb < self.out.dispos_i_bins_1k.len() {
-                    self.out.dispos_i_bins_1k[kb] += 1;
+        // --- Classification ---
+        if upgrade {
+            // An upgrade is coherence traffic on a resident line: the
+            // class is Sharing by definition (no mirror lookup), but
+            // other CPUs still lose the block.
+            fold_class(&mut self.out, &pending, ArchClass::Sharing);
+            match &mut self.deferred {
+                Some(d) => d.msgs.push(ClassifyMsg::Upgrade {
+                    cpu: rec.cpu.0,
+                    block: block.0,
+                }),
+                None => {
+                    for (j, other) in self.cpus.iter_mut().enumerate() {
+                        if j != i {
+                            other.dmirror.invalidate(block);
+                        }
+                    }
                 }
             }
             return;
         }
 
-        // Data-miss attributions.
-        if let Some(ctx) = top_ctx {
-            match ctx {
-                AttrCtx::BlockCopy => self.out.blockop_d.copy += 1,
-                AttrCtx::BlockClear => self.out.blockop_d.clear += 1,
-                AttrCtx::PfdatScan => self.out.blockop_d.pfdat_scan += 1,
-                _ => {}
+        let epoch = self.cpus[i].epoch;
+        match &mut self.deferred {
+            Some(d) => {
+                d.msgs.push(ClassifyMsg::Fill {
+                    cpu: rec.cpu.0,
+                    block: block.0,
+                    instr,
+                    os: os_fill,
+                    epoch,
+                    write,
+                });
+                d.pending[i].push(pending);
             }
-        }
-        if class == ArchClass::Sharing {
-            let region = self.layout.classify(rec.paddr);
-            let source = match top_ctx {
-                Some(AttrCtx::BlockCopy) => SharingSource::Bcopy,
-                Some(AttrCtx::BlockClear) => SharingSource::Bclear,
-                _ => SharingSource::Region(region),
-            };
-            *self.out.sharing_by_source.entry(source).or_default() += 1;
-            let migration = matches!(
-                region,
-                KernelRegion::KernelStack
-                    | KernelRegion::Pcb
-                    | KernelRegion::Eframe
-                    | KernelRegion::URest
-                    | KernelRegion::ProcTable
-            );
-            if migration {
-                *self.out.migration_by_region.entry(region).or_default() += 1;
-                match top_ctx {
-                    Some(AttrCtx::RunQueueMgmt) => self.out.migration_by_op.runq += 1,
-                    Some(AttrCtx::LowLevelException) => self.out.migration_by_op.low_level += 1,
-                    Some(AttrCtx::ReadWriteSetup) => self.out.migration_by_op.rw_setup += 1,
-                    _ => self.out.migration_by_op.other += 1,
+            None => {
+                let ca = &mut self.cpus[i];
+                let class = if instr {
+                    ca.imirror.classify_fill(block, os_fill, epoch)
+                } else {
+                    ca.dmirror.classify_fill(block, os_fill, epoch)
+                };
+                // Coherence: writes invalidate other caches' copies.
+                if write && !instr {
+                    for (j, other) in self.cpus.iter_mut().enumerate() {
+                        if j != i {
+                            other.dmirror.invalidate(block);
+                        }
+                    }
                 }
+                fold_class(&mut self.out, &pending, class);
             }
         }
     }
@@ -796,7 +1249,10 @@ mod tests {
         let trace_os = an.os.total();
         let gt_os = gt.kernel_misses.total();
         let rel = (trace_os as f64 - gt_os as f64).abs() / gt_os.max(1) as f64;
-        assert!(rel < 0.08, "OS misses: trace {trace_os} vs ground truth {gt_os}");
+        assert!(
+            rel < 0.08,
+            "OS misses: trace {trace_os} vs ground truth {gt_os}"
+        );
         // Mode cycle split close to ground truth.
         let t = an
             .cpu_cycles
@@ -809,7 +1265,12 @@ mod tests {
             });
         let g = gt.total_cycles();
         let rel_k = (t.kernel as f64 - g.kernel as f64).abs() / g.kernel.max(1) as f64;
-        assert!(rel_k < 0.1, "kernel cycles: trace {} vs gt {}", t.kernel, g.kernel);
+        assert!(
+            rel_k < 0.1,
+            "kernel cycles: trace {} vs gt {}",
+            t.kernel,
+            g.kernel
+        );
     }
 
     #[test]
@@ -843,5 +1304,76 @@ mod tests {
         let gt = art.os_stats.utlb_faults;
         let rel = (an.utlb.count as f64 - gt as f64).abs() / gt.max(1) as f64;
         assert!(rel < 0.25, "utlb: trace {} vs gt {}", an.utlb.count, gt);
+    }
+
+    /// Drives the deferred-classification path single-threaded and
+    /// checks it against the inline analyzer, field by field.
+    #[test]
+    fn deferred_sharded_classification_matches_inline() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(3_000_000));
+        let inline = analyze(&art);
+
+        let shards = 3usize;
+        let mut workers: Vec<ClassShard> = (0..shards)
+            .map(|s| ClassShard::new(&art.machine_config, s, shards))
+            .collect();
+        let mut a = StreamAnalyzer::new(
+            TraceMeta::of(&art),
+            AnalyzeOptions {
+                deferred_classification: true,
+                ..AnalyzeOptions::default()
+            },
+        );
+        for &rec in &art.trace {
+            a.push(rec);
+            for msg in a.take_classify_msgs() {
+                for w in &mut workers {
+                    w.push(&msg);
+                }
+            }
+        }
+        let n = art.machine_config.num_cpus as usize;
+        let mut classes: Vec<Vec<ArchClass>> = vec![Vec::new(); n];
+        for w in workers {
+            for (cpu, cls) in w.finish() {
+                classes[cpu] = cls;
+            }
+        }
+        let sharded = a.finish_deferred(classes);
+
+        assert_eq!(inline.os, sharded.os);
+        assert_eq!(inline.app, sharded.app);
+        assert_eq!(inline.idle, sharded.idle);
+        assert_eq!(inline.sharing_by_source, sharded.sharing_by_source);
+        assert_eq!(inline.dispos_i_by_routine, sharded.dispos_i_by_routine);
+        assert_eq!(inline.dispos_i_bins_1k, sharded.dispos_i_bins_1k);
+        assert_eq!(inline.migration_by_region, sharded.migration_by_region);
+        assert_eq!(inline.migration_by_op, sharded.migration_by_op);
+        assert_eq!(inline.os_by_op, sharded.os_by_op);
+        assert_eq!(inline.fills, sharded.fills);
+        assert_eq!(inline.istream, sharded.istream);
+        assert_eq!(inline.dstream, sharded.dstream);
+    }
+
+    /// Online sweeps must equal the batch sweeps over the kept streams.
+    #[test]
+    fn online_sweeps_match_batch_resim() {
+        let art = run(&ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(3_000_000));
+        let an = analyze_with(
+            &art,
+            AnalyzeOptions {
+                online_sweeps: true,
+                ..AnalyzeOptions::default()
+            },
+        );
+        let n = art.machine_config.num_cpus as usize;
+        let batch_fig6 = crate::resim::figure6_sweep(&an.istream, n);
+        let batch_dc = crate::resim::dcache_sweep(&an.dstream, n);
+        assert_eq!(an.fig6.as_deref(), Some(batch_fig6.as_slice()));
+        assert_eq!(an.dcache.as_deref(), Some(batch_dc.as_slice()));
     }
 }

@@ -1,0 +1,209 @@
+//! The parallel experiment driver: fans independent experiments across
+//! worker threads and returns their outputs in request order.
+//!
+//! Every experiment is deterministic given its configuration (each run
+//! seeds its own RNG from [`ExperimentConfig`]), and workers share no
+//! mutable state, so the outputs — report text, CSV bytes, trace blobs
+//! — are byte-identical whatever the worker count. `--jobs` in
+//! `oscar-reports` is therefore purely a wall-clock knob.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use oscar_workloads::WorkloadKind;
+
+use crate::experiment::ExperimentConfig;
+use crate::perf::{PerfSummary, PhaseStats, PhaseTimer};
+use crate::pipeline::{run_streaming, StreamOptions};
+use crate::{csv, render_all, tracefile};
+
+/// Runs `f` over `items` on up to `jobs` worker threads (a shared-index
+/// work pool: idle workers steal the next unclaimed item). Results come
+/// back in item order, so any fold over them is independent of the
+/// worker count and of scheduling.
+pub fn parallel_map<I, O, F>(items: Vec<I>, jobs: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let items: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("work item poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker died before storing its result")
+        })
+        .collect()
+}
+
+/// One experiment the driver should run and render.
+#[derive(Debug, Clone)]
+pub struct ReportRequest {
+    /// The experiment to run.
+    pub config: ExperimentConfig,
+    /// Also render the figure series as CSV documents.
+    pub want_csv: bool,
+    /// Also serialize the raw monitor trace (`.oscartrace` bytes).
+    /// Forces the trace to materialize, costing the streaming
+    /// pipeline's bounded-memory property for this run.
+    pub want_trace: bool,
+}
+
+impl ReportRequest {
+    /// A plain report request for `kind` over the given window.
+    pub fn new(kind: WorkloadKind, measure: u64, warmup: u64) -> Self {
+        ReportRequest {
+            config: ExperimentConfig::new(kind).warmup(warmup).measure(measure),
+            want_csv: false,
+            want_trace: false,
+        }
+    }
+}
+
+/// Everything one request produced.
+#[derive(Debug, Clone)]
+pub struct ReportOutput {
+    /// The workload that ran.
+    pub kind: WorkloadKind,
+    /// The full text report ([`render_all`]).
+    pub report: String,
+    /// CSV documents as `(file name, contents)` pairs.
+    pub csv: Vec<(String, String)>,
+    /// The serialized trace, when requested, with its suggested file
+    /// name.
+    pub trace_blob: Option<(String, Vec<u8>)>,
+    /// Timed phases of this request (simulate+analyze, render).
+    pub phases: Vec<PhaseStats>,
+    /// Monitor records the run produced.
+    pub trace_records: u64,
+}
+
+fn run_one(req: &ReportRequest) -> ReportOutput {
+    let tag = req.config.workload.label().to_lowercase();
+    let mut phases = Vec::new();
+
+    let t = PhaseTimer::start(format!("simulate+analyze/{tag}"));
+    let opts = StreamOptions {
+        keep_trace: req.want_trace,
+        ..StreamOptions::default()
+    };
+    let (art, an) = run_streaming(&req.config, &opts);
+    let mut scratch = PerfSummary::new(&tag, 1);
+    t.stop(
+        &mut scratch,
+        req.config.warmup_cycles + req.config.measure_cycles,
+        art.trace_records,
+    );
+    phases.append(&mut scratch.phases);
+
+    let started = Instant::now();
+    let report = render_all(&art, &an);
+    let mut csv_out = Vec::new();
+    if req.want_csv {
+        let num_cpus = art.machine_config.num_cpus as usize;
+        csv_out.push((format!("{tag}_fig3.csv"), csv::fig3_csv(&an)));
+        csv_out.push((format!("{tag}_fig5.csv"), csv::fig5_csv(&an)));
+        csv_out.push((
+            format!("{tag}_fig6.csv"),
+            csv::fig6_csv(&an.figure6_points(num_cpus)),
+        ));
+        csv_out.push((format!("{tag}_fig8.csv"), csv::fig8_csv(&an)));
+        csv_out.push((format!("{tag}_fig9.csv"), csv::fig9_csv(&an)));
+        csv_out.push((format!("{tag}_table12.csv"), csv::table12_csv(&art)));
+    }
+    let trace_blob = req.want_trace.then(|| {
+        let mut buf = Vec::new();
+        tracefile::save(&art, &mut buf).expect("serialize trace");
+        (format!("{tag}.oscartrace"), buf)
+    });
+    phases.push(PhaseStats {
+        id: format!("render/{tag}"),
+        wall_s: started.elapsed().as_secs_f64(),
+        cycles: 0,
+        records: 0,
+    });
+
+    ReportOutput {
+        kind: req.config.workload,
+        report,
+        csv: csv_out,
+        trace_blob,
+        phases,
+        trace_records: art.trace_records,
+    }
+}
+
+/// Runs every request, fanning across up to `jobs` workers, and returns
+/// the outputs in request order (byte-identical for any `jobs`).
+pub fn run_reports(reqs: Vec<ReportRequest>, jobs: usize) -> Vec<ReportOutput> {
+    parallel_map(reqs, jobs, |_, req| run_one(&req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = parallel_map(items.clone(), 1, |i, x| (i, x * x));
+        let fanned = parallel_map(items, 4, |i, x| (i, x * x));
+        assert_eq!(serial, fanned);
+        assert_eq!(fanned.len(), 37);
+        for (i, (idx, sq)) in fanned.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_report_bytes() {
+        let reqs: Vec<ReportRequest> = [WorkloadKind::Pmake, WorkloadKind::Multpgm]
+            .iter()
+            .map(|&k| ReportRequest::new(k, 2_500_000, 2_000_000))
+            .collect();
+        let serial = run_reports(reqs.clone(), 1);
+        let fanned = run_reports(reqs, 2);
+        assert_eq!(serial.len(), fanned.len());
+        for (a, b) in serial.iter().zip(&fanned) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(
+                a.report, b.report,
+                "{:?} report must not depend on jobs",
+                a.kind
+            );
+        }
+    }
+}

@@ -103,8 +103,13 @@ impl ExperimentConfig {
 /// Everything a run produces.
 #[derive(Debug)]
 pub struct RunArtifacts {
-    /// The monitor trace of the measured window.
+    /// The monitor trace of the measured window. Empty when the run
+    /// streamed its records to a [`oscar_machine::TraceSink`] instead
+    /// of materializing them (see `trace_records` for the true count).
     pub trace: Vec<BusRecord>,
+    /// Records the monitor saw during the measured window, whether
+    /// buffered into `trace` or streamed to a sink.
+    pub trace_records: u64,
     /// OS ground-truth statistics (measured window only; warm-up stats
     /// are subtracted where meaningful).
     pub os_stats: OsStats,
@@ -164,58 +169,108 @@ pub fn run(config: &ExperimentConfig) -> RunArtifacts {
 /// outside [`WorkloadKind`], such as the standard-sized Oracle
 /// database). The `workload` field of `config` still labels the run.
 pub fn run_with(config: &ExperimentConfig, workload: oscar_workloads::Workload) -> RunArtifacts {
-    let mut machine = Machine::with_buffer(config.machine.clone(), BufferMode::Unbounded);
-    let mut os = OsWorld::new(
-        config.machine.num_cpus,
-        config.machine.memory_bytes,
-        config.tuning.clone(),
-    );
-    os.init_page_homes(&mut machine);
-    for task in workload.tasks {
-        os.spawn_initial(task);
-    }
-    if config.network_daemon && config.machine.num_cpus > 1 {
-        os.spawn_initial_pinned(
-            Box::new(oscar_workloads::NetDaemon::default()),
-            oscar_machine::addr::CpuId(1),
+    let mut prep = PreparedRun::new(config, workload);
+    prep.warmup();
+    prep.measure();
+    prep.finish()
+}
+
+/// An experiment split into its phases — construction, warm-up,
+/// measurement, artifact collection — so callers can intervene between
+/// them. The streaming pipeline uses this to attach a
+/// [`oscar_machine::TraceSink`] to the monitor after warm-up, diverting
+/// the measured window's records to the analyzer as they are produced.
+///
+/// [`run_with`] is exactly `new` → `warmup` → `measure` → `finish`;
+/// anything inserted between the phases that does not touch the machine
+/// or the OS (such as a sink attachment) leaves the run byte-identical.
+pub struct PreparedRun {
+    /// The simulated machine; `machine.monitor_mut()` is where a sink
+    /// attaches.
+    pub machine: Machine,
+    /// The kernel and its processes.
+    pub os: OsWorld,
+    config: ExperimentConfig,
+    warm_stats: Option<OsStats>,
+    measure_start: u64,
+}
+
+impl PreparedRun {
+    /// Wires machine, kernel and workload together (monitor armed but
+    /// nothing recorded until [`PreparedRun::measure`]).
+    pub fn new(config: &ExperimentConfig, workload: oscar_workloads::Workload) -> Self {
+        let mut machine = Machine::with_buffer(config.machine.clone(), BufferMode::Unbounded);
+        let mut os = OsWorld::new(
+            config.machine.num_cpus,
+            config.machine.memory_bytes,
+            config.tuning.clone(),
         );
+        os.init_page_homes(&mut machine);
+        for task in workload.tasks {
+            os.spawn_initial(task);
+        }
+        if config.network_daemon && config.machine.num_cpus > 1 {
+            os.spawn_initial_pinned(
+                Box::new(oscar_workloads::NetDaemon::default()),
+                oscar_machine::addr::CpuId(1),
+            );
+        }
+        PreparedRun {
+            machine,
+            os,
+            config: config.clone(),
+            warm_stats: None,
+            measure_start: 0,
+        }
     }
 
-    // Warm-up: monitor disarmed, stats discarded afterwards.
-    machine.monitor_mut().set_enabled(false);
-    run_until(&mut machine, &mut os, config.warmup_cycles);
-    let measure_start = (0..config.machine.num_cpus)
-        .map(|c| machine.now(CpuId(c)))
-        .max()
-        .unwrap_or(0);
+    /// Runs the warm-up phase with the monitor disarmed and snapshots
+    /// the ground-truth statistics. Returns the first cycle of the
+    /// measured window.
+    pub fn warmup(&mut self) -> u64 {
+        self.machine.monitor_mut().set_enabled(false);
+        run_until(&mut self.machine, &mut self.os, self.config.warmup_cycles);
+        self.measure_start = (0..self.config.machine.num_cpus)
+            .map(|c| self.machine.now(CpuId(c)))
+            .max()
+            .unwrap_or(0);
+        self.warm_stats = Some(self.os.stats().clone());
+        self.measure_start
+    }
 
-    // Reset the ground-truth window and arm the monitor.
-    let warm_stats = os.stats().clone();
-    machine.monitor_mut().set_enabled(true);
-    os.emit_trace_start(&mut machine);
-    let horizon = measure_start + config.measure_cycles;
-    run_until(&mut machine, &mut os, horizon);
-    machine.monitor_mut().set_enabled(false);
+    /// Arms the monitor and runs the measured window.
+    pub fn measure(&mut self) {
+        assert!(self.warm_stats.is_some(), "measure requires warmup first");
+        self.machine.monitor_mut().set_enabled(true);
+        self.os.emit_trace_start(&mut self.machine);
+        let horizon = self.measure_start + self.config.measure_cycles;
+        run_until(&mut self.machine, &mut self.os, horizon);
+        self.machine.monitor_mut().set_enabled(false);
+    }
 
-    let os_stats = diff_stats(os.stats(), &warm_stats);
-    let lock_stats = os
-        .locks()
-        .iter_stats()
-        .map(|(f, s)| (f, *s))
-        .collect();
-    let cpu_counters = (0..config.machine.num_cpus)
-        .map(|c| *machine.counters(CpuId(c)))
-        .collect();
-    RunArtifacts {
-        trace: machine.monitor_mut().dump(),
-        os_stats,
-        lock_stats,
-        cpu_counters,
-        layout: os.layout().clone(),
-        machine_config: config.machine.clone(),
-        measure_start,
-        measure_end: horizon,
-        workload: config.workload,
+    /// Collects the run's artifacts. If a sink consumed the trace, the
+    /// returned `trace` is empty but `trace_records` still counts every
+    /// monitored record.
+    pub fn finish(mut self) -> RunArtifacts {
+        let warm = self.warm_stats.expect("finish requires warmup first");
+        let os_stats = diff_stats(self.os.stats(), &warm);
+        let lock_stats = self.os.locks().iter_stats().map(|(f, s)| (f, *s)).collect();
+        let cpu_counters = (0..self.config.machine.num_cpus)
+            .map(|c| *self.machine.counters(CpuId(c)))
+            .collect();
+        self.machine.monitor_mut().clear_sink();
+        RunArtifacts {
+            trace_records: self.machine.monitor().total_seen(),
+            trace: self.machine.monitor_mut().dump(),
+            os_stats,
+            lock_stats,
+            cpu_counters,
+            layout: self.os.layout().clone(),
+            machine_config: self.config.machine.clone(),
+            measure_start: self.measure_start,
+            measure_end: self.measure_start + self.config.measure_cycles,
+            workload: self.config.workload,
+        }
     }
 }
 
@@ -290,7 +345,6 @@ mod tests {
             .measure(1_500_000)
     }
 
-
     fn warmed(workload: WorkloadKind) -> ExperimentConfig {
         // Long enough for the workloads to reach steady state (the
         // Oracle master's 560 KB image exec alone takes several million
@@ -331,8 +385,7 @@ mod tests {
     fn multpgm_exercises_sginap() {
         let art = run(&warmed(WorkloadKind::Multpgm));
         assert!(
-            art.os_stats.ops_of(oscar_os::OpClass::Sginap) > 0
-                || art.os_stats.sginap_calls > 0,
+            art.os_stats.ops_of(oscar_os::OpClass::Sginap) > 0 || art.os_stats.sginap_calls > 0,
             "user lock contention must trigger sginap"
         );
     }

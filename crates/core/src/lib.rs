@@ -7,10 +7,13 @@
 
 pub mod analyze;
 pub mod classify;
+pub mod csv;
 pub mod decode;
+pub mod driver;
 pub mod experiment;
 pub mod histogram;
-pub mod csv;
+pub mod perf;
+pub mod pipeline;
 pub mod report;
 pub mod resim;
 pub mod stall;
@@ -18,7 +21,11 @@ pub mod summary;
 pub mod syncstats;
 pub mod tracefile;
 
-pub use analyze::{analyze, TraceAnalysis};
-pub use experiment::{run, ExperimentConfig, RunArtifacts};
+pub use analyze::{
+    analyze, analyze_with, AnalyzeOptions, StreamAnalyzer, TraceAnalysis, TraceMeta,
+};
+pub use driver::{parallel_map, run_reports, ReportOutput, ReportRequest};
+pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
+pub use pipeline::{run_streaming, StreamOptions};
 pub use report::render_all;
 pub use summary::Summary;

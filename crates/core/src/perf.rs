@@ -1,0 +1,268 @@
+//! Throughput and observability instrumentation for the experiment
+//! engine: per-phase wall clock, records/sec, simulated cycles/sec and
+//! peak RSS, emitted as a `BENCH_*.json`-compatible summary so every
+//! run (and every future PR) has a machine-readable perf baseline.
+//!
+//! The JSON schema is shared with the `oscar-bench` harness:
+//!
+//! ```json
+//! {
+//!   "name": "reports",
+//!   "jobs": 4,
+//!   "peak_rss_kb": 123456,
+//!   "wall_s": 1.25,
+//!   "phases": [
+//!     {"id": "run/pmake", "wall_s": 0.61, "cycles": 45000000,
+//!      "records": 812345, "cycles_per_s": 7.3e7, "records_per_s": 1.3e6}
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed phase of a run (a workload simulation, an analysis pass, a
+/// render, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase identifier, e.g. `run/pmake`.
+    pub id: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Simulated cycles covered by the phase (0 when not applicable).
+    pub cycles: u64,
+    /// Bus records processed by the phase (0 when not applicable).
+    pub records: u64,
+}
+
+impl PhaseStats {
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cycles as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Records processed per wall-clock second.
+    pub fn records_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.records as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The perf summary of one engine invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSummary {
+    /// Summary name (becomes `BENCH_<name>.json`).
+    pub name: String,
+    /// Worker threads the engine ran with.
+    pub jobs: usize,
+    /// Total wall clock of the whole invocation, seconds.
+    pub wall_s: f64,
+    /// Peak resident set size in KB (0 where unavailable).
+    pub peak_rss_kb: u64,
+    /// Per-phase measurements.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl PerfSummary {
+    /// An empty summary.
+    pub fn new(name: &str, jobs: usize) -> Self {
+        PerfSummary {
+            name: name.to_string(),
+            jobs,
+            wall_s: 0.0,
+            peak_rss_kb: 0,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Total records across phases.
+    pub fn total_records(&self) -> u64 {
+        self.phases.iter().map(|p| p.records).sum()
+    }
+
+    /// Total simulated cycles across phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// Finalizes the summary: stamps total wall clock and peak RSS.
+    pub fn finish(&mut self, started: Instant) {
+        self.wall_s = started.elapsed().as_secs_f64();
+        self.peak_rss_kb = peak_rss_kb();
+    }
+
+    /// Renders the `BENCH_*.json`-compatible document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"name\": {},\n  \"jobs\": {},\n  \"peak_rss_kb\": {},\n  \"wall_s\": {},\n  \"phases\": [",
+            json_str(&self.name),
+            self.jobs,
+            self.peak_rss_kb,
+            json_f64(self.wall_s)
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"id\": {}, \"wall_s\": {}, \"cycles\": {}, \"records\": {}, \"cycles_per_s\": {}, \"records_per_s\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&p.id),
+                json_f64(p.wall_s),
+                p.cycles,
+                p.records,
+                json_f64(p.cycles_per_s()),
+                json_f64(p.records_per_s())
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// One-line human rendering for stderr.
+    pub fn human_line(&self) -> String {
+        format!(
+            "perf: {} phases, {:.2}s wall, {} jobs, {:.1} Mcycles/s, {:.2} Mrec/s, peak RSS {} KB",
+            self.phases.len(),
+            self.wall_s,
+            self.jobs,
+            self.total_cycles() as f64 / self.wall_s.max(1e-9) / 1e6,
+            self.total_records() as f64 / self.wall_s.max(1e-9) / 1e6,
+            self.peak_rss_kb
+        )
+    }
+}
+
+/// A scope timer that appends a [`PhaseStats`] on drop-free completion.
+pub struct PhaseTimer {
+    id: String,
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing `id`.
+    pub fn start(id: impl Into<String>) -> Self {
+        PhaseTimer {
+            id: id.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the timer and records the phase into `summary`.
+    pub fn stop(self, summary: &mut PerfSummary, cycles: u64, records: u64) {
+        summary.phases.push(PhaseStats {
+            id: self.id,
+            wall_s: self.started.elapsed().as_secs_f64(),
+            cycles,
+            records,
+        });
+    }
+}
+
+/// JSON string escaping (control chars, quotes, backslash).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite-number JSON rendering (NaN/inf degrade to 0).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Peak resident set size in KB from `/proc/self/status` (`VmHWM`);
+/// 0 on platforms without procfs.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches(" kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut s = PerfSummary::new("unit", 2);
+        let t = PhaseTimer::start("run/pmake");
+        t.stop(&mut s, 1_000, 50);
+        s.finish(Instant::now());
+        let j = s.to_json();
+        assert!(j.contains("\"name\": \"unit\""));
+        assert!(j.contains("\"jobs\": 2"));
+        assert!(j.contains("\"id\": \"run/pmake\""));
+        assert!(j.contains("\"cycles\": 1000"));
+        // Balanced braces/brackets.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_handles_special_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn rates_are_computed() {
+        let p = PhaseStats {
+            id: "x".into(),
+            wall_s: 2.0,
+            cycles: 4_000_000,
+            records: 1_000,
+        };
+        assert!((p.cycles_per_s() - 2_000_000.0).abs() < 1e-6);
+        assert!((p.records_per_s() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(peak_rss_kb() > 0, "VmHWM should be readable");
+    }
+}

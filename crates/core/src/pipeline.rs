@@ -1,0 +1,298 @@
+//! The streaming run pipeline: simulation and analysis as concurrent
+//! stages over a bounded channel.
+//!
+//! [`crate::experiment::run`] materializes the whole monitor trace
+//! (hundreds of bytes per thousand cycles) before [`crate::analyze()`]
+//! consumes it, so peak memory scales with the measured horizon.
+//! [`run_streaming`] instead attaches a chunking [`TraceSink`] to the
+//! machine's monitor: the simulation thread produces [`BusRecord`]s,
+//! the sink batches them into chunks on a bounded channel, and the
+//! analysis thread feeds them into a [`StreamAnalyzer`]. Backpressure
+//! from the bounded channel keeps peak memory constant regardless of
+//! trace length — the paper's master-process protocol (ship trace
+//! segments off the machine before the 2M-record buffer fills) played
+//! the same role for the real monitor.
+//!
+//! With [`StreamOptions::shards`] > 1 the per-CPU cache-mirror
+//! classification is additionally fanned out to [`ClassShard`] workers.
+//!
+//! Both the simulation and the analysis are deterministic, so the
+//! streamed result is byte-identical to the batch path; the tests (and
+//! `tests/streaming.rs`) assert it.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread;
+
+use oscar_machine::monitor::{BusRecord, TraceSink};
+
+use crate::analyze::{
+    AnalyzeOptions, ClassShard, ClassifyMsg, StreamAnalyzer, TraceAnalysis, TraceMeta,
+};
+use crate::classify::ArchClass;
+use crate::experiment::{ExperimentConfig, PreparedRun, RunArtifacts};
+
+/// Tuning of the streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Records batched per channel message (amortizes channel
+    /// synchronization; the value does not affect results).
+    pub chunk_records: usize,
+    /// Channel capacity in chunks: the producer stalls once this many
+    /// chunks are in flight, bounding peak memory.
+    pub channel_chunks: usize,
+    /// Classification shard workers; 1 classifies inline on the
+    /// analysis thread.
+    pub shards: usize,
+    /// Also materialize the trace into the returned
+    /// [`RunArtifacts::trace`] (for saving to disk; defeats the
+    /// bounded-memory property).
+    pub keep_trace: bool,
+    /// Run the Figure 6 / D-cache sweeps online (they otherwise need
+    /// the materialized miss streams).
+    pub online_sweeps: bool,
+    /// Keep the materialized `istream`/`dstream` in the analysis.
+    pub keep_streams: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            chunk_records: 4096,
+            channel_chunks: 8,
+            shards: 1,
+            keep_trace: false,
+            online_sweeps: true,
+            keep_streams: false,
+        }
+    }
+}
+
+/// What flows from the simulation thread to the analysis thread.
+enum StreamMsg {
+    /// Trace metadata, sent once after warm-up, before any records.
+    /// Boxed: the layout recipe makes it much larger than a chunk.
+    Meta(Box<TraceMeta>),
+    /// A batch of monitored records, in trace order.
+    Chunk(Vec<BusRecord>),
+}
+
+/// A [`TraceSink`] that batches records into chunks on a bounded
+/// channel. Dropping the sink (detaching it from the monitor) flushes
+/// the partial last chunk and, once the last sender is gone, closes the
+/// channel.
+struct ChunkSink {
+    buf: Vec<BusRecord>,
+    cap: usize,
+    tx: SyncSender<StreamMsg>,
+}
+
+impl ChunkSink {
+    fn new(tx: SyncSender<StreamMsg>, cap: usize) -> Self {
+        let cap = cap.max(1);
+        ChunkSink {
+            buf: Vec::with_capacity(cap),
+            cap,
+            tx,
+        }
+    }
+}
+
+impl TraceSink for ChunkSink {
+    fn record(&mut self, rec: BusRecord) {
+        self.buf.push(rec);
+        if self.buf.len() >= self.cap {
+            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
+            // A closed channel means the analysis side is gone
+            // (panicked); nothing useful to do with the records.
+            self.tx.send(StreamMsg::Chunk(chunk)).ok();
+        }
+    }
+}
+
+impl Drop for ChunkSink {
+    fn drop(&mut self) {
+        if !self.buf.is_empty() {
+            self.tx
+                .send(StreamMsg::Chunk(std::mem::take(&mut self.buf)))
+                .ok();
+        }
+    }
+}
+
+/// Runs one experiment with simulation and analysis pipelined.
+///
+/// Equivalent to `let art = run(config); let an = analyze(&art);`
+/// except that the trace never exists in memory at once (unless
+/// [`StreamOptions::keep_trace`] asks for it) and the analysis overlaps
+/// the simulation. The returned artifacts and analysis are
+/// deterministic and identical to the batch path's.
+pub fn run_streaming(
+    config: &ExperimentConfig,
+    opts: &StreamOptions,
+) -> (RunArtifacts, TraceAnalysis) {
+    run_streaming_with(config, || config.workload.build(), opts)
+}
+
+/// [`run_streaming`] with an explicit workload builder (the analogue of
+/// [`crate::experiment::run_with`]). The builder runs on the simulation
+/// thread because built workloads (which may hold `Rc` state shared
+/// between tasks) cannot cross threads.
+pub fn run_streaming_with(
+    config: &ExperimentConfig,
+    build: impl FnOnce() -> oscar_workloads::Workload + Send,
+    opts: &StreamOptions,
+) -> (RunArtifacts, TraceAnalysis) {
+    let shards = opts.shards.max(1);
+    let aopts = AnalyzeOptions {
+        online_sweeps: opts.online_sweeps,
+        keep_streams: opts.keep_streams,
+        deferred_classification: shards > 1,
+    };
+    let chunk_records = opts.chunk_records.max(1);
+    let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));
+
+    thread::scope(|s| {
+        // Simulation stage: warm up, publish the trace metadata, divert
+        // the measured window into the channel, collect artifacts.
+        let producer = s.spawn(move || {
+            let mut prep = PreparedRun::new(config, build());
+            let measure_start = prep.warmup();
+            let meta = TraceMeta {
+                layout: prep.os.layout().clone(),
+                machine_config: config.machine.clone(),
+                measure_start,
+                measure_end: measure_start + config.measure_cycles,
+            };
+            tx.send(StreamMsg::Meta(Box::new(meta))).ok();
+            prep.machine
+                .monitor_mut()
+                .set_sink(Box::new(ChunkSink::new(tx, chunk_records)));
+            prep.measure();
+            // finish() detaches (and so flushes) the sink; the channel
+            // closes when the sink's sender drops.
+            prep.finish()
+        });
+
+        // Optional classification shards, each owning a subset of the
+        // CPUs' cache mirrors and replaying the same message stream.
+        let num_cpus = config.machine.num_cpus as usize;
+        let mut shard_txs = Vec::new();
+        let mut shard_handles = Vec::new();
+        if shards > 1 {
+            for sh in 0..shards {
+                let (stx, srx) = sync_channel::<Vec<ClassifyMsg>>(opts.channel_chunks.max(1));
+                shard_txs.push(stx);
+                let cfg = &config.machine;
+                shard_handles.push(s.spawn(move || {
+                    let mut shard = ClassShard::new(cfg, sh, shards);
+                    for batch in srx {
+                        for msg in &batch {
+                            shard.push(msg);
+                        }
+                    }
+                    shard.finish()
+                }));
+            }
+        }
+
+        // Analysis stage, on the calling thread.
+        let mut analyzer: Option<StreamAnalyzer> = None;
+        let mut kept: Vec<BusRecord> = Vec::new();
+        for msg in rx {
+            match msg {
+                StreamMsg::Meta(meta) => {
+                    analyzer = Some(StreamAnalyzer::new(*meta, aopts.clone()));
+                }
+                StreamMsg::Chunk(recs) => {
+                    let a = analyzer
+                        .as_mut()
+                        .expect("trace metadata must precede records");
+                    for &rec in &recs {
+                        a.push(rec);
+                    }
+                    if !shard_txs.is_empty() {
+                        let msgs = a.take_classify_msgs();
+                        if !msgs.is_empty() {
+                            for stx in &shard_txs {
+                                stx.send(msgs.clone()).ok();
+                            }
+                        }
+                    }
+                    if opts.keep_trace {
+                        kept.extend_from_slice(&recs);
+                    }
+                }
+            }
+        }
+
+        let mut art = producer.join().expect("simulation thread panicked");
+        let analyzer = analyzer.expect("simulation ended without trace metadata");
+        let an = if shards > 1 {
+            drop(shard_txs);
+            let mut classes: Vec<Vec<ArchClass>> = vec![Vec::new(); num_cpus];
+            for h in shard_handles {
+                for (cpu, cls) in h.join().expect("classification shard panicked") {
+                    classes[cpu] = cls;
+                }
+            }
+            analyzer.finish_deferred(classes)
+        } else {
+            analyzer.finish()
+        };
+        if opts.keep_trace {
+            art.trace = kept;
+        }
+        (art, an)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::experiment::run;
+    use oscar_workloads::WorkloadKind;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::new(WorkloadKind::Pmake)
+            .warmup(2_000_000)
+            .measure(3_000_000)
+    }
+
+    #[test]
+    fn streaming_matches_batch_byte_for_byte() {
+        let config = cfg();
+        let batch_art = run(&config);
+        let batch_an = analyze(&batch_art);
+        let batch_report = crate::report::render_all(&batch_art, &batch_an);
+
+        let opts = StreamOptions {
+            keep_trace: true,
+            shards: 2,
+            chunk_records: 1000, // odd size: exercise partial-chunk flush
+            ..StreamOptions::default()
+        };
+        let (stream_art, stream_an) = run_streaming(&config, &opts);
+
+        assert_eq!(stream_art.trace, batch_art.trace, "trace must be identical");
+        assert_eq!(stream_art.trace_records, batch_art.trace_records);
+        assert_eq!(
+            stream_art.os_stats.dispatches,
+            batch_art.os_stats.dispatches
+        );
+        let stream_report = crate::report::render_all(&stream_art, &stream_an);
+        assert_eq!(stream_report, batch_report);
+    }
+
+    #[test]
+    fn bounded_mode_materializes_nothing() {
+        let config = cfg();
+        let (art, an) = run_streaming(&config, &StreamOptions::default());
+        assert!(art.trace.is_empty(), "streamed trace must not materialize");
+        assert!(art.trace_records > 0);
+        assert!(an.istream.is_empty() && an.dstream.is_empty());
+        // The online sweeps still produced the resim exhibits.
+        assert_eq!(an.fig6.as_ref().map(Vec::len), Some(9));
+        assert_eq!(an.dcache.as_ref().map(Vec::len), Some(5));
+    }
+}

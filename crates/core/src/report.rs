@@ -11,7 +11,6 @@ use oscar_os::{LockFamily, OpClass, Rid};
 
 use crate::analyze::{SharingSource, TraceAnalysis};
 use crate::experiment::RunArtifacts;
-use crate::resim::{dcache_sweep, figure6_sweep};
 use crate::stall::{table1_row, table4_row, table6_row, table9_row};
 use crate::syncstats::{table10_row, table12_rows};
 
@@ -31,9 +30,21 @@ pub fn render_table1(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         pct(r.sys_pct),
         pct(r.idle_pct)
     );
-    let _ = writeln!(s, "  OS misses / total misses      : {}%", pct(r.os_miss_pct));
-    let _ = writeln!(s, "  appl+OS miss stall / non-idle : {}%", pct(r.stall_all_pct));
-    let _ = writeln!(s, "  OS miss stall / non-idle      : {}%", pct(r.stall_os_pct));
+    let _ = writeln!(
+        s,
+        "  OS misses / total misses      : {}%",
+        pct(r.os_miss_pct)
+    );
+    let _ = writeln!(
+        s,
+        "  appl+OS miss stall / non-idle : {}%",
+        pct(r.stall_all_pct)
+    );
+    let _ = writeln!(
+        s,
+        "  OS miss stall / non-idle      : {}%",
+        pct(r.stall_os_pct)
+    );
     let _ = writeln!(
         s,
         "  OS + OS-induced stall         : {}%",
@@ -116,7 +127,11 @@ pub fn render_fig2(art: &RunArtifacts, an: &TraceAnalysis) -> String {
 /// Figure 3: distributions per OS invocation.
 pub fn render_fig3(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 3 — OS invocation distributions, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "Figure 3 — OS invocation distributions, {}",
+        art.workload
+    );
     for (name, h) in [
         ("I-misses", &an.invocations.hist_i),
         ("D-misses", &an.invocations.hist_d),
@@ -139,11 +154,7 @@ pub fn render_fig3(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     s
 }
 
-fn render_class_chart(
-    title: &str,
-    counts: &crate::classify::ClassCounts,
-    os_total: u64,
-) -> String {
+fn render_class_chart(title: &str, counts: &crate::classify::ClassCounts, os_total: u64) -> String {
     let mut s = String::new();
     let t = os_total.max(1) as f64;
     let _ = writeln!(s, "{title} (as % of all OS misses)");
@@ -184,7 +195,13 @@ pub fn render_fig5(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         "Figure 5 — Dispos I-misses by OS routine location, {} (x in 64KB multiples)",
         art.workload
     );
-    let max = an.dispos_i_bins_1k.iter().copied().max().unwrap_or(1).max(1);
+    let max = an
+        .dispos_i_bins_1k
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for (kb, &n) in an.dispos_i_bins_1k.iter().enumerate() {
         if n * 50 > max {
             let bar = "#".repeat(((n * 50 / max) as usize).max(1));
@@ -212,7 +229,7 @@ pub fn render_fig6(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         "Figure 6 — OS I-miss rate vs I-cache geometry, {} (relative to 64KB DM)",
         art.workload
     );
-    let points = figure6_sweep(&an.istream, art.machine_config.num_cpus as usize);
+    let points = an.figure6_points(art.machine_config.num_cpus as usize);
     let base = points
         .iter()
         .find(|p| p.size_bytes == 64 * 1024 && p.assoc == 1)
@@ -241,7 +258,7 @@ pub fn render_dcache_sweep(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         "Section 4.2.2 — OS data misses vs D-cache size, {} (relative to 256KB DM)",
         art.workload
     );
-    let points = dcache_sweep(&an.dstream, art.machine_config.num_cpus as usize);
+    let points = an.dcache_points(art.machine_config.num_cpus as usize);
     let base = points.first().map(|p| p.os_misses.max(1)).unwrap_or(1) as f64;
     for p in &points {
         let _ = writeln!(
@@ -290,7 +307,11 @@ pub fn render_table3(art: &RunArtifacts) -> String {
 /// Figure 8: sharing misses by data structure.
 pub fn render_fig8(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 8 — sharing misses by structure, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "Figure 8 — sharing misses by structure, {}",
+        art.workload
+    );
     let total: u64 = an.sharing_by_source.values().sum();
     let mut rows: Vec<(&SharingSource, &u64)> = an.sharing_by_source.iter().collect();
     rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
@@ -308,7 +329,11 @@ pub fn render_table4(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let r = table4_row(art, an);
     let mut s = String::new();
     let _ = writeln!(s, "Table 4 — migration data misses, {}", art.workload);
-    let _ = writeln!(s, "  kernel stack : {}% of OS D-misses", pct(r.kernel_stack_pct));
+    let _ = writeln!(
+        s,
+        "  kernel stack : {}% of OS D-misses",
+        pct(r.kernel_stack_pct)
+    );
     let _ = writeln!(s, "  user struct  : {}%", pct(r.user_struct_pct));
     let _ = writeln!(s, "  process table: {}%", pct(r.proc_table_pct));
     let _ = writeln!(s, "  total        : {}%", pct(r.total_pct));
@@ -321,7 +346,11 @@ pub fn render_table5(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let m = &an.migration_by_op;
     let t = m.total().max(1) as f64;
     let mut s = String::new();
-    let _ = writeln!(s, "Table 5 — migration misses by operation, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "Table 5 — migration misses by operation, {}",
+        art.workload
+    );
     let _ = writeln!(
         s,
         "  run-queue management           : {}%",
@@ -350,7 +379,11 @@ pub fn render_table6(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let r = table6_row(art, an);
     let mut s = String::new();
     let _ = writeln!(s, "Table 6 — block-operation data misses, {}", art.workload);
-    let _ = writeln!(s, "  block copy          : {}% of OS D-misses", pct(r.copy_pct));
+    let _ = writeln!(
+        s,
+        "  block copy          : {}% of OS D-misses",
+        pct(r.copy_pct)
+    );
     let _ = writeln!(s, "  block clear         : {}%", pct(r.clear_pct));
     let _ = writeln!(s, "  descriptor traversal: {}%", pct(r.traversal_pct));
     let _ = writeln!(s, "  total               : {}%", pct(r.total_pct));
@@ -408,7 +441,11 @@ pub fn render_table9(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let r = table9_row(art, an);
     let mut s = String::new();
     let _ = writeln!(s, "Table 9 — OS miss stall components, {}", art.workload);
-    let _ = writeln!(s, "  total OS misses    : {}% of non-idle", pct(r.total_os_pct));
+    let _ = writeln!(
+        s,
+        "  total OS misses    : {}% of non-idle",
+        pct(r.total_os_pct)
+    );
     let _ = writeln!(s, "  instruction misses : {}%", pct(r.instr_pct));
     let _ = writeln!(s, "  migration D-misses : {}%", pct(r.migration_pct));
     let _ = writeln!(s, "  block-op D-misses  : {}%", pct(r.blockop_pct));
@@ -419,7 +456,11 @@ pub fn render_table9(art: &RunArtifacts, an: &TraceAnalysis) -> String {
 /// Figure 10: application misses induced by the OS.
 pub fn render_fig10(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 10 — OS-induced application misses, {}", art.workload);
+    let _ = writeln!(
+        s,
+        "Figure 10 — OS-induced application misses, {}",
+        art.workload
+    );
     let total = an.app.total().max(1) as f64;
     let ap_i = an.app.instr.disp_os;
     let ap_d = an.app.data.disp_os;
@@ -482,7 +523,7 @@ pub fn render_table12(art: &RunArtifacts) -> String {
 
 /// Companion-report appendix: application invocation distributions and
 /// OS I-misses by subsystem (the paper defers these to its technical
-/// report [18]).
+/// report, reference 18).
 pub fn render_appendix(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -531,7 +572,7 @@ pub fn render_all(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         "================ {} ({} cycles measured, {} trace records) ================",
         art.workload,
         art.measure_end - art.measure_start,
-        art.trace.len()
+        art.trace_records
     );
     s += &render_table1(art, an);
     s += &render_fig1(art, an);
@@ -574,10 +615,26 @@ mod tests {
         let an = analyze(&art);
         let r = render_all(&art, &an);
         for needle in [
-            "Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
-            "Figure 6", "Figure 7", "Table 3", "Figure 8", "Table 4", "Table 5",
-            "Table 6", "Table 7", "Figure 9", "Table 9", "Figure 10", "Table 10",
-            "Table 11", "Table 12",
+            "Table 1",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Table 3",
+            "Figure 8",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Figure 9",
+            "Table 9",
+            "Figure 10",
+            "Table 10",
+            "Table 11",
+            "Table 12",
         ] {
             assert!(r.contains(needle), "missing {needle}");
         }
@@ -589,8 +646,16 @@ mod tests {
     fn table11_lists_the_paper_locks() {
         let t = render_table11();
         for lock in [
-            "Memlock", "Runqlk", "Ifree", "Dfbmaplk", "Bfreelock", "Calock",
-            "Shr_x", "Streams_x", "Ino_x", "Semlock",
+            "Memlock",
+            "Runqlk",
+            "Ifree",
+            "Dfbmaplk",
+            "Bfreelock",
+            "Calock",
+            "Shr_x",
+            "Streams_x",
+            "Ino_x",
+            "Semlock",
         ] {
             assert!(t.contains(lock), "missing {lock}");
         }

@@ -31,78 +31,115 @@ pub struct ResimPoint {
     pub app_misses: u64,
 }
 
-/// Replays the instruction-miss stream into per-CPU caches of the given
-/// geometry.
-pub fn resim(istream: &[IStreamItem], num_cpus: usize, config: CacheConfig) -> ResimPoint {
-    let mut caches: Vec<Cache> = (0..num_cpus).map(|_| Cache::new(config)).collect();
+/// Incremental re-simulation of one I-cache geometry: feed the
+/// instruction-miss stream item by item (the streaming pipeline does
+/// this online, so no stream needs to be materialized) and read the
+/// [`ResimPoint`] off at the end.
+#[derive(Debug)]
+pub struct IResimBank {
+    config: CacheConfig,
+    caches: Vec<Cache>,
     // Blocks dropped by invalidation, per CPU: the next miss on them is
     // an Inval miss.
-    let mut invalidated: Vec<std::collections::HashSet<BlockAddr>> =
-        (0..num_cpus).map(|_| Default::default()).collect();
-    let mut os_misses = 0;
-    let mut os_inval = 0;
-    let mut app_misses = 0;
-    for item in istream {
+    invalidated: Vec<std::collections::HashSet<BlockAddr>>,
+    os_misses: u64,
+    os_inval: u64,
+    app_misses: u64,
+}
+
+impl IResimBank {
+    /// A bank of `num_cpus` caches of the given geometry.
+    pub fn new(num_cpus: usize, config: CacheConfig) -> Self {
+        IResimBank {
+            config,
+            caches: (0..num_cpus).map(|_| Cache::new(config)).collect(),
+            invalidated: (0..num_cpus).map(|_| Default::default()).collect(),
+            os_misses: 0,
+            os_inval: 0,
+            app_misses: 0,
+        }
+    }
+
+    /// Replays one stream item.
+    pub fn push(&mut self, item: &IStreamItem) {
         match *item {
             IStreamItem::Fetch { cpu, block, os } => {
-                let c = &mut caches[cpu as usize];
+                let c = &mut self.caches[cpu as usize];
                 let b = BlockAddr(block);
                 match c.access(b, false) {
                     Lookup::Hit => {}
                     Lookup::Miss { .. } => {
                         if os {
-                            os_misses += 1;
-                            if invalidated[cpu as usize].remove(&b) {
-                                os_inval += 1;
+                            self.os_misses += 1;
+                            if self.invalidated[cpu as usize].remove(&b) {
+                                self.os_inval += 1;
                             }
                         } else {
-                            app_misses += 1;
-                            invalidated[cpu as usize].remove(&b);
+                            self.app_misses += 1;
+                            self.invalidated[cpu as usize].remove(&b);
                         }
                     }
                 }
             }
             IStreamItem::Flush { ppn } => {
-                for (c, inv) in caches.iter_mut().zip(&mut invalidated) {
+                for (c, inv) in self.caches.iter_mut().zip(&mut self.invalidated) {
                     let page = Ppn(ppn);
                     // Record which blocks were actually resident, so the
                     // re-miss is attributable to the invalidation.
-                    let resident: Vec<BlockAddr> = c
-                        .iter_resident()
-                        .filter(|b| b.page() == page)
-                        .collect();
+                    let resident: Vec<BlockAddr> =
+                        c.iter_resident().filter(|b| b.page() == page).collect();
                     c.invalidate_page(page);
                     inv.extend(resident);
                 }
             }
         }
     }
-    ResimPoint {
-        size_bytes: config.size_bytes,
-        assoc: config.assoc,
-        os_misses,
-        os_inval_misses: os_inval,
-        app_misses,
+
+    /// The accumulated result.
+    pub fn point(&self) -> ResimPoint {
+        ResimPoint {
+            size_bytes: self.config.size_bytes,
+            assoc: self.config.assoc,
+            os_misses: self.os_misses,
+            os_inval_misses: self.os_inval,
+            app_misses: self.app_misses,
+        }
     }
 }
 
-/// The Figure 6 sweep: direct-mapped and two-way caches from 64 KB to
-/// 1 MB (the paper cannot simulate the 64 KB two-way point and neither
-/// do we).
-pub fn figure6_sweep(istream: &[IStreamItem], num_cpus: usize) -> Vec<ResimPoint> {
+/// Replays the instruction-miss stream into per-CPU caches of the given
+/// geometry.
+pub fn resim(istream: &[IStreamItem], num_cpus: usize, config: CacheConfig) -> ResimPoint {
+    let mut bank = IResimBank::new(num_cpus, config);
+    for item in istream {
+        bank.push(item);
+    }
+    bank.point()
+}
+
+/// The cache geometries of the Figure 6 sweep: direct-mapped and two-way
+/// caches from 64 KB to 1 MB (the paper cannot simulate the 64 KB
+/// two-way point and neither do we).
+pub fn figure6_configs() -> Vec<CacheConfig> {
     let sizes = [64, 128, 256, 512, 1024u64];
-    let mut out = Vec::new();
-    for &kb in &sizes {
-        out.push(resim(istream, num_cpus, CacheConfig::direct_mapped(kb * 1024)));
-    }
-    for &kb in &sizes[1..] {
-        out.push(resim(
-            istream,
-            num_cpus,
-            CacheConfig::set_associative(kb * 1024, 2),
-        ));
-    }
+    let mut out: Vec<CacheConfig> = sizes
+        .iter()
+        .map(|&kb| CacheConfig::direct_mapped(kb * 1024))
+        .collect();
+    out.extend(
+        sizes[1..]
+            .iter()
+            .map(|&kb| CacheConfig::set_associative(kb * 1024, 2)),
+    );
     out
+}
+
+/// The Figure 6 sweep over a materialized stream.
+pub fn figure6_sweep(istream: &[IStreamItem], num_cpus: usize) -> Vec<ResimPoint> {
+    figure6_configs()
+        .into_iter()
+        .map(|c| resim(istream, num_cpus, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -199,53 +236,93 @@ pub struct DResimPoint {
     pub os_sharing_misses: u64,
 }
 
-/// Replays the data-miss stream into per-CPU caches of the given
-/// geometry, invalidating on writes as the snooping protocol does.
-pub fn resim_dcache(dstream: &[DStreamItem], num_cpus: usize, config: CacheConfig) -> DResimPoint {
-    let mut caches: Vec<Cache> = (0..num_cpus).map(|_| Cache::new(config)).collect();
-    let mut invalidated: Vec<std::collections::HashSet<BlockAddr>> =
-        (0..num_cpus).map(|_| Default::default()).collect();
-    let mut os_misses = 0;
-    let mut os_sharing = 0;
-    for item in dstream {
+/// Incremental D-cache re-simulation of one geometry (the data-stream
+/// counterpart of [`IResimBank`]).
+#[derive(Debug)]
+pub struct DResimBank {
+    config: CacheConfig,
+    caches: Vec<Cache>,
+    invalidated: Vec<std::collections::HashSet<BlockAddr>>,
+    os_misses: u64,
+    os_sharing: u64,
+}
+
+impl DResimBank {
+    /// A bank of `num_cpus` caches of the given geometry.
+    pub fn new(num_cpus: usize, config: CacheConfig) -> Self {
+        DResimBank {
+            config,
+            caches: (0..num_cpus).map(|_| Cache::new(config)).collect(),
+            invalidated: (0..num_cpus).map(|_| Default::default()).collect(),
+            os_misses: 0,
+            os_sharing: 0,
+        }
+    }
+
+    /// Replays one stream item, invalidating on writes as the snooping
+    /// protocol does.
+    pub fn push(&mut self, item: &DStreamItem) {
         let b = BlockAddr(item.block);
         let i = item.cpu as usize;
-        match caches[i].access(b, item.write) {
+        match self.caches[i].access(b, item.write) {
             Lookup::Hit => {}
             Lookup::Miss { .. } => {
                 if item.os {
-                    os_misses += 1;
-                    if invalidated[i].remove(&b) {
-                        os_sharing += 1;
+                    self.os_misses += 1;
+                    if self.invalidated[i].remove(&b) {
+                        self.os_sharing += 1;
                     }
                 } else {
-                    invalidated[i].remove(&b);
+                    self.invalidated[i].remove(&b);
                 }
             }
         }
         if item.write {
-            for (j, c) in caches.iter_mut().enumerate() {
+            for (j, c) in self.caches.iter_mut().enumerate() {
                 if j != i && c.invalidate(b).is_some() {
-                    invalidated[j].insert(b);
+                    self.invalidated[j].insert(b);
                 }
             }
         }
     }
-    DResimPoint {
-        size_bytes: config.size_bytes,
-        assoc: config.assoc,
-        os_misses,
-        os_sharing_misses: os_sharing,
+
+    /// The accumulated result.
+    pub fn point(&self) -> DResimPoint {
+        DResimPoint {
+            size_bytes: self.config.size_bytes,
+            assoc: self.config.assoc,
+            os_misses: self.os_misses,
+            os_sharing_misses: self.os_sharing,
+        }
     }
 }
 
-/// The Section 4.2.2 D-cache sweep: 256 KB to 4 MB direct-mapped.
+/// Replays the data-miss stream into per-CPU caches of the given
+/// geometry, invalidating on writes as the snooping protocol does.
+pub fn resim_dcache(dstream: &[DStreamItem], num_cpus: usize, config: CacheConfig) -> DResimPoint {
+    let mut bank = DResimBank::new(num_cpus, config);
+    for item in dstream {
+        bank.push(item);
+    }
+    bank.point()
+}
+
+/// The geometries of the Section 4.2.2 D-cache sweep: 256 KB to 4 MB
+/// direct-mapped.
+pub fn dcache_configs() -> Vec<CacheConfig> {
+    [256u64, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&kb| CacheConfig::direct_mapped(kb * 1024))
+        .collect()
+}
+
+/// The Section 4.2.2 D-cache sweep over a materialized stream.
 /// Sharing misses survive every size — which is why the paper says
 /// larger data caches can only moderately help the OS.
 pub fn dcache_sweep(dstream: &[DStreamItem], num_cpus: usize) -> Vec<DResimPoint> {
-    [256u64, 512, 1024, 2048, 4096]
-        .iter()
-        .map(|&kb| resim_dcache(dstream, num_cpus, CacheConfig::direct_mapped(kb * 1024)))
+    dcache_configs()
+        .into_iter()
+        .map(|c| resim_dcache(dstream, num_cpus, c))
         .collect()
 }
 

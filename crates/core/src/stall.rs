@@ -172,7 +172,10 @@ mod tests {
         let (art, an) = quick();
         let r = table1_row(&art, &an);
         let sum = r.user_pct + r.sys_pct + r.idle_pct;
-        assert!((sum - 100.0).abs() < 1.0, "time split sums to 100, got {sum}");
+        assert!(
+            (sum - 100.0).abs() < 1.0,
+            "time split sums to 100, got {sum}"
+        );
         assert!(r.stall_os_pct <= r.stall_all_pct);
         assert!(r.stall_os_pct <= r.stall_os_induced_pct);
         assert!(r.os_miss_pct > 0.0 && r.os_miss_pct < 100.0);

@@ -174,10 +174,7 @@ mod tests {
         let an = analyze(&art);
         let s = Summary::new(&art, &an);
         assert_eq!(s.metrics.len(), 11);
-        assert!(
-            s.shape_holds(),
-            "too many off-band metrics:\n{s}"
-        );
+        assert!(s.shape_holds(), "too many off-band metrics:\n{s}");
         let text = s.to_string();
         assert!(text.contains("os_stall_pct_non_idle"));
     }

@@ -3,7 +3,7 @@
 //!
 //! The paper's setup ships trace segments to a remote machine for
 //! offline postprocessing; this module is that offline path. A saved
-//! trace carries everything [`crate::analyze`] requires — the records,
+//! trace carries everything [`crate::analyze()`] requires — the records,
 //! the machine configuration essentials, the kernel layout recipe and
 //! the measured window — so analysis can run later, elsewhere, or
 //! repeatedly without re-simulation. OS-side ground-truth counters are
@@ -117,7 +117,7 @@ pub fn save(art: &RunArtifacts, w: &mut impl Write) -> io::Result<()> {
 ///
 /// The returned artifacts carry *empty* OS ground-truth and lock
 /// statistics (the monitor never sees those); everything
-/// [`crate::analyze`] needs is present.
+/// [`crate::analyze()`] needs is present.
 ///
 /// # Errors
 ///
@@ -150,7 +150,10 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         r.read_exact(&mut b)?;
         let idx = u16::from_le_bytes(b) as usize;
         let rid = *Rid::ALL.get(idx).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad routine index {idx}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad routine index {idx}"),
+            )
         })?;
         order.push(rid);
     }
@@ -177,6 +180,7 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
     machine_config.memory_bytes = memory_bytes;
     let layout = Layout::with_order_and_replicas(memory_bytes, order, replicas.max(1));
     Ok(RunArtifacts {
+        trace_records: trace.len() as u64,
         trace,
         os_stats: OsStats::new(num_cpus as usize),
         lock_stats: Vec::new(),

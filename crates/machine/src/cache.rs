@@ -308,7 +308,7 @@ mod tests {
         c.access(b, true);
         assert!(c.probe_dirty(b));
         c.clean(b);
-        assert!(c.probe_dirty(b) == false && c.probe(b));
+        assert!(!c.probe_dirty(b) && c.probe(b));
     }
 
     #[test]

@@ -46,14 +46,37 @@ pub enum BufferMode {
     Bounded(usize),
 }
 
+/// A consumer of monitored records, for streaming analysis: while a
+/// sink is attached, records bypass the in-memory buffer and are handed
+/// to the sink instead, so memory use no longer scales with trace
+/// length. This models the paper's master-process protocol, which ships
+/// trace segments off the machine instead of holding the whole trace.
+pub trait TraceSink: Send {
+    /// Receives one monitored record, in trace order.
+    fn record(&mut self, rec: BusRecord);
+}
+
 /// The monitor's trace buffer.
-#[derive(Debug, Clone)]
 pub struct TraceBuffer {
     mode: BufferMode,
     records: Vec<BusRecord>,
     lost: u64,
     total_seen: u64,
     enabled: bool,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("mode", &self.mode)
+            .field("records", &self.records.len())
+            .field("lost", &self.lost)
+            .field("total_seen", &self.total_seen)
+            .field("enabled", &self.enabled)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl TraceBuffer {
@@ -66,6 +89,7 @@ impl TraceBuffer {
             lost: 0,
             total_seen: 0,
             enabled: true,
+            sink: None,
         }
     }
 
@@ -79,13 +103,35 @@ impl TraceBuffer {
         self.enabled
     }
 
+    /// Attaches a streaming sink. Subsequent records (while enabled) go
+    /// to the sink instead of the in-memory buffer.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and drops the sink, if any (dropping typically flushes
+    /// whatever the sink buffered).
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether a streaming sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Appends a record, dropping it (and counting the loss) if the
-    /// buffer is full.
+    /// buffer is full. With a sink attached the record is forwarded and
+    /// never buffered.
     pub fn record(&mut self, rec: BusRecord) {
         if !self.enabled {
             return;
         }
         self.total_seen += 1;
+        if let Some(sink) = &mut self.sink {
+            sink.record(rec);
+            return;
+        }
         match self.mode {
             BufferMode::Unbounded => self.records.push(rec),
             BufferMode::Bounded(cap) => {
@@ -214,5 +260,37 @@ mod tests {
     fn monitor_granularity_is_60ns() {
         let r = rec(101);
         assert_eq!(r.monitor_time(), 50);
+    }
+
+    #[test]
+    fn sink_diverts_records_from_the_buffer() {
+        use std::sync::mpsc;
+
+        struct Tx(mpsc::Sender<BusRecord>);
+        impl TraceSink for Tx {
+            fn record(&mut self, rec: BusRecord) {
+                self.0.send(rec).ok();
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_sink(Box::new(Tx(tx)));
+        assert!(b.has_sink());
+        for t in 0..5 {
+            b.record(rec(t));
+        }
+        // The buffer stays empty; the sink saw everything, in order.
+        assert!(b.is_empty());
+        assert_eq!(b.total_seen(), 5);
+        let got: Vec<BusRecord> = rx.try_iter().collect();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].time < w[1].time));
+        // Disarming gates the sink too.
+        b.set_enabled(false);
+        b.record(rec(9));
+        assert_eq!(b.total_seen(), 5);
+        b.clear_sink();
+        assert!(!b.has_sink());
     }
 }

@@ -293,7 +293,11 @@ impl KFrame {
 
 /// Advance amount for one executor step of a sweep/fetch op.
 pub(crate) fn sweep_step(cur: u64, stride: u32) -> u64 {
-    let s = if stride == 0 { BLOCK_SIZE } else { stride as u64 };
+    let s = if stride == 0 {
+        BLOCK_SIZE
+    } else {
+        stride as u64
+    };
     cur + s
 }
 
@@ -304,7 +308,10 @@ mod tests {
     #[test]
     fn kframe_push_front_preserves_order() {
         let mut f = KFrame::new(OpClass::IoSyscall, vec![KOp::Compute { cycles: 1 }]);
-        f.push_front_ops(vec![KOp::Compute { cycles: 10 }, KOp::Compute { cycles: 20 }]);
+        f.push_front_ops(vec![
+            KOp::Compute { cycles: 10 },
+            KOp::Compute { cycles: 20 },
+        ]);
         let cycles: Vec<u64> = f
             .ops
             .iter()

@@ -3,7 +3,7 @@
 //!
 //! `OsWorld::step` advances one CPU by one micro-operation: a kernel
 //! frame op, a user-program op (with TLB translation), or one idle-loop
-//! iteration. The companion module [`crate::paths`] builds the kernel
+//! iteration. The companion module `paths` builds the kernel
 //! code paths (system calls, faults, interrupts) and executes the
 //! deferred [`KCall`](crate::exec::KCall) decision points.
 
@@ -202,7 +202,10 @@ impl std::fmt::Debug for OsWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OsWorld")
             .field("live_procs", &self.procs.live())
-            .field("runq_len", &self.runqs.iter().map(|q| q.len()).sum::<usize>())
+            .field(
+                "runq_len",
+                &self.runqs.iter().map(|q| q.len()).sum::<usize>(),
+            )
             .field("global_tick", &self.global_tick)
             .finish_non_exhaustive()
     }
@@ -533,7 +536,13 @@ impl OsWorld {
     }
 
     /// Pushes a kernel frame for an operation and emits `EnterOs`.
-    pub(crate) fn push_op_frame(&mut self, m: &mut Machine, cpu: CpuId, loc: FrameLoc, frame: KFrame) {
+    pub(crate) fn push_op_frame(
+        &mut self,
+        m: &mut Machine,
+        cpu: CpuId,
+        loc: FrameLoc,
+        frame: KFrame,
+    ) {
         let class = frame.class;
         self.emit(m, cpu, OsEvent::EnterOs(class));
         self.stats.count_op(class);
@@ -638,11 +647,7 @@ impl OsWorld {
                             // Inode locks are sleep locks: they are held
                             // across disk I/O, so spinning could starve
                             // the holder. Sleep until release.
-                            self.do_swtch(
-                                m,
-                                cpu,
-                                Disposition::Sleep(Chan::InoWait(id.instance)),
-                            );
+                            self.do_swtch(m, cpu, Disposition::Sleep(Chan::InoWait(id.instance)));
                         } else {
                             m.advance(cpu, self.tuning.spin_retry_cycles);
                         }
@@ -674,10 +679,7 @@ impl OsWorld {
         }
         // A frame that just became empty finishes on the next step,
         // keeping transitions simple.
-        if self
-            .peek_frame(cpu, loc)
-            .is_some_and(|f| f.ops.is_empty())
-        {
+        if self.peek_frame(cpu, loc).is_some_and(|f| f.ops.is_empty()) {
             self.finish_frame(m, cpu, loc);
         }
     }
@@ -927,7 +929,15 @@ impl OsWorld {
                         );
                     }
                 } else {
-                    self.put_back_uop(slot, UOp::RunLoop { base, len, iters, off });
+                    self.put_back_uop(
+                        slot,
+                        UOp::RunLoop {
+                            base,
+                            len,
+                            iters,
+                            off,
+                        },
+                    );
                 }
             }
             UOp::Touch { addr, write } => {
@@ -1052,8 +1062,11 @@ impl OsWorld {
             }
             UOp::LockRel { lock } => {
                 m.sync_op(cpu);
+                // The holder may have napped (`sginap`) since the
+                // acquire and resumed on another CPU, so release on
+                // the holding process's behalf.
                 self.locks
-                    .release(LockId::new(LockFamily::User, lock), cpu);
+                    .release_any(LockId::new(LockFamily::User, lock), cpu);
             }
         }
     }
@@ -1086,11 +1099,13 @@ impl OsWorld {
                 (vpn.0 % 16) as u8,
             )
             .expect("frame pool exhausted during plan-time resolution");
-        self.procs
-            .get_mut(slot)
-            .unwrap()
-            .page_table
-            .insert(vpn, Pte { ppn: fa.ppn, cow: false });
+        self.procs.get_mut(slot).unwrap().page_table.insert(
+            vpn,
+            Pte {
+                ppn: fa.ppn,
+                cow: false,
+            },
+        );
         fa.ppn
     }
 
@@ -1122,7 +1137,14 @@ impl OsWorld {
     /// aid for stuck simulations).
     pub fn debug_cpu_state(&self, cpu: CpuId) -> String {
         let ctx = &self.cpus[cpu.index()];
-        let front = |f: &KFrame| format!("{:?} (class {:?}, {} ops left)", f.ops.front(), f.class, f.ops.len());
+        let front = |f: &KFrame| {
+            format!(
+                "{:?} (class {:?}, {} ops left)",
+                f.ops.front(),
+                f.class,
+                f.ops.len()
+            )
+        };
         if let Some(f) = &ctx.dispatch {
             return format!("{cpu}: dispatch {}", front(f));
         }
@@ -1132,9 +1154,19 @@ impl OsWorld {
         if let Some(slot) = ctx.running {
             if let Some(p) = self.procs.get(slot) {
                 if let Some(f) = p.kstack.last() {
-                    return format!("{cpu}: {} pid{} kernel {}", p.task.name(), p.pid.0, front(f));
+                    return format!(
+                        "{cpu}: {} pid{} kernel {}",
+                        p.task.name(),
+                        p.pid.0,
+                        front(f)
+                    );
                 }
-                return format!("{cpu}: {} pid{} user {:?}", p.task.name(), p.pid.0, p.cur_uop);
+                return format!(
+                    "{cpu}: {} pid{} user {:?}",
+                    p.task.name(),
+                    p.pid.0,
+                    p.cur_uop
+                );
             }
         }
         format!(

@@ -9,8 +9,8 @@
 //! stacks and user structures, the buffer cache, and finally the frame
 //! pool that backs user pages.
 
-use oscar_machine::addr::{PAddr, Ppn, PAGE_SIZE};
 use crate::types::ProcSlot;
+use oscar_machine::addr::{PAddr, Ppn, PAGE_SIZE};
 
 /// Kernel subsystems, used to group routines in reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -492,8 +492,8 @@ impl Layout {
         if k == 0 || self.replicas <= 1 {
             (Ppn(0), pages)
         } else {
-            let base =
-                self.replica_base + (k as u64 - 1).min(self.replicas as u64 - 2) * self.replica_stride();
+            let base = self.replica_base
+                + (k as u64 - 1).min(self.replicas as u64 - 2) * self.replica_stride();
             (Ppn((base / PAGE_SIZE) as u32), pages)
         }
     }
@@ -765,7 +765,10 @@ mod tests {
     #[test]
     fn structure_addresses_classify_to_their_regions() {
         let l = layout();
-        assert_eq!(l.classify(l.proc_entry(ProcSlot(0))), KernelRegion::ProcTable);
+        assert_eq!(
+            l.classify(l.proc_entry(ProcSlot(0))),
+            KernelRegion::ProcTable
+        );
         assert_eq!(
             l.classify(l.proc_entry(ProcSlot(127)).add(359)),
             KernelRegion::ProcTable
@@ -776,18 +779,21 @@ mod tests {
         assert_eq!(l.classify(l.run_queue()), KernelRegion::RunQueue);
         assert_eq!(l.classify(l.free_pg_buck()), KernelRegion::FreePgBuck);
         assert_eq!(l.classify(l.callout()), KernelRegion::Callout);
-        assert_eq!(l.classify(l.page_table(ProcSlot(3))), KernelRegion::PageTables);
-        assert_eq!(l.classify(l.kernel_stack(ProcSlot(9))), KernelRegion::KernelStack);
+        assert_eq!(
+            l.classify(l.page_table(ProcSlot(3))),
+            KernelRegion::PageTables
+        );
+        assert_eq!(
+            l.classify(l.kernel_stack(ProcSlot(9))),
+            KernelRegion::KernelStack
+        );
         assert_eq!(l.classify(l.buf_data(10)), KernelRegion::BufData);
         assert_eq!(l.classify(l.pipe_buf(1)), KernelRegion::PipeBuf);
         assert_eq!(
             l.classify(l.frame_pool_first().base()),
             KernelRegion::FramePool
         );
-        assert_eq!(
-            l.classify(l.routine_base(Rid::Bcopy)),
-            KernelRegion::Text
-        );
+        assert_eq!(l.classify(l.routine_base(Rid::Bcopy)), KernelRegion::Text);
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use instrument::{BlockOpKind, OsEvent};
 pub use kernel::{OsTuning, OsWorld};
 pub use layout::{KernelRegion, Layout, Rid, Subsystem};
 pub use locks::{FamilyStats, LockFamily, LockId, LockTable};
+pub use paths::shm_base_vpn;
 pub use sched::SchedPolicy;
 pub use stats::OsStats;
 pub use types::{AttrCtx, BlockSizeClass, Mode, OpClass, Pid, ProcSlot};
 pub use user::{ExecImage, SysReq, TaskEnv, UOp, UserTask};
-pub use paths::shm_base_vpn;

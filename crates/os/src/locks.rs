@@ -105,6 +105,15 @@ impl LockFamily {
         !matches!(self, LockFamily::User)
     }
 
+    /// Whether locks of this family are held by a *process* rather than
+    /// a CPU: the holder may sleep (`Ino`) or be descheduled by
+    /// `sginap` (`User`) and resume on a different CPU, so the
+    /// CPU-indexed `held_by` bookkeeping cannot be used to detect
+    /// recursive acquires or cross-CPU releases for them.
+    pub fn is_process_held(self) -> bool {
+        matches!(self, LockFamily::Ino | LockFamily::User)
+    }
+
     fn index(self) -> usize {
         LockFamily::ALL.iter().position(|&f| f == self).unwrap()
     }
@@ -208,14 +217,14 @@ impl FamilyStats {
 struct LockState {
     held_by: Option<CpuId>,
     /// Bitmask of CPUs currently spinning on this lock.
-    spinning: u8,
+    spinning: u32,
     last_acquirer: Option<CpuId>,
     other_touched: bool,
     last_acquire_time: Option<u64>,
     /// Bitmask of CPUs whose (hypothetical) cache holds the lock line.
-    llsc_sharers: u8,
+    llsc_sharers: u32,
     /// Whether the acquire op in flight per CPU already failed once.
-    first_failed: u8,
+    first_failed: u32,
 }
 
 /// The kernel lock table: lock state plus per-family statistics.
@@ -240,8 +249,8 @@ impl LockTable {
         Self::default()
     }
 
-    fn mask(cpu: CpuId) -> u8 {
-        1 << cpu.index()
+    fn mask(cpu: CpuId) -> u32 {
+        1u32 << cpu.index()
     }
 
     /// Attempts to acquire `lock` for `cpu` at time `now` (one
@@ -288,7 +297,16 @@ impl LockTable {
                 TryAcquire::Acquired
             }
             Some(holder) => {
-                debug_assert_ne!(holder, cpu, "recursive kernel lock acquire");
+                // `held_by` is CPU-indexed, but process-held locks
+                // (Ino sleep locks, User spin locks) stay with a
+                // process that may sleep and yield its CPU, so a
+                // same-CPU retry by a different process is legal
+                // contention there, not a recursive acquire.
+                debug_assert!(
+                    holder != cpu || lock.family.is_process_held(),
+                    "recursive kernel spin-lock acquire on {:?}",
+                    lock.family
+                );
                 if st.first_failed & Self::mask(cpu) == 0 {
                     stats.failed_first += 1;
                     st.first_failed |= Self::mask(cpu);
@@ -525,6 +543,6 @@ mod tests {
     fn table11_labels() {
         assert_eq!(LockFamily::Shr.label(), "Shr_x");
         assert!(LockFamily::Runqlk.function().contains("run queue"));
-        assert!(LockFamily::User.is_kernel() == false);
+        assert!(!LockFamily::User.is_kernel());
     }
 }

@@ -8,7 +8,7 @@
 
 use oscar_machine::addr::{CpuId, PAddr, Ppn, Vpn, PAGE_SIZE};
 use oscar_machine::machine::Machine;
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::exec::{Chan, Disposition, KCall, KFrame, KOp, PageInit, DISK_NO_BUF};
 use crate::fs::GetBlk;
@@ -19,7 +19,7 @@ use crate::locks::{LockFamily, LockId};
 use crate::proc::{ProcState, Pte};
 use crate::types::{AttrCtx, OpClass, ProcSlot};
 use crate::user::{segs, ExecImage, SysReq};
-use crate::vm::{FrameUse, FrameAlloc};
+use crate::vm::{FrameAlloc, FrameUse};
 
 fn runqlk(queue: usize) -> LockId {
     LockId::new(LockFamily::Runqlk, queue as u32)
@@ -489,8 +489,12 @@ impl OsWorld {
                 let mut ops = self.syscall_prologue(slot);
                 ops.push(self.win(Rid::SemOp));
                 ops.push(KOp::Lock(semlock));
-                ops.push(KOp::read(self.layout.misc_data().add(1024 + (sem as u64 % 64) * 16)));
-                ops.push(KOp::write(self.layout.misc_data().add(1024 + (sem as u64 % 64) * 16)));
+                ops.push(KOp::read(
+                    self.layout.misc_data().add(1024 + (sem as u64 % 64) * 16),
+                ));
+                ops.push(KOp::write(
+                    self.layout.misc_data().add(1024 + (sem as u64 % 64) * 16),
+                ));
                 ops.push(KOp::Unlock(semlock));
                 ops.push(KOp::Call(KCall::SemOpApply { sem, delta }));
                 ops.extend(self.syscall_epilogue(slot));
@@ -532,7 +536,11 @@ impl OsWorld {
                 let buf = self.layout.pipe_buf(24 + s as usize % 8);
                 let mut ops = self.syscall_prologue(slot);
                 let src = self.user_io_buffer(slot, 0);
-                ops.extend(self.bcopy_ops(src, self.layout.kernel_stack(slot).add(1024), bytes.max(8) as u64));
+                ops.extend(self.bcopy_ops(
+                    src,
+                    self.layout.kernel_stack(slot).add(1024),
+                    bytes.max(8) as u64,
+                ));
                 ops.push(self.win(Rid::StrWrite));
                 ops.push(self.cold_win(Rid::ColdDriver, 2048));
                 ops.push(KOp::Lock(lk));
@@ -569,7 +577,6 @@ impl OsWorld {
                 ops.extend(self.syscall_epilogue(slot));
                 KFrame::new(OpClass::IoSyscall, ops)
             }
-
         }
     }
 
@@ -624,7 +631,14 @@ impl OsWorld {
         KFrame::new(OpClass::IoSyscall, ops)
     }
 
-    fn build_write(&mut self, slot: ProcSlot, inode: u32, bytes: u32, at: Option<u64>, sync: bool) -> KFrame {
+    fn build_write(
+        &mut self,
+        slot: ProcSlot,
+        inode: u32,
+        bytes: u32,
+        at: Option<u64>,
+        sync: bool,
+    ) -> KFrame {
         let mut pos = at.unwrap_or_else(|| {
             self.procs
                 .get(slot)
@@ -791,11 +805,10 @@ impl OsWorld {
                     }
                 }
                 Disposition::Exit => {
-                    let orphan = self.procs.get(oslot).is_some_and(|p| {
-                        p.parent
-                            .and_then(|ps| self.procs.get(ps))
-                            .is_none()
-                    });
+                    let orphan = self
+                        .procs
+                        .get(oslot)
+                        .is_some_and(|p| p.parent.and_then(|ps| self.procs.get(ps)).is_none());
                     if let Some(p) = self.procs.get_mut(oslot) {
                         p.state = ProcState::Zombie;
                         p.kstack.clear();
@@ -852,10 +865,7 @@ impl OsWorld {
             Chan::Buf(b) => self.bufcache.is_busy(b) && self.disk.has_request(b),
             Chan::PipeData(p) => self.pipes[p] == 0,
             Chan::PipeSpace(p) => self.pipes[p] as u64 >= PAGE_SIZE,
-            Chan::Timer(_) => self
-                .callouts
-                .iter()
-                .any(|c| c.chan == chan),
+            Chan::Timer(_) => self.callouts.iter().any(|c| c.chan == chan),
             Chan::Child(_) => true, // WaitCheck re-verifies
             Chan::Sem(s) => self.sems.get(&s).copied().unwrap_or(0) <= 0,
             Chan::InoWait(i) => self
@@ -866,13 +876,7 @@ impl OsWorld {
 
     // ----- KCall handlers ------------------------------------------
 
-    pub(crate) fn handle_call(
-        &mut self,
-        m: &mut Machine,
-        cpu: CpuId,
-        loc: FrameLoc,
-        call: KCall,
-    ) {
+    pub(crate) fn handle_call(&mut self, m: &mut Machine, cpu: CpuId, loc: FrameLoc, call: KCall) {
         match call {
             KCall::Swtch(disp) => self.do_swtch(m, cpu, disp),
             KCall::SwtchCommit => self.swtch_commit(m, cpu),
@@ -1042,34 +1046,25 @@ impl OsWorld {
             Some(p) if !(write && p.cow) => {
                 let slow = {
                     let divisor = self.tuning.cheap_fault_divisor.max(1);
-                    self.procs
-                        .get_mut(slot)
-                        .unwrap()
-                        .rng
-                        .gen_ratio(1, divisor)
+                    self.procs.get_mut(slot).unwrap().rng.gen_ratio(1, divisor)
                 };
                 if slow {
                     // Software reference-bit emulation: a full trap.
                     self.emit(m, cpu, OsEvent::OpReclass(OpClass::CheapTlbFault));
-                    self.stats.reclass(OpClass::UtlbFault, OpClass::CheapTlbFault);
+                    self.stats
+                        .reclass(OpClass::UtlbFault, OpClass::CheapTlbFault);
                     let mut ops = self.eframe_save_ops(self.layout.eframe(slot));
                     ops.push(self.win(Rid::TlbMissSlow));
                     ops.push(KOp::read(self.pt_entry_addr(slot, vpnn)));
                     ops.push(KOp::write(self.pt_entry_addr(slot, vpnn)));
                     ops.push(self.win(Rid::TlbDropin));
-                    ops.push(KOp::Call(KCall::TlbInsert {
-                        vpn,
-                        ppn: p.ppn.0,
-                    }));
+                    ops.push(KOp::Call(KCall::TlbInsert { vpn, ppn: p.ppn.0 }));
                     ops.extend(self.eframe_restore_ops(self.layout.eframe(slot)));
                     self.frame_mut(cpu, loc).push_front_ops(ops);
                 } else {
                     let ops = vec![
                         self.win(Rid::TlbDropin),
-                        KOp::Call(KCall::TlbInsert {
-                            vpn,
-                            ppn: p.ppn.0,
-                        }),
+                        KOp::Call(KCall::TlbInsert { vpn, ppn: p.ppn.0 }),
                     ];
                     self.frame_mut(cpu, loc).push_front_ops(ops);
                 }
@@ -1120,11 +1115,13 @@ impl OsWorld {
                     // COW resolution.
                     if self.frames.refs(Ppn(src)) == 1 {
                         // Sole owner: just take the page.
-                        self.procs
-                            .get_mut(slot)
-                            .unwrap()
-                            .page_table
-                            .insert(vpn, Pte { ppn: Ppn(src), cow: false });
+                        self.procs.get_mut(slot).unwrap().page_table.insert(
+                            vpn,
+                            Pte {
+                                ppn: Ppn(src),
+                                cow: false,
+                            },
+                        );
                         let ops = vec![
                             KOp::write(self.pt_entry_addr(slot, vpn)),
                             KOp::Call(KCall::TlbInsert {
@@ -1138,12 +1135,11 @@ impl OsWorld {
                 }
                 _ => {
                     // Already mapped and not COW work: just refill.
-                    self.frame_mut(cpu, loc).push_front_ops(vec![KOp::Call(
-                        KCall::TlbInsert {
+                    self.frame_mut(cpu, loc)
+                        .push_front_ops(vec![KOp::Call(KCall::TlbInsert {
                             vpn: vpn.0,
                             ppn: pte.ppn.0,
-                        },
-                    )]);
+                        })]);
                     return;
                 }
             }
@@ -1184,11 +1180,13 @@ impl OsWorld {
                 .expect("frame pool exhausted");
             self.note_alloc_flush(m, cpu, &fa);
             self.frames.set_segment_frame(seg, index, fa.ppn);
-            self.procs
-                .get_mut(slot)
-                .unwrap()
-                .page_table
-                .insert(vpn, Pte { ppn: fa.ppn, cow: false });
+            self.procs.get_mut(slot).unwrap().page_table.insert(
+                vpn,
+                Pte {
+                    ppn: fa.ppn,
+                    cow: false,
+                },
+            );
             self.stats.demand_zero += 1;
             let mut ops = self.page_alloc_ops(fa.ppn);
             ops.extend(self.bclear_ops(fa.ppn.base(), PAGE_SIZE));
@@ -1227,11 +1225,13 @@ impl OsWorld {
                 self.frames.release(Ppn(src));
             }
         }
-        self.procs
-            .get_mut(slot)
-            .unwrap()
-            .page_table
-            .insert(vpn, Pte { ppn: fa.ppn, cow: false });
+        self.procs.get_mut(slot).unwrap().page_table.insert(
+            vpn,
+            Pte {
+                ppn: fa.ppn,
+                cow: false,
+            },
+        );
         ops.push(KOp::write(self.pt_entry_addr(slot, vpn)));
         ops.push(KOp::Call(KCall::TlbInsert {
             vpn: vpn.0,
@@ -1275,11 +1275,7 @@ impl OsWorld {
         for (ppn, use_) in victims {
             if let FrameUse::User { pid, vpn, .. } = use_ {
                 // Invalidate the owner's mapping and TLB entries.
-                let owner = self
-                    .procs
-                    .iter()
-                    .find(|p| p.pid == pid)
-                    .map(|p| p.slot);
+                let owner = self.procs.iter().find(|p| p.pid == pid).map(|p| p.slot);
                 if let Some(oslot) = owner {
                     if let Some(p) = self.procs.get_mut(oslot) {
                         p.page_table.remove(&vpn);
@@ -1318,7 +1314,10 @@ impl OsWorld {
 
     fn fork_child(&mut self, _m: &mut Machine, cpu: CpuId, loc: FrameLoc) {
         let parent = self.cpus[cpu.index()].running.expect("process running");
-        let Some(child_task) = self.procs.get_mut(parent).and_then(|p| p.pending_child.take())
+        let Some(child_task) = self
+            .procs
+            .get_mut(parent)
+            .and_then(|p| p.pending_child.take())
         else {
             return;
         };
@@ -1431,7 +1430,14 @@ impl OsWorld {
     /// Loads page `page` of `image` (text first, then initialized data)
     /// through the buffer cache, in 1 KB chunks — the paper's "regular
     /// page fragment" copies — then chains to the next page.
-    fn exec_load(&mut self, m: &mut Machine, cpu: CpuId, loc: FrameLoc, image: ExecImage, page: u32) {
+    fn exec_load(
+        &mut self,
+        m: &mut Machine,
+        cpu: CpuId,
+        loc: FrameLoc,
+        image: ExecImage,
+        page: u32,
+    ) {
         let slot = self.cpus[cpu.index()].running.expect("process running");
         let text_pages = image.text_pages();
         let data_pages = image.data_bytes.div_ceil(PAGE_SIZE as u32);
@@ -1458,11 +1464,13 @@ impl OsWorld {
             return; // out of memory: partial image (rare; tolerated)
         };
         self.note_alloc_flush(m, cpu, &fa);
-        self.procs
-            .get_mut(slot)
-            .unwrap()
-            .page_table
-            .insert(vpn, Pte { ppn: fa.ppn, cow: false });
+        self.procs.get_mut(slot).unwrap().page_table.insert(
+            vpn,
+            Pte {
+                ppn: fa.ppn,
+                cow: false,
+            },
+        );
         let (b, mut ops) = self.getblk_ops((image.inode, page), true);
         for k in 0..4u64 {
             let cops = self.bcopy_ops(
@@ -1564,8 +1572,11 @@ impl OsWorld {
             }
             self.pipes[pipe] = level + bytes;
             let src = self.user_io_buffer(slot, 0);
-            let mut ops =
-                self.bcopy_ops(src, self.layout.pipe_buf(pipe).add(level as u64), bytes as u64);
+            let mut ops = self.bcopy_ops(
+                src,
+                self.layout.pipe_buf(pipe).add(level as u64),
+                bytes as u64,
+            );
             ops.extend(self.wakeup_ops(Chan::PipeData(pipe)));
             self.frame_mut(cpu, loc).push_front_ops(ops);
         } else {

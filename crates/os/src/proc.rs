@@ -3,8 +3,7 @@
 use std::collections::HashMap;
 
 use oscar_machine::addr::{CpuId, Ppn, Vpn};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use oscar_rng::{SeedableRng, SmallRng};
 
 use crate::exec::{Chan, KFrame};
 use crate::types::{Pid, ProcSlot};

@@ -255,7 +255,8 @@ mod tests {
         s.count_block_op(BlockOpKind::Copy, 1024);
         s.count_block_op(BlockOpKind::Clear, 100);
         assert_eq!(
-            s.block_op(BlockOpKind::Copy, BlockSizeClass::FullPage).count,
+            s.block_op(BlockOpKind::Copy, BlockSizeClass::FullPage)
+                .count,
             1
         );
         assert_eq!(

@@ -245,8 +245,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            OpClass::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = OpClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), OpClass::ALL.len());
     }
 

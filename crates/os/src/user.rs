@@ -3,7 +3,7 @@
 //! implement.
 
 use oscar_machine::addr::{VAddr, PAGE_SIZE};
-use rand::rngs::SmallRng;
+use oscar_rng::SmallRng;
 
 use crate::types::Pid;
 
@@ -449,17 +449,14 @@ mod tests {
 
     #[test]
     fn script_task_plays_back() {
-        let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(1);
+        let mut rng = <SmallRng as oscar_rng::SeedableRng>::seed_from_u64(1);
         let mut env = TaskEnv {
             rng: &mut rng,
             pid: Pid(1),
             now: 0,
         };
         let mut t = ScriptTask::new("t", vec![UOp::Compute { cycles: 5 }]);
-        assert!(matches!(
-            t.next(&mut env),
-            Some(UOp::Compute { cycles: 5 })
-        ));
+        assert!(matches!(t.next(&mut env), Some(UOp::Compute { cycles: 5 })));
         assert!(t.next(&mut env).is_none());
     }
 

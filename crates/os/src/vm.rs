@@ -126,7 +126,12 @@ impl FrameDb {
 
     /// Allocates a frame preferring cache color `color` (falling back to
     /// the nearest non-empty color).
-    pub fn alloc_colored(&mut self, use_: FrameUse, is_code: bool, color: u8) -> Option<FrameAlloc> {
+    pub fn alloc_colored(
+        &mut self,
+        use_: FrameUse,
+        is_code: bool,
+        color: u8,
+    ) -> Option<FrameAlloc> {
         if self.free_total == 0 {
             return None;
         }
@@ -319,9 +324,7 @@ mod tests {
         let a = d.alloc(user_use(1), false).unwrap();
         let b = d.alloc(user_use(2), false).unwrap();
         // A shared frame is skipped.
-        let c = d
-            .alloc(FrameUse::Shm { seg: 1, index: 0 }, false)
-            .unwrap();
+        let c = d.alloc(FrameUse::Shm { seg: 1, index: 0 }, false).unwrap();
         let victims = d.pageout_victims(2);
         let ppns: Vec<Ppn> = victims.iter().map(|v| v.0).collect();
         assert_eq!(ppns, vec![a.ppn, b.ppn]);

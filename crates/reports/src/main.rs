@@ -8,41 +8,67 @@
 //! WARMUP     warm-up cycles before measuring       (default: 45000000)
 //!
 //! flags:
+//!   --jobs N           run workloads on N worker threads (default: 1;
+//!                      output is byte-identical for any N)
 //!   --csv DIR          also write the figure series as CSV files
 //!   --save-trace DIR   save each run's raw monitor trace (.oscartrace)
 //!   --from-trace FILE  skip simulation; analyze a saved trace instead
+//!   --perf-out FILE    write a BENCH_*.json-style perf summary
 //! ```
+//!
+//! Each workload runs through the streaming pipeline (simulation and
+//! analysis overlapped over a bounded channel), and independent
+//! workloads fan across `--jobs` workers. Every run seeds its own RNG
+//! from its configuration, so reports are reproducible bit-for-bit
+//! regardless of parallelism.
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
-use oscar_core::resim::figure6_sweep;
-use oscar_core::{analyze, csv, render_all, run, tracefile, ExperimentConfig, RunArtifacts};
+use oscar_core::driver::{run_reports, ReportRequest};
+use oscar_core::perf::PerfSummary;
+use oscar_core::{analyze, csv, render_all, tracefile, ExperimentConfig};
 use oscar_workloads::WorkloadKind;
 
 struct Args {
     kinds: Vec<WorkloadKind>,
     measure: u64,
     warmup: u64,
+    jobs: usize,
     csv_dir: Option<PathBuf>,
     save_trace_dir: Option<PathBuf>,
     from_trace: Option<PathBuf>,
+    perf_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut kinds = WorkloadKind::ALL.to_vec();
     let mut positional = Vec::new();
+    let mut jobs = 1usize;
     let mut csv_dir = None;
     let mut save_trace_dir = None;
     let mut from_trace = None;
+    let mut perf_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--csv" => csv_dir = it.next().map(PathBuf::from),
             "--save-trace" => save_trace_dir = it.next().map(PathBuf::from),
             "--from-trace" => from_trace = it.next().map(PathBuf::from),
+            "--perf-out" => perf_out = it.next().map(PathBuf::from),
             "--help" | "-h" => {
-                eprintln!("usage: oscar-reports [pmake|multpgm|oracle|all] [measure] [warmup] [--csv DIR] [--save-trace DIR] [--from-trace FILE]");
+                eprintln!("usage: oscar-reports [pmake|multpgm|oracle|all] [measure] [warmup] [--jobs N] [--csv DIR] [--save-trace DIR] [--from-trace FILE] [--perf-out FILE]");
                 std::process::exit(0);
             }
             other => positional.push(other.to_string()),
@@ -68,15 +94,36 @@ fn parse_args() -> Args {
         kinds,
         measure,
         warmup,
+        jobs,
         csv_dir,
         save_trace_dir,
         from_trace,
+        perf_out,
     }
 }
 
-fn emit(art: &RunArtifacts, args: &Args) {
-    let an = analyze(art);
-    println!("{}", render_all(art, &an));
+/// The `--from-trace` path: batch-analyze a saved trace (no simulation,
+/// nothing to parallelize).
+fn emit_from_trace(path: &PathBuf, args: &Args) {
+    let mut f = fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let art = tracefile::load(&mut f).unwrap_or_else(|e| {
+        eprintln!(
+            "error: {} is not a readable oscar trace: {e}",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    eprintln!(
+        "loaded {} records ({}, window {} cycles)",
+        art.trace.len(),
+        art.workload,
+        art.measure_end - art.measure_start
+    );
+    let an = analyze(&art);
+    println!("{}", render_all(&art, &an));
     if let Some(dir) = &args.csv_dir {
         fs::create_dir_all(dir).expect("create csv dir");
         let tag = art.workload.label().to_lowercase();
@@ -89,51 +136,60 @@ fn emit(art: &RunArtifacts, args: &Args) {
         write("fig5", csv::fig5_csv(&an));
         write(
             "fig6",
-            csv::fig6_csv(&figure6_sweep(
-                &an.istream,
-                art.machine_config.num_cpus as usize,
-            )),
+            csv::fig6_csv(&an.figure6_points(art.machine_config.num_cpus as usize)),
         );
         write("fig8", csv::fig8_csv(&an));
         write("fig9", csv::fig9_csv(&an));
-        write("table12", csv::table12_csv(art));
-    }
-    if let Some(dir) = &args.save_trace_dir {
-        fs::create_dir_all(dir).expect("create trace dir");
-        let path = dir.join(format!(
-            "{}.oscartrace",
-            art.workload.label().to_lowercase()
-        ));
-        let mut f = fs::File::create(&path).expect("create trace file");
-        tracefile::save(art, &mut f).expect("save trace");
-        eprintln!("wrote {} ({} records)", path.display(), art.trace.len());
+        write("table12", csv::table12_csv(&art));
     }
 }
 
 fn main() {
     let args = parse_args();
+    let started = Instant::now();
     if let Some(path) = &args.from_trace {
-        let mut f = fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot open {}: {e}", path.display());
-            std::process::exit(1);
-        });
-        let art = tracefile::load(&mut f).unwrap_or_else(|e| {
-            eprintln!("error: {} is not a readable oscar trace: {e}", path.display());
-            std::process::exit(1);
-        });
-        eprintln!(
-            "loaded {} records ({}, window {} cycles)",
-            art.trace.len(),
-            art.workload,
-            art.measure_end - art.measure_start
-        );
-        emit(&art, &args);
+        emit_from_trace(path, &args);
         return;
     }
-    for kind in args.kinds.clone() {
-        let art = run(&ExperimentConfig::new(kind)
-            .warmup(args.warmup)
-            .measure(args.measure));
-        emit(&art, &args);
+
+    let reqs: Vec<ReportRequest> = args
+        .kinds
+        .iter()
+        .map(|&kind| ReportRequest {
+            config: ExperimentConfig::new(kind)
+                .warmup(args.warmup)
+                .measure(args.measure),
+            want_csv: args.csv_dir.is_some(),
+            want_trace: args.save_trace_dir.is_some(),
+        })
+        .collect();
+    let outputs = run_reports(reqs, args.jobs);
+
+    let mut perf = PerfSummary::new("reports", args.jobs);
+    for out in outputs {
+        println!("{}", out.report);
+        if let Some(dir) = &args.csv_dir {
+            fs::create_dir_all(dir).expect("create csv dir");
+            for (name, data) in &out.csv {
+                let path = dir.join(name);
+                fs::write(&path, data).expect("write csv");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if let Some(dir) = &args.save_trace_dir {
+            fs::create_dir_all(dir).expect("create trace dir");
+            if let Some((name, blob)) = &out.trace_blob {
+                let path = dir.join(name);
+                fs::write(&path, blob).expect("save trace");
+                eprintln!("wrote {} ({} records)", path.display(), out.trace_records);
+            }
+        }
+        perf.phases.extend(out.phases);
+    }
+    perf.finish(started);
+    eprintln!("{}", perf.human_line());
+    if let Some(path) = &args.perf_out {
+        fs::write(path, perf.to_json()).expect("write perf summary");
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -1,0 +1,350 @@
+//! # oscar-rng
+//!
+//! A self-contained deterministic pseudo-random number generator for
+//! the oscar workspace: [`SmallRng`] is xoshiro256++ seeded through
+//! SplitMix64, exposed behind [`Rng`]/[`SeedableRng`] traits that
+//! mirror the subset of the `rand` crate API the simulator uses
+//! (`gen_range`, `gen_bool`, `gen_ratio`, `gen`).
+//!
+//! The workspace deliberately has **zero external dependencies** so the
+//! reproduction builds offline with nothing but a Rust toolchain; this
+//! crate replaces `rand`. Every stream is fully determined by its
+//! 64-bit seed, which is what makes the parallel experiment engine's
+//! output byte-identical to serial execution: each process and each
+//! experiment derives its own seed, never sharing generator state
+//! across threads.
+//!
+//! ```
+//! use oscar_rng::{Rng, SeedableRng, SmallRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0..100u64), b.gen_range(0..100u64));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface (the subset of `rand::Rng` the workspace
+/// uses).
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 raw bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A value of a [`Standard`]-samplable type (full-range integer).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, exactly representable in f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0, "denominator must be positive");
+        assert!(
+            numerator <= denominator,
+            "ratio {numerator}/{denominator} > 1"
+        );
+        uniform_below(self, denominator as u64) < numerator as u64
+    }
+}
+
+/// Uniform sample in `[0, bound)` by widening multiply with rejection
+/// (Lemire's method; no modulo bias).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound; // 2^64 mod bound
+    loop {
+        let m = (rng.next_u64() as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types samplable over their full range by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniform ranges are defined over.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Offset from `low` as an unsigned 64-bit span.
+    fn delta(low: Self, high: Self) -> u64;
+    /// `low + delta`, never overflowing for in-range deltas.
+    fn offset(low: Self, delta: u64) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn delta(low: Self, high: Self) -> u64 {
+                (high as u64).wrapping_sub(low as u64)
+            }
+            fn offset(low: Self, delta: u64) -> Self {
+                (low as u64).wrapping_add(delta) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_sint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn delta(low: Self, high: Self) -> u64 {
+                (high as i64).wrapping_sub(low as i64) as u64
+            }
+            fn offset(low: Self, delta: u64) -> Self {
+                (low as i64).wrapping_add(delta as i64) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_sint!(i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let span = T::delta(self.start, self.end);
+        assert!(span > 0, "gen_range called with an empty range");
+        T::offset(self.start, uniform_below(rng, span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with an empty range");
+        let span = T::delta(low, high);
+        if span == u64::MAX {
+            return T::offset(low, rng.next_u64());
+        }
+        T::offset(low, uniform_below(rng, span + 1))
+    }
+}
+
+/// xoshiro256++: 256 bits of state, period 2^256 − 1, excellent
+/// equidistribution — the same generator `rand`'s `SmallRng` uses on
+/// 64-bit targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    fn splitmix_next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion: guarantees a non-zero xoshiro state for
+        // every seed, including 0.
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                Self::splitmix_next(&mut sm),
+                Self::splitmix_next(&mut sm),
+                Self::splitmix_next(&mut sm),
+                Self::splitmix_next(&mut sm),
+            ],
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// `rand`-compatible module path (`oscar_rng::rngs::SmallRng`).
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let v: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+        assert_ne!(v[0], v[1]);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10..20u64);
+            assert!((10..20).contains(&x));
+            let y: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z = r.gen_range(7..8usize);
+            assert_eq!(z, 7);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_every_value() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 16];
+        for _ in 0..2_000 {
+            seen[r.gen_range(0..16usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.05, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01, "{hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_ratio_tracks_ratio() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let hits = (0..100_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01, "{hits}");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut r = SmallRng::seed_from_u64(8);
+        let _: u64 = r.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_samples_integers() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let a: u64 = r.gen();
+        let b: u64 = r.gen();
+        assert_ne!(a, b);
+        let _: u32 = r.gen();
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -2,9 +2,9 @@
 //! namespace (inode numbers), executable images, and address-space
 //! constants.
 
+use oscar_machine::addr::VAddr;
 use oscar_os::user::segs;
 use oscar_os::ExecImage;
-use oscar_machine::addr::VAddr;
 
 /// Inode nambering of the simulated file system.
 pub mod inodes {

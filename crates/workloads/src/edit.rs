@@ -10,7 +10,7 @@
 //! down (configurable) to keep the sessions active within the horizon.
 
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::common::{ed_image, heap_at, inodes};
 
@@ -136,7 +136,12 @@ impl UserTask for EdSession {
                 // Character search: scan a window of the text buffer.
                 let start = env.rng.gen_range(0..TEXT_BYTES / 2);
                 let len = env.rng.gen_range(4..32) * 1024u64;
-                Some(UOp::sweep(heap_at(start), len.min(TEXT_BYTES - start), 16, false))
+                Some(UOp::sweep(
+                    heap_at(start),
+                    len.min(TEXT_BYTES - start),
+                    16,
+                    false,
+                ))
             }
             Edit => {
                 self.state = Echo;
@@ -199,8 +204,7 @@ impl UserTask for EdPair {
 mod tests {
     use super::*;
     use oscar_os::Pid;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use oscar_rng::{SeedableRng, SmallRng};
 
     fn drive(task: &mut dyn UserTask, n: usize) -> Vec<String> {
         let mut rng = SmallRng::seed_from_u64(3);

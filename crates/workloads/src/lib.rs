@@ -3,12 +3,12 @@
 //! The three parallel workloads measured in the paper, as synthetic
 //! user-program models for the `oscar-os` kernel:
 //!
-//! * [`pmake`] — a parallel make of 56 C files with at most 8
+//! * [`pmake()`] — a parallel make of 56 C files with at most 8
 //!   concurrent jobs;
 //! * [`multpgm`] — a timesharing mix: the Mp3d particle simulator (4
 //!   processes, 50,000 particles) plus Pmake plus five screen-edit
 //!   sessions;
-//! * [`oracle`] — a scaled-down TP1 database (10 branches, 100 tellers,
+//! * [`oracle()`] — a scaled-down TP1 database (10 branches, 100 tellers,
 //!   10,000 accounts) with server processes sharing an in-memory
 //!   buffer pool.
 //!
@@ -32,8 +32,8 @@ pub mod pmake;
 use oscar_os::user::UserTask;
 
 pub use edit::{EdPair, EdSession, Typist};
-pub use netdaemon::NetDaemon;
 pub use mp3d::{Mp3dMaster, Mp3dWorker};
+pub use netdaemon::NetDaemon;
 pub use oracle::{OracleMaster, OracleServer};
 pub use pmake::{CompileJob, MakeMaster};
 
@@ -47,7 +47,12 @@ pub struct Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Workload({}, {} initial tasks)", self.name, self.tasks.len())
+        write!(
+            f,
+            "Workload({}, {} initial tasks)",
+            self.name,
+            self.tasks.len()
+        )
     }
 }
 

@@ -9,7 +9,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::common::{mp3d_image, shm_at, text_at};
 
@@ -215,9 +215,7 @@ impl UserTask for Mp3dWorker {
             }
             CoordRelease => {
                 self.state = MoveChunk { chunk: 0 };
-                Some(UOp::LockRel {
-                    lock: BARRIER_LOCK,
-                })
+                Some(UOp::LockRel { lock: BARRIER_LOCK })
             }
             WaiterSpin => {
                 if self.barrier.round.get() != self.my_round {
@@ -234,9 +232,7 @@ impl UserTask for Mp3dWorker {
             }
             WaiterGotIt => {
                 self.state = WaiterSpin;
-                Some(UOp::LockRel {
-                    lock: BARRIER_LOCK,
-                })
+                Some(UOp::LockRel { lock: BARRIER_LOCK })
             }
             MoveChunk { chunk } => {
                 self.state = CellAcq { chunk };
@@ -296,8 +292,7 @@ impl UserTask for Mp3dWorker {
 mod tests {
     use super::*;
     use oscar_os::Pid;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use oscar_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn master_forks_four_workers_then_waits() {

@@ -10,7 +10,7 @@
 //! own protocol buffers.
 
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::common::{heap_at, text_at};
 
@@ -97,8 +97,7 @@ impl UserTask for NetDaemon {
 mod tests {
     use super::*;
     use oscar_os::Pid;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use oscar_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn daemon_cycles_nap_recv_process() {

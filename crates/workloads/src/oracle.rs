@@ -7,7 +7,7 @@
 //! user-level latches, and append to a redo log.
 
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::common::{inodes, oracle_image, shm_at, text_at};
 
@@ -382,8 +382,7 @@ impl UserTask for OracleServer {
 mod tests {
     use super::*;
     use oscar_os::Pid;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use oscar_rng::{SeedableRng, SmallRng};
 
     #[test]
     fn master_warms_sga_then_forks_servers() {
@@ -434,12 +433,16 @@ mod tests {
             }
         }
         assert!(s.transactions() > 50);
-        assert!(log_writes as u64 >= s.transactions() / 8, "group commit every ~6 txns");
+        assert!(
+            log_writes as u64 >= s.transactions() / 8,
+            "group commit every ~6 txns"
+        );
         assert!(latches as u64 >= 2 * s.transactions());
         assert!(reads_at > 0, "some account lookups must miss the SGA");
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time layout checks
     fn sga_layout_is_disjoint() {
         assert!(TELLER_OFF >= BRANCHES * ROW_BYTES);
         assert!(ACCOUNT_OFF >= TELLER_OFF + TELLERS * ROW_BYTES);

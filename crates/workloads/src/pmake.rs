@@ -4,7 +4,7 @@
 //! optimization, exactly the mix the paper describes.
 
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
-use rand::Rng;
+use oscar_rng::Rng;
 
 use crate::common::{cc_image, heap_at, inodes, text_at};
 
@@ -316,8 +316,8 @@ impl UserTask for CompileJob {
                 // cc1/optimizer: loop over a window of the compiler's
                 // large text segment.
                 self.state = CompileData { phase };
-                let off = (phase as u64 * 31 * 1024 + env.rng.gen_range(0..8u64) * 1024)
-                    % (150 * 1024);
+                let off =
+                    (phase as u64 * 31 * 1024 + env.rng.gen_range(0..8u64) * 1024) % (150 * 1024);
                 let body = env.rng.gen_range(6..24u32) * 1024;
                 Some(UOp::run_loop(
                     text_at(off),
@@ -393,8 +393,7 @@ impl UserTask for CompileJob {
 mod tests {
     use super::*;
     use oscar_os::Pid;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use oscar_rng::{SeedableRng, SmallRng};
 
     fn env(rng: &mut SmallRng) -> TaskEnv<'_> {
         TaskEnv {

@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use oscar_core::{analyze, run, ExperimentConfig};
 use oscar_core::report::{render_fig1, render_table1};
+use oscar_core::{analyze, run, ExperimentConfig};
 use oscar_workloads::WorkloadKind;
 
 fn main() {

@@ -174,9 +174,8 @@ fn different_seeds_differ_in_detail_but_agree_in_shape() {
     assert_ne!(a.trace.len(), b.trace.len(), "seeds must change the run");
     let an_a = analyze(&a);
     let an_b = analyze(&b);
-    let share = |an: &oscar_core::TraceAnalysis| {
-        an.os.instr.total() as f64 / an.os.total().max(1) as f64
-    };
+    let share =
+        |an: &oscar_core::TraceAnalysis| an.os.instr.total() as f64 / an.os.total().max(1) as f64;
     assert!(
         (share(&an_a) - share(&an_b)).abs() < 0.2,
         "I-share robust across seeds: {:.2} vs {:.2}",

@@ -42,7 +42,10 @@ fn block_op_events_match_ground_truth() {
         BlockSizeClass::RegularFragment,
         BlockSizeClass::IrregularChunk,
     ];
-    for (k, kind) in [BlockOpKind::Copy, BlockOpKind::Clear].into_iter().enumerate() {
+    for (k, kind) in [BlockOpKind::Copy, BlockOpKind::Clear]
+        .into_iter()
+        .enumerate()
+    {
         for (s, class) in classes.into_iter().enumerate() {
             let gt = art.os_stats.block_op(kind, class).count;
             let tr = an.block_op_sizes[k][s];
@@ -66,8 +69,7 @@ fn escapes_are_invisible_to_miss_accounting_and_cheap() {
     );
     // Instrumentation distortion stays in the paper's 1.5-7% band
     // (we accept up to 8%).
-    let distortion =
-        art.os_stats.escape_cycles as f64 / art.os_stats.total_cycles().total() as f64;
+    let distortion = art.os_stats.escape_cycles as f64 / art.os_stats.total_cycles().total() as f64;
     assert!(distortion < 0.08, "escape distortion {distortion:.3}");
 }
 
@@ -97,9 +99,16 @@ fn bounded_buffer_with_master_dump_protocol_loses_nothing() {
         }
     }
     total += machine.monitor().len();
-    assert_eq!(machine.monitor().lost(), 0, "master protocol must not lose records");
+    assert_eq!(
+        machine.monitor().lost(),
+        0,
+        "master protocol must not lose records"
+    );
     assert_eq!(machine.monitor().total_seen() as usize, total);
-    assert!(!segments.is_empty(), "buffer must have filled at least once");
+    assert!(
+        !segments.is_empty(),
+        "buffer must have filled at least once"
+    );
 }
 
 #[test]
@@ -115,16 +124,15 @@ fn decoder_handles_interleaved_multi_cpu_escapes() {
             pid: c,
         })
         .collect();
-    let seqs: Vec<Vec<oscar_machine::addr::PAddr>> =
-        evs.iter().map(|e| e.encode()).collect();
+    let seqs: Vec<Vec<oscar_machine::addr::PAddr>> = evs.iter().map(|e| e.encode()).collect();
     let mut decoded = Vec::new();
     // Round-robin interleave the four escape sequences.
     for step in 0..seqs[0].len() {
-        for cpu in 0..4 {
+        for (cpu, seq) in seqs.iter().enumerate() {
             let rec = oscar_machine::monitor::BusRecord {
                 time: (step * 4 + cpu) as u64,
                 cpu: oscar_machine::addr::CpuId(cpu as u8),
-                paddr: seqs[cpu][step],
+                paddr: seq[step],
                 kind: BusKind::UncachedRead,
             };
             if let Some(Decoded::Event { event, .. }) = d.push(rec) {

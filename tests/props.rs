@@ -1,6 +1,8 @@
-//! Property-based tests on the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Property-based tests on the core data structures and invariants,
+//! driven by the workspace's own deterministic PRNG (the external
+//! `proptest` dependency is gone so the repo builds offline). Each
+//! property runs against many seeded random schedules; the seed is in
+//! every assertion message, so failures replay exactly.
 
 use oscar_core::classify::Mirror;
 use oscar_machine::addr::{BlockAddr, CpuId, PAddr, Ppn, Vpn};
@@ -8,99 +10,147 @@ use oscar_machine::cache::{Cache, Lookup};
 use oscar_machine::config::CacheConfig;
 use oscar_machine::tlb::{Tlb, TLB_ENTRIES};
 use oscar_os::{AttrCtx, OpClass, OsEvent};
+use oscar_rng::{Rng, SeedableRng, SmallRng};
 
-proptest! {
-    /// The classifier's direct-mapped mirror tracks residency exactly
-    /// like the machine's cache when fed the same fill stream.
-    #[test]
-    fn mirror_matches_cache_residency(blocks in prop::collection::vec(0u64..2048, 1..400)) {
+const CASES: u64 = 64;
+
+/// The classifier's direct-mapped mirror tracks residency exactly
+/// like the machine's cache when fed the same fill stream.
+#[test]
+fn mirror_matches_cache_residency() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let blocks: Vec<u64> = (0..rng.gen_range(1..400usize))
+            .map(|_| rng.gen_range(0..2048u64))
+            .collect();
         let mut cache = Cache::new(CacheConfig::direct_mapped(8 * 1024));
         let mut mirror = Mirror::new(8 * 1024);
         for &b in &blocks {
             let block = BlockAddr(b);
             match cache.access(block, false) {
                 Lookup::Hit => {
-                    prop_assert!(mirror.resident(block), "mirror lost {block}");
+                    assert!(mirror.resident(block), "seed {seed}: mirror lost {block}");
                 }
                 Lookup::Miss { .. } => {
-                    prop_assert!(!mirror.resident(block), "mirror kept {block}");
+                    assert!(!mirror.resident(block), "seed {seed}: mirror kept {block}");
                     mirror.classify_fill(block, true, 0);
                 }
             }
         }
         // Final states agree for every block ever touched.
         for &b in &blocks {
-            prop_assert_eq!(cache.probe(BlockAddr(b)), mirror.resident(BlockAddr(b)));
+            assert_eq!(
+                cache.probe(BlockAddr(b)),
+                mirror.resident(BlockAddr(b)),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Any escape-encoded event decodes back to itself through the
-    /// address channel.
-    #[test]
-    fn escape_roundtrip(
-        which in 0usize..8,
-        a in 0u32..1 << 13,
-        b in 0u32..1 << 13,
-        c in 0u32..1 << 13,
-        d in 0u32..1 << 13,
-    ) {
-        let ev = match which {
+/// Any escape-encoded event decodes back to itself through the
+/// address channel.
+#[test]
+fn escape_roundtrip() {
+    for seed in 0..CASES * 4 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b, c, d) = (
+            rng.gen_range(0..1u32 << 13),
+            rng.gen_range(0..1u32 << 13),
+            rng.gen_range(0..1u32 << 13),
+            rng.gen_range(0..1u32 << 13),
+        );
+        let ev = match rng.gen_range(0..8usize) {
             0 => OsEvent::EnterOs(OpClass::ALL[(a as usize) % OpClass::ALL.len()]),
             1 => OsEvent::ExitOs,
             2 => OsEvent::PidChange { pid: a },
-            3 => OsEvent::TlbSet { index: a % 64, vpn: b, ppn: c, pid: d },
+            3 => OsEvent::TlbSet {
+                index: a % 64,
+                vpn: b,
+                ppn: c,
+                pid: d,
+            },
             4 => OsEvent::CtxEnter(AttrCtx::ALL[(a as usize) % AttrCtx::ALL.len()]),
             5 => OsEvent::IcacheFlush { ppn: a },
             6 => OsEvent::OpEnd,
             _ => OsEvent::OpReclass(OpClass::ALL[(b as usize) % OpClass::ALL.len()]),
         };
         let seq = ev.encode();
-        prop_assert!(seq.iter().all(|p| p.is_odd()));
+        assert!(seq.iter().all(|p| p.is_odd()), "seed {seed}");
         let opcode = OsEvent::decode_opcode(seq[0]).expect("opcode");
-        let payloads: Vec<u32> = seq[1..].iter().map(|&p| OsEvent::decode_payload(p)).collect();
-        prop_assert_eq!(OsEvent::decode(opcode, &payloads), Some(ev));
+        let payloads: Vec<u32> = seq[1..]
+            .iter()
+            .map(|&p| OsEvent::decode_payload(p))
+            .collect();
+        assert_eq!(OsEvent::decode(opcode, &payloads), Some(ev), "seed {seed}");
     }
+}
 
-    /// The TLB never exceeds capacity, and a just-inserted entry is
-    /// always found.
-    #[test]
-    fn tlb_capacity_and_lookup(ops in prop::collection::vec((0u32..200, 0u32..512, 1u32..6), 1..300)) {
+/// The TLB never exceeds capacity, and a just-inserted entry is
+/// always found.
+#[test]
+fn tlb_capacity_and_lookup() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops: Vec<(u32, u32, u32)> = (0..rng.gen_range(1..300usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..200u32),
+                    rng.gen_range(0..512u32),
+                    rng.gen_range(1..6u32),
+                )
+            })
+            .collect();
         let mut tlb = Tlb::new();
         for &(vpn, ppn, asid) in &ops {
             tlb.insert(Vpn(vpn), Ppn(ppn), asid);
-            prop_assert_eq!(tlb.peek(Vpn(vpn), asid), Some(Ppn(ppn)));
-            prop_assert!(tlb.occupancy() <= TLB_ENTRIES);
+            assert_eq!(tlb.peek(Vpn(vpn), asid), Some(Ppn(ppn)), "seed {seed}");
+            assert!(tlb.occupancy() <= TLB_ENTRIES, "seed {seed}");
         }
         // Flushing an asid removes exactly its entries.
         let victim = ops[0].2;
         tlb.flush_asid(victim);
         for &(vpn, _, asid) in &ops {
             if asid == victim {
-                prop_assert_eq!(tlb.peek(Vpn(vpn), asid), None);
+                assert_eq!(tlb.peek(Vpn(vpn), asid), None, "seed {seed}");
             }
         }
     }
+}
 
-    /// A set-associative cache never exceeds its capacity and never
-    /// evicts a block that still hits.
-    #[test]
-    fn cache_capacity_invariant(
-        blocks in prop::collection::vec(0u64..4096, 1..300),
-        assoc in prop::sample::select(vec![1u32, 2, 4]),
-    ) {
+/// A set-associative cache never exceeds its capacity and never
+/// evicts a block that still hits.
+#[test]
+fn cache_capacity_invariant() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let assoc = [1u32, 2, 4][rng.gen_range(0..3usize)];
+        let blocks: Vec<u64> = (0..rng.gen_range(1..300usize))
+            .map(|_| rng.gen_range(0..4096u64))
+            .collect();
         let config = CacheConfig::set_associative(16 * 1024, assoc);
         let lines = (config.size_bytes / config.block_bytes) as usize;
         let mut cache = Cache::new(config);
         for &b in &blocks {
             cache.access(BlockAddr(b), b % 3 == 0);
-            prop_assert!(cache.resident_lines() <= lines);
-            prop_assert!(cache.probe(BlockAddr(b)), "just-filled block resident");
+            assert!(cache.resident_lines() <= lines, "seed {seed}");
+            assert!(
+                cache.probe(BlockAddr(b)),
+                "seed {seed}: just-filled block resident"
+            );
         }
     }
+}
 
-    /// Page invalidation drops exactly the page's resident lines.
-    #[test]
-    fn invalidate_page_is_exact(blocks in prop::collection::vec(0u64..4096, 1..200), page in 0u32..16) {
+/// Page invalidation drops exactly the page's resident lines.
+#[test]
+fn invalidate_page_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let blocks: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0..4096u64))
+            .collect();
+        let page = rng.gen_range(0..16u32);
         let mut cache = Cache::new(CacheConfig::direct_mapped(64 * 1024));
         for &b in &blocks {
             cache.access(BlockAddr(b), false);
@@ -108,28 +158,38 @@ proptest! {
         let before: Vec<BlockAddr> = cache.iter_resident().collect();
         let expect = before.iter().filter(|b| b.page() == Ppn(page)).count();
         let dropped = cache.invalidate_page(Ppn(page));
-        prop_assert_eq!(dropped, expect);
+        assert_eq!(dropped, expect, "seed {seed}");
         for b in cache.iter_resident() {
-            prop_assert_ne!(b.page(), Ppn(page));
+            assert_ne!(b.page(), Ppn(page), "seed {seed}");
         }
     }
+}
 
-    /// PAddr block/page arithmetic is consistent for any address.
-    #[test]
-    fn address_arithmetic(raw in 0u64..(1 << 34)) {
+/// PAddr block/page arithmetic is consistent for any address.
+#[test]
+fn address_arithmetic() {
+    for seed in 0..CASES * 8 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let raw = rng.gen_range(0..1u64 << 34);
         let a = PAddr::new(raw);
-        prop_assert_eq!(a.block().base().raw(), raw & !15);
-        prop_assert_eq!(a.page().base().raw(), raw & !4095);
-        prop_assert_eq!(a.block().page(), a.page());
-        prop_assert!(a.offset_in_block() < 16);
-        prop_assert!(a.offset_in_page() < 4096);
+        assert_eq!(a.block().base().raw(), raw & !15, "seed {seed}");
+        assert_eq!(a.page().base().raw(), raw & !4095, "seed {seed}");
+        assert_eq!(a.block().page(), a.page(), "seed {seed}");
+        assert!(a.offset_in_block() < 16, "seed {seed}");
+        assert!(a.offset_in_page() < 4096, "seed {seed}");
     }
+}
 
-    /// Lock-table invariants under random acquire/release schedules:
-    /// locality and contention counters never exceed acquires.
-    #[test]
-    fn lock_table_counters(seq in prop::collection::vec((0u8..4, any::<bool>()), 1..400)) {
-        use oscar_os::{LockFamily, LockId, LockTable};
+/// Lock-table invariants under random acquire/release schedules:
+/// locality and contention counters never exceed acquires.
+#[test]
+fn lock_table_counters() {
+    use oscar_os::{LockFamily, LockId, LockTable};
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let seq: Vec<(u8, bool)> = (0..rng.gen_range(1..400usize))
+            .map(|_| (rng.gen_range(0..4u8), rng.gen_bool(0.5)))
+            .collect();
         let mut t = LockTable::new();
         let id = LockId::singleton(LockFamily::Memlock);
         let mut holder: Option<u8> = None;
@@ -150,39 +210,48 @@ proptest! {
             }
         }
         let s = t.family_stats(LockFamily::Memlock);
-        prop_assert!(s.local_reacquires <= s.acquires);
-        prop_assert!(s.failed_first <= s.attempts);
-        prop_assert!(s.releases <= s.acquires);
-        prop_assert!(s.llsc_misses <= s.sync_ops + s.acquires);
+        assert!(s.local_reacquires <= s.acquires, "seed {seed}");
+        assert!(s.failed_first <= s.attempts, "seed {seed}");
+        assert!(s.releases <= s.acquires, "seed {seed}");
+        assert!(s.llsc_misses <= s.sync_ops + s.acquires, "seed {seed}");
     }
+}
 
-    /// Histograms preserve sample counts and means.
-    #[test]
-    fn histogram_conservation(values in prop::collection::vec(0u64..10_000, 1..200)) {
-        use oscar_core::histogram::Histogram;
+/// Histograms preserve sample counts and means.
+#[test]
+fn histogram_conservation() {
+    use oscar_core::histogram::Histogram;
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let values: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(0..10_000u64))
+            .collect();
         let mut h = Histogram::linear(5_000, 50);
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64, "seed {seed}");
         let binned: u64 = h.rows().map(|(_, _, n, _)| n).sum::<u64>() + h.overflow();
-        prop_assert_eq!(binned, values.len() as u64);
+        assert_eq!(binned, values.len() as u64, "seed {seed}");
         let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-6);
+        assert!((h.mean() - mean).abs() < 1e-6, "seed {seed}");
     }
 }
 
-proptest! {
-    /// The positional escape decoder recovers every event even when
-    /// four CPUs' sequences interleave arbitrarily with miss traffic.
-    #[test]
-    fn decoder_survives_arbitrary_interleavings(
-        schedule in prop::collection::vec(0u8..4, 40..160),
-        seed in any::<u32>(),
-    ) {
-        use oscar_core::decode::{Decoded, Decoder};
-        use oscar_machine::monitor::BusRecord;
-        use oscar_machine::BusKind;
+/// The positional escape decoder recovers every event even when
+/// four CPUs' sequences interleave arbitrarily with miss traffic.
+#[test]
+fn decoder_survives_arbitrary_interleavings() {
+    use oscar_core::decode::{Decoded, Decoder};
+    use oscar_machine::monitor::BusRecord;
+    use oscar_machine::BusKind;
+
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let schedule: Vec<u8> = (0..rng.gen_range(40..160usize))
+            .map(|_| rng.gen_range(0..4u8))
+            .collect();
+        let noise: u32 = rng.gen();
 
         // Each CPU repeatedly emits a TlbSet (5 escape reads) followed
         // by one even-address miss; the schedule drives whose next
@@ -191,7 +260,7 @@ proptest! {
             .map(|c| {
                 let ev = OsEvent::TlbSet {
                     index: c as u32,
-                    vpn: seed.wrapping_add(c as u32) & 0xffff,
+                    vpn: noise.wrapping_add(c as u32) & 0xffff,
                     ppn: c as u32 * 7 + 1,
                     pid: c as u32 + 1,
                 };
@@ -227,12 +296,14 @@ proptest! {
                 events += 1;
                 // The decoded event must be the one this CPU emits.
                 match event {
-                    OsEvent::TlbSet { pid, .. } => prop_assert_eq!(pid, cpu.0 as u32 + 1),
-                    other => prop_assert!(false, "unexpected event {other:?}"),
+                    OsEvent::TlbSet { pid, .. } => {
+                        assert_eq!(pid, cpu.0 as u32 + 1, "seed {seed}")
+                    }
+                    other => panic!("seed {seed}: unexpected event {other:?}"),
                 }
             }
         }
-        prop_assert_eq!(events, expected.iter().sum::<u32>());
-        prop_assert_eq!(decoder.undecodable, 0);
+        assert_eq!(events, expected.iter().sum::<u32>(), "seed {seed}");
+        assert_eq!(decoder.undecodable, 0, "seed {seed}");
     }
 }
