@@ -29,11 +29,39 @@ fn main() {
         });
     }
     {
+        // The retained generic model on the same stream as cache/dm_hit:
+        // the pair isolates the packed direct-mapped fast path's gain.
+        let mut cache = Cache::new_generic(CacheConfig::direct_mapped(64 * 1024));
+        cache.access(BlockAddr(7), false);
+        h.bench("cache/dm_hit_generic", || {
+            black_box(cache.access(black_box(BlockAddr(7)), false))
+        });
+    }
+    {
         let mut cache = Cache::new(CacheConfig::set_associative(256 * 1024, 2));
         let mut i = 0u64;
         h.bench("cache/two_way_mixed", || {
             i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
             black_box(cache.access(BlockAddr((i >> 20) % (1 << 18)), i & 1 == 0))
+        });
+    }
+    {
+        // Same mixed stream through the generic model: isolates the
+        // packed two-way representation's gain.
+        let mut cache = Cache::new_generic(CacheConfig::set_associative(256 * 1024, 2));
+        let mut i = 0u64;
+        h.bench("cache/two_way_mixed_generic", || {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(cache.access(BlockAddr((i >> 20) % (1 << 18)), i & 1 == 0))
+        });
+    }
+    {
+        // Fill/invalidate round trip on one block: the snoop path's
+        // cache-side cost without bus accounting.
+        let mut cache = Cache::new(CacheConfig::direct_mapped(64 * 1024));
+        h.bench("cache/fill_invalidate_cycle", || {
+            cache.fill(BlockAddr(11), false);
+            black_box(cache.invalidate(BlockAddr(11)))
         });
     }
 
@@ -65,6 +93,39 @@ fn main() {
                 i.is_multiple_of(5),
                 1,
             ))
+        });
+    }
+
+    {
+        // Two CPUs ping-pong writes to one block: every access is an
+        // upgrade-plus-invalidate, the worst case for the snoop path.
+        // The presence filter narrows each snoop to the one real sharer.
+        let mut m = Machine::new(MachineConfig::sgi_4d340());
+        let mut i = 0u64;
+        h.bench("machine/snoop_invalidate_pingpong", || {
+            i = i.wrapping_add(1);
+            let cpu = CpuId((i % 2) as u8);
+            black_box(m.data_access(cpu, PAddr::new(0x4000), true, 1))
+        });
+    }
+    {
+        // Same ping-pong with the filter disabled: every snoop probes
+        // all other CPUs. The pair isolates the filter's gain.
+        let mut m = Machine::new(MachineConfig::sgi_4d340());
+        m.disable_presence_filter();
+        let mut i = 0u64;
+        h.bench("machine/snoop_invalidate_brute", || {
+            i = i.wrapping_add(1);
+            let cpu = CpuId((i % 2) as u8);
+            black_box(m.data_access(cpu, PAddr::new(0x4000), true, 1))
+        });
+    }
+    {
+        // Straight-line instruction fetch from one block: the memoized
+        // ifetch fast path that batched fetches ride on.
+        let mut m = Machine::new(MachineConfig::sgi_4d340());
+        h.bench("machine/fetch_straightline", || {
+            black_box(m.fetch(CpuId(0), PAddr::new(0x1000), 4))
         });
     }
 

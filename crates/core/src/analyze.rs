@@ -22,7 +22,7 @@
 //! ([`StreamAnalyzer::finish_deferred`]) is commutative, so sharded
 //! results are identical to inline ones.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use oscar_machine::addr::{BlockAddr, Ppn, Vpn};
 use oscar_machine::monitor::BusRecord;
@@ -34,6 +34,7 @@ use oscar_os::{AttrCtx, KernelRegion, Layout, Mode, OpClass, OsEvent, Rid};
 use crate::classify::{ArchClass, IdCounts, Mirror};
 use crate::decode::{Decoded, Decoder};
 use crate::experiment::RunArtifacts;
+use crate::fasthash::FastMap;
 use crate::histogram::Histogram;
 use crate::resim::{
     dcache_configs, figure6_configs, DResimBank, DResimPoint, IResimBank, ResimPoint,
@@ -144,6 +145,19 @@ pub enum IStreamItem {
         /// The flushed page.
         ppn: u32,
     },
+}
+
+/// One miss-stream item destined for the resimulation sweeps, staged by
+/// a deferred-sweeps analyzer ([`AnalyzeOptions::deferred_sweeps`]) and
+/// replayed by [`crate::resim::SweepShard`] workers. The instruction and
+/// data streams are interleaved in emission order; each bank consumes
+/// only its own kind, so the interleaving is irrelevant to results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepItem {
+    /// An instruction-stream item.
+    I(IStreamItem),
+    /// A data-stream item.
+    D(DStreamItem),
 }
 
 /// Aggregated per-invocation statistics (Figures 1 and 3).
@@ -326,7 +340,7 @@ struct CpuAn {
     cycles: ModeCycles,
     cur_pid: u32,
     class_stack: Vec<OpClass>,
-    saved_stacks: HashMap<u32, Vec<OpClass>>,
+    saved_stacks: FastMap<u32, Vec<OpClass>>,
     last_class: OpClass,
     ctx_stack: Vec<AttrCtx>,
     epoch: u64,
@@ -350,7 +364,7 @@ impl CpuAn {
             cycles: ModeCycles::default(),
             cur_pid: u32::MAX,
             class_stack: Vec::new(),
-            saved_stacks: HashMap::new(),
+            saved_stacks: FastMap::default(),
             last_class: OpClass::OtherSyscall,
             ctx_stack: Vec::new(),
             epoch: 0,
@@ -433,6 +447,14 @@ pub struct AnalyzeOptions {
     /// [`ClassShard`] workers, and the caller folds their verdicts back
     /// with [`StreamAnalyzer::finish_deferred`].
     pub deferred_classification: bool,
+    /// Defer the Figure 6 / D-cache sweeps: instead of owning the
+    /// resimulation banks, the analyzer stages [`SweepItem`]s (drained
+    /// with [`StreamAnalyzer::take_sweep_items`]) for
+    /// [`crate::resim::SweepShard`] workers; the caller assembles their
+    /// points into [`TraceAnalysis::fig6`] / [`TraceAnalysis::dcache`].
+    /// Results are identical to inline sweeps — each bank replays the
+    /// same stream, just on another thread.
+    pub deferred_sweeps: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -441,6 +463,7 @@ impl Default for AnalyzeOptions {
             online_sweeps: false,
             keep_streams: true,
             deferred_classification: false,
+            deferred_sweeps: false,
         }
     }
 }
@@ -689,10 +712,17 @@ pub struct StreamAnalyzer {
     opts: AnalyzeOptions,
     decoder: Decoder,
     cpus: Vec<CpuAn>,
-    ppn_vpn: HashMap<u32, Vpn>,
+    /// ppn → latest vpn published by TLB-set events, dense (the frame
+    /// pool spans only a few thousand pages); `u32::MAX` = unknown.
+    /// Probed per instruction-classified record, so a flat index beats
+    /// a hash map.
+    ppn_vpn: Vec<u32>,
     ibanks: Option<Vec<IResimBank>>,
     dbanks: Option<Vec<DResimBank>>,
     deferred: Option<DeferredState>,
+    /// Miss-stream items awaiting [`StreamAnalyzer::take_sweep_items`]
+    /// (deferred-sweeps mode only).
+    sweep_stage: Vec<SweepItem>,
     out: TraceAnalysis,
 }
 
@@ -716,7 +746,7 @@ impl StreamAnalyzer {
         let isize = cfg.icache.size_bytes;
         let dsize = cfg.l2d.size_bytes;
         let text_kb = (meta.layout.text_size() / 1024 + 1) as usize;
-        let (ibanks, dbanks) = if opts.online_sweeps {
+        let (ibanks, dbanks) = if opts.online_sweeps && !opts.deferred_sweeps {
             (
                 Some(
                     figure6_configs()
@@ -743,10 +773,11 @@ impl StreamAnalyzer {
             cpus: (0..n)
                 .map(|_| CpuAn::new(meta.measure_start, isize, dsize))
                 .collect(),
-            ppn_vpn: HashMap::new(),
+            ppn_vpn: Vec::new(),
             ibanks,
             dbanks,
             deferred,
+            sweep_stage: Vec::new(),
             out: TraceAnalysis {
                 cpu_cycles: vec![ModeCycles::default(); n],
                 os: IdCounts::default(),
@@ -798,6 +829,15 @@ impl StreamAnalyzer {
         }
     }
 
+    /// Consumes a chunk of bus records, in trace order. Equivalent to
+    /// pushing each record individually; the streaming pipeline ingests
+    /// whole channel chunks this way.
+    pub fn push_chunk(&mut self, recs: &[BusRecord]) {
+        for &rec in recs {
+            self.push(rec);
+        }
+    }
+
     /// Drains the classification messages accumulated since the last
     /// call (deferred mode; empty otherwise). Feed them, in order, to
     /// every [`ClassShard`].
@@ -806,6 +846,13 @@ impl StreamAnalyzer {
             Some(d) => std::mem::take(&mut d.msgs),
             None => Vec::new(),
         }
+    }
+
+    /// Drains the sweep items staged since the last call
+    /// (deferred-sweeps mode; empty otherwise). Feed them, in order, to
+    /// every [`crate::resim::SweepShard`].
+    pub fn take_sweep_items(&mut self) -> Vec<SweepItem> {
+        std::mem::take(&mut self.sweep_stage)
     }
 
     /// Completes an inline-classification analysis.
@@ -895,6 +942,8 @@ impl StreamAnalyzer {
             for b in banks {
                 b.push(&item);
             }
+        } else if self.opts.online_sweeps && self.opts.deferred_sweeps {
+            self.sweep_stage.push(SweepItem::I(item));
         }
         if self.opts.keep_streams {
             self.out.istream.push(item);
@@ -906,6 +955,8 @@ impl StreamAnalyzer {
             for b in banks {
                 b.push(&item);
             }
+        } else if self.opts.online_sweeps && self.opts.deferred_sweeps {
+            self.sweep_stage.push(SweepItem::D(item));
         }
         if self.opts.keep_streams {
             self.out.dstream.push(item);
@@ -1018,7 +1069,11 @@ impl StreamAnalyzer {
                 ca.cur_pid = pid;
             }
             OsEvent::TlbSet { vpn, ppn, .. } => {
-                self.ppn_vpn.insert(ppn, Vpn(vpn));
+                let p = ppn as usize;
+                if p >= self.ppn_vpn.len() {
+                    self.ppn_vpn.resize(p + 1, u32::MAX);
+                }
+                self.ppn_vpn[p] = vpn;
             }
             OsEvent::CtxEnter(ctx) => self.cpus[i].ctx_stack.push(ctx),
             OsEvent::CtxExit => {
@@ -1057,13 +1112,12 @@ impl StreamAnalyzer {
         match self.meta.layout.classify(rec.paddr) {
             // Kernel text, including per-cluster replicas.
             KernelRegion::Text => true,
-            KernelRegion::FramePool => {
-                if let Some(vpn) = self.ppn_vpn.get(&(rec.paddr.page().0)) {
-                    segs::is_text(*vpn) && self.cpus[i].effective_mode() == Mode::User
-                } else {
-                    false
+            KernelRegion::FramePool => match self.ppn_vpn.get(rec.paddr.page().0 as usize) {
+                Some(&vpn) if vpn != u32::MAX => {
+                    segs::is_text(Vpn(vpn)) && self.cpus[i].effective_mode() == Mode::User
                 }
-            }
+                _ => false,
+            },
             _ => false,
         }
     }

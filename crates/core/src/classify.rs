@@ -9,9 +9,9 @@
 //! by coherence (*Sharing*), or dropped by an explicit I-cache flush
 //! (*Inval*).
 
-use std::collections::HashMap;
-
 use oscar_machine::addr::{BlockAddr, Ppn};
+
+use crate::fasthash::FastMap;
 
 /// The architectural classes of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,14 +52,52 @@ struct Line {
     block: BlockAddr,
 }
 
+/// A growable dense bitset over block numbers. The simulated physical
+/// address space is small (tens of megabytes), so one bit per block is
+/// far cheaper than hashing on the per-record classification and
+/// resimulation paths.
+#[derive(Debug, Default)]
+pub(crate) struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// Sets the bit for `idx`, returning whether it was already set.
+    pub(crate) fn set(&mut self, idx: u64) -> bool {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let old = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        old
+    }
+
+    /// Clears the bit for `idx`, returning whether it was set.
+    pub(crate) fn clear(&mut self, idx: u64) -> bool {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let old = *word >> b & 1 == 1;
+                *word &= !(1 << b);
+                old
+            }
+            None => false,
+        }
+    }
+}
+
 /// A direct-mapped cache mirror reconstructing one cache's contents
 /// from its fill stream.
 #[derive(Debug)]
 pub struct Mirror {
     sets: u64,
+    /// `sets - 1` when `sets` is a power of two (always, for the
+    /// measured geometries): set indexing by mask, not hardware divide.
+    set_mask: u64,
     lines: Vec<Option<Line>>,
-    loss: HashMap<BlockAddr, Loss>,
-    seen: HashMap<BlockAddr, ()>,
+    loss: FastMap<BlockAddr, Loss>,
+    seen: BlockSet,
 }
 
 impl Mirror {
@@ -74,14 +112,26 @@ impl Mirror {
         assert!(sets > 0, "cache must have at least one set");
         Mirror {
             sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                u64::MAX
+            },
             lines: vec![None; sets as usize],
-            loss: HashMap::new(),
-            seen: HashMap::new(),
+            // Pre-size: the loss map reaches tens of thousands of
+            // entries on real traces; reserving up front avoids the
+            // rehash ladder on the per-record path.
+            loss: FastMap::with_capacity_and_hasher(1 << 14, Default::default()),
+            seen: BlockSet::default(),
         }
     }
 
     fn set_of(&self, block: BlockAddr) -> usize {
-        (block.0 % self.sets) as usize
+        if self.set_mask != u64::MAX {
+            (block.0 & self.set_mask) as usize
+        } else {
+            (block.0 % self.sets) as usize
+        }
     }
 
     /// Whether the mirror currently holds `block`.
@@ -94,12 +144,15 @@ impl Mirror {
     /// `fill_is_os` tags the displacing fill for later classification of
     /// the victim's re-miss; `epoch` is the CPU's application epoch.
     pub fn classify_fill(&mut self, block: BlockAddr, fill_is_os: bool, epoch: u64) -> ArchClass {
-        let class = if self.seen.insert(block, ()).is_none() {
+        let class = if !self.seen.set(block.0) {
+            // Never seen, so `loss` cannot hold an entry either (loss
+            // records are only written for blocks that were resident,
+            // which requires a prior fill): no probe needed.
             ArchClass::Cold
         } else {
-            match self.loss.get(&block) {
+            match self.loss.remove(&block) {
                 Some(Loss::DispOs { epoch: e }) => ArchClass::DispOs {
-                    same_epoch: *e == epoch,
+                    same_epoch: e == epoch,
                 },
                 Some(Loss::DispAp) => ArchClass::DispAp,
                 Some(Loss::Invalidated) => ArchClass::Sharing,
@@ -116,7 +169,6 @@ impl Mirror {
                 }
             }
         };
-        self.loss.remove(&block);
         // Fill, recording the victim's loss cause.
         let set = self.set_of(block);
         if let Some(victim) = self.lines[set] {

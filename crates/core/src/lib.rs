@@ -21,6 +21,8 @@ pub mod summary;
 pub mod syncstats;
 pub mod tracefile;
 
+pub use oscar_machine::fasthash;
+
 pub use analyze::{
     analyze, analyze_with, AnalyzeOptions, StreamAnalyzer, TraceAnalysis, TraceMeta,
 };

@@ -21,15 +21,17 @@
 //! `tests/streaming.rs`) assert it.
 
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread;
 
 use oscar_machine::monitor::{BusRecord, TraceSink};
 
 use crate::analyze::{
-    AnalyzeOptions, ClassShard, ClassifyMsg, StreamAnalyzer, TraceAnalysis, TraceMeta,
+    AnalyzeOptions, ClassShard, ClassifyMsg, StreamAnalyzer, SweepItem, TraceAnalysis, TraceMeta,
 };
 use crate::classify::ArchClass;
 use crate::experiment::{ExperimentConfig, PreparedRun, RunArtifacts};
+use crate::resim::SweepShard;
 
 /// Tuning of the streaming pipeline.
 #[derive(Debug, Clone)]
@@ -43,6 +45,12 @@ pub struct StreamOptions {
     /// Classification shard workers; 1 classifies inline on the
     /// analysis thread.
     pub shards: usize,
+    /// Resimulation sweep workers: with a value > 1 (and
+    /// [`StreamOptions::online_sweeps`] on) the Figure 6 / D-cache bank
+    /// replay — the analysis thread's dominant cost — is dealt
+    /// round-robin across this many [`SweepShard`] threads. 0 or 1 runs
+    /// the sweeps inline. Results are identical either way.
+    pub sweep_workers: usize,
     /// Also materialize the trace into the returned
     /// [`RunArtifacts::trace`] (for saving to disk; defeats the
     /// bounded-memory property).
@@ -60,6 +68,7 @@ impl Default for StreamOptions {
             chunk_records: 4096,
             channel_chunks: 8,
             shards: 1,
+            sweep_workers: 1,
             keep_trace: false,
             online_sweeps: true,
             keep_streams: false,
@@ -97,15 +106,26 @@ impl ChunkSink {
     }
 }
 
-impl TraceSink for ChunkSink {
-    fn record(&mut self, rec: BusRecord) {
-        self.buf.push(rec);
+impl ChunkSink {
+    fn flush_full(&mut self) {
         if self.buf.len() >= self.cap {
             let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
             // A closed channel means the analysis side is gone
             // (panicked); nothing useful to do with the records.
             self.tx.send(StreamMsg::Chunk(chunk)).ok();
         }
+    }
+}
+
+impl TraceSink for ChunkSink {
+    fn record(&mut self, rec: BusRecord) {
+        self.buf.push(rec);
+        self.flush_full();
+    }
+
+    fn record_batch(&mut self, recs: &[BusRecord]) {
+        self.buf.extend_from_slice(recs);
+        self.flush_full();
     }
 }
 
@@ -143,10 +163,16 @@ pub fn run_streaming_with(
     opts: &StreamOptions,
 ) -> (RunArtifacts, TraceAnalysis) {
     let shards = opts.shards.max(1);
+    let sweep_workers = if opts.online_sweeps {
+        opts.sweep_workers.max(1)
+    } else {
+        1
+    };
     let aopts = AnalyzeOptions {
         online_sweeps: opts.online_sweeps,
         keep_streams: opts.keep_streams,
         deferred_classification: shards > 1,
+        deferred_sweeps: sweep_workers > 1,
     };
     let chunk_records = opts.chunk_records.max(1);
     let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));
@@ -173,9 +199,30 @@ pub fn run_streaming_with(
             prep.finish()
         });
 
+        // Optional sweep workers, each owning a round-robin share of the
+        // Figure 6 / D-cache resimulation banks and replaying the full
+        // staged miss stream (shipped once, shared via `Arc`).
+        let num_cpus = config.machine.num_cpus as usize;
+        let mut sweep_txs = Vec::new();
+        let mut sweep_handles = Vec::new();
+        if sweep_workers > 1 {
+            for w in 0..sweep_workers {
+                let (stx, srx) = sync_channel::<Arc<Vec<SweepItem>>>(opts.channel_chunks.max(1));
+                sweep_txs.push(stx);
+                sweep_handles.push(s.spawn(move || {
+                    let mut shard = SweepShard::new(num_cpus, w, sweep_workers);
+                    for batch in srx {
+                        for item in batch.iter() {
+                            shard.push(item);
+                        }
+                    }
+                    shard.finish()
+                }));
+            }
+        }
+
         // Optional classification shards, each owning a subset of the
         // CPUs' cache mirrors and replaying the same message stream.
-        let num_cpus = config.machine.num_cpus as usize;
         let mut shard_txs = Vec::new();
         let mut shard_handles = Vec::new();
         if shards > 1 {
@@ -207,8 +254,15 @@ pub fn run_streaming_with(
                     let a = analyzer
                         .as_mut()
                         .expect("trace metadata must precede records");
-                    for &rec in &recs {
-                        a.push(rec);
+                    a.push_chunk(&recs);
+                    if !sweep_txs.is_empty() {
+                        let items = a.take_sweep_items();
+                        if !items.is_empty() {
+                            let batch = Arc::new(items);
+                            for stx in &sweep_txs {
+                                stx.send(Arc::clone(&batch)).ok();
+                            }
+                        }
                     }
                     if !shard_txs.is_empty() {
                         let msgs = a.take_classify_msgs();
@@ -227,7 +281,7 @@ pub fn run_streaming_with(
 
         let mut art = producer.join().expect("simulation thread panicked");
         let analyzer = analyzer.expect("simulation ended without trace metadata");
-        let an = if shards > 1 {
+        let mut an = if shards > 1 {
             drop(shard_txs);
             let mut classes: Vec<Vec<ArchClass>> = vec![Vec::new(); num_cpus];
             for h in shard_handles {
@@ -239,6 +293,31 @@ pub fn run_streaming_with(
         } else {
             analyzer.finish()
         };
+        if sweep_workers > 1 {
+            drop(sweep_txs);
+            let mut fig6 = vec![None; crate::resim::figure6_configs().len()];
+            let mut dcache = vec![None; crate::resim::dcache_configs().len()];
+            for h in sweep_handles {
+                let (ipts, dpts) = h.join().expect("sweep worker panicked");
+                for (k, p) in ipts {
+                    fig6[k] = Some(p);
+                }
+                for (k, p) in dpts {
+                    dcache[k] = Some(p);
+                }
+            }
+            an.fig6 = Some(
+                fig6.into_iter()
+                    .map(|p| p.expect("missing fig6 point"))
+                    .collect(),
+            );
+            an.dcache = Some(
+                dcache
+                    .into_iter()
+                    .map(|p| p.expect("missing dcache point"))
+                    .collect(),
+            );
+        }
         if opts.keep_trace {
             art.trace = kept;
         }

@@ -1,0 +1,123 @@
+//! A fast, deterministic hasher for the simulation and analysis hot
+//! paths.
+//!
+//! The classifier mirrors, resimulation banks and OS page tables key
+//! hash maps by block and page numbers — small integers — yet the std
+//! default hasher (SipHash-1-3) processes them as byte streams with a
+//! per-process random seed. The hasher here is the Fowler/FxHash-style
+//! multiply-and-rotate used throughout compiler hot paths: a few cycles
+//! per integer key, and fully deterministic, which the reproduction
+//! relies on anyway (reports must be byte-identical across runs and
+//! `--jobs` values).
+//!
+//! Safe because bucket order (the one thing a hasher changes) is
+//! unobservable in every swapped map: the analysis maps do point
+//! lookups, inserts and removals exclusively, and the OS maps that are
+//! iterated (page tables at fork/exec/exit) feed only order-insensitive
+//! consumers — reference counts and per-color frame free lists. The std
+//! random seed already shuffled that iteration order on every run while
+//! reports stayed byte-identical, so the output provably does not hinge
+//! on it; a fixed hasher only makes the order reproducible. Keys
+//! here are trusted simulator output, not adversarial input, so the
+//! lost DoS resistance is irrelevant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// 64-bit multiply-and-rotate hasher (the rustc `FxHasher` recipe).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `pi * 2^62`, odd: a good multiplicative-hash constant.
+const SEED: u64 = 0xc6a4_a793_5bd1_e995;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastMap::default();
+        a.insert(42u64, "x");
+        assert_eq!(a.get(&42), Some(&"x"));
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0xdead_beef);
+        h2.write_u64(0xdead_beef);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let mut seen = FastSet::default();
+        for k in 0u64..10_000 {
+            assert!(seen.insert(k));
+        }
+        assert_eq!(seen.len(), 10_000);
+        // Hashes of consecutive integers should not collide to the same
+        // value (they would still work, just slowly).
+        let hash = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_ne!(hash(1), hash(2));
+        assert_ne!(hash(0), hash(1 << 32));
+    }
+}

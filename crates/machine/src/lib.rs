@@ -42,6 +42,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod config;
+pub mod fasthash;
 pub mod machine;
 pub mod monitor;
 pub mod tlb;

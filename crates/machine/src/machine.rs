@@ -90,6 +90,88 @@ struct CpuCore {
     tlb: Tlb,
     now: u64,
     counters: CpuCounters,
+    /// Block of the most recent instruction fetch, used to short-circuit
+    /// straight-line fetch runs. Only maintained when the I-cache is
+    /// direct-mapped (a DM hit is a state no-op, so skipping the access
+    /// is invisible; an associative hit would update LRU state).
+    /// `u64::MAX` when invalid.
+    last_ifetch: u64,
+}
+
+const NO_IFETCH_MEMO: u64 = u64::MAX;
+
+/// Exact per-block directory of which CPUs' L2 data caches hold a block.
+///
+/// Every L2 residency change flows through [`Machine::data_access`] or
+/// [`Machine::invalidate_others`], so the masks can be kept exact: bit
+/// `j` of `masks[block]` is set iff CPU `j`'s L2 currently holds `block`.
+/// Snoops and sharer probes then touch only CPUs that can actually hold
+/// the line instead of probing every cache. Disabled (all loops fall
+/// back to probing every CPU) when the machine has more CPUs than mask
+/// bits.
+#[derive(Debug)]
+struct SharerDir {
+    /// One bit per CPU, indexed by `BlockAddr.0`; grown lazily.
+    masks: Vec<u64>,
+    enabled: bool,
+}
+
+impl SharerDir {
+    fn new(num_cpus: u8) -> Self {
+        SharerDir {
+            masks: Vec::new(),
+            enabled: (num_cpus as u32) <= u64::BITS,
+        }
+    }
+
+    #[inline]
+    fn mask(&self, block: BlockAddr) -> u64 {
+        self.masks.get(block.0 as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn set(&mut self, block: BlockAddr, idx: usize) {
+        if !self.enabled {
+            return;
+        }
+        let i = block.0 as usize;
+        if i >= self.masks.len() {
+            self.masks.resize(i + 1, 0);
+        }
+        self.masks[i] |= 1 << idx;
+    }
+
+    #[inline]
+    fn clear(&mut self, block: BlockAddr, idx: usize) {
+        if let Some(m) = self.masks.get_mut(block.0 as usize) {
+            *m &= !(1 << idx);
+        }
+    }
+}
+
+/// The CPUs a snoop must visit: either the exact sharer set from the
+/// directory, or (fallback) every CPU except the requester.
+enum SnoopSet {
+    Mask(u64),
+    AllExcept(std::ops::Range<usize>, usize),
+}
+
+impl Iterator for SnoopSet {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SnoopSet::Mask(m) => {
+                if *m == 0 {
+                    return None;
+                }
+                let j = m.trailing_zeros() as usize;
+                *m &= *m - 1;
+                Some(j)
+            }
+            SnoopSet::AllExcept(range, skip) => range.by_ref().find(|j| j != skip),
+        }
+    }
 }
 
 /// The simulated multiprocessor.
@@ -117,6 +199,10 @@ pub struct Machine {
     /// Home cluster of each physical page (Section 6 cluster mode;
     /// all-zero on the flat machine).
     page_home: Vec<u8>,
+    sharers: SharerDir,
+    /// Whether the straight-line ifetch memo is safe (direct-mapped
+    /// I-cache; see [`CpuCore::last_ifetch`]).
+    ifetch_memo: bool,
 }
 
 impl Machine {
@@ -138,6 +224,7 @@ impl Machine {
                 tlb: Tlb::new(),
                 now: 0,
                 counters: CpuCounters::default(),
+                last_ifetch: NO_IFETCH_MEMO,
             })
             .collect();
         let page_home = vec![0u8; config.num_pages() as usize];
@@ -151,6 +238,8 @@ impl Machine {
             cpus,
             monitor: TraceBuffer::new(mode),
             page_home,
+            sharers: SharerDir::new(config.num_cpus),
+            ifetch_memo: config.icache.assoc == 1,
             config,
         }
     }
@@ -257,8 +346,25 @@ impl Machine {
         let block = paddr.block();
         let idx = cpu.index();
         let base = instrs as u64;
+        // Straight-line runs fetch from the same block over and over; the
+        // memoized last block is guaranteed resident (it can only leave
+        // the I-cache by being displaced by a *different* fetch, which
+        // retargets the memo, or by a page flush, which clears it).
+        if block.0 == self.cpus[idx].last_ifetch {
+            let core = &mut self.cpus[idx];
+            core.now += base;
+            core.counters.base_cycles += base;
+            return AccessOutcome {
+                cycles: base,
+                level: HitLevel::L1,
+                upgraded: false,
+            };
+        }
         let now = self.cpus[idx].now;
         let lookup = self.cpus[idx].icache.access(block, false);
+        if self.ifetch_memo {
+            self.cpus[idx].last_ifetch = block.0;
+        }
         match lookup {
             Lookup::Hit => {
                 let cycles = base;
@@ -381,12 +487,11 @@ impl Machine {
         }
         self.record(cpu, grant.start, block.base(), kind);
 
-        // Snoop: a dirty copy elsewhere is flushed to memory first.
+        // Snoop: a dirty copy elsewhere is flushed to memory first. The
+        // sharer directory narrows this to CPUs that actually hold the
+        // line; non-holders can never be dirty.
         let mut extra_stall = 0;
-        for j in 0..self.cpus.len() {
-            if j == idx {
-                continue;
-            }
+        for j in self.other_holders(idx, block) {
             if self.cpus[j].l2d.probe_dirty(block) {
                 let wb_grant = self.bus.transact(grant.start, BusKind::WriteBack);
                 self.record(
@@ -407,7 +512,9 @@ impl Machine {
 
         // Fill own L2 (and L1 for reads), handling the dirty victim.
         let victim = self.cpus[idx].l2d.fill(block, write);
+        self.sharers.set(block, idx);
         if let Some(v) = victim {
+            self.sharers.clear(v.block, idx);
             // Inclusion: the L1 must not keep a line the L2 dropped.
             self.cpus[idx].l1d.invalidate(v.block);
             if v.dirty {
@@ -438,22 +545,38 @@ impl Machine {
         }
     }
 
+    /// The CPUs (other than `idx`) whose L2 might hold `block`: the exact
+    /// sharer set when the directory is maintained, every other CPU
+    /// otherwise. Ascending order either way, so record and counter
+    /// sequences match the brute-force probe loop exactly.
+    fn other_holders(&self, idx: usize, block: BlockAddr) -> SnoopSet {
+        if self.sharers.enabled {
+            SnoopSet::Mask(self.sharers.mask(block) & !(1u64 << idx))
+        } else {
+            SnoopSet::AllExcept(0..self.cpus.len(), idx)
+        }
+    }
+
     fn any_other_sharer(&self, idx: usize, block: BlockAddr) -> bool {
-        self.cpus
-            .iter()
-            .enumerate()
-            .any(|(j, c)| j != idx && c.l2d.probe(block))
+        let mut holders = self.other_holders(idx, block);
+        holders.any(|j| self.cpus[j].l2d.probe(block))
     }
 
     fn invalidate_others(&mut self, idx: usize, block: BlockAddr) {
-        for j in 0..self.cpus.len() {
-            if j == idx {
-                continue;
-            }
+        for j in self.other_holders(idx, block) {
             let mut lost = 0;
             if self.cpus[j].l2d.invalidate(block).is_some() {
                 lost += 1;
+                self.sharers.clear(block, j);
+            } else {
+                debug_assert!(
+                    !self.sharers.enabled,
+                    "directory listed CPU {j} as holder of absent block {block:?}"
+                );
             }
+            // L1 contents are a subset of L2 (fills only follow an L2
+            // fill; L2 victims invalidate L1), so a CPU outside the
+            // sharer set has nothing to lose in L1 either.
             if self.cpus[j].l1d.invalidate(block).is_some() {
                 lost += 1;
             }
@@ -503,6 +626,7 @@ impl Machine {
         for core in &mut self.cpus {
             let n = core.icache.invalidate_page(ppn);
             core.counters.icache_flushed_lines += n as u64;
+            core.last_ifetch = NO_IFETCH_MEMO;
             total += n;
         }
         total
@@ -522,6 +646,16 @@ impl Machine {
     /// Total bus transactions serviced so far.
     pub fn bus_transactions(&self) -> u64 {
         self.bus.transactions()
+    }
+
+    /// Disables the sharer presence directory, forcing every snoop to
+    /// probe all other CPUs (the brute-force pre-filter behaviour).
+    /// The filter is a pure optimization: differential tests drive two
+    /// machines with identical streams, one with the filter disabled,
+    /// and require identical outcomes, counters, and monitor records.
+    /// Call on a fresh machine, before any accesses.
+    pub fn disable_presence_filter(&mut self) {
+        self.sharers.enabled = false;
     }
 }
 

@@ -54,7 +54,22 @@ pub enum BufferMode {
 pub trait TraceSink: Send {
     /// Receives one monitored record, in trace order.
     fn record(&mut self, rec: BusRecord);
+
+    /// Receives a batch of records, in trace order. The default forwards
+    /// one at a time; sinks that batch anyway (channels, files) should
+    /// override it to ingest the slice wholesale.
+    fn record_batch(&mut self, recs: &[BusRecord]) {
+        for &rec in recs {
+            self.record(rec);
+        }
+    }
 }
+
+/// Records staged in the buffer before being handed to an attached sink
+/// in one [`TraceSink::record_batch`] call. Batch boundaries carry no
+/// meaning, so the value only trades per-record virtual-call overhead
+/// against staging memory.
+const SINK_BATCH: usize = 1024;
 
 /// The monitor's trace buffer.
 pub struct TraceBuffer {
@@ -64,6 +79,8 @@ pub struct TraceBuffer {
     total_seen: u64,
     enabled: bool,
     sink: Option<Box<dyn TraceSink>>,
+    /// Records seen while a sink is attached, not yet handed over.
+    stage: Vec<BusRecord>,
 }
 
 impl std::fmt::Debug for TraceBuffer {
@@ -90,6 +107,15 @@ impl TraceBuffer {
             total_seen: 0,
             enabled: true,
             sink: None,
+            stage: Vec::new(),
+        }
+    }
+
+    /// Hands any staged records to the sink.
+    fn flush_stage(&mut self) {
+        if let (Some(sink), false) = (&mut self.sink, self.stage.is_empty()) {
+            sink.record_batch(&self.stage);
+            self.stage.clear();
         }
     }
 
@@ -104,14 +130,17 @@ impl TraceBuffer {
     }
 
     /// Attaches a streaming sink. Subsequent records (while enabled) go
-    /// to the sink instead of the in-memory buffer.
+    /// to the sink instead of the in-memory buffer, staged into batches.
+    /// Any records staged for a previous sink are flushed to it first.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flush_stage();
         self.sink = Some(sink);
     }
 
-    /// Detaches and drops the sink, if any (dropping typically flushes
-    /// whatever the sink buffered).
+    /// Flushes staged records to the sink, then detaches and drops it
+    /// (dropping typically flushes whatever the sink itself buffered).
     pub fn clear_sink(&mut self) {
+        self.flush_stage();
         self.sink = None;
     }
 
@@ -121,15 +150,20 @@ impl TraceBuffer {
     }
 
     /// Appends a record, dropping it (and counting the loss) if the
-    /// buffer is full. With a sink attached the record is forwarded and
-    /// never buffered.
+    /// buffer is full. With a sink attached the record is staged and
+    /// handed to the sink in batches ([`TraceSink::record_batch`])
+    /// rather than buffered; [`TraceBuffer::clear_sink`] (or dropping
+    /// the buffer) flushes the partial last batch.
     pub fn record(&mut self, rec: BusRecord) {
         if !self.enabled {
             return;
         }
         self.total_seen += 1;
-        if let Some(sink) = &mut self.sink {
-            sink.record(rec);
+        if self.sink.is_some() {
+            self.stage.push(rec);
+            if self.stage.len() >= SINK_BATCH {
+                self.flush_stage();
+            }
             return;
         }
         match self.mode {
@@ -190,6 +224,13 @@ impl TraceBuffer {
     /// Read-only view of the buffered records.
     pub fn records(&self) -> &[BusRecord] {
         &self.records
+    }
+}
+
+impl Drop for TraceBuffer {
+    fn drop(&mut self) {
+        // An attached sink must still see the staged tail.
+        self.flush_stage();
     }
 }
 
@@ -280,17 +321,46 @@ mod tests {
         for t in 0..5 {
             b.record(rec(t));
         }
-        // The buffer stays empty; the sink saw everything, in order.
+        // The buffer stays empty; records are staged for the sink.
         assert!(b.is_empty());
         assert_eq!(b.total_seen(), 5);
-        let got: Vec<BusRecord> = rx.try_iter().collect();
-        assert_eq!(got.len(), 5);
-        assert!(got.windows(2).all(|w| w[0].time < w[1].time));
         // Disarming gates the sink too.
         b.set_enabled(false);
         b.record(rec(9));
         assert_eq!(b.total_seen(), 5);
+        // Detaching flushes the staged batch: the sink saw everything,
+        // in order.
         b.clear_sink();
         assert!(!b.has_sink());
+        let got: Vec<BusRecord> = rx.try_iter().collect();
+        assert_eq!(got.len(), 5);
+        assert!(got.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn sink_sees_full_batches_promptly_and_tail_on_drop() {
+        use std::sync::mpsc;
+
+        struct Tx(mpsc::Sender<usize>);
+        impl TraceSink for Tx {
+            fn record(&mut self, _rec: BusRecord) {
+                self.0.send(1).ok();
+            }
+            fn record_batch(&mut self, recs: &[BusRecord]) {
+                self.0.send(recs.len()).ok();
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_sink(Box::new(Tx(tx)));
+        for t in 0..(SINK_BATCH as u64 + 3) {
+            b.record(rec(t));
+        }
+        // One full batch was handed over without waiting for detach…
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![SINK_BATCH]);
+        // …and dropping the buffer flushes the tail.
+        drop(b);
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3]);
     }
 }

@@ -44,6 +44,12 @@ pub struct Tlb {
     next_victim: usize,
     hits: u64,
     misses: u64,
+    /// One-entry micro-TLB: a copy of the most recently used entry,
+    /// consulted before the 64-entry scan. Replacement is FIFO, so
+    /// lookups never affect which entry gets evicted — skipping the scan
+    /// on a micro-TLB hit is invisible except for speed. Invalidated (or
+    /// retargeted) whenever the mirrored entry could change.
+    last: Option<TlbEntry>,
 }
 
 impl Tlb {
@@ -54,14 +60,22 @@ impl Tlb {
             next_victim: 0,
             hits: 0,
             misses: 0,
+            last: None,
         }
     }
 
     /// Translates `(vpn, asid)`, recording a hit or miss.
     pub fn lookup(&mut self, vpn: Vpn, asid: Asid) -> Option<Ppn> {
+        if let Some(e) = &self.last {
+            if e.vpn == vpn && e.asid == asid {
+                self.hits += 1;
+                return Some(e.ppn);
+            }
+        }
         for e in self.entries.iter().flatten() {
             if e.vpn == vpn && e.asid == asid {
                 self.hits += 1;
+                self.last = Some(*e);
                 return Some(e.ppn);
             }
         }
@@ -82,6 +96,10 @@ impl Tlb {
     /// Installs a translation, evicting the FIFO victim if full. Returns
     /// the slot index written (the paper's escape sequence reports it).
     pub fn insert(&mut self, vpn: Vpn, ppn: Ppn, asid: Asid) -> usize {
+        // The inserted entry is resident afterwards in every case (even
+        // when it displaces the micro-TLB's current target), so it can
+        // simply become the new micro-TLB entry.
+        self.last = Some(TlbEntry { vpn, ppn, asid });
         // Replace an existing mapping for the same (vpn, asid) in place.
         for (i, e) in self.entries.iter_mut().enumerate() {
             if let Some(entry) = e {
@@ -108,6 +126,9 @@ impl Tlb {
     /// Drops every translation belonging to `asid` (process exit).
     /// Returns how many entries were dropped.
     pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        if matches!(&self.last, Some(e) if e.asid == asid) {
+            self.last = None;
+        }
         let mut n = 0;
         for e in &mut self.entries {
             if matches!(e, Some(entry) if entry.asid == asid) {
@@ -121,6 +142,9 @@ impl Tlb {
     /// Drops any translation that maps to physical page `ppn` (page
     /// reclaimed). Returns how many entries were dropped.
     pub fn flush_ppn(&mut self, ppn: Ppn) -> usize {
+        if matches!(&self.last, Some(e) if e.ppn == ppn) {
+            self.last = None;
+        }
         let mut n = 0;
         for e in &mut self.entries {
             if matches!(e, Some(entry) if entry.ppn == ppn) {
@@ -225,6 +249,26 @@ mod tests {
         t.insert(Vpn(2), Ppn(51), 1);
         assert_eq!(t.flush_ppn(Ppn(50)), 2);
         assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn micro_tlb_never_outlives_its_entry() {
+        let mut t = Tlb::new();
+        for i in 0..TLB_ENTRIES as u32 {
+            t.insert(Vpn(i), Ppn(i), 1);
+        }
+        // Pull vpn 0 into the micro-TLB, then evict it (FIFO slot 0).
+        assert_eq!(t.lookup(Vpn(0), 1), Some(Ppn(0)));
+        t.insert(Vpn(999), Ppn(999), 1);
+        assert_eq!(t.lookup(Vpn(0), 1), None, "stale micro-TLB hit");
+        // Flushes must also drop a cached translation.
+        assert_eq!(t.lookup(Vpn(5), 1), Some(Ppn(5)));
+        t.flush_asid(1);
+        assert_eq!(t.lookup(Vpn(5), 1), None);
+        t.insert(Vpn(7), Ppn(70), 2);
+        assert_eq!(t.lookup(Vpn(7), 2), Some(Ppn(70)));
+        t.flush_ppn(Ppn(70));
+        assert_eq!(t.lookup(Vpn(7), 2), None);
     }
 
     #[test]

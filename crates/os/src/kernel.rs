@@ -834,9 +834,10 @@ impl OsWorld {
         let proc = self.procs.get(slot).expect("running process exists");
         let asid = proc.pid.0;
         // Copy-on-write writes must trap even on a TLB hit (the real
-        // machine maps COW pages read-only).
-        if write {
-            if let Some(pte) = self.procs.get(slot).unwrap().page_table.get(&vpn) {
+        // machine maps COW pages read-only). The `cow_pages` counter
+        // skips the page-table probe for processes with no COW pages.
+        if write && proc.cow_pages > 0 {
+            if let Some(pte) = proc.page_table.get(&vpn) {
                 if pte.cow {
                     let frame = self.build_cow_fault_frame(slot, vpn);
                     self.push_op_frame(m, cpu, FrameLoc::Proc(slot), frame);

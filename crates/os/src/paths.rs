@@ -1106,6 +1106,18 @@ impl OsWorld {
         }
     }
 
+    /// Inserts a page-table entry, keeping the process's `cow_pages`
+    /// counter in sync with both the old and new entry's COW bit.
+    fn pt_insert(&mut self, slot: ProcSlot, vpn: Vpn, pte: Pte) {
+        let p = self.procs.get_mut(slot).unwrap();
+        if p.page_table.insert(vpn, pte).is_some_and(|old| old.cow) {
+            p.cow_pages -= 1;
+        }
+        if pte.cow {
+            p.cow_pages += 1;
+        }
+    }
+
     fn alloc_page(&mut self, m: &mut Machine, cpu: CpuId, loc: FrameLoc, vpn: Vpn, init: PageInit) {
         let slot = self.cpus[cpu.index()].running.expect("process running");
         // Re-check after retries (another fault may have mapped it).
@@ -1115,7 +1127,8 @@ impl OsWorld {
                     // COW resolution.
                     if self.frames.refs(Ppn(src)) == 1 {
                         // Sole owner: just take the page.
-                        self.procs.get_mut(slot).unwrap().page_table.insert(
+                        self.pt_insert(
+                            slot,
                             vpn,
                             Pte {
                                 ppn: Ppn(src),
@@ -1159,11 +1172,7 @@ impl OsWorld {
             let (seg, index) = shm_seg_of(vpn);
             if let Some(ppn) = self.frames.segment_frame(seg, index) {
                 self.frames.add_ref(ppn);
-                self.procs
-                    .get_mut(slot)
-                    .unwrap()
-                    .page_table
-                    .insert(vpn, Pte { ppn, cow: false });
+                self.pt_insert(slot, vpn, Pte { ppn, cow: false });
                 let ops = vec![
                     KOp::write(self.pt_entry_addr(slot, vpn)),
                     KOp::Call(KCall::TlbInsert {
@@ -1180,7 +1189,8 @@ impl OsWorld {
                 .expect("frame pool exhausted");
             self.note_alloc_flush(m, cpu, &fa);
             self.frames.set_segment_frame(seg, index, fa.ppn);
-            self.procs.get_mut(slot).unwrap().page_table.insert(
+            self.pt_insert(
+                slot,
                 vpn,
                 Pte {
                     ppn: fa.ppn,
@@ -1225,7 +1235,8 @@ impl OsWorld {
                 self.frames.release(Ppn(src));
             }
         }
-        self.procs.get_mut(slot).unwrap().page_table.insert(
+        self.pt_insert(
+            slot,
             vpn,
             Pte {
                 ppn: fa.ppn,
@@ -1278,7 +1289,9 @@ impl OsWorld {
                 let owner = self.procs.iter().find(|p| p.pid == pid).map(|p| p.slot);
                 if let Some(oslot) = owner {
                     if let Some(p) = self.procs.get_mut(oslot) {
-                        p.page_table.remove(&vpn);
+                        if p.page_table.remove(&vpn).is_some_and(|old| old.cow) {
+                            p.cow_pages -= 1;
+                        }
                     }
                 }
                 for c in 0..self.num_cpus {
@@ -1335,16 +1348,21 @@ impl OsWorld {
             .iter()
             .map(|(k, v)| (*k, *v))
             .collect();
-        let mut child_pt = std::collections::HashMap::new();
+        let mut child_pt = oscar_machine::fasthash::FastMap::default();
+        let mut child_cows = 0u32;
         for (vpn, mut pte) in parent_pt {
             self.frames.add_ref(pte.ppn);
             let shared_ro = segs::is_text(vpn) || segs::is_shm(vpn);
             if !shared_ro {
                 pte.cow = true;
+                child_cows += 1;
                 // Parent side becomes COW too.
                 if let Some(p) = self.procs.get_mut(parent) {
                     if let Some(ppte) = p.page_table.get_mut(&vpn) {
-                        ppte.cow = true;
+                        if !ppte.cow {
+                            ppte.cow = true;
+                            p.cow_pages += 1;
+                        }
                     }
                 }
             }
@@ -1355,9 +1373,12 @@ impl OsWorld {
         {
             let c = self.procs.get_mut(child).unwrap();
             c.page_table = child_pt;
+            c.cow_pages = child_cows;
             c.image = image;
             c.state = ProcState::Ready;
         }
+        self.procs.get(parent).unwrap().debug_assert_cow_count();
+        self.procs.get(child).unwrap().debug_assert_cow_count();
         let child_q = self.enqueue_proc(child);
         self.stats.forks += 1;
 
@@ -1397,6 +1418,7 @@ impl OsWorld {
             .page_table
             .drain()
             .collect();
+        self.procs.get_mut(slot).unwrap().cow_pages = 0;
         let n_old = old_pt.len() as u64;
         for (_, pte) in old_pt {
             self.frames.release(pte.ppn);
@@ -1464,7 +1486,8 @@ impl OsWorld {
             return; // out of memory: partial image (rare; tolerated)
         };
         self.note_alloc_flush(m, cpu, &fa);
-        self.procs.get_mut(slot).unwrap().page_table.insert(
+        self.pt_insert(
+            slot,
             vpn,
             Pte {
                 ppn: fa.ppn,
@@ -1497,6 +1520,7 @@ impl OsWorld {
             .page_table
             .drain()
             .collect();
+        self.procs.get_mut(slot).unwrap().cow_pages = 0;
         let n_old = old_pt.len() as u64;
         for (_, pte) in old_pt {
             self.frames.release(pte.ppn);

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use oscar_machine::addr::{CpuId, Ppn, Vpn};
+use oscar_machine::fasthash::FastMap;
 use oscar_rng::{SeedableRng, SmallRng};
 
 use crate::exec::{Chan, KFrame};
@@ -53,8 +54,17 @@ pub struct Process {
     pub kstack: Vec<KFrame>,
     /// The user operation currently being executed, if any.
     pub cur_uop: Option<UOp>,
-    /// Software page table.
-    pub page_table: HashMap<Vpn, Pte>,
+    /// Software page table. Keyed with the deterministic fast hasher:
+    /// the copy-on-write check in `translate` probes this map on every
+    /// user write.
+    pub page_table: FastMap<Vpn, Pte>,
+    /// Number of entries in `page_table` with the `cow` bit set. Lets
+    /// the per-write COW check in `translate` skip the map probe
+    /// entirely for processes with no COW pages (everything that never
+    /// forked, or has resolved all its COW faults). Maintained exactly
+    /// by the fork/fault/unmap paths; `debug_assert_cow_count` checks
+    /// it against the table.
+    pub cow_pages: u32,
     /// Per-file sequential positions (inode → byte offset).
     pub files: HashMap<u32, u64>,
     /// Clock ticks left in the quantum.
@@ -85,6 +95,16 @@ impl Process {
     /// Whether the process is currently inside the kernel.
     pub fn in_kernel(&self) -> bool {
         !self.kstack.is_empty()
+    }
+
+    /// Debug-checks that `cow_pages` matches the page table.
+    pub fn debug_assert_cow_count(&self) {
+        debug_assert_eq!(
+            self.cow_pages as usize,
+            self.page_table.values().filter(|p| p.cow).count(),
+            "cow_pages counter out of sync for {:?}",
+            self.pid
+        );
     }
 }
 
@@ -130,7 +150,8 @@ impl ProcTable {
             task,
             kstack: Vec::new(),
             cur_uop: None,
-            page_table: HashMap::new(),
+            page_table: FastMap::default(),
+            cow_pages: 0,
             files: HashMap::new(),
             quantum,
             pending_child: None,

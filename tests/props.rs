@@ -7,7 +7,8 @@
 use oscar_core::classify::Mirror;
 use oscar_machine::addr::{BlockAddr, CpuId, PAddr, Ppn, Vpn};
 use oscar_machine::cache::{Cache, Lookup};
-use oscar_machine::config::CacheConfig;
+use oscar_machine::config::{CacheConfig, MachineConfig};
+use oscar_machine::machine::Machine;
 use oscar_machine::tlb::{Tlb, TLB_ENTRIES};
 use oscar_os::{AttrCtx, OpClass, OsEvent};
 use oscar_rng::{Rng, SeedableRng, SmallRng};
@@ -305,5 +306,178 @@ fn decoder_survives_arbitrary_interleavings() {
         }
         assert_eq!(events, expected.iter().sum::<u32>(), "seed {seed}");
         assert_eq!(decoder.undecodable, 0, "seed {seed}");
+    }
+}
+
+/// The packed direct-mapped and two-way representations are drop-in
+/// replacements for the generic associative model: random mixed-op
+/// streams produce identical lookup results, victims, and final
+/// contents.
+#[test]
+fn packed_fast_paths_match_generic_cache() {
+    for config in [
+        CacheConfig::direct_mapped(4 * 1024),
+        CacheConfig::set_associative(8 * 1024, 2),
+    ] {
+        for seed in 0..CASES {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut fast = Cache::new(config);
+            let mut oracle = Cache::new_generic(config);
+            assert!(
+                fast.is_direct_fast_path() || fast.is_two_way_fast_path(),
+                "config {config:?} should select a packed representation"
+            );
+            assert!(
+                !oracle.is_direct_fast_path() && !oracle.is_two_way_fast_path(),
+                "new_generic must opt out of the packed paths"
+            );
+            for step in 0..rng.gen_range(100..800usize) {
+                let block = BlockAddr(rng.gen_range(0..1536u64));
+                match rng.gen_range(0..100u32) {
+                    0..=59 => {
+                        let write = rng.gen_range(0..4u32) == 0;
+                        assert_eq!(
+                            fast.access(block, write),
+                            oracle.access(block, write),
+                            "seed {seed} step {step}: access {block} write={write}"
+                        );
+                    }
+                    60..=74 => {
+                        assert_eq!(
+                            fast.invalidate(block),
+                            oracle.invalidate(block),
+                            "seed {seed} step {step}: invalidate {block}"
+                        );
+                    }
+                    75..=84 => {
+                        fast.clean(block);
+                        oracle.clean(block);
+                    }
+                    85..=92 => {
+                        let dirty = rng.gen_range(0..2u32) == 1;
+                        assert_eq!(
+                            fast.fill(block, dirty),
+                            oracle.fill(block, dirty),
+                            "seed {seed} step {step}: fill {block} dirty={dirty}"
+                        );
+                    }
+                    93..=97 => {
+                        let page = Ppn(rng.gen_range(0..6u32));
+                        assert_eq!(
+                            fast.invalidate_page(page),
+                            oracle.invalidate_page(page),
+                            "seed {seed} step {step}: invalidate_page {page:?}"
+                        );
+                    }
+                    _ => {
+                        assert_eq!(
+                            fast.invalidate_all(),
+                            oracle.invalidate_all(),
+                            "seed {seed} step {step}: invalidate_all"
+                        );
+                    }
+                }
+                assert_eq!(
+                    fast.probe_dirty(block),
+                    oracle.probe_dirty(block),
+                    "seed {seed} step {step}: probe_dirty {block}"
+                );
+            }
+            assert_eq!(
+                fast.resident_lines(),
+                oracle.resident_lines(),
+                "seed {seed}: resident count diverged"
+            );
+            let mut fast_lines: Vec<BlockAddr> = fast.iter_resident().collect();
+            let mut oracle_lines: Vec<BlockAddr> = oracle.iter_resident().collect();
+            fast_lines.sort();
+            oracle_lines.sort();
+            assert_eq!(fast_lines, oracle_lines, "seed {seed}: contents diverged");
+        }
+    }
+}
+
+/// The sharer presence directory is observationally invisible: a
+/// machine with the filter disabled (brute-force snoop of every other
+/// CPU) produces identical access outcomes, counters, residency, and
+/// monitor records for any access stream.
+#[test]
+fn presence_filter_is_observationally_invisible() {
+    // Small caches so random streams produce displacements, sharing
+    // invalidations, and upgrades, not just cold fills.
+    let mut config = MachineConfig::sgi_4d340();
+    config.icache = CacheConfig::direct_mapped(1024);
+    config.l1d = CacheConfig::direct_mapped(512);
+    config.l2d = CacheConfig::set_associative(2048, 2);
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut filtered = Machine::new(config.clone());
+        let mut brute = Machine::new(config.clone());
+        brute.disable_presence_filter();
+        for step in 0..rng.gen_range(200..1000usize) {
+            let cpu = CpuId(rng.gen_range(0..config.num_cpus));
+            // 16 KB of physical addresses: 4 pages, 1024 blocks.
+            let paddr = PAddr::new(rng.gen_range(0..0x4000u64) & !0x3);
+            match rng.gen_range(0..12u32) {
+                0..=6 => {
+                    let write = rng.gen_range(0..3u32) == 0;
+                    assert_eq!(
+                        filtered.data_access(cpu, paddr, write, 1),
+                        brute.data_access(cpu, paddr, write, 1),
+                        "seed {seed} step {step}: data_access {paddr} write={write}"
+                    );
+                }
+                7..=9 => {
+                    let instrs = rng.gen_range(1..5u32);
+                    assert_eq!(
+                        filtered.fetch(cpu, paddr, instrs),
+                        brute.fetch(cpu, paddr, instrs),
+                        "seed {seed} step {step}: fetch {paddr}"
+                    );
+                }
+                10 => {
+                    assert_eq!(
+                        filtered.uncached_read(cpu, paddr),
+                        brute.uncached_read(cpu, paddr),
+                        "seed {seed} step {step}: uncached_read {paddr}"
+                    );
+                }
+                _ => {
+                    let page = paddr.page();
+                    assert_eq!(
+                        filtered.flush_icache_page(page),
+                        brute.flush_icache_page(page),
+                        "seed {seed} step {step}: flush_icache_page {page:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            filtered.bus_transactions(),
+            brute.bus_transactions(),
+            "seed {seed}: bus transaction counts diverged"
+        );
+        for c in 0..config.num_cpus {
+            assert_eq!(
+                filtered.counters(CpuId(c)),
+                brute.counters(CpuId(c)),
+                "seed {seed}: counters diverged on CPU {c}"
+            );
+        }
+        for b in 0..1024u64 {
+            let block = BlockAddr(b);
+            for c in 0..config.num_cpus {
+                assert_eq!(
+                    filtered.l2_probe(CpuId(c), block),
+                    brute.l2_probe(CpuId(c), block),
+                    "seed {seed}: L2 residency diverged on CPU {c} block {block}"
+                );
+            }
+        }
+        assert_eq!(
+            filtered.monitor().records(),
+            brute.monitor().records(),
+            "seed {seed}: monitor traces diverged"
+        );
     }
 }
