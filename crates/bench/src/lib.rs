@@ -118,6 +118,7 @@ impl Harness {
                 wall_s: r.mean_ns * r.iters as f64 * r.samples as f64 / 1e9,
                 cycles: 0,
                 records: r.iters * r.samples,
+                ..PhaseStats::default()
             });
         }
         summary.wall_s = self.started.elapsed().as_secs_f64();

@@ -79,6 +79,10 @@ pub struct ReportRequest {
     /// Forces the trace to materialize, costing the streaming
     /// pipeline's bounded-memory property for this run.
     pub want_trace: bool,
+    /// Also collect observability: kernel probes, the live timeline
+    /// decoder and the metrics registry ([`crate::observe::RunObs`] in
+    /// the output). Never changes the report bytes.
+    pub want_obs: bool,
 }
 
 impl ReportRequest {
@@ -88,6 +92,7 @@ impl ReportRequest {
             config: ExperimentConfig::new(kind).warmup(warmup).measure(measure),
             want_csv: false,
             want_trace: false,
+            want_obs: false,
         }
     }
 }
@@ -108,6 +113,8 @@ pub struct ReportOutput {
     pub phases: Vec<PhaseStats>,
     /// Monitor records the run produced.
     pub trace_records: u64,
+    /// Observability payload, when requested.
+    pub obs: Option<Box<crate::observe::RunObs>>,
 }
 
 fn run_one(req: &ReportRequest) -> ReportOutput {
@@ -117,15 +124,24 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     let t = PhaseTimer::start(format!("simulate+analyze/{tag}"));
     let opts = StreamOptions {
         keep_trace: req.want_trace,
+        observe: req.want_obs,
         ..StreamOptions::default()
     };
-    let (art, an) = run_streaming(&req.config, &opts);
+    let (mut art, an) = run_streaming(&req.config, &opts);
+    let obs = art.obs.take();
     let mut scratch = PerfSummary::new(&tag, 1);
     t.stop(
         &mut scratch,
         req.config.warmup_cycles + req.config.measure_cycles,
         art.trace_records,
     );
+    if let (Some(obs), Some(p)) = (&obs, scratch.phases.last_mut()) {
+        let pl = &obs.pipeline;
+        p.chan_depth_max = pl.depth_max;
+        if pl.depth_samples > 0 {
+            p.chan_depth_mean = pl.depth_sum as f64 / pl.depth_samples as f64;
+        }
+    }
     phases.append(&mut scratch.phases);
 
     let started = Instant::now();
@@ -151,8 +167,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     phases.push(PhaseStats {
         id: format!("render/{tag}"),
         wall_s: started.elapsed().as_secs_f64(),
-        cycles: 0,
-        records: 0,
+        ..PhaseStats::default()
     });
 
     ReportOutput {
@@ -162,6 +177,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         trace_blob,
         phases,
         trace_records: art.trace_records,
+        obs,
     }
 }
 

@@ -128,6 +128,10 @@ pub struct RunArtifacts {
     pub measure_end: u64,
     /// The workload that ran.
     pub workload: WorkloadKind,
+    /// Observability payload (timeline, metrics, lock profiles),
+    /// present when the run streamed with
+    /// [`crate::pipeline::StreamOptions::observe`] on.
+    pub obs: Option<Box<crate::observe::RunObs>>,
 }
 
 impl RunArtifacts {
@@ -270,6 +274,7 @@ impl PreparedRun {
             measure_start: self.measure_start,
             measure_end: self.measure_start + self.config.measure_cycles,
             workload: self.config.workload,
+            obs: None,
         }
     }
 }

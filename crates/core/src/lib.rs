@@ -12,6 +12,7 @@ pub mod decode;
 pub mod driver;
 pub mod experiment;
 pub mod histogram;
+pub mod observe;
 pub mod perf;
 pub mod pipeline;
 pub mod report;
@@ -28,6 +29,10 @@ pub use analyze::{
 };
 pub use driver::{parallel_map, run_reports, ReportOutput, ReportRequest};
 pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
+pub use observe::{
+    lock_contention_table, merge_metrics_json, merge_trace_json, obs_from_artifacts, RunObs,
+    TimelineBuilder,
+};
 pub use pipeline::{run_streaming, StreamOptions};
 pub use report::render_all;
 pub use summary::Summary;

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 /// One timed phase of a run (a workload simulation, an analysis pass, a
 /// render, ...).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PhaseStats {
     /// Phase identifier, e.g. `run/pmake`.
     pub id: String,
@@ -33,6 +33,12 @@ pub struct PhaseStats {
     pub cycles: u64,
     /// Bus records processed by the phase (0 when not applicable).
     pub records: u64,
+    /// Highest streaming-channel depth observed (chunks in flight;
+    /// 0 when the phase did not stream or observability was off).
+    /// Wall-clock dependent, hence here and not in the metrics export.
+    pub chan_depth_max: u64,
+    /// Mean sampled streaming-channel depth (0 when not applicable).
+    pub chan_depth_mean: f64,
 }
 
 impl PhaseStats {
@@ -112,14 +118,16 @@ impl PerfSummary {
         for (i, p) in self.phases.iter().enumerate() {
             let _ = write!(
                 s,
-                "{}\n    {{\"id\": {}, \"wall_s\": {}, \"cycles\": {}, \"records\": {}, \"cycles_per_s\": {}, \"records_per_s\": {}}}",
+                "{}\n    {{\"id\": {}, \"wall_s\": {}, \"cycles\": {}, \"records\": {}, \"cycles_per_s\": {}, \"records_per_s\": {}, \"chan_depth_max\": {}, \"chan_depth_mean\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_str(&p.id),
                 json_f64(p.wall_s),
                 p.cycles,
                 p.records,
                 json_f64(p.cycles_per_s()),
-                json_f64(p.records_per_s())
+                json_f64(p.records_per_s()),
+                p.chan_depth_max,
+                json_f64(p.chan_depth_mean)
             );
         }
         s.push_str("\n  ]\n}\n");
@@ -162,6 +170,7 @@ impl PhaseTimer {
             wall_s: self.started.elapsed().as_secs_f64(),
             cycles,
             records,
+            ..PhaseStats::default()
         });
     }
 }
@@ -255,6 +264,7 @@ mod tests {
             wall_s: 2.0,
             cycles: 4_000_000,
             records: 1_000,
+            ..PhaseStats::default()
         };
         assert!((p.cycles_per_s() - 2_000_000.0).abs() < 1e-6);
         assert!((p.records_per_s() - 500.0).abs() < 1e-6);

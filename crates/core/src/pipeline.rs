@@ -20,8 +20,9 @@
 //! streamed result is byte-identical to the batch path; the tests (and
 //! `tests/streaming.rs`) assert it.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use oscar_machine::monitor::{BusRecord, TraceSink};
@@ -31,6 +32,7 @@ use crate::analyze::{
 };
 use crate::classify::ArchClass;
 use crate::experiment::{ExperimentConfig, PreparedRun, RunArtifacts};
+use crate::observe::{assemble_run_obs, PipelineObs, TimelineBuilder};
 use crate::resim::SweepShard;
 
 /// Tuning of the streaming pipeline.
@@ -60,6 +62,12 @@ pub struct StreamOptions {
     pub online_sweeps: bool,
     /// Keep the materialized `istream`/`dstream` in the analysis.
     pub keep_streams: bool,
+    /// Enable observability: kernel probes, a live timeline decoder on
+    /// the monitor stream (second sink via the fan-out), and pipeline
+    /// self-metrics, delivered in [`RunArtifacts::obs`]. Off by
+    /// default; when off no probe state is allocated and no per-record
+    /// work happens.
+    pub observe: bool,
 }
 
 impl Default for StreamOptions {
@@ -72,6 +80,7 @@ impl Default for StreamOptions {
             keep_trace: false,
             online_sweeps: true,
             keep_streams: false,
+            observe: false,
         }
     }
 }
@@ -93,26 +102,35 @@ struct ChunkSink {
     buf: Vec<BusRecord>,
     cap: usize,
     tx: SyncSender<StreamMsg>,
+    /// Chunks in flight on the channel, shared with the analysis loop
+    /// for depth sampling (observability only).
+    depth: Option<Arc<AtomicUsize>>,
 }
 
 impl ChunkSink {
-    fn new(tx: SyncSender<StreamMsg>, cap: usize) -> Self {
+    fn new(tx: SyncSender<StreamMsg>, cap: usize, depth: Option<Arc<AtomicUsize>>) -> Self {
         let cap = cap.max(1);
         ChunkSink {
             buf: Vec::with_capacity(cap),
             cap,
             tx,
+            depth,
         }
     }
-}
 
-impl ChunkSink {
+    fn send(&mut self, chunk: Vec<BusRecord>) {
+        if let Some(d) = &self.depth {
+            d.fetch_add(1, Ordering::Relaxed);
+        }
+        // A closed channel means the analysis side is gone
+        // (panicked); nothing useful to do with the records.
+        self.tx.send(StreamMsg::Chunk(chunk)).ok();
+    }
+
     fn flush_full(&mut self) {
         if self.buf.len() >= self.cap {
             let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
-            // A closed channel means the analysis side is gone
-            // (panicked); nothing useful to do with the records.
-            self.tx.send(StreamMsg::Chunk(chunk)).ok();
+            self.send(chunk);
         }
     }
 }
@@ -132,9 +150,41 @@ impl TraceSink for ChunkSink {
 impl Drop for ChunkSink {
     fn drop(&mut self) {
         if !self.buf.is_empty() {
-            self.tx
-                .send(StreamMsg::Chunk(std::mem::take(&mut self.buf)))
-                .ok();
+            let chunk = std::mem::take(&mut self.buf);
+            self.send(chunk);
+        }
+    }
+}
+
+/// A second [`TraceSink`] (attached through the monitor's fan-out) that
+/// feeds every record to a [`TimelineBuilder`]. The builder lives in a
+/// shared slot so the producer can reclaim it after the monitor drops
+/// the sink; the mutex is uncontended — only the simulation thread
+/// touches it while the sink is attached.
+struct TimelineSink {
+    builder: Arc<Mutex<Option<TimelineBuilder>>>,
+}
+
+impl TraceSink for TimelineSink {
+    fn record(&mut self, rec: BusRecord) {
+        if let Some(b) = self
+            .builder
+            .lock()
+            .expect("timeline builder poisoned")
+            .as_mut()
+        {
+            b.push(rec);
+        }
+    }
+
+    fn record_batch(&mut self, recs: &[BusRecord]) {
+        if let Some(b) = self
+            .builder
+            .lock()
+            .expect("timeline builder poisoned")
+            .as_mut()
+        {
+            b.push_chunk(recs);
         }
     }
 }
@@ -176,6 +226,9 @@ pub fn run_streaming_with(
     };
     let chunk_records = opts.chunk_records.max(1);
     let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));
+    let observe = opts.observe;
+    let chan_depth = observe.then(|| Arc::new(AtomicUsize::new(0)));
+    let producer_depth = chan_depth.clone();
 
     thread::scope(|s| {
         // Simulation stage: warm up, publish the trace metadata, divert
@@ -190,13 +243,34 @@ pub fn run_streaming_with(
                 measure_end: measure_start + config.measure_cycles,
             };
             tx.send(StreamMsg::Meta(Box::new(meta))).ok();
-            prep.machine
-                .monitor_mut()
-                .set_sink(Box::new(ChunkSink::new(tx, chunk_records)));
+            // Observability attaches only for the measured window, so
+            // warm-up never pollutes the probes or the timeline.
+            let obs_slot = observe.then(|| {
+                prep.os.enable_obs();
+                Arc::new(Mutex::new(Some(TimelineBuilder::new(
+                    config.machine.num_cpus as usize,
+                    measure_start,
+                ))))
+            });
+            prep.machine.monitor_mut().set_sink(Box::new(ChunkSink::new(
+                tx,
+                chunk_records,
+                producer_depth,
+            )));
+            if let Some(slot) = &obs_slot {
+                prep.machine.monitor_mut().add_sink(Box::new(TimelineSink {
+                    builder: Arc::clone(slot),
+                }));
+            }
             prep.measure();
-            // finish() detaches (and so flushes) the sink; the channel
+            let kernel_obs = prep.os.take_obs();
+            // finish() detaches (and so flushes) the sinks; the channel
             // closes when the sink's sender drops.
-            prep.finish()
+            let art = prep.finish();
+            let built = obs_slot
+                .and_then(|slot| slot.lock().expect("timeline builder poisoned").take())
+                .map(|b| b.finish(art.measure_end));
+            (art, kernel_obs, built)
         });
 
         // Optional sweep workers, each owning a round-robin share of the
@@ -245,12 +319,26 @@ pub fn run_streaming_with(
         // Analysis stage, on the calling thread.
         let mut analyzer: Option<StreamAnalyzer> = None;
         let mut kept: Vec<BusRecord> = Vec::new();
+        let mut pobs = observe.then(PipelineObs::default);
         for msg in rx {
             match msg {
                 StreamMsg::Meta(meta) => {
                     analyzer = Some(StreamAnalyzer::new(*meta, aopts.clone()));
                 }
                 StreamMsg::Chunk(recs) => {
+                    if let Some(p) = &mut pobs {
+                        p.chunks += 1;
+                        p.records += recs.len() as u64;
+                        p.chunk_size.record(recs.len() as u64);
+                        if let Some(d) = &chan_depth {
+                            // Sample the in-flight count (including this
+                            // chunk) before releasing the slot.
+                            let depth = d.fetch_sub(1, Ordering::Relaxed) as u64;
+                            p.depth_max = p.depth_max.max(depth);
+                            p.depth_sum += depth;
+                            p.depth_samples += 1;
+                        }
+                    }
                     let a = analyzer
                         .as_mut()
                         .expect("trace metadata must precede records");
@@ -279,7 +367,7 @@ pub fn run_streaming_with(
             }
         }
 
-        let mut art = producer.join().expect("simulation thread panicked");
+        let (mut art, kernel_obs, built) = producer.join().expect("simulation thread panicked");
         let analyzer = analyzer.expect("simulation ended without trace metadata");
         let mut an = if shards > 1 {
             drop(shard_txs);
@@ -320,6 +408,13 @@ pub fn run_streaming_with(
         }
         if opts.keep_trace {
             art.trace = kept;
+        }
+        if let (Some(p), Some((timeline, mut metrics))) = (pobs, built) {
+            let tag = config.workload.label().to_lowercase();
+            p.export_into(&mut metrics);
+            let mut obs = assemble_run_obs(&tag, timeline, metrics, &art, &an, kernel_obs);
+            obs.pipeline = p;
+            art.obs = Some(Box::new(obs));
         }
         (art, an)
     })

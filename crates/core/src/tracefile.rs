@@ -190,6 +190,7 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         measure_start,
         measure_end,
         workload,
+        obs: None,
     })
 }
 

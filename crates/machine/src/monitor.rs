@@ -78,8 +78,10 @@ pub struct TraceBuffer {
     lost: u64,
     total_seen: u64,
     enabled: bool,
-    sink: Option<Box<dyn TraceSink>>,
-    /// Records seen while a sink is attached, not yet handed over.
+    /// Attached sinks; every staged batch fans out to each of them, in
+    /// attachment order.
+    sinks: Vec<Box<dyn TraceSink>>,
+    /// Records seen while sinks are attached, not yet handed over.
     stage: Vec<BusRecord>,
 }
 
@@ -91,7 +93,7 @@ impl std::fmt::Debug for TraceBuffer {
             .field("lost", &self.lost)
             .field("total_seen", &self.total_seen)
             .field("enabled", &self.enabled)
-            .field("sink", &self.sink.is_some())
+            .field("sinks", &self.sinks.len())
             .finish()
     }
 }
@@ -106,15 +108,17 @@ impl TraceBuffer {
             lost: 0,
             total_seen: 0,
             enabled: true,
-            sink: None,
+            sinks: Vec::new(),
             stage: Vec::new(),
         }
     }
 
-    /// Hands any staged records to the sink.
+    /// Hands any staged records to every attached sink.
     fn flush_stage(&mut self) {
-        if let (Some(sink), false) = (&mut self.sink, self.stage.is_empty()) {
-            sink.record_batch(&self.stage);
+        if !self.sinks.is_empty() && !self.stage.is_empty() {
+            for sink in &mut self.sinks {
+                sink.record_batch(&self.stage);
+            }
             self.stage.clear();
         }
     }
@@ -129,24 +133,37 @@ impl TraceBuffer {
         self.enabled
     }
 
-    /// Attaches a streaming sink. Subsequent records (while enabled) go
-    /// to the sink instead of the in-memory buffer, staged into batches.
-    /// Any records staged for a previous sink are flushed to it first.
+    /// Attaches a streaming sink, replacing any already attached.
+    /// Subsequent records (while enabled) go to the sinks instead of
+    /// the in-memory buffer, staged into batches. Any records staged
+    /// for previous sinks are flushed to them first.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.flush_stage();
-        self.sink = Some(sink);
+        self.sinks.clear();
+        self.sinks.push(sink);
     }
 
-    /// Flushes staged records to the sink, then detaches and drops it
-    /// (dropping typically flushes whatever the sink itself buffered).
+    /// Attaches an additional sink alongside any existing ones (fan-
+    /// out): every subsequent record is delivered to every sink, in
+    /// attachment order. Records already staged are flushed to the
+    /// previously attached sinks first, so a new sink only sees records
+    /// from its attachment point on.
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.flush_stage();
+        self.sinks.push(sink);
+    }
+
+    /// Flushes staged records to the sinks, then detaches and drops
+    /// them all (dropping typically flushes whatever each sink itself
+    /// buffered).
     pub fn clear_sink(&mut self) {
         self.flush_stage();
-        self.sink = None;
+        self.sinks.clear();
     }
 
-    /// Whether a streaming sink is attached.
+    /// Whether at least one streaming sink is attached.
     pub fn has_sink(&self) -> bool {
-        self.sink.is_some()
+        !self.sinks.is_empty()
     }
 
     /// Appends a record, dropping it (and counting the loss) if the
@@ -159,7 +176,7 @@ impl TraceBuffer {
             return;
         }
         self.total_seen += 1;
-        if self.sink.is_some() {
+        if !self.sinks.is_empty() {
             self.stage.push(rec);
             if self.stage.len() >= SINK_BATCH {
                 self.flush_stage();
@@ -335,6 +352,60 @@ mod tests {
         let got: Vec<BusRecord> = rx.try_iter().collect();
         assert_eq!(got.len(), 5);
         assert!(got.windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn fan_out_delivers_every_record_to_every_sink() {
+        use std::sync::mpsc;
+
+        struct Tx(mpsc::Sender<BusRecord>);
+        impl TraceSink for Tx {
+            fn record(&mut self, rec: BusRecord) {
+                self.0.send(rec).ok();
+            }
+        }
+
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_sink(Box::new(Tx(tx1)));
+        b.record(rec(0));
+        // The second sink attaches later and must only see records from
+        // its attachment point on.
+        b.add_sink(Box::new(Tx(tx2)));
+        for t in 1..5 {
+            b.record(rec(t));
+        }
+        assert!(b.is_empty(), "sinks divert records from the buffer");
+        b.clear_sink();
+        assert!(!b.has_sink());
+        let got1: Vec<u64> = rx1.try_iter().map(|r| r.time).collect();
+        let got2: Vec<u64> = rx2.try_iter().map(|r| r.time).collect();
+        assert_eq!(got1, vec![0, 1, 2, 3, 4]);
+        assert_eq!(got2, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_sink_replaces_previous_sinks() {
+        use std::sync::mpsc;
+
+        struct Tx(mpsc::Sender<u64>);
+        impl TraceSink for Tx {
+            fn record(&mut self, rec: BusRecord) {
+                self.0.send(rec.time).ok();
+            }
+        }
+
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_sink(Box::new(Tx(tx1)));
+        b.record(rec(1));
+        b.set_sink(Box::new(Tx(tx2)));
+        b.record(rec(2));
+        b.clear_sink();
+        assert_eq!(rx1.try_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(rx2.try_iter().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

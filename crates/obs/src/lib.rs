@@ -1,0 +1,44 @@
+//! # oscar-obs
+//!
+//! A structured tracing and metrics facade for the oscar stack:
+//! counters, gauges, power-of-two histograms and per-CPU span timelines
+//! that are **zero-cost when disabled** (probes sit behind
+//! `Option<Box<...>>` guards owned by the instrumented component) and
+//! **deterministic when enabled** (every value derives from simulated
+//! time and simulated state, never from wall clocks or map iteration
+//! order, so exports are byte-identical across `--jobs N`).
+//!
+//! The crate deliberately depends on nothing — not even other oscar
+//! crates — so any layer (machine, OS, analyzer, pipeline) can record
+//! into it without dependency cycles.
+//!
+//! Two export formats:
+//!
+//! - [`Timeline::to_chrome_json`] renders span and counter tracks as
+//!   Chrome trace-event JSON, loadable in Perfetto or
+//!   `chrome://tracing`. Timestamps are simulated CPU cycles presented
+//!   as microsecond ticks (one cycle is 30 ns of simulated time; the
+//!   unit is a display fiction that keeps every timestamp an exact
+//!   integer).
+//! - [`Metrics::to_json`] renders every counter, gauge and histogram as
+//!   a flat, key-sorted JSON object, stable byte-for-byte across runs.
+//!
+//! ```
+//! use oscar_obs::{Metrics, Timeline};
+//!
+//! let mut m = Metrics::new();
+//! m.add("locks.acquires", 3);
+//! m.record_hist("locks.spin_cycles", 140);
+//! assert!(m.to_json().contains("\"locks.acquires\""));
+//!
+//! let mut t = Timeline::new();
+//! t.set_thread_name(0, 0, "cpu0 mode");
+//! t.push_span(0, 0, 100, 40, "os", "mode");
+//! assert!(t.to_chrome_json().contains("\"ph\":\"X\""));
+//! ```
+
+pub mod metrics;
+pub mod timeline;
+
+pub use metrics::{Log2Histogram, MetricValue, Metrics};
+pub use timeline::Timeline;

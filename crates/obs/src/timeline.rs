@@ -1,0 +1,299 @@
+//! Span and counter timelines with a Chrome trace-event JSON renderer.
+//!
+//! The model is the trace-event format's: *processes* (`pid`) group
+//! *threads* (`tid`), threads carry complete spans (`ph:"X"`), and
+//! processes carry counter tracks (`ph:"C"`). Oscar maps one simulated
+//! run to a process per concern (CPU tracks, bus occupancy) and one
+//! thread per CPU track; multi-run exports shift each run into its own
+//! pid range with [`Timeline::merge_shifted`].
+//!
+//! Timestamps and durations are simulated CPU cycles emitted as the
+//! format's microsecond ticks — exact integers, so rendering is
+//! deterministic and byte-identical across `--jobs N`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::json_str;
+
+/// A complete span on one thread track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Process (track group).
+    pub pid: u32,
+    /// Thread (track).
+    pub tid: u32,
+    /// Start, in simulated cycles.
+    pub ts: u64,
+    /// Duration, in simulated cycles.
+    pub dur: u64,
+    /// Span name (shown on the slice).
+    pub name: String,
+    /// Category (filterable in the viewer).
+    pub cat: &'static str,
+}
+
+/// One sample of a counter track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Process the counter belongs to.
+    pub pid: u32,
+    /// Sample time, in simulated cycles.
+    pub ts: u64,
+    /// Counter (track) name.
+    pub name: &'static str,
+    /// Stacked series values, in fixed order.
+    pub series: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Meta {
+    ProcessName { pid: u32, name: String },
+    ThreadName { pid: u32, tid: u32, name: String },
+}
+
+/// An ordered collection of spans, counter samples and track metadata.
+///
+/// Events keep insertion order, which the deterministic producers make
+/// reproducible; rendering emits metadata first, then data events in
+/// that order.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    meta: Vec<Meta>,
+    spans: Vec<Span>,
+    counters: Vec<CounterSample>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a process (track group) in the viewer.
+    pub fn set_process_name(&mut self, pid: u32, name: impl Into<String>) {
+        self.meta.push(Meta::ProcessName {
+            pid,
+            name: name.into(),
+        });
+    }
+
+    /// Names a thread (track) in the viewer. Threads sort by `tid`.
+    pub fn set_thread_name(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.meta.push(Meta::ThreadName {
+            pid,
+            tid,
+            name: name.into(),
+        });
+    }
+
+    /// Appends a complete span.
+    pub fn push_span(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+        name: impl Into<String>,
+        cat: &'static str,
+    ) {
+        self.spans.push(Span {
+            pid,
+            tid,
+            ts,
+            dur,
+            name: name.into(),
+            cat,
+        });
+    }
+
+    /// Appends one counter sample with its stacked series.
+    pub fn push_counter(
+        &mut self,
+        pid: u32,
+        ts: u64,
+        name: &'static str,
+        series: &[(&'static str, u64)],
+    ) {
+        self.counters.push(CounterSample {
+            pid,
+            ts,
+            name,
+            series: series.to_vec(),
+        });
+    }
+
+    /// The spans, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The counter samples, in insertion order.
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        &self.counters
+    }
+
+    /// Total events (spans + counter samples).
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.counters.len()
+    }
+
+    /// Whether the timeline holds no data events.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Appends `other` with every pid shifted by `pid_offset`, giving
+    /// each merged run its own process group in the viewer.
+    pub fn merge_shifted(&mut self, other: &Timeline, pid_offset: u32) {
+        for m in &other.meta {
+            self.meta.push(match m {
+                Meta::ProcessName { pid, name } => Meta::ProcessName {
+                    pid: pid + pid_offset,
+                    name: name.clone(),
+                },
+                Meta::ThreadName { pid, tid, name } => Meta::ThreadName {
+                    pid: pid + pid_offset,
+                    tid: *tid,
+                    name: name.clone(),
+                },
+            });
+        }
+        for s in &other.spans {
+            self.spans.push(Span {
+                pid: s.pid + pid_offset,
+                ..s.clone()
+            });
+        }
+        for c in &other.counters {
+            self.counters.push(CounterSample {
+                pid: c.pid + pid_offset,
+                ..c.clone()
+            });
+        }
+    }
+
+    /// Renders the timeline as a Chrome trace-event JSON document
+    /// (`{"traceEvents": [...]}`), loadable in Perfetto and
+    /// `chrome://tracing`. Byte-identical for identical contents.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(96 * self.len() + 64 * self.meta.len() + 64);
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        };
+        for m in &self.meta {
+            sep(&mut out);
+            match m {
+                Meta::ProcessName { pid, name } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                        json_str(name)
+                    );
+                }
+                Meta::ThreadName { pid, tid, name } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{}}}}},\n\
+                         {{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}",
+                        json_str(name)
+                    );
+                }
+            }
+        }
+        for s in &self.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"cat\":{},\"name\":{}}}",
+                s.pid,
+                s.tid,
+                s.ts,
+                s.dur,
+                json_str(s.cat),
+                json_str(&s.name)
+            );
+        }
+        for c in &self.counters {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"name\":{},\"args\":{{",
+                c.pid,
+                c.ts,
+                json_str(c.name)
+            );
+            for (i, (k, v)) in c.series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{v}", json_str(k));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.set_process_name(0, "pmake cpus");
+        t.set_thread_name(0, 0, "cpu0 mode");
+        t.push_span(0, 0, 10, 5, "os", "mode");
+        t.push_span(0, 0, 15, 3, "user", "mode");
+        t.push_counter(1, 0, "bus", &[("reads", 4), ("writes", 1)]);
+        t
+    }
+
+    #[test]
+    fn renders_spans_counters_and_metadata() {
+        let j = sample().to_chrome_json();
+        assert!(j.starts_with("{\"displayTimeUnit\": \"ms\""));
+        assert!(j.contains("\"ph\":\"M\",\"name\":\"process_name\""));
+        assert!(j.contains("\"ph\":\"M\",\"name\":\"thread_name\""));
+        assert!(j.contains("\"ph\":\"M\",\"name\":\"thread_sort_index\""));
+        assert!(j.contains(
+            "\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":10,\"dur\":5,\"cat\":\"mode\",\"name\":\"os\""
+        ));
+        assert!(j.contains("\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"bus\",\"args\":{\"reads\":4,\"writes\":1}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        let t = sample();
+        assert_eq!(t.to_chrome_json(), t.to_chrome_json());
+    }
+
+    #[test]
+    fn merge_shifts_pids_only() {
+        let mut a = sample();
+        let b = sample();
+        a.merge_shifted(&b, 8);
+        assert_eq!(a.spans().len(), 4);
+        assert_eq!(a.spans()[2].pid, 8);
+        assert_eq!(a.spans()[2].tid, 0);
+        assert_eq!(a.counter_samples()[1].pid, 9);
+        let j = a.to_chrome_json();
+        assert!(j.contains("\"pid\":8"));
+    }
+
+    #[test]
+    fn empty_timeline_is_valid_json_shell() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        let j = t.to_chrome_json();
+        assert!(j.contains("\"traceEvents\": [\n\n]"));
+    }
+}

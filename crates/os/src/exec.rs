@@ -222,7 +222,30 @@ pub enum KOp {
     Call(KCall),
 }
 
+/// Number of [`KOp`] kinds, sizing the kernel-probe counters.
+pub const NUM_KOP_KINDS: usize = 8;
+
 impl KOp {
+    /// Stable labels for the kinds, indexed by [`KOp::kind_index`]
+    /// (metric keys `kernel.kop.<label>`).
+    pub const KIND_LABELS: [&'static str; NUM_KOP_KINDS] = [
+        "ifetch", "data", "dsweep", "compute", "escape", "lock", "unlock", "call",
+    ];
+
+    /// Index of this op's kind into a [`NUM_KOP_KINDS`]-sized array.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            KOp::IFetch { .. } => 0,
+            KOp::Data { .. } => 1,
+            KOp::DSweep { .. } => 2,
+            KOp::Compute { .. } => 3,
+            KOp::Escape(_) => 4,
+            KOp::Lock(_) => 5,
+            KOp::Unlock(_) => 6,
+            KOp::Call(_) => 7,
+        }
+    }
+
     /// An instruction-fetch sweep over a whole routine window.
     pub fn fetch(base: PAddr, len: u32) -> KOp {
         KOp::IFetch {

@@ -102,6 +102,33 @@ pub enum OsEvent {
 /// Number of distinct escape opcodes.
 pub const NUM_OPCODES: u32 = 19;
 
+/// A stable human-readable name for an escape opcode, for metric keys
+/// (`kernel.escape.<label>`) and trace tooling. Unknown opcodes map to
+/// `"unknown"`.
+pub fn opcode_label(opcode: u32) -> &'static str {
+    match opcode {
+        OP_TRACE_START => "trace-start",
+        op if (OP_ENTER_OS_BASE..OP_ENTER_OS_BASE + 7).contains(&op) => {
+            match OpClass::from_code(op - OP_ENTER_OS_BASE) {
+                Some(c) => c.label(),
+                None => "unknown",
+            }
+        }
+        OP_EXIT_OS => "exit-os",
+        OP_ENTER_IDLE => "enter-idle",
+        OP_EXIT_IDLE => "exit-idle",
+        OP_PID_CHANGE => "pid-change",
+        OP_TLB_SET => "tlb-set",
+        OP_CTX_ENTER => "ctx-enter",
+        OP_CTX_EXIT => "ctx-exit",
+        OP_BLOCK_OP => "block-op",
+        OP_ICACHE_FLUSH => "icache-flush",
+        OP_RECLASS => "op-reclass",
+        OP_OP_END => "op-end",
+        _ => "unknown",
+    }
+}
+
 const OP_TRACE_START: u32 = 0;
 const OP_ENTER_OS_BASE: u32 = 1; // ..=7, one per OpClass
 const OP_EXIT_OS: u32 = 8;
@@ -339,6 +366,18 @@ mod tests {
         );
         // A payload for a small value is odd and *below* the range.
         assert_eq!(OsEvent::decode_opcode(OsEvent::payload_addr(5)), None);
+    }
+
+    #[test]
+    fn opcode_labels_are_stable_and_distinct() {
+        let labels: std::collections::HashSet<_> = (0..NUM_OPCODES).map(opcode_label).collect();
+        assert_eq!(labels.len(), NUM_OPCODES as usize);
+        assert_eq!(opcode_label(OP_TLB_SET), "tlb-set");
+        assert_eq!(
+            opcode_label(OP_ENTER_OS_BASE),
+            OpClass::from_code(0).unwrap().label()
+        );
+        assert_eq!(opcode_label(999), "unknown");
     }
 
     #[test]

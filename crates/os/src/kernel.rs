@@ -12,13 +12,13 @@ use std::collections::HashMap;
 use oscar_machine::addr::{CpuId, PAddr, Ppn, VAddr, Vpn, BLOCK_SIZE, PAGE_SIZE};
 use oscar_machine::machine::Machine;
 
-use crate::exec::{sweep_step, Chan, Disposition, KFrame, KOp};
+use crate::exec::{sweep_step, Chan, Disposition, KFrame, KOp, NUM_KOP_KINDS};
 use crate::fs::{BufferCache, Disk};
-use crate::instrument::OsEvent;
+use crate::instrument::{OsEvent, NUM_OPCODES};
 use crate::layout::{sizes, Layout, Rid};
-use crate::locks::{LockFamily, LockId, LockTable, TryAcquire};
+use crate::locks::{LockFamily, LockId, LockObsStats, LockSpan, LockTable, TryAcquire};
 use crate::proc::{ProcTable, Process, Pte};
-use crate::sched::{RunQueue, SchedPolicy};
+use crate::sched::{RunQueue, SchedObs, SchedPolicy};
 use crate::stats::OsStats;
 use crate::types::{Mode, Pid, ProcSlot};
 use crate::user::{segs, SysReq, TaskEnv, UOp, UserTask};
@@ -173,6 +173,37 @@ pub(crate) struct Callout {
     pub chan: Chan,
 }
 
+/// Kernel execution probes, kept only while observability is enabled
+/// (a single `Option` check on the hot paths when it is not).
+#[derive(Debug, Default)]
+pub struct KernelProbes {
+    /// Micro-ops executed, by [`KOp`] kind ([`KOp::KIND_LABELS`] order).
+    pub kop: [u64; NUM_KOP_KINDS],
+    /// Escape events emitted, by opcode
+    /// ([`opcode_label`](crate::instrument::opcode_label) names them).
+    pub escapes: [u64; NUM_OPCODES as usize],
+    /// Buffer-cache transfer chunks moved by the `read`/`write` paths.
+    pub io_chunks: u64,
+    /// uTLB refill frames built.
+    pub utlb_refills: u64,
+    /// Copy-on-write fault frames built.
+    pub cow_faults: u64,
+}
+
+/// Everything the kernel-side probes collected over a window, detached
+/// by [`OsWorld::take_obs`].
+#[derive(Debug, Default)]
+pub struct KernelObsReport {
+    /// Execution counters.
+    pub probes: KernelProbes,
+    /// Run-queue probes, merged across all queues.
+    pub sched: SchedObs,
+    /// Per-lock spin/hold profiles, most contended first.
+    pub lock_profiles: Vec<(LockId, LockObsStats)>,
+    /// Raw lock intervals in completion order, for timeline export.
+    pub lock_spans: Vec<LockSpan>,
+}
+
 /// The simulated operating system.
 pub struct OsWorld {
     pub(crate) layout: Layout,
@@ -196,6 +227,7 @@ pub struct OsWorld {
     pub(crate) cold_cursor: u64,
     pub(crate) num_cpus: u8,
     pub(crate) disk_cpu: CpuId,
+    pub(crate) probes: Option<Box<KernelProbes>>,
 }
 
 impl std::fmt::Debug for OsWorld {
@@ -256,9 +288,52 @@ impl OsWorld {
             cold_cursor: 0,
             num_cpus,
             disk_cpu: CpuId(0),
+            probes: None,
             layout,
             tuning,
         }
+    }
+
+    /// Turns on kernel-side observability: the lock-table probes, the
+    /// run-queue probes, and the execution counters. Enable at the
+    /// measurement-window start so warmup activity is excluded.
+    pub fn enable_obs(&mut self) {
+        self.locks.enable_obs();
+        for q in &mut self.runqs {
+            q.enable_obs();
+        }
+        if self.probes.is_none() {
+            self.probes = Some(Box::default());
+        }
+    }
+
+    /// Detaches everything the kernel probes collected, disabling them.
+    /// Returns `None` when observability was never enabled.
+    pub fn take_obs(&mut self) -> Option<Box<KernelObsReport>> {
+        let probes = self.probes.take()?;
+        let mut sched = SchedObs::default();
+        for q in &mut self.runqs {
+            if let Some(s) = q.take_obs() {
+                sched.merge(&s);
+            }
+        }
+        let (lock_profiles, lock_spans) = match self.locks.take_obs() {
+            Some(obs) => {
+                let profiles = obs
+                    .profiles()
+                    .into_iter()
+                    .map(|(id, st)| (id, st.clone()))
+                    .collect();
+                (profiles, obs.into_spans())
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        Some(Box::new(KernelObsReport {
+            probes: *probes,
+            sched,
+            lock_profiles,
+            lock_spans,
+        }))
     }
 
     /// The kernel layout (symbol table), needed by the trace
@@ -407,6 +482,9 @@ impl OsWorld {
 
     /// Emits one instrumentation event as its escape sequence.
     pub(crate) fn emit(&mut self, m: &mut Machine, cpu: CpuId, ev: OsEvent) {
+        if let Some(p) = &mut self.probes {
+            p.escapes[ev.opcode() as usize] += 1;
+        }
         for addr in ev.encode() {
             let out = m.uncached_read(cpu, addr);
             self.stats.escape_reads += 1;
@@ -575,6 +653,9 @@ impl OsWorld {
             self.finish_frame(m, cpu, loc);
             return;
         };
+        if let Some(p) = &mut self.probes {
+            p.kop[op.kind_index()] += 1;
+        }
         match op {
             KOp::IFetch { cur, end } => {
                 // Fetch the remainder of the current block, from the
@@ -655,6 +736,7 @@ impl OsWorld {
                 }
             }
             KOp::Unlock(id) => {
+                let now = m.now(cpu);
                 m.sync_op(cpu);
                 if id.family != LockFamily::Ino && id.family.is_kernel() {
                     let spl = &mut self.cpus[cpu.index()].spl;
@@ -664,13 +746,13 @@ impl OsWorld {
                 if id.family == LockFamily::Ino {
                     // Sleep locks may be released on a different CPU
                     // than they were acquired on (the holder slept).
-                    self.locks.release_any(id, cpu);
+                    self.locks.release_any(id, cpu, now);
                     let ops = self.wakeup_ops(Chan::InoWait(id.instance));
                     if !ops.is_empty() {
                         self.frame_mut(cpu, loc).push_front_ops(ops);
                     }
                 } else {
-                    self.locks.release(id, cpu);
+                    self.locks.release(id, cpu, now);
                 }
             }
             KOp::Call(call) => {
@@ -1062,12 +1144,13 @@ impl OsWorld {
                 }
             }
             UOp::LockRel { lock } => {
+                let now = m.now(cpu);
                 m.sync_op(cpu);
                 // The holder may have napped (`sginap`) since the
                 // acquire and resumed on another CPU, so release on
                 // the holding process's behalf.
                 self.locks
-                    .release_any(LockId::new(LockFamily::User, lock), cpu);
+                    .release_any(LockId::new(LockFamily::User, lock), cpu, now);
             }
         }
     }

@@ -52,12 +52,13 @@ pub mod types;
 pub mod user;
 pub mod vm;
 
-pub use instrument::{BlockOpKind, OsEvent};
-pub use kernel::{OsTuning, OsWorld};
+pub use exec::NUM_KOP_KINDS;
+pub use instrument::{opcode_label, BlockOpKind, OsEvent, NUM_OPCODES};
+pub use kernel::{KernelObsReport, KernelProbes, OsTuning, OsWorld};
 pub use layout::{KernelRegion, Layout, Rid, Subsystem};
-pub use locks::{FamilyStats, LockFamily, LockId, LockTable};
+pub use locks::{FamilyStats, LockFamily, LockId, LockObsStats, LockPhase, LockSpan, LockTable};
 pub use paths::shm_base_vpn;
-pub use sched::SchedPolicy;
+pub use sched::{SchedObs, SchedPolicy};
 pub use stats::OsStats;
 pub use types::{AttrCtx, BlockSizeClass, Mode, OpClass, Pid, ProcSlot};
 pub use user::{ExecImage, SysReq, TaskEnv, UOp, UserTask};

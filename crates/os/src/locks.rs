@@ -9,10 +9,18 @@
 //! column and Table 10's LL/SC scenario — a per-lock cache-line
 //! simulation that counts the misses the locks *would* take if they were
 //! cacheable with load-linked/store-conditional support.
+//!
+//! With [`LockTable::enable_obs`] the table additionally keeps DTrace-
+//! style dynamic-probe data per *lock instance*: spin-cycle and
+//! hold-time [`Log2Histogram`]s plus the raw acquire→spin→hold→release
+//! interval spans ([`LockSpan`]) for timeline export. The probes are
+//! pure bookkeeping — they never touch the machine — and cost nothing
+//! when disabled (a single `Option` check per lock operation).
 
 use std::collections::HashMap;
 
 use oscar_machine::addr::CpuId;
+use oscar_obs::Log2Histogram;
 
 /// The lock families of Table 11 (the `_x` families are arrays of locks,
 /// one per protected structure), plus the pipe and user-level families
@@ -121,7 +129,7 @@ impl LockFamily {
 
 /// Identifies one lock: a family plus an instance number (0 for the
 /// singleton locks; the structure index for `_x` families).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LockId {
     /// The family this lock belongs to.
     pub family: LockFamily,
@@ -213,6 +221,127 @@ impl FamilyStats {
     }
 }
 
+/// Dynamic-probe statistics for one lock instance (kept only while
+/// observability is enabled).
+#[derive(Debug, Clone, Default)]
+pub struct LockObsStats {
+    /// Successful acquires observed.
+    pub acquires: u64,
+    /// Acquires that had to wait (at least one failed attempt).
+    pub contended: u64,
+    /// Total cycles spent spinning (or sleeping, for sleep locks)
+    /// before contended acquires.
+    pub spin_cycles: u64,
+    /// Total cycles the lock was held.
+    pub hold_cycles: u64,
+    /// Distribution of per-acquire spin times, in cycles.
+    pub spin_hist: Log2Histogram,
+    /// Distribution of per-acquire hold times, in cycles.
+    pub hold_hist: Log2Histogram,
+}
+
+/// Which interval of a lock's life a [`LockSpan`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPhase {
+    /// From the first failed acquire attempt to the acquire.
+    Spin,
+    /// From the acquire to the release.
+    Hold,
+}
+
+/// One observed lock interval, for timeline export. Attributed to the
+/// acquiring CPU even when a sleep lock is released elsewhere.
+#[derive(Debug, Clone, Copy)]
+pub struct LockSpan {
+    /// The lock instance.
+    pub lock: LockId,
+    /// The CPU that (eventually) acquired the lock.
+    pub cpu: CpuId,
+    /// Spin or hold.
+    pub phase: LockPhase,
+    /// Interval start cycle.
+    pub start: u64,
+    /// Interval end cycle.
+    pub end: u64,
+}
+
+/// Dynamic lock probes: per-instance spin/hold statistics and the raw
+/// interval spans, in the spirit of the DTrace lock-latency studies.
+#[derive(Debug, Default)]
+pub struct LockObs {
+    stats: HashMap<LockId, LockObsStats>,
+    spans: Vec<LockSpan>,
+    /// First failed attempt time per (lock, spinning CPU).
+    spin_since: HashMap<(LockId, CpuId), u64>,
+    /// Acquire time and acquiring CPU per held lock.
+    hold_since: HashMap<LockId, (CpuId, u64)>,
+}
+
+impl LockObs {
+    fn on_busy(&mut self, lock: LockId, cpu: CpuId, now: u64) {
+        self.spin_since.entry((lock, cpu)).or_insert(now);
+    }
+
+    fn on_acquired(&mut self, lock: LockId, cpu: CpuId, now: u64) {
+        let st = self.stats.entry(lock).or_default();
+        st.acquires += 1;
+        if let Some(t0) = self.spin_since.remove(&(lock, cpu)) {
+            let spun = now.saturating_sub(t0);
+            st.contended += 1;
+            st.spin_cycles += spun;
+            st.spin_hist.record(spun);
+            self.spans.push(LockSpan {
+                lock,
+                cpu,
+                phase: LockPhase::Spin,
+                start: t0,
+                end: now,
+            });
+        }
+        self.hold_since.insert(lock, (cpu, now));
+    }
+
+    fn on_released(&mut self, lock: LockId, now: u64) {
+        if let Some((cpu, t0)) = self.hold_since.remove(&lock) {
+            let held = now.saturating_sub(t0);
+            let st = self.stats.entry(lock).or_default();
+            st.hold_cycles += held;
+            st.hold_hist.record(held);
+            self.spans.push(LockSpan {
+                lock,
+                cpu,
+                phase: LockPhase::Hold,
+                start: t0,
+                end: now,
+            });
+        }
+    }
+
+    /// Per-lock profiles, most contended first (ties broken by
+    /// acquires, then lock identity, for a deterministic order).
+    pub fn profiles(&self) -> Vec<(LockId, &LockObsStats)> {
+        let mut v: Vec<(LockId, &LockObsStats)> =
+            self.stats.iter().map(|(id, st)| (*id, st)).collect();
+        v.sort_by(|(ida, a), (idb, b)| {
+            (b.contended, b.spin_cycles, b.acquires)
+                .cmp(&(a.contended, a.spin_cycles, a.acquires))
+                .then(ida.cmp(idb))
+        });
+        v
+    }
+
+    /// The observed intervals, in completion order (deterministic: the
+    /// simulation is).
+    pub fn spans(&self) -> &[LockSpan] {
+        &self.spans
+    }
+
+    /// Consumes the probe data, returning the owned interval list.
+    pub fn into_spans(self) -> Vec<LockSpan> {
+        self.spans
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct LockState {
     held_by: Option<CpuId>,
@@ -232,6 +361,7 @@ struct LockState {
 pub struct LockTable {
     locks: HashMap<LockId, LockState>,
     stats: [FamilyStats; LockFamily::ALL.len()],
+    obs: Option<Box<LockObs>>,
 }
 
 /// Result of an acquire attempt.
@@ -251,6 +381,21 @@ impl LockTable {
 
     fn mask(cpu: CpuId) -> u32 {
         1u32 << cpu.index()
+    }
+
+    /// Turns on the per-instance dynamic probes. Intervals already in
+    /// flight are not back-filled; enable at a quiescent point (the
+    /// measurement-window start) for clean data.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::default());
+        }
+    }
+
+    /// Detaches and returns the probe data, disabling the probes.
+    /// Intervals still open (locks held at the window end) are dropped.
+    pub fn take_obs(&mut self) -> Option<Box<LockObs>> {
+        self.obs.take()
     }
 
     /// Attempts to acquire `lock` for `cpu` at time `now` (one
@@ -294,6 +439,9 @@ impl LockTable {
                 st.held_by = Some(cpu);
                 st.spinning &= !Self::mask(cpu);
                 st.first_failed &= !Self::mask(cpu);
+                if let Some(obs) = &mut self.obs {
+                    obs.on_acquired(lock, cpu, now);
+                }
                 TryAcquire::Acquired
             }
             Some(holder) => {
@@ -312,30 +460,33 @@ impl LockTable {
                     st.first_failed |= Self::mask(cpu);
                 }
                 st.spinning |= Self::mask(cpu);
+                if let Some(obs) = &mut self.obs {
+                    obs.on_busy(lock, cpu, now);
+                }
                 TryAcquire::Busy
             }
         }
     }
 
-    /// Releases `lock` held by `cpu` (one synchronization-bus
-    /// operation).
+    /// Releases `lock` held by `cpu` at time `now` (one
+    /// synchronization-bus operation).
     ///
     /// # Panics
     ///
     /// Panics in debug builds if the caller does not hold the lock.
-    pub fn release(&mut self, lock: LockId, cpu: CpuId) {
+    pub fn release(&mut self, lock: LockId, cpu: CpuId, now: u64) {
         debug_assert_eq!(
             self.locks.get(&lock).and_then(|s| s.held_by),
             Some(cpu),
             "release by non-holder of {lock:?}"
         );
-        self.release_any(lock, cpu);
+        self.release_any(lock, cpu, now);
     }
 
     /// Releases `lock` on behalf of its holder, from whichever CPU the
     /// holding process resumed on (sleep locks migrate with their
     /// process).
-    pub fn release_any(&mut self, lock: LockId, cpu: CpuId) {
+    pub fn release_any(&mut self, lock: LockId, cpu: CpuId, now: u64) {
         let st = self.locks.entry(lock).or_default();
         debug_assert!(st.held_by.is_some(), "release of free lock {lock:?}");
         let fam = lock.family.index();
@@ -353,6 +504,9 @@ impl LockTable {
             st.llsc_sharers = Self::mask(cpu);
         }
         st.held_by = None;
+        if let Some(obs) = &mut self.obs {
+            obs.on_released(lock, now);
+        }
     }
 
     /// Whether `lock` is currently held.
@@ -411,7 +565,7 @@ mod tests {
         assert_eq!(t.try_acquire(runq(), C0, 100), TryAcquire::Acquired);
         assert!(t.is_held(runq()));
         assert_eq!(t.holder(runq()), Some(C0));
-        t.release(runq(), C0);
+        t.release(runq(), C0, 150);
         assert!(!t.is_held(runq()));
         let s = t.family_stats(LockFamily::Runqlk);
         assert_eq!(s.acquires, 1);
@@ -437,7 +591,7 @@ mod tests {
         let mut t = LockTable::new();
         t.try_acquire(runq(), C0, 0);
         t.try_acquire(runq(), C1, 1);
-        t.release(runq(), C0);
+        t.release(runq(), C0, 2);
         let s = t.family_stats(LockFamily::Runqlk);
         assert_eq!(s.waiter_events, 1);
         assert_eq!(s.waiter_sum, 1);
@@ -451,7 +605,7 @@ mod tests {
         let mut t = LockTable::new();
         for i in 0..4 {
             assert_eq!(t.try_acquire(runq(), C0, i * 100), TryAcquire::Acquired);
-            t.release(runq(), C0);
+            t.release(runq(), C0, i * 100 + 50);
         }
         let s = t.family_stats(LockFamily::Runqlk);
         assert_eq!(s.acquires, 4);
@@ -465,13 +619,13 @@ mod tests {
         t.try_acquire(runq(), C0, 0);
         // C1 tries while held.
         t.try_acquire(runq(), C1, 1);
-        t.release(runq(), C0);
+        t.release(runq(), C0, 2);
         // C1 grabs and releases.
         t.try_acquire(runq(), C1, 2);
-        t.release(runq(), C1);
+        t.release(runq(), C1, 3);
         // C0 again: not local (C1 held in between).
         t.try_acquire(runq(), C0, 3);
-        t.release(runq(), C0);
+        t.release(runq(), C0, 4);
         // C0 again immediately: local.
         t.try_acquire(runq(), C0, 4);
         let s = t.family_stats(LockFamily::Runqlk);
@@ -483,7 +637,7 @@ mod tests {
         let mut t = LockTable::new();
         for i in 0..100 {
             t.try_acquire(runq(), C0, i);
-            t.release(runq(), C0);
+            t.release(runq(), C0, i);
         }
         let s = t.family_stats(LockFamily::Runqlk);
         // First attempt misses; everything after hits in C0's cache.
@@ -498,7 +652,7 @@ mod tests {
         for i in 0..10 {
             let cpu = if i % 2 == 0 { C0 } else { C1 };
             t.try_acquire(runq(), cpu, i);
-            t.release(runq(), cpu);
+            t.release(runq(), cpu, i);
         }
         let s = t.family_stats(LockFamily::Runqlk);
         // Every handoff misses at least once.
@@ -509,9 +663,9 @@ mod tests {
     fn gap_statistics() {
         let mut t = LockTable::new();
         t.try_acquire(runq(), C0, 1000);
-        t.release(runq(), C0);
+        t.release(runq(), C0, 1500);
         t.try_acquire(runq(), C0, 3000);
-        t.release(runq(), C0);
+        t.release(runq(), C0, 3500);
         t.try_acquire(runq(), C0, 6000);
         let s = t.family_stats(LockFamily::Runqlk);
         assert_eq!(s.gap_count, 2);
@@ -533,7 +687,7 @@ mod tests {
     fn kernel_totals_exclude_user_locks() {
         let mut t = LockTable::new();
         t.try_acquire(LockId::new(LockFamily::User, 0), C0, 0);
-        t.release(LockId::new(LockFamily::User, 0), C0);
+        t.release(LockId::new(LockFamily::User, 0), C0, 1);
         assert_eq!(t.kernel_sync_ops(), 0);
         t.try_acquire(LockId::singleton(LockFamily::Memlock), C0, 0);
         assert_eq!(t.kernel_sync_ops(), 1);
@@ -544,5 +698,79 @@ mod tests {
         assert_eq!(LockFamily::Shr.label(), "Shr_x");
         assert!(LockFamily::Runqlk.function().contains("run queue"));
         assert!(!LockFamily::User.is_kernel());
+    }
+
+    #[test]
+    fn obs_records_spin_and_hold_intervals() {
+        let mut t = LockTable::new();
+        t.enable_obs();
+        // Uncontended acquire at 100, release at 400: one hold span.
+        t.try_acquire(runq(), C0, 100);
+        t.release(runq(), C0, 400);
+        // Contended acquire: C1 fails at 410 and 450, wins at 500,
+        // releases at 900.
+        t.try_acquire(runq(), C0, 405);
+        assert_eq!(t.try_acquire(runq(), C1, 410), TryAcquire::Busy);
+        assert_eq!(t.try_acquire(runq(), C1, 450), TryAcquire::Busy);
+        t.release(runq(), C0, 480);
+        assert_eq!(t.try_acquire(runq(), C1, 500), TryAcquire::Acquired);
+        t.release(runq(), C1, 900);
+
+        let obs = t.take_obs().expect("obs enabled");
+        let profiles = obs.profiles();
+        assert_eq!(profiles.len(), 1);
+        let (id, st) = profiles[0];
+        assert_eq!(id, runq());
+        assert_eq!(st.acquires, 3);
+        assert_eq!(st.contended, 1);
+        // Spin measured from the *first* failed attempt (410) to the
+        // acquire (500).
+        assert_eq!(st.spin_cycles, 90);
+        assert_eq!(st.spin_hist.count(), 1);
+        assert_eq!(st.hold_cycles, 300 + 75 + 400);
+        assert_eq!(st.hold_hist.count(), 3);
+
+        let spans = obs.spans();
+        let spins: Vec<_> = spans
+            .iter()
+            .filter(|s| s.phase == LockPhase::Spin)
+            .collect();
+        assert_eq!(spins.len(), 1);
+        assert_eq!((spins[0].start, spins[0].end, spins[0].cpu), (410, 500, C1));
+        let holds: Vec<_> = spans
+            .iter()
+            .filter(|s| s.phase == LockPhase::Hold)
+            .collect();
+        assert_eq!(holds.len(), 3);
+        assert_eq!((holds[2].start, holds[2].end, holds[2].cpu), (500, 900, C1));
+        // Probes are off after take_obs.
+        assert!(t.take_obs().is_none());
+    }
+
+    #[test]
+    fn obs_profiles_sort_most_contended_first() {
+        let mut t = LockTable::new();
+        t.enable_obs();
+        let quiet = LockId::new(LockFamily::Ino, 1);
+        let busy = LockId::new(LockFamily::Ino, 2);
+        t.try_acquire(quiet, C0, 0);
+        t.release(quiet, C0, 10);
+        t.try_acquire(busy, C0, 20);
+        t.try_acquire(busy, C1, 25);
+        t.release(busy, C0, 30);
+        t.try_acquire(busy, C1, 35);
+        t.release(busy, C1, 40);
+        let obs = t.take_obs().unwrap();
+        let profiles = obs.profiles();
+        assert_eq!(profiles[0].0, busy);
+        assert_eq!(profiles[1].0, quiet);
+    }
+
+    #[test]
+    fn obs_disabled_keeps_no_state() {
+        let mut t = LockTable::new();
+        t.try_acquire(runq(), C0, 0);
+        t.release(runq(), C0, 10);
+        assert!(t.take_obs().is_none());
     }
 }

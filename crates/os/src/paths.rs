@@ -354,6 +354,9 @@ impl OsWorld {
     // ----- fault frames --------------------------------------------
 
     pub(crate) fn build_utlb_frame(&mut self, slot: ProcSlot, vpn: Vpn, write: bool) -> KFrame {
+        if let Some(p) = &mut self.probes {
+            p.utlb_refills += 1;
+        }
         let ops = vec![
             self.win(Rid::VecUtlbMiss),
             KOp::read(self.pt_entry_addr(slot, vpn)),
@@ -363,6 +366,9 @@ impl OsWorld {
     }
 
     pub(crate) fn build_cow_fault_frame(&mut self, slot: ProcSlot, vpn: Vpn) -> KFrame {
+        if let Some(p) = &mut self.probes {
+            p.cow_faults += 1;
+        }
         let src = self
             .procs
             .get(slot)
@@ -610,6 +616,9 @@ impl OsWorld {
             let key = (inode, (pos / PAGE_SIZE) as u32);
             let (b, bops) = self.getblk_ops(key, true);
             ops.extend(bops);
+            if let Some(p) = &mut self.probes {
+                p.io_chunks += 1;
+            }
             ops.push(self.cold_win(Rid::ColdFs, 1024));
             ops.push(self.win(Rid::Uiomove));
             let src = self.layout.buf_data(b).add(pos % PAGE_SIZE);
@@ -681,6 +690,9 @@ impl OsWorld {
             let needs_read = !appending && chunk < PAGE_SIZE;
             let (b, bops) = self.getblk_ops(key, needs_read);
             ops.extend(bops);
+            if let Some(p) = &mut self.probes {
+                p.io_chunks += 1;
+            }
             ops.push(self.win(Rid::Uiomove));
             let src_page = (pos / PAGE_SIZE) % 2;
             let src = self.user_io_buffer(slot, src_page).add(pos % PAGE_SIZE);

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use oscar_machine::addr::CpuId;
+use oscar_obs::Log2Histogram;
 
 use crate::types::ProcSlot;
 
@@ -25,11 +26,40 @@ pub enum SchedPolicy {
     Affinity,
 }
 
+/// Run-queue probes, kept only while observability is enabled.
+#[derive(Debug, Default)]
+pub struct SchedObs {
+    /// `setrq` calls.
+    pub enqueues: u64,
+    /// Affinity-mode picks that found a process whose last CPU matched.
+    pub picks_affinity: u64,
+    /// Picks that took the queue head (free migration, or affinity
+    /// fallback).
+    pub picks_head: u64,
+    /// Targeted removals (wakeup/reap races).
+    pub removes: u64,
+    /// Queue depth sampled after each enqueue.
+    pub depth: Log2Histogram,
+}
+
+impl SchedObs {
+    /// Folds another queue's probes into this one (cluster mode runs
+    /// one queue per cluster).
+    pub fn merge(&mut self, other: &SchedObs) {
+        self.enqueues += other.enqueues;
+        self.picks_affinity += other.picks_affinity;
+        self.picks_head += other.picks_head;
+        self.removes += other.removes;
+        self.depth.merge(&other.depth);
+    }
+}
+
 /// The shared run queue.
 #[derive(Debug, Default)]
 pub struct RunQueue {
     q: VecDeque<ProcSlot>,
     policy: SchedPolicy,
+    obs: Option<Box<SchedObs>>,
 }
 
 impl RunQueue {
@@ -38,6 +68,7 @@ impl RunQueue {
         RunQueue {
             q: VecDeque::new(),
             policy,
+            obs: None,
         }
     }
 
@@ -46,10 +77,26 @@ impl RunQueue {
         self.policy
     }
 
+    /// Turns on the scheduler probes.
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::default());
+        }
+    }
+
+    /// Detaches and returns the probe data, disabling the probes.
+    pub fn take_obs(&mut self) -> Option<Box<SchedObs>> {
+        self.obs.take()
+    }
+
     /// Appends a process (`setrq`).
     pub fn enqueue(&mut self, slot: ProcSlot) {
         debug_assert!(!self.q.contains(&slot), "{slot:?} already queued");
         self.q.push_back(slot);
+        if let Some(obs) = &mut self.obs {
+            obs.enqueues += 1;
+            obs.depth.record(self.q.len() as u64);
+        }
     }
 
     /// Picks the next process for `cpu` (`choose_proc`), honoring the
@@ -64,6 +111,9 @@ impl RunQueue {
         match self.policy {
             SchedPolicy::FreeMigration => {
                 let pos = self.q.iter().position(|&s| eligible(s))?;
+                if let Some(obs) = &mut self.obs {
+                    obs.picks_head += 1;
+                }
                 self.q.remove(pos)
             }
             SchedPolicy::Affinity => {
@@ -72,9 +122,15 @@ impl RunQueue {
                     .iter()
                     .position(|&s| eligible(s) && last_cpu_of(s) == Some(cpu))
                 {
+                    if let Some(obs) = &mut self.obs {
+                        obs.picks_affinity += 1;
+                    }
                     self.q.remove(pos)
                 } else {
                     let pos = self.q.iter().position(|&s| eligible(s))?;
+                    if let Some(obs) = &mut self.obs {
+                        obs.picks_head += 1;
+                    }
                     self.q.remove(pos)
                 }
             }
@@ -96,6 +152,9 @@ impl RunQueue {
     pub fn remove(&mut self, slot: ProcSlot) -> bool {
         if let Some(pos) = self.q.iter().position(|&s| s == slot) {
             self.q.remove(pos);
+            if let Some(obs) = &mut self.obs {
+                obs.removes += 1;
+            }
             true
         } else {
             false
@@ -155,5 +214,46 @@ mod tests {
         assert!(rq.remove(ProcSlot(1)));
         assert!(!rq.remove(ProcSlot(1)));
         assert_eq!(rq.len(), 1);
+    }
+
+    #[test]
+    fn obs_counts_enqueues_picks_and_depth() {
+        let mut rq = RunQueue::new(SchedPolicy::Affinity);
+        rq.enable_obs();
+        rq.enqueue(ProcSlot(1)); // depth 1
+        rq.enqueue(ProcSlot(2)); // depth 2
+        let last = |s: ProcSlot| (s == ProcSlot(2)).then_some(C0);
+        assert_eq!(rq.pick(C0, |_| true, last), Some(ProcSlot(2)));
+        assert_eq!(rq.pick(C0, |_| true, last), Some(ProcSlot(1)));
+        rq.enqueue(ProcSlot(3));
+        assert!(rq.remove(ProcSlot(3)));
+        let obs = rq.take_obs().expect("obs enabled");
+        assert_eq!(obs.enqueues, 3);
+        assert_eq!(obs.picks_affinity, 1);
+        assert_eq!(obs.picks_head, 1);
+        assert_eq!(obs.removes, 1);
+        assert_eq!(obs.depth.count(), 3);
+        assert_eq!(obs.depth.max(), 2);
+        assert!(rq.take_obs().is_none(), "probes off after take");
+    }
+
+    #[test]
+    fn obs_merge_folds_counters() {
+        let mut a = SchedObs {
+            enqueues: 2,
+            ..SchedObs::default()
+        };
+        a.depth.record(1);
+        let mut b = SchedObs {
+            enqueues: 3,
+            picks_head: 1,
+            ..SchedObs::default()
+        };
+        b.depth.record(4);
+        a.merge(&b);
+        assert_eq!(a.enqueues, 5);
+        assert_eq!(a.picks_head, 1);
+        assert_eq!(a.depth.count(), 2);
+        assert_eq!(a.depth.max(), 4);
     }
 }

@@ -1,26 +1,12 @@
 //! `oscar-reports`: regenerate the paper's tables and figures.
 //!
-//! ```text
-//! oscar-reports [WORKLOAD] [MEASURE] [WARMUP] [flags]
-//!
-//! WORKLOAD   pmake | multpgm | oracle | all        (default: all)
-//! MEASURE    measured window in cycles             (default: 45000000)
-//! WARMUP     warm-up cycles before measuring       (default: 45000000)
-//!
-//! flags:
-//!   --jobs N           run workloads on N worker threads (default: 1;
-//!                      output is byte-identical for any N)
-//!   --csv DIR          also write the figure series as CSV files
-//!   --save-trace DIR   save each run's raw monitor trace (.oscartrace)
-//!   --from-trace FILE  skip simulation; analyze a saved trace instead
-//!   --perf-out FILE    write a BENCH_*.json-style perf summary
-//! ```
-//!
-//! Each workload runs through the streaming pipeline (simulation and
-//! analysis overlapped over a bounded channel), and independent
-//! workloads fan across `--jobs` workers. Every run seeds its own RNG
-//! from its configuration, so reports are reproducible bit-for-bit
-//! regardless of parallelism.
+//! Run `oscar-reports --help` for the flag reference. Each workload
+//! runs through the streaming pipeline (simulation and analysis
+//! overlapped over a bounded channel), and independent workloads fan
+//! across `--jobs` workers. Every run seeds its own RNG from its
+//! configuration, so reports — and the `--trace-json` /
+//! `--metrics-out` observability exports — are reproducible
+//! bit-for-bit regardless of parallelism.
 
 use std::fs;
 use std::path::PathBuf;
@@ -28,8 +14,41 @@ use std::time::Instant;
 
 use oscar_core::driver::{run_reports, ReportRequest};
 use oscar_core::perf::PerfSummary;
-use oscar_core::{analyze, csv, render_all, tracefile, ExperimentConfig};
+use oscar_core::{
+    analyze, csv, merge_metrics_json, merge_trace_json, obs_from_artifacts, render_all, tracefile,
+    ExperimentConfig,
+};
 use oscar_workloads::WorkloadKind;
+
+const HELP: &str = "\
+oscar-reports: regenerate the ASPLOS 1992 OS-characterization tables and figures
+
+usage: oscar-reports [WORKLOAD] [MEASURE] [WARMUP] [flags]
+
+  WORKLOAD   pmake | multpgm | oracle | all        (default: all)
+  MEASURE    measured window in cycles             (default: 45000000)
+  WARMUP     warm-up cycles before measuring       (default: 45000000)
+
+flags:
+  --jobs N, -j N     run workloads on N worker threads (default: 1;
+                     all outputs are byte-identical for any N)
+  --csv DIR          also write the figure series as CSV files
+  --save-trace DIR   save each run's raw monitor trace (.oscartrace)
+  --from-trace FILE  skip simulation; analyze a saved trace instead
+  --perf-out FILE    write a BENCH_*.json-style perf summary
+                     (wall-clock rates, streaming-channel depth)
+  --trace-json FILE  export per-CPU timelines (mode, OS-operation and
+                     lock tracks, bus-occupancy counters) as Chrome
+                     trace-event JSON; open in Perfetto or
+                     chrome://tracing. Deterministic.
+  --metrics-out FILE dump every counter/gauge/histogram (kernel probes,
+                     per-lock spin/hold profiles, analyzer and pipeline
+                     self-metrics) as one sorted JSON object.
+                     Deterministic.
+  --help, -h         print this help
+
+Observability is collected only when --trace-json or --metrics-out is
+given; it never changes the report bytes.";
 
 struct Args {
     kinds: Vec<WorkloadKind>,
@@ -40,6 +59,8 @@ struct Args {
     save_trace_dir: Option<PathBuf>,
     from_trace: Option<PathBuf>,
     perf_out: Option<PathBuf>,
+    trace_json: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +71,8 @@ fn parse_args() -> Args {
     let mut save_trace_dir = None;
     let mut from_trace = None;
     let mut perf_out = None;
+    let mut trace_json = None;
+    let mut metrics_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,8 +90,10 @@ fn parse_args() -> Args {
             "--save-trace" => save_trace_dir = it.next().map(PathBuf::from),
             "--from-trace" => from_trace = it.next().map(PathBuf::from),
             "--perf-out" => perf_out = it.next().map(PathBuf::from),
+            "--trace-json" => trace_json = it.next().map(PathBuf::from),
+            "--metrics-out" => metrics_out = it.next().map(PathBuf::from),
             "--help" | "-h" => {
-                eprintln!("usage: oscar-reports [pmake|multpgm|oracle|all] [measure] [warmup] [--jobs N] [--csv DIR] [--save-trace DIR] [--from-trace FILE] [--perf-out FILE]");
+                println!("{HELP}");
                 std::process::exit(0);
             }
             other => positional.push(other.to_string()),
@@ -99,7 +124,18 @@ fn parse_args() -> Args {
         save_trace_dir,
         from_trace,
         perf_out,
+        trace_json,
+        metrics_out,
     }
+}
+
+/// Writes `data` to `path`, logging to stderr.
+fn write_out(path: &PathBuf, data: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).expect("create output dir");
+    }
+    fs::write(path, data).expect("write output");
+    eprintln!("wrote {}", path.display());
 }
 
 /// The `--from-trace` path: batch-analyze a saved trace (no simulation,
@@ -142,6 +178,29 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         write("fig9", csv::fig9_csv(&an));
         write("table12", csv::table12_csv(&art));
     }
+    if args.trace_json.is_some() || args.metrics_out.is_some() {
+        // Rebuild what the monitor stream alone can support: the
+        // timeline decoder and the analyzer metrics. Kernel-side probes
+        // (lock spin/hold, scheduler counters) need a live run — the
+        // sync bus the locks ride is invisible to the saved trace.
+        let obs = obs_from_artifacts(&art, &an);
+        let out = oscar_core::ReportOutput {
+            kind: art.workload,
+            report: String::new(),
+            csv: Vec::new(),
+            trace_blob: None,
+            phases: Vec::new(),
+            trace_records: art.trace_records,
+            obs: Some(Box::new(obs)),
+        };
+        let outs = [out];
+        if let Some(path) = &args.trace_json {
+            write_out(path, &merge_trace_json(&outs));
+        }
+        if let Some(path) = &args.metrics_out {
+            write_out(path, &merge_metrics_json(&outs));
+        }
+    }
 }
 
 fn main() {
@@ -161,12 +220,13 @@ fn main() {
                 .measure(args.measure),
             want_csv: args.csv_dir.is_some(),
             want_trace: args.save_trace_dir.is_some(),
+            want_obs: args.trace_json.is_some() || args.metrics_out.is_some(),
         })
         .collect();
     let outputs = run_reports(reqs, args.jobs);
 
     let mut perf = PerfSummary::new("reports", args.jobs);
-    for out in outputs {
+    for out in &outputs {
         println!("{}", out.report);
         if let Some(dir) = &args.csv_dir {
             fs::create_dir_all(dir).expect("create csv dir");
@@ -184,7 +244,15 @@ fn main() {
                 eprintln!("wrote {} ({} records)", path.display(), out.trace_records);
             }
         }
-        perf.phases.extend(out.phases);
+        perf.phases.extend(out.phases.iter().cloned());
+    }
+    // Exports assemble in request order from per-run payloads, so the
+    // bytes cannot depend on --jobs.
+    if let Some(path) = &args.trace_json {
+        write_out(path, &merge_trace_json(&outputs));
+    }
+    if let Some(path) = &args.metrics_out {
+        write_out(path, &merge_metrics_json(&outputs));
     }
     perf.finish(started);
     eprintln!("{}", perf.human_line());

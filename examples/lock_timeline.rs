@@ -1,0 +1,45 @@
+//! Lock-contention profile of a short Pmake window.
+//!
+//! Runs Pmake through the streaming pipeline with observability on and
+//! prints the five most-contended kernel locks — acquire/contention
+//! counts, total spin and hold cycles, and the log2 spin-time
+//! histogram the per-lock probes collect. The same data feeds the
+//! `lock-spin`/`lock-hold` tracks of `oscar-reports --trace-json`.
+//!
+//! Run with: `cargo run --release --example lock_timeline`
+
+use oscar_core::observe::lock_contention_table;
+use oscar_core::pipeline::{run_streaming, StreamOptions};
+use oscar_core::ExperimentConfig;
+use oscar_workloads::WorkloadKind;
+
+fn main() {
+    let config = ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(4_000_000)
+        .measure(6_000_000);
+    let opts = StreamOptions {
+        observe: true,
+        ..StreamOptions::default()
+    };
+    let (art, _an) = run_streaming(&config, &opts);
+    let obs = art.obs.expect("observe: true collects an obs payload");
+
+    println!(
+        "Pmake, {} cycles measured, {} bus records",
+        config.measure_cycles, art.trace_records
+    );
+    println!(
+        "{} locks saw contention; top 5 by contended acquires:\n",
+        obs.lock_profiles
+            .iter()
+            .filter(|(_, s)| s.contended > 0)
+            .count()
+    );
+    print!("{}", lock_contention_table(&obs, 5));
+
+    let spans = obs.timeline.spans();
+    let spins = spans.iter().filter(|s| s.cat == "lock-spin").count();
+    let holds = spans.iter().filter(|s| s.cat == "lock-hold").count();
+    println!("\ntimeline: {spins} spin intervals, {holds} hold intervals recorded");
+    println!("(export the full timeline with: oscar-reports pmake --trace-json trace.json)");
+}

@@ -199,7 +199,7 @@ fn lock_table_counters() {
             now += 10;
             if release {
                 if holder == Some(cpu) {
-                    t.release(id, CpuId(cpu));
+                    t.release(id, CpuId(cpu), now);
                     holder = None;
                 }
             } else if holder.is_none() {

@@ -68,6 +68,7 @@ fn report_driver_output_is_independent_of_jobs() {
         config: small(k),
         want_csv: true,
         want_trace: true,
+        want_obs: false,
     })
     .collect();
 
