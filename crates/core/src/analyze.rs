@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use oscar_machine::addr::{BlockAddr, Ppn, Vpn};
-use oscar_machine::monitor::BusRecord;
-use oscar_machine::MachineConfig;
+use oscar_machine::monitor::{BusRecord, RecordFilter};
+use oscar_machine::{BusKind, MachineConfig};
 use oscar_os::stats::ModeCycles;
 use oscar_os::user::segs;
 use oscar_os::{AttrCtx, KernelRegion, Layout, Mode, OpClass, OsEvent, Rid};
@@ -160,6 +160,99 @@ pub enum SweepItem {
     D(DStreamItem),
 }
 
+/// One enriched record row offered to a query row sink: the raw bus
+/// record's fields joined with the attribution context the analyzer
+/// reconstructs at that point of the stream (mode, miss class,
+/// operation, kernel region). Rows are borrowed stack values — the
+/// engine never materializes or retains them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRow {
+    /// Cycles since the start of the measured window.
+    pub time: u64,
+    /// Issuing CPU index.
+    pub cpu: u8,
+    /// Bus transaction kind (escape reads appear as `UncachedRead`).
+    pub kind: BusKind,
+    /// Raw physical byte address.
+    pub paddr: u64,
+    /// Execution mode charged with the access.
+    pub mode: Mode,
+    /// Instruction fetch (vs data access); always false for
+    /// write-backs and escapes.
+    pub instr: bool,
+    /// Miss class, for cache fills and upgrades (`None` for
+    /// write-backs and escapes, which are not misses).
+    pub class: Option<ArchClass>,
+    /// Innermost kernel operation, when the CPU is in the OS.
+    pub op: Option<OpClass>,
+    /// Kernel structure/region of the address (`None` for escapes,
+    /// whose addresses encode event payloads).
+    pub region: Option<KernelRegion>,
+}
+
+/// A consumer of [`QueryRow`]s, installed with
+/// [`StreamAnalyzer::set_row_sink`]. Runs on the analyzer's thread, so
+/// no `Send` bound.
+pub type RowSink = Box<dyn FnMut(&QueryRow)>;
+
+/// Per-CPU contribution counts behind every cell of the paper-report
+/// exhibits, collected when [`AnalyzeOptions::provenance`] is on. Each
+/// aggregate number in the report can be decomposed here into the CPUs
+/// (and for sharing misses, the source structures) that produced it.
+#[derive(Debug, Clone, Default)]
+pub struct ExhibitProvenance {
+    /// Miss-classification counts per CPU, indexed
+    /// `[mode][instr|data][class]` with the label orders in
+    /// [`ExhibitProvenance::MODE_LABELS`] /
+    /// [`ExhibitProvenance::UNIT_LABELS`] /
+    /// [`ExhibitProvenance::CLASS_LABELS`]. As in
+    /// [`crate::classify::ClassCounts`], `disp_os_same` is a subset of
+    /// `disp_os`, not a sibling.
+    pub classify: Vec<[[[u64; 6]; 2]; 3]>,
+    /// Figure 9 contributions per CPU: OS misses by
+    /// `[operation][instr|data]`, operation order as [`OpClass::ALL`].
+    pub os_by_op: Vec<[[u64; 2]; OP_CLASSES]>,
+    /// Figure 8 contributions: kernel-data sharing misses by
+    /// `(source, cpu)`.
+    pub sharing_by_source: BTreeMap<(SharingSource, u8), u64>,
+    /// Figure 6 contributions: per sweep geometry (order of
+    /// [`figure6_configs`]), per CPU `(os_misses, os_inval_misses)`.
+    /// Filled only when the sweeps run inline.
+    pub fig6_per_cpu: Vec<Vec<(u64, u64)>>,
+    /// D-cache sweep contributions: per geometry (order of
+    /// [`dcache_configs`]), per CPU `(os_misses, os_sharing_misses)`.
+    pub dcache_per_cpu: Vec<Vec<(u64, u64)>>,
+}
+
+/// Number of operation classes (array width of per-op exhibits).
+pub const OP_CLASSES: usize = OpClass::ALL.len();
+
+impl ExhibitProvenance {
+    /// Mode labels, in `classify` index order.
+    pub const MODE_LABELS: [&'static str; 3] = ["os", "app", "idle"];
+    /// Instruction/data labels, in index order.
+    pub const UNIT_LABELS: [&'static str; 2] = ["instr", "data"];
+    /// Class labels, in index order (`disp_os_same` ⊆ `disp_os`).
+    pub const CLASS_LABELS: [&'static str; 6] = [
+        "cold",
+        "disp_os",
+        "disp_os_same",
+        "disp_ap",
+        "sharing",
+        "inval",
+    ];
+
+    fn with_cpus(n: usize) -> Self {
+        ExhibitProvenance {
+            classify: vec![[[[0; 6]; 2]; 3]; n],
+            os_by_op: vec![[[0; 2]; OP_CLASSES]; n],
+            sharing_by_source: BTreeMap::new(),
+            fig6_per_cpu: Vec::new(),
+            dcache_per_cpu: Vec::new(),
+        }
+    }
+}
+
 /// Aggregated per-invocation statistics (Figures 1 and 3).
 #[derive(Debug)]
 pub struct InvocationStats {
@@ -284,6 +377,9 @@ pub struct TraceAnalysis {
     pub fig6: Option<Vec<ResimPoint>>,
     /// The Section 4.2.2 D-cache sweep, when computed online.
     pub dcache: Option<Vec<DResimPoint>>,
+    /// Per-CPU exhibit provenance, when
+    /// [`AnalyzeOptions::provenance`] was on.
+    pub provenance: Option<Box<ExhibitProvenance>>,
     /// Measured window in cycles.
     pub window_cycles: u64,
 }
@@ -455,6 +551,11 @@ pub struct AnalyzeOptions {
     /// Results are identical to inline sweeps — each bank replays the
     /// same stream, just on another thread.
     pub deferred_sweeps: bool,
+    /// Collect per-CPU [`ExhibitProvenance`] alongside the aggregate
+    /// exhibits. The sweep contributions require inline sweeps
+    /// (`online_sweeps` on, `deferred_sweeps` off); classification
+    /// provenance works in both inline and deferred modes.
+    pub provenance: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -464,6 +565,7 @@ impl Default for AnalyzeOptions {
             keep_streams: true,
             deferred_classification: false,
             deferred_sweeps: false,
+            provenance: false,
         }
     }
 }
@@ -640,8 +742,29 @@ struct PendingFill {
 
 /// Folds one class verdict into the analysis. Pure accumulation —
 /// commutative across accesses, which is what makes sharded
-/// classification equivalent to inline.
-fn fold_class(out: &mut TraceAnalysis, p: &PendingFill, class: ArchClass) {
+/// classification equivalent to inline. `cpu` is the issuing CPU,
+/// consumed only by the provenance probe.
+fn fold_class(out: &mut TraceAnalysis, p: &PendingFill, class: ArchClass, cpu: usize) {
+    if let Some(prov) = out.provenance.as_deref_mut() {
+        let m = match p.mode {
+            Mode::Kernel => 0,
+            Mode::User => 1,
+            Mode::Idle => 2,
+        };
+        let cell = &mut prov.classify[cpu][m][if p.instr { 0 } else { 1 }];
+        match class {
+            ArchClass::Cold => cell[0] += 1,
+            ArchClass::DispOs { same_epoch } => {
+                cell[1] += 1;
+                if same_epoch {
+                    cell[2] += 1;
+                }
+            }
+            ArchClass::DispAp => cell[3] += 1,
+            ArchClass::Sharing => cell[4] += 1,
+            ArchClass::Inval => cell[5] += 1,
+        }
+    }
     let bucket = match p.mode {
         Mode::Kernel => &mut out.os,
         Mode::User => &mut out.app,
@@ -674,6 +797,12 @@ fn fold_class(out: &mut TraceAnalysis, p: &PendingFill, class: ArchClass) {
             _ => SharingSource::Region(p.region),
         };
         *out.sharing_by_source.entry(source).or_default() += 1;
+        if let Some(prov) = out.provenance.as_deref_mut() {
+            *prov
+                .sharing_by_source
+                .entry((source, cpu as u8))
+                .or_default() += 1;
+        }
         let migration = matches!(
             p.region,
             KernelRegion::KernelStack
@@ -723,6 +852,11 @@ pub struct StreamAnalyzer {
     /// Miss-stream items awaiting [`StreamAnalyzer::take_sweep_items`]
     /// (deferred-sweeps mode only).
     sweep_stage: Vec<SweepItem>,
+    /// Raw-field predicate applied before a row reaches the row sink
+    /// (the query engine's pushdown; never affects analysis state).
+    row_filter: Option<RecordFilter>,
+    /// Enriched-row consumer, when a query is attached.
+    row_sink: Option<RowSink>,
     out: TraceAnalysis,
 }
 
@@ -778,6 +912,8 @@ impl StreamAnalyzer {
             dbanks,
             deferred,
             sweep_stage: Vec::new(),
+            row_filter: None,
+            row_sink: None,
             out: TraceAnalysis {
                 cpu_cycles: vec![ModeCycles::default(); n],
                 os: IdCounts::default(),
@@ -812,6 +948,9 @@ impl StreamAnalyzer {
                 dstream: Vec::new(),
                 fig6: None,
                 dcache: None,
+                provenance: opts
+                    .provenance
+                    .then(|| Box::new(ExhibitProvenance::with_cpus(n))),
                 window_cycles: meta.measure_end - meta.measure_start,
             },
             meta,
@@ -819,10 +958,66 @@ impl StreamAnalyzer {
         }
     }
 
+    /// Installs a row sink: every record (passing `filter`, evaluated
+    /// against window-relative time) is offered to `sink` as an
+    /// enriched [`QueryRow`], with no effect on the analysis itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics in deferred-classification mode — rows carry the miss
+    /// class, which deferred mode only learns at the end.
+    pub fn set_row_sink(&mut self, filter: Option<RecordFilter>, sink: RowSink) {
+        assert!(
+            !self.opts.deferred_classification,
+            "row sink requires inline classification"
+        );
+        self.row_filter = filter;
+        self.row_sink = Some(sink);
+    }
+
+    /// Offers one enriched row to the sink, applying the pushdown
+    /// filter first. No-op without a sink.
+    fn emit_row(
+        &mut self,
+        rec: &BusRecord,
+        mode: Mode,
+        instr: bool,
+        class: Option<ArchClass>,
+        op: Option<OpClass>,
+        region: Option<KernelRegion>,
+    ) {
+        let Some(sink) = self.row_sink.as_mut() else {
+            return;
+        };
+        let time = rec.time.saturating_sub(self.meta.measure_start);
+        if let Some(f) = &self.row_filter {
+            if !f.matches_at(rec, time) {
+                return;
+            }
+        }
+        sink(&QueryRow {
+            time,
+            cpu: rec.cpu.0,
+            kind: rec.kind,
+            paddr: rec.paddr.raw(),
+            mode,
+            instr,
+            class,
+            op,
+            region,
+        });
+    }
+
     /// Consumes one bus record, in trace order.
     pub fn push(&mut self, rec: BusRecord) {
-        if rec.kind == oscar_machine::BusKind::UncachedRead {
+        if rec.kind == BusKind::UncachedRead {
             self.out.escapes += 1;
+            if self.row_sink.is_some() {
+                let ca = &self.cpus[rec.cpu.index()];
+                let mode = ca.effective_mode();
+                let op = (mode == Mode::Kernel).then(|| ca.top_class());
+                self.emit_row(&rec, mode, false, None, op, None);
+            }
         }
         if let Some(item) = self.decoder.push(rec) {
             self.handle(item);
@@ -889,7 +1084,7 @@ impl StreamAnalyzer {
                 "cpu {cpu}: classes must cover every fill"
             );
             for (p, &c) in pend.iter().zip(cls) {
-                fold_class(&mut self.out, p, c);
+                fold_class(&mut self.out, p, c, cpu);
             }
         }
         self.finish_common();
@@ -910,6 +1105,14 @@ impl StreamAnalyzer {
         }
         if let Some(banks) = &self.dbanks {
             self.out.dcache = Some(banks.iter().map(|b| b.point()).collect());
+        }
+        if let Some(prov) = self.out.provenance.as_deref_mut() {
+            if let Some(banks) = &self.ibanks {
+                prov.fig6_per_cpu = banks.iter().map(|b| b.per_cpu()).collect();
+            }
+            if let Some(banks) = &self.dbanks {
+                prov.dcache_per_cpu = banks.iter().map(|b| b.per_cpu()).collect();
+            }
         }
     }
 
@@ -932,7 +1135,16 @@ impl StreamAnalyzer {
         match item {
             Decoded::Fill { rec, write } => self.handle_access(rec, write, false),
             Decoded::Upgrade { rec } => self.handle_access(rec, true, true),
-            Decoded::WriteBack { .. } => self.out.writebacks += 1,
+            Decoded::WriteBack { rec } => {
+                self.out.writebacks += 1;
+                if self.row_sink.is_some() {
+                    let ca = &self.cpus[rec.cpu.index()];
+                    let mode = ca.effective_mode();
+                    let op = (mode == Mode::Kernel).then(|| ca.top_class());
+                    let region = Some(self.meta.layout.classify(rec.paddr));
+                    self.emit_row(&rec, mode, false, None, op, region);
+                }
+            }
             Decoded::Event { time, cpu, event } => self.handle_event(time, cpu.index(), event),
         }
     }
@@ -1190,6 +1402,9 @@ impl StreamAnalyzer {
             } else {
                 e.1 += 1;
             }
+            if let Some(prov) = self.out.provenance.as_deref_mut() {
+                prov.os_by_op[i][op.code() as usize][if instr { 0 } else { 1 }] += 1;
+            }
             if instr {
                 if let Some(rid) = pending.rid {
                     *self
@@ -1213,7 +1428,7 @@ impl StreamAnalyzer {
             // An upgrade is coherence traffic on a resident line: the
             // class is Sharing by definition (no mirror lookup), but
             // other CPUs still lose the block.
-            fold_class(&mut self.out, &pending, ArchClass::Sharing);
+            fold_class(&mut self.out, &pending, ArchClass::Sharing, i);
             match &mut self.deferred {
                 Some(d) => d.msgs.push(ClassifyMsg::Upgrade {
                     cpu: rec.cpu.0,
@@ -1226,6 +1441,11 @@ impl StreamAnalyzer {
                         }
                     }
                 }
+            }
+            if self.row_sink.is_some() {
+                let op = (mode == Mode::Kernel).then(|| self.cpus[i].top_class());
+                let region = Some(self.meta.layout.classify(rec.paddr));
+                self.emit_row(&rec, mode, instr, Some(ArchClass::Sharing), op, region);
             }
             return;
         }
@@ -1258,7 +1478,12 @@ impl StreamAnalyzer {
                         }
                     }
                 }
-                fold_class(&mut self.out, &pending, class);
+                fold_class(&mut self.out, &pending, class, i);
+                if self.row_sink.is_some() {
+                    let op = (mode == Mode::Kernel).then(|| self.cpus[i].top_class());
+                    let region = Some(self.meta.layout.classify(rec.paddr));
+                    self.emit_row(&rec, mode, instr, Some(class), op, region);
+                }
             }
         }
     }

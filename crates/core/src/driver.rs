@@ -83,6 +83,12 @@ pub struct ReportRequest {
     /// decoder and the metrics registry ([`crate::observe::RunObs`] in
     /// the output). Never changes the report bytes.
     pub want_obs: bool,
+    /// Also collect exhibit provenance: per-cell contribution counts
+    /// behind the paper-report exhibits, exported as `exhibit.*`
+    /// metrics ([`crate::observe::provenance_metrics`]). Implies
+    /// observability (the sync tables come from the kernel probes) and
+    /// forces the sweeps inline; never changes the report bytes.
+    pub want_provenance: bool,
 }
 
 impl ReportRequest {
@@ -93,6 +99,7 @@ impl ReportRequest {
             want_csv: false,
             want_trace: false,
             want_obs: false,
+            want_provenance: false,
         }
     }
 }
@@ -115,6 +122,8 @@ pub struct ReportOutput {
     pub trace_records: u64,
     /// Observability payload, when requested.
     pub obs: Option<Box<crate::observe::RunObs>>,
+    /// Exhibit-provenance metrics, when requested.
+    pub provenance: Option<oscar_obs::Metrics>,
 }
 
 fn run_one(req: &ReportRequest) -> ReportOutput {
@@ -124,11 +133,15 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     let t = PhaseTimer::start(format!("simulate+analyze/{tag}"));
     let opts = StreamOptions {
         keep_trace: req.want_trace,
-        observe: req.want_obs,
+        observe: req.want_obs || req.want_provenance,
+        provenance: req.want_provenance,
         ..StreamOptions::default()
     };
     let (mut art, an) = run_streaming(&req.config, &opts);
     let obs = art.obs.take();
+    let provenance = req
+        .want_provenance
+        .then(|| crate::observe::provenance_metrics(&an, obs.as_deref()));
     let mut scratch = PerfSummary::new(&tag, 1);
     t.stop(
         &mut scratch,
@@ -178,6 +191,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         phases,
         trace_records: art.trace_records,
         obs,
+        provenance,
     }
 }
 

@@ -15,6 +15,7 @@ pub mod histogram;
 pub mod observe;
 pub mod perf;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod resim;
 pub mod stall;
@@ -25,14 +26,16 @@ pub mod tracefile;
 pub use oscar_machine::fasthash;
 
 pub use analyze::{
-    analyze, analyze_with, AnalyzeOptions, StreamAnalyzer, TraceAnalysis, TraceMeta,
+    analyze, analyze_with, AnalyzeOptions, ExhibitProvenance, QueryRow, RowSink, StreamAnalyzer,
+    TraceAnalysis, TraceMeta,
 };
 pub use driver::{parallel_map, run_reports, ReportOutput, ReportRequest};
 pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
 pub use observe::{
-    lock_contention_table, merge_metrics_json, merge_trace_json, obs_from_artifacts, RunObs,
-    TimelineBuilder,
+    lock_contention_table, merge_metrics_json, merge_provenance_json, merge_trace_json,
+    obs_from_artifacts, provenance_metrics, RunObs, TimelineBuilder,
 };
-pub use pipeline::{run_streaming, StreamOptions};
+pub use pipeline::{run_streaming, run_streaming_rows, StreamOptions};
+pub use query::{compile, run_query, CompiledQuery, QueryRun};
 pub use report::render_all;
 pub use summary::Summary;

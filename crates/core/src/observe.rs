@@ -27,14 +27,15 @@ use oscar_machine::monitor::BusRecord;
 use oscar_machine::BusKind;
 use oscar_obs::{Log2Histogram, Metrics, Timeline};
 use oscar_os::{
-    opcode_label, KernelObsReport, LockFamily, LockId, LockObsStats, LockPhase, OpClass, OsEvent,
-    NUM_OPCODES,
+    opcode_label, KernelObsReport, LockFamily, LockId, LockObsStats, LockPhase, LockSpan, OpClass,
+    OsEvent, NUM_OPCODES,
 };
 
-use crate::analyze::TraceAnalysis;
+use crate::analyze::{ExhibitProvenance, TraceAnalysis};
 use crate::decode::{Decoded, Decoder};
 use crate::driver::ReportOutput;
 use crate::experiment::RunArtifacts;
+use crate::resim::{dcache_configs, figure6_configs};
 
 /// Cycles per bus-occupancy bucket (2^16 ≈ 2 ms of simulated time).
 const BUS_BUCKET_SHIFT: u32 = 16;
@@ -341,6 +342,9 @@ pub struct RunObs {
     pub metrics: Metrics,
     /// Per-lock spin/hold profiles, most contended first.
     pub lock_profiles: Vec<(LockId, LockObsStats)>,
+    /// Raw lock intervals in completion order (absolute cycles) — the
+    /// row stream of the `locks` query source.
+    pub lock_spans: Vec<LockSpan>,
     /// Streaming-pipeline self-observation. The deterministic half is
     /// already folded into `metrics` (`pipeline.*`); the wall-clock
     /// channel-depth half is read by the perf summary only.
@@ -397,6 +401,7 @@ pub fn assemble_run_obs(
     // Kernel-side probes: invisible to the monitor (the sync bus the
     // locks ride is untraced), so they come from the OS itself.
     let mut lock_profiles = Vec::new();
+    let mut lock_spans = Vec::new();
     if let Some(k) = kernel {
         for (i, label) in oscar_os::exec::KOp::KIND_LABELS.iter().enumerate() {
             metrics.add(&format!("kernel.kop.{label}"), k.probes.kop[i]);
@@ -457,14 +462,107 @@ pub fn assemble_run_obs(
             );
         }
         lock_profiles = k.lock_profiles;
+        lock_spans = k.lock_spans;
     }
 
     RunObs {
         timeline,
         metrics,
         lock_profiles,
+        lock_spans,
         pipeline: PipelineObs::default(),
     }
+}
+
+/// Flattens a run's [`ExhibitProvenance`] (plus the per-instance lock
+/// profiles behind the sync tables) into `exhibit.*` metrics: every
+/// cell of the paper-report exhibits keyed down to the contributing
+/// CPU, class, operation or lock instance. Empty when the analysis ran
+/// without [`crate::analyze::AnalyzeOptions::provenance`].
+pub fn provenance_metrics(an: &TraceAnalysis, obs: Option<&RunObs>) -> Metrics {
+    let mut m = Metrics::new();
+    let Some(p) = an.provenance.as_deref() else {
+        return m;
+    };
+    // Tables 5–7: miss classification per mode/unit/class/CPU. Zero
+    // cells are exported too — a cell that disappears is drift, not
+    // noise, and `diff` must see it.
+    for (cpu, cells) in p.classify.iter().enumerate() {
+        for (mi, mode) in ExhibitProvenance::MODE_LABELS.iter().enumerate() {
+            for (ui, unit) in ExhibitProvenance::UNIT_LABELS.iter().enumerate() {
+                for (ci, class) in ExhibitProvenance::CLASS_LABELS.iter().enumerate() {
+                    m.add(
+                        &format!("exhibit.classify.{mode}.{unit}.{class}.cpu{cpu}"),
+                        cells[mi][ui][ci],
+                    );
+                }
+            }
+        }
+    }
+    // Figure 9: OS misses by operation class.
+    for (cpu, ops) in p.os_by_op.iter().enumerate() {
+        for (oi, op) in OpClass::ALL.iter().enumerate() {
+            for (ui, unit) in ExhibitProvenance::UNIT_LABELS.iter().enumerate() {
+                m.add(
+                    &format!("exhibit.fig9.{}.{unit}.cpu{cpu}", op.label()),
+                    ops[oi][ui],
+                );
+            }
+        }
+    }
+    // Figure 8: kernel-data sharing misses by source structure (sparse:
+    // the source vocabulary is observed, not enumerated).
+    for (&(source, cpu), &n) in &p.sharing_by_source {
+        m.add(&format!("exhibit.fig8.{}.cpu{cpu}", source.label()), n);
+    }
+    // Figure 6 / D-cache sweeps: per-geometry, per-CPU splits (present
+    // only when the sweeps ran inline).
+    for (cfg, per_cpu) in figure6_configs().iter().zip(&p.fig6_per_cpu) {
+        let kb = cfg.size_bytes / 1024;
+        let way = cfg.assoc;
+        for (cpu, &(os, inval)) in per_cpu.iter().enumerate() {
+            m.add(&format!("exhibit.fig6.{kb}KB.{way}way.os.cpu{cpu}"), os);
+            m.add(
+                &format!("exhibit.fig6.{kb}KB.{way}way.inval.cpu{cpu}"),
+                inval,
+            );
+        }
+    }
+    for (cfg, per_cpu) in dcache_configs().iter().zip(&p.dcache_per_cpu) {
+        let kb = cfg.size_bytes / 1024;
+        for (cpu, &(os, sharing)) in per_cpu.iter().enumerate() {
+            m.add(&format!("exhibit.dcache.{kb}KB.os.cpu{cpu}"), os);
+            m.add(&format!("exhibit.dcache.{kb}KB.sharing.cpu{cpu}"), sharing);
+        }
+    }
+    // Table 11/12 (sync): per-instance lock counters behind the
+    // family-aggregated report rows. Kernel probes only — absent on
+    // the from-trace path, where no kernel ran.
+    if let Some(o) = obs {
+        for (id, st) in &o.lock_profiles {
+            let k =
+                |leaf: &str| format!("exhibit.sync.{}.i{}.{leaf}", id.family.label(), id.instance);
+            m.add(&k("acquires"), st.acquires);
+            m.add(&k("contended"), st.contended);
+            m.add(&k("spin_cycles"), st.spin_cycles);
+            m.add(&k("hold_cycles"), st.hold_cycles);
+        }
+    }
+    m
+}
+
+/// Merges the per-request provenance exports into one sorted JSON
+/// object, each run's keys prefixed with its workload tag (same
+/// contract as [`merge_metrics_json`]: `--jobs` cannot change a byte).
+pub fn merge_provenance_json(outputs: &[ReportOutput]) -> String {
+    let mut merged = Metrics::new();
+    for out in outputs {
+        if let Some(p) = &out.provenance {
+            let tag = out.kind.label().to_lowercase();
+            merged.merge_prefixed(&format!("{tag}."), p);
+        }
+    }
+    merged.to_json()
 }
 
 /// Rebuilds a [`RunObs`] from a materialized trace (the `--from-trace`
@@ -707,11 +805,13 @@ mod tests {
             phases: Vec::new(),
             trace_records: 0,
             obs: None,
+            provenance: None,
         };
         let outs = vec![out];
         let t = merge_trace_json(&outs);
         assert!(t.contains("\"traceEvents\""));
         assert_eq!(merge_metrics_json(&outs), Metrics::new().to_json());
+        assert_eq!(merge_provenance_json(&outs), Metrics::new().to_json());
     }
 
     #[test]

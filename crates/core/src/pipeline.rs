@@ -25,10 +25,11 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use oscar_machine::monitor::{BusRecord, TraceSink};
+use oscar_machine::monitor::{BusRecord, RecordFilter, TraceSink};
 
 use crate::analyze::{
-    AnalyzeOptions, ClassShard, ClassifyMsg, StreamAnalyzer, SweepItem, TraceAnalysis, TraceMeta,
+    AnalyzeOptions, ClassShard, ClassifyMsg, RowSink, StreamAnalyzer, SweepItem, TraceAnalysis,
+    TraceMeta,
 };
 use crate::classify::ArchClass;
 use crate::experiment::{ExperimentConfig, PreparedRun, RunArtifacts};
@@ -68,6 +69,12 @@ pub struct StreamOptions {
     /// default; when off no probe state is allocated and no per-record
     /// work happens.
     pub observe: bool,
+    /// Accumulate per-cell exhibit provenance
+    /// ([`crate::analyze::ExhibitProvenance`]) while analyzing. Forces
+    /// inline classification and inline sweeps (the per-CPU resim bank
+    /// counters live on the analysis thread); off by default and free
+    /// when off.
+    pub provenance: bool,
 }
 
 impl Default for StreamOptions {
@@ -81,6 +88,7 @@ impl Default for StreamOptions {
             online_sweeps: true,
             keep_streams: false,
             observe: false,
+            provenance: false,
         }
     }
 }
@@ -212,8 +220,43 @@ pub fn run_streaming_with(
     build: impl FnOnce() -> oscar_workloads::Workload + Send,
     opts: &StreamOptions,
 ) -> (RunArtifacts, TraceAnalysis) {
-    let shards = opts.shards.max(1);
-    let sweep_workers = if opts.online_sweeps {
+    run_streaming_inner(config, build, opts, None)
+}
+
+/// [`run_streaming`] with a per-record row hook: `sink` observes one
+/// [`crate::analyze::QueryRow`] per trace record that passes `filter`,
+/// fully enriched (mode, miss class, OS operation, kernel region) as
+/// the analyzer decodes it. The hook runs on the calling thread, so the
+/// sink may capture non-`Send` state; classification shards and sweep
+/// workers are forced inline. This is the pushdown path behind
+/// `oscar-reports query`: aggregation happens per record and memory
+/// stays bounded regardless of trace length.
+pub fn run_streaming_rows(
+    config: &ExperimentConfig,
+    opts: &StreamOptions,
+    filter: Option<RecordFilter>,
+    sink: RowSink,
+) -> (RunArtifacts, TraceAnalysis) {
+    run_streaming_inner(
+        config,
+        || config.workload.build(),
+        opts,
+        Some((filter, sink)),
+    )
+}
+
+fn run_streaming_inner(
+    config: &ExperimentConfig,
+    build: impl FnOnce() -> oscar_workloads::Workload + Send,
+    opts: &StreamOptions,
+    row_hook: Option<(Option<RecordFilter>, RowSink)>,
+) -> (RunArtifacts, TraceAnalysis) {
+    // Provenance reads the per-CPU resim bank counters and a row sink
+    // needs records enriched as they stream by, so both force the
+    // classification and the sweeps inline on the analysis thread.
+    let inline_only = opts.provenance || row_hook.is_some();
+    let shards = if inline_only { 1 } else { opts.shards.max(1) };
+    let sweep_workers = if opts.online_sweeps && !inline_only {
         opts.sweep_workers.max(1)
     } else {
         1
@@ -223,6 +266,7 @@ pub fn run_streaming_with(
         keep_streams: opts.keep_streams,
         deferred_classification: shards > 1,
         deferred_sweeps: sweep_workers > 1,
+        provenance: opts.provenance,
     };
     let chunk_records = opts.chunk_records.max(1);
     let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));
@@ -320,10 +364,15 @@ pub fn run_streaming_with(
         let mut analyzer: Option<StreamAnalyzer> = None;
         let mut kept: Vec<BusRecord> = Vec::new();
         let mut pobs = observe.then(PipelineObs::default);
+        let mut row_hook = row_hook;
         for msg in rx {
             match msg {
                 StreamMsg::Meta(meta) => {
-                    analyzer = Some(StreamAnalyzer::new(*meta, aopts.clone()));
+                    let mut a = StreamAnalyzer::new(*meta, aopts.clone());
+                    if let Some((filter, sink)) = row_hook.take() {
+                        a.set_row_sink(filter, sink);
+                    }
+                    analyzer = Some(a);
                 }
                 StreamMsg::Chunk(recs) => {
                     if let Some(p) = &mut pobs {

@@ -1,0 +1,788 @@
+//! Compiling and running [`QuerySpec`]s against the simulator: the
+//! engine behind `oscar-reports query`.
+//!
+//! The spec language and the aggregation state live in dependency-free
+//! `oscar-obs` ([`oscar_obs::query`]); this module supplies the row
+//! vocabulary and the execution plan. Compilation validates every
+//! field/value against the source's vocabulary up front (so a typo
+//! fails fast, before any simulation runs) and splits the predicate
+//! conjunction into two tiers:
+//!
+//! - **Pushdown** ([`RecordFilter`]): `cpu`, `kind`, `time` and `addr`
+//!   constraints are evaluated against the raw record before the row is
+//!   even built, on the analysis thread, as records stream by.
+//! - **Enriched predicates**: `mode`, `fetch`, `class`, `op` and
+//!   `region` need the analyzer's reconstructed context and run against
+//!   the [`QueryRow`] the pushdown admitted.
+//!
+//! Accepted rows fold straight into a [`GroupTable`] — memory stays
+//! O(groups) however long the trace — and the whole path inherits the
+//! simulator's determinism: the same spec renders byte-identical JSON
+//! for any `--jobs`.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use oscar_machine::monitor::RecordFilter;
+use oscar_machine::BusKind;
+use oscar_obs::query::{parse_num, Agg, Filter, GroupTable, QuerySource, QuerySpec};
+use oscar_os::{KernelRegion, LockFamily, LockPhase, Mode, OpClass};
+
+use crate::analyze::QueryRow;
+use crate::classify::ArchClass;
+use crate::experiment::ExperimentConfig;
+use crate::pipeline::{run_streaming, run_streaming_rows, StreamOptions};
+
+/// Queryable fields of the `records` source, for error messages.
+pub const RECORD_FIELDS: &str = "cpu, kind, mode, fetch, class, op, region, time, addr";
+/// Queryable fields of the `locks` source, for error messages.
+pub const LOCK_FIELDS: &str = "family, instance, cpu, phase, start, dur";
+
+const KIND_VALUES: [(&str, BusKind); 5] = [
+    ("read", BusKind::Read),
+    ("readex", BusKind::ReadEx),
+    ("upgrade", BusKind::Upgrade),
+    ("writeback", BusKind::WriteBack),
+    ("escape", BusKind::UncachedRead),
+];
+
+const MODE_OS: u8 = 1;
+const MODE_USER: u8 = 2;
+const MODE_IDLE: u8 = 4;
+const MODE_VALUES: [(&str, u8); 3] = [("os", MODE_OS), ("user", MODE_USER), ("idle", MODE_IDLE)];
+
+const FETCH_INSTR: u8 = 1;
+const FETCH_DATA: u8 = 2;
+const FETCH_VALUES: [(&str, u8); 2] = [("instr", FETCH_INSTR), ("data", FETCH_DATA)];
+
+const CLASS_VALUES: [(&str, u8); 6] = [
+    ("cold", 1),
+    ("disp_os", 2),
+    ("disp_os_same", 4),
+    ("disp_ap", 8),
+    ("sharing", 16),
+    ("inval", 32),
+];
+
+const PHASE_SPIN: u8 = 1;
+const PHASE_HOLD: u8 = 2;
+const PHASE_VALUES: [(&str, u8); 2] = [("spin", PHASE_SPIN), ("hold", PHASE_HOLD)];
+
+/// Every kernel region, in declaration order (the enum has no `ALL`
+/// const of its own).
+const REGIONS: [KernelRegion; 17] = [
+    KernelRegion::Text,
+    KernelRegion::ProcTable,
+    KernelRegion::Pfdat,
+    KernelRegion::BufHeaders,
+    KernelRegion::InodeTable,
+    KernelRegion::RunQueue,
+    KernelRegion::FreePgBuck,
+    KernelRegion::Callout,
+    KernelRegion::MiscData,
+    KernelRegion::PageTables,
+    KernelRegion::KernelStack,
+    KernelRegion::Pcb,
+    KernelRegion::Eframe,
+    KernelRegion::URest,
+    KernelRegion::BufData,
+    KernelRegion::PipeBuf,
+    KernelRegion::FramePool,
+];
+
+fn kind_label(k: BusKind) -> &'static str {
+    match k {
+        BusKind::Read => "read",
+        BusKind::ReadEx => "readex",
+        BusKind::Upgrade => "upgrade",
+        BusKind::WriteBack => "writeback",
+        BusKind::UncachedRead => "escape",
+    }
+}
+
+fn mode_bit(m: Mode) -> u8 {
+    match m {
+        Mode::Kernel => MODE_OS,
+        Mode::User => MODE_USER,
+        Mode::Idle => MODE_IDLE,
+    }
+}
+
+fn mode_label(m: Mode) -> &'static str {
+    match m {
+        Mode::Kernel => "os",
+        Mode::User => "user",
+        Mode::Idle => "idle",
+    }
+}
+
+/// The labels a class satisfies, as [`CLASS_VALUES`] bits. A same-epoch
+/// OS displacement is still an OS displacement, so it matches both
+/// `disp_os` and `disp_os_same`.
+fn class_bits(c: ArchClass) -> u8 {
+    match c {
+        ArchClass::Cold => 1,
+        ArchClass::DispOs { same_epoch: false } => 2,
+        ArchClass::DispOs { same_epoch: true } => 2 | 4,
+        ArchClass::DispAp => 8,
+        ArchClass::Sharing => 16,
+        ArchClass::Inval => 32,
+    }
+}
+
+/// The class's group label (the most specific one).
+fn class_label(c: ArchClass) -> &'static str {
+    match c {
+        ArchClass::Cold => "cold",
+        ArchClass::DispOs { same_epoch: false } => "disp_os",
+        ArchClass::DispOs { same_epoch: true } => "disp_os_same",
+        ArchClass::DispAp => "disp_ap",
+        ArchClass::Sharing => "sharing",
+        ArchClass::Inval => "inval",
+    }
+}
+
+/// Resolves `value` in a `(label, item)` vocabulary, or lists the
+/// vocabulary in the error.
+fn lookup<T: Copy>(field: &str, value: &str, vocab: &[(&str, T)]) -> Result<T, String> {
+    vocab
+        .iter()
+        .find(|(l, _)| *l == value)
+        .map(|&(_, t)| t)
+        .ok_or_else(|| {
+            let all: Vec<&str> = vocab.iter().map(|&(l, _)| l).collect();
+            format!("unknown {field} `{value}` (one of: {})", all.join(", "))
+        })
+}
+
+/// ORs the vocabulary bits of every listed value.
+fn bitset(field: &str, values: &[String], vocab: &[(&str, u8)]) -> Result<u8, String> {
+    let mut bits = 0;
+    for v in values {
+        bits |= lookup(field, v, vocab)?;
+    }
+    Ok(bits)
+}
+
+/// A numeric predicate: an explicit value list or an inclusive range.
+#[derive(Debug, Clone)]
+enum NumPred {
+    OneOf(Vec<u64>),
+    Range(u64, u64),
+}
+
+impl NumPred {
+    fn from_filter(f: &Filter) -> Result<NumPred, String> {
+        match f {
+            Filter::Range { lo, hi, .. } => Ok(NumPred::Range(*lo, *hi)),
+            Filter::OneOf { field, values } => {
+                let nums: Result<Vec<u64>, String> = values
+                    .iter()
+                    .map(|v| parse_num(v).map_err(|e| format!("--where {field}: {e}")))
+                    .collect();
+                Ok(NumPred::OneOf(nums?))
+            }
+        }
+    }
+
+    fn matches(&self, v: u64) -> bool {
+        match self {
+            NumPred::OneOf(set) => set.contains(&v),
+            NumPred::Range(lo, hi) => v >= *lo && v <= *hi,
+        }
+    }
+}
+
+/// An enriched predicate of the `records` source (everything the
+/// pushdown [`RecordFilter`] cannot express).
+#[derive(Debug, Clone)]
+enum RecPred {
+    Mode(u8),
+    Fetch(u8),
+    Class(u8),
+    Op(Vec<OpClass>),
+    Region(Vec<KernelRegion>),
+}
+
+impl RecPred {
+    fn matches(&self, row: &QueryRow) -> bool {
+        match self {
+            RecPred::Mode(bits) => bits & mode_bit(row.mode) != 0,
+            RecPred::Fetch(bits) => bits & if row.instr { FETCH_INSTR } else { FETCH_DATA } != 0,
+            RecPred::Class(bits) => row.class.is_some_and(|c| bits & class_bits(c) != 0),
+            RecPred::Op(ops) => row.op.is_some_and(|o| ops.contains(&o)),
+            RecPred::Region(rs) => row.region.is_some_and(|r| rs.contains(&r)),
+        }
+    }
+}
+
+/// A group-key component of the `records` source.
+#[derive(Debug, Clone, Copy)]
+enum RecGroup {
+    Cpu,
+    Kind,
+    Mode,
+    Fetch,
+    Class,
+    Op,
+    Region,
+}
+
+impl RecGroup {
+    fn append(self, row: &QueryRow, key: &mut String) {
+        match self {
+            RecGroup::Cpu => {
+                let _ = write!(key, "cpu{}", row.cpu);
+            }
+            RecGroup::Kind => key.push_str(kind_label(row.kind)),
+            RecGroup::Mode => key.push_str(mode_label(row.mode)),
+            RecGroup::Fetch => key.push_str(if row.instr { "instr" } else { "data" }),
+            RecGroup::Class => key.push_str(row.class.map_or("-", class_label)),
+            RecGroup::Op => key.push_str(row.op.map_or("-", |o| o.label())),
+            RecGroup::Region => key.push_str(row.region.map_or("-", |r| r.label())),
+        }
+    }
+}
+
+/// The value field the aggregation samples, per source.
+#[derive(Debug, Clone, Copy)]
+enum RecValue {
+    Time,
+    Addr,
+}
+
+/// A predicate of the `locks` source.
+#[derive(Debug, Clone)]
+enum LockPred {
+    Family(Vec<LockFamily>),
+    Instance(NumPred),
+    Cpu(NumPred),
+    Phase(u8),
+    Start(NumPred),
+    Dur(NumPred),
+}
+
+/// A group-key component of the `locks` source.
+#[derive(Debug, Clone, Copy)]
+enum LockGroup {
+    Family,
+    Instance,
+    Cpu,
+    Phase,
+}
+
+/// The value field of the `locks` source.
+#[derive(Debug, Clone, Copy)]
+enum LockValue {
+    Dur,
+    Start,
+}
+
+/// The execution plan of a validated spec.
+#[derive(Debug, Clone)]
+enum Plan {
+    Records {
+        filter: Option<RecordFilter>,
+        preds: Vec<RecPred>,
+        group: Vec<RecGroup>,
+        value: Option<RecValue>,
+    },
+    Locks {
+        preds: Vec<LockPred>,
+        group: Vec<LockGroup>,
+        value: Option<LockValue>,
+    },
+}
+
+/// A [`QuerySpec`] validated against the source's vocabulary, with the
+/// pushdown filter split out. Compile once (fail fast on typos), then
+/// run against any number of configurations.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    agg: Agg,
+    top: Option<usize>,
+    plan: Plan,
+}
+
+/// Intersects `[lo, hi]` into an optional window (conjunction of two
+/// `--where` ranges on the same field).
+fn isect_range(slot: &mut Option<(u64, u64)>, lo: u64, hi: u64) {
+    let (l0, h0) = slot.unwrap_or((0, u64::MAX));
+    *slot = Some((l0.max(lo), h0.min(hi)));
+}
+
+fn isect_mask<M: std::ops::BitAnd<Output = M> + Copy>(slot: &mut Option<M>, mask: M, all: M) {
+    let m0 = slot.unwrap_or(all);
+    *slot = Some(m0 & mask);
+}
+
+/// Converts a `cpu` filter into a [`RecordFilter::cpus`] mask (the
+/// monitor tracks at most 32 CPUs).
+fn cpu_mask(f: &Filter) -> Result<u32, String> {
+    match NumPred::from_filter(f)? {
+        NumPred::OneOf(cpus) => {
+            let mut mask = 0u32;
+            for c in cpus {
+                if c >= 32 {
+                    return Err(format!("--where cpu: `{c}` out of range (0..=31)"));
+                }
+                mask |= 1 << c;
+            }
+            Ok(mask)
+        }
+        NumPred::Range(lo, hi) => {
+            let mut mask = 0u32;
+            for c in lo..=hi.min(31) {
+                mask |= 1 << c;
+            }
+            Ok(mask)
+        }
+    }
+}
+
+/// Converts a `time`/`addr` filter into an inclusive window (a single
+/// listed value means equality).
+fn num_window(f: &Filter) -> Result<(u64, u64), String> {
+    match NumPred::from_filter(f)? {
+        NumPred::Range(lo, hi) => Ok((lo, hi)),
+        NumPred::OneOf(vs) if vs.len() == 1 => Ok((vs[0], vs[0])),
+        NumPred::OneOf(_) => Err(format!(
+            "--where {}: needs a single value or a lo..hi range",
+            f.field()
+        )),
+    }
+}
+
+fn oneof_values(f: &Filter) -> Result<&[String], String> {
+    match f {
+        Filter::OneOf { values, .. } => Ok(values),
+        Filter::Range { field, .. } => {
+            Err(format!("--where {field}: takes a value list, not a range"))
+        }
+    }
+}
+
+/// Validates `spec` against its source's field and value vocabulary and
+/// builds the execution plan. No simulation runs here.
+pub fn compile(spec: &QuerySpec) -> Result<CompiledQuery, String> {
+    let plan = match spec.source {
+        QuerySource::Records => compile_records(spec)?,
+        QuerySource::Locks => compile_locks(spec)?,
+    };
+    Ok(CompiledQuery {
+        agg: spec.agg.clone(),
+        top: spec.top,
+        plan,
+    })
+}
+
+fn compile_records(spec: &QuerySpec) -> Result<Plan, String> {
+    let op_vocab: Vec<(&str, OpClass)> = OpClass::ALL.iter().map(|&c| (c.label(), c)).collect();
+    let region_vocab: Vec<(&str, KernelRegion)> = REGIONS.iter().map(|&r| (r.label(), r)).collect();
+
+    let mut rf = RecordFilter::default();
+    let mut preds = Vec::new();
+    for f in &spec.filters {
+        match f.field() {
+            "cpu" => isect_mask(&mut rf.cpus, cpu_mask(f)?, !0),
+            "kind" => {
+                let mut mask = 0u8;
+                for v in oneof_values(f)? {
+                    mask |= RecordFilter::kind_bit(lookup("kind", v, &KIND_VALUES)?);
+                }
+                isect_mask(&mut rf.kinds, mask, !0);
+            }
+            "time" => {
+                let (lo, hi) = num_window(f)?;
+                isect_range(&mut rf.time, lo, hi);
+            }
+            "addr" => {
+                let (lo, hi) = num_window(f)?;
+                isect_range(&mut rf.addr, lo, hi);
+            }
+            "mode" => preds.push(RecPred::Mode(bitset(
+                "mode",
+                oneof_values(f)?,
+                &MODE_VALUES,
+            )?)),
+            "fetch" => preds.push(RecPred::Fetch(bitset(
+                "fetch",
+                oneof_values(f)?,
+                &FETCH_VALUES,
+            )?)),
+            "class" => preds.push(RecPred::Class(bitset(
+                "class",
+                oneof_values(f)?,
+                &CLASS_VALUES,
+            )?)),
+            "op" => preds.push(RecPred::Op(
+                oneof_values(f)?
+                    .iter()
+                    .map(|v| lookup("op", v, &op_vocab))
+                    .collect::<Result<_, _>>()?,
+            )),
+            "region" => preds.push(RecPred::Region(
+                oneof_values(f)?
+                    .iter()
+                    .map(|v| lookup("region", v, &region_vocab))
+                    .collect::<Result<_, _>>()?,
+            )),
+            other => {
+                return Err(format!(
+                    "unknown records field `{other}` (one of: {RECORD_FIELDS})"
+                ))
+            }
+        }
+    }
+
+    let mut group = Vec::new();
+    for g in &spec.group_by {
+        group.push(match g.as_str() {
+            "cpu" => RecGroup::Cpu,
+            "kind" => RecGroup::Kind,
+            "mode" => RecGroup::Mode,
+            "fetch" => RecGroup::Fetch,
+            "class" => RecGroup::Class,
+            "op" => RecGroup::Op,
+            "region" => RecGroup::Region,
+            "time" | "addr" => return Err(format!("cannot group by continuous field `{g}`")),
+            other => {
+                return Err(format!(
+                    "unknown records field `{other}` (one of: {RECORD_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let value = match spec.agg.value_field() {
+        None => None,
+        Some("time") => Some(RecValue::Time),
+        Some("addr") => Some(RecValue::Addr),
+        Some(other) => {
+            return Err(format!(
+                "records aggregation needs value field time|addr, not `{other}`"
+            ))
+        }
+    };
+
+    Ok(Plan::Records {
+        filter: (!rf.is_pass_all()).then_some(rf),
+        preds,
+        group,
+        value,
+    })
+}
+
+fn compile_locks(spec: &QuerySpec) -> Result<Plan, String> {
+    let family_vocab: Vec<(&str, LockFamily)> =
+        LockFamily::ALL.iter().map(|&f| (f.label(), f)).collect();
+
+    let mut preds = Vec::new();
+    for f in &spec.filters {
+        preds.push(match f.field() {
+            "family" => LockPred::Family(
+                oneof_values(f)?
+                    .iter()
+                    .map(|v| lookup("family", v, &family_vocab))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "instance" => LockPred::Instance(NumPred::from_filter(f)?),
+            "cpu" => LockPred::Cpu(NumPred::from_filter(f)?),
+            "phase" => LockPred::Phase(bitset("phase", oneof_values(f)?, &PHASE_VALUES)?),
+            "start" => LockPred::Start(NumPred::from_filter(f)?),
+            "dur" => LockPred::Dur(NumPred::from_filter(f)?),
+            other => {
+                return Err(format!(
+                    "unknown locks field `{other}` (one of: {LOCK_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let mut group = Vec::new();
+    for g in &spec.group_by {
+        group.push(match g.as_str() {
+            "family" => LockGroup::Family,
+            "instance" => LockGroup::Instance,
+            "cpu" => LockGroup::Cpu,
+            "phase" => LockGroup::Phase,
+            "start" | "dur" => return Err(format!("cannot group by continuous field `{g}`")),
+            other => {
+                return Err(format!(
+                    "unknown locks field `{other}` (one of: {LOCK_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let value = match spec.agg.value_field() {
+        None => None,
+        Some("dur") => Some(LockValue::Dur),
+        Some("start") => Some(LockValue::Start),
+        Some(other) => {
+            return Err(format!(
+                "locks aggregation needs value field dur|start, not `{other}`"
+            ))
+        }
+    };
+
+    Ok(Plan::Locks {
+        preds,
+        group,
+        value,
+    })
+}
+
+/// The result of one query over one run.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// The aggregated groups.
+    pub table: GroupTable,
+    /// Monitor records the run produced — the row universe of the
+    /// `records` source (a query with no filters matches exactly this
+    /// many rows).
+    pub trace_records: u64,
+}
+
+fn joined_key(key: &mut String, n_fields: usize) {
+    if n_fields == 0 {
+        key.push_str("all");
+    }
+}
+
+/// Runs `spec` against a fresh simulation of `config` and returns the
+/// aggregated table. The `records` source streams rows out of the
+/// analyzer with predicate pushdown (peak memory independent of trace
+/// length); the `locks` source replays the kernel probes' lock spans.
+pub fn run_query(config: &ExperimentConfig, spec: &QuerySpec) -> Result<QueryRun, String> {
+    let compiled = compile(spec)?;
+    run_compiled(config, &compiled)
+}
+
+/// [`run_query`] for an already-[`compile`]d query (so a multi-workload
+/// driver validates once, before the first simulation).
+pub fn run_compiled(
+    config: &ExperimentConfig,
+    compiled: &CompiledQuery,
+) -> Result<QueryRun, String> {
+    match &compiled.plan {
+        Plan::Records {
+            filter,
+            preds,
+            group,
+            value,
+        } => {
+            let table = Rc::new(RefCell::new(
+                GroupTable::new(compiled.agg.clone()).with_top(compiled.top),
+            ));
+            let acc = Rc::clone(&table);
+            let (preds, group, value) = (preds.clone(), group.clone(), *value);
+            let mut key = String::new();
+            let sink = Box::new(move |row: &QueryRow| {
+                if !preds.iter().all(|p| p.matches(row)) {
+                    return;
+                }
+                key.clear();
+                for (i, g) in group.iter().enumerate() {
+                    if i > 0 {
+                        key.push(' ');
+                    }
+                    g.append(row, &mut key);
+                }
+                joined_key(&mut key, group.len());
+                let v = match value {
+                    Some(RecValue::Time) => row.time,
+                    Some(RecValue::Addr) => row.paddr,
+                    None => 0,
+                };
+                acc.borrow_mut().accept(&key, v);
+            });
+            let opts = StreamOptions {
+                online_sweeps: false,
+                ..StreamOptions::default()
+            };
+            let (art, _an) = run_streaming_rows(config, &opts, *filter, sink);
+            let table = Rc::try_unwrap(table)
+                .expect("row sink must be dropped with the analyzer")
+                .into_inner();
+            Ok(QueryRun {
+                table,
+                trace_records: art.trace_records,
+            })
+        }
+        Plan::Locks {
+            preds,
+            group,
+            value,
+        } => {
+            let opts = StreamOptions {
+                observe: true,
+                online_sweeps: false,
+                ..StreamOptions::default()
+            };
+            let (art, _an) = run_streaming(config, &opts);
+            let mut table = GroupTable::new(compiled.agg.clone()).with_top(compiled.top);
+            let spans = art
+                .obs
+                .as_ref()
+                .map(|o| o.lock_spans.as_slice())
+                .unwrap_or(&[]);
+            let mut key = String::new();
+            for s in spans {
+                let start = s.start.saturating_sub(art.measure_start);
+                let dur = s.end.saturating_sub(s.start);
+                let pass = preds.iter().all(|p| match p {
+                    LockPred::Family(fs) => fs.contains(&s.lock.family),
+                    LockPred::Instance(n) => n.matches(s.lock.instance as u64),
+                    LockPred::Cpu(n) => n.matches(s.cpu.index() as u64),
+                    LockPred::Phase(bits) => {
+                        bits & match s.phase {
+                            LockPhase::Spin => PHASE_SPIN,
+                            LockPhase::Hold => PHASE_HOLD,
+                        } != 0
+                    }
+                    LockPred::Start(n) => n.matches(start),
+                    LockPred::Dur(n) => n.matches(dur),
+                });
+                if !pass {
+                    continue;
+                }
+                key.clear();
+                for (i, g) in group.iter().enumerate() {
+                    if i > 0 {
+                        key.push(' ');
+                    }
+                    match g {
+                        LockGroup::Family => key.push_str(s.lock.family.label()),
+                        LockGroup::Instance => {
+                            let _ = write!(key, "i{}", s.lock.instance);
+                        }
+                        LockGroup::Cpu => {
+                            let _ = write!(key, "cpu{}", s.cpu.index());
+                        }
+                        LockGroup::Phase => key.push_str(match s.phase {
+                            LockPhase::Spin => "spin",
+                            LockPhase::Hold => "hold",
+                        }),
+                    }
+                }
+                joined_key(&mut key, group.len());
+                let v = match value {
+                    Some(LockValue::Dur) => dur,
+                    Some(LockValue::Start) => start,
+                    None => 0,
+                };
+                table.accept(&key, v);
+            }
+            Ok(QueryRun {
+                table,
+                trace_records: art.trace_records,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(
+        source: &str,
+        wheres: &[&str],
+        by: Option<&str>,
+        agg: Option<&str>,
+    ) -> Result<QuerySpec, String> {
+        let ws: Vec<String> = wheres.iter().map(|s| s.to_string()).collect();
+        QuerySpec::parse(source, &ws, by, agg, None)
+    }
+
+    #[test]
+    fn compile_validates_fields_and_values() {
+        assert!(compile(&spec("records", &["cpu=0,2"], Some("kind,class"), None).unwrap()).is_ok());
+        assert!(compile(&spec("records", &["bogus=1"], None, None).unwrap())
+            .unwrap_err()
+            .contains("unknown records field"));
+        assert!(
+            compile(&spec("records", &["class=warm"], None, None).unwrap())
+                .unwrap_err()
+                .contains("unknown class")
+        );
+        assert!(
+            compile(&spec("records", &["kind=1..2"], None, None).unwrap())
+                .unwrap_err()
+                .contains("value list")
+        );
+        assert!(compile(&spec("records", &["cpu=40"], None, None).unwrap())
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(
+            compile(&spec("locks", &["family=Nosuch"], None, None).unwrap())
+                .unwrap_err()
+                .contains("unknown family")
+        );
+    }
+
+    #[test]
+    fn compile_rejects_bad_grouping_and_values() {
+        assert!(compile(&spec("records", &[], Some("time"), None).unwrap())
+            .unwrap_err()
+            .contains("continuous"));
+        assert!(
+            compile(&spec("records", &[], None, Some("sum:dur")).unwrap())
+                .unwrap_err()
+                .contains("time|addr")
+        );
+        assert!(
+            compile(&spec("locks", &[], None, Some("hist:addr")).unwrap())
+                .unwrap_err()
+                .contains("dur|start")
+        );
+        assert!(
+            compile(&spec("locks", &[], Some("family,phase"), Some("hist:dur")).unwrap()).is_ok()
+        );
+    }
+
+    #[test]
+    fn pushdown_splits_from_enriched_predicates() {
+        let c = compile(
+            &spec(
+                "records",
+                &["cpu=1", "time=100..200", "mode=os", "class=sharing"],
+                None,
+                None,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let Plan::Records { filter, preds, .. } = &c.plan else {
+            panic!("records plan expected");
+        };
+        let f = filter.expect("cpu/time push down");
+        assert_eq!(f.cpus, Some(1 << 1));
+        assert_eq!(f.time, Some((100, 200)));
+        assert_eq!(preds.len(), 2, "mode and class stay enriched");
+    }
+
+    #[test]
+    fn repeated_range_filters_intersect() {
+        let c = compile(&spec("records", &["time=100..500", "time=300..900"], None, None).unwrap())
+            .unwrap();
+        let Plan::Records { filter, .. } = &c.plan else {
+            panic!("records plan expected");
+        };
+        assert_eq!(filter.unwrap().time, Some((300, 500)));
+    }
+
+    #[test]
+    fn class_bits_make_disp_os_same_a_subset() {
+        let same = class_bits(ArchClass::DispOs { same_epoch: true });
+        let plain = class_bits(ArchClass::DispOs { same_epoch: false });
+        let (_, disp_os) = CLASS_VALUES[1];
+        let (_, disp_os_same) = CLASS_VALUES[2];
+        assert_ne!(same & disp_os, 0);
+        assert_ne!(same & disp_os_same, 0);
+        assert_ne!(plain & disp_os, 0);
+        assert_eq!(plain & disp_os_same, 0);
+    }
+}

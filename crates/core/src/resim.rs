@@ -45,6 +45,9 @@ pub struct IResimBank {
     os_misses: u64,
     os_inval: u64,
     app_misses: u64,
+    /// Per-CPU `(os_misses, os_inval)` split of the totals above, for
+    /// exhibit provenance.
+    by_cpu: Vec<(u64, u64)>,
 }
 
 impl IResimBank {
@@ -57,6 +60,7 @@ impl IResimBank {
             os_misses: 0,
             os_inval: 0,
             app_misses: 0,
+            by_cpu: vec![(0, 0); num_cpus],
         }
     }
 
@@ -71,8 +75,10 @@ impl IResimBank {
                     Lookup::Miss { .. } => {
                         if os {
                             self.os_misses += 1;
+                            self.by_cpu[cpu as usize].0 += 1;
                             if self.invalidated[cpu as usize].clear(b.0) {
                                 self.os_inval += 1;
+                                self.by_cpu[cpu as usize].1 += 1;
                             }
                         } else {
                             self.app_misses += 1;
@@ -106,6 +112,12 @@ impl IResimBank {
             os_inval_misses: self.os_inval,
             app_misses: self.app_misses,
         }
+    }
+
+    /// Per-CPU `(os_misses, os_inval_misses)` contributions; the sums
+    /// equal the [`ResimPoint`] totals.
+    pub fn per_cpu(&self) -> Vec<(u64, u64)> {
+        self.by_cpu.clone()
     }
 }
 
@@ -247,6 +259,8 @@ pub struct DResimBank {
     invalidated: Vec<crate::classify::BlockSet>,
     os_misses: u64,
     os_sharing: u64,
+    /// Per-CPU `(os_misses, os_sharing)` split, for exhibit provenance.
+    by_cpu: Vec<(u64, u64)>,
 }
 
 impl DResimBank {
@@ -258,6 +272,7 @@ impl DResimBank {
             invalidated: (0..num_cpus).map(|_| Default::default()).collect(),
             os_misses: 0,
             os_sharing: 0,
+            by_cpu: vec![(0, 0); num_cpus],
         }
     }
 
@@ -271,8 +286,10 @@ impl DResimBank {
             Lookup::Miss { .. } => {
                 if item.os {
                     self.os_misses += 1;
+                    self.by_cpu[i].0 += 1;
                     if self.invalidated[i].clear(b.0) {
                         self.os_sharing += 1;
+                        self.by_cpu[i].1 += 1;
                     }
                 } else {
                     self.invalidated[i].clear(b.0);
@@ -296,6 +313,12 @@ impl DResimBank {
             os_misses: self.os_misses,
             os_sharing_misses: self.os_sharing,
         }
+    }
+
+    /// Per-CPU `(os_misses, os_sharing_misses)` contributions; the sums
+    /// equal the [`DResimPoint`] totals.
+    pub fn per_cpu(&self) -> Vec<(u64, u64)> {
+        self.by_cpu.clone()
     }
 }
 

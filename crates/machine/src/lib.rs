@@ -51,5 +51,5 @@ pub use addr::{BlockAddr, CpuId, PAddr, Ppn, VAddr, Vpn};
 pub use bus::BusKind;
 pub use config::{CacheConfig, MachineConfig};
 pub use machine::{AccessOutcome, CpuCounters, HitLevel, Machine};
-pub use monitor::{BufferMode, BusRecord, TraceBuffer, TraceSink};
+pub use monitor::{BufferMode, BusRecord, FilteredSink, RecordFilter, TraceBuffer, TraceSink};
 pub use tlb::{Tlb, TlbEntry};

@@ -65,6 +65,118 @@ pub trait TraceSink: Send {
     }
 }
 
+/// A cheap raw-field predicate over [`BusRecord`]s: CPU set, transaction
+/// kinds, inclusive physical-address range and inclusive time window,
+/// each optional. This is what the query engine pushes down into the
+/// streaming pipeline, and what [`FilteredSink`] applies in front of an
+/// arbitrary sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordFilter {
+    /// Accepted CPUs as a bitmask over CPU indices (`None` = all).
+    pub cpus: Option<u32>,
+    /// Accepted kinds as a bitmask over [`RecordFilter::kind_bit`]
+    /// (`None` = all).
+    pub kinds: Option<u8>,
+    /// Accepted physical byte addresses, inclusive (`None` = all).
+    pub addr: Option<(u64, u64)>,
+    /// Accepted timestamps, inclusive (`None` = all). Callers choose the
+    /// time base: [`RecordFilter::matches`] uses the record's absolute
+    /// cycle count, [`RecordFilter::matches_at`] whatever rebased time
+    /// the caller passes (the analyzer uses window-relative cycles).
+    pub time: Option<(u64, u64)>,
+}
+
+impl RecordFilter {
+    /// The bit representing `kind` in [`RecordFilter::kinds`].
+    pub fn kind_bit(kind: BusKind) -> u8 {
+        1 << match kind {
+            BusKind::Read => 0,
+            BusKind::ReadEx => 1,
+            BusKind::Upgrade => 2,
+            BusKind::WriteBack => 3,
+            BusKind::UncachedRead => 4,
+        }
+    }
+
+    /// Whether every record passes (no constraint set).
+    pub fn is_pass_all(&self) -> bool {
+        self.cpus.is_none() && self.kinds.is_none() && self.addr.is_none() && self.time.is_none()
+    }
+
+    /// Evaluates the predicate with the record's own timestamp.
+    pub fn matches(&self, rec: &BusRecord) -> bool {
+        self.matches_at(rec, rec.time)
+    }
+
+    /// Evaluates the predicate, with the time window checked against a
+    /// caller-supplied (possibly rebased) timestamp.
+    pub fn matches_at(&self, rec: &BusRecord, time: u64) -> bool {
+        if let Some(mask) = self.cpus {
+            if rec.cpu.index() >= 32 || mask & (1 << rec.cpu.index()) == 0 {
+                return false;
+            }
+        }
+        if let Some(mask) = self.kinds {
+            if mask & Self::kind_bit(rec.kind) == 0 {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.addr {
+            let a = rec.paddr.raw();
+            if a < lo || a > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.time {
+            if time < lo || time > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A [`TraceSink`] adapter that forwards only the records matching a
+/// [`RecordFilter`] (by absolute record time) to the wrapped sink.
+pub struct FilteredSink<S> {
+    filter: RecordFilter,
+    inner: S,
+    batch: Vec<BusRecord>,
+}
+
+impl<S: TraceSink> FilteredSink<S> {
+    /// Wraps `inner` behind `filter`.
+    pub fn new(filter: RecordFilter, inner: S) -> Self {
+        FilteredSink {
+            filter,
+            inner,
+            batch: Vec::new(),
+        }
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for FilteredSink<S> {
+    fn record(&mut self, rec: BusRecord) {
+        if self.filter.matches(&rec) {
+            self.inner.record(rec);
+        }
+    }
+
+    fn record_batch(&mut self, recs: &[BusRecord]) {
+        self.batch.clear();
+        self.batch
+            .extend(recs.iter().filter(|r| self.filter.matches(r)));
+        if !self.batch.is_empty() {
+            self.inner.record_batch(&self.batch);
+        }
+    }
+}
+
 /// Records staged in the buffer before being handed to an attached sink
 /// in one [`TraceSink::record_batch`] call. Batch boundaries carry no
 /// meaning, so the value only trades per-record virtual-call overhead
@@ -406,6 +518,82 @@ mod tests {
         b.clear_sink();
         assert_eq!(rx1.try_iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(rx2.try_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn record_filter_gates_each_field() {
+        let r = BusRecord {
+            time: 100,
+            cpu: CpuId(2),
+            paddr: PAddr::new(0x4000),
+            kind: BusKind::ReadEx,
+        };
+        assert!(RecordFilter::default().is_pass_all());
+        assert!(RecordFilter::default().matches(&r));
+
+        let cpu_ok = RecordFilter {
+            cpus: Some(1 << 2),
+            ..Default::default()
+        };
+        let cpu_bad = RecordFilter {
+            cpus: Some(1 << 3),
+            ..Default::default()
+        };
+        assert!(cpu_ok.matches(&r) && !cpu_bad.matches(&r));
+
+        let kind_ok = RecordFilter {
+            kinds: Some(RecordFilter::kind_bit(BusKind::ReadEx)),
+            ..Default::default()
+        };
+        let kind_bad = RecordFilter {
+            kinds: Some(RecordFilter::kind_bit(BusKind::WriteBack)),
+            ..Default::default()
+        };
+        assert!(kind_ok.matches(&r) && !kind_bad.matches(&r));
+
+        let addr_edge = RecordFilter {
+            addr: Some((0x4000, 0x4000)),
+            ..Default::default()
+        };
+        let addr_bad = RecordFilter {
+            addr: Some((0, 0x3fff)),
+            ..Default::default()
+        };
+        assert!(addr_edge.matches(&r) && !addr_bad.matches(&r));
+
+        let time_abs = RecordFilter {
+            time: Some((100, 200)),
+            ..Default::default()
+        };
+        assert!(time_abs.matches(&r));
+        // matches_at rebases: the same window against a rebased time.
+        assert!(!time_abs.matches_at(&r, 99));
+        assert!(time_abs.matches_at(&r, 200));
+    }
+
+    #[test]
+    fn filtered_sink_forwards_only_matches() {
+        use std::sync::mpsc;
+
+        struct Tx(mpsc::Sender<u64>);
+        impl TraceSink for Tx {
+            fn record(&mut self, rec: BusRecord) {
+                self.0.send(rec.time).ok();
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let filter = RecordFilter {
+            time: Some((2, 3)),
+            ..Default::default()
+        };
+        let mut b = TraceBuffer::new(BufferMode::Unbounded);
+        b.set_sink(Box::new(FilteredSink::new(filter, Tx(tx))));
+        for t in 0..6 {
+            b.record(rec(t));
+        }
+        b.clear_sink();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]

@@ -37,8 +37,18 @@
 //! assert!(t.to_chrome_json().contains("\"ph\":\"X\""));
 //! ```
 
+//!
+//! Two consumers of those exports live here as well, both
+//! dependency-free: [`query`] is the filter/group-by/aggregate engine
+//! behind `oscar-reports query`, and [`diff`] compares two exports
+//! key-by-key with per-prefix tolerances for regression gating.
+
+pub mod diff;
 pub mod metrics;
+pub mod query;
 pub mod timeline;
 
+pub use diff::{diff_documents, DiffReport, Tolerance};
 pub use metrics::{Log2Histogram, MetricValue, Metrics};
+pub use query::{Agg, Filter, GroupTable, QuerySource, QuerySpec};
 pub use timeline::Timeline;

@@ -35,6 +35,17 @@ impl Log2Histogram {
         Self::default()
     }
 
+    /// An empty histogram, usable in `const`/`static` position.
+    pub const fn empty() -> Self {
+        Log2Histogram {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
     fn bucket_of(v: u64) -> usize {
         if v == 0 {
             0
@@ -109,6 +120,27 @@ impl Log2Histogram {
             .map(|(i, &c)| (Self::bucket_lo(i), c))
     }
 
+    /// The quantile `q` (in `[0, 1]`) of the recorded distribution,
+    /// resolved to bucket granularity: the lower bound of the bucket
+    /// holding the q-th ranked value, clamped to the observed
+    /// `[min, max]` range (so a single-valued histogram reports that
+    /// exact value at every quantile). Returns 0 when empty. Purely a
+    /// function of the recorded values — deterministic across runs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lo(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -120,7 +152,7 @@ impl Log2Histogram {
         self.max = self.max.max(other.max);
     }
 
-    fn write_json(&self, out: &mut String) {
+    pub(crate) fn write_json(&self, out: &mut String) {
         let _ = write!(
             out,
             "{{\"type\": \"hist\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
@@ -256,24 +288,46 @@ impl Metrics {
     }
 
     /// Renders the registry as one flat, key-sorted JSON object —
-    /// stable byte-for-byte for identical contents.
+    /// stable byte-for-byte for identical contents. Every histogram
+    /// additionally contributes flat `NAME.p50`/`NAME.p90`/`NAME.p99`
+    /// quantile keys (gauges, 0 when the histogram is empty), sorted in
+    /// with everything else.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 * self.map.len() + 8);
+        let mut rendered: BTreeMap<&str, String> = BTreeMap::new();
+        let mut quantiles: BTreeMap<String, String> = BTreeMap::new();
+        for (name, v) in &self.map {
+            let mut s = String::new();
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(s, "{{\"type\": \"counter\", \"value\": {c}}}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(s, "{{\"type\": \"gauge\", \"value\": {}}}", json_num(*g));
+                }
+                MetricValue::Hist(h) => {
+                    h.write_json(&mut s);
+                    for (q, label) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+                        quantiles.insert(
+                            format!("{name}.{label}"),
+                            format!("{{\"type\": \"gauge\", \"value\": {}}}", h.quantile(q)),
+                        );
+                    }
+                }
+            }
+            rendered.insert(name, s);
+        }
+        for (name, s) in &quantiles {
+            // A real metric with the same name wins over the synthesized
+            // quantile key; collisions don't occur with oscar's naming.
+            rendered.entry(name).or_insert_with(|| s.clone());
+        }
+        let mut out = String::with_capacity(64 * rendered.len() + 8);
         out.push_str("{\n");
-        for (i, (name, v)) in self.map.iter().enumerate() {
+        for (i, (name, s)) in rendered.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
-            let _ = write!(out, "  {}: ", json_str(name));
-            match v {
-                MetricValue::Counter(c) => {
-                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
-                }
-                MetricValue::Gauge(g) => {
-                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {}}}", json_num(*g));
-                }
-                MetricValue::Hist(h) => h.write_json(&mut out),
-            }
+            let _ = write!(out, "  {}: {s}", json_str(name));
         }
         out.push_str("\n}\n");
         out
@@ -354,6 +408,46 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert!(h.is_empty());
         assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_and_clamp() {
+        let mut h = Log2Histogram::new();
+        for v in [3, 3, 3, 3, 100] {
+            h.record(v);
+        }
+        // Ranks 1-4 land in the [2,4) bucket; min-clamping reports 3.
+        assert_eq!(h.quantile(0.50), 3);
+        assert_eq!(h.quantile(0.80), 3);
+        // Rank 5 lands in the [64,128) bucket, reported by lower bound.
+        assert_eq!(h.quantile(0.99), 64);
+
+        let mut single = Log2Histogram::new();
+        single.record(42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(single.quantile(q), 42);
+        }
+
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn json_emits_flat_quantile_keys_for_hists() {
+        let mut m = Metrics::new();
+        m.record_hist("m.hist", 7);
+        m.record_hist("m.hist", 9);
+        let j = m.to_json();
+        assert!(j.contains("\"m.hist.p50\": {\"type\": \"gauge\", \"value\": 7}"));
+        assert!(j.contains("\"m.hist.p90\": {\"type\": \"gauge\", \"value\": 8}"));
+        assert!(j.contains("\"m.hist.p99\": {\"type\": \"gauge\", \"value\": 8}"));
+        let base = j.find("\"m.hist\"").unwrap();
+        let p50 = j.find("\"m.hist.p50\"").unwrap();
+        assert!(base < p50, "quantile keys sort with everything else");
+
+        let mut e = Metrics::new();
+        e.insert_hist("empty", &Log2Histogram::new());
+        let ej = e.to_json();
+        assert!(ej.contains("\"empty.p50\": {\"type\": \"gauge\", \"value\": 0}"));
     }
 
     #[test]

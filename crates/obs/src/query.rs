@@ -1,0 +1,448 @@
+//! The filter/group-by/aggregate engine behind `oscar-reports query`.
+//!
+//! The crate stays dependency-free, so this module knows nothing about
+//! bus records or lock spans: it defines the *query language*
+//! ([`QuerySpec`] and its parser) and the *aggregation state*
+//! ([`GroupTable`]), while the producer (oscar-core) compiles the spec
+//! against its row vocabulary, evaluates predicates as rows stream by,
+//! and feeds only the accepted `(group key, value)` pairs in here.
+//! Memory is therefore O(groups), never O(rows): no row is ever
+//! materialized or retained.
+//!
+//! Rendering is deterministic: groups live in a `BTreeMap`, default
+//! output is key-sorted, and top-N ordering is by aggregate value
+//! descending with the key as tie-break — so two identical runs (or the
+//! same run under a different `--jobs`) render byte-identical JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{json_str, Log2Histogram};
+
+/// Which row stream a query runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    /// One row per monitored bus record, enriched with the analyzer's
+    /// reconstructed context (mode, miss class, operation, region).
+    Records,
+    /// One row per observed lock interval (spin or hold).
+    Locks,
+}
+
+impl QuerySource {
+    /// The name used on the command line.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuerySource::Records => "records",
+            QuerySource::Locks => "locks",
+        }
+    }
+}
+
+/// One parsed predicate (`--where field=...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// The field must equal one of the listed values
+    /// (`--where cpu=0,2` or `--where class=sharing`).
+    OneOf {
+        /// Field name (validated by the producer).
+        field: String,
+        /// Accepted values, verbatim from the command line.
+        values: Vec<String>,
+    },
+    /// A numeric field must fall in `[lo, hi]` inclusive
+    /// (`--where time=1000..2000`; either bound may be omitted).
+    Range {
+        /// Field name (validated by the producer).
+        field: String,
+        /// Lower bound, inclusive.
+        lo: u64,
+        /// Upper bound, inclusive.
+        hi: u64,
+    },
+}
+
+impl Filter {
+    /// The field this predicate constrains.
+    pub fn field(&self) -> &str {
+        match self {
+            Filter::OneOf { field, .. } | Filter::Range { field, .. } => field,
+        }
+    }
+}
+
+/// The aggregation computed per group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Agg {
+    /// Row count only.
+    Count,
+    /// Count plus the sum of the named value field.
+    Sum(String),
+    /// Count plus a [`Log2Histogram`] (with p50/p90/p99) of the named
+    /// value field.
+    Hist(String),
+}
+
+impl Agg {
+    /// The `--agg` syntax that produced this aggregation.
+    pub fn label(&self) -> String {
+        match self {
+            Agg::Count => "count".to_string(),
+            Agg::Sum(f) => format!("sum:{f}"),
+            Agg::Hist(f) => format!("hist:{f}"),
+        }
+    }
+
+    /// The value field the aggregation reads, if any.
+    pub fn value_field(&self) -> Option<&str> {
+        match self {
+            Agg::Count => None,
+            Agg::Sum(f) | Agg::Hist(f) => Some(f),
+        }
+    }
+}
+
+/// A parsed query: source, predicates, grouping and aggregation.
+///
+/// Field names are carried as strings; the producer validates them
+/// against its row vocabulary when compiling the query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Row stream to query.
+    pub source: QuerySource,
+    /// Conjunction of predicates (a row must pass all of them).
+    pub filters: Vec<Filter>,
+    /// Group-key fields, in key order; empty groups everything into
+    /// one `all` bucket.
+    pub group_by: Vec<String>,
+    /// Per-group aggregation.
+    pub agg: Agg,
+    /// Keep only the N groups with the largest aggregate value.
+    pub top: Option<usize>,
+}
+
+/// Parses a decimal or `0x`-prefixed hexadecimal integer.
+pub fn parse_num(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("`{s}` is not an integer"))
+}
+
+impl QuerySpec {
+    /// Builds a spec from command-line pieces: `--source`, the repeated
+    /// `--where` clauses, `--by`, `--agg` and `--top`.
+    pub fn parse(
+        source: &str,
+        wheres: &[String],
+        by: Option<&str>,
+        agg: Option<&str>,
+        top: Option<usize>,
+    ) -> Result<QuerySpec, String> {
+        let source = match source {
+            "records" => QuerySource::Records,
+            "locks" => QuerySource::Locks,
+            other => return Err(format!("unknown --source `{other}` (records|locks)")),
+        };
+        let mut filters = Vec::new();
+        for w in wheres {
+            let (field, rhs) = w
+                .split_once('=')
+                .ok_or_else(|| format!("--where `{w}` is not field=value"))?;
+            let field = field.trim().to_string();
+            if field.is_empty() || rhs.is_empty() {
+                return Err(format!("--where `{w}` is not field=value"));
+            }
+            filters.push(match rhs.split_once("..") {
+                Some((lo, hi)) => Filter::Range {
+                    field,
+                    lo: if lo.is_empty() { 0 } else { parse_num(lo)? },
+                    hi: if hi.is_empty() {
+                        u64::MAX
+                    } else {
+                        parse_num(hi)?
+                    },
+                },
+                None => Filter::OneOf {
+                    field,
+                    values: rhs.split(',').map(|v| v.trim().to_string()).collect(),
+                },
+            });
+        }
+        let group_by = by
+            .map(|b| b.split(',').map(|f| f.trim().to_string()).collect())
+            .unwrap_or_default();
+        let agg = match agg.unwrap_or("count") {
+            "count" => Agg::Count,
+            other => match other.split_once(':') {
+                Some(("sum", f)) if !f.is_empty() => Agg::Sum(f.to_string()),
+                Some(("hist", f)) if !f.is_empty() => Agg::Hist(f.to_string()),
+                _ => {
+                    return Err(format!(
+                        "unknown --agg `{other}` (count | sum:FIELD | hist:FIELD)"
+                    ))
+                }
+            },
+        };
+        if let Some(0) = top {
+            return Err("--top needs a positive integer".to_string());
+        }
+        Ok(QuerySpec {
+            source,
+            filters,
+            group_by,
+            agg,
+            top,
+        })
+    }
+}
+
+/// One group's aggregation state.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    count: u64,
+    sum: u64,
+    hist: Option<Box<Log2Histogram>>,
+}
+
+/// The streaming aggregation state of one query over one run: a
+/// key-sorted map of groups, each holding only its aggregate — memory
+/// is O(groups) no matter how many rows stream through.
+#[derive(Debug, Clone)]
+pub struct GroupTable {
+    agg: Agg,
+    matched: u64,
+    top: Option<usize>,
+    groups: BTreeMap<String, Cell>,
+}
+
+impl GroupTable {
+    /// An empty table computing `agg` per group.
+    pub fn new(agg: Agg) -> Self {
+        GroupTable {
+            agg,
+            matched: 0,
+            top: None,
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches the spec's `--top` truncation to the table.
+    pub fn with_top(mut self, top: Option<usize>) -> Self {
+        self.top = top;
+        self
+    }
+
+    /// Folds one accepted row into its group. `value` is the row's
+    /// value-field sample (ignored under [`Agg::Count`]).
+    pub fn accept(&mut self, key: &str, value: u64) {
+        self.matched += 1;
+        let cell = self.groups.entry(key.to_string()).or_default();
+        cell.count += 1;
+        match &self.agg {
+            Agg::Count => {}
+            Agg::Sum(_) => cell.sum = cell.sum.saturating_add(value),
+            Agg::Hist(_) => cell.hist.get_or_insert_with(Box::default).record(value),
+        }
+    }
+
+    /// Rows accepted (after all predicates).
+    pub fn matched(&self) -> u64 {
+        self.matched
+    }
+
+    /// Number of distinct groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no row was accepted.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The aggregate a group sorts by under `--top` (sum for
+    /// [`Agg::Sum`], count otherwise).
+    fn rank(&self, cell: &Cell) -> u64 {
+        match self.agg {
+            Agg::Sum(_) => cell.sum,
+            _ => cell.count,
+        }
+    }
+
+    /// Renders the table as a JSON object, stable byte-for-byte for
+    /// identical contents: groups sort by key, or — with `top` — by
+    /// aggregate value descending (key ascending as tie-break),
+    /// truncated to the N largest.
+    pub fn to_json(&self) -> String {
+        let mut ordered: Vec<(&String, &Cell)> = self.groups.iter().collect();
+        if let Some(n) = self.top {
+            ordered.sort_by(|(ka, a), (kb, b)| self.rank(b).cmp(&self.rank(a)).then(ka.cmp(kb)));
+            ordered.truncate(n);
+        }
+        let mut out = String::with_capacity(128 * ordered.len() + 128);
+        let _ = write!(
+            out,
+            "{{\"agg\": {}, \"matched\": {}, \"groups_total\": {}, \"groups\": [",
+            json_str(&self.agg.label()),
+            self.matched,
+            self.groups.len()
+        );
+        for (i, (key, cell)) in ordered.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "{{\"key\": {}, \"count\": {}",
+                json_str(key),
+                cell.count
+            );
+            match &self.agg {
+                Agg::Count => {}
+                Agg::Sum(_) => {
+                    let _ = write!(out, ", \"sum\": {}", cell.sum);
+                }
+                Agg::Hist(_) => {
+                    static EMPTY: Log2Histogram = Log2Histogram::empty();
+                    let h = cell.hist.as_deref().unwrap_or(&EMPTY);
+                    out.push_str(", \"hist\": ");
+                    h.write_json(&mut out);
+                    let _ = write!(
+                        out,
+                        ", \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99)
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_filters_groups_and_agg() {
+        let spec = QuerySpec::parse(
+            "records",
+            &[
+                "cpu=0,2".to_string(),
+                "time=1000..0x800".to_string(),
+                "addr=..4096".to_string(),
+            ],
+            Some("cpu,class"),
+            Some("hist:time"),
+            Some(3),
+        )
+        .unwrap();
+        assert_eq!(spec.source, QuerySource::Records);
+        assert_eq!(spec.filters.len(), 3);
+        assert_eq!(
+            spec.filters[0],
+            Filter::OneOf {
+                field: "cpu".to_string(),
+                values: vec!["0".to_string(), "2".to_string()],
+            }
+        );
+        assert_eq!(
+            spec.filters[1],
+            Filter::Range {
+                field: "time".to_string(),
+                lo: 1000,
+                hi: 0x800,
+            }
+        );
+        assert_eq!(
+            spec.filters[2],
+            Filter::Range {
+                field: "addr".to_string(),
+                lo: 0,
+                hi: 4096,
+            }
+        );
+        assert_eq!(spec.group_by, vec!["cpu", "class"]);
+        assert_eq!(spec.agg, Agg::Hist("time".to_string()));
+        assert_eq!(spec.top, Some(3));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(QuerySpec::parse("bogus", &[], None, None, None).is_err());
+        assert!(QuerySpec::parse("records", &["cpu".to_string()], None, None, None).is_err());
+        assert!(QuerySpec::parse("records", &[], None, Some("avg:x"), None).is_err());
+        assert!(QuerySpec::parse("records", &[], None, None, Some(0)).is_err());
+    }
+
+    #[test]
+    fn counts_group_and_sort_by_key() {
+        let mut t = GroupTable::new(Agg::Count);
+        t.accept("b", 0);
+        t.accept("a", 0);
+        t.accept("b", 0);
+        assert_eq!(t.matched(), 3);
+        assert_eq!(t.len(), 2);
+        let j = t.to_json();
+        assert!(j.find("\"a\"").unwrap() < j.find("\"b\"").unwrap());
+        assert!(j.contains("\"agg\": \"count\""));
+        assert!(j.contains("\"matched\": 3"));
+        assert_eq!(j, t.to_json(), "rendering must be stable");
+    }
+
+    #[test]
+    fn top_n_orders_by_rank_then_key() {
+        let mut t = GroupTable::new(Agg::Count).with_top(Some(2));
+        for _ in 0..3 {
+            t.accept("mid", 0);
+        }
+        for _ in 0..9 {
+            t.accept("big", 0);
+        }
+        for _ in 0..3 {
+            t.accept("also-mid", 0);
+        }
+        t.accept("tiny", 0);
+        let j = t.to_json();
+        assert!(j.contains("\"groups_total\": 4"));
+        let big = j.find("\"big\"").unwrap();
+        let also = j.find("\"also-mid\"").unwrap();
+        assert!(big < also, "rank desc first, key asc tie-break");
+        assert!(!j.contains("\"tiny\""), "top-2 must drop the smallest");
+        assert!(!j.contains("\"mid\""), "tie loser drops out");
+    }
+
+    #[test]
+    fn sum_and_hist_aggregate_values() {
+        let mut s = GroupTable::new(Agg::Sum("dur".to_string()));
+        s.accept("x", 10);
+        s.accept("x", 5);
+        assert!(s.to_json().contains("\"sum\": 15"));
+
+        let mut h = GroupTable::new(Agg::Hist("dur".to_string()));
+        h.accept("x", 7);
+        h.accept("x", 9);
+        let j = h.to_json();
+        assert!(j.contains("\"type\": \"hist\""));
+        assert!(j.contains("\"p50\": 7"));
+        assert!(
+            j.contains("\"p99\": 8"),
+            "rank 2 lands in the [8,16) bucket"
+        );
+    }
+
+    #[test]
+    fn empty_table_renders_valid_shell() {
+        let t = GroupTable::new(Agg::Count);
+        assert!(t.is_empty());
+        let j = t.to_json();
+        assert!(j.contains("\"matched\": 0"));
+        assert!(j.contains("\"groups\": [\n]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

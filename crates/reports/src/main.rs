@@ -5,25 +5,38 @@
 //! overlapped over a bounded channel), and independent workloads fan
 //! across `--jobs` workers. Every run seeds its own RNG from its
 //! configuration, so reports — and the `--trace-json` /
-//! `--metrics-out` observability exports — are reproducible
-//! bit-for-bit regardless of parallelism.
+//! `--metrics-out` / `--provenance-out` observability exports — are
+//! reproducible bit-for-bit regardless of parallelism.
+//!
+//! Two subcommands ride on the same engine: `oscar-reports query`
+//! filters/groups/aggregates the monitor record stream (or the lock
+//! spans) without materializing it, and `oscar-reports diff` compares
+//! two metrics/provenance exports with per-prefix tolerances — the
+//! golden-metrics regression gate in CI.
 
+use std::fmt::Write as _;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use oscar_core::driver::{run_reports, ReportRequest};
 use oscar_core::perf::PerfSummary;
+use oscar_core::query::{compile, run_compiled};
 use oscar_core::{
-    analyze, csv, merge_metrics_json, merge_trace_json, obs_from_artifacts, render_all, tracefile,
+    analyze_with, csv, merge_metrics_json, merge_provenance_json, merge_trace_json,
+    obs_from_artifacts, parallel_map, provenance_metrics, render_all, tracefile, AnalyzeOptions,
     ExperimentConfig,
 };
+use oscar_obs::query::QuerySpec;
+use oscar_obs::{diff_documents, Tolerance};
 use oscar_workloads::WorkloadKind;
 
 const HELP: &str = "\
 oscar-reports: regenerate the ASPLOS 1992 OS-characterization tables and figures
 
 usage: oscar-reports [WORKLOAD] [MEASURE] [WARMUP] [flags]
+       oscar-reports query [WORKLOAD] [MEASURE] [WARMUP] [query flags]
+       oscar-reports diff LEFT.json RIGHT.json [diff flags]
 
   WORKLOAD   pmake | multpgm | oracle | all        (default: all)
   MEASURE    measured window in cycles             (default: 45000000)
@@ -42,13 +55,91 @@ flags:
                      trace-event JSON; open in Perfetto or
                      chrome://tracing. Deterministic.
   --metrics-out FILE dump every counter/gauge/histogram (kernel probes,
-                     per-lock spin/hold profiles, analyzer and pipeline
-                     self-metrics) as one sorted JSON object.
-                     Deterministic.
+                     per-lock spin/hold profiles with p50/p90/p99,
+                     analyzer and pipeline self-metrics) as one sorted
+                     JSON object. Deterministic.
+  --provenance-out FILE
+                     dump exhibit provenance: per-cell contribution
+                     counts (which CPU/class/op/lock produced every
+                     number in the paper report) as `exhibit.*` keys in
+                     one sorted JSON object. Deterministic.
   --help, -h         print this help
 
-Observability is collected only when --trace-json or --metrics-out is
-given; it never changes the report bytes.";
+query flags (see docs/OBSERVABILITY.md for the cookbook):
+  --source S         records | locks               (default: records)
+  --where F=V        predicate; repeatable, ANDed. Value lists
+                     (class=sharing,inval) and ranges (time=0..500000)
+  --by F1,F2         group-key fields              (default: one group)
+  --agg A            count | sum:FIELD | hist:FIELD (default: count)
+  --top N            keep only the N largest groups
+  --out FILE         write the result JSON to FILE instead of stdout
+  --jobs N, -j N     fan workloads across N threads (byte-identical)
+
+diff flags:
+  --tol [PREFIX=]REL    allowed relative delta for keys under PREFIX
+                        (no prefix = all keys; default 0 = exact)
+  --tol-abs [PREFIX=]N  allowed absolute delta for keys under PREFIX
+  --max-lines N         drifted keys to print (default: 40)
+  exits 1 when any key drifts beyond tolerance, 2 on usage errors
+
+Observability is collected only when --trace-json, --metrics-out or
+--provenance-out is given; it never changes the report bytes.";
+
+/// Prints a clean error and exits with the usage status.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Writes `data` to `path`, creating parent directories, with a clean
+/// error (not a panic — the release profile aborts) on unwritable
+/// paths.
+fn write_file(path: &Path, data: &[u8]) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = fs::create_dir_all(parent) {
+            fail(&format!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    if let Err(e) = fs::write(path, data) {
+        fail(&format!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+fn parse_workloads(positional: &[String]) -> (Vec<WorkloadKind>, u64, u64) {
+    let mut kinds = WorkloadKind::ALL.to_vec();
+    if let Some(w) = positional.first() {
+        kinds = match w.as_str() {
+            "pmake" => vec![WorkloadKind::Pmake],
+            "multpgm" => vec![WorkloadKind::Multpgm],
+            "oracle" => vec![WorkloadKind::Oracle],
+            "all" => WorkloadKind::ALL.to_vec(),
+            other => fail(&format!(
+                "unknown workload `{other}` (pmake | multpgm | oracle | all)"
+            )),
+        };
+    }
+    let parse_cycles = |s: &String| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("`{s}` is not a cycle count")))
+    };
+    let measure = positional.get(1).map_or(45_000_000, parse_cycles);
+    let warmup = positional.get(2).map_or(45_000_000, parse_cycles);
+    (kinds, measure, warmup)
+}
+
+fn parse_jobs(it: &mut std::slice::Iter<'_, String>) -> usize {
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| fail("--jobs needs a positive integer"))
+}
+
+fn flag_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .cloned()
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
 
 struct Args {
     kinds: Vec<WorkloadKind>,
@@ -61,10 +152,10 @@ struct Args {
     perf_out: Option<PathBuf>,
     trace_json: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    provenance_out: Option<PathBuf>,
 }
 
-fn parse_args() -> Args {
-    let mut kinds = WorkloadKind::ALL.to_vec();
+fn parse_args(argv: &[String]) -> Args {
     let mut positional = Vec::new();
     let mut jobs = 1usize;
     let mut csv_dir = None;
@@ -73,48 +164,33 @@ fn parse_args() -> Args {
     let mut perf_out = None;
     let mut trace_json = None;
     let mut metrics_out = None;
-    let mut it = std::env::args().skip(1);
+    let mut provenance_out = None;
+    let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" | "-j" => {
-                jobs = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("error: --jobs needs a positive integer");
-                        std::process::exit(2);
-                    });
+            "--jobs" | "-j" => jobs = parse_jobs(&mut it),
+            "--csv" => csv_dir = Some(PathBuf::from(flag_value(&mut it, "--csv"))),
+            "--save-trace" => {
+                save_trace_dir = Some(PathBuf::from(flag_value(&mut it, "--save-trace")))
             }
-            "--csv" => csv_dir = it.next().map(PathBuf::from),
-            "--save-trace" => save_trace_dir = it.next().map(PathBuf::from),
-            "--from-trace" => from_trace = it.next().map(PathBuf::from),
-            "--perf-out" => perf_out = it.next().map(PathBuf::from),
-            "--trace-json" => trace_json = it.next().map(PathBuf::from),
-            "--metrics-out" => metrics_out = it.next().map(PathBuf::from),
+            "--from-trace" => from_trace = Some(PathBuf::from(flag_value(&mut it, "--from-trace"))),
+            "--perf-out" => perf_out = Some(PathBuf::from(flag_value(&mut it, "--perf-out"))),
+            "--trace-json" => trace_json = Some(PathBuf::from(flag_value(&mut it, "--trace-json"))),
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(flag_value(&mut it, "--metrics-out")))
+            }
+            "--provenance-out" => {
+                provenance_out = Some(PathBuf::from(flag_value(&mut it, "--provenance-out")))
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
             other => positional.push(other.to_string()),
         }
     }
-    if let Some(w) = positional.first() {
-        kinds = match w.as_str() {
-            "pmake" => vec![WorkloadKind::Pmake],
-            "multpgm" => vec![WorkloadKind::Multpgm],
-            "oracle" => vec![WorkloadKind::Oracle],
-            _ => WorkloadKind::ALL.to_vec(),
-        };
-    }
-    let measure = positional
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(45_000_000);
-    let warmup = positional
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(45_000_000);
+    let (kinds, measure, warmup) = parse_workloads(&positional);
     Args {
         kinds,
         measure,
@@ -126,16 +202,8 @@ fn parse_args() -> Args {
         perf_out,
         trace_json,
         metrics_out,
+        provenance_out,
     }
-}
-
-/// Writes `data` to `path`, logging to stderr.
-fn write_out(path: &PathBuf, data: &str) {
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        fs::create_dir_all(parent).expect("create output dir");
-    }
-    fs::write(path, data).expect("write output");
-    eprintln!("wrote {}", path.display());
 }
 
 /// The `--from-trace` path: batch-analyze a saved trace (no simulation,
@@ -158,15 +226,22 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         art.workload,
         art.measure_end - art.measure_start
     );
-    let an = analyze(&art);
+    // With --provenance-out the sweeps must run inline (the per-CPU
+    // bank splits only exist then); the report bytes are identical
+    // either way.
+    let an = analyze_with(
+        &art,
+        AnalyzeOptions {
+            provenance: args.provenance_out.is_some(),
+            online_sweeps: args.provenance_out.is_some(),
+            ..AnalyzeOptions::default()
+        },
+    );
     println!("{}", render_all(&art, &an));
     if let Some(dir) = &args.csv_dir {
-        fs::create_dir_all(dir).expect("create csv dir");
         let tag = art.workload.label().to_lowercase();
         let write = |name: &str, data: String| {
-            let path = dir.join(format!("{tag}_{name}.csv"));
-            fs::write(&path, data).expect("write csv");
-            eprintln!("wrote {}", path.display());
+            write_file(&dir.join(format!("{tag}_{name}.csv")), data.as_bytes());
         };
         write("fig3", csv::fig3_csv(&an));
         write("fig5", csv::fig5_csv(&an));
@@ -178,12 +253,19 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         write("fig9", csv::fig9_csv(&an));
         write("table12", csv::table12_csv(&art));
     }
-    if args.trace_json.is_some() || args.metrics_out.is_some() {
+    let want_any =
+        args.trace_json.is_some() || args.metrics_out.is_some() || args.provenance_out.is_some();
+    if want_any {
         // Rebuild what the monitor stream alone can support: the
         // timeline decoder and the analyzer metrics. Kernel-side probes
         // (lock spin/hold, scheduler counters) need a live run — the
-        // sync bus the locks ride is invisible to the saved trace.
+        // sync bus the locks ride is invisible to the saved trace — so
+        // the provenance export lacks the `exhibit.sync.*` keys here.
         let obs = obs_from_artifacts(&art, &an);
+        let provenance = args
+            .provenance_out
+            .is_some()
+            .then(|| provenance_metrics(&an, None));
         let out = oscar_core::ReportOutput {
             kind: art.workload,
             report: String::new(),
@@ -192,19 +274,23 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
             phases: Vec::new(),
             trace_records: art.trace_records,
             obs: Some(Box::new(obs)),
+            provenance,
         };
         let outs = [out];
         if let Some(path) = &args.trace_json {
-            write_out(path, &merge_trace_json(&outs));
+            write_file(path, merge_trace_json(&outs).as_bytes());
         }
         if let Some(path) = &args.metrics_out {
-            write_out(path, &merge_metrics_json(&outs));
+            write_file(path, merge_metrics_json(&outs).as_bytes());
+        }
+        if let Some(path) = &args.provenance_out {
+            write_file(path, merge_provenance_json(&outs).as_bytes());
         }
     }
 }
 
-fn main() {
-    let args = parse_args();
+fn report_main(argv: &[String]) {
+    let args = parse_args(argv);
     let started = Instant::now();
     if let Some(path) = &args.from_trace {
         emit_from_trace(path, &args);
@@ -221,6 +307,7 @@ fn main() {
             want_csv: args.csv_dir.is_some(),
             want_trace: args.save_trace_dir.is_some(),
             want_obs: args.trace_json.is_some() || args.metrics_out.is_some(),
+            want_provenance: args.provenance_out.is_some(),
         })
         .collect();
     let outputs = run_reports(reqs, args.jobs);
@@ -229,19 +316,13 @@ fn main() {
     for out in &outputs {
         println!("{}", out.report);
         if let Some(dir) = &args.csv_dir {
-            fs::create_dir_all(dir).expect("create csv dir");
             for (name, data) in &out.csv {
-                let path = dir.join(name);
-                fs::write(&path, data).expect("write csv");
-                eprintln!("wrote {}", path.display());
+                write_file(&dir.join(name), data.as_bytes());
             }
         }
         if let Some(dir) = &args.save_trace_dir {
-            fs::create_dir_all(dir).expect("create trace dir");
             if let Some((name, blob)) = &out.trace_blob {
-                let path = dir.join(name);
-                fs::write(&path, blob).expect("save trace");
-                eprintln!("wrote {} ({} records)", path.display(), out.trace_records);
+                write_file(&dir.join(name), blob);
             }
         }
         perf.phases.extend(out.phases.iter().cloned());
@@ -249,15 +330,174 @@ fn main() {
     // Exports assemble in request order from per-run payloads, so the
     // bytes cannot depend on --jobs.
     if let Some(path) = &args.trace_json {
-        write_out(path, &merge_trace_json(&outputs));
+        write_file(path, merge_trace_json(&outputs).as_bytes());
     }
     if let Some(path) = &args.metrics_out {
-        write_out(path, &merge_metrics_json(&outputs));
+        write_file(path, merge_metrics_json(&outputs).as_bytes());
+    }
+    if let Some(path) = &args.provenance_out {
+        write_file(path, merge_provenance_json(&outputs).as_bytes());
     }
     perf.finish(started);
     eprintln!("{}", perf.human_line());
     if let Some(path) = &args.perf_out {
-        fs::write(path, perf.to_json()).expect("write perf summary");
-        eprintln!("wrote {}", path.display());
+        write_file(path, perf.to_json().as_bytes());
+    }
+}
+
+/// `oscar-reports query`: filter/group/aggregate the record stream (or
+/// the lock spans) of fresh runs, with predicate pushdown — no trace is
+/// ever materialized, and the JSON is byte-identical for any --jobs.
+fn query_main(argv: &[String]) {
+    let mut positional = Vec::new();
+    let mut source = "records".to_string();
+    let mut wheres = Vec::new();
+    let mut by = None;
+    let mut agg = None;
+    let mut top = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut jobs = 1usize;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--source" => source = flag_value(&mut it, "--source"),
+            "--where" => wheres.push(flag_value(&mut it, "--where")),
+            "--by" => by = Some(flag_value(&mut it, "--by")),
+            "--agg" => agg = Some(flag_value(&mut it, "--agg")),
+            "--top" => {
+                top = Some(
+                    flag_value(&mut it, "--top")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--top needs a positive integer")),
+                )
+            }
+            "--out" => out_path = Some(PathBuf::from(flag_value(&mut it, "--out"))),
+            "--jobs" | "-j" => jobs = parse_jobs(&mut it),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => fail(&format!("unknown query flag `{other}`")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let (kinds, measure, warmup) = parse_workloads(&positional);
+    let spec = QuerySpec::parse(&source, &wheres, by.as_deref(), agg.as_deref(), top)
+        .unwrap_or_else(|e| fail(&e));
+    // Compile once, before any simulation: a typo in a field or value
+    // fails in milliseconds, not after a multi-minute run.
+    let compiled = compile(&spec).unwrap_or_else(|e| fail(&e));
+
+    let configs: Vec<ExperimentConfig> = kinds
+        .iter()
+        .map(|&kind| ExperimentConfig::new(kind).warmup(warmup).measure(measure))
+        .collect();
+    let runs = parallel_map(configs, jobs, |_, config| {
+        run_compiled(&config, &compiled).unwrap_or_else(|e| fail(&e))
+    });
+
+    let mut doc = String::from("{");
+    for (i, (kind, run)) in kinds.iter().zip(&runs).enumerate() {
+        eprintln!(
+            "{}: {} rows matched ({} records), {} groups",
+            kind.label().to_lowercase(),
+            run.table.matched(),
+            run.trace_records,
+            run.table.len()
+        );
+        doc.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            doc,
+            "\"{}\": {}",
+            kind.label().to_lowercase(),
+            run.table.to_json()
+        );
+    }
+    doc.push_str("\n}");
+    match &out_path {
+        Some(path) => write_file(path, doc.as_bytes()),
+        None => println!("{doc}"),
+    }
+}
+
+/// Parses `[PREFIX=]VALUE` into a prefix and a number.
+fn parse_tol(arg: &str, flag: &str) -> (String, f64) {
+    let (prefix, num) = match arg.split_once('=') {
+        Some((p, n)) => (p.to_string(), n),
+        None => (String::new(), arg),
+    };
+    let v: f64 = num
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: `{num}` is not a number")));
+    if v < 0.0 {
+        fail(&format!("{flag}: tolerance must be non-negative"));
+    }
+    (prefix, v)
+}
+
+/// `oscar-reports diff`: structural comparison of two metrics or
+/// provenance exports, exiting 1 on out-of-tolerance drift (the CI
+/// golden-metrics gate).
+fn diff_main(argv: &[String]) {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tols: Vec<Tolerance> = Vec::new();
+    let mut max_lines = 40usize;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => {
+                let (prefix, rel) = parse_tol(&flag_value(&mut it, "--tol"), "--tol");
+                tols.push(Tolerance {
+                    prefix,
+                    rel,
+                    abs: 0.0,
+                });
+            }
+            "--tol-abs" => {
+                let (prefix, abs) = parse_tol(&flag_value(&mut it, "--tol-abs"), "--tol-abs");
+                tols.push(Tolerance {
+                    prefix,
+                    rel: 0.0,
+                    abs,
+                });
+            }
+            "--max-lines" => {
+                max_lines = flag_value(&mut it, "--max-lines")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-lines needs an integer"))
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => fail(&format!("unknown diff flag `{other}`")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [left, right] = paths.as_slice() else {
+        fail("diff needs exactly two files: oscar-reports diff LEFT.json RIGHT.json");
+    };
+    let read = |p: &PathBuf| {
+        fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", p.display())))
+    };
+    let (a, b) = (read(left), read(right));
+    let report = diff_documents(&a, &b, &tols).unwrap_or_else(|e| fail(&e));
+    print!("{}", report.render(max_lines));
+    if !report.is_clean() {
+        eprintln!(
+            "error: {} of {} keys drifted beyond tolerance",
+            report.drifted(),
+            report.compared
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("query") => query_main(&argv[1..]),
+        Some("diff") => diff_main(&argv[1..]),
+        _ => report_main(&argv),
     }
 }

@@ -1,22 +1,102 @@
-//! Lock-contention profile of a short Pmake window.
+//! Lock-contention profile of a short workload window.
 //!
-//! Runs Pmake through the streaming pipeline with observability on and
-//! prints the five most-contended kernel locks — acquire/contention
-//! counts, total spin and hold cycles, and the log2 spin-time
-//! histogram the per-lock probes collect. The same data feeds the
-//! `lock-spin`/`lock-hold` tracks of `oscar-reports --trace-json`.
+//! Runs a workload through the streaming pipeline with observability
+//! on and prints the five most-contended kernel locks —
+//! acquire/contention counts, total spin and hold cycles, and the log2
+//! spin-time histogram the per-lock probes collect. The same data
+//! feeds the `lock-spin`/`lock-hold` tracks of
+//! `oscar-reports --trace-json` and the `locks` source of
+//! `oscar-reports query`.
 //!
-//! Run with: `cargo run --release --example lock_timeline`
+//! Run with: `cargo run --release --example lock_timeline -- [flags]`
+//!
+//!   WORKLOAD            pmake | multpgm | oracle   (default: pmake)
+//!   --seed N            workload RNG seed
+//!   --cpus N            number of CPUs (default: 4)
+//!   --warmup CYCLES     warm-up window (default: 4000000)
+//!   --measure CYCLES    measured window (default: 6000000)
+//!   --csv FILE          also write the per-lock profile as CSV
+
+use std::process::exit;
 
 use oscar_core::observe::lock_contention_table;
 use oscar_core::pipeline::{run_streaming, StreamOptions};
 use oscar_core::ExperimentConfig;
 use oscar_workloads::WorkloadKind;
 
+struct Args {
+    kind: WorkloadKind,
+    seed: Option<u64>,
+    cpus: Option<u8>,
+    warmup: u64,
+    measure: u64,
+    csv: Option<String>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: lock_timeline [pmake|multpgm|oracle] [--seed N] [--cpus N] \
+         [--warmup CYCLES] [--measure CYCLES] [--csv FILE]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kind: WorkloadKind::Pmake,
+        seed: None,
+        cpus: None,
+        warmup: 4_000_000,
+        measure: 6_000_000,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{flag} needs an integer")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "pmake" => args.kind = WorkloadKind::Pmake,
+            "multpgm" => args.kind = WorkloadKind::Multpgm,
+            "oracle" => args.kind = WorkloadKind::Oracle,
+            "--seed" => args.seed = Some(num(&mut it, "--seed")),
+            "--cpus" => {
+                let n = num(&mut it, "--cpus");
+                if n == 0 || n > 32 {
+                    usage("--cpus must be 1..=32");
+                }
+                args.cpus = Some(n as u8);
+            }
+            "--warmup" => args.warmup = num(&mut it, "--warmup"),
+            "--measure" => args.measure = num(&mut it, "--measure"),
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage("--csv needs a path"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: lock_timeline [pmake|multpgm|oracle] [--seed N] [--cpus N] \
+                     [--warmup CYCLES] [--measure CYCLES] [--csv FILE]"
+                );
+                exit(0);
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    args
+}
+
 fn main() {
-    let config = ExperimentConfig::new(WorkloadKind::Pmake)
-        .warmup(4_000_000)
-        .measure(6_000_000);
+    let args = parse_args();
+    let mut config = ExperimentConfig::new(args.kind)
+        .warmup(args.warmup)
+        .measure(args.measure);
+    if let Some(seed) = args.seed {
+        config = config.seed(seed);
+    }
+    if let Some(n) = args.cpus {
+        config = config.cpus(n);
+    }
     let opts = StreamOptions {
         observe: true,
         ..StreamOptions::default()
@@ -25,8 +105,8 @@ fn main() {
     let obs = art.obs.expect("observe: true collects an obs payload");
 
     println!(
-        "Pmake, {} cycles measured, {} bus records",
-        config.measure_cycles, art.trace_records
+        "{}, {} CPUs, {} cycles measured, {} bus records",
+        args.kind, config.machine.num_cpus, config.measure_cycles, art.trace_records
     );
     println!(
         "{} locks saw contention; top 5 by contended acquires:\n",
@@ -41,5 +121,25 @@ fn main() {
     let spins = spans.iter().filter(|s| s.cat == "lock-spin").count();
     let holds = spans.iter().filter(|s| s.cat == "lock-hold").count();
     println!("\ntimeline: {spins} spin intervals, {holds} hold intervals recorded");
+
+    if let Some(path) = &args.csv {
+        let mut csv = String::from("family,instance,acquires,contended,spin_cycles,hold_cycles\n");
+        for (id, st) in &obs.lock_profiles {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                id.family.label(),
+                id.instance,
+                st.acquires,
+                st.contended,
+                st.spin_cycles,
+                st.hold_cycles
+            ));
+        }
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
     println!("(export the full timeline with: oscar-reports pmake --trace-json trace.json)");
 }

@@ -96,6 +96,7 @@ fn exports_are_byte_identical_across_jobs() {
             want_csv: false,
             want_trace: false,
             want_obs: true,
+            want_provenance: false,
         })
         .collect();
 

@@ -69,6 +69,7 @@ fn report_driver_output_is_independent_of_jobs() {
         want_csv: true,
         want_trace: true,
         want_obs: false,
+        want_provenance: false,
     })
     .collect();
 
