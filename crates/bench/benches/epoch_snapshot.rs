@@ -1,0 +1,74 @@
+//! Microbenchmarks of the time-parallel substrate: snapshot capture
+//! and restore cost, and the state-only pass's throughput edge over
+//! fully monitored simulation (the margin the epoch engine's first
+//! pass lives on).
+
+use oscar_bench::{black_box, Harness};
+
+use oscar_core::{ExperimentConfig, PreparedRun};
+use oscar_machine::snap::{SnapReader, SnapWriter};
+use oscar_workloads::WorkloadKind;
+
+/// Simulates `span` cycles from the prepared run's window start with
+/// the monitor armed or disarmed, returning the records buffered.
+fn run_span(prep: &mut PreparedRun, span: u64, armed: bool) -> usize {
+    prep.machine.monitor_mut().set_enabled(armed);
+    let horizon = prep.measure_start() + span;
+    loop {
+        let cpu = prep.machine.earliest_cpu();
+        if prep.machine.now(cpu) >= horizon {
+            break;
+        }
+        if !prep.os.step(&mut prep.machine, cpu) {
+            break;
+        }
+    }
+    prep.machine.monitor_mut().dump().len()
+}
+
+fn main() {
+    let mut h = Harness::new("epoch_snapshot");
+
+    // One warmed-up world to freeze and thaw; the span below is long
+    // enough that per-iteration work dominates the harness overhead.
+    let config = ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(2_000_000)
+        .measure(1_000_000);
+    let mut prep = PreparedRun::new(&config, config.workload.build());
+    prep.warmup();
+    let mut w = SnapWriter::new();
+    prep.save_snapshot(&mut w);
+    let frozen = w.into_bytes();
+    eprintln!("snapshot size: {} bytes", frozen.len());
+
+    h.bench("snapshot/capture", || {
+        let mut w = SnapWriter::new();
+        prep.save_snapshot(&mut w);
+        black_box(w.into_bytes().len())
+    });
+
+    h.bench("snapshot/restore", || {
+        let mut r = SnapReader::new(&frozen);
+        let p = PreparedRun::restore_snapshot(&config, &mut r).expect("restore");
+        black_box(p.measure_start())
+    });
+
+    // The two passes of the epoch engine over the same 200k-cycle span,
+    // each from a fresh thaw so the work is identical: disarmed (pass
+    // 1, state only) vs armed (what a worker replays). Their gap is
+    // the recording overhead the first pass avoids.
+    let span = 200_000u64;
+    h.bench("pass/state_only_200k", || {
+        let mut r = SnapReader::new(&frozen);
+        let mut p = PreparedRun::restore_snapshot(&config, &mut r).expect("restore");
+        black_box(run_span(&mut p, span, false))
+    });
+
+    h.bench("pass/monitored_200k", || {
+        let mut r = SnapReader::new(&frozen);
+        let mut p = PreparedRun::restore_snapshot(&config, &mut r).expect("restore");
+        black_box(run_span(&mut p, span, true))
+    });
+
+    h.finish();
+}

@@ -89,6 +89,14 @@ pub struct ReportRequest {
     /// observability (the sync tables come from the kernel probes) and
     /// forces the sweeps inline; never changes the report bytes.
     pub want_provenance: bool,
+    /// Epoch length for the time-parallel engine
+    /// ([`StreamOptions::epoch_cycles`]); 0 keeps the serial producer.
+    pub epoch_cycles: u64,
+    /// Epoch re-execution workers ([`StreamOptions::epoch_jobs`]).
+    pub epoch_jobs: usize,
+    /// On-disk snapshot cache directory
+    /// ([`StreamOptions::checkpoint_dir`]).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl ReportRequest {
@@ -100,6 +108,9 @@ impl ReportRequest {
             want_trace: false,
             want_obs: false,
             want_provenance: false,
+            epoch_cycles: 0,
+            epoch_jobs: 1,
+            checkpoint_dir: None,
         }
     }
 }
@@ -135,6 +146,9 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         keep_trace: req.want_trace,
         observe: req.want_obs || req.want_provenance,
         provenance: req.want_provenance,
+        epoch_cycles: req.epoch_cycles,
+        epoch_jobs: req.epoch_jobs,
+        checkpoint_dir: req.checkpoint_dir.clone(),
         ..StreamOptions::default()
     };
     let (mut art, an) = run_streaming(&req.config, &opts);
@@ -156,6 +170,9 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         }
     }
     phases.append(&mut scratch.phases);
+    // Epoch mode reports its pass-1 sweep and every epoch re-execution
+    // as extra timed phases (wall-clock only; never in the metrics).
+    phases.extend(art.epoch_phases.iter().cloned());
 
     let started = Instant::now();
     let report = render_all(&art, &an);

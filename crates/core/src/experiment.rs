@@ -5,6 +5,7 @@
 
 use oscar_machine::addr::CpuId;
 use oscar_machine::monitor::{BufferMode, BusRecord};
+use oscar_machine::snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
 use oscar_machine::{CpuCounters, Machine, MachineConfig};
 use oscar_os::{FamilyStats, Layout, LockFamily, OsStats, OsTuning, OsWorld};
 use oscar_workloads::WorkloadKind;
@@ -132,6 +133,15 @@ pub struct RunArtifacts {
     /// present when the run streamed with
     /// [`crate::pipeline::StreamOptions::observe`] on.
     pub obs: Option<Box<crate::observe::RunObs>>,
+    /// Per-epoch timing rows (`pass1/<tag>`, `epoch/<tag>/<k>`) when
+    /// the run used the time-parallel epoch engine
+    /// ([`crate::pipeline::StreamOptions::epoch_cycles`]); empty
+    /// otherwise. Wall-clock data, so it feeds the perf summary, never
+    /// the metrics export.
+    pub epoch_phases: Vec<crate::perf::PhaseStats>,
+    /// Checkpoint-cache accounting, present when the run was given a
+    /// [`crate::pipeline::StreamOptions::checkpoint_dir`].
+    pub checkpoint: Option<crate::epoch::CheckpointStats>,
 }
 
 impl RunArtifacts {
@@ -194,10 +204,13 @@ pub struct PreparedRun {
     pub machine: Machine,
     /// The kernel and its processes.
     pub os: OsWorld,
-    config: ExperimentConfig,
-    warm_stats: Option<OsStats>,
-    measure_start: u64,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) warm_stats: Option<OsStats>,
+    pub(crate) measure_start: u64,
 }
+
+/// Leading magic of a serialized [`PreparedRun`] snapshot.
+const PREP_MAGIC: u32 = 0x4f53_4352; // "OSCR"
 
 impl PreparedRun {
     /// Wires machine, kernel and workload together (monitor armed but
@@ -252,6 +265,72 @@ impl PreparedRun {
         self.machine.monitor_mut().set_enabled(false);
     }
 
+    /// First cycle of the measured window (0 until
+    /// [`PreparedRun::warmup`] has run or a snapshot was restored).
+    pub fn measure_start(&self) -> u64 {
+        self.measure_start
+    }
+
+    /// Serializes the whole run state — machine, kernel, warm-up
+    /// statistics and window cursor — so the run can be resumed
+    /// bit-exactly by [`PreparedRun::restore_snapshot`]. The monitor
+    /// must have no sink attached (snapshots freeze state, not live
+    /// channels).
+    pub fn save_snapshot(&self, w: &mut SnapWriter) {
+        w.u32(PREP_MAGIC);
+        w.u32(SNAP_FORMAT_VERSION);
+        self.machine.save_snapshot(w);
+        self.os.save_snapshot(w);
+        match &self.warm_stats {
+            Some(stats) => {
+                w.bool(true);
+                stats.save(w);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.measure_start);
+    }
+
+    /// Reconstructs a run from [`PreparedRun::save_snapshot`] bytes.
+    /// `config` must be the configuration the snapshot was taken under
+    /// (constructor-derived state — layouts, latencies, tuning — is
+    /// rebuilt from it, not stored); restoring under a different
+    /// configuration yields an error or a divergent run.
+    pub fn restore_snapshot(
+        config: &ExperimentConfig,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        if r.u32()? != PREP_MAGIC {
+            return Err(SnapError::Corrupt("prepared-run magic"));
+        }
+        if r.u32()? != SNAP_FORMAT_VERSION {
+            return Err(SnapError::Corrupt("snapshot format version"));
+        }
+        let machine = Machine::restore_snapshot(config.machine.clone(), BufferMode::Unbounded, r)?;
+        let os = OsWorld::restore_snapshot(
+            config.machine.num_cpus,
+            config.machine.memory_bytes,
+            config.tuning.clone(),
+            oscar_workloads::task_factory(),
+            r,
+        )?;
+        let warm_stats = if r.bool()? {
+            let mut stats = OsStats::new(config.machine.num_cpus as usize);
+            stats.load(r)?;
+            Some(stats)
+        } else {
+            None
+        };
+        let measure_start = r.u64()?;
+        Ok(PreparedRun {
+            machine,
+            os,
+            config: config.clone(),
+            warm_stats,
+            measure_start,
+        })
+    }
+
     /// Collects the run's artifacts. If a sink consumed the trace, the
     /// returned `trace` is empty but `trace_records` still counts every
     /// monitored record.
@@ -275,20 +354,25 @@ impl PreparedRun {
             measure_end: self.measure_start + self.config.measure_cycles,
             workload: self.config.workload,
             obs: None,
+            epoch_phases: Vec::new(),
+            checkpoint: None,
         }
     }
 }
 
 /// Advances the system until every CPU clock passes `horizon` (or the
-/// workload fully drains).
-fn run_until(machine: &mut Machine, os: &mut OsWorld, horizon: u64) {
+/// workload fully drains). Returns `false` once the workload has
+/// drained. The loop is memoryless over (machine, os) state, so
+/// chained calls at increasing horizons reproduce a single longer call
+/// exactly — the property the epoch engine rests on.
+pub(crate) fn run_until(machine: &mut Machine, os: &mut OsWorld, horizon: u64) -> bool {
     loop {
         let cpu = machine.earliest_cpu();
         if machine.now(cpu) >= horizon {
-            break;
+            return true;
         }
         if !os.step(machine, cpu) {
-            break;
+            return false;
         }
     }
 }

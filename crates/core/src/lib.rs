@@ -10,6 +10,7 @@ pub mod classify;
 pub mod csv;
 pub mod decode;
 pub mod driver;
+pub mod epoch;
 pub mod experiment;
 pub mod histogram;
 pub mod observe;
@@ -30,6 +31,7 @@ pub use analyze::{
     TraceAnalysis, TraceMeta,
 };
 pub use driver::{parallel_map, run_reports, ReportOutput, ReportRequest};
+pub use epoch::CheckpointStats;
 pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
 pub use observe::{
     lock_contention_table, merge_metrics_json, merge_provenance_json, merge_trace_json,

@@ -32,7 +32,7 @@ use crate::analyze::{
     TraceMeta,
 };
 use crate::classify::ArchClass;
-use crate::experiment::{ExperimentConfig, PreparedRun, RunArtifacts};
+use crate::experiment::{ExperimentConfig, RunArtifacts};
 use crate::observe::{assemble_run_obs, PipelineObs, TimelineBuilder};
 use crate::resim::SweepShard;
 
@@ -75,6 +75,22 @@ pub struct StreamOptions {
     /// counters live on the analysis thread); off by default and free
     /// when off.
     pub provenance: bool,
+    /// Epoch length in simulated cycles for the time-parallel engine
+    /// ([`crate::epoch`]): with a non-zero value the measured window is
+    /// swept once monitor-off to checkpoint epoch boundaries, then the
+    /// epochs re-execute concurrently on
+    /// [`StreamOptions::epoch_jobs`] workers. 0 (the default) runs the
+    /// classic serial producer. Either way the produced bytes are
+    /// identical.
+    pub epoch_cycles: u64,
+    /// Worker threads re-executing epochs (only meaningful with
+    /// [`StreamOptions::epoch_cycles`] > 0). Purely a wall-clock knob.
+    pub epoch_jobs: usize,
+    /// Directory for the on-disk snapshot cache: warm-up checkpoints
+    /// (always) and epoch-boundary bundles (epoch mode, observability
+    /// off). `None` disables caching. Cache traffic is reported in
+    /// [`RunArtifacts::checkpoint`].
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for StreamOptions {
@@ -89,12 +105,15 @@ impl Default for StreamOptions {
             keep_streams: false,
             observe: false,
             provenance: false,
+            epoch_cycles: 0,
+            epoch_jobs: 1,
+            checkpoint_dir: None,
         }
     }
 }
 
 /// What flows from the simulation thread to the analysis thread.
-enum StreamMsg {
+pub(crate) enum StreamMsg {
     /// Trace metadata, sent once after warm-up, before any records.
     /// Boxed: the layout recipe makes it much larger than a chunk.
     Meta(Box<TraceMeta>),
@@ -105,8 +124,8 @@ enum StreamMsg {
 /// A [`TraceSink`] that batches records into chunks on a bounded
 /// channel. Dropping the sink (detaching it from the monitor) flushes
 /// the partial last chunk and, once the last sender is gone, closes the
-/// channel.
-struct ChunkSink {
+/// channel. The epoch feeder ([`crate::epoch`]) drives one directly.
+pub(crate) struct ChunkSink {
     buf: Vec<BusRecord>,
     cap: usize,
     tx: SyncSender<StreamMsg>,
@@ -116,7 +135,11 @@ struct ChunkSink {
 }
 
 impl ChunkSink {
-    fn new(tx: SyncSender<StreamMsg>, cap: usize, depth: Option<Arc<AtomicUsize>>) -> Self {
+    pub(crate) fn new(
+        tx: SyncSender<StreamMsg>,
+        cap: usize,
+        depth: Option<Arc<AtomicUsize>>,
+    ) -> Self {
         let cap = cap.max(1);
         ChunkSink {
             buf: Vec::with_capacity(cap),
@@ -273,13 +296,35 @@ fn run_streaming_inner(
     let observe = opts.observe;
     let chan_depth = observe.then(|| Arc::new(AtomicUsize::new(0)));
     let producer_depth = chan_depth.clone();
+    let epoch_cycles = opts.epoch_cycles;
+    let epoch_jobs = opts.epoch_jobs.max(1);
+    let checkpoint_dir = opts.checkpoint_dir.clone();
 
     thread::scope(|s| {
         // Simulation stage: warm up, publish the trace metadata, divert
-        // the measured window into the channel, collect artifacts.
+        // the measured window into the channel, collect artifacts. With
+        // epoch mode on, the time-parallel engine replaces this thread's
+        // body wholesale — its byte output is identical.
         let producer = s.spawn(move || {
-            let mut prep = PreparedRun::new(config, build());
-            let measure_start = prep.warmup();
+            if epoch_cycles > 0 {
+                return crate::epoch::run_epoch_producer(
+                    config,
+                    build,
+                    crate::epoch::EpochPlan {
+                        epoch_cycles,
+                        jobs: epoch_jobs,
+                        checkpoint_dir: checkpoint_dir.as_deref(),
+                        observe,
+                        chunk_records,
+                        depth: producer_depth,
+                    },
+                    tx,
+                );
+            }
+            let mut ckpt = crate::epoch::CheckpointStats::default();
+            let mut prep =
+                crate::epoch::warm_prepare(config, build, checkpoint_dir.as_deref(), &mut ckpt);
+            let measure_start = prep.measure_start();
             let meta = TraceMeta {
                 layout: prep.os.layout().clone(),
                 machine_config: config.machine.clone(),
@@ -310,7 +355,10 @@ fn run_streaming_inner(
             let kernel_obs = prep.os.take_obs();
             // finish() detaches (and so flushes) the sinks; the channel
             // closes when the sink's sender drops.
-            let art = prep.finish();
+            let mut art = prep.finish();
+            if checkpoint_dir.is_some() {
+                art.checkpoint = Some(ckpt);
+            }
             let built = obs_slot
                 .and_then(|slot| slot.lock().expect("timeline builder poisoned").take())
                 .map(|b| b.finish(art.measure_end));
@@ -461,6 +509,9 @@ fn run_streaming_inner(
         if let (Some(p), Some((timeline, mut metrics))) = (pobs, built) {
             let tag = config.workload.label().to_lowercase();
             p.export_into(&mut metrics);
+            if let Some(cs) = &art.checkpoint {
+                cs.export_into(&mut metrics);
+            }
             let mut obs = assemble_run_obs(&tag, timeline, metrics, &art, &an, kernel_obs);
             obs.pipeline = p;
             art.obs = Some(Box::new(obs));

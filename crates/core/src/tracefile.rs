@@ -191,6 +191,8 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         measure_end,
         workload,
         obs: None,
+        epoch_phases: Vec::new(),
+        checkpoint: None,
     })
 }
 

@@ -89,6 +89,27 @@ impl Bus {
     pub fn arbitration_wait(&self) -> u64 {
         self.arbitration_wait
     }
+
+    /// Serializes the dynamic bus state (occupancy horizon and
+    /// counters). Service times come from the configuration and are not
+    /// written.
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.busy_until);
+        w.u64(self.transactions);
+        w.u64(self.arbitration_wait);
+    }
+
+    /// Restores state written by [`Bus::save`] into a bus constructed
+    /// with the same service times.
+    pub fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        self.busy_until = r.u64()?;
+        self.transactions = r.u64()?;
+        self.arbitration_wait = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

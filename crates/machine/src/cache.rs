@@ -19,6 +19,7 @@
 
 use crate::addr::{BlockAddr, Ppn, BLOCK_SHIFT, PAGE_SHIFT};
 use crate::config::CacheConfig;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Outcome of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -518,6 +519,91 @@ impl Cache {
             }
             Repr::Assoc { lines, .. } => lines.iter().filter(|l| l.is_some()).count(),
         }
+    }
+
+    /// Serializes the dynamic contents (tags, dirty bits, LRU state)
+    /// into `w`. Geometry is not written: [`Cache::load`] requires a
+    /// cache constructed with the same configuration.
+    pub fn save(&self, w: &mut SnapWriter) {
+        match &self.repr {
+            Repr::Direct { slots } => {
+                w.u8(0);
+                w.u64_slice(slots);
+            }
+            Repr::TwoWay { slots, lru } => {
+                w.u8(1);
+                w.u64_slice(slots);
+                w.u64_slice(lru);
+            }
+            Repr::Assoc { lines, tick, .. } => {
+                w.u8(2);
+                w.u64(*tick);
+                w.usize(lines.len());
+                for line in lines {
+                    match line {
+                        None => w.bool(false),
+                        Some(l) => {
+                            w.bool(true);
+                            w.u64(l.block.0);
+                            w.bool(l.dirty);
+                            w.u64(l.stamp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores contents written by [`Cache::save`] into this cache,
+    /// which must have been constructed with the same geometry.
+    pub fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.u8()?;
+        match &mut self.repr {
+            Repr::Direct { slots } => {
+                if tag != 0 {
+                    return Err(SnapError::Corrupt("cache repr tag"));
+                }
+                let new = r.u64_vec()?;
+                if new.len() != slots.len() {
+                    return Err(SnapError::Corrupt("cache slot count"));
+                }
+                *slots = new;
+            }
+            Repr::TwoWay { slots, lru } => {
+                if tag != 1 {
+                    return Err(SnapError::Corrupt("cache repr tag"));
+                }
+                let new_slots = r.u64_vec()?;
+                let new_lru = r.u64_vec()?;
+                if new_slots.len() != slots.len() || new_lru.len() != lru.len() {
+                    return Err(SnapError::Corrupt("cache slot count"));
+                }
+                *slots = new_slots;
+                *lru = new_lru;
+            }
+            Repr::Assoc { lines, tick, .. } => {
+                if tag != 2 {
+                    return Err(SnapError::Corrupt("cache repr tag"));
+                }
+                *tick = r.u64()?;
+                let n = r.usize()?;
+                if n != lines.len() {
+                    return Err(SnapError::Corrupt("cache slot count"));
+                }
+                for line in lines.iter_mut() {
+                    *line = if r.bool()? {
+                        Some(Line {
+                            block: BlockAddr(r.u64()?),
+                            dirty: r.bool()?,
+                            stamp: r.u64()?,
+                        })
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Iterates over all resident blocks.

@@ -45,6 +45,7 @@ pub mod config;
 pub mod fasthash;
 pub mod machine;
 pub mod monitor;
+pub mod snap;
 pub mod tlb;
 
 pub use addr::{BlockAddr, CpuId, PAddr, Ppn, VAddr, Vpn};
@@ -52,4 +53,5 @@ pub use bus::BusKind;
 pub use config::{CacheConfig, MachineConfig};
 pub use machine::{AccessOutcome, CpuCounters, HitLevel, Machine};
 pub use monitor::{BufferMode, BusRecord, FilteredSink, RecordFilter, TraceBuffer, TraceSink};
+pub use snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
 pub use tlb::{Tlb, TlbEntry};

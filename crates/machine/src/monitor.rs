@@ -180,8 +180,10 @@ impl<S: TraceSink> TraceSink for FilteredSink<S> {
 /// Records staged in the buffer before being handed to an attached sink
 /// in one [`TraceSink::record_batch`] call. Batch boundaries carry no
 /// meaning, so the value only trades per-record virtual-call overhead
-/// against staging memory.
-const SINK_BATCH: usize = 1024;
+/// against staging memory. Public because the epoch-parallel feeder in
+/// `oscar-core` must replay exactly this staging cadence to reproduce
+/// the serial pipeline's chunk boundaries byte-for-byte.
+pub const SINK_BATCH: usize = 1024;
 
 /// The monitor's trace buffer.
 pub struct TraceBuffer {
@@ -353,6 +355,77 @@ impl TraceBuffer {
     /// Read-only view of the buffered records.
     pub fn records(&self) -> &[BusRecord] {
         &self.records
+    }
+
+    /// Serializes the monitor cursor (enabled flag, loss/total counters,
+    /// buffered records). The capacity policy comes from the
+    /// constructor and is not written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a streaming sink is attached or records are staged for
+    /// one: sinks hold live channels and cannot be frozen. Detach with
+    /// [`TraceBuffer::clear_sink`] before snapshotting.
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        assert!(
+            self.sinks.is_empty() && self.stage.is_empty(),
+            "cannot snapshot a trace buffer with an attached sink"
+        );
+        w.bool(self.enabled);
+        w.u64(self.lost);
+        w.u64(self.total_seen);
+        w.usize(self.records.len());
+        for rec in &self.records {
+            w.u64(rec.time);
+            w.u8(rec.cpu.0);
+            w.u64(rec.paddr.raw());
+            w.u8(match rec.kind {
+                BusKind::Read => 0,
+                BusKind::ReadEx => 1,
+                BusKind::Upgrade => 2,
+                BusKind::WriteBack => 3,
+                BusKind::UncachedRead => 4,
+            });
+        }
+    }
+
+    /// Restores state written by [`TraceBuffer::save`] into a buffer
+    /// constructed with the same capacity policy.
+    pub fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        assert!(
+            self.sinks.is_empty() && self.stage.is_empty(),
+            "cannot restore into a trace buffer with an attached sink"
+        );
+        self.enabled = r.bool()?;
+        self.lost = r.u64()?;
+        self.total_seen = r.u64()?;
+        let n = r.usize()?;
+        self.records.clear();
+        self.records.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let time = r.u64()?;
+            let cpu = CpuId(r.u8()?);
+            let paddr = PAddr::new(r.u64()?);
+            let kind = match r.u8()? {
+                0 => BusKind::Read,
+                1 => BusKind::ReadEx,
+                2 => BusKind::Upgrade,
+                3 => BusKind::WriteBack,
+                4 => BusKind::UncachedRead,
+                _ => return Err(SnapError::Corrupt("bus kind tag")),
+            };
+            self.records.push(BusRecord {
+                time,
+                cpu,
+                paddr,
+                kind,
+            });
+        }
+        Ok(())
     }
 }
 

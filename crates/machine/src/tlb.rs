@@ -6,6 +6,7 @@
 //! the R3000's random-register convention deterministically.
 
 use crate::addr::{Ppn, Vpn};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Number of entries in the R3000 TLB.
 pub const TLB_ENTRIES: usize = 64;
@@ -173,6 +174,55 @@ impl Tlb {
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Serializes the full TLB state (entries, FIFO cursor, hit/miss
+    /// counters, micro-TLB) into `w`.
+    pub fn save(&self, w: &mut SnapWriter) {
+        fn entry(w: &mut SnapWriter, e: &Option<TlbEntry>) {
+            match e {
+                None => w.bool(false),
+                Some(e) => {
+                    w.bool(true);
+                    w.u32(e.vpn.0);
+                    w.u32(e.ppn.0);
+                    w.u32(e.asid);
+                }
+            }
+        }
+        for e in &self.entries {
+            entry(w, e);
+        }
+        w.usize(self.next_victim);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        entry(w, &self.last);
+    }
+
+    /// Restores state written by [`Tlb::save`].
+    pub fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        fn entry(r: &mut SnapReader<'_>) -> Result<Option<TlbEntry>, SnapError> {
+            Ok(if r.bool()? {
+                Some(TlbEntry {
+                    vpn: Vpn(r.u32()?),
+                    ppn: Ppn(r.u32()?),
+                    asid: r.u32()?,
+                })
+            } else {
+                None
+            })
+        }
+        for e in &mut self.entries {
+            *e = entry(r)?;
+        }
+        self.next_victim = r.usize()?;
+        if self.next_victim >= TLB_ENTRIES {
+            return Err(SnapError::Corrupt("tlb victim cursor"));
+        }
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.last = entry(r)?;
+        Ok(())
     }
 }
 

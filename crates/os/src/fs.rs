@@ -69,6 +69,58 @@ impl BufferCache {
         self.map.contains_key(&key)
     }
 
+    /// Serializes the buffers and LRU clock; the key map is rebuilt on
+    /// load.
+    pub(crate) fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.bufs.len());
+        for b in &self.bufs {
+            match b.key {
+                None => w.bool(false),
+                Some((ino, blk)) => {
+                    w.bool(true);
+                    w.u32(ino);
+                    w.u32(blk);
+                }
+            }
+            w.bool(b.dirty);
+            w.bool(b.busy);
+            w.u64(b.lru);
+        }
+        w.u64(self.tick);
+    }
+
+    /// Restores state written by [`BufferCache::save`] into a cache of
+    /// the same capacity.
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let n = r.usize()?;
+        if n != self.bufs.len() {
+            return Err(crate::snap::SnapError::Corrupt("buffer cache size"));
+        }
+        self.map.clear();
+        for i in 0..n {
+            let key = if r.bool()? {
+                Some((r.u32()?, r.u32()?))
+            } else {
+                None
+            };
+            let b = Buffer {
+                key,
+                dirty: r.bool()?,
+                busy: r.bool()?,
+                lru: r.u64()?,
+            };
+            if let Some(k) = key {
+                self.map.insert(k, i);
+            }
+            self.bufs[i] = b;
+        }
+        self.tick = r.u64()?;
+        Ok(())
+    }
+
     /// Looks up `key`, allocating the LRU non-busy buffer on a miss.
     pub fn getblk(&mut self, key: BlockKey) -> GetBlk {
         self.tick += 1;
@@ -174,6 +226,40 @@ impl Disk {
             jitter,
             jitter_state: 0x243f_6a88_85a3_08d3,
         }
+    }
+
+    /// Serializes the dynamic disk state (queue, busy horizon, jitter
+    /// PRNG). Latencies come from the configuration and are not
+    /// written.
+    pub(crate) fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.queue.len());
+        for req in &self.queue {
+            w.usize(req.buf);
+            w.bool(req.write);
+            w.u64(req.done_at);
+        }
+        w.u64(self.busy_until);
+        w.u64(self.jitter_state);
+    }
+
+    /// Restores state written by [`Disk::save`] into a disk constructed
+    /// with the same latencies.
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let n = r.usize()?;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(DiskReq {
+                buf: r.usize()?,
+                write: r.bool()?,
+                done_at: r.u64()?,
+            });
+        }
+        self.busy_until = r.u64()?;
+        self.jitter_state = r.u64()?;
+        Ok(())
     }
 
     fn next_jitter(&mut self) -> u64 {

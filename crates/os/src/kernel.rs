@@ -151,6 +151,58 @@ pub(crate) struct CpuCtx {
 }
 
 impl CpuCtx {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        match self.running {
+            None => w.bool(false),
+            Some(s) => {
+                w.bool(true);
+                w.u16(s.0);
+            }
+        }
+        w.usize(self.intr_stack.len());
+        for f in &self.intr_stack {
+            crate::snap::save_kframe(w, f);
+        }
+        match &self.dispatch {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                crate::snap::save_kframe(w, f);
+            }
+        }
+        w.bool(self.idle);
+        w.bool(self.in_os);
+        w.bool(self.resched);
+        w.u64(self.next_tick_at);
+        w.u32(self.pending_ipi);
+        w.u32(self.spl);
+    }
+
+    fn load(&mut self, r: &mut crate::snap::SnapReader<'_>) -> Result<(), crate::snap::SnapError> {
+        self.running = if r.bool()? {
+            Some(ProcSlot(r.u16()?))
+        } else {
+            None
+        };
+        let n = r.usize()?;
+        self.intr_stack.clear();
+        for _ in 0..n {
+            self.intr_stack.push(crate::snap::load_kframe(r)?);
+        }
+        self.dispatch = if r.bool()? {
+            Some(crate::snap::load_kframe(r)?)
+        } else {
+            None
+        };
+        self.idle = r.bool()?;
+        self.in_os = r.bool()?;
+        self.resched = r.bool()?;
+        self.next_tick_at = r.u64()?;
+        self.pending_ipi = r.u32()?;
+        self.spl = r.u32()?;
+        Ok(())
+    }
+
     fn new(first_tick: u64) -> Self {
         CpuCtx {
             running: None,
@@ -292,6 +344,159 @@ impl OsWorld {
             layout,
             tuning,
         }
+    }
+
+    /// Serializes the complete dynamic OS state into `w`.
+    ///
+    /// Configuration-derived state (layout, tuning, service latencies)
+    /// is not written; [`OsWorld::restore_snapshot`] rebuilds it from
+    /// the same constructor arguments. Observability probes are never
+    /// part of a snapshot — a restored world starts with probes off.
+    /// Maps are written with sorted keys so snapshot bytes are a
+    /// deterministic function of state, making byte equality a valid
+    /// state-equality witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any live task does not implement
+    /// [`UserTask::save`].
+    pub fn save_snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        w.u8(self.num_cpus);
+        let mut saver = crate::snap::TaskSaver::new(w);
+        self.procs.save(&mut saver);
+        let w = saver.writer();
+        w.usize(self.runqs.len());
+        for q in &self.runqs {
+            q.save(w);
+        }
+        w.u8(self.next_spawn_cluster);
+        self.frames.save(w);
+        self.bufcache.save(w);
+        self.disk.save(w);
+        self.locks.save(w);
+        self.stats.save(w);
+        for cpu in &self.cpus {
+            cpu.save(w);
+        }
+        w.usize(self.callouts.len());
+        for c in &self.callouts {
+            w.u64(c.due_tick);
+            crate::snap::save_chan(w, &c.chan);
+        }
+        w.u64(self.global_tick);
+        let mut sems: Vec<u32> = self.sems.keys().copied().collect();
+        sems.sort_unstable();
+        w.usize(sems.len());
+        for k in sems {
+            w.u32(k);
+            w.i64(self.sems[&k]);
+        }
+        w.usize(self.pipes.len());
+        for p in &self.pipes {
+            w.u32(*p);
+        }
+        let mut inos: Vec<u32> = self.incore_inodes.keys().copied().collect();
+        inos.sort_unstable();
+        w.usize(inos.len());
+        for k in inos {
+            w.u32(k);
+            w.usize(self.incore_inodes[&k]);
+        }
+        let mut sizes: Vec<u32> = self.file_sizes.keys().copied().collect();
+        sizes.sort_unstable();
+        w.usize(sizes.len());
+        for k in sizes {
+            w.u32(k);
+            w.u64(self.file_sizes[&k]);
+        }
+        match self.last_disk_key {
+            None => w.bool(false),
+            Some((a, b)) => {
+                w.bool(true);
+                w.u32(a);
+                w.u32(b);
+            }
+        }
+        w.u64(self.cold_cursor);
+    }
+
+    /// Reconstructs a world from a snapshot written by
+    /// [`OsWorld::save_snapshot`]. The constructor arguments must match
+    /// the saved world's; `factory` maps task tags back to concrete
+    /// workload types.
+    pub fn restore_snapshot(
+        num_cpus: u8,
+        memory_bytes: u64,
+        tuning: OsTuning,
+        factory: &dyn crate::snap::TaskFactory,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let mut os = OsWorld::new(num_cpus, memory_bytes, tuning);
+        if r.u8()? != os.num_cpus {
+            return Err(SnapError::Corrupt("os cpu count"));
+        }
+        let mut restorer = crate::snap::TaskRestorer::new(r, factory);
+        os.procs.load(&mut restorer)?;
+        let r = restorer.reader();
+        if r.usize()? != os.runqs.len() {
+            return Err(SnapError::Corrupt("run queue count"));
+        }
+        for q in &mut os.runqs {
+            q.load(r)?;
+        }
+        os.next_spawn_cluster = r.u8()?;
+        os.frames.load(r)?;
+        os.bufcache.load(r)?;
+        os.disk.load(r)?;
+        os.locks.load(r)?;
+        os.stats.load(r)?;
+        for cpu in &mut os.cpus {
+            cpu.load(r)?;
+        }
+        let n = r.usize()?;
+        os.callouts.clear();
+        for _ in 0..n {
+            os.callouts.push(Callout {
+                due_tick: r.u64()?,
+                chan: crate::snap::load_chan(r)?,
+            });
+        }
+        os.global_tick = r.u64()?;
+        let n = r.usize()?;
+        os.sems.clear();
+        for _ in 0..n {
+            let k = r.u32()?;
+            let v = r.i64()?;
+            os.sems.insert(k, v);
+        }
+        if r.usize()? != os.pipes.len() {
+            return Err(SnapError::Corrupt("pipe count"));
+        }
+        for p in &mut os.pipes {
+            *p = r.u32()?;
+        }
+        let n = r.usize()?;
+        os.incore_inodes.clear();
+        for _ in 0..n {
+            let k = r.u32()?;
+            let v = r.usize()?;
+            os.incore_inodes.insert(k, v);
+        }
+        let n = r.usize()?;
+        os.file_sizes.clear();
+        for _ in 0..n {
+            let k = r.u32()?;
+            let v = r.u64()?;
+            os.file_sizes.insert(k, v);
+        }
+        os.last_disk_key = if r.bool()? {
+            Some((r.u32()?, r.u32()?))
+        } else {
+            None
+        };
+        os.cold_cursor = r.u64()?;
+        Ok(os)
     }
 
     /// Turns on kernel-side observability: the lock-table probes, the

@@ -47,6 +47,7 @@ pub mod locks;
 mod paths;
 pub mod proc;
 pub mod sched;
+pub mod snap;
 pub mod stats;
 pub mod types;
 pub mod user;
@@ -59,6 +60,7 @@ pub use layout::{KernelRegion, Layout, Rid, Subsystem};
 pub use locks::{FamilyStats, LockFamily, LockId, LockObsStats, LockPhase, LockSpan, LockTable};
 pub use paths::shm_base_vpn;
 pub use sched::{SchedObs, SchedPolicy};
+pub use snap::{TaskFactory, TaskRestorer, TaskSaver};
 pub use stats::OsStats;
 pub use types::{AttrCtx, BlockSizeClass, Mode, OpClass, Pid, ProcSlot};
 pub use user::{ExecImage, SysReq, TaskEnv, UOp, UserTask};

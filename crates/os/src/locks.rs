@@ -379,6 +379,108 @@ impl LockTable {
         Self::default()
     }
 
+    /// Serializes the lock map (sorted for deterministic bytes) and the
+    /// per-family statistics. Observers are never part of a snapshot.
+    pub(crate) fn save(&self, w: &mut crate::snap::SnapWriter) {
+        let mut ids: Vec<LockId> = self.locks.keys().copied().collect();
+        ids.sort();
+        w.usize(ids.len());
+        for id in ids {
+            let st = &self.locks[&id];
+            crate::snap::save_lock_id(w, id);
+            match st.held_by {
+                None => w.bool(false),
+                Some(c) => {
+                    w.bool(true);
+                    w.u8(c.0);
+                }
+            }
+            w.u32(st.spinning);
+            match st.last_acquirer {
+                None => w.bool(false),
+                Some(c) => {
+                    w.bool(true);
+                    w.u8(c.0);
+                }
+            }
+            w.bool(st.other_touched);
+            match st.last_acquire_time {
+                None => w.bool(false),
+                Some(t) => {
+                    w.bool(true);
+                    w.u64(t);
+                }
+            }
+            w.u32(st.llsc_sharers);
+            w.u32(st.first_failed);
+        }
+        for fs in &self.stats {
+            for v in [
+                fs.acquires,
+                fs.attempts,
+                fs.failed_first,
+                fs.releases,
+                fs.waiter_events,
+                fs.waiter_sum,
+                fs.local_reacquires,
+                fs.sync_ops,
+                fs.llsc_misses,
+                fs.gap_cycles,
+                fs.gap_count,
+            ] {
+                w.u64(v);
+            }
+        }
+    }
+
+    /// Restores state written by [`LockTable::save`].
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        use crate::snap::{SnapError, SnapReader};
+        fn opt_cpu(r: &mut SnapReader<'_>) -> Result<Option<CpuId>, SnapError> {
+            Ok(if r.bool()? {
+                Some(CpuId(r.u8()?))
+            } else {
+                None
+            })
+        }
+        let n = r.usize()?;
+        self.locks.clear();
+        for _ in 0..n {
+            let id = crate::snap::load_lock_id(r)?;
+            let st = LockState {
+                held_by: opt_cpu(r)?,
+                spinning: r.u32()?,
+                last_acquirer: opt_cpu(r)?,
+                other_touched: r.bool()?,
+                last_acquire_time: if r.bool()? { Some(r.u64()?) } else { None },
+                llsc_sharers: r.u32()?,
+                first_failed: r.u32()?,
+            };
+            self.locks.insert(id, st);
+        }
+        for fs in &mut self.stats {
+            for v in [
+                &mut fs.acquires,
+                &mut fs.attempts,
+                &mut fs.failed_first,
+                &mut fs.releases,
+                &mut fs.waiter_events,
+                &mut fs.waiter_sum,
+                &mut fs.local_reacquires,
+                &mut fs.sync_ops,
+                &mut fs.llsc_misses,
+                &mut fs.gap_cycles,
+                &mut fs.gap_count,
+            ] {
+                *v = r.u64()?;
+            }
+        }
+        Ok(())
+    }
+
     fn mask(cpu: CpuId) -> u32 {
         1u32 << cpu.index()
     }

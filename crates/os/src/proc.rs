@@ -106,6 +106,162 @@ impl Process {
             self.pid
         );
     }
+
+    /// Serializes the process, in field-declaration order. Maps are
+    /// written with sorted keys so the bytes are deterministic.
+    pub(crate) fn save(&self, s: &mut crate::snap::TaskSaver<'_>) {
+        fn opt_cpu(w: &mut crate::snap::SnapWriter, c: Option<CpuId>) {
+            match c {
+                None => w.bool(false),
+                Some(c) => {
+                    w.bool(true);
+                    w.u8(c.0);
+                }
+            }
+        }
+        let w = s.writer();
+        w.u32(self.pid.0);
+        w.u16(self.slot.0);
+        match self.parent {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                w.u16(p.0);
+            }
+        }
+        crate::snap::save_proc_state(w, &self.state);
+        opt_cpu(w, self.last_cpu);
+        opt_cpu(w, self.pinned_cpu);
+        s.task(self.task.as_ref());
+        let w = s.writer();
+        w.usize(self.kstack.len());
+        for f in &self.kstack {
+            crate::snap::save_kframe(w, f);
+        }
+        match &self.cur_uop {
+            None => s.bool(false),
+            Some(op) => {
+                s.bool(true);
+                crate::snap::save_uop(s, op);
+            }
+        }
+        let w = s.writer();
+        let mut vpns: Vec<Vpn> = self.page_table.keys().copied().collect();
+        vpns.sort_unstable_by_key(|v| v.0);
+        w.usize(vpns.len());
+        for vpn in vpns {
+            crate::snap::save_pte(w, vpn, &self.page_table[&vpn]);
+        }
+        w.u32(self.cow_pages);
+        let mut inodes: Vec<u32> = self.files.keys().copied().collect();
+        inodes.sort_unstable();
+        w.usize(inodes.len());
+        for ino in inodes {
+            w.u32(ino);
+            w.u64(self.files[&ino]);
+        }
+        w.u32(self.quantum);
+        match &self.pending_child {
+            None => s.bool(false),
+            Some(child) => {
+                s.bool(true);
+                s.task(child.as_ref());
+            }
+        }
+        let w = s.writer();
+        match &self.image {
+            None => w.bool(false),
+            Some(img) => {
+                w.bool(true);
+                crate::snap::save_image(w, img);
+            }
+        }
+        w.u64_slice(&self.rng.state());
+        w.u32(self.zombie_children);
+    }
+
+    /// Restores a process written by [`Process::save`].
+    pub(crate) fn load(
+        r: &mut crate::snap::TaskRestorer<'_, '_>,
+    ) -> Result<Process, crate::snap::SnapError> {
+        use crate::snap::{SnapError, SnapReader};
+        fn opt_cpu(r: &mut SnapReader<'_>) -> Result<Option<CpuId>, SnapError> {
+            Ok(if r.bool()? {
+                Some(CpuId(r.u8()?))
+            } else {
+                None
+            })
+        }
+        let rd = r.reader();
+        let pid = Pid(rd.u32()?);
+        let slot = ProcSlot(rd.u16()?);
+        let parent = if rd.bool()? {
+            Some(ProcSlot(rd.u16()?))
+        } else {
+            None
+        };
+        let state = crate::snap::load_proc_state(rd)?;
+        let last_cpu = opt_cpu(rd)?;
+        let pinned_cpu = opt_cpu(rd)?;
+        let task = r.task()?;
+        let rd = r.reader();
+        let nframes = rd.usize()?;
+        let mut kstack = Vec::with_capacity(nframes.min(1 << 10));
+        for _ in 0..nframes {
+            kstack.push(crate::snap::load_kframe(rd)?);
+        }
+        let cur_uop = if r.bool()? {
+            Some(crate::snap::load_uop(r)?)
+        } else {
+            None
+        };
+        let rd = r.reader();
+        let npages = rd.usize()?;
+        let mut page_table = FastMap::default();
+        for _ in 0..npages {
+            let (vpn, pte) = crate::snap::load_pte(rd)?;
+            page_table.insert(vpn, pte);
+        }
+        let cow_pages = rd.u32()?;
+        let nfiles = rd.usize()?;
+        let mut files = HashMap::new();
+        for _ in 0..nfiles {
+            let ino = rd.u32()?;
+            files.insert(ino, rd.u64()?);
+        }
+        let quantum = rd.u32()?;
+        let pending_child = if r.bool()? { Some(r.task()?) } else { None };
+        let rd = r.reader();
+        let image = if rd.bool()? {
+            Some(crate::snap::load_image(rd)?)
+        } else {
+            None
+        };
+        let rng_state = rd.u64_vec()?;
+        let rng_state: [u64; 4] = rng_state
+            .try_into()
+            .map_err(|_| SnapError::Corrupt("rng state length"))?;
+        let zombie_children = rd.u32()?;
+        Ok(Process {
+            pid,
+            slot,
+            parent,
+            state,
+            last_cpu,
+            pinned_cpu,
+            task,
+            kstack,
+            cur_uop,
+            page_table,
+            cow_pages,
+            files,
+            quantum,
+            pending_child,
+            image,
+            rng: SmallRng::from_state(rng_state),
+            zombie_children,
+        })
+    }
 }
 
 /// The process table.
@@ -117,6 +273,44 @@ pub struct ProcTable {
 }
 
 impl ProcTable {
+    /// Serializes every slot plus the pid allocator.
+    pub(crate) fn save(&self, s: &mut crate::snap::TaskSaver<'_>) {
+        s.writer().usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                None => s.bool(false),
+                Some(p) => {
+                    s.bool(true);
+                    p.save(s);
+                }
+            }
+        }
+        s.writer().u32(self.next_pid);
+    }
+
+    /// Restores a table written by [`ProcTable::save`] into a table of
+    /// the same capacity. The live count is recomputed.
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::TaskRestorer<'_, '_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        if r.reader().usize()? != self.slots.len() {
+            return Err(crate::snap::SnapError::Corrupt("proc table size"));
+        }
+        let mut live = 0;
+        for i in 0..self.slots.len() {
+            self.slots[i] = if r.bool()? {
+                live += 1;
+                Some(Process::load(r)?)
+            } else {
+                None
+            };
+        }
+        self.next_pid = r.reader().u32()?;
+        self.live = live;
+        Ok(())
+    }
+
     /// Creates a table with `nproc` slots.
     pub fn new(nproc: usize) -> Self {
         ProcTable {

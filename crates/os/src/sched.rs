@@ -63,6 +63,29 @@ pub struct RunQueue {
 }
 
 impl RunQueue {
+    /// Serializes the queued slots (policy comes from the
+    /// configuration; observers are never part of a snapshot).
+    pub(crate) fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.q.len());
+        for s in &self.q {
+            w.u16(s.0);
+        }
+    }
+
+    /// Restores a queue written by [`RunQueue::save`] into a queue
+    /// constructed with the same policy.
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let n = r.usize()?;
+        self.q.clear();
+        for _ in 0..n {
+            self.q.push_back(crate::types::ProcSlot(r.u16()?));
+        }
+        Ok(())
+    }
+
     /// Creates an empty run queue with the given policy.
     pub fn new(policy: SchedPolicy) -> Self {
         RunQueue {

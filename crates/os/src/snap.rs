@@ -1,0 +1,927 @@
+//! OS-layer snapshot support.
+//!
+//! The machine crate provides the raw wire format
+//! ([`SnapWriter`]/[`SnapReader`]); this module adds what the OS layer
+//! needs on top: serializers for the kernel's enum vocabulary
+//! ([`Chan`], [`KOp`], [`UOp`], ...) and the task-serialization plumbing.
+//!
+//! Tasks are trait objects, so snapshots record them as a *tag* (the
+//! task's [`name()`](crate::user::UserTask::name)) followed by
+//! type-specific state written by the task's
+//! [`save`](crate::user::UserTask::save) hook. Restoring goes through a
+//! [`TaskFactory`] that maps tags back to concrete types — the factory
+//! lives with the workload crate so the dependency arrow keeps pointing
+//! from workloads to the OS.
+//!
+//! Some task families share state through `Rc` (the Mp3d step barrier).
+//! [`TaskSaver::shared_start`] and [`TaskRestorer::shared_rc`] implement
+//! a first-reference-writes-contents registry so the restored tasks are
+//! reconnected to a single object, exactly mirroring the original
+//! topology.
+
+use std::any::Any;
+use std::rc::Rc;
+
+pub use oscar_machine::snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
+
+use crate::exec::{Chan, Disposition, KCall, KFrame, KOp, PageInit};
+use crate::instrument::{OsEvent, NUM_OPCODES};
+use crate::locks::{LockFamily, LockId};
+use crate::proc::{ProcState, Pte};
+use crate::types::{OpClass, Pid, ProcSlot};
+use crate::user::{ExecImage, SysReq, UOp, UserTask};
+use oscar_machine::addr::{CpuId, Ppn, Vpn};
+
+/// Serialization context for task state: a writer plus the shared-`Rc`
+/// registry. Created once per snapshot so shared objects referenced by
+/// several tasks are written exactly once.
+pub struct TaskSaver<'a> {
+    w: &'a mut SnapWriter,
+    shared: Vec<*const ()>,
+}
+
+impl<'a> TaskSaver<'a> {
+    /// Wraps a writer for one snapshot's task section.
+    pub fn new(w: &'a mut SnapWriter) -> Self {
+        TaskSaver {
+            w,
+            shared: Vec::new(),
+        }
+    }
+
+    /// The underlying writer, for non-task payloads interleaved with
+    /// task state.
+    pub fn writer(&mut self) -> &mut SnapWriter {
+        self.w
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.w.u8(v);
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.w.u32(v);
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.w.u64(v);
+    }
+
+    /// Writes a `bool`.
+    pub fn bool(&mut self, v: bool) {
+        self.w.bool(v);
+    }
+
+    /// Writes a task as its tag followed by its type-specific state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not implement
+    /// [`save`](crate::user::UserTask::save) — a world running such a
+    /// task cannot be snapshotted, and failing loudly beats corrupting
+    /// the image.
+    pub fn task(&mut self, t: &dyn UserTask) {
+        self.w.str(t.name());
+        assert!(
+            t.save(self),
+            "task {:?} does not support snapshots",
+            t.name()
+        );
+    }
+
+    /// Registers a shared object (by pointer identity) and writes its
+    /// registry index. Returns `true` when this is the first reference,
+    /// in which case the caller must write the object's contents next.
+    pub fn shared_start(&mut self, ptr: *const ()) -> bool {
+        match self.shared.iter().position(|&p| p == ptr) {
+            Some(i) => {
+                self.w.u32(i as u32);
+                self.w.bool(false);
+                false
+            }
+            None => {
+                let i = self.shared.len();
+                self.shared.push(ptr);
+                self.w.u32(i as u32);
+                self.w.bool(true);
+                true
+            }
+        }
+    }
+}
+
+/// Maps task tags back to concrete task types. Implemented by the
+/// workload crate (it knows every task type); the OS layer stays
+/// ignorant of concrete workloads.
+pub trait TaskFactory {
+    /// Restores a task from its tag, or `Ok(None)` for an unknown tag.
+    fn restore(
+        &self,
+        tag: &str,
+        r: &mut TaskRestorer<'_, '_>,
+    ) -> Result<Option<Box<dyn UserTask>>, SnapError>;
+}
+
+/// Deserialization context for task state: a reader, the restored
+/// shared-object registry, and the factory.
+pub struct TaskRestorer<'a, 'b> {
+    r: &'a mut SnapReader<'b>,
+    shared: Vec<Rc<dyn Any>>,
+    factory: &'a dyn TaskFactory,
+}
+
+impl<'a, 'b> TaskRestorer<'a, 'b> {
+    /// Wraps a reader for one snapshot's task section.
+    pub fn new(r: &'a mut SnapReader<'b>, factory: &'a dyn TaskFactory) -> Self {
+        TaskRestorer {
+            r,
+            shared: Vec::new(),
+            factory,
+        }
+    }
+
+    /// The underlying reader.
+    pub fn reader(&mut self) -> &mut SnapReader<'b> {
+        self.r
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        self.r.u8()
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        self.r.u32()
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        self.r.u64()
+    }
+
+    /// Reads a `bool`.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        self.r.bool()
+    }
+
+    /// Reads a task written by [`TaskSaver::task`].
+    pub fn task(&mut self) -> Result<Box<dyn UserTask>, SnapError> {
+        let tag = self.r.str()?.to_string();
+        let factory = self.factory;
+        factory
+            .restore(&tag, self)?
+            .ok_or(SnapError::Corrupt("unknown task tag"))
+    }
+
+    /// Restores a shared object written via [`TaskSaver::shared_start`]:
+    /// builds it with `build` on the first reference and returns the
+    /// registered instance on every later one.
+    pub fn shared_rc<T: Any>(
+        &mut self,
+        build: impl FnOnce(&mut Self) -> Result<T, SnapError>,
+    ) -> Result<Rc<T>, SnapError> {
+        let idx = self.r.u32()? as usize;
+        let first = self.r.bool()?;
+        if first {
+            if idx != self.shared.len() {
+                return Err(SnapError::Corrupt("shared registry index"));
+            }
+            let rc = Rc::new(build(self)?);
+            self.shared.push(rc.clone() as Rc<dyn Any>);
+            Ok(rc)
+        } else {
+            self.shared
+                .get(idx)
+                .cloned()
+                .ok_or(SnapError::Corrupt("shared registry index"))?
+                .downcast::<T>()
+                .map_err(|_| SnapError::Corrupt("shared registry type"))
+        }
+    }
+}
+
+fn family_tag(f: LockFamily) -> u8 {
+    LockFamily::ALL.iter().position(|&x| x == f).unwrap() as u8
+}
+
+fn family_from_tag(t: u8) -> Result<LockFamily, SnapError> {
+    LockFamily::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or(SnapError::Corrupt("lock family tag"))
+}
+
+pub(crate) fn save_lock_id(w: &mut SnapWriter, id: LockId) {
+    w.u8(family_tag(id.family));
+    w.u32(id.instance);
+}
+
+pub(crate) fn load_lock_id(r: &mut SnapReader<'_>) -> Result<LockId, SnapError> {
+    let family = family_from_tag(r.u8()?)?;
+    Ok(LockId::new(family, r.u32()?))
+}
+
+pub(crate) fn save_chan(w: &mut SnapWriter, c: &Chan) {
+    match *c {
+        Chan::Buf(i) => {
+            w.u8(0);
+            w.usize(i);
+        }
+        Chan::PipeData(i) => {
+            w.u8(1);
+            w.usize(i);
+        }
+        Chan::PipeSpace(i) => {
+            w.u8(2);
+            w.usize(i);
+        }
+        Chan::Child(s) => {
+            w.u8(3);
+            w.u16(s.0);
+        }
+        Chan::Timer(p) => {
+            w.u8(4);
+            w.u32(p.0);
+        }
+        Chan::Sem(s) => {
+            w.u8(5);
+            w.u32(s);
+        }
+        Chan::InoWait(i) => {
+            w.u8(6);
+            w.u32(i);
+        }
+    }
+}
+
+pub(crate) fn load_chan(r: &mut SnapReader<'_>) -> Result<Chan, SnapError> {
+    Ok(match r.u8()? {
+        0 => Chan::Buf(r.usize()?),
+        1 => Chan::PipeData(r.usize()?),
+        2 => Chan::PipeSpace(r.usize()?),
+        3 => Chan::Child(ProcSlot(r.u16()?)),
+        4 => Chan::Timer(Pid(r.u32()?)),
+        5 => Chan::Sem(r.u32()?),
+        6 => Chan::InoWait(r.u32()?),
+        _ => return Err(SnapError::Corrupt("chan tag")),
+    })
+}
+
+pub(crate) fn save_disposition(w: &mut SnapWriter, d: &Disposition) {
+    match d {
+        Disposition::Requeue => w.u8(0),
+        Disposition::Sleep(c) => {
+            w.u8(1);
+            save_chan(w, c);
+        }
+        Disposition::Exit => w.u8(2),
+        Disposition::FromIdle => w.u8(3),
+    }
+}
+
+pub(crate) fn load_disposition(r: &mut SnapReader<'_>) -> Result<Disposition, SnapError> {
+    Ok(match r.u8()? {
+        0 => Disposition::Requeue,
+        1 => Disposition::Sleep(load_chan(r)?),
+        2 => Disposition::Exit,
+        3 => Disposition::FromIdle,
+        _ => return Err(SnapError::Corrupt("disposition tag")),
+    })
+}
+
+fn save_page_init(w: &mut SnapWriter, p: &PageInit) {
+    match *p {
+        PageInit::Zero => w.u8(0),
+        PageInit::CopyFrom(ppn) => {
+            w.u8(1);
+            w.u32(ppn);
+        }
+        PageInit::None => w.u8(2),
+    }
+}
+
+fn load_page_init(r: &mut SnapReader<'_>) -> Result<PageInit, SnapError> {
+    Ok(match r.u8()? {
+        0 => PageInit::Zero,
+        1 => PageInit::CopyFrom(r.u32()?),
+        2 => PageInit::None,
+        _ => return Err(SnapError::Corrupt("page init tag")),
+    })
+}
+
+pub(crate) fn save_image(w: &mut SnapWriter, img: &ExecImage) {
+    w.u32(img.inode);
+    w.u32(img.text_bytes);
+    w.u32(img.data_bytes);
+}
+
+pub(crate) fn load_image(r: &mut SnapReader<'_>) -> Result<ExecImage, SnapError> {
+    Ok(ExecImage {
+        inode: r.u32()?,
+        text_bytes: r.u32()?,
+        data_bytes: r.u32()?,
+    })
+}
+
+fn save_kcall(w: &mut SnapWriter, c: &KCall) {
+    match *c {
+        KCall::Swtch(d) => {
+            w.u8(0);
+            save_disposition(w, &d);
+        }
+        KCall::SwtchCommit => w.u8(1),
+        KCall::TlbRefill { vpn, write } => {
+            w.u8(2);
+            w.u32(vpn);
+            w.bool(write);
+        }
+        KCall::TlbInsert { vpn, ppn } => {
+            w.u8(3);
+            w.u32(vpn);
+            w.u32(ppn);
+        }
+        KCall::AllocPage { vpn, init } => {
+            w.u8(4);
+            w.u32(vpn);
+            save_page_init(w, &init);
+        }
+        KCall::SyncWriteStart { buf } => {
+            w.u8(5);
+            w.usize(buf);
+        }
+        KCall::DiskEnqueue { buf, write, seq } => {
+            w.u8(6);
+            w.usize(buf);
+            w.bool(write);
+            w.bool(seq);
+        }
+        KCall::Sleep { chan } => {
+            w.u8(7);
+            save_chan(w, &chan);
+        }
+        KCall::ForkChild => w.u8(8),
+        KCall::ExecReplace { image } => {
+            w.u8(9);
+            save_image(w, &image);
+        }
+        KCall::ExecLoad { image, page } => {
+            w.u8(10);
+            save_image(w, &image);
+            w.u32(page);
+        }
+        KCall::ExitFinish => w.u8(11),
+        KCall::WaitCheck => w.u8(12),
+        KCall::SemOpApply { sem, delta } => {
+            w.u8(13);
+            w.u32(sem);
+            w.i64(delta as i64);
+        }
+        KCall::PipeXfer { pipe, bytes, write } => {
+            w.u8(14);
+            w.usize(pipe);
+            w.u32(bytes);
+            w.bool(write);
+        }
+        KCall::NapArm { ticks } => {
+            w.u8(15);
+            w.u32(ticks);
+        }
+        KCall::ClockTick => w.u8(16),
+        KCall::SchedCpuScan => w.u8(17),
+        KCall::DiskIntrDone => w.u8(18),
+        KCall::ShmMap { seg, pages } => {
+            w.u8(19);
+            w.u32(seg);
+            w.u32(pages);
+        }
+    }
+}
+
+fn load_kcall(r: &mut SnapReader<'_>) -> Result<KCall, SnapError> {
+    Ok(match r.u8()? {
+        0 => KCall::Swtch(load_disposition(r)?),
+        1 => KCall::SwtchCommit,
+        2 => KCall::TlbRefill {
+            vpn: r.u32()?,
+            write: r.bool()?,
+        },
+        3 => KCall::TlbInsert {
+            vpn: r.u32()?,
+            ppn: r.u32()?,
+        },
+        4 => KCall::AllocPage {
+            vpn: r.u32()?,
+            init: load_page_init(r)?,
+        },
+        5 => KCall::SyncWriteStart { buf: r.usize()? },
+        6 => KCall::DiskEnqueue {
+            buf: r.usize()?,
+            write: r.bool()?,
+            seq: r.bool()?,
+        },
+        7 => KCall::Sleep {
+            chan: load_chan(r)?,
+        },
+        8 => KCall::ForkChild,
+        9 => KCall::ExecReplace {
+            image: load_image(r)?,
+        },
+        10 => KCall::ExecLoad {
+            image: load_image(r)?,
+            page: r.u32()?,
+        },
+        11 => KCall::ExitFinish,
+        12 => KCall::WaitCheck,
+        13 => KCall::SemOpApply {
+            sem: r.u32()?,
+            delta: r.i64()? as i32,
+        },
+        14 => KCall::PipeXfer {
+            pipe: r.usize()?,
+            bytes: r.u32()?,
+            write: r.bool()?,
+        },
+        15 => KCall::NapArm { ticks: r.u32()? },
+        16 => KCall::ClockTick,
+        17 => KCall::SchedCpuScan,
+        18 => KCall::DiskIntrDone,
+        19 => KCall::ShmMap {
+            seg: r.u32()?,
+            pages: r.u32()?,
+        },
+        _ => return Err(SnapError::Corrupt("kcall tag")),
+    })
+}
+
+pub(crate) fn save_event(w: &mut SnapWriter, ev: &OsEvent) {
+    let seq = ev.encode();
+    w.u32(ev.opcode());
+    for addr in &seq[1..] {
+        w.u32(OsEvent::decode_payload(*addr));
+    }
+}
+
+pub(crate) fn load_event(r: &mut SnapReader<'_>) -> Result<OsEvent, SnapError> {
+    let opcode = r.u32()?;
+    if opcode >= NUM_OPCODES {
+        return Err(SnapError::Corrupt("os event opcode"));
+    }
+    let n = OsEvent::payload_count(opcode);
+    let mut payloads = Vec::with_capacity(n);
+    for _ in 0..n {
+        payloads.push(r.u32()?);
+    }
+    OsEvent::decode(opcode, &payloads).ok_or(SnapError::Corrupt("os event payload"))
+}
+
+pub(crate) fn save_kop(w: &mut SnapWriter, op: &KOp) {
+    match op {
+        KOp::IFetch { cur, end } => {
+            w.u8(0);
+            w.u64(*cur);
+            w.u64(*end);
+        }
+        KOp::Data { addr, write } => {
+            w.u8(1);
+            w.u64(*addr);
+            w.bool(*write);
+        }
+        KOp::DSweep {
+            cur,
+            end,
+            stride,
+            write,
+        } => {
+            w.u8(2);
+            w.u64(*cur);
+            w.u64(*end);
+            w.u32(*stride);
+            w.bool(*write);
+        }
+        KOp::Compute { cycles } => {
+            w.u8(3);
+            w.u64(*cycles);
+        }
+        KOp::Escape(ev) => {
+            w.u8(4);
+            save_event(w, ev);
+        }
+        KOp::Lock(id) => {
+            w.u8(5);
+            save_lock_id(w, *id);
+        }
+        KOp::Unlock(id) => {
+            w.u8(6);
+            save_lock_id(w, *id);
+        }
+        KOp::Call(c) => {
+            w.u8(7);
+            save_kcall(w, c);
+        }
+    }
+}
+
+pub(crate) fn load_kop(r: &mut SnapReader<'_>) -> Result<KOp, SnapError> {
+    Ok(match r.u8()? {
+        0 => KOp::IFetch {
+            cur: r.u64()?,
+            end: r.u64()?,
+        },
+        1 => KOp::Data {
+            addr: r.u64()?,
+            write: r.bool()?,
+        },
+        2 => KOp::DSweep {
+            cur: r.u64()?,
+            end: r.u64()?,
+            stride: r.u32()?,
+            write: r.bool()?,
+        },
+        3 => KOp::Compute { cycles: r.u64()? },
+        4 => KOp::Escape(load_event(r)?),
+        5 => KOp::Lock(load_lock_id(r)?),
+        6 => KOp::Unlock(load_lock_id(r)?),
+        7 => KOp::Call(load_kcall(r)?),
+        _ => return Err(SnapError::Corrupt("kop tag")),
+    })
+}
+
+pub(crate) fn save_kframe(w: &mut SnapWriter, f: &KFrame) {
+    w.u32(f.class.code());
+    w.usize(f.ops.len());
+    for op in &f.ops {
+        save_kop(w, op);
+    }
+}
+
+pub(crate) fn load_kframe(r: &mut SnapReader<'_>) -> Result<KFrame, SnapError> {
+    let class = OpClass::from_code(r.u32()?).ok_or(SnapError::Corrupt("op class"))?;
+    let n = r.usize()?;
+    let mut ops = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ops.push(load_kop(r)?);
+    }
+    Ok(KFrame::new(class, ops))
+}
+
+pub(crate) fn save_sysreq(s: &mut TaskSaver<'_>, req: &SysReq) {
+    match req {
+        SysReq::Read { inode, bytes } => {
+            s.u8(0);
+            s.u32(*inode);
+            s.u32(*bytes);
+        }
+        SysReq::Write { inode, bytes } => {
+            s.u8(1);
+            s.u32(*inode);
+            s.u32(*bytes);
+        }
+        SysReq::ReadAt {
+            inode,
+            offset,
+            bytes,
+        } => {
+            s.u8(2);
+            s.u32(*inode);
+            s.u64(*offset);
+            s.u32(*bytes);
+        }
+        SysReq::SyncWrite { inode, bytes } => {
+            s.u8(3);
+            s.u32(*inode);
+            s.u32(*bytes);
+        }
+        SysReq::WriteAt {
+            inode,
+            offset,
+            bytes,
+        } => {
+            s.u8(4);
+            s.u32(*inode);
+            s.u64(*offset);
+            s.u32(*bytes);
+        }
+        SysReq::Open { inode, components } => {
+            s.u8(5);
+            s.u32(*inode);
+            s.u32(*components);
+        }
+        SysReq::Close { inode } => {
+            s.u8(6);
+            s.u32(*inode);
+        }
+        SysReq::Sginap => s.u8(7),
+        SysReq::Fork { child } => {
+            s.u8(8);
+            s.task(child.as_ref());
+        }
+        SysReq::Exec { image } => {
+            s.u8(9);
+            save_image(s.writer(), image);
+        }
+        SysReq::Exit => s.u8(10),
+        SysReq::Wait => s.u8(11),
+        SysReq::Brk { pages } => {
+            s.u8(12);
+            s.u32(*pages);
+        }
+        SysReq::ShmAttach { seg, pages } => {
+            s.u8(13);
+            s.u32(*seg);
+            s.u32(*pages);
+        }
+        SysReq::SemOp { sem, delta } => {
+            s.u8(14);
+            s.u32(*sem);
+            s.writer().i64(*delta as i64);
+        }
+        SysReq::PipeRead { pipe, bytes } => {
+            s.u8(15);
+            s.u32(*pipe);
+            s.u32(*bytes);
+        }
+        SysReq::PipeWrite { pipe, bytes } => {
+            s.u8(16);
+            s.u32(*pipe);
+            s.u32(*bytes);
+        }
+        SysReq::TtyWrite { stream, bytes } => {
+            s.u8(17);
+            s.u32(*stream);
+            s.u32(*bytes);
+        }
+        SysReq::Nap { ticks } => {
+            s.u8(18);
+            s.u32(*ticks);
+        }
+        SysReq::SockRecv { bytes } => {
+            s.u8(19);
+            s.u32(*bytes);
+        }
+    }
+}
+
+pub(crate) fn load_sysreq(r: &mut TaskRestorer<'_, '_>) -> Result<SysReq, SnapError> {
+    Ok(match r.u8()? {
+        0 => SysReq::Read {
+            inode: r.u32()?,
+            bytes: r.u32()?,
+        },
+        1 => SysReq::Write {
+            inode: r.u32()?,
+            bytes: r.u32()?,
+        },
+        2 => SysReq::ReadAt {
+            inode: r.u32()?,
+            offset: r.u64()?,
+            bytes: r.u32()?,
+        },
+        3 => SysReq::SyncWrite {
+            inode: r.u32()?,
+            bytes: r.u32()?,
+        },
+        4 => SysReq::WriteAt {
+            inode: r.u32()?,
+            offset: r.u64()?,
+            bytes: r.u32()?,
+        },
+        5 => SysReq::Open {
+            inode: r.u32()?,
+            components: r.u32()?,
+        },
+        6 => SysReq::Close { inode: r.u32()? },
+        7 => SysReq::Sginap,
+        8 => SysReq::Fork { child: r.task()? },
+        9 => SysReq::Exec {
+            image: load_image(r.reader())?,
+        },
+        10 => SysReq::Exit,
+        11 => SysReq::Wait,
+        12 => SysReq::Brk { pages: r.u32()? },
+        13 => SysReq::ShmAttach {
+            seg: r.u32()?,
+            pages: r.u32()?,
+        },
+        14 => SysReq::SemOp {
+            sem: r.u32()?,
+            delta: r.reader().i64()? as i32,
+        },
+        15 => SysReq::PipeRead {
+            pipe: r.u32()?,
+            bytes: r.u32()?,
+        },
+        16 => SysReq::PipeWrite {
+            pipe: r.u32()?,
+            bytes: r.u32()?,
+        },
+        17 => SysReq::TtyWrite {
+            stream: r.u32()?,
+            bytes: r.u32()?,
+        },
+        18 => SysReq::Nap { ticks: r.u32()? },
+        19 => SysReq::SockRecv { bytes: r.u32()? },
+        _ => return Err(SnapError::Corrupt("sysreq tag")),
+    })
+}
+
+pub(crate) fn save_uop(s: &mut TaskSaver<'_>, op: &UOp) {
+    match op {
+        UOp::Run { cur, end } => {
+            s.u8(0);
+            s.u64(*cur);
+            s.u64(*end);
+        }
+        UOp::RunLoop {
+            base,
+            len,
+            iters,
+            off,
+        } => {
+            s.u8(1);
+            s.u64(*base);
+            s.u32(*len);
+            s.u32(*iters);
+            s.u32(*off);
+        }
+        UOp::Touch { addr, write } => {
+            s.u8(2);
+            s.u64(*addr);
+            s.bool(*write);
+        }
+        UOp::Sweep {
+            cur,
+            end,
+            stride,
+            write,
+        } => {
+            s.u8(3);
+            s.u64(*cur);
+            s.u64(*end);
+            s.u32(*stride);
+            s.bool(*write);
+        }
+        UOp::Compute { cycles } => {
+            s.u8(4);
+            s.u64(*cycles);
+        }
+        UOp::Walk {
+            base,
+            span,
+            left,
+            state,
+            write_ratio,
+        } => {
+            s.u8(5);
+            s.u64(*base);
+            s.u64(*span);
+            s.u32(*left);
+            s.u64(*state);
+            s.u8(*write_ratio);
+        }
+        UOp::Syscall(req) => {
+            s.u8(6);
+            save_sysreq(s, req);
+        }
+        UOp::LockAcq { lock, spins } => {
+            s.u8(7);
+            s.u32(*lock);
+            s.u32(*spins);
+        }
+        UOp::LockRel { lock } => {
+            s.u8(8);
+            s.u32(*lock);
+        }
+    }
+}
+
+pub(crate) fn load_uop(r: &mut TaskRestorer<'_, '_>) -> Result<UOp, SnapError> {
+    Ok(match r.u8()? {
+        0 => UOp::Run {
+            cur: r.u64()?,
+            end: r.u64()?,
+        },
+        1 => UOp::RunLoop {
+            base: r.u64()?,
+            len: r.u32()?,
+            iters: r.u32()?,
+            off: r.u32()?,
+        },
+        2 => UOp::Touch {
+            addr: r.u64()?,
+            write: r.bool()?,
+        },
+        3 => UOp::Sweep {
+            cur: r.u64()?,
+            end: r.u64()?,
+            stride: r.u32()?,
+            write: r.bool()?,
+        },
+        4 => UOp::Compute { cycles: r.u64()? },
+        5 => UOp::Walk {
+            base: r.u64()?,
+            span: r.u64()?,
+            left: r.u32()?,
+            state: r.u64()?,
+            write_ratio: r.u8()?,
+        },
+        6 => UOp::Syscall(load_sysreq(r)?),
+        7 => UOp::LockAcq {
+            lock: r.u32()?,
+            spins: r.u32()?,
+        },
+        8 => UOp::LockRel { lock: r.u32()? },
+        _ => return Err(SnapError::Corrupt("uop tag")),
+    })
+}
+
+pub(crate) fn save_proc_state(w: &mut SnapWriter, st: &ProcState) {
+    match st {
+        ProcState::Ready => w.u8(0),
+        ProcState::Running(cpu) => {
+            w.u8(1);
+            w.u8(cpu.0);
+        }
+        ProcState::Sleeping(chan) => {
+            w.u8(2);
+            save_chan(w, chan);
+        }
+        ProcState::Zombie => w.u8(3),
+    }
+}
+
+pub(crate) fn load_proc_state(r: &mut SnapReader<'_>) -> Result<ProcState, SnapError> {
+    Ok(match r.u8()? {
+        0 => ProcState::Ready,
+        1 => ProcState::Running(CpuId(r.u8()?)),
+        2 => ProcState::Sleeping(load_chan(r)?),
+        3 => ProcState::Zombie,
+        _ => return Err(SnapError::Corrupt("proc state tag")),
+    })
+}
+
+pub(crate) fn save_pte(w: &mut SnapWriter, vpn: Vpn, pte: &Pte) {
+    w.u32(vpn.0);
+    w.u32(pte.ppn.0);
+    w.bool(pte.cow);
+}
+
+pub(crate) fn load_pte(r: &mut SnapReader<'_>) -> Result<(Vpn, Pte), SnapError> {
+    Ok((
+        Vpn(r.u32()?),
+        Pte {
+            ppn: Ppn(r.u32()?),
+            cow: r.bool()?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::OpClass;
+
+    #[test]
+    fn enum_serializers_roundtrip() {
+        let mut w = SnapWriter::new();
+        save_chan(&mut w, &Chan::Child(ProcSlot(7)));
+        save_disposition(&mut w, &Disposition::Sleep(Chan::Sem(3)));
+        save_kop(&mut w, &KOp::Call(KCall::SemOpApply { sem: 2, delta: -1 }));
+        save_kop(&mut w, &KOp::Escape(OsEvent::PidChange { pid: 42 }));
+        save_kframe(
+            &mut w,
+            &KFrame::new(OpClass::IoSyscall, vec![KOp::Compute { cycles: 9 }]),
+        );
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(load_chan(&mut r).unwrap(), Chan::Child(ProcSlot(7)));
+        assert_eq!(
+            load_disposition(&mut r).unwrap(),
+            Disposition::Sleep(Chan::Sem(3))
+        );
+        assert!(matches!(
+            load_kop(&mut r).unwrap(),
+            KOp::Call(KCall::SemOpApply { sem: 2, delta: -1 })
+        ));
+        assert!(matches!(
+            load_kop(&mut r).unwrap(),
+            KOp::Escape(OsEvent::PidChange { pid: 42 })
+        ));
+        let f = load_kframe(&mut r).unwrap();
+        assert_eq!(f.class, OpClass::IoSyscall);
+        assert_eq!(f.ops.len(), 1);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn corrupt_tags_error() {
+        let mut w = SnapWriter::new();
+        w.u8(99);
+        let bytes = w.into_bytes();
+        assert!(load_chan(&mut SnapReader::new(&bytes)).is_err());
+        assert!(load_kop(&mut SnapReader::new(&bytes)).is_err());
+    }
+}

@@ -220,6 +220,116 @@ impl OsStats {
             Mode::Idle => &mut self.idle_misses,
         }
     }
+
+    /// Serializes every counter, in declaration order. Public so the
+    /// experiment engine can freeze its warm-up statistics baseline
+    /// alongside the kernel snapshot.
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.cycles.len());
+        for c in &self.cycles {
+            w.u64(c.user);
+            w.u64(c.kernel);
+            w.u64(c.idle);
+        }
+        for m in [&self.kernel_misses, &self.user_misses, &self.idle_misses] {
+            w.u64(m.instr);
+            w.u64(m.data);
+        }
+        for v in &self.ops {
+            w.u64(*v);
+        }
+        w.u64(self.utlb_faults);
+        w.u64(self.dispatches);
+        w.u64(self.migrations);
+        for row in &self.block_ops {
+            for c in row {
+                w.u64(c.count);
+                w.u64(c.bytes);
+            }
+        }
+        for v in [
+            self.escape_reads,
+            self.escape_cycles,
+            self.forks,
+            self.execs,
+            self.exits,
+            self.buffer_hits,
+            self.buffer_misses,
+            self.disk_reads,
+            self.disk_writes,
+            self.demand_zero,
+            self.cow_copies,
+            self.pageouts,
+            self.icache_flushes,
+            self.clock_interrupts,
+            self.disk_interrupts,
+            self.ipis,
+            self.readaheads,
+            self.sginap_calls,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restores counters written by [`OsStats::save`] into a stats
+    /// block sized for the same CPU count.
+    pub fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let n = r.usize()?;
+        if n != self.cycles.len() {
+            return Err(crate::snap::SnapError::Corrupt("stats cpu count"));
+        }
+        for c in &mut self.cycles {
+            c.user = r.u64()?;
+            c.kernel = r.u64()?;
+            c.idle = r.u64()?;
+        }
+        for m in [
+            &mut self.kernel_misses,
+            &mut self.user_misses,
+            &mut self.idle_misses,
+        ] {
+            m.instr = r.u64()?;
+            m.data = r.u64()?;
+        }
+        for v in &mut self.ops {
+            *v = r.u64()?;
+        }
+        self.utlb_faults = r.u64()?;
+        self.dispatches = r.u64()?;
+        self.migrations = r.u64()?;
+        for row in &mut self.block_ops {
+            for c in row {
+                c.count = r.u64()?;
+                c.bytes = r.u64()?;
+            }
+        }
+        for v in [
+            &mut self.escape_reads,
+            &mut self.escape_cycles,
+            &mut self.forks,
+            &mut self.execs,
+            &mut self.exits,
+            &mut self.buffer_hits,
+            &mut self.buffer_misses,
+            &mut self.disk_reads,
+            &mut self.disk_writes,
+            &mut self.demand_zero,
+            &mut self.cow_copies,
+            &mut self.pageouts,
+            &mut self.icache_flushes,
+            &mut self.clock_interrupts,
+            &mut self.disk_interrupts,
+            &mut self.ipis,
+            &mut self.readaheads,
+            &mut self.sginap_calls,
+        ] {
+            *v = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -349,9 +349,20 @@ pub trait UserTask {
     /// The next operation to execute, or `None` when done.
     fn next(&mut self, env: &mut TaskEnv<'_>) -> Option<UOp>;
 
-    /// A short name for debugging and reports.
+    /// A short name for debugging and reports. Snapshots use it as the
+    /// restore tag, so snapshottable tasks must return a unique name.
     fn name(&self) -> &'static str {
         "task"
+    }
+
+    /// Serializes this task's state into `s` and returns `true`.
+    ///
+    /// The default returns `false`, meaning the task does not support
+    /// snapshots; attempting to snapshot a world that runs such a task
+    /// panics rather than producing a corrupt image.
+    fn save(&self, s: &mut crate::snap::TaskSaver<'_>) -> bool {
+        let _ = s;
+        false
     }
 }
 

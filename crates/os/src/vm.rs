@@ -76,6 +76,123 @@ fn color_of(ppn: Ppn) -> usize {
 }
 
 impl FrameDb {
+    /// Serializes the complete frame state (free lists, frame info,
+    /// FIFO order, shared segments; segment keys sorted for
+    /// deterministic bytes).
+    pub(crate) fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u32(self.first);
+        for q in &self.free {
+            w.usize(q.len());
+            for p in q {
+                w.u32(p.0);
+            }
+        }
+        w.usize(self.next_color);
+        w.usize(self.info.len());
+        for fi in &self.info {
+            match fi.use_ {
+                FrameUse::Free => w.u8(0),
+                FrameUse::User { pid, vpn, text } => {
+                    w.u8(1);
+                    w.u32(pid.0);
+                    w.u32(vpn.0);
+                    w.bool(text);
+                }
+                FrameUse::Shm { seg, index } => {
+                    w.u8(2);
+                    w.u32(seg);
+                    w.u32(index);
+                }
+            }
+            w.bool(fi.was_code);
+            w.u32(fi.refs);
+        }
+        w.usize(self.fifo.len());
+        for p in &self.fifo {
+            w.u32(p.0);
+        }
+        let mut segs: Vec<u32> = self.segments.keys().copied().collect();
+        segs.sort_unstable();
+        w.usize(segs.len());
+        for seg in segs {
+            let pages = &self.segments[&seg];
+            w.u32(seg);
+            w.usize(pages.len());
+            for p in pages {
+                match p {
+                    None => w.bool(false),
+                    Some(ppn) => {
+                        w.bool(true);
+                        w.u32(ppn.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`FrameDb::save`] into a database
+    /// constructed over the same frame range.
+    pub(crate) fn load(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        if r.u32()? != self.first {
+            return Err(SnapError::Corrupt("frame db base"));
+        }
+        let mut free_total = 0;
+        for q in &mut self.free {
+            let n = r.usize()?;
+            q.clear();
+            for _ in 0..n {
+                q.push_back(Ppn(r.u32()?));
+            }
+            free_total += n;
+        }
+        self.free_total = free_total;
+        self.next_color = r.usize()?;
+        if self.next_color >= NUM_COLORS {
+            return Err(SnapError::Corrupt("frame color cursor"));
+        }
+        if r.usize()? != self.info.len() {
+            return Err(SnapError::Corrupt("frame count"));
+        }
+        for fi in &mut self.info {
+            fi.use_ = match r.u8()? {
+                0 => FrameUse::Free,
+                1 => FrameUse::User {
+                    pid: Pid(r.u32()?),
+                    vpn: Vpn(r.u32()?),
+                    text: r.bool()?,
+                },
+                2 => FrameUse::Shm {
+                    seg: r.u32()?,
+                    index: r.u32()?,
+                },
+                _ => return Err(SnapError::Corrupt("frame use tag")),
+            };
+            fi.was_code = r.bool()?;
+            fi.refs = r.u32()?;
+        }
+        let n = r.usize()?;
+        self.fifo.clear();
+        for _ in 0..n {
+            self.fifo.push_back(Ppn(r.u32()?));
+        }
+        let nsegs = r.usize()?;
+        self.segments.clear();
+        for _ in 0..nsegs {
+            let seg = r.u32()?;
+            let npages = r.usize()?;
+            let mut pages = Vec::with_capacity(npages.min(1 << 20));
+            for _ in 0..npages {
+                pages.push(if r.bool()? { Some(Ppn(r.u32()?)) } else { None });
+            }
+            self.segments.insert(seg, pages);
+        }
+        Ok(())
+    }
+
     /// Creates a database managing frames `[first, end)`.
     pub fn new(first: Ppn, end: Ppn) -> Self {
         let n = (end.0 - first.0) as usize;

@@ -44,7 +44,19 @@ usage: oscar-reports [WORKLOAD] [MEASURE] [WARMUP] [flags]
 
 flags:
   --jobs N, -j N     run workloads on N worker threads (default: 1;
-                     all outputs are byte-identical for any N)
+                     all outputs are byte-identical for any N). With
+                     --epoch-cycles the same N also re-executes epochs
+                     in parallel within each run.
+  --epoch-cycles N   time-parallel simulation: sweep the measured
+                     window once monitor-off, checkpoint every N
+                     cycles, then re-execute the epochs concurrently.
+                     All outputs stay byte-identical to the serial
+                     path. 0 disables (default)
+  --checkpoint-dir DIR
+                     cache warm-up (and epoch-boundary) snapshots in
+                     DIR, keyed by configuration and code revision;
+                     later identical runs skip the warm-up simulation.
+                     Adds checkpoint.* counters to --metrics-out
   --csv DIR          also write the figure series as CSV files
   --save-trace DIR   save each run's raw monitor trace (.oscartrace)
   --from-trace FILE  skip simulation; analyze a saved trace instead
@@ -146,6 +158,8 @@ struct Args {
     measure: u64,
     warmup: u64,
     jobs: usize,
+    epoch_cycles: u64,
+    checkpoint_dir: Option<PathBuf>,
     csv_dir: Option<PathBuf>,
     save_trace_dir: Option<PathBuf>,
     from_trace: Option<PathBuf>,
@@ -158,6 +172,8 @@ struct Args {
 fn parse_args(argv: &[String]) -> Args {
     let mut positional = Vec::new();
     let mut jobs = 1usize;
+    let mut epoch_cycles = 0u64;
+    let mut checkpoint_dir = None;
     let mut csv_dir = None;
     let mut save_trace_dir = None;
     let mut from_trace = None;
@@ -169,6 +185,14 @@ fn parse_args(argv: &[String]) -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" | "-j" => jobs = parse_jobs(&mut it),
+            "--epoch-cycles" => {
+                epoch_cycles = flag_value(&mut it, "--epoch-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--epoch-cycles needs a cycle count"))
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(flag_value(&mut it, "--checkpoint-dir")))
+            }
             "--csv" => csv_dir = Some(PathBuf::from(flag_value(&mut it, "--csv"))),
             "--save-trace" => {
                 save_trace_dir = Some(PathBuf::from(flag_value(&mut it, "--save-trace")))
@@ -196,6 +220,8 @@ fn parse_args(argv: &[String]) -> Args {
         measure,
         warmup,
         jobs,
+        epoch_cycles,
+        checkpoint_dir,
         csv_dir,
         save_trace_dir,
         from_trace,
@@ -308,6 +334,12 @@ fn report_main(argv: &[String]) {
             want_trace: args.save_trace_dir.is_some(),
             want_obs: args.trace_json.is_some() || args.metrics_out.is_some(),
             want_provenance: args.provenance_out.is_some(),
+            epoch_cycles: args.epoch_cycles,
+            // One worker count for both levels of parallelism: whole
+            // workloads fan out across --jobs, and within each run the
+            // epochs re-execute on --jobs threads too.
+            epoch_jobs: args.jobs,
+            checkpoint_dir: args.checkpoint_dir.clone(),
         })
         .collect();
     let outputs = run_reports(reqs, args.jobs);

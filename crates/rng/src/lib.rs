@@ -204,6 +204,19 @@ pub struct SmallRng {
 }
 
 impl SmallRng {
+    /// The raw 256-bit generator state, for snapshot/restore support.
+    /// Restoring via [`SmallRng::from_state`] continues the stream
+    /// exactly where [`SmallRng::state`] captured it.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+
     fn splitmix_next(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = *state;
@@ -335,6 +348,18 @@ mod tests {
     fn full_u64_inclusive_range_works() {
         let mut r = SmallRng::seed_from_u64(8);
         let _: u64 = r.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! milliseconds to a few seconds, so the inter-burst naps are scaled
 //! down (configurable) to keep the sessions active within the horizon.
 
+use oscar_os::snap::{SnapError, TaskRestorer, TaskSaver};
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
 use oscar_rng::Rng;
 
@@ -57,6 +58,31 @@ impl UserTask for Typist {
     fn name(&self) -> &'static str {
         "typist"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        save_typist(s, self);
+        true
+    }
+}
+
+fn save_typist(s: &mut TaskSaver<'_>, t: &Typist) {
+    s.u32(t.pipe);
+    s.u32(t.min_nap_ticks);
+    s.u32(t.max_nap_ticks);
+    s.bool(t.napping);
+}
+
+fn load_typist(r: &mut TaskRestorer<'_, '_>) -> Result<Typist, SnapError> {
+    Ok(Typist {
+        pipe: r.u32()?,
+        min_nap_ticks: r.u32()?,
+        max_nap_ticks: r.u32()?,
+        napping: r.bool()?,
+    })
+}
+
+pub(crate) fn restore_typist(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    Ok(Box::new(load_typist(r)?))
 }
 
 /// The `ed` process: reads commands from the pipe, executes character
@@ -161,6 +187,51 @@ impl UserTask for EdSession {
     fn name(&self) -> &'static str {
         "ed"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        use EdState::*;
+        s.u32(self.pipe);
+        s.u32(self.stream);
+        s.u32(self.text_inode);
+        match self.state {
+            Exec => s.u8(0),
+            OpenText => s.u8(1),
+            LoadText { chunk } => {
+                s.u8(2);
+                s.u32(chunk);
+            }
+            AwaitCommand => s.u8(3),
+            Search => s.u8(4),
+            Edit => s.u8(5),
+            Echo => s.u8(6),
+        }
+        true
+    }
+}
+
+pub(crate) fn restore_session(
+    r: &mut TaskRestorer<'_, '_>,
+) -> Result<Box<dyn UserTask>, SnapError> {
+    use EdState::*;
+    let pipe = r.u32()?;
+    let stream = r.u32()?;
+    let text_inode = r.u32()?;
+    let state = match r.u8()? {
+        0 => Exec,
+        1 => OpenText,
+        2 => LoadText { chunk: r.u32()? },
+        3 => AwaitCommand,
+        4 => Search,
+        5 => Edit,
+        6 => Echo,
+        _ => return Err(SnapError::Corrupt("ed session state")),
+    };
+    Ok(Box::new(EdSession {
+        pipe,
+        stream,
+        text_inode,
+        state,
+    }))
 }
 
 /// Spawning wrapper: forks the `ed` child and then becomes the typist
@@ -198,6 +269,24 @@ impl UserTask for EdPair {
     fn name(&self) -> &'static str {
         "ed-pair"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        s.u32(self.session);
+        s.bool(self.forked);
+        save_typist(s, &self.typist);
+        true
+    }
+}
+
+pub(crate) fn restore_pair(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    let session = r.u32()?;
+    let forked = r.bool()?;
+    let typist = load_typist(r)?;
+    Ok(Box::new(EdPair {
+        session,
+        forked,
+        typist,
+    }))
 }
 
 #[cfg(test)]

@@ -1,0 +1,44 @@
+//! The workload [`TaskFactory`]: maps snapshot task tags back to the
+//! concrete task types of this crate.
+//!
+//! Every snapshottable task serializes itself under its
+//! [`name()`](oscar_os::user::UserTask::name) tag; restoring a snapshot
+//! needs something that knows all the concrete types, and that is this
+//! factory. It lives here (not in `oscar-os`) so the dependency arrow
+//! keeps pointing from workloads to the OS.
+
+use oscar_os::snap::{SnapError, TaskFactory, TaskRestorer};
+use oscar_os::user::UserTask;
+
+/// The factory covering every task type in this crate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkloadTaskFactory;
+
+impl TaskFactory for WorkloadTaskFactory {
+    fn restore(
+        &self,
+        tag: &str,
+        r: &mut TaskRestorer<'_, '_>,
+    ) -> Result<Option<Box<dyn UserTask>>, SnapError> {
+        Ok(Some(match tag {
+            "mp3d" => crate::mp3d::restore_master(r)?,
+            "mp3d-worker" => crate::mp3d::restore_worker(r)?,
+            "make" => crate::pmake::restore_master(r)?,
+            "cc" => crate::pmake::restore_job(r)?,
+            "typist" => crate::edit::restore_typist(r)?,
+            "ed" => crate::edit::restore_session(r)?,
+            "ed-pair" => crate::edit::restore_pair(r)?,
+            "oracle" => crate::oracle::restore_master(r)?,
+            "oracle-server" => crate::oracle::restore_server(r)?,
+            "netdaemon" => crate::netdaemon::restore_daemon(r)?,
+            _ => return Ok(None),
+        }))
+    }
+}
+
+/// The workload task factory as a shared reference (what
+/// `OsWorld::restore_snapshot` wants).
+pub fn task_factory() -> &'static dyn TaskFactory {
+    static FACTORY: WorkloadTaskFactory = WorkloadTaskFactory;
+    &FACTORY
+}

@@ -24,6 +24,7 @@
 
 pub mod common;
 pub mod edit;
+pub mod factory;
 pub mod mp3d;
 pub mod netdaemon;
 pub mod oracle;
@@ -32,6 +33,7 @@ pub mod pmake;
 use oscar_os::user::UserTask;
 
 pub use edit::{EdPair, EdSession, Typist};
+pub use factory::{task_factory, WorkloadTaskFactory};
 pub use mp3d::{Mp3dMaster, Mp3dWorker};
 pub use netdaemon::NetDaemon;
 pub use oracle::{OracleMaster, OracleServer};

@@ -8,6 +8,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use oscar_os::snap::{SnapError, TaskRestorer, TaskSaver};
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
 use oscar_rng::Rng;
 
@@ -72,6 +73,71 @@ impl Default for Mp3dMaster {
     }
 }
 
+/// Writes the shared barrier through the snapshot's shared-object
+/// registry: the first referencing task writes the contents, later ones
+/// just the registry index, so restore reconnects every sibling to one
+/// barrier.
+fn save_barrier(s: &mut TaskSaver<'_>, b: &Rc<Barrier>) {
+    if s.shared_start(Rc::as_ptr(b) as *const ()) {
+        s.u32(b.arrived.get());
+        s.u64(b.round.get());
+    }
+}
+
+fn load_barrier(r: &mut TaskRestorer<'_, '_>) -> Result<Rc<Barrier>, SnapError> {
+    r.shared_rc(|r| {
+        Ok(Barrier {
+            arrived: Cell::new(r.u32()?),
+            round: Cell::new(r.u64()?),
+        })
+    })
+}
+
+pub(crate) fn restore_master(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    let forked = r.u32()?;
+    let state = match r.u8()? {
+        0 => MasterState::Exec,
+        1 => MasterState::Attach,
+        2 => MasterState::Fork,
+        3 => MasterState::Wait,
+        _ => return Err(SnapError::Corrupt("mp3d master state")),
+    };
+    let barrier = load_barrier(r)?;
+    Ok(Box::new(Mp3dMaster {
+        forked,
+        state,
+        barrier,
+    }))
+}
+
+pub(crate) fn restore_worker(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    use WorkerState::*;
+    let id = r.u32()?;
+    let state = match r.u8()? {
+        0 => Attach,
+        1 => BarrierArrive,
+        2 => CoordAcq,
+        3 => CoordWait,
+        4 => CoordRelease,
+        5 => WaiterSpin,
+        6 => WaiterGotIt,
+        7 => MoveChunk { chunk: r.u32()? },
+        8 => CellAcq { chunk: r.u32()? },
+        9 => CellTouch { chunk: r.u32()? },
+        10 => CellRel { chunk: r.u32()? },
+        11 => StepEnd,
+        _ => return Err(SnapError::Corrupt("mp3d worker state")),
+    };
+    let barrier = load_barrier(r)?;
+    let my_round = r.u64()?;
+    Ok(Box::new(Mp3dWorker {
+        id,
+        state,
+        barrier,
+        my_round,
+    }))
+}
+
 impl UserTask for Mp3dMaster {
     fn next(&mut self, _env: &mut TaskEnv<'_>) -> Option<UOp> {
         match self.state {
@@ -106,6 +172,18 @@ impl UserTask for Mp3dMaster {
 
     fn name(&self) -> &'static str {
         "mp3d"
+    }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        s.u32(self.forked);
+        s.u8(match self.state {
+            MasterState::Exec => 0,
+            MasterState::Attach => 1,
+            MasterState::Fork => 2,
+            MasterState::Wait => 3,
+        });
+        save_barrier(s, &self.barrier);
+        true
     }
 }
 
@@ -285,6 +363,40 @@ impl UserTask for Mp3dWorker {
 
     fn name(&self) -> &'static str {
         "mp3d-worker"
+    }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        use WorkerState::*;
+        s.u32(self.id);
+        match self.state {
+            Attach => s.u8(0),
+            BarrierArrive => s.u8(1),
+            CoordAcq => s.u8(2),
+            CoordWait => s.u8(3),
+            CoordRelease => s.u8(4),
+            WaiterSpin => s.u8(5),
+            WaiterGotIt => s.u8(6),
+            MoveChunk { chunk } => {
+                s.u8(7);
+                s.u32(chunk);
+            }
+            CellAcq { chunk } => {
+                s.u8(8);
+                s.u32(chunk);
+            }
+            CellTouch { chunk } => {
+                s.u8(9);
+                s.u32(chunk);
+            }
+            CellRel { chunk } => {
+                s.u8(10);
+                s.u32(chunk);
+            }
+            StepEnd => s.u8(11),
+        }
+        save_barrier(s, &self.barrier);
+        s.u64(self.my_round);
+        true
     }
 }
 

@@ -9,6 +9,7 @@
 //! a network burst (running the kernel's network stack), and touches its
 //! own protocol buffers.
 
+use oscar_os::snap::{SnapError, TaskRestorer, TaskSaver};
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
 use oscar_rng::Rng;
 
@@ -91,6 +92,35 @@ impl UserTask for NetDaemon {
     fn name(&self) -> &'static str {
         "netdaemon"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        use DaemonState::*;
+        match self.state {
+            Nap => s.u8(0),
+            Recv { burst } => {
+                s.u8(1);
+                s.u32(burst);
+            }
+            Process { burst } => {
+                s.u8(2);
+                s.u32(burst);
+            }
+        }
+        s.u32(self.period);
+        true
+    }
+}
+
+pub(crate) fn restore_daemon(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    use DaemonState::*;
+    let state = match r.u8()? {
+        0 => Nap,
+        1 => Recv { burst: r.u32()? },
+        2 => Process { burst: r.u32()? },
+        _ => return Err(SnapError::Corrupt("netdaemon state")),
+    };
+    let period = r.u32()?;
+    Ok(Box::new(NetDaemon { state, period }))
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! into the I/O-syscall category for Oracle), guard hot rows with
 //! user-level latches, and append to a redo log.
 
+use oscar_os::snap::{SnapError, TaskRestorer, TaskSaver};
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
 use oscar_rng::Rng;
 
@@ -138,6 +139,43 @@ impl UserTask for OracleMaster {
     fn name(&self) -> &'static str {
         "oracle"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        s.u32(self.forked);
+        match self.state {
+            MasterState::Exec => s.u8(0),
+            MasterState::Attach => s.u8(1),
+            MasterState::Warm { page } => {
+                s.u8(2);
+                s.u32(page);
+            }
+            MasterState::Fork => s.u8(3),
+            MasterState::Wait => s.u8(4),
+        }
+        s.u32(self.miss_pct);
+        s.u64(self.file_blocks);
+        true
+    }
+}
+
+pub(crate) fn restore_master(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    let forked = r.u32()?;
+    let state = match r.u8()? {
+        0 => MasterState::Exec,
+        1 => MasterState::Attach,
+        2 => MasterState::Warm { page: r.u32()? },
+        3 => MasterState::Fork,
+        4 => MasterState::Wait,
+        _ => return Err(SnapError::Corrupt("oracle master state")),
+    };
+    let miss_pct = r.u32()?;
+    let file_blocks = r.u64()?;
+    Ok(Box::new(OracleMaster {
+        forked,
+        state,
+        miss_pct,
+        file_blocks,
+    }))
 }
 
 /// One Oracle server process executing TP1 transactions forever.
@@ -376,6 +414,72 @@ impl UserTask for OracleServer {
     fn name(&self) -> &'static str {
         "oracle-server"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        use ServerState::*;
+        s.u32(self.id);
+        s.u8(match self.state {
+            Attach => 0,
+            Begin => 1,
+            Parse => 2,
+            AccountLookup => 3,
+            AccountMiss => 4,
+            AccountTouch => 5,
+            TellerUpdate => 6,
+            BranchLatch => 7,
+            BranchUpdate => 8,
+            BranchUnlatch => 9,
+            HistoryInsert => 10,
+            LogLatch => 11,
+            RedoCopy => 12,
+            LogWrite => 13,
+            LogUnlatch => 14,
+            Commit => 15,
+            CommitSignal => 16,
+        });
+        s.u64(self.txns);
+        s.u32(self.cur_branch);
+        s.u32(self.miss_pct);
+        s.u64(self.file_blocks);
+        true
+    }
+}
+
+pub(crate) fn restore_server(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    use ServerState::*;
+    let id = r.u32()?;
+    let state = match r.u8()? {
+        0 => Attach,
+        1 => Begin,
+        2 => Parse,
+        3 => AccountLookup,
+        4 => AccountMiss,
+        5 => AccountTouch,
+        6 => TellerUpdate,
+        7 => BranchLatch,
+        8 => BranchUpdate,
+        9 => BranchUnlatch,
+        10 => HistoryInsert,
+        11 => LogLatch,
+        12 => RedoCopy,
+        13 => LogWrite,
+        14 => LogUnlatch,
+        15 => Commit,
+        16 => CommitSignal,
+        _ => return Err(SnapError::Corrupt("oracle server state")),
+    };
+    let txns = r.u64()?;
+    let cur_branch = r.u32()?;
+    let miss_pct = r.u32()?;
+    let file_blocks = r.u64()?;
+    Ok(Box::new(OracleServer {
+        id,
+        state,
+        txns,
+        cur_branch,
+        miss_pct,
+        file_blocks,
+    }))
 }
 
 #[cfg(test)]

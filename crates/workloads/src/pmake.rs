@@ -3,6 +3,7 @@
 //! workload alternates I/O-heavy preprocessing with compute-intensive
 //! optimization, exactly the mix the paper describes.
 
+use oscar_os::snap::{SnapError, TaskRestorer, TaskSaver};
 use oscar_os::user::{SysReq, TaskEnv, UOp, UserTask};
 use oscar_rng::Rng;
 
@@ -155,6 +156,55 @@ impl UserTask for MakeMaster {
     fn name(&self) -> &'static str {
         "make"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        s.u32(self.files);
+        s.u32(self.max_jobs);
+        s.u32(self.started);
+        s.u32(self.running);
+        match self.state {
+            MasterState::OpenMakefile => s.u8(0),
+            MasterState::ReadMakefile(left) => {
+                s.u8(1);
+                s.u32(left);
+            }
+            MasterState::Think => s.u8(2),
+            MasterState::Stat => s.u8(3),
+            MasterState::Dispatch => s.u8(4),
+            MasterState::AwaitSlot => s.u8(5),
+            MasterState::Reaped => s.u8(6),
+            MasterState::Drain => s.u8(7),
+        }
+        s.bool(self.looping);
+        true
+    }
+}
+
+pub(crate) fn restore_master(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    let files = r.u32()?;
+    let max_jobs = r.u32()?;
+    let started = r.u32()?;
+    let running = r.u32()?;
+    let state = match r.u8()? {
+        0 => MasterState::OpenMakefile,
+        1 => MasterState::ReadMakefile(r.u32()?),
+        2 => MasterState::Think,
+        3 => MasterState::Stat,
+        4 => MasterState::Dispatch,
+        5 => MasterState::AwaitSlot,
+        6 => MasterState::Reaped,
+        7 => MasterState::Drain,
+        _ => return Err(SnapError::Corrupt("make master state")),
+    };
+    let looping = r.bool()?;
+    Ok(Box::new(MakeMaster {
+        files,
+        max_jobs,
+        started,
+        running,
+        state,
+        looping,
+    }))
 }
 
 /// One compile job: `exec`s the (shared) compiler image, preprocesses
@@ -387,6 +437,92 @@ impl UserTask for CompileJob {
     fn name(&self) -> &'static str {
         "cc"
     }
+
+    fn save(&self, s: &mut TaskSaver<'_>) -> bool {
+        use JobState::*;
+        s.u32(self.file);
+        match self.state {
+            Exec => s.u8(0),
+            OpenSrc => s.u8(1),
+            ReadSrc { chunk } => {
+                s.u8(2);
+                s.u32(chunk);
+            }
+            Scan { chunk } => {
+                s.u8(3);
+                s.u32(chunk);
+            }
+            OpenHdr { hdr } => {
+                s.u8(4);
+                s.u32(hdr);
+            }
+            ReadHdr { hdr, chunk } => {
+                s.u8(5);
+                s.u32(hdr);
+                s.u32(chunk);
+            }
+            CloseSrc => s.u8(6),
+            WriteTmp { pass, chunk } => {
+                s.u8(7);
+                s.u32(pass);
+                s.u32(chunk);
+            }
+            ReadTmp { pass, chunk } => {
+                s.u8(8);
+                s.u32(pass);
+                s.u32(chunk);
+            }
+            Compile { phase } => {
+                s.u8(9);
+                s.u32(phase);
+            }
+            CompileData { phase } => {
+                s.u8(10);
+                s.u32(phase);
+            }
+            OpenOut => s.u8(11),
+            WriteOut { chunk } => {
+                s.u8(12);
+                s.u32(chunk);
+            }
+            CloseOut => s.u8(13),
+            Done => s.u8(14),
+        }
+        true
+    }
+}
+
+pub(crate) fn restore_job(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn UserTask>, SnapError> {
+    use JobState::*;
+    let file = r.u32()?;
+    let state = match r.u8()? {
+        0 => Exec,
+        1 => OpenSrc,
+        2 => ReadSrc { chunk: r.u32()? },
+        3 => Scan { chunk: r.u32()? },
+        4 => OpenHdr { hdr: r.u32()? },
+        5 => ReadHdr {
+            hdr: r.u32()?,
+            chunk: r.u32()?,
+        },
+        6 => CloseSrc,
+        7 => WriteTmp {
+            pass: r.u32()?,
+            chunk: r.u32()?,
+        },
+        8 => ReadTmp {
+            pass: r.u32()?,
+            chunk: r.u32()?,
+        },
+        9 => Compile { phase: r.u32()? },
+        10 => CompileData { phase: r.u32()? },
+        11 => OpenOut,
+        12 => WriteOut { chunk: r.u32()? },
+        13 => CloseOut,
+        14 => Done,
+        _ => return Err(SnapError::Corrupt("compile job state")),
+    };
+    Ok(Box::new(CompileJob { file, state }))
 }
 
 #[cfg(test)]

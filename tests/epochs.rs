@@ -1,0 +1,238 @@
+//! Time-parallel epoch engine and checkpoint cache: snapshot/resume
+//! bit-exactness, epoch-vs-serial byte identity at several worker
+//! counts, and warmup-cache hit/miss/invalidation behaviour.
+
+use oscar_core::{
+    merge_metrics_json, render_all, run_streaming, ExperimentConfig, PreparedRun, ReportOutput,
+    StreamOptions,
+};
+use oscar_machine::snap::{SnapReader, SnapWriter};
+use oscar_workloads::WorkloadKind;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(2_000_000)
+        .measure(3_000_000)
+}
+
+/// Snapshot bytes of a prepared run (the crate guarantees byte equality
+/// iff state equality, so this doubles as a state fingerprint).
+fn fingerprint(prep: &PreparedRun) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    prep.save_snapshot(&mut w);
+    w.into_bytes()
+}
+
+#[test]
+fn snapshot_resume_is_bit_exact() {
+    let config = cfg();
+
+    // Straight run: warmup + full measure.
+    let mut straight = PreparedRun::new(&config, config.workload.build());
+    straight.warmup();
+    straight.measure();
+
+    // Snapshotted run: freeze after warmup, thaw, then measure.
+    let mut prep = PreparedRun::new(&config, config.workload.build());
+    prep.warmup();
+    let frozen = fingerprint(&prep);
+    drop(prep);
+    let mut r = SnapReader::new(&frozen);
+    let mut resumed = PreparedRun::restore_snapshot(&config, &mut r).expect("restore");
+    r.expect_end().expect("no trailing bytes");
+
+    // The restored run must itself re-freeze to the same bytes...
+    assert_eq!(
+        fingerprint(&resumed),
+        frozen,
+        "restore → save must be the identity on snapshot bytes"
+    );
+
+    // ...and running it forward must reproduce the straight run
+    // bit-exactly: same machine+kernel state, same monitor bytes.
+    resumed.measure();
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&straight),
+        "resumed run must end in the straight run's exact state"
+    );
+    let a = straight.finish();
+    let b = resumed.finish();
+    assert_eq!(a.trace_records, b.trace_records);
+    assert_eq!(a.trace, b.trace, "monitor records must be identical");
+    assert_eq!(a.os_stats.dispatches, b.os_stats.dispatches);
+}
+
+/// Renders everything the CLI can emit for one run, for byte compares.
+fn exhibits(config: &ExperimentConfig, opts: &StreamOptions) -> (String, String) {
+    let (mut art, an) = run_streaming(config, opts);
+    let report = render_all(&art, &an);
+    let obs = art.obs.take();
+    let out = ReportOutput {
+        kind: art.workload,
+        report: String::new(),
+        csv: Vec::new(),
+        trace_blob: None,
+        phases: Vec::new(),
+        trace_records: art.trace_records,
+        obs,
+        provenance: None,
+    };
+    let metrics = merge_metrics_json(std::slice::from_ref(&out));
+    (report, metrics)
+}
+
+#[test]
+fn epoch_runs_match_serial_byte_for_byte() {
+    let config = cfg();
+    let serial_opts = StreamOptions {
+        observe: true,
+        keep_trace: true,
+        ..StreamOptions::default()
+    };
+    let (serial_report, serial_metrics) = exhibits(&config, &serial_opts);
+
+    for jobs in [1usize, 4] {
+        let epoch_opts = StreamOptions {
+            observe: true,
+            keep_trace: true,
+            epoch_cycles: 700_000, // odd size: exercises a partial last epoch
+            epoch_jobs: jobs,
+            ..StreamOptions::default()
+        };
+        let (report, metrics) = exhibits(&config, &epoch_opts);
+        assert_eq!(
+            report, serial_report,
+            "epoch report must be byte-identical at {jobs} jobs"
+        );
+        assert_eq!(
+            metrics, serial_metrics,
+            "epoch metrics export must be byte-identical at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn epoch_trace_and_artifacts_match_serial() {
+    let config = cfg();
+    let (serial_art, _) = run_streaming(
+        &config,
+        &StreamOptions {
+            keep_trace: true,
+            ..StreamOptions::default()
+        },
+    );
+    let (epoch_art, _) = run_streaming(
+        &config,
+        &StreamOptions {
+            keep_trace: true,
+            epoch_cycles: 1_000_000,
+            epoch_jobs: 3,
+            ..StreamOptions::default()
+        },
+    );
+    assert_eq!(epoch_art.trace_records, serial_art.trace_records);
+    assert_eq!(epoch_art.trace, serial_art.trace);
+    assert_eq!(
+        epoch_art.os_stats.dispatches,
+        serial_art.os_stats.dispatches
+    );
+    assert_eq!(
+        epoch_art.os_stats.kernel_misses.total(),
+        serial_art.os_stats.kernel_misses.total()
+    );
+    // Epoch mode reported its per-epoch timing rows (3 epochs + pass 1).
+    assert_eq!(epoch_art.epoch_phases.len(), 1 + 3);
+    assert!(epoch_art.epoch_phases[0].id.starts_with("pass1/"));
+    assert!(serial_art.epoch_phases.is_empty());
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("oscar_epochs_{name}_{}", std::process::id()));
+    // A fresh cache per test run; stale files from a crashed run would
+    // turn misses into hits.
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn warmup_cache_misses_then_hits_and_invalidates() {
+    let dir = scratch_dir("warmup");
+    let config = cfg();
+    let opts = StreamOptions {
+        checkpoint_dir: Some(dir.clone()),
+        ..StreamOptions::default()
+    };
+
+    // Cold: the cache is empty, so the warmup must simulate and store.
+    let (cold, _) = run_streaming(&config, &opts);
+    let cold_ckpt = cold.checkpoint.expect("checkpoint stats when dir given");
+    assert_eq!(cold_ckpt.hits, 0, "cold run cannot hit");
+    assert!(cold_ckpt.misses >= 1, "cold run must record its miss");
+    assert!(cold_ckpt.capture_us > 0, "cold run must capture a snapshot");
+
+    // Warm: same configuration, so the stored checkpoint must be used —
+    // and the run must stay byte-identical.
+    let (warm, _) = run_streaming(&config, &opts);
+    let warm_ckpt = warm.checkpoint.expect("checkpoint stats when dir given");
+    assert!(warm_ckpt.hits >= 1, "warm run must hit the cache");
+    assert_eq!(warm_ckpt.misses, 0, "warm run must not miss");
+    assert_eq!(warm.trace_records, cold.trace_records);
+    assert_eq!(warm.os_stats.dispatches, cold.os_stats.dispatches);
+
+    // A changed configuration hashes to a different key: stale entries
+    // are never served.
+    let other = cfg().seed(99);
+    let (stale, _) = run_streaming(
+        &other,
+        &StreamOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..StreamOptions::default()
+        },
+    );
+    let stale_ckpt = stale.checkpoint.expect("checkpoint stats when dir given");
+    assert_eq!(stale_ckpt.hits, 0, "changed config must not hit old entry");
+    assert!(stale_ckpt.misses >= 1);
+
+    // Runs without a checkpoint dir must not report (or export) any
+    // checkpoint accounting at all.
+    let (plain, _) = run_streaming(&config, &StreamOptions::default());
+    assert!(plain.checkpoint.is_none());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn epoch_bundle_cache_skips_both_passes_bit_exactly() {
+    let dir = scratch_dir("bundle");
+    let config = cfg();
+    let opts = StreamOptions {
+        keep_trace: true,
+        epoch_cycles: 1_000_000,
+        epoch_jobs: 2,
+        checkpoint_dir: Some(dir.clone()),
+        ..StreamOptions::default()
+    };
+
+    let (cold, cold_an) = run_streaming(&config, &opts);
+    let (warm, warm_an) = run_streaming(&config, &opts);
+    let warm_ckpt = warm.checkpoint.expect("checkpoint stats when dir given");
+    assert!(
+        warm_ckpt.hits >= 1,
+        "second run must restore the epoch bundle"
+    );
+    assert_eq!(warm.trace, cold.trace, "bundle replay must be bit-exact");
+    assert_eq!(warm.trace_records, cold.trace_records);
+    assert_eq!(
+        render_all(&warm, &warm_an),
+        render_all(&cold, &cold_an),
+        "report bytes must survive the bundle cache"
+    );
+    // The bundle path skips pass 1, so only per-epoch rows remain.
+    assert!(warm
+        .epoch_phases
+        .iter()
+        .all(|p| !p.id.starts_with("pass1/")));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

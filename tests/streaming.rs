@@ -70,6 +70,9 @@ fn report_driver_output_is_independent_of_jobs() {
         want_trace: true,
         want_obs: false,
         want_provenance: false,
+        epoch_cycles: 0,
+        epoch_jobs: 1,
+        checkpoint_dir: None,
     })
     .collect();
 
