@@ -31,7 +31,7 @@ fn main() {
         "{:>6} {:>9} {:>13} {:>13} {:>12} {:>12}",
         "cpus", "clusters", "os-variant", "remote-fill%", "runqlk-fail%", "os-stall%"
     );
-    for (cpus, clusters) in [(4u8, 1u8), (8, 2), (16, 4)] {
+    for (cpus, clusters) in [(4u8, 1u8), (8, 2), (16, 4), (32, 8), (64, 16)] {
         for clustered_os in [false, true] {
             if clusters == 1 && clustered_os {
                 continue;
@@ -55,12 +55,46 @@ fn main() {
         }
     }
 
+    // Directory/MESI scaling: same weak-scaled workload on the
+    // mesi-dir backend, where a banked directory replaces the bus.
+    println!();
+    println!("Directory backend — weak-scaled Multpgm (mesi-dir)");
+    println!(
+        "{:>6} {:>14} {:>13} {:>12}",
+        "cpus", "dir-requests", "bank-wait", "os-stall%"
+    );
+    for cpus in [4u8, 8, 16, 32, 64] {
+        let mut config = ExperimentConfig::new(WorkloadKind::Multpgm)
+            .warmup(30_000_000)
+            .measure(10_000_000)
+            .scaled_workload(cpus != 4);
+        config.machine = oscar_machine::MachineConfig::mesi_dir(cpus);
+        let art = run(&config);
+        let an = analyze(&art);
+        let dir = art.interconnect.dir.unwrap_or_default();
+        println!(
+            "{:>6} {:>14} {:>13} {:>12.2}",
+            cpus,
+            dir.requests(),
+            dir.bank_wait,
+            table1_row(&art, &an).stall_os_pct
+        );
+    }
+
     let mut h = Harness::new("larger_machines");
     h.bench("scaling/multpgm_16cpu_4cluster_short", || {
         black_box(run(&ExperimentConfig::new(WorkloadKind::Multpgm)
             .warmup(1_000_000)
             .measure(2_000_000)
             .clustered(16, 4, 30)))
+    });
+    h.bench("scaling/multpgm_64cpu_mesi_dir_short", || {
+        let mut config = ExperimentConfig::new(WorkloadKind::Multpgm)
+            .warmup(1_000_000)
+            .measure(2_000_000)
+            .scaled_workload(true);
+        config.machine = oscar_machine::MachineConfig::mesi_dir(64);
+        black_box(run(&config))
     });
     h.finish();
 }

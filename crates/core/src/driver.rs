@@ -120,6 +120,9 @@ impl ReportRequest {
 pub struct ReportOutput {
     /// The workload that ran.
     pub kind: WorkloadKind,
+    /// The run's tag ([`ExperimentConfig::tag`]): file-name stem and
+    /// metric prefix, unique across a sweep.
+    pub tag: String,
     /// The full text report ([`render_all`]).
     pub report: String,
     /// CSV documents as `(file name, contents)` pairs.
@@ -138,7 +141,7 @@ pub struct ReportOutput {
 }
 
 fn run_one(req: &ReportRequest) -> ReportOutput {
-    let tag = req.config.workload.label().to_lowercase();
+    let tag = req.config.tag();
     let mut phases = Vec::new();
 
     let t = PhaseTimer::start(format!("simulate+analyze/{tag}"));
@@ -202,6 +205,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
 
     ReportOutput {
         kind: req.config.workload,
+        tag,
         report,
         csv: csv_out,
         trace_blob,

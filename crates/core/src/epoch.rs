@@ -340,7 +340,7 @@ pub(crate) fn run_epoch_producer(
     Option<Box<KernelObsReport>>,
     Option<(Timeline, Metrics)>,
 ) {
-    let tag = config.workload.label().to_lowercase();
+    let tag = config.tag();
     let mut stats = CheckpointStats::default();
     let epoch_cycles = plan.epoch_cycles.max(1);
     let n_epochs = (config.measure_cycles.div_ceil(epoch_cycles) as usize).max(1);

@@ -6,7 +6,7 @@
 use oscar_machine::addr::CpuId;
 use oscar_machine::monitor::{BufferMode, BusRecord};
 use oscar_machine::snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
-use oscar_machine::{CpuCounters, Machine, MachineConfig};
+use oscar_machine::{Coherence, CpuCounters, InterconnectStats, Machine, MachineConfig};
 use oscar_os::{FamilyStats, Layout, LockFamily, OsStats, OsTuning, OsWorld};
 use oscar_workloads::WorkloadKind;
 
@@ -27,6 +27,13 @@ pub struct ExperimentConfig {
     /// Run the paper's network daemon pinned to CPU 1 (the trace-
     /// shipping perturbation the paper describes in Section 2.1).
     pub network_daemon: bool,
+    /// Weak-scale the workload to the machine's CPU count
+    /// ([`WorkloadKind::build_for`]) instead of running the paper's
+    /// fixed 4-CPU mix. Off by default so existing exhibits are
+    /// untouched; the scalability sweep (`oscar-reports --cpus`) turns
+    /// it on. At four CPUs the scaled and fixed workloads are
+    /// identical.
+    pub scale_workload: bool,
 }
 
 impl ExperimentConfig {
@@ -40,6 +47,7 @@ impl ExperimentConfig {
             warmup_cycles: 40_000_000,
             measure_cycles: 30_000_000,
             network_daemon: false,
+            scale_workload: false,
         }
     }
 
@@ -73,6 +81,38 @@ impl ExperimentConfig {
         self
     }
 
+    /// Selects the coherence backend (snooping bus or directory/MESI).
+    pub fn coherence(mut self, scheme: Coherence) -> Self {
+        self.machine.coherence = scheme;
+        self
+    }
+
+    /// Turns workload weak-scaling on or off (see
+    /// [`ExperimentConfig::scale_workload`]).
+    pub fn scaled_workload(mut self, on: bool) -> Self {
+        self.scale_workload = on;
+        self
+    }
+
+    /// Builds the workload this configuration runs: the paper's fixed
+    /// mix, or — with [`ExperimentConfig::scale_workload`] — the mix
+    /// weak-scaled to the machine's CPU count.
+    pub fn build_workload(&self) -> oscar_workloads::Workload {
+        if self.scale_workload {
+            self.workload.build_for(self.machine.num_cpus)
+        } else {
+            self.workload.build()
+        }
+    }
+
+    /// The run's file/metric tag: the plain lowercase workload label on
+    /// the paper's default machine (so every historical golden file and
+    /// CSV name is unchanged), suffixed with the CPU count and backend
+    /// otherwise — `pmake`, `pmake-c8`, `pmake-c8-dir`.
+    pub fn tag(&self) -> String {
+        tag_for(self.workload, &self.machine, self.scale_workload)
+    }
+
     /// A Section 6 cluster configuration: `num_cpus` CPUs in `clusters`
     /// clusters with an inter-cluster fill penalty, replicated OS text
     /// and distributed run queues.
@@ -99,6 +139,20 @@ impl ExperimentConfig {
         self.tuning.distributed_runq = false;
         self
     }
+}
+
+/// Computes the tag for a (workload, machine) pair; see
+/// [`ExperimentConfig::tag`].
+pub(crate) fn tag_for(workload: WorkloadKind, machine: &MachineConfig, scaled: bool) -> String {
+    let base = workload.label().to_lowercase();
+    if !scaled && *machine == MachineConfig::sgi_4d340() {
+        return base;
+    }
+    let backend = match machine.coherence {
+        Coherence::Snoop => "",
+        Coherence::MesiDir => "-dir",
+    };
+    format!("{base}-c{}{backend}", machine.num_cpus)
 }
 
 /// Everything a run produces.
@@ -142,9 +196,22 @@ pub struct RunArtifacts {
     /// Checkpoint-cache accounting, present when the run was given a
     /// [`crate::pipeline::StreamOptions::checkpoint_dir`].
     pub checkpoint: Option<crate::epoch::CheckpointStats>,
+    /// Interconnect occupancy summary — bus arbitration or directory
+    /// bank traffic, depending on the backend. Default-zero for
+    /// artifacts rebuilt from a serialized trace (the trace holds
+    /// records, not fabric counters).
+    pub interconnect: InterconnectStats,
 }
 
 impl RunArtifacts {
+    /// The run's file/metric tag (see [`ExperimentConfig::tag`]).
+    /// Artifacts do not record whether the workload was weak-scaled;
+    /// any non-default machine gets the suffixed form, which is what
+    /// the sweep produces anyway.
+    pub fn tag(&self) -> String {
+        tag_for(self.workload, &self.machine_config, false)
+    }
+
     /// Total remote (inter-cluster) fills across CPUs (cluster mode).
     pub fn remote_fills(&self) -> u64 {
         self.cpu_counters.iter().map(|c| c.remote_fills).sum()
@@ -176,7 +243,7 @@ impl RunArtifacts {
 ///
 /// The run is fully deterministic for a given configuration.
 pub fn run(config: &ExperimentConfig) -> RunArtifacts {
-    run_with(config, config.workload.build())
+    run_with(config, config.build_workload())
 }
 
 /// Runs an experiment with an explicitly built workload (for variants
@@ -343,6 +410,7 @@ impl PreparedRun {
             .collect();
         self.machine.monitor_mut().clear_sink();
         RunArtifacts {
+            interconnect: self.machine.interconnect(),
             trace_records: self.machine.monitor().total_seen(),
             trace: self.machine.monitor_mut().dump(),
             os_stats,

@@ -398,6 +398,30 @@ pub fn assemble_run_obs(
         );
     }
 
+    // Interconnect occupancy: uniform across backends, with the
+    // directory's message mix on top when the run used mesi-dir.
+    metrics.add("machine.cpus", art.machine_config.num_cpus as u64);
+    metrics.add(
+        "machine.interconnect.transactions",
+        art.interconnect.transactions,
+    );
+    metrics.add(
+        "machine.interconnect.arbitration_wait",
+        art.interconnect.arbitration_wait,
+    );
+    if let Some(d) = &art.interconnect.dir {
+        let k = |leaf: &str| format!("machine.coherence.dir.{leaf}");
+        metrics.add(&k("banks"), art.machine_config.dir_banks as u64);
+        metrics.add(&k("get_s"), d.get_s);
+        metrics.add(&k("get_x"), d.get_x);
+        metrics.add(&k("upgrades"), d.upgrades);
+        metrics.add(&k("writebacks"), d.writebacks);
+        metrics.add(&k("uncached"), d.uncached);
+        metrics.add(&k("invals_sent"), d.invals_sent);
+        metrics.add(&k("forwards"), d.forwards);
+        metrics.add(&k("bank_wait"), d.bank_wait);
+    }
+
     // Kernel-side probes: invisible to the monitor (the sync bus the
     // locks ride is untraced), so they come from the OS itself.
     let mut lock_profiles = Vec::new();
@@ -558,8 +582,7 @@ pub fn merge_provenance_json(outputs: &[ReportOutput]) -> String {
     let mut merged = Metrics::new();
     for out in outputs {
         if let Some(p) = &out.provenance {
-            let tag = out.kind.label().to_lowercase();
-            merged.merge_prefixed(&format!("{tag}."), p);
+            merged.merge_prefixed(&format!("{}.", out.tag), p);
         }
     }
     merged.to_json()
@@ -570,7 +593,7 @@ pub fn merge_provenance_json(outputs: &[ReportOutput]) -> String {
 /// only what the monitor saw, and lock traffic rides the untraced
 /// synchronization bus.
 pub fn obs_from_artifacts(art: &RunArtifacts, an: &TraceAnalysis) -> RunObs {
-    let tag = art.workload.label().to_lowercase();
+    let tag = art.tag();
     let mut b = TimelineBuilder::new(art.machine_config.num_cpus as usize, art.measure_start);
     b.push_chunk(&art.trace);
     let (timeline, metrics) = b.finish(art.measure_end);
@@ -598,8 +621,7 @@ pub fn merge_metrics_json(outputs: &[ReportOutput]) -> String {
     let mut merged = Metrics::new();
     for out in outputs {
         if let Some(obs) = &out.obs {
-            let tag = out.kind.label().to_lowercase();
-            merged.merge_prefixed(&format!("{tag}."), &obs.metrics);
+            merged.merge_prefixed(&format!("{}.", out.tag), &obs.metrics);
         }
     }
     merged.to_json()
@@ -799,6 +821,7 @@ mod tests {
     fn merge_helpers_tolerate_missing_obs() {
         let out = ReportOutput {
             kind: oscar_workloads::WorkloadKind::Pmake,
+            tag: "pmake".into(),
             report: String::new(),
             csv: Vec::new(),
             trace_blob: None,

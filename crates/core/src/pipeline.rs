@@ -231,7 +231,7 @@ pub fn run_streaming(
     config: &ExperimentConfig,
     opts: &StreamOptions,
 ) -> (RunArtifacts, TraceAnalysis) {
-    run_streaming_with(config, || config.workload.build(), opts)
+    run_streaming_with(config, || config.build_workload(), opts)
 }
 
 /// [`run_streaming`] with an explicit workload builder (the analogue of
@@ -262,7 +262,7 @@ pub fn run_streaming_rows(
 ) -> (RunArtifacts, TraceAnalysis) {
     run_streaming_inner(
         config,
-        || config.workload.build(),
+        || config.build_workload(),
         opts,
         Some((filter, sink)),
     )
@@ -507,7 +507,7 @@ fn run_streaming_inner(
             art.trace = kept;
         }
         if let (Some(p), Some((timeline, mut metrics))) = (pobs, built) {
-            let tag = config.workload.label().to_lowercase();
+            let tag = config.tag();
             p.export_into(&mut metrics);
             if let Some(cs) = &art.checkpoint {
                 cs.export_into(&mut metrics);

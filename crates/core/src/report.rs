@@ -574,6 +574,21 @@ pub fn render_all(art: &RunArtifacts, an: &TraceAnalysis) -> String {
         art.measure_end - art.measure_start,
         art.trace_records
     );
+    // Non-default machines announce themselves; the paper's 4D/340
+    // stays silent so historical report snapshots are byte-identical.
+    let mc = &art.machine_config;
+    if *mc != oscar_machine::MachineConfig::sgi_4d340() {
+        let _ = writeln!(
+            s,
+            "machine: {} CPUs, {} coherence{}",
+            mc.num_cpus,
+            mc.coherence,
+            match mc.coherence {
+                oscar_machine::Coherence::Snoop => String::new(),
+                oscar_machine::Coherence::MesiDir => format!(" ({} directory banks)", mc.dir_banks),
+            }
+        );
+    }
     s += &render_table1(art, an);
     s += &render_fig1(art, an);
     s += &render_fig2(art, an);

@@ -193,6 +193,7 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         obs: None,
         epoch_phases: Vec::new(),
         checkpoint: None,
+        interconnect: Default::default(),
     })
 }
 

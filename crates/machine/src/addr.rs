@@ -183,7 +183,7 @@ impl fmt::Display for BlockAddr {
     }
 }
 
-/// A CPU identifier (0-based; the 4D/340 has four CPUs).
+/// A CPU identifier (0-based; the default 4D/340 machine has four CPUs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CpuId(pub u8);
 

@@ -1,0 +1,317 @@
+//! The directory/MESI interconnect fabric.
+//!
+//! An alternative to the snooping [`Bus`](crate::bus::Bus) for machines
+//! too large to snoop: block homes are interleaved across independent
+//! directory banks, each of which serializes the requests it is home
+//! to. The protocol state lives where it always did — a block dirty in
+//! exactly one L2 is *Modified*, clean in exactly one is *Exclusive*,
+//! clean in several is *Shared* — and the directory's sharer vector is
+//! the [`SharerDir`](crate::machine::Machine) mask that the snooping
+//! machine already maintains as a presence filter. What changes is the
+//! *transport*: instead of one broadcast medium that every request
+//! occupies, a request occupies only its home bank, invalidations and
+//! dirty-owner forwards become point-to-point messages with their own
+//! latency, and contention shows up as per-bank queueing
+//! ([`DirStats::bank_wait`]) rather than bus arbitration.
+//!
+//! The timing model deliberately has the same *shape* as the bus
+//! (`docs/COHERENCE.md` tabulates both): under the bus-equivalent
+//! preset ([`MachineConfig::mesi_dir_bus_equivalent`]) — one bank,
+//! bus-equal service times — the two backends are cycle-for-cycle
+//! identical, which is what the differential suite in `tests/scale.rs`
+//! pins down.
+//!
+//! [`MachineConfig::mesi_dir_bus_equivalent`]: crate::config::MachineConfig::mesi_dir_bus_equivalent
+
+use crate::addr::BlockAddr;
+use crate::bus::{BusGrant, BusKind};
+use crate::config::MachineConfig;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
+
+/// Message and occupancy counters of the directory fabric.
+///
+/// The first five mirror the bus transaction kinds one-to-one (so the
+/// paper's bus-occupancy exhibits keep their meaning under either
+/// backend); the last three are directory-only traffic that a bus gets
+/// for free by broadcasting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Read-shared requests (GetS): instruction and data read fills.
+    pub get_s: u64,
+    /// Read-exclusive requests (GetX): write-miss fills.
+    pub get_x: u64,
+    /// Upgrade requests (write hit on a Shared line).
+    pub upgrades: u64,
+    /// Memory-update messages (dirty victims and owner flushes).
+    pub writebacks: u64,
+    /// Uncached reads routed through the home bank.
+    pub uncached: u64,
+    /// Invalidation messages sent to sharers (one per invalidated
+    /// cache, counted at the directory).
+    pub invals_sent: u64,
+    /// Dirty-owner interventions: the home forwarded the request to the
+    /// Modified holder, which supplied the data.
+    pub forwards: u64,
+    /// Total cycles requests spent queued on a busy home bank (the
+    /// directory analogue of bus arbitration wait).
+    pub bank_wait: u64,
+}
+
+impl DirStats {
+    /// Total request messages (the directory analogue of bus
+    /// transactions).
+    pub fn requests(&self) -> u64 {
+        self.get_s + self.get_x + self.upgrades + self.writebacks + self.uncached
+    }
+}
+
+/// The banked directory interconnect.
+///
+/// Bank `block % num_banks` is home to a block; each bank is an
+/// independent occupancy timeline, so requests to different banks
+/// proceed in parallel where the bus would serialize them.
+#[derive(Debug, Clone)]
+pub struct DirFabric {
+    /// Per-bank occupancy horizon (cycle at which the bank frees up).
+    busy_until: Vec<u64>,
+    occupancy_cycles: u64,
+    fill_cycles: u64,
+    forward_cycles: u64,
+    uncached_cycles: u64,
+    occupied_cycles: u64,
+    stats: DirStats,
+}
+
+impl DirFabric {
+    /// Builds the fabric from the directory knobs of `config`.
+    pub fn new(config: &MachineConfig) -> Self {
+        DirFabric {
+            busy_until: vec![0; config.dir_banks.max(1) as usize],
+            occupancy_cycles: config.dir_occupancy_cycles,
+            fill_cycles: config.dir_fill_cycles,
+            forward_cycles: config.dir_forward_cycles,
+            uncached_cycles: config.uncached_read_cycles,
+            occupied_cycles: 0,
+            stats: DirStats::default(),
+        }
+    }
+
+    #[inline]
+    fn bank_of(&self, block: BlockAddr) -> usize {
+        (block.0 % self.busy_until.len() as u64) as usize
+    }
+
+    /// Services one request at `now` against `block`'s home bank.
+    /// Same contract as [`Bus::transact`](crate::bus::Bus::transact);
+    /// the extra `block` argument picks the bank.
+    pub fn transact(&mut self, now: u64, kind: BusKind, block: BlockAddr) -> BusGrant {
+        let bank = self.bank_of(block);
+        let start = now.max(self.busy_until[bank]);
+        let wait = start - now;
+        self.stats.bank_wait += wait;
+        let (occupy, stall) = match kind {
+            BusKind::Read => {
+                self.stats.get_s += 1;
+                (self.occupancy_cycles, wait + self.fill_cycles)
+            }
+            BusKind::ReadEx => {
+                self.stats.get_x += 1;
+                (self.occupancy_cycles, wait + self.fill_cycles)
+            }
+            // An upgrade occupies the home for one invalidation round
+            // trip; the requester still waits a full fill time for the
+            // acknowledgements, as on the bus.
+            BusKind::Upgrade => {
+                self.stats.upgrades += 1;
+                (self.forward_cycles, wait + self.fill_cycles)
+            }
+            BusKind::WriteBack => {
+                self.stats.writebacks += 1;
+                (self.occupancy_cycles, 0)
+            }
+            BusKind::UncachedRead => {
+                self.stats.uncached += 1;
+                (self.occupancy_cycles / 2, wait + self.uncached_cycles)
+            }
+        };
+        self.busy_until[bank] = start + occupy;
+        self.occupied_cycles += occupy;
+        BusGrant { start, stall }
+    }
+
+    /// Extra requester stall when a Modified holder must supply the
+    /// data (the three-hop penalty).
+    pub fn forward_penalty(&self) -> u64 {
+        self.forward_cycles
+    }
+
+    /// Notes a dirty-owner intervention.
+    pub fn note_forward(&mut self) {
+        self.stats.forwards += 1;
+    }
+
+    /// Notes `n` invalidation messages sent to sharers.
+    pub fn note_invals(&mut self, n: u64) {
+        self.stats.invals_sent += n;
+    }
+
+    /// Message counters.
+    pub fn stats(&self) -> &DirStats {
+        &self.stats
+    }
+
+    /// Total cycles any bank was occupied (summed across banks).
+    pub fn occupied_cycles(&self) -> u64 {
+        self.occupied_cycles
+    }
+
+    /// Number of home banks.
+    pub fn num_banks(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Serializes the dynamic fabric state (bank horizons and
+    /// counters); service times are configuration and are not written.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.busy_until.len());
+        for &b in &self.busy_until {
+            w.u64(b);
+        }
+        w.u64(self.occupied_cycles);
+        let s = &self.stats;
+        for v in [
+            s.get_s,
+            s.get_x,
+            s.upgrades,
+            s.writebacks,
+            s.uncached,
+            s.invals_sent,
+            s.forwards,
+            s.bank_wait,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Restores state written by [`DirFabric::save`] into a fabric
+    /// built from the same configuration.
+    pub fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.usize()? != self.busy_until.len() {
+            return Err(SnapError::Corrupt("directory bank count"));
+        }
+        for b in &mut self.busy_until {
+            *b = r.u64()?;
+        }
+        self.occupied_cycles = r.u64()?;
+        let s = &mut self.stats;
+        s.get_s = r.u64()?;
+        s.get_x = r.u64()?;
+        s.upgrades = r.u64()?;
+        s.writebacks = r.u64()?;
+        s.uncached = r.u64()?;
+        s.invals_sent = r.u64()?;
+        s.forwards = r.u64()?;
+        s.bank_wait = r.u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(banks: u16) -> DirFabric {
+        let mut c = MachineConfig::mesi_dir(8);
+        c.dir_banks = banks;
+        DirFabric::new(&c)
+    }
+
+    #[test]
+    fn uncontended_fill_stalls_for_fill_latency() {
+        let mut d = fabric(4);
+        let g = d.transact(100, BusKind::Read, BlockAddr(7));
+        assert_eq!(g.start, 100);
+        assert_eq!(g.stall, d.fill_cycles);
+        assert_eq!(d.stats().get_s, 1);
+    }
+
+    #[test]
+    fn different_banks_do_not_queue() {
+        let mut d = fabric(4);
+        d.transact(100, BusKind::Read, BlockAddr(0));
+        let g = d.transact(100, BusKind::Read, BlockAddr(1));
+        assert_eq!(g.start, 100, "distinct home banks proceed in parallel");
+        assert_eq!(d.stats().bank_wait, 0);
+    }
+
+    #[test]
+    fn same_bank_queues_like_a_bus() {
+        let mut d = fabric(4);
+        d.transact(100, BusKind::Read, BlockAddr(4));
+        let g = d.transact(100, BusKind::Read, BlockAddr(8));
+        assert_eq!(
+            g.start,
+            100 + d.occupancy_cycles,
+            "blocks 4 and 8 share bank 0"
+        );
+        assert_eq!(d.stats().bank_wait, d.occupancy_cycles);
+    }
+
+    #[test]
+    fn bus_equivalent_preset_reproduces_bus_timing() {
+        let c = MachineConfig::mesi_dir_bus_equivalent(4);
+        let mut d = DirFabric::new(&c);
+        let mut bus = crate::bus::Bus::new(
+            c.bus_fill_cycles,
+            c.bus_occupancy_cycles,
+            c.uncached_read_cycles,
+        );
+        // Any block sequence lands on the single bank, so grants match
+        // the bus transaction for transaction.
+        let kinds = [
+            BusKind::Read,
+            BusKind::ReadEx,
+            BusKind::Upgrade,
+            BusKind::WriteBack,
+            BusKind::UncachedRead,
+            BusKind::Read,
+        ];
+        for (i, &k) in kinds.iter().enumerate() {
+            let now = 10 * i as u64;
+            let bg = bus.transact(now, k);
+            let dg = d.transact(now, k, BlockAddr(i as u64 * 97));
+            assert_eq!(bg, dg, "kind {k:?}");
+        }
+        assert_eq!(d.forward_penalty(), c.bus_occupancy_cycles / 2);
+    }
+
+    #[test]
+    fn writeback_occupies_but_does_not_stall() {
+        let mut d = fabric(1);
+        let g = d.transact(50, BusKind::WriteBack, BlockAddr(3));
+        assert_eq!(g.stall, 0);
+        let g2 = d.transact(50, BusKind::Read, BlockAddr(9));
+        assert_eq!(g2.start, 50 + d.occupancy_cycles);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut d = fabric(4);
+        for i in 0..20u64 {
+            d.transact(i * 3, BusKind::Read, BlockAddr(i));
+        }
+        d.note_forward();
+        d.note_invals(5);
+        let mut w = SnapWriter::new();
+        d.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut d2 = fabric(4);
+        let mut r = SnapReader::new(&bytes);
+        d2.load(&mut r).unwrap();
+        r.expect_end().unwrap();
+        let mut w2 = SnapWriter::new();
+        d2.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(d2.stats(), d.stats());
+    }
+}

@@ -6,14 +6,19 @@
 //! the Caching and Synchronization Performance of a Multiprocessor
 //! Operating System"* (ASPLOS 1992).
 //!
-//! The machine has:
+//! The machine defaults to the paper's 4D/340 but every axis is a
+//! first-class [`MachineConfig`] knob — CPU count (4…64 in the
+//! scalability study), cache geometry, and the coherence backend:
 //!
-//! * four CPUs (configurable), each with a 64 KB direct-mapped
-//!   instruction cache and a two-level data cache (64 KB write-through
-//!   first level, 256 KB write-back second level), 16-byte blocks,
-//!   physically addressed;
-//! * a shared memory bus with snooping write-invalidate coherence and a
-//!   35-cycle fill penalty;
+//! * per-CPU, a 64 KB direct-mapped instruction cache and a two-level
+//!   data cache (64 KB write-through first level, 256 KB write-back
+//!   second level), 16-byte blocks, physically addressed;
+//! * either a shared memory bus with snooping write-invalidate
+//!   coherence and a 35-cycle fill penalty
+//!   ([`Coherence::Snoop`](config::Coherence)), or a banked
+//!   directory/MESI fabric ([`Coherence::MesiDir`](config::Coherence),
+//!   [`dir::DirFabric`]) with point-to-point invalidations and
+//!   dirty-owner forwarding;
 //! * a separate synchronization bus, invisible to the monitor;
 //! * 64-entry fully-associative per-CPU TLBs managed by software;
 //! * a bus monitor that records `(time, cpu, physical address, kind)`
@@ -42,6 +47,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod config;
+pub mod dir;
 pub mod fasthash;
 pub mod machine;
 pub mod monitor;
@@ -50,8 +56,9 @@ pub mod tlb;
 
 pub use addr::{BlockAddr, CpuId, PAddr, Ppn, VAddr, Vpn};
 pub use bus::BusKind;
-pub use config::{CacheConfig, MachineConfig};
-pub use machine::{AccessOutcome, CpuCounters, HitLevel, Machine};
+pub use config::{CacheConfig, Coherence, MachineConfig};
+pub use dir::{DirFabric, DirStats};
+pub use machine::{AccessOutcome, CpuCounters, HitLevel, InterconnectStats, Machine, MesiState};
 pub use monitor::{BufferMode, BusRecord, FilteredSink, RecordFilter, TraceBuffer, TraceSink};
 pub use snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
 pub use tlb::{Tlb, TlbEntry};

@@ -1,18 +1,27 @@
-//! The assembled multiprocessor: per-CPU cache hierarchies, the snooping
-//! coherence protocol, the shared bus, the synchronization bus and the
-//! bus monitor.
+//! The assembled multiprocessor: per-CPU cache hierarchies, the
+//! coherence protocol, the interconnect (snooping bus or directory
+//! fabric), the synchronization bus and the bus monitor.
 //!
 //! Coherence follows the machine described in the paper: first-level data
 //! caches are write-through (and therefore never dirty); second-level
-//! data caches are write-back and snooped with a write-invalidate
-//! protocol. Instruction caches are not snooped — stale code is removed
-//! by explicit invalidation when the OS reallocates a code page, which is
+//! data caches are write-back with a write-invalidate protocol.
+//! Instruction caches are not snooped — stale code is removed by
+//! explicit invalidation when the OS reallocates a code page, which is
 //! what produces the paper's *Inval* misses.
+//!
+//! The invalidate protocol runs over one of two interconnects, chosen
+//! by [`MachineConfig::coherence`](crate::config::Coherence): the
+//! paper's snooping [`Bus`], or the banked directory/MESI
+//! [`DirFabric`] for machines past snooping scale
+//! (`docs/COHERENCE.md`). Both produce the same monitor record
+//! stream shapes, so the paper's postprocessing pipeline is
+//! backend-agnostic.
 
 use crate::addr::{BlockAddr, CpuId, PAddr, Ppn};
-use crate::bus::{Bus, BusKind};
+use crate::bus::{Bus, BusGrant, BusKind};
 use crate::cache::{Cache, Lookup};
-use crate::config::MachineConfig;
+use crate::config::{Coherence, MachineConfig};
+use crate::dir::{DirFabric, DirStats};
 use crate::monitor::{BufferMode, BusRecord, TraceBuffer};
 use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::tlb::Tlb;
@@ -175,6 +184,86 @@ impl Iterator for SnoopSet {
     }
 }
 
+/// The MESI state of a block in one CPU's data-cache hierarchy, derived
+/// from the L2 tags and the sharer directory. The simulator does not
+/// store a separate state field: a dirty line is *Modified*, a clean
+/// line with no other holder is *Exclusive*, a clean line with other
+/// holders is *Shared* — exactly the invariant the write-invalidate
+/// protocol maintains on both interconnects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiState {
+    /// Dirty, sole holder.
+    Modified,
+    /// Clean, sole holder (a write needs no interconnect traffic —
+    /// which is why the two backends agree on upgrade counts).
+    Exclusive,
+    /// Clean, held by more than one cache.
+    Shared,
+    /// Not resident.
+    Invalid,
+}
+
+/// The interconnect that carries coherence traffic: the paper's
+/// snooping bus, or the directory fabric for scaled machines. Both
+/// expose the same transaction interface so [`Machine::data_access`]
+/// and [`Machine::fetch`] are backend-agnostic; the directory
+/// additionally routes by block home and counts protocol messages.
+#[derive(Debug)]
+enum Fabric {
+    Bus(Bus),
+    Dir(DirFabric),
+}
+
+impl Fabric {
+    fn transact(&mut self, now: u64, kind: BusKind, block: BlockAddr) -> BusGrant {
+        match self {
+            Fabric::Bus(b) => b.transact(now, kind),
+            Fabric::Dir(d) => d.transact(now, kind, block),
+        }
+    }
+
+    /// Extra requester stall while a dirty owner supplies the line: the
+    /// snoop flush on the bus, the three-hop forward on the directory.
+    fn flush_penalty(&self, bus_occupancy_cycles: u64) -> u64 {
+        match self {
+            Fabric::Bus(_) => bus_occupancy_cycles / 2,
+            Fabric::Dir(d) => d.forward_penalty(),
+        }
+    }
+
+    fn note_forward(&mut self) {
+        if let Fabric::Dir(d) = self {
+            d.note_forward();
+        }
+    }
+
+    fn note_invals(&mut self, n: u64) {
+        if let Fabric::Dir(d) = self {
+            d.note_invals(n);
+        }
+    }
+
+    fn transactions(&self) -> u64 {
+        match self {
+            Fabric::Bus(b) => b.transactions(),
+            Fabric::Dir(d) => d.stats().requests(),
+        }
+    }
+}
+
+/// Interconnect occupancy summary, uniform across backends (what
+/// replaces "bus occupancy" when the machine has no bus).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterconnectStats {
+    /// Total transactions/requests serviced.
+    pub transactions: u64,
+    /// Total cycles requesters spent waiting for the medium (bus
+    /// arbitration or directory bank queueing).
+    pub arbitration_wait: u64,
+    /// Directory message counters; `None` on the snooping bus.
+    pub dir: Option<DirStats>,
+}
+
 /// The simulated multiprocessor.
 ///
 /// # Examples
@@ -193,7 +282,7 @@ impl Iterator for SnoopSet {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
-    bus: Bus,
+    fabric: Fabric,
     sync_busy_until: u64,
     cpus: Vec<CpuCore>,
     monitor: TraceBuffer,
@@ -209,6 +298,10 @@ pub struct Machine {
 impl Machine {
     /// Builds the machine with an unbounded monitor buffer (analysis
     /// mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MachineConfig::validate`].
     pub fn new(config: MachineConfig) -> Self {
         Self::with_buffer(config, BufferMode::Unbounded)
     }
@@ -216,7 +309,14 @@ impl Machine {
     /// Builds the machine with an explicit monitor buffer mode (use
     /// [`BufferMode::Bounded`] to exercise the master-process dump
     /// protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MachineConfig::validate`].
     pub fn with_buffer(config: MachineConfig, mode: BufferMode) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
         let cpus = (0..config.num_cpus)
             .map(|_| CpuCore {
                 icache: Cache::new(config.icache),
@@ -229,12 +329,16 @@ impl Machine {
             })
             .collect();
         let page_home = vec![0u8; config.num_pages() as usize];
-        Machine {
-            bus: Bus::new(
+        let fabric = match config.coherence {
+            Coherence::Snoop => Fabric::Bus(Bus::new(
                 config.bus_fill_cycles,
                 config.bus_occupancy_cycles,
                 config.uncached_read_cycles,
-            ),
+            )),
+            Coherence::MesiDir => Fabric::Dir(DirFabric::new(&config)),
+        };
+        Machine {
+            fabric,
             sync_busy_until: 0,
             cpus,
             monitor: TraceBuffer::new(mode),
@@ -380,7 +484,7 @@ impl Machine {
             }
             Lookup::Miss { .. } => {
                 // I-caches hold clean code only: victims are silent.
-                let grant = self.bus.transact(now, BusKind::Read);
+                let grant = self.fabric.transact(now, BusKind::Read, block);
                 self.record(cpu, grant.start, block.base(), BusKind::Read);
                 let remote = self.remote_penalty(cpu, paddr);
                 let core = &mut self.cpus[idx];
@@ -439,7 +543,7 @@ impl Machine {
             if write {
                 // Write hit: if any other cache holds the line, upgrade.
                 if self.any_other_sharer(idx, block) {
-                    let grant = self.bus.transact(now, BusKind::Upgrade);
+                    let grant = self.fabric.transact(now, BusKind::Upgrade, block);
                     self.record(cpu, grant.start, block.base(), BusKind::Upgrade);
                     self.invalidate_others(idx, block);
                     self.cpus[idx].counters.upgrades += 1;
@@ -475,26 +579,27 @@ impl Machine {
             };
         }
 
-        // L2 miss: go to the bus. With a write buffer, write fills
-        // overlap with computation and stall only partially.
+        // L2 miss: go to the interconnect. With a write buffer, write
+        // fills overlap with computation and stall only partially.
         let kind = if write {
             BusKind::ReadEx
         } else {
             BusKind::Read
         };
-        let mut grant = self.bus.transact(now, kind);
+        let mut grant = self.fabric.transact(now, kind, block);
         if write && self.config.write_stall_pct < 100 {
             grant.stall = grant.stall * self.config.write_stall_pct as u64 / 100;
         }
         self.record(cpu, grant.start, block.base(), kind);
 
-        // Snoop: a dirty copy elsewhere is flushed to memory first. The
-        // sharer directory narrows this to CPUs that actually hold the
-        // line; non-holders can never be dirty.
+        // A dirty copy elsewhere supplies the line and updates memory
+        // first: the snoop flush on the bus, the dirty-owner forward on
+        // the directory. The sharer directory narrows this to CPUs that
+        // actually hold the line; non-holders can never be dirty.
         let mut extra_stall = 0;
         for j in self.other_holders(idx, block) {
             if self.cpus[j].l2d.probe_dirty(block) {
-                let wb_grant = self.bus.transact(grant.start, BusKind::WriteBack);
+                let wb_grant = self.fabric.transact(grant.start, BusKind::WriteBack, block);
                 self.record(
                     CpuId(j as u8),
                     wb_grant.start,
@@ -503,8 +608,9 @@ impl Machine {
                 );
                 self.cpus[j].l2d.clean(block);
                 self.cpus[j].counters.writebacks += 1;
-                // The requester waits for the flush.
-                extra_stall += self.config.bus_occupancy_cycles / 2;
+                // The requester waits for the flush/forward.
+                extra_stall += self.fabric.flush_penalty(self.config.bus_occupancy_cycles);
+                self.fabric.note_forward();
             }
         }
         if write {
@@ -519,7 +625,9 @@ impl Machine {
             // Inclusion: the L1 must not keep a line the L2 dropped.
             self.cpus[idx].l1d.invalidate(v.block);
             if v.dirty {
-                let wb_grant = self.bus.transact(grant.start, BusKind::WriteBack);
+                let wb_grant = self
+                    .fabric
+                    .transact(grant.start, BusKind::WriteBack, v.block);
                 self.record(cpu, wb_grant.start, v.block.base(), BusKind::WriteBack);
                 self.cpus[idx].counters.writebacks += 1;
             }
@@ -564,11 +672,13 @@ impl Machine {
     }
 
     fn invalidate_others(&mut self, idx: usize, block: BlockAddr) {
+        let mut caches_hit = 0;
         for j in self.other_holders(idx, block) {
             let mut lost = 0;
             if self.cpus[j].l2d.invalidate(block).is_some() {
                 lost += 1;
                 self.sharers.clear(block, j);
+                caches_hit += 1;
             } else {
                 debug_assert!(
                     !self.sharers.enabled,
@@ -583,6 +693,9 @@ impl Machine {
             }
             self.cpus[j].counters.snoop_invalidations += lost;
         }
+        // On the directory these are point-to-point messages, one per
+        // holding cache; the bus broadcasts and counts nothing.
+        self.fabric.note_invals(caches_hit);
     }
 
     /// Issues an uncached byte read (an escape reference). The address is
@@ -591,7 +704,9 @@ impl Machine {
     pub fn uncached_read(&mut self, cpu: CpuId, paddr: PAddr) -> AccessOutcome {
         let idx = cpu.index();
         let now = self.cpus[idx].now;
-        let grant = self.bus.transact(now, BusKind::UncachedRead);
+        let grant = self
+            .fabric
+            .transact(now, BusKind::UncachedRead, paddr.block());
         self.record(cpu, grant.start, paddr, BusKind::UncachedRead);
         let core = &mut self.cpus[idx];
         core.counters.uncached_reads += 1;
@@ -644,9 +759,45 @@ impl Machine {
         self.cpus[cpu.index()].icache.probe(block)
     }
 
-    /// Total bus transactions serviced so far.
+    /// Total interconnect transactions serviced so far (bus
+    /// transactions or directory requests, depending on the backend).
     pub fn bus_transactions(&self) -> u64 {
-        self.bus.transactions()
+        self.fabric.transactions()
+    }
+
+    /// Interconnect occupancy summary, uniform across backends.
+    pub fn interconnect(&self) -> InterconnectStats {
+        match &self.fabric {
+            Fabric::Bus(b) => InterconnectStats {
+                transactions: b.transactions(),
+                arbitration_wait: b.arbitration_wait(),
+                dir: None,
+            },
+            Fabric::Dir(d) => InterconnectStats {
+                transactions: d.stats().requests(),
+                arbitration_wait: d.stats().bank_wait,
+                dir: Some(*d.stats()),
+            },
+        }
+    }
+
+    /// The MESI state of `block` in `cpu`'s data-cache hierarchy,
+    /// derived from the L2 tags and the sharer directory (see
+    /// [`MesiState`]). Meaningful on both backends — the snooping
+    /// protocol maintains the same single-writer invariant.
+    pub fn mesi_state(&self, cpu: CpuId, block: BlockAddr) -> MesiState {
+        let idx = cpu.index();
+        if !self.cpus[idx].l2d.probe(block) {
+            return MesiState::Invalid;
+        }
+        if self.cpus[idx].l2d.probe_dirty(block) {
+            return MesiState::Modified;
+        }
+        if self.any_other_sharer(idx, block) {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        }
     }
 
     /// Disables the sharer presence directory, forcing every snoop to
@@ -698,7 +849,10 @@ impl Machine {
             w.u64(c.remote_fills);
             w.u64(core.last_ifetch);
         }
-        self.bus.save(w);
+        match &self.fabric {
+            Fabric::Bus(b) => b.save(w),
+            Fabric::Dir(d) => d.save(w),
+        }
         w.u64(self.sync_busy_until);
         w.bytes(&self.page_home);
         // The sharer directory is block-indexed and mostly zero (bounded
@@ -751,7 +905,10 @@ impl Machine {
             c.remote_fills = r.u64()?;
             core.last_ifetch = r.u64()?;
         }
-        m.bus.load(r)?;
+        match &mut m.fabric {
+            Fabric::Bus(b) => b.load(r)?,
+            Fabric::Dir(d) => d.load(r)?,
+        }
         m.sync_busy_until = r.u64()?;
         let page_home = r.bytes()?;
         if page_home.len() != m.page_home.len() {
@@ -976,6 +1133,112 @@ mod tests {
             assert_eq!(o1, o2, "step {i}");
         }
         assert_eq!(m.monitor().records(), m2.monitor().records());
+    }
+
+    #[test]
+    fn mesi_state_probe_tracks_protocol() {
+        for config in [
+            MachineConfig::sgi_4d340(),
+            MachineConfig::mesi_dir_bus_equivalent(4),
+        ] {
+            let mut m = Machine::new(config);
+            let a = PAddr::new(0xc000);
+            assert_eq!(m.mesi_state(C0, a.block()), MesiState::Invalid);
+            m.data_access(C0, a, false, 1);
+            assert_eq!(m.mesi_state(C0, a.block()), MesiState::Exclusive);
+            m.data_access(C1, a, false, 1);
+            assert_eq!(m.mesi_state(C0, a.block()), MesiState::Shared);
+            assert_eq!(m.mesi_state(C1, a.block()), MesiState::Shared);
+            m.data_access(C1, a, true, 1);
+            assert_eq!(m.mesi_state(C1, a.block()), MesiState::Modified);
+            assert_eq!(m.mesi_state(C0, a.block()), MesiState::Invalid);
+        }
+    }
+
+    #[test]
+    fn silent_exclusive_to_modified_needs_no_traffic() {
+        // The E→M transition is silent on both backends: the snoop
+        // suppresses the upgrade because no other cache holds the line,
+        // the directory because the requester is the sole sharer.
+        for config in [MachineConfig::sgi_4d340(), MachineConfig::mesi_dir(4)] {
+            let mut m = Machine::new(config);
+            let a = PAddr::new(0xd000);
+            m.data_access(C0, a, false, 1);
+            let before = m.monitor().len();
+            let out = m.data_access(C0, a, true, 1);
+            assert!(!out.upgraded);
+            assert_eq!(m.monitor().len(), before, "E→M is invisible");
+            assert_eq!(m.mesi_state(C0, a.block()), MesiState::Modified);
+        }
+    }
+
+    #[test]
+    fn bus_equivalent_directory_matches_snoop_cycle_for_cycle() {
+        let mut snoop = Machine::new(MachineConfig::sgi_4d340());
+        let mut dir = Machine::new(MachineConfig::mesi_dir_bus_equivalent(4));
+        for i in 0..3000u64 {
+            let cpu = snoop.earliest_cpu();
+            assert_eq!(cpu, dir.earliest_cpu(), "step {i}");
+            let (o1, o2) = match i % 7 {
+                0 | 1 => {
+                    let a = PAddr::new(0x2000 + (i % 113) * 16);
+                    (snoop.fetch(cpu, a, 4), dir.fetch(cpu, a, 4))
+                }
+                6 => {
+                    let a = PAddr::new(0x123 + i * 2);
+                    (snoop.uncached_read(cpu, a), dir.uncached_read(cpu, a))
+                }
+                _ => {
+                    // Small shared region: plenty of upgrades, sharing
+                    // misses and dirty-owner flushes.
+                    let a = PAddr::new(0x8000 + (i % 37) * 4096);
+                    let w = i % 3 == 0;
+                    (
+                        snoop.data_access(cpu, a, w, 1),
+                        dir.data_access(cpu, a, w, 1),
+                    )
+                }
+            };
+            assert_eq!(o1, o2, "step {i}");
+        }
+        assert_eq!(snoop.monitor().records(), dir.monitor().records());
+        let (si, di) = (snoop.interconnect(), dir.interconnect());
+        assert_eq!(si.transactions, di.transactions);
+        assert_eq!(si.arbitration_wait, di.arbitration_wait);
+        assert!(si.dir.is_none());
+        let stats = di.dir.expect("directory reports message stats");
+        assert!(stats.upgrades > 0 && stats.forwards > 0 && stats.invals_sent > 0);
+    }
+
+    #[test]
+    fn directory_snapshot_roundtrips() {
+        let mut m = Machine::new(MachineConfig::mesi_dir(8));
+        for i in 0..800u64 {
+            let cpu = m.earliest_cpu();
+            m.data_access(cpu, PAddr::new(0x8000 + (i % 53) * 4096), i % 3 == 0, 1);
+        }
+        let mut w = SnapWriter::new();
+        m.save_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let m2 =
+            Machine::restore_snapshot(m.config().clone(), BufferMode::Unbounded, &mut r).unwrap();
+        r.expect_end().unwrap();
+        let mut w2 = SnapWriter::new();
+        m2.save_snapshot(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(m2.interconnect(), m.interconnect());
+    }
+
+    #[test]
+    fn banked_directory_overlaps_independent_homes() {
+        let mut m = Machine::new(MachineConfig::mesi_dir(4));
+        // Two CPUs miss simultaneously on blocks homed on different
+        // banks: neither waits.
+        m.data_access(C0, PAddr::new(0x10_0000), false, 1);
+        m.data_access(C1, PAddr::new(0x10_0010), false, 1);
+        let stats = m.interconnect().dir.unwrap();
+        assert_eq!(stats.bank_wait, 0, "adjacent blocks land on distinct banks");
     }
 
     #[test]

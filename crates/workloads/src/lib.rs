@@ -94,6 +94,48 @@ impl WorkloadKind {
             WorkloadKind::Oracle => oracle(),
         }
     }
+
+    /// Builds the workload weak-scaled to a `num_cpus`-CPU machine:
+    /// per-CPU offered load matches the paper's 4-CPU mix, so the
+    /// scalability study measures the *system*, not a fixed job starved
+    /// or drowned by the machine size. At four CPUs this is exactly
+    /// [`WorkloadKind::build`] (the differential tests rely on that).
+    ///
+    /// The scaling rules, normalized to reproduce the paper at n = 4:
+    ///
+    /// * *Pmake*: 14·n files, `-J` 2·n;
+    /// * *Multpgm*: Mp3d with n workers, the scaled Pmake, and
+    ///   max(n + 1, 5) edit sessions;
+    /// * *Oracle*: 3·n server processes against the one shared SGA.
+    pub fn build_for(self, num_cpus: u8) -> Workload {
+        if num_cpus == 4 {
+            return self.build();
+        }
+        let n = num_cpus.max(1) as u32;
+        match self {
+            WorkloadKind::Pmake => Workload {
+                name: "Pmake",
+                tasks: vec![Box::new(MakeMaster::with_size(14 * n, 2 * n).looping())],
+            },
+            WorkloadKind::Multpgm => {
+                let mut tasks: Vec<Box<dyn UserTask>> = vec![
+                    Box::new(Mp3dMaster::with_workers(n)),
+                    Box::new(MakeMaster::with_size(14 * n, 2 * n).looping()),
+                ];
+                for session in 0..(n + 1).max(5) {
+                    tasks.push(Box::new(EdPair::new(session)));
+                }
+                Workload {
+                    name: "Multpgm",
+                    tasks,
+                }
+            }
+            WorkloadKind::Oracle => Workload {
+                name: "Oracle",
+                tasks: vec![Box::new(OracleMaster::with_servers(3 * n))],
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for WorkloadKind {
@@ -161,6 +203,31 @@ mod tests {
             let w = k.build();
             assert_eq!(w.name, k.label());
             assert!(!w.tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn build_for_reduces_to_the_paper_at_four_cpus() {
+        for k in WorkloadKind::ALL {
+            let scaled = k.build_for(4);
+            let paper = k.build();
+            assert_eq!(scaled.name, paper.name);
+            assert_eq!(scaled.tasks.len(), paper.tasks.len());
+        }
+    }
+
+    #[test]
+    fn build_for_scales_the_offered_load() {
+        assert_eq!(
+            multpgm().tasks.len(),
+            WorkloadKind::Multpgm.build_for(4).tasks.len()
+        );
+        // 16 CPUs: mp3d master + make master + 17 edit sessions.
+        assert_eq!(WorkloadKind::Multpgm.build_for(16).tasks.len(), 19);
+        // Masters fork the rest themselves on every size.
+        for n in [8u8, 32, 64] {
+            assert_eq!(WorkloadKind::Pmake.build_for(n).tasks.len(), 1);
+            assert_eq!(WorkloadKind::Oracle.build_for(n).tasks.len(), 1);
         }
     }
 

@@ -46,6 +46,7 @@ pub struct Mp3dMaster {
     forked: u32,
     state: MasterState,
     barrier: Rc<Barrier>,
+    workers: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +60,17 @@ enum MasterState {
 impl Mp3dMaster {
     /// A master with the paper's four workers.
     pub fn new() -> Self {
+        Self::with_workers(NUM_WORKERS)
+    }
+
+    /// A master forking `workers` workers instead of the paper's
+    /// [`NUM_WORKERS`] (the scalability study forks one per CPU).
+    pub fn with_workers(workers: u32) -> Self {
         Mp3dMaster {
             forked: 0,
             state: MasterState::Exec,
             barrier: Rc::new(Barrier::default()),
+            workers: workers.max(1),
         }
     }
 }
@@ -103,10 +111,12 @@ pub(crate) fn restore_master(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn Use
         _ => return Err(SnapError::Corrupt("mp3d master state")),
     };
     let barrier = load_barrier(r)?;
+    let workers = r.u32()?;
     Ok(Box::new(Mp3dMaster {
         forked,
         state,
         barrier,
+        workers,
     }))
 }
 
@@ -130,11 +140,13 @@ pub(crate) fn restore_worker(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn Use
     };
     let barrier = load_barrier(r)?;
     let my_round = r.u64()?;
+    let workers = r.u32()?;
     Ok(Box::new(Mp3dWorker {
         id,
         state,
         barrier,
         my_round,
+        workers,
     }))
 }
 
@@ -155,11 +167,15 @@ impl UserTask for Mp3dMaster {
                 }))
             }
             MasterState::Fork => {
-                if self.forked < NUM_WORKERS {
+                if self.forked < self.workers {
                     let w = self.forked;
                     self.forked += 1;
                     Some(UOp::Syscall(SysReq::Fork {
-                        child: Box::new(Mp3dWorker::with_barrier(w, Rc::clone(&self.barrier))),
+                        child: Box::new(Mp3dWorker::with_config(
+                            w,
+                            Rc::clone(&self.barrier),
+                            self.workers,
+                        )),
                     }))
                 } else {
                     self.state = MasterState::Wait;
@@ -183,6 +199,7 @@ impl UserTask for Mp3dMaster {
             MasterState::Wait => 3,
         });
         save_barrier(s, &self.barrier);
+        s.u32(self.workers);
         true
     }
 }
@@ -199,6 +216,7 @@ pub struct Mp3dWorker {
     state: WorkerState,
     barrier: Rc<Barrier>,
     my_round: u64,
+    workers: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,18 +246,25 @@ impl Mp3dWorker {
         Self::with_barrier(id, Rc::new(Barrier::default()))
     }
 
-    /// Worker `id` sharing `barrier` with its siblings.
+    /// Worker `id` sharing `barrier` with its siblings, in the paper's
+    /// [`NUM_WORKERS`]-way run.
     pub fn with_barrier(id: u32, barrier: Rc<Barrier>) -> Self {
+        Self::with_config(id, barrier, NUM_WORKERS)
+    }
+
+    /// Worker `id` of a `workers`-way run sharing `barrier`.
+    pub fn with_config(id: u32, barrier: Rc<Barrier>, workers: u32) -> Self {
         Mp3dWorker {
             id,
             state: WorkerState::Attach,
             barrier,
             my_round: 0,
+            workers: workers.max(1),
         }
     }
 
     fn my_particles(&self) -> (u64, u64) {
-        let per = NUM_PARTICLES / NUM_WORKERS as u64;
+        let per = NUM_PARTICLES / self.workers as u64;
         let base = self.id as u64 * per * PARTICLE_BYTES;
         (base, per * PARTICLE_BYTES)
     }
@@ -267,7 +292,7 @@ impl UserTask for Mp3dWorker {
                 self.barrier.arrived.set(self.barrier.arrived.get() + 1);
                 // A worker running alone (unit tests) opens its own
                 // barrier immediately.
-                if self.barrier.arrived.get() >= NUM_WORKERS {
+                if self.barrier.arrived.get() >= self.workers {
                     self.barrier.arrived.set(0);
                     self.barrier.round.set(self.my_round + 1);
                 }
@@ -396,6 +421,7 @@ impl UserTask for Mp3dWorker {
         }
         save_barrier(s, &self.barrier);
         s.u64(self.my_round);
+        s.u32(self.workers);
         true
     }
 }

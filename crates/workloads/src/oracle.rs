@@ -45,6 +45,7 @@ pub struct OracleMaster {
     state: MasterState,
     miss_pct: u32,
     file_blocks: u64,
+    servers: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,17 @@ impl OracleMaster {
             state: MasterState::Exec,
             miss_pct: 15,
             file_blocks: 256,
+            servers: SERVERS,
+        }
+    }
+
+    /// A master forking `servers` server processes instead of the
+    /// paper's [`SERVERS`] (the scalability study forks three per CPU,
+    /// preserving the paper's ratio on the 4-CPU machine).
+    pub fn with_servers(servers: u32) -> Self {
+        OracleMaster {
+            servers: servers.max(1),
+            ..Self::new()
         }
     }
 
@@ -79,6 +91,7 @@ impl OracleMaster {
             state: MasterState::Exec,
             miss_pct: 70,
             file_blocks: 4096,
+            servers: SERVERS,
         }
     }
 }
@@ -117,7 +130,7 @@ impl UserTask for OracleMaster {
                 Some(UOp::write(shm_at(SGA_SEG, page as u64 * 4096)))
             }
             MasterState::Fork => {
-                if self.forked < SERVERS {
+                if self.forked < self.servers {
                     let id = self.forked;
                     self.forked += 1;
                     Some(UOp::Syscall(SysReq::Fork {
@@ -154,6 +167,7 @@ impl UserTask for OracleMaster {
         }
         s.u32(self.miss_pct);
         s.u64(self.file_blocks);
+        s.u32(self.servers);
         true
     }
 }
@@ -170,11 +184,13 @@ pub(crate) fn restore_master(r: &mut TaskRestorer<'_, '_>) -> Result<Box<dyn Use
     };
     let miss_pct = r.u32()?;
     let file_blocks = r.u64()?;
+    let servers = r.u32()?;
     Ok(Box::new(OracleMaster {
         forked,
         state,
         miss_pct,
         file_blocks,
+        servers,
     }))
 }
 

@@ -70,6 +70,7 @@ fn exhibits(config: &ExperimentConfig, opts: &StreamOptions) -> (String, String)
     let obs = art.obs.take();
     let out = ReportOutput {
         kind: art.workload,
+        tag: art.tag(),
         report: String::new(),
         csv: Vec::new(),
         trace_blob: None,

@@ -1,0 +1,202 @@
+//! The 4→64-CPU scalability study's safety net: differential tests
+//! between the snooping-bus and directory/MESI backends, machine-axis
+//! checkpoint invalidation, and epoch-vs-serial byte identity on
+//! machines larger than the paper's 4D/340.
+
+use oscar_core::{render_all, run, run_streaming, ExperimentConfig, StreamOptions};
+use oscar_machine::{Coherence, MachineConfig};
+use oscar_workloads::WorkloadKind;
+
+/// A short scaled run: the weak-scaled workload mix on `machine`.
+fn cfg(kind: WorkloadKind, machine: MachineConfig) -> ExperimentConfig {
+    let mut c = ExperimentConfig::new(kind)
+        .warmup(2_000_000)
+        .measure(3_000_000)
+        .scaled_workload(true);
+    c.machine = machine;
+    c
+}
+
+/// Under the bus-equivalent directory preset (one home bank, bus-equal
+/// service times) the directory backend must reproduce the snooping
+/// run record-for-record: same monitor trace, same kernel behaviour,
+/// same interconnect occupancy. This pins the protocol logic of the
+/// mesi-dir backend to the reference implementation, so any divergence
+/// observed under realistic directory timings is attributable to the
+/// timing model alone.
+#[test]
+fn bus_equivalent_directory_reproduces_snoop_run() {
+    for cpus in [4u8, 8] {
+        let snoop = run(&cfg(WorkloadKind::Pmake, MachineConfig::scaled(cpus)));
+        let dir = run(&cfg(
+            WorkloadKind::Pmake,
+            MachineConfig::mesi_dir_bus_equivalent(cpus),
+        ));
+        assert_eq!(
+            snoop.trace_records, dir.trace_records,
+            "record counts must match at {cpus} CPUs"
+        );
+        assert_eq!(
+            snoop.trace, dir.trace,
+            "monitor records must be identical at {cpus} CPUs"
+        );
+        assert_eq!(snoop.os_stats.dispatches, dir.os_stats.dispatches);
+        assert_eq!(
+            snoop.interconnect.transactions,
+            dir.interconnect.transactions
+        );
+        assert_eq!(
+            snoop.interconnect.arbitration_wait,
+            dir.interconnect.arbitration_wait
+        );
+        // Only the directory run carries directory statistics.
+        assert!(snoop.interconnect.dir.is_none());
+        let stats = dir.interconnect.dir.expect("dir stats under mesi-dir");
+        assert!(stats.requests() > 0, "directory must have served requests");
+    }
+}
+
+/// The realistic directory preset changes timing (banked homes, faster
+/// occupancy, slower fills), so the interleaving — and therefore the
+/// trace — may legitimately diverge from the bus. What must hold: the
+/// run is deterministic, the protocol stays busy (sharing traffic
+/// reaches the directory), and the report renders with the machine
+/// banner naming the backend.
+#[test]
+fn realistic_directory_is_deterministic_and_active() {
+    let config = cfg(WorkloadKind::Multpgm, MachineConfig::mesi_dir(8));
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(a.trace, b.trace, "mesi-dir runs must be reproducible");
+    assert_eq!(a.trace_records, b.trace_records);
+
+    let stats = a.interconnect.dir.expect("dir stats under mesi-dir");
+    assert!(stats.get_s > 0, "read misses must reach the directory");
+    assert!(stats.get_x > 0, "write misses must reach the directory");
+    assert!(stats.invals_sent > 0, "sharing must trigger invalidations");
+    assert!(stats.writebacks > 0, "dirty victims must write back");
+
+    let (art, an) = run_streaming(&config, &StreamOptions::default());
+    let report = render_all(&art, &an);
+    assert!(
+        report.contains("machine: 8 CPUs, mesi-dir coherence (4 directory banks)"),
+        "non-default machines must be named in the report banner"
+    );
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("oscar_scale_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Every machine axis added by the scalability work — CPU count,
+/// coherence backend, directory geometry — must hash into the warm-up
+/// checkpoint key: a cached snapshot from one machine must never be
+/// served to another.
+#[test]
+fn machine_axes_invalidate_warmup_checkpoints() {
+    let dir = scratch_dir("axes");
+    let opts = StreamOptions {
+        checkpoint_dir: Some(dir.clone()),
+        ..StreamOptions::default()
+    };
+    let run_with = |machine: MachineConfig| {
+        let (art, _) = run_streaming(&cfg(WorkloadKind::Pmake, machine), &opts);
+        art.checkpoint.expect("checkpoint stats when dir given")
+    };
+
+    // Cold, then warm on the same machine: the cache works at all.
+    let cold = run_with(MachineConfig::scaled(8));
+    assert_eq!(cold.hits, 0);
+    assert!(cold.misses >= 1);
+    let warm = run_with(MachineConfig::scaled(8));
+    assert!(warm.hits >= 1, "identical machine must hit");
+    assert_eq!(warm.misses, 0);
+
+    // Each changed axis must key to a different entry.
+    let mut shrunk_l2 = MachineConfig::scaled(8);
+    shrunk_l2.l2d.size_bytes /= 2;
+    let mut rebanked = MachineConfig::mesi_dir(8);
+    rebanked.dir_banks = 2;
+    for (label, machine) in [
+        ("cpu count", MachineConfig::scaled(16)),
+        ("coherence backend", MachineConfig::mesi_dir(8)),
+        ("cache geometry", shrunk_l2),
+        ("directory banks", rebanked),
+    ] {
+        let ckpt = run_with(machine);
+        assert_eq!(ckpt.hits, 0, "changed {label} must not hit a stale entry");
+        assert!(ckpt.misses >= 1, "changed {label} must record its miss");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Time-parallel epoch re-execution must stay byte-identical to the
+/// serial path on scaled machines too — 8 CPUs on the bus, 16 on the
+/// directory — not just on the paper's default configuration.
+#[test]
+fn epoch_runs_match_serial_on_scaled_machines() {
+    for machine in [MachineConfig::scaled(8), MachineConfig::mesi_dir(16)] {
+        let config = cfg(WorkloadKind::Pmake, machine);
+        let serial_opts = StreamOptions {
+            keep_trace: true,
+            ..StreamOptions::default()
+        };
+        let (serial_art, serial_an) = run_streaming(&config, &serial_opts);
+        let serial_report = render_all(&serial_art, &serial_an);
+
+        let epoch_opts = StreamOptions {
+            keep_trace: true,
+            epoch_cycles: 700_000, // odd size: exercises a partial last epoch
+            epoch_jobs: 4,
+            ..StreamOptions::default()
+        };
+        let (epoch_art, epoch_an) = run_streaming(&config, &epoch_opts);
+        let label = format!(
+            "{} CPUs, {}",
+            config.machine.num_cpus, config.machine.coherence
+        );
+        assert_eq!(
+            epoch_art.trace, serial_art.trace,
+            "epoch trace must match serial ({label})"
+        );
+        assert_eq!(
+            render_all(&epoch_art, &epoch_an),
+            serial_report,
+            "epoch report must be byte-identical ({label})"
+        );
+    }
+}
+
+/// The run tag names every sweep artifact (CSV files, metric prefixes,
+/// trace filenames). The paper's default machine keeps the historical
+/// plain names; every other configuration is suffixed unambiguously.
+#[test]
+fn sweep_tags_are_stable_and_unique() {
+    let plain = ExperimentConfig::new(WorkloadKind::Pmake);
+    assert_eq!(plain.tag(), "pmake");
+
+    let mut tags = std::collections::BTreeSet::new();
+    for cpus in [4u8, 8, 16, 32, 64] {
+        for scheme in [Coherence::Snoop, Coherence::MesiDir] {
+            let mut c = ExperimentConfig::new(WorkloadKind::Pmake).scaled_workload(cpus != 4);
+            c.machine = match scheme {
+                Coherence::Snoop => MachineConfig::scaled(cpus),
+                Coherence::MesiDir => MachineConfig::mesi_dir(cpus),
+            };
+            assert!(
+                tags.insert(c.tag()),
+                "sweep tags must be unique, got duplicate {}",
+                c.tag()
+            );
+        }
+    }
+    assert!(
+        tags.contains("pmake"),
+        "default machine keeps the plain tag"
+    );
+    assert!(tags.contains("pmake-c8"));
+    assert!(tags.contains("pmake-c64-dir"));
+}
