@@ -129,6 +129,71 @@ fn main() {
         });
     }
 
+    {
+        // False-sharing ping-pong: the measured thread increments its
+        // counter while a hammer thread increments the neighbouring
+        // one. Packed on one cache line, every increment invalidates
+        // the other core's copy (the MESI pathology the paper's §5
+        // measures for test-and-set locks); padded to private lines
+        // via `CachePadded`, the two threads never interfere. The
+        // per-worker tallies of the `--jobs` pool and the epoch claim
+        // cursor use the padded layout. (On a single-core CI host the
+        // pair collapses to scheduler noise; record it anyway.)
+        use oscar_core::pad::CachePadded;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        fn pingpong<P: Send + Sync + 'static>(
+            h: &mut Harness,
+            id: &str,
+            pair: Arc<P>,
+            mine: fn(&P) -> &AtomicU64,
+            theirs: fn(&P) -> &AtomicU64,
+        ) {
+            let stop = Arc::new(AtomicBool::new(false));
+            let hammer = {
+                let pair = Arc::clone(&pair);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        theirs(&pair).fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            };
+            h.bench(id, || mine(&pair).fetch_add(1, Ordering::Relaxed));
+            stop.store(true, Ordering::Relaxed);
+            hammer.join().expect("hammer thread panicked");
+        }
+
+        #[repr(C)]
+        #[derive(Default)]
+        struct Packed {
+            a: AtomicU64,
+            b: AtomicU64,
+        }
+        #[repr(C)]
+        #[derive(Default)]
+        struct Padded {
+            a: CachePadded<AtomicU64>,
+            b: CachePadded<AtomicU64>,
+        }
+
+        pingpong(
+            &mut h,
+            "pad/pingpong_packed",
+            Arc::new(Packed::default()),
+            |p| &p.a,
+            |p| &p.b,
+        );
+        pingpong(
+            &mut h,
+            "pad/pingpong_padded",
+            Arc::new(Padded::default()),
+            |p| &p.a.0,
+            |p| &p.b.0,
+        );
+    }
+
     h.bench("engine/pmake_steps_1m_cycles", || {
         let mut m = Machine::new(MachineConfig::sgi_4d340());
         let mut os = OsWorld::new(4, 32 * 1024 * 1024, OsTuning::default());

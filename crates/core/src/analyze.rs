@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use oscar_machine::addr::{BlockAddr, Ppn, Vpn};
-use oscar_machine::monitor::{BusRecord, RecordFilter};
+use oscar_machine::monitor::{BusRecord, RecordBlock, RecordFilter};
 use oscar_machine::{BusKind, MachineConfig};
 use oscar_os::stats::ModeCycles;
 use oscar_os::user::segs;
@@ -852,6 +852,18 @@ pub struct StreamAnalyzer {
     /// Miss-stream items awaiting [`StreamAnalyzer::take_sweep_items`]
     /// (deferred-sweeps mode only).
     sweep_stage: Vec<SweepItem>,
+    /// Inline re-simulation staging (arena-style scratch, reused across
+    /// blocks): stream items batch up per block and replay through the
+    /// banks bank-major in [`StreamAnalyzer::replay_banks`], so each
+    /// bank's tag arrays stay cache-hot for a whole batch instead of
+    /// being revisited once per record.
+    iscratch: Vec<IStreamItem>,
+    dscratch: Vec<DStreamItem>,
+    /// Kernel-instruction miss counts by subsystem, dense (indexed by
+    /// `Subsystem as usize`): a flat add on the per-fill path instead
+    /// of a `BTreeMap` probe. Materialized into
+    /// [`TraceAnalysis::os_i_by_subsystem`] at finish.
+    os_i_sub_dense: Vec<u64>,
     /// Raw-field predicate applied before a row reaches the row sink
     /// (the query engine's pushdown; never affects analysis state).
     row_filter: Option<RecordFilter>,
@@ -912,6 +924,9 @@ impl StreamAnalyzer {
             dbanks,
             deferred,
             sweep_stage: Vec::new(),
+            iscratch: Vec::new(),
+            dscratch: Vec::new(),
+            os_i_sub_dense: Vec::new(),
             row_filter: None,
             row_sink: None,
             out: TraceAnalysis {
@@ -1024,12 +1039,70 @@ impl StreamAnalyzer {
         }
     }
 
-    /// Consumes a chunk of bus records, in trace order. Equivalent to
-    /// pushing each record individually; the streaming pipeline ingests
-    /// whole channel chunks this way.
+    /// Consumes a chunk of bus records, in trace order. Identical in
+    /// observable effect to pushing each record individually — this is
+    /// the retained record-at-a-time reference path the batched
+    /// [`StreamAnalyzer::push_block`] is differentially tested against.
     pub fn push_chunk(&mut self, recs: &[BusRecord]) {
         for &rec in recs {
             self.push(rec);
+        }
+        self.replay_banks();
+    }
+
+    /// Consumes a structure-of-arrays block of records, in trace order
+    /// — the streaming pipeline's hot entry. Identical in observable
+    /// effect to pushing each record individually; the columnar walk
+    /// reads the kind column once per record and dispatches the
+    /// stateless transaction kinds straight to their handlers, leaving
+    /// the escape decoder's per-CPU state machine to the rare
+    /// instrumentation reads.
+    pub fn push_block(&mut self, block: &RecordBlock) {
+        for i in 0..block.len() {
+            let kind = block.kind[i];
+            let rec = BusRecord {
+                time: block.time[i],
+                cpu: block.cpu[i],
+                paddr: block.paddr[i],
+                kind,
+            };
+            match kind {
+                BusKind::Read => self.handle_access(rec, false, false),
+                BusKind::ReadEx => self.handle_access(rec, true, false),
+                BusKind::Upgrade => self.handle_access(rec, true, true),
+                BusKind::WriteBack => self.handle(Decoded::WriteBack { rec }),
+                BusKind::UncachedRead => self.push(rec),
+            }
+        }
+        self.replay_banks();
+    }
+
+    /// Replays the staged miss-stream items through every inline
+    /// re-simulation bank, bank-major: one bank's tables at a time over
+    /// the whole batch. Bank order relative to other banks is
+    /// irrelevant (they are mutually independent), and each bank sees
+    /// its items in trace order, so the result is identical to the
+    /// per-record interleaving.
+    fn replay_banks(&mut self) {
+        if !self.iscratch.is_empty() {
+            if let Some(banks) = &mut self.ibanks {
+                for b in banks.iter_mut() {
+                    for item in &self.iscratch {
+                        b.push(item);
+                    }
+                }
+            }
+            self.iscratch.clear();
+        }
+        if !self.dscratch.is_empty() {
+            if let Some(banks) = &mut self.dbanks {
+                for b in banks.iter_mut() {
+                    for item in &self.dscratch {
+                        b.push(item);
+                    }
+                }
+            }
+            self.dscratch.clear();
         }
     }
 
@@ -1092,6 +1165,19 @@ impl StreamAnalyzer {
     }
 
     fn finish_common(&mut self) {
+        // Stream items staged since the last block must reach the banks
+        // before their points are read.
+        self.replay_banks();
+        // Materialize the dense subsystem counters; only subsystems
+        // that took a miss appear, exactly as map-entry insertion did.
+        for &rid in Rid::ALL {
+            let s = rid.subsystem();
+            if let Some(&n) = self.os_i_sub_dense.get(s as usize) {
+                if n > 0 {
+                    self.out.os_i_by_subsystem.insert(s, n);
+                }
+            }
+        }
         self.out.undecodable = self.decoder.undecodable;
         // Close out mode integrals and dangling spans.
         let end = self.meta.measure_end;
@@ -1150,10 +1236,8 @@ impl StreamAnalyzer {
     }
 
     fn push_istream(&mut self, item: IStreamItem) {
-        if let Some(banks) = &mut self.ibanks {
-            for b in banks {
-                b.push(&item);
-            }
+        if self.ibanks.is_some() {
+            self.iscratch.push(item);
         } else if self.opts.online_sweeps && self.opts.deferred_sweeps {
             self.sweep_stage.push(SweepItem::I(item));
         }
@@ -1163,10 +1247,8 @@ impl StreamAnalyzer {
     }
 
     fn push_dstream(&mut self, item: DStreamItem) {
-        if let Some(banks) = &mut self.dbanks {
-            for b in banks {
-                b.push(&item);
-            }
+        if self.dbanks.is_some() {
+            self.dscratch.push(item);
         } else if self.opts.online_sweeps && self.opts.deferred_sweeps {
             self.sweep_stage.push(SweepItem::D(item));
         }
@@ -1407,11 +1489,11 @@ impl StreamAnalyzer {
             }
             if instr {
                 if let Some(rid) = pending.rid {
-                    *self
-                        .out
-                        .os_i_by_subsystem
-                        .entry(rid.subsystem())
-                        .or_default() += 1;
+                    let s = rid.subsystem() as usize;
+                    if s >= self.os_i_sub_dense.len() {
+                        self.os_i_sub_dense.resize(s + 1, 0);
+                    }
+                    self.os_i_sub_dense[s] += 1;
                 }
             } else if let Some(ctx) = top_ctx {
                 match ctx {

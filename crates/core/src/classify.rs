@@ -11,8 +11,6 @@
 
 use oscar_machine::addr::{BlockAddr, Ppn};
 
-use crate::fasthash::FastMap;
-
 /// The architectural classes of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArchClass {
@@ -50,6 +48,81 @@ enum Loss {
 #[derive(Debug, Clone, Copy)]
 struct Line {
     block: BlockAddr,
+}
+
+/// Entries per loss-table page (a 16 KiB allocation).
+const LOSS_PAGE: usize = 1 << 12;
+
+/// A lazily-paged dense map from block number to loss cause.
+///
+/// The simulated physical address space is small and block numbers are
+/// dense, so the per-miss probe and update become two array index
+/// operations instead of a hash remove + insert — this map sits on the
+/// hottest classification path. Pages allocate on first write, keeping
+/// resident size proportional to the address range actually cached.
+///
+/// Encoding: `0` = no entry, `1` = DispAp, `2` = Invalidated,
+/// `3` = Flushed, `n >= 4` = DispOs at epoch `n - 4`.
+#[derive(Debug, Default)]
+struct LossTable {
+    pages: Vec<Option<Box<[u32]>>>,
+}
+
+const LOSS_NONE: u32 = 0;
+const LOSS_DISP_AP: u32 = 1;
+const LOSS_INVALIDATED: u32 = 2;
+const LOSS_FLUSHED: u32 = 3;
+const LOSS_EPOCH_BASE: u32 = 4;
+
+impl LossTable {
+    fn encode(loss: Loss) -> u32 {
+        match loss {
+            Loss::DispAp => LOSS_DISP_AP,
+            Loss::Invalidated => LOSS_INVALIDATED,
+            Loss::Flushed => LOSS_FLUSHED,
+            Loss::DispOs { epoch } => {
+                // Epochs count application dispatches per CPU; u32 holds
+                // billions of them, far beyond any simulated window.
+                let e = u32::try_from(epoch).expect("application epoch overflows loss encoding");
+                assert!(e <= u32::MAX - LOSS_EPOCH_BASE);
+                LOSS_EPOCH_BASE + e
+            }
+        }
+    }
+
+    fn decode(raw: u32) -> Option<Loss> {
+        match raw {
+            LOSS_NONE => None,
+            LOSS_DISP_AP => Some(Loss::DispAp),
+            LOSS_INVALIDATED => Some(Loss::Invalidated),
+            LOSS_FLUSHED => Some(Loss::Flushed),
+            e => Some(Loss::DispOs {
+                epoch: u64::from(e - LOSS_EPOCH_BASE),
+            }),
+        }
+    }
+
+    fn insert(&mut self, block: BlockAddr, loss: Loss) {
+        let idx = block.0 as usize;
+        let (p, o) = (idx / LOSS_PAGE, idx % LOSS_PAGE);
+        if p >= self.pages.len() {
+            self.pages.resize_with(p + 1, || None);
+        }
+        let page =
+            self.pages[p].get_or_insert_with(|| vec![LOSS_NONE; LOSS_PAGE].into_boxed_slice());
+        page[o] = Self::encode(loss);
+    }
+
+    fn remove(&mut self, block: BlockAddr) -> Option<Loss> {
+        let idx = block.0 as usize;
+        let (p, o) = (idx / LOSS_PAGE, idx % LOSS_PAGE);
+        let page = self.pages.get_mut(p)?.as_mut()?;
+        let raw = page[o];
+        if raw != LOSS_NONE {
+            page[o] = LOSS_NONE;
+        }
+        Self::decode(raw)
+    }
 }
 
 /// A growable dense bitset over block numbers. The simulated physical
@@ -96,7 +169,7 @@ pub struct Mirror {
     /// measured geometries): set indexing by mask, not hardware divide.
     set_mask: u64,
     lines: Vec<Option<Line>>,
-    loss: FastMap<BlockAddr, Loss>,
+    loss: LossTable,
     seen: BlockSet,
 }
 
@@ -118,10 +191,7 @@ impl Mirror {
                 u64::MAX
             },
             lines: vec![None; sets as usize],
-            // Pre-size: the loss map reaches tens of thousands of
-            // entries on real traces; reserving up front avoids the
-            // rehash ladder on the per-record path.
-            loss: FastMap::with_capacity_and_hasher(1 << 14, Default::default()),
+            loss: LossTable::default(),
             seen: BlockSet::default(),
         }
     }
@@ -150,7 +220,7 @@ impl Mirror {
             // which requires a prior fill): no probe needed.
             ArchClass::Cold
         } else {
-            match self.loss.remove(&block) {
+            match self.loss.remove(block) {
                 Some(Loss::DispOs { epoch: e }) => ArchClass::DispOs {
                     same_epoch: e == epoch,
                 },

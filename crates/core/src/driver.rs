@@ -7,7 +7,7 @@
 //! — are byte-identical whatever the worker count. `--jobs` in
 //! `oscar-reports` is therefore purely a wall-clock knob.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::Instant;
@@ -15,9 +15,52 @@ use std::time::Instant;
 use oscar_workloads::WorkloadKind;
 
 use crate::experiment::ExperimentConfig;
+use crate::pad::CachePadded;
 use crate::perf::{PerfSummary, PhaseStats, PhaseTimer};
 use crate::pipeline::{run_streaming, StreamOptions};
 use crate::{csv, render_all, tracefile};
+
+/// What one pool worker did, for the `pool/worker/<w>` perf rows:
+/// items it claimed, wall clock it spent inside the closure, and the
+/// records/cycles its outputs covered (as reported by the caller's
+/// weigh function).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerTally {
+    /// Work items this worker claimed and completed.
+    pub items: u64,
+    /// Wall-clock seconds spent running the closure.
+    pub busy_s: f64,
+    /// Monitor records across this worker's outputs.
+    pub records: u64,
+    /// Simulated cycles across this worker's outputs.
+    pub cycles: u64,
+}
+
+/// Per-worker mutable tally cell. Each cell is written by exactly one
+/// worker but all live in one `Vec`, so without padding the hot
+/// counters of neighbouring workers would share a cache line and every
+/// update would ping-pong it (the same MESI pathology the paper's §5
+/// measures for test-and-set locks). [`CachePadded`] gives each worker
+/// a private line; `machine_micro`'s `pad/*` group measures the
+/// difference.
+#[derive(Debug, Default)]
+struct TallyCell {
+    items: AtomicU64,
+    busy_ns: AtomicU64,
+    records: AtomicU64,
+    cycles: AtomicU64,
+}
+
+impl TallyCell {
+    fn snapshot(&self) -> WorkerTally {
+        WorkerTally {
+            items: self.items.load(Ordering::Relaxed),
+            busy_s: self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            records: self.records.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Runs `f` over `items` on up to `jobs` worker threads (a shared-index
 /// work pool: idle workers steal the next unclaimed item). Results come
@@ -29,21 +72,64 @@ where
     O: Send,
     F: Fn(usize, I) -> O + Sync,
 {
+    parallel_map_tallied(items, jobs, f, |_| (0, 0)).0
+}
+
+/// [`parallel_map`] plus per-worker perf tallies. `weigh` maps each
+/// output to its `(records, cycles)` contribution; it runs on the
+/// worker that produced the output, into that worker's own
+/// cache-line-padded counter cell.
+pub fn parallel_map_tallied<I, O, F, W>(
+    items: Vec<I>,
+    jobs: usize,
+    f: F,
+    weigh: W,
+) -> (Vec<O>, Vec<WorkerTally>)
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+    W: Fn(&O) -> (u64, u64) + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
+    let tallies: Vec<CachePadded<TallyCell>> = (0..jobs).map(|_| CachePadded::default()).collect();
+    let tally = |w: usize, started: Instant, out: &O| {
+        let (records, cycles) = weigh(out);
+        let cell = &tallies[w].0;
+        cell.items.fetch_add(1, Ordering::Relaxed);
+        cell.busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        cell.records.fetch_add(records, Ordering::Relaxed);
+        cell.cycles.fetch_add(cycles, Ordering::Relaxed);
+    };
     if jobs <= 1 {
-        return items
+        let outs = items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| {
+                let started = Instant::now();
+                let out = f(i, x);
+                tally(0, started, &out);
+                out
+            })
             .collect();
+        return (outs, tallies.iter().map(|c| c.0.snapshot()).collect());
     }
     let n = items.len();
-    let next = AtomicUsize::new(0);
+    // The claim cursor gets its own line too: it is the single most
+    // contended word in the pool, and packing it next to the tally
+    // cells would drag their lines into every claim.
+    let next = CachePadded::new(AtomicUsize::new(0));
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let items: Vec<Mutex<Option<I>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
+        for w in 0..jobs {
+            let next = &next;
+            let slots = &slots;
+            let items = &items;
+            let f = &f;
+            let tally = &tally;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -53,19 +139,22 @@ where
                     .expect("work item poisoned")
                     .take()
                     .expect("work item claimed twice");
+                let started = Instant::now();
                 let out = f(i, item);
+                tally(w, started, &out);
                 *slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
-    slots
+    let outs = slots
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("result slot poisoned")
                 .expect("worker died before storing its result")
         })
-        .collect()
+        .collect();
+    (outs, tallies.iter().map(|c| c.0.snapshot()).collect())
 }
 
 /// One experiment the driver should run and render.
@@ -167,9 +256,9 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     );
     if let (Some(obs), Some(p)) = (&obs, scratch.phases.last_mut()) {
         let pl = &obs.pipeline;
-        p.chan_depth_max = pl.depth_max;
+        p.chan_depth_max = Some(pl.depth_max);
         if pl.depth_samples > 0 {
-            p.chan_depth_mean = pl.depth_sum as f64 / pl.depth_samples as f64;
+            p.chan_depth_mean = Some(pl.depth_sum as f64 / pl.depth_samples as f64);
         }
     }
     phases.append(&mut scratch.phases);
@@ -219,7 +308,44 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
 /// Runs every request, fanning across up to `jobs` workers, and returns
 /// the outputs in request order (byte-identical for any `jobs`).
 pub fn run_reports(reqs: Vec<ReportRequest>, jobs: usize) -> Vec<ReportOutput> {
-    parallel_map(reqs, jobs, |_, req| run_one(&req))
+    run_reports_pooled(reqs, jobs).0
+}
+
+/// [`run_reports`] plus one `pool/worker/<w>` perf row per pool worker
+/// (items claimed, busy wall clock, records/cycles tallied on the
+/// worker's own padded counter cell). Wall-clock observability only —
+/// the rows never enter the metrics export, and the outputs are the
+/// byte-identical request-order list either way.
+pub fn run_reports_pooled(
+    reqs: Vec<ReportRequest>,
+    jobs: usize,
+) -> (Vec<ReportOutput>, Vec<PhaseStats>) {
+    let (outputs, tallies) = parallel_map_tallied(
+        reqs,
+        jobs,
+        |_, req| run_one(&req),
+        |out: &ReportOutput| {
+            let cycles = out
+                .phases
+                .iter()
+                .filter(|p| p.id.starts_with("simulate+analyze/"))
+                .map(|p| p.cycles)
+                .sum();
+            (out.trace_records, cycles)
+        },
+    );
+    let rows = tallies
+        .iter()
+        .enumerate()
+        .map(|(w, t)| PhaseStats {
+            id: format!("pool/worker/{w}"),
+            wall_s: t.busy_s,
+            cycles: t.cycles,
+            records: t.records,
+            ..PhaseStats::default()
+        })
+        .collect();
+    (outputs, rows)
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ use oscar_os::{KernelObsReport, OsWorld};
 use crate::analyze::TraceMeta;
 use crate::experiment::{run_until, ExperimentConfig, PreparedRun, RunArtifacts};
 use crate::observe::TimelineBuilder;
+use crate::pad::CachePadded;
 use crate::perf::PhaseStats;
 use crate::pipeline::{ChunkSink, StreamMsg};
 
@@ -388,7 +389,9 @@ pub(crate) fn run_epoch_producer(
         }
     }
 
-    let next = AtomicUsize::new(0);
+    // Padded: the claim cursor must not share a line with the sink or
+    // slot state the workers also touch.
+    let next = CachePadded::new(AtomicUsize::new(0));
     let sink = ChunkSink::new(tx, plan.chunk_records, plan.depth);
     let timeline = plan
         .observe
@@ -402,37 +405,59 @@ pub(crate) fn run_epoch_producer(
         // armed. The restored kernel lives and dies on the worker
         // thread (tasks hold `Rc` state and cannot cross threads);
         // only snapshot bytes and plain records do.
+        //
+        // Chaining: a worker that just finished epoch k already *is*
+        // the boundary-(k+1) state — `run_until` is memoryless and
+        // recording is passive, so when the next claimed epoch is the
+        // one it is parked at, the worker keeps executing instead of
+        // restoring a snapshot. With one worker this eliminates every
+        // thaw but the first; with several, each chain the claims they
+        // win in sequence.
         for _ in 0..plan.jobs.max(1).min(n_epochs) {
             let snap_slots = Arc::clone(&snap_slots);
             let out_slots = Arc::clone(&out_slots);
             let next = &next;
-            s.spawn(move || loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= n_epochs {
-                    break;
+            s.spawn(move || {
+                // The state this worker is parked at, positioned at
+                // epoch boundary `pos` with the monitor armed.
+                let mut parked: Option<(Machine, OsWorld, usize)> = None;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n_epochs {
+                        break;
+                    }
+                    let started = Instant::now();
+                    let (mut machine, mut os) = match parked.take() {
+                        Some((m, o, pos)) if pos == k => (m, o),
+                        _ => {
+                            let snap = snap_slots.peek(k);
+                            let (mut machine, os) =
+                                thaw_state(config, &snap).expect("epoch snapshot must thaw");
+                            machine.monitor_mut().set_enabled(true);
+                            (machine, os)
+                        }
+                    };
+                    let seen_before = machine.monitor().total_seen();
+                    if k == 0 {
+                        // The serial measure() emits the trace-start
+                        // escape right after arming the monitor; epoch
+                        // 0 owns it (and its records count toward the
+                        // epoch's tally).
+                        os.emit_trace_start(&mut machine);
+                    }
+                    run_until(&mut machine, &mut os, boundary(k + 1));
+                    let seen = machine.monitor().total_seen() - seen_before;
+                    let records = machine.monitor_mut().dump();
+                    parked = Some((machine, os, k + 1));
+                    out_slots.publish(
+                        k,
+                        EpochOut {
+                            records,
+                            seen,
+                            wall_s: started.elapsed().as_secs_f64(),
+                        },
+                    );
                 }
-                let started = Instant::now();
-                let snap = snap_slots.peek(k);
-                let (mut machine, mut os) =
-                    thaw_state(config, &snap).expect("epoch snapshot must thaw");
-                drop(snap);
-                machine.monitor_mut().set_enabled(true);
-                if k == 0 {
-                    // The serial measure() emits the trace-start escape
-                    // right after arming the monitor; epoch 0 owns it.
-                    os.emit_trace_start(&mut machine);
-                }
-                run_until(&mut machine, &mut os, boundary(k + 1));
-                let seen = machine.monitor().total_seen();
-                let records = machine.monitor_mut().dump();
-                out_slots.publish(
-                    k,
-                    EpochOut {
-                        records,
-                        seen,
-                        wall_s: started.elapsed().as_secs_f64(),
-                    },
-                );
             });
         }
 

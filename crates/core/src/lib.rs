@@ -14,6 +14,7 @@ pub mod epoch;
 pub mod experiment;
 pub mod histogram;
 pub mod observe;
+pub mod pad;
 pub mod perf;
 pub mod pipeline;
 pub mod query;
@@ -30,7 +31,10 @@ pub use analyze::{
     analyze, analyze_with, AnalyzeOptions, ExhibitProvenance, QueryRow, RowSink, StreamAnalyzer,
     TraceAnalysis, TraceMeta,
 };
-pub use driver::{parallel_map, run_reports, ReportOutput, ReportRequest};
+pub use driver::{
+    parallel_map, parallel_map_tallied, run_reports, run_reports_pooled, ReportOutput,
+    ReportRequest, WorkerTally,
+};
 pub use epoch::CheckpointStats;
 pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
 pub use observe::{

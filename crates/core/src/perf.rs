@@ -33,12 +33,14 @@ pub struct PhaseStats {
     pub cycles: u64,
     /// Bus records processed by the phase (0 when not applicable).
     pub records: u64,
-    /// Highest streaming-channel depth observed (chunks in flight;
-    /// 0 when the phase did not stream or observability was off).
+    /// Highest streaming-channel depth observed (chunks in flight).
+    /// `None` when the phase had no sampled channel — epoch
+    /// re-executions and renders, or observability off — so the JSON
+    /// omits the fields instead of reporting a misleading 0.
     /// Wall-clock dependent, hence here and not in the metrics export.
-    pub chan_depth_max: u64,
-    /// Mean sampled streaming-channel depth (0 when not applicable).
-    pub chan_depth_mean: f64,
+    pub chan_depth_max: Option<u64>,
+    /// Mean sampled streaming-channel depth (`None` when not sampled).
+    pub chan_depth_mean: Option<f64>,
 }
 
 impl PhaseStats {
@@ -88,14 +90,24 @@ impl PerfSummary {
         }
     }
 
-    /// Total records across phases.
-    pub fn total_records(&self) -> u64 {
-        self.phases.iter().map(|p| p.records).sum()
+    /// Phases that uniquely own their records/cycles. `epoch/*`,
+    /// `pass1/*` and `pool/worker/*` rows re-account work the
+    /// `simulate+analyze/*` rows already carry, so summing them would
+    /// double-count (and inflate the human throughput line).
+    fn owning_phases(&self) -> impl Iterator<Item = &PhaseStats> {
+        self.phases.iter().filter(|p| {
+            !(p.id.starts_with("epoch/") || p.id.starts_with("pass1/") || p.id.starts_with("pool/"))
+        })
     }
 
-    /// Total simulated cycles across phases.
+    /// Total records across phases, counting each record once.
+    pub fn total_records(&self) -> u64 {
+        self.owning_phases().map(|p| p.records).sum()
+    }
+
+    /// Total simulated cycles across phases, counting each cycle once.
     pub fn total_cycles(&self) -> u64 {
-        self.phases.iter().map(|p| p.cycles).sum()
+        self.owning_phases().map(|p| p.cycles).sum()
     }
 
     /// Finalizes the summary: stamps total wall clock and peak RSS.
@@ -118,17 +130,22 @@ impl PerfSummary {
         for (i, p) in self.phases.iter().enumerate() {
             let _ = write!(
                 s,
-                "{}\n    {{\"id\": {}, \"wall_s\": {}, \"cycles\": {}, \"records\": {}, \"cycles_per_s\": {}, \"records_per_s\": {}, \"chan_depth_max\": {}, \"chan_depth_mean\": {}}}",
+                "{}\n    {{\"id\": {}, \"wall_s\": {}, \"cycles\": {}, \"records\": {}, \"cycles_per_s\": {}, \"records_per_s\": {}",
                 if i == 0 { "" } else { "," },
                 json_str(&p.id),
                 json_f64(p.wall_s),
                 p.cycles,
                 p.records,
                 json_f64(p.cycles_per_s()),
-                json_f64(p.records_per_s()),
-                p.chan_depth_max,
-                json_f64(p.chan_depth_mean)
+                json_f64(p.records_per_s())
             );
+            if let Some(max) = p.chan_depth_max {
+                let _ = write!(s, ", \"chan_depth_max\": {max}");
+            }
+            if let Some(mean) = p.chan_depth_mean {
+                let _ = write!(s, ", \"chan_depth_mean\": {}", json_f64(mean));
+            }
+            s.push('}');
         }
         s.push_str("\n  ]\n}\n");
         s
@@ -248,6 +265,30 @@ mod tests {
         // Balanced braces/brackets.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn chan_depth_fields_appear_only_when_sampled() {
+        let mut s = PerfSummary::new("unit", 1);
+        s.phases.push(PhaseStats {
+            id: "epoch/3".into(),
+            wall_s: 0.1,
+            ..PhaseStats::default()
+        });
+        s.phases.push(PhaseStats {
+            id: "simulate+analyze/pmake".into(),
+            wall_s: 0.2,
+            chan_depth_max: Some(7),
+            chan_depth_mean: Some(2.5),
+            ..PhaseStats::default()
+        });
+        let j = s.to_json();
+        // The unsampled phase omits the fields entirely; the sampled
+        // one carries them.
+        assert_eq!(j.matches("chan_depth_max").count(), 1);
+        assert!(j.contains("\"chan_depth_max\": 7"));
+        assert!(j.contains("\"chan_depth_mean\": 2.5"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

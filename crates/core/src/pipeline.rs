@@ -25,7 +25,7 @@ use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use oscar_machine::monitor::{BusRecord, RecordFilter, TraceSink};
+use oscar_machine::monitor::{BusRecord, RecordBlock, RecordFilter, TraceSink};
 
 use crate::analyze::{
     AnalyzeOptions, ClassShard, ClassifyMsg, RowSink, StreamAnalyzer, SweepItem, TraceAnalysis,
@@ -97,7 +97,7 @@ impl Default for StreamOptions {
     fn default() -> Self {
         StreamOptions {
             chunk_records: 4096,
-            channel_chunks: 8,
+            channel_chunks: 32,
             shards: 1,
             sweep_workers: 1,
             keep_trace: false,
@@ -117,8 +117,10 @@ pub(crate) enum StreamMsg {
     /// Trace metadata, sent once after warm-up, before any records.
     /// Boxed: the layout recipe makes it much larger than a chunk.
     Meta(Box<TraceMeta>),
-    /// A batch of monitored records, in trace order.
-    Chunk(Vec<BusRecord>),
+    /// A batch of monitored records, in trace order, as
+    /// structure-of-arrays columns (the monitor stages columns, so the
+    /// channel carries them without reassembly).
+    Block(RecordBlock),
 }
 
 /// A [`TraceSink`] that batches records into chunks on a bounded
@@ -126,7 +128,7 @@ pub(crate) enum StreamMsg {
 /// the partial last chunk and, once the last sender is gone, closes the
 /// channel. The epoch feeder ([`crate::epoch`]) drives one directly.
 pub(crate) struct ChunkSink {
-    buf: Vec<BusRecord>,
+    buf: RecordBlock,
     cap: usize,
     tx: SyncSender<StreamMsg>,
     /// Chunks in flight on the channel, shared with the analysis loop
@@ -142,25 +144,25 @@ impl ChunkSink {
     ) -> Self {
         let cap = cap.max(1);
         ChunkSink {
-            buf: Vec::with_capacity(cap),
+            buf: RecordBlock::with_capacity(cap),
             cap,
             tx,
             depth,
         }
     }
 
-    fn send(&mut self, chunk: Vec<BusRecord>) {
+    fn send(&mut self, chunk: RecordBlock) {
         if let Some(d) = &self.depth {
             d.fetch_add(1, Ordering::Relaxed);
         }
         // A closed channel means the analysis side is gone
         // (panicked); nothing useful to do with the records.
-        self.tx.send(StreamMsg::Chunk(chunk)).ok();
+        self.tx.send(StreamMsg::Block(chunk)).ok();
     }
 
     fn flush_full(&mut self) {
         if self.buf.len() >= self.cap {
-            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
+            let chunk = std::mem::replace(&mut self.buf, RecordBlock::with_capacity(self.cap));
             self.send(chunk);
         }
     }
@@ -173,7 +175,14 @@ impl TraceSink for ChunkSink {
     }
 
     fn record_batch(&mut self, recs: &[BusRecord]) {
-        self.buf.extend_from_slice(recs);
+        for &rec in recs {
+            self.buf.push(rec);
+        }
+        self.flush_full();
+    }
+
+    fn record_block(&mut self, block: &RecordBlock) {
+        self.buf.append(block);
         self.flush_full();
     }
 }
@@ -216,6 +225,19 @@ impl TraceSink for TimelineSink {
             .as_mut()
         {
             b.push_chunk(recs);
+        }
+    }
+
+    fn record_block(&mut self, block: &RecordBlock) {
+        if let Some(b) = self
+            .builder
+            .lock()
+            .expect("timeline builder poisoned")
+            .as_mut()
+        {
+            for rec in block.iter() {
+                b.push(rec);
+            }
         }
     }
 }
@@ -422,7 +444,7 @@ fn run_streaming_inner(
                     }
                     analyzer = Some(a);
                 }
-                StreamMsg::Chunk(recs) => {
+                StreamMsg::Block(recs) => {
                     if let Some(p) = &mut pobs {
                         p.chunks += 1;
                         p.records += recs.len() as u64;
@@ -439,7 +461,7 @@ fn run_streaming_inner(
                     let a = analyzer
                         .as_mut()
                         .expect("trace metadata must precede records");
-                    a.push_chunk(&recs);
+                    a.push_block(&recs);
                     if !sweep_txs.is_empty() {
                         let items = a.take_sweep_items();
                         if !items.is_empty() {
@@ -458,7 +480,7 @@ fn run_streaming_inner(
                         }
                     }
                     if opts.keep_trace {
-                        kept.extend_from_slice(&recs);
+                        kept.extend(recs.iter());
                     }
                 }
             }

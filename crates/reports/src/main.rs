@@ -19,7 +19,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use oscar_core::driver::{run_reports, ReportRequest};
+use oscar_core::driver::{run_reports_pooled, ReportRequest};
 use oscar_core::perf::PerfSummary;
 use oscar_core::query::{compile, run_compiled};
 use oscar_core::{
@@ -473,7 +473,7 @@ fn report_main(argv: &[String]) {
             checkpoint_dir: args.checkpoint_dir.clone(),
         })
         .collect();
-    let outputs = run_reports(reqs, args.jobs);
+    let (outputs, pool_rows) = run_reports_pooled(reqs, args.jobs);
 
     let mut perf = PerfSummary::new("reports", args.jobs);
     for out in &outputs {
@@ -490,6 +490,10 @@ fn report_main(argv: &[String]) {
         }
         perf.phases.extend(out.phases.iter().cloned());
     }
+    // Per-pool-worker rows (wall-clock observability; records/cycles
+    // here duplicate the per-run rows, so rate gates must filter by
+    // phase id).
+    perf.phases.extend(pool_rows);
     // Exports assemble in request order from per-run payloads, so the
     // bytes cannot depend on --jobs.
     if let Some(path) = &args.trace_json {

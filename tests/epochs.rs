@@ -148,6 +148,55 @@ fn epoch_trace_and_artifacts_match_serial() {
     assert!(serial_art.epoch_phases.is_empty());
 }
 
+#[test]
+fn overlapped_workers_chain_many_small_epochs_byte_for_byte() {
+    // Overlap stress: a non-dividing epoch size small enough that the
+    // window splits into ~18 epochs (3M cycles / 173k, partial last
+    // epoch included), with fewer workers than epochs so every worker
+    // must chain consecutive claims (a finished epoch k *is* the
+    // boundary-(k+1) state) and start re-executing while pass 1 is
+    // still freezing later boundaries. Every epoch row and the full
+    // trace must still be the serial bytes.
+    let config = cfg();
+    let (serial_art, serial_an) = run_streaming(
+        &config,
+        &StreamOptions {
+            keep_trace: true,
+            ..StreamOptions::default()
+        },
+    );
+    let serial_report = render_all(&serial_art, &serial_an);
+
+    for jobs in [1usize, 3] {
+        let (art, an) = run_streaming(
+            &config,
+            &StreamOptions {
+                keep_trace: true,
+                epoch_cycles: 173_000,
+                epoch_jobs: jobs,
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(art.trace, serial_art.trace, "{jobs} jobs: trace differs");
+        assert_eq!(art.trace_records, serial_art.trace_records);
+        assert_eq!(
+            render_all(&art, &an),
+            serial_report,
+            "{jobs} jobs: report differs"
+        );
+        // pass-1 row plus ceil(3_000_000 / 173_000) = 18 epoch rows,
+        // whose record tallies sum to the run's count.
+        assert_eq!(art.epoch_phases.len(), 1 + 18);
+        let epoch_records: u64 = art
+            .epoch_phases
+            .iter()
+            .filter(|p| p.id.starts_with("epoch/"))
+            .map(|p| p.records)
+            .sum();
+        assert_eq!(epoch_records, art.trace_records);
+    }
+}
+
 fn scratch_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("oscar_epochs_{name}_{}", std::process::id()));
     // A fresh cache per test run; stale files from a crashed run would
