@@ -380,6 +380,9 @@ pub struct TraceAnalysis {
     /// Per-CPU exhibit provenance, when
     /// [`AnalyzeOptions::provenance`] was on.
     pub provenance: Option<Box<ExhibitProvenance>>,
+    /// The symbolized hot-line exhibit, when
+    /// [`AnalyzeOptions::hotlines`] was on.
+    pub hotlines: Option<Box<crate::hotline::HotlineAnalysis>>,
     /// Measured window in cycles.
     pub window_cycles: u64,
 }
@@ -556,6 +559,13 @@ pub struct AnalyzeOptions {
     /// (`online_sweeps` on, `deferred_sweeps` off); classification
     /// provenance works in both inline and deferred modes.
     pub provenance: bool,
+    /// Track per-block contention on the classified data-miss stream
+    /// and materialize [`TraceAnalysis::hotlines`]. Requires inline
+    /// classification (the tracker consumes the class verdict
+    /// access-by-access).
+    pub hotlines: bool,
+    /// How many top contended lines [`TraceAnalysis::hotlines`] keeps.
+    pub hotlines_top: usize,
 }
 
 impl Default for AnalyzeOptions {
@@ -566,6 +576,8 @@ impl Default for AnalyzeOptions {
             deferred_classification: false,
             deferred_sweeps: false,
             provenance: false,
+            hotlines: false,
+            hotlines_top: 50,
         }
     }
 }
@@ -869,6 +881,9 @@ pub struct StreamAnalyzer {
     row_filter: Option<RecordFilter>,
     /// Enriched-row consumer, when a query is attached.
     row_sink: Option<RowSink>,
+    /// Per-block contention tracker, when
+    /// [`AnalyzeOptions::hotlines`] is on.
+    hotline: Option<Box<crate::hotline::HotlineTracker>>,
     out: TraceAnalysis,
 }
 
@@ -914,6 +929,17 @@ impl StreamAnalyzer {
             pending: (0..n).map(|_| Vec::new()).collect(),
             msgs: Vec::new(),
         });
+        assert!(
+            !(opts.hotlines && opts.deferred_classification),
+            "hot-line tracking requires inline classification"
+        );
+        let hotline = opts.hotlines.then(|| {
+            Box::new(crate::hotline::HotlineTracker::new(
+                n,
+                meta.measure_start,
+                meta.measure_end,
+            ))
+        });
         StreamAnalyzer {
             decoder: Decoder::new(n),
             cpus: (0..n)
@@ -929,6 +955,7 @@ impl StreamAnalyzer {
             os_i_sub_dense: Vec::new(),
             row_filter: None,
             row_sink: None,
+            hotline,
             out: TraceAnalysis {
                 cpu_cycles: vec![ModeCycles::default(); n],
                 os: IdCounts::default(),
@@ -966,6 +993,7 @@ impl StreamAnalyzer {
                 provenance: opts
                     .provenance
                     .then(|| Box::new(ExhibitProvenance::with_cpus(n))),
+                hotlines: None,
                 window_cycles: meta.measure_end - meta.measure_start,
             },
             meta,
@@ -1065,6 +1093,7 @@ impl StreamAnalyzer {
                 cpu: block.cpu[i],
                 paddr: block.paddr[i],
                 kind,
+                sub: block.sub[i],
             };
             match kind {
                 BusKind::Read => self.handle_access(rec, false, false),
@@ -1199,6 +1228,11 @@ impl StreamAnalyzer {
             if let Some(banks) = &self.dbanks {
                 prov.dcache_per_cpu = banks.iter().map(|b| b.per_cpu()).collect();
             }
+        }
+        if let Some(h) = &self.hotline {
+            self.out.hotlines = Some(Box::new(
+                h.finish(&self.meta.layout, self.opts.hotlines_top),
+            ));
         }
     }
 
@@ -1524,6 +1558,18 @@ impl StreamAnalyzer {
                     }
                 }
             }
+            if let Some(h) = &mut self.hotline {
+                if !instr {
+                    h.record(
+                        i,
+                        block.0,
+                        rec.sub,
+                        crate::hotline::HotAccess::Upgrade,
+                        ArchClass::Sharing,
+                        rec.time,
+                    );
+                }
+            }
             if self.row_sink.is_some() {
                 let op = (mode == Mode::Kernel).then(|| self.cpus[i].top_class());
                 let region = Some(self.meta.layout.classify(rec.paddr));
@@ -1561,6 +1607,16 @@ impl StreamAnalyzer {
                     }
                 }
                 fold_class(&mut self.out, &pending, class, i);
+                if let Some(h) = &mut self.hotline {
+                    if !instr {
+                        let access = if write {
+                            crate::hotline::HotAccess::Write
+                        } else {
+                            crate::hotline::HotAccess::Read
+                        };
+                        h.record(i, block.0, rec.sub, access, class, rec.time);
+                    }
+                }
                 if self.row_sink.is_some() {
                     let op = (mode == Mode::Kernel).then(|| self.cpus[i].top_class());
                     let region = Some(self.meta.layout.classify(rec.paddr));

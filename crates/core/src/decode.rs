@@ -152,6 +152,7 @@ mod tests {
             cpu: CpuId(cpu),
             paddr,
             kind,
+            sub: 0,
         }
     }
 

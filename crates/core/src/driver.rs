@@ -178,6 +178,14 @@ pub struct ReportRequest {
     /// observability (the sync tables come from the kernel probes) and
     /// forces the sweeps inline; never changes the report bytes.
     pub want_provenance: bool,
+    /// Also track per-block contention and export the symbolized
+    /// hot-line exhibit ([`ReportOutput::hotlines`], the report's
+    /// "most actively shared data" section, `exhibit.hotline.*`
+    /// metrics and the hot-line timeline tracks). Never changes any
+    /// export produced without it.
+    pub want_hotlines: bool,
+    /// Top contended lines the hot-line exhibit keeps.
+    pub hotlines_top: usize,
     /// Epoch length for the time-parallel engine
     /// ([`StreamOptions::epoch_cycles`]); 0 keeps the serial producer.
     pub epoch_cycles: u64,
@@ -197,6 +205,8 @@ impl ReportRequest {
             want_trace: false,
             want_obs: false,
             want_provenance: false,
+            want_hotlines: false,
+            hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,
@@ -227,6 +237,9 @@ pub struct ReportOutput {
     pub obs: Option<Box<crate::observe::RunObs>>,
     /// Exhibit-provenance metrics, when requested.
     pub provenance: Option<oscar_obs::Metrics>,
+    /// The hot-line exhibit with the fabric coherence counters, when
+    /// requested.
+    pub hotlines: Option<Box<crate::observe::HotlineExport>>,
 }
 
 fn run_one(req: &ReportRequest) -> ReportOutput {
@@ -238,16 +251,32 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         keep_trace: req.want_trace,
         observe: req.want_obs || req.want_provenance,
         provenance: req.want_provenance,
+        hotlines: req.want_hotlines,
+        hotlines_top: req.hotlines_top.max(1),
         epoch_cycles: req.epoch_cycles,
         epoch_jobs: req.epoch_jobs,
         checkpoint_dir: req.checkpoint_dir.clone(),
         ..StreamOptions::default()
     };
     let (mut art, an) = run_streaming(&req.config, &opts);
-    let obs = art.obs.take();
+    let mut obs = art.obs.take();
     let provenance = req
         .want_provenance
         .then(|| crate::observe::provenance_metrics(&an, obs.as_deref()));
+    let hotlines = an.hotlines.as_deref().map(|h| {
+        Box::new(crate::observe::HotlineExport {
+            analysis: h.clone(),
+            invals_sent: art.interconnect.invals_sent,
+            sharer_churn: art.interconnect.sharer_churn,
+            window_cycles: an.window_cycles,
+        })
+    });
+    // Graft the hot-line exhibit onto the observability payload —
+    // gated on the request, so runs without it export identical bytes.
+    if let (Some(h), Some(obs)) = (&hotlines, obs.as_deref_mut()) {
+        crate::observe::add_hotline_metrics(&mut obs.metrics, h);
+        crate::observe::add_hotline_tracks(&mut obs.timeline, &tag, h);
+    }
     let mut scratch = PerfSummary::new(&tag, 1);
     t.stop(
         &mut scratch,
@@ -302,6 +331,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         trace_records: art.trace_records,
         obs,
         provenance,
+        hotlines,
     }
 }
 

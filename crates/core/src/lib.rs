@@ -13,6 +13,7 @@ pub mod driver;
 pub mod epoch;
 pub mod experiment;
 pub mod histogram;
+pub mod hotline;
 pub mod observe;
 pub mod pad;
 pub mod perf;
@@ -37,6 +38,9 @@ pub use driver::{
 };
 pub use epoch::CheckpointStats;
 pub use experiment::{run, ExperimentConfig, PreparedRun, RunArtifacts};
+pub use hotline::{
+    HotAccess, HotlineAnalysis, HotlineRow, HotlineTracker, HOTLINE_BUCKETS, HOTLINE_CLASSES,
+};
 pub use observe::{
     lock_contention_table, merge_metrics_json, merge_provenance_json, merge_trace_json,
     obs_from_artifacts, provenance_metrics, RunObs, TimelineBuilder,

@@ -35,6 +35,7 @@ use crate::analyze::{ExhibitProvenance, TraceAnalysis};
 use crate::decode::{Decoded, Decoder};
 use crate::driver::ReportOutput;
 use crate::experiment::RunArtifacts;
+use crate::hotline::{HotlineAnalysis, HOTLINE_BUCKETS, HOTLINE_CLASSES};
 use crate::resim::{dcache_configs, figure6_configs};
 
 /// Cycles per bus-occupancy bucket (2^16 ≈ 2 ms of simulated time).
@@ -50,6 +51,11 @@ const TRACK_LOCK: u32 = 2;
 pub const PID_CPUS: u32 = 0;
 /// Process id carrying the bus-occupancy counter track.
 pub const PID_BUS: u32 = 1;
+/// Process id carrying the per-symbol hot-line counter tracks (only
+/// populated when the run tracked hot lines).
+pub const PID_HOTLINES: u32 = 2;
+/// Top offender lines that get their own timeline counter track.
+const HOTLINE_TRACKS: usize = 8;
 /// Pid range one run occupies in a merged export; run `i` is shifted
 /// by `i * PID_STRIDE`.
 pub const PID_STRIDE: u32 = 8;
@@ -588,6 +594,151 @@ pub fn merge_provenance_json(outputs: &[ReportOutput]) -> String {
     merged.to_json()
 }
 
+/// A run's hot-line exhibit paired with the machine fabric's coherence
+/// counters (invalidations actually sent, shared-line fills observed) —
+/// everything `--hotlines-out` exports for one run.
+#[derive(Debug, Clone)]
+pub struct HotlineExport {
+    /// The symbolized top-K contended lines plus coverage totals.
+    pub analysis: HotlineAnalysis,
+    /// Invalidations the coherence fabric sent (bus or directory).
+    pub invals_sent: u64,
+    /// Fills that found the line in another CPU's cache (line
+    /// migration as seen by the fabric).
+    pub sharer_churn: u64,
+    /// The measured window, for bucket timestamps.
+    pub window_cycles: u64,
+}
+
+/// Folds a run's hot-line exhibit into its metrics registry as
+/// `exhibit.hotline.*` keys: coverage totals, the fabric counters, and
+/// one key group per surfaced symbol. Only called when the run tracked
+/// hot lines, so runs without `--hotlines-out` export identical bytes.
+pub fn add_hotline_metrics(m: &mut Metrics, h: &HotlineExport) {
+    let a = &h.analysis;
+    m.add("exhibit.hotline.blocks_seen", a.blocks_seen);
+    m.add("exhibit.hotline.blocks_shared", a.blocks_shared);
+    m.add("exhibit.hotline.tracked", a.tracked);
+    m.add("exhibit.hotline.false_sharing_lines", a.false_sharing_lines);
+    m.add("exhibit.hotline.machine.invals_sent", h.invals_sent);
+    m.add("exhibit.hotline.machine.sharer_churn", h.sharer_churn);
+    for row in &a.top {
+        let k = |leaf: &str| format!("exhibit.hotline.line.{}.{leaf}", row.symbol);
+        m.add(&k("misses"), row.total_misses());
+        m.add(&k("invals"), row.invals);
+        m.add(&k("churn"), row.churn);
+        m.add(&k("upgrades"), row.upgrades);
+        m.add(&k("sharers"), row.sharers as u64);
+        m.add(&k("false_sharing"), row.false_sharing as u64);
+        m.add(&k("score"), row.score);
+    }
+}
+
+/// Appends one counter track per top offender line to the run's
+/// timeline (process [`PID_HOTLINES`]), sampling the tracker's
+/// [`HOTLINE_BUCKETS`] activity buckets across the measured window.
+/// Only called when the run tracked hot lines, so timelines without
+/// `--hotlines-out` render identical bytes.
+pub fn add_hotline_tracks(timeline: &mut Timeline, tag: &str, h: &HotlineExport) {
+    if h.analysis.top.is_empty() {
+        return;
+    }
+    timeline.set_process_name(PID_HOTLINES, format!("{tag} hotlines"));
+    let bucket_cycles = (h.window_cycles / HOTLINE_BUCKETS as u64).max(1);
+    for row in h.analysis.top.iter().take(HOTLINE_TRACKS) {
+        let name = format!("hotline {}", row.symbol);
+        for (k, &n) in row.buckets.iter().enumerate() {
+            timeline.push_counter(
+                PID_HOTLINES,
+                k as u64 * bucket_cycles,
+                name.clone(),
+                &[("misses", n)],
+            );
+        }
+    }
+}
+
+/// Minimal JSON string escaping for symbol names (controlled ASCII,
+/// but quotes and backslashes must never break the document).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Merges the per-request hot-line exhibits into one JSON document
+/// keyed by run tag, in request order (byte-identical for any
+/// `--jobs`). Requests that ran without hot-line tracking contribute
+/// nothing.
+pub fn merge_hotlines_json(outputs: &[ReportOutput]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let mut first_run = true;
+    for o in outputs {
+        let Some(h) = &o.hotlines else { continue };
+        let a = &h.analysis;
+        if !first_run {
+            out.push(',');
+        }
+        first_run = false;
+        let _ = write!(
+            out,
+            "\n{}: {{\"blocks_seen\": {}, \"blocks_shared\": {}, \"tracked\": {}, \
+             \"false_sharing_lines\": {}, \"machine\": {{\"invals_sent\": {}, \
+             \"sharer_churn\": {}}}, \"top\": [",
+            jstr(&o.tag),
+            a.blocks_seen,
+            a.blocks_shared,
+            a.tracked,
+            a.false_sharing_lines,
+            h.invals_sent,
+            h.sharer_churn
+        );
+        for (i, r) in a.top.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "{{\"addr\": \"0x{:08x}\", \"symbol\": {}, \"region\": {}, \
+                 \"false_sharing\": {}, \"sharers\": {}, \"score\": {}, \"misses\": {{",
+                r.paddr,
+                jstr(&r.symbol),
+                jstr(r.region.label()),
+                r.false_sharing,
+                r.sharers,
+                r.score
+            );
+            for (ci, class) in HOTLINE_CLASSES.iter().enumerate() {
+                let _ = write!(out, "\"{class}\": {}, ", r.misses[ci]);
+            }
+            let _ = write!(
+                out,
+                "\"single_cpu\": {}}}, \"upgrades\": {}, \"invals\": {}, \"churn\": {}, \
+                 \"read_cpus\": \"0x{:x}\", \"write_cpus\": \"0x{:x}\", \"buckets\": [",
+                r.single_cpu_misses, r.upgrades, r.invals, r.churn, r.read_cpus, r.write_cpus
+            );
+            for (bi, b) in r.buckets.iter().enumerate() {
+                if bi > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 /// Rebuilds a [`RunObs`] from a materialized trace (the `--from-trace`
 /// path). Kernel-side probes are absent — the serialized trace holds
 /// only what the monitor saw, and lock traffic rides the untraced
@@ -663,6 +814,35 @@ pub fn lock_contention_table(obs: &RunObs, n: usize) -> String {
     s
 }
 
+/// Renders the top hot lines as a fixed-width table — the companion to
+/// [`lock_contention_table`] for data, not locks: which cache lines the
+/// CPUs fought over, who they belong to, and whether the sharing is
+/// true (overlapping footprints) or false (disjoint sub-block
+/// footprints on one line).
+pub fn hotline_table(h: &HotlineAnalysis, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<30} {:<14} {:>7} {:>6} {:>6} {:>4}  sharing",
+        "line", "region", "misses", "invals", "churn", "cpus"
+    );
+    for r in h.top.iter().take(n) {
+        let _ = writeln!(
+            s,
+            "{:<30} {:<14} {:>7} {:>6} {:>6} {:>4}  {}",
+            r.symbol,
+            r.region.label(),
+            r.total_misses(),
+            r.invals,
+            r.churn,
+            r.sharers,
+            if r.false_sharing { "FALSE" } else { "true" }
+        );
+    }
+    s
+}
+
 /// A `Log2Histogram` of per-chunk record counts plus chunk totals,
 /// collected by the streaming pipeline when observability is on.
 #[derive(Debug, Default, Clone)]
@@ -705,6 +885,7 @@ mod tests {
                 cpu: CpuId(cpu),
                 paddr,
                 kind: BusKind::UncachedRead,
+                sub: 0,
             })
             .collect()
     }
@@ -715,6 +896,7 @@ mod tests {
             cpu: CpuId(cpu),
             paddr: PAddr::new(0x4000),
             kind: BusKind::Read,
+            sub: 0,
         }
     }
 
@@ -829,12 +1011,14 @@ mod tests {
             trace_records: 0,
             obs: None,
             provenance: None,
+            hotlines: None,
         };
         let outs = vec![out];
         let t = merge_trace_json(&outs);
         assert!(t.contains("\"traceEvents\""));
         assert_eq!(merge_metrics_json(&outs), Metrics::new().to_json());
         assert_eq!(merge_provenance_json(&outs), Metrics::new().to_json());
+        assert_eq!(merge_hotlines_json(&outs), "{\n}\n");
     }
 
     #[test]

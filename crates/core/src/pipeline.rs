@@ -75,6 +75,13 @@ pub struct StreamOptions {
     /// counters live on the analysis thread); off by default and free
     /// when off.
     pub provenance: bool,
+    /// Track per-block contention and materialize the symbolized
+    /// hot-line exhibit ([`TraceAnalysis::hotlines`]). Forces inline
+    /// classification (the tracker consumes class verdicts
+    /// access-by-access); off by default and free when off.
+    pub hotlines: bool,
+    /// Top contended lines kept by the hot-line exhibit.
+    pub hotlines_top: usize,
     /// Epoch length in simulated cycles for the time-parallel engine
     /// ([`crate::epoch`]): with a non-zero value the measured window is
     /// swept once monitor-off to checkpoint epoch boundaries, then the
@@ -105,6 +112,8 @@ impl Default for StreamOptions {
             keep_streams: false,
             observe: false,
             provenance: false,
+            hotlines: false,
+            hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,
@@ -296,10 +305,11 @@ fn run_streaming_inner(
     opts: &StreamOptions,
     row_hook: Option<(Option<RecordFilter>, RowSink)>,
 ) -> (RunArtifacts, TraceAnalysis) {
-    // Provenance reads the per-CPU resim bank counters and a row sink
-    // needs records enriched as they stream by, so both force the
-    // classification and the sweeps inline on the analysis thread.
-    let inline_only = opts.provenance || row_hook.is_some();
+    // Provenance reads the per-CPU resim bank counters, a row sink
+    // needs records enriched as they stream by, and the hot-line
+    // tracker consumes class verdicts access-by-access — each forces
+    // the classification and the sweeps inline on the analysis thread.
+    let inline_only = opts.provenance || opts.hotlines || row_hook.is_some();
     let shards = if inline_only { 1 } else { opts.shards.max(1) };
     let sweep_workers = if opts.online_sweeps && !inline_only {
         opts.sweep_workers.max(1)
@@ -312,6 +322,8 @@ fn run_streaming_inner(
         deferred_classification: shards > 1,
         deferred_sweeps: sweep_workers > 1,
         provenance: opts.provenance,
+        hotlines: opts.hotlines,
+        hotlines_top: opts.hotlines_top,
     };
     let chunk_records = opts.chunk_records.max(1);
     let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));

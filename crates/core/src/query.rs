@@ -38,6 +38,9 @@ use crate::pipeline::{run_streaming, run_streaming_rows, StreamOptions};
 pub const RECORD_FIELDS: &str = "cpu, kind, mode, fetch, class, op, region, time, addr";
 /// Queryable fields of the `locks` source, for error messages.
 pub const LOCK_FIELDS: &str = "family, instance, cpu, phase, start, dur";
+/// Queryable fields of the `hotlines` source, for error messages.
+pub const HOTLINE_FIELDS: &str =
+    "symbol, region, false_sharing, sharers, misses, invals, churn, upgrades, score, addr";
 
 const KIND_VALUES: [(&str, BusKind); 5] = [
     ("read", BusKind::Read),
@@ -68,6 +71,8 @@ const CLASS_VALUES: [(&str, u8); 6] = [
 const PHASE_SPIN: u8 = 1;
 const PHASE_HOLD: u8 = 2;
 const PHASE_VALUES: [(&str, u8); 2] = [("spin", PHASE_SPIN), ("hold", PHASE_HOLD)];
+
+const BOOL_VALUES: [(&str, bool); 2] = [("true", true), ("false", false)];
 
 /// Every kernel region, in declaration order (the enum has no `ALL`
 /// const of its own).
@@ -279,6 +284,60 @@ enum LockValue {
     Start,
 }
 
+/// A predicate of the `hotlines` source. `Symbol` matches by prefix
+/// (`--where symbol=proc` admits every `proc[...]` line); everything
+/// else is exact or numeric.
+#[derive(Debug, Clone)]
+enum HotPred {
+    Symbol(Vec<String>),
+    Region(Vec<KernelRegion>),
+    FalseSharing(bool),
+    Sharers(NumPred),
+    Misses(NumPred),
+    Invals(NumPred),
+    Churn(NumPred),
+    Upgrades(NumPred),
+    Score(NumPred),
+    Addr(NumPred),
+}
+
+impl HotPred {
+    fn matches(&self, row: &crate::hotline::HotlineRow) -> bool {
+        match self {
+            HotPred::Symbol(prefixes) => {
+                prefixes.iter().any(|p| row.symbol.starts_with(p.as_str()))
+            }
+            HotPred::Region(rs) => rs.contains(&row.region),
+            HotPred::FalseSharing(v) => row.false_sharing == *v,
+            HotPred::Sharers(n) => n.matches(row.sharers as u64),
+            HotPred::Misses(n) => n.matches(row.total_misses()),
+            HotPred::Invals(n) => n.matches(row.invals),
+            HotPred::Churn(n) => n.matches(row.churn),
+            HotPred::Upgrades(n) => n.matches(row.upgrades),
+            HotPred::Score(n) => n.matches(row.score),
+            HotPred::Addr(n) => n.matches(row.paddr),
+        }
+    }
+}
+
+/// A group-key component of the `hotlines` source.
+#[derive(Debug, Clone, Copy)]
+enum HotGroup {
+    Symbol,
+    Region,
+    FalseSharing,
+}
+
+/// The value field of the `hotlines` source.
+#[derive(Debug, Clone, Copy)]
+enum HotValue {
+    Misses,
+    Invals,
+    Churn,
+    Sharers,
+    Score,
+}
+
 /// The execution plan of a validated spec.
 #[derive(Debug, Clone)]
 enum Plan {
@@ -292,6 +351,11 @@ enum Plan {
         preds: Vec<LockPred>,
         group: Vec<LockGroup>,
         value: Option<LockValue>,
+    },
+    Hotlines {
+        preds: Vec<HotPred>,
+        group: Vec<HotGroup>,
+        value: Option<HotValue>,
     },
 }
 
@@ -369,6 +433,7 @@ pub fn compile(spec: &QuerySpec) -> Result<CompiledQuery, String> {
     let plan = match spec.source {
         QuerySource::Records => compile_records(spec)?,
         QuerySource::Locks => compile_locks(spec)?,
+        QuerySource::Hotlines => compile_hotlines(spec)?,
     };
     Ok(CompiledQuery {
         agg: spec.agg.clone(),
@@ -534,6 +599,80 @@ fn compile_locks(spec: &QuerySpec) -> Result<Plan, String> {
     })
 }
 
+fn compile_hotlines(spec: &QuerySpec) -> Result<Plan, String> {
+    let region_vocab: Vec<(&str, KernelRegion)> = REGIONS.iter().map(|&r| (r.label(), r)).collect();
+
+    let mut preds = Vec::new();
+    for f in &spec.filters {
+        preds.push(match f.field() {
+            "symbol" => HotPred::Symbol(oneof_values(f)?.to_vec()),
+            "region" => HotPred::Region(
+                oneof_values(f)?
+                    .iter()
+                    .map(|v| lookup("region", v, &region_vocab))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "false_sharing" => {
+                let vs = oneof_values(f)?;
+                if vs.len() != 1 {
+                    return Err("--where false_sharing: needs exactly one of true, false".into());
+                }
+                HotPred::FalseSharing(lookup("false_sharing", &vs[0], &BOOL_VALUES)?)
+            }
+            "sharers" => HotPred::Sharers(NumPred::from_filter(f)?),
+            "misses" => HotPred::Misses(NumPred::from_filter(f)?),
+            "invals" => HotPred::Invals(NumPred::from_filter(f)?),
+            "churn" => HotPred::Churn(NumPred::from_filter(f)?),
+            "upgrades" => HotPred::Upgrades(NumPred::from_filter(f)?),
+            "score" => HotPred::Score(NumPred::from_filter(f)?),
+            "addr" => HotPred::Addr(NumPred::from_filter(f)?),
+            other => {
+                return Err(format!(
+                    "unknown hotlines field `{other}` (one of: {HOTLINE_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let mut group = Vec::new();
+    for g in &spec.group_by {
+        group.push(match g.as_str() {
+            "symbol" => HotGroup::Symbol,
+            "region" => HotGroup::Region,
+            "false_sharing" => HotGroup::FalseSharing,
+            "sharers" | "misses" | "invals" | "churn" | "upgrades" | "score" | "addr" => {
+                return Err(format!("cannot group by continuous field `{g}`"))
+            }
+            other => {
+                return Err(format!(
+                    "unknown hotlines field `{other}` (one of: {HOTLINE_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let value = match spec.agg.value_field() {
+        None => None,
+        Some("misses") => Some(HotValue::Misses),
+        Some("invals") => Some(HotValue::Invals),
+        Some("churn") => Some(HotValue::Churn),
+        Some("sharers") => Some(HotValue::Sharers),
+        Some("score") => Some(HotValue::Score),
+        Some(other) => {
+            return Err(format!(
+                "hotlines aggregation needs value field misses|invals|churn|sharers|score, \
+                 not `{other}`"
+            ))
+        }
+    };
+
+    Ok(Plan::Hotlines {
+        preds,
+        group,
+        value,
+    })
+}
+
 /// The result of one query over one run.
 #[derive(Debug, Clone)]
 pub struct QueryRun {
@@ -680,6 +819,62 @@ pub fn run_compiled(
                 trace_records: art.trace_records,
             })
         }
+        Plan::Hotlines {
+            preds,
+            group,
+            value,
+        } => {
+            // Every shared line is a row, not just the export's top-K:
+            // aggregations must see the full population.
+            let opts = StreamOptions {
+                online_sweeps: false,
+                hotlines: true,
+                hotlines_top: usize::MAX,
+                ..StreamOptions::default()
+            };
+            let (art, an) = run_streaming(config, &opts);
+            let mut table = GroupTable::new(compiled.agg.clone()).with_top(compiled.top);
+            let rows = an
+                .hotlines
+                .as_deref()
+                .map(|h| h.top.as_slice())
+                .unwrap_or(&[]);
+            let mut key = String::new();
+            for row in rows {
+                if !preds.iter().all(|p| p.matches(row)) {
+                    continue;
+                }
+                key.clear();
+                for (i, g) in group.iter().enumerate() {
+                    if i > 0 {
+                        key.push(' ');
+                    }
+                    match g {
+                        HotGroup::Symbol => key.push_str(&row.symbol),
+                        HotGroup::Region => key.push_str(row.region.label()),
+                        HotGroup::FalseSharing => key.push_str(if row.false_sharing {
+                            "false_sharing"
+                        } else {
+                            "true_sharing"
+                        }),
+                    }
+                }
+                joined_key(&mut key, group.len());
+                let v = match value {
+                    Some(HotValue::Misses) => row.total_misses(),
+                    Some(HotValue::Invals) => row.invals,
+                    Some(HotValue::Churn) => row.churn,
+                    Some(HotValue::Sharers) => row.sharers as u64,
+                    Some(HotValue::Score) => row.score,
+                    None => 0,
+                };
+                table.accept(&key, v);
+            }
+            Ok(QueryRun {
+                table,
+                trace_records: art.trace_records,
+            })
+        }
     }
 }
 
@@ -772,6 +967,43 @@ mod tests {
             panic!("records plan expected");
         };
         assert_eq!(filter.unwrap().time, Some((300, 500)));
+    }
+
+    #[test]
+    fn hotlines_vocab_errors_list_fields_and_values() {
+        // A valid query compiles without running any simulation.
+        assert!(compile(
+            &spec(
+                "hotlines",
+                &["false_sharing=true", "region=process-table,pfdat"],
+                Some("symbol,region"),
+                Some("sum:invals"),
+            )
+            .unwrap()
+        )
+        .is_ok());
+        // Unknown fields list the full field vocabulary.
+        let e = compile(&spec("hotlines", &["bogus=1"], None, None).unwrap()).unwrap_err();
+        assert!(e.contains("unknown hotlines field"), "{e}");
+        assert!(e.contains(HOTLINE_FIELDS), "{e}");
+        // Unknown values list the value vocabulary.
+        let e = compile(&spec("hotlines", &["region=heap"], None, None).unwrap()).unwrap_err();
+        assert!(e.contains("unknown region"), "{e}");
+        assert!(e.contains("run-queue"), "{e}");
+        let e =
+            compile(&spec("hotlines", &["false_sharing=maybe"], None, None).unwrap()).unwrap_err();
+        assert!(e.contains("one of: true, false"), "{e}");
+        // Continuous fields cannot group; bad value fields list theirs.
+        assert!(
+            compile(&spec("hotlines", &[], Some("score"), None).unwrap())
+                .unwrap_err()
+                .contains("continuous")
+        );
+        assert!(
+            compile(&spec("hotlines", &[], None, Some("sum:dur")).unwrap())
+                .unwrap_err()
+                .contains("misses|invals|churn|sharers|score")
+        );
     }
 
     #[test]

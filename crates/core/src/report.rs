@@ -565,6 +565,49 @@ pub fn render_summary(art: &RunArtifacts, an: &TraceAnalysis) -> String {
 }
 
 /// The full report for one run.
+/// The paper's "most actively shared data" exhibit, rebuilt from the
+/// hot-line tracker: the top contended cache lines, symbolized against
+/// the kernel layout, with per-class miss counts and a false-sharing
+/// verdict from the per-CPU sub-block footprints. Renders nothing when
+/// hot-line attribution was not requested, so every pre-existing report
+/// stays byte-identical.
+pub fn render_hotlines(art: &RunArtifacts, an: &TraceAnalysis) -> String {
+    let Some(h) = an.hotlines.as_deref() else {
+        return String::new();
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "Most actively shared data — {}", art.workload);
+    let _ = writeln!(
+        s,
+        "  {} blocks touched, {} shared by 2+ CPUs, {} flagged false sharing (top {} shown)",
+        h.blocks_seen,
+        h.blocks_shared,
+        h.false_sharing_lines,
+        h.top.len()
+    );
+    let _ = writeln!(
+        s,
+        "  {:10} {:30} {:14} {:>7} {:>7} {:>6} {:>6} {:>4}  sharing",
+        "line", "symbol", "region", "misses", "shared", "invals", "churn", "cpus"
+    );
+    for r in &h.top {
+        let _ = writeln!(
+            s,
+            "  0x{:08x} {:30} {:14} {:>7} {:>7} {:>6} {:>6} {:>4}  {}",
+            r.paddr,
+            r.symbol,
+            r.region.label(),
+            r.total_misses(),
+            r.misses[3] + r.misses[4],
+            r.invals,
+            r.churn,
+            r.sharers,
+            if r.false_sharing { "FALSE" } else { "true" }
+        );
+    }
+    s
+}
+
 pub fn render_all(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     let mut s = String::new();
     let _ = writeln!(
@@ -610,6 +653,7 @@ pub fn render_all(art: &RunArtifacts, an: &TraceAnalysis) -> String {
     s += &render_table10(art);
     s += &render_table11();
     s += &render_table12(art);
+    s += &render_hotlines(art, an);
     s += &render_appendix(art, an);
     s += &render_summary(art, an);
     s

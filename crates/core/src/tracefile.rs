@@ -19,7 +19,8 @@ use oscar_workloads::WorkloadKind;
 
 use crate::experiment::RunArtifacts;
 
-const MAGIC: &[u8; 8] = b"OSCARTR1";
+// TR2: each record carries a sub-block offset byte after the address.
+const MAGIC: &[u8; 8] = b"OSCARTR2";
 
 fn kind_code(k: BusKind) -> u8 {
     match k {
@@ -109,6 +110,7 @@ pub fn save(art: &RunArtifacts, w: &mut impl Write) -> io::Result<()> {
         write_u64(w, rec.time)?;
         w.write_all(&[rec.cpu.0, kind_code(rec.kind)])?;
         write_u64(w, rec.paddr.raw())?;
+        w.write_all(&[rec.sub])?;
     }
     Ok(())
 }
@@ -165,11 +167,14 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         r.read_exact(&mut b)?;
         let kind = kind_from(b[1])?;
         let paddr = PAddr::new(read_u64(r)?);
+        let mut s = [0u8; 1];
+        r.read_exact(&mut s)?;
         trace.push(BusRecord {
             time,
             cpu: CpuId(b[0]),
             paddr,
             kind,
+            sub: s[0],
         });
     }
 
@@ -240,7 +245,7 @@ mod tests {
             .measure(1_000_000));
         let mut buf = Vec::new();
         save(&art, &mut buf).expect("save");
-        // 18 bytes per record plus a small header.
-        assert!(buf.len() < art.trace.len() * 18 + 1024);
+        // 19 bytes per record plus a small header.
+        assert!(buf.len() < art.trace.len() * 19 + 1024);
     }
 }

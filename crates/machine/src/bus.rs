@@ -47,6 +47,8 @@ pub struct Bus {
     uncached_cycles: u64,
     transactions: u64,
     arbitration_wait: u64,
+    invals_sent: u64,
+    sharer_churn: u64,
 }
 
 impl Bus {
@@ -59,6 +61,8 @@ impl Bus {
             uncached_cycles,
             transactions: 0,
             arbitration_wait: 0,
+            invals_sent: 0,
+            sharer_churn: 0,
         }
     }
 
@@ -90,6 +94,29 @@ impl Bus {
         self.arbitration_wait
     }
 
+    /// Notes `n` caches invalidated by a write broadcast. The bus gets
+    /// the broadcast for free, but the snoop results still reveal how
+    /// many caches lost a copy — the hot-line analyzer reads this.
+    pub fn note_invals(&mut self, n: u64) {
+        self.invals_sent += n;
+    }
+
+    /// Notes a fill that found the line resident in another cache
+    /// (sharer churn: the line is migrating between caches).
+    pub fn note_shared_fill(&mut self) {
+        self.sharer_churn += 1;
+    }
+
+    /// Total cache copies lost to write invalidations.
+    pub fn invals_sent(&self) -> u64 {
+        self.invals_sent
+    }
+
+    /// Total fills that found the line in another cache.
+    pub fn sharer_churn(&self) -> u64 {
+        self.sharer_churn
+    }
+
     /// Serializes the dynamic bus state (occupancy horizon and
     /// counters). Service times come from the configuration and are not
     /// written.
@@ -97,6 +124,8 @@ impl Bus {
         w.u64(self.busy_until);
         w.u64(self.transactions);
         w.u64(self.arbitration_wait);
+        w.u64(self.invals_sent);
+        w.u64(self.sharer_churn);
     }
 
     /// Restores state written by [`Bus::save`] into a bus constructed
@@ -108,6 +137,8 @@ impl Bus {
         self.busy_until = r.u64()?;
         self.transactions = r.u64()?;
         self.arbitration_wait = r.u64()?;
+        self.invals_sent = r.u64()?;
+        self.sharer_churn = r.u64()?;
         Ok(())
     }
 }

@@ -55,6 +55,9 @@ pub struct DirStats {
     /// Total cycles requests spent queued on a busy home bank (the
     /// directory analogue of bus arbitration wait).
     pub bank_wait: u64,
+    /// Fills that found the line resident in another cache (sharer
+    /// churn: the line is migrating between caches).
+    pub sharer_churn: u64,
 }
 
 impl DirStats {
@@ -155,6 +158,11 @@ impl DirFabric {
         self.stats.invals_sent += n;
     }
 
+    /// Notes a fill that found the line resident in another cache.
+    pub fn note_shared_fill(&mut self) {
+        self.stats.sharer_churn += 1;
+    }
+
     /// Message counters.
     pub fn stats(&self) -> &DirStats {
         &self.stats
@@ -188,6 +196,7 @@ impl DirFabric {
             s.invals_sent,
             s.forwards,
             s.bank_wait,
+            s.sharer_churn,
         ] {
             w.u64(v);
         }
@@ -212,6 +221,7 @@ impl DirFabric {
         s.invals_sent = r.u64()?;
         s.forwards = r.u64()?;
         s.bank_wait = r.u64()?;
+        s.sharer_churn = r.u64()?;
         Ok(())
     }
 }

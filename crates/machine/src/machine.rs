@@ -238,8 +238,16 @@ impl Fabric {
     }
 
     fn note_invals(&mut self, n: u64) {
-        if let Fabric::Dir(d) = self {
-            d.note_invals(n);
+        match self {
+            Fabric::Bus(b) => b.note_invals(n),
+            Fabric::Dir(d) => d.note_invals(n),
+        }
+    }
+
+    fn note_shared_fill(&mut self) {
+        match self {
+            Fabric::Bus(b) => b.note_shared_fill(),
+            Fabric::Dir(d) => d.note_shared_fill(),
         }
     }
 
@@ -260,6 +268,12 @@ pub struct InterconnectStats {
     /// Total cycles requesters spent waiting for the medium (bus
     /// arbitration or directory bank queueing).
     pub arbitration_wait: u64,
+    /// Cache copies lost to write invalidations (broadcast snoop hits
+    /// on the bus, point-to-point messages on the directory).
+    pub invals_sent: u64,
+    /// Fills that found the line resident in another cache (sharer
+    /// churn: the line is migrating between caches).
+    pub sharer_churn: u64,
     /// Directory message counters; `None` on the snooping bus.
     pub dir: Option<DirStats>,
 }
@@ -436,11 +450,21 @@ impl Machine {
     }
 
     fn record(&mut self, cpu: CpuId, time: u64, paddr: PAddr, kind: BusKind) {
+        // Cached transactions put the block base on the address lines;
+        // the monitor additionally latches the dropped low bits as the
+        // sub-block offset. Uncached escapes carry the full byte address
+        // (their low bits encode the escape payload, not an offset).
+        let (paddr, sub) = if kind == BusKind::UncachedRead {
+            (paddr, 0)
+        } else {
+            (paddr.block().base(), paddr.offset_in_block() as u8)
+        };
         self.monitor.record(BusRecord {
             time,
             cpu,
             paddr,
             kind,
+            sub,
         });
     }
 
@@ -485,7 +509,7 @@ impl Machine {
             Lookup::Miss { .. } => {
                 // I-caches hold clean code only: victims are silent.
                 let grant = self.fabric.transact(now, BusKind::Read, block);
-                self.record(cpu, grant.start, block.base(), BusKind::Read);
+                self.record(cpu, grant.start, paddr, BusKind::Read);
                 let remote = self.remote_penalty(cpu, paddr);
                 let core = &mut self.cpus[idx];
                 core.counters.ifetch_fills += 1;
@@ -544,7 +568,7 @@ impl Machine {
                 // Write hit: if any other cache holds the line, upgrade.
                 if self.any_other_sharer(idx, block) {
                     let grant = self.fabric.transact(now, BusKind::Upgrade, block);
-                    self.record(cpu, grant.start, block.base(), BusKind::Upgrade);
+                    self.record(cpu, grant.start, paddr, BusKind::Upgrade);
                     self.invalidate_others(idx, block);
                     self.cpus[idx].counters.upgrades += 1;
                     stall += grant.stall;
@@ -590,28 +614,37 @@ impl Machine {
         if write && self.config.write_stall_pct < 100 {
             grant.stall = grant.stall * self.config.write_stall_pct as u64 / 100;
         }
-        self.record(cpu, grant.start, block.base(), kind);
+        self.record(cpu, grant.start, paddr, kind);
 
         // A dirty copy elsewhere supplies the line and updates memory
         // first: the snoop flush on the bus, the dirty-owner forward on
         // the directory. The sharer directory narrows this to CPUs that
-        // actually hold the line; non-holders can never be dirty.
+        // actually hold the line; non-holders can never be dirty. The
+        // snoop results also reveal whether any clean copy exists —
+        // sharer churn, which the hot-line analyzer reads.
         let mut extra_stall = 0;
+        let mut shared = false;
         for j in self.other_holders(idx, block) {
-            if self.cpus[j].l2d.probe_dirty(block) {
-                let wb_grant = self.fabric.transact(grant.start, BusKind::WriteBack, block);
-                self.record(
-                    CpuId(j as u8),
-                    wb_grant.start,
-                    block.base(),
-                    BusKind::WriteBack,
-                );
-                self.cpus[j].l2d.clean(block);
-                self.cpus[j].counters.writebacks += 1;
-                // The requester waits for the flush/forward.
-                extra_stall += self.fabric.flush_penalty(self.config.bus_occupancy_cycles);
-                self.fabric.note_forward();
+            if self.cpus[j].l2d.probe(block) {
+                shared = true;
+                if self.cpus[j].l2d.probe_dirty(block) {
+                    let wb_grant = self.fabric.transact(grant.start, BusKind::WriteBack, block);
+                    self.record(
+                        CpuId(j as u8),
+                        wb_grant.start,
+                        block.base(),
+                        BusKind::WriteBack,
+                    );
+                    self.cpus[j].l2d.clean(block);
+                    self.cpus[j].counters.writebacks += 1;
+                    // The requester waits for the flush/forward.
+                    extra_stall += self.fabric.flush_penalty(self.config.bus_occupancy_cycles);
+                    self.fabric.note_forward();
+                }
             }
+        }
+        if shared {
+            self.fabric.note_shared_fill();
         }
         if write {
             self.invalidate_others(idx, block);
@@ -771,11 +804,15 @@ impl Machine {
             Fabric::Bus(b) => InterconnectStats {
                 transactions: b.transactions(),
                 arbitration_wait: b.arbitration_wait(),
+                invals_sent: b.invals_sent(),
+                sharer_churn: b.sharer_churn(),
                 dir: None,
             },
             Fabric::Dir(d) => InterconnectStats {
                 transactions: d.stats().requests(),
                 arbitration_wait: d.stats().bank_wait,
+                invals_sent: d.stats().invals_sent,
+                sharer_churn: d.stats().sharer_churn,
                 dir: Some(*d.stats()),
             },
         }

@@ -26,6 +26,13 @@ pub struct BusRecord {
     pub paddr: PAddr,
     /// Transaction kind.
     pub kind: BusKind,
+    /// Byte offset of the access within its 16-byte block, for cached
+    /// transactions (the bus address itself is the block base). The
+    /// real monitor latches the low address bits the cache drops; the
+    /// hot-line analyzer uses them to build per-CPU sub-block
+    /// footprints. Zero for writebacks; the full offset is already in
+    /// `paddr` for uncached reads.
+    pub sub: u8,
 }
 
 impl BusRecord {
@@ -62,16 +69,19 @@ pub struct RecordBlock {
     pub paddr: Vec<PAddr>,
     /// Transaction kinds.
     pub kind: Vec<BusKind>,
+    /// Sub-block byte offsets ([`BusRecord::sub`]).
+    pub sub: Vec<u8>,
 }
 
 impl RecordBlock {
-    /// An empty block with all four columns pre-sized for `cap` records.
+    /// An empty block with all columns pre-sized for `cap` records.
     pub fn with_capacity(cap: usize) -> Self {
         RecordBlock {
             time: Vec::with_capacity(cap),
             cpu: Vec::with_capacity(cap),
             paddr: Vec::with_capacity(cap),
             kind: Vec::with_capacity(cap),
+            sub: Vec::with_capacity(cap),
         }
     }
 
@@ -91,6 +101,7 @@ impl RecordBlock {
         self.cpu.clear();
         self.paddr.clear();
         self.kind.clear();
+        self.sub.clear();
     }
 
     /// Appends one record to the columns.
@@ -99,6 +110,7 @@ impl RecordBlock {
         self.cpu.push(rec.cpu);
         self.paddr.push(rec.paddr);
         self.kind.push(rec.kind);
+        self.sub.push(rec.sub);
     }
 
     /// Reassembles record `i`.
@@ -112,6 +124,7 @@ impl RecordBlock {
             cpu: self.cpu[i],
             paddr: self.paddr[i],
             kind: self.kind[i],
+            sub: self.sub[i],
         }
     }
 
@@ -126,6 +139,7 @@ impl RecordBlock {
         self.cpu.extend_from_slice(&other.cpu);
         self.paddr.extend_from_slice(&other.paddr);
         self.kind.extend_from_slice(&other.kind);
+        self.sub.extend_from_slice(&other.sub);
     }
 }
 
@@ -488,6 +502,7 @@ impl TraceBuffer {
                 BusKind::WriteBack => 3,
                 BusKind::UncachedRead => 4,
             });
+            w.u8(rec.sub);
         }
     }
 
@@ -520,11 +535,13 @@ impl TraceBuffer {
                 4 => BusKind::UncachedRead,
                 _ => return Err(SnapError::Corrupt("bus kind tag")),
             };
+            let sub = r.u8()?;
             self.records.push(BusRecord {
                 time,
                 cpu,
                 paddr,
                 kind,
+                sub,
             });
         }
         Ok(())
@@ -548,6 +565,7 @@ mod tests {
             cpu: CpuId(0),
             paddr: PAddr::new(t * 16),
             kind: BusKind::Read,
+            sub: 0,
         }
     }
 
@@ -702,6 +720,7 @@ mod tests {
             cpu: CpuId(2),
             paddr: PAddr::new(0x4000),
             kind: BusKind::ReadEx,
+            sub: 0,
         };
         assert!(RecordFilter::default().is_pass_all());
         assert!(RecordFilter::default().matches(&r));

@@ -7,8 +7,9 @@
 //! differing key yields a [`DiffEntry`] with absolute and relative
 //! deltas; per-prefix [`Tolerance`]s (longest matching prefix wins)
 //! decide whether a delta counts as *drift*. Keys present on only one
-//! side are always drift. The default tolerance is exact equality, so
-//! `diff a.json a.json` of two identical-seed runs reports zero delta.
+//! side render as explicit `added`/`removed` rows and are always drift.
+//! The default tolerance is exact equality, so `diff a.json a.json` of
+//! two identical-seed runs reports zero delta.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -299,11 +300,24 @@ pub struct Tolerance {
     pub abs: f64,
 }
 
+/// How a key differs between the two documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// Present on both sides with different values.
+    Value,
+    /// Present only on the right side.
+    Added,
+    /// Present only on the left side.
+    Removed,
+}
+
 /// One differing key.
 #[derive(Debug, Clone)]
 pub struct DiffEntry {
     /// The flattened key.
     pub key: String,
+    /// How the key differs (value change vs. one-sided presence).
+    pub kind: DiffKind,
     /// Left-side value, if present.
     pub left: Option<String>,
     /// Right-side value, if present.
@@ -347,20 +361,40 @@ impl DiffReport {
                 let _ = writeln!(out, "  ... ({} more)", self.drifted() - shown);
                 break;
             }
-            let l = e.left.as_deref().unwrap_or("<missing>");
-            let r = e.right.as_deref().unwrap_or("<missing>");
-            if e.abs_delta.is_finite() {
-                let _ = writeln!(
-                    out,
-                    "  {}: {} -> {} (abs {}, rel {:.4})",
-                    e.key,
-                    l,
-                    r,
-                    format_num(e.abs_delta),
-                    e.rel_delta
-                );
-            } else {
-                let _ = writeln!(out, "  {}: {} -> {}", e.key, l, r);
+            match e.kind {
+                DiffKind::Added => {
+                    let _ = writeln!(
+                        out,
+                        "  {}: added = {}",
+                        e.key,
+                        e.right.as_deref().unwrap_or("?")
+                    );
+                }
+                DiffKind::Removed => {
+                    let _ = writeln!(
+                        out,
+                        "  {}: removed (was {})",
+                        e.key,
+                        e.left.as_deref().unwrap_or("?")
+                    );
+                }
+                DiffKind::Value => {
+                    let l = e.left.as_deref().unwrap_or("?");
+                    let r = e.right.as_deref().unwrap_or("?");
+                    if e.abs_delta.is_finite() {
+                        let _ = writeln!(
+                            out,
+                            "  {}: {} -> {} (abs {}, rel {:.4})",
+                            e.key,
+                            l,
+                            r,
+                            format_num(e.abs_delta),
+                            e.rel_delta
+                        );
+                    } else {
+                        let _ = writeln!(out, "  {}: {} -> {}", e.key, l, r);
+                    }
+                }
             }
         }
         let tolerated = self.entries.len() - self.drifted();
@@ -406,6 +440,7 @@ pub fn diff_flat(
                     .unwrap_or(false);
                 DiffEntry {
                     key: key.clone(),
+                    kind: DiffKind::Value,
                     left: Some(format_num(*x)),
                     right: Some(format_num(*y)),
                     abs_delta: abs,
@@ -420,6 +455,7 @@ pub fn diff_flat(
                 // Type mismatch or differing text: never tolerated.
                 DiffEntry {
                     key: key.clone(),
+                    kind: DiffKind::Value,
                     left: Some(x.render()),
                     right: Some(y.render()),
                     abs_delta: f64::INFINITY,
@@ -427,8 +463,15 @@ pub fn diff_flat(
                     within: false,
                 }
             }
+            // One-sided keys: an explicit added/removed row, always
+            // drift (a new or vanished counter is a schema change).
             (x, y) => DiffEntry {
                 key: key.clone(),
+                kind: if x.is_none() {
+                    DiffKind::Added
+                } else {
+                    DiffKind::Removed
+                },
                 left: x.map(Scalar::render),
                 right: y.map(Scalar::render),
                 abs_delta: f64::INFINITY,
@@ -505,11 +548,23 @@ mod tests {
         assert_eq!(r.drifted(), 4);
         let n = &r.entries[0];
         assert_eq!(n.key, "n");
+        assert_eq!(n.kind, DiffKind::Value);
         assert_eq!(n.abs_delta, 10.0);
         assert!((n.rel_delta - 10.0 / 110.0).abs() < 1e-12);
+        // One-sided keys classify by side: left-only removed, right-only
+        // added — explicit rows, no `<missing>` placeholder.
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.key == "only_a" && e.kind == DiffKind::Removed));
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.key == "only_b" && e.kind == DiffKind::Added));
         let text = r.render(10);
-        assert!(text.contains("only_a"));
-        assert!(text.contains("<missing>"));
+        assert!(text.contains("only_a: removed (was 1)"));
+        assert!(text.contains("only_b: added = 2"));
+        assert!(!text.contains("<missing>"));
     }
 
     #[test]

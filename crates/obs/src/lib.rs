@@ -48,7 +48,7 @@ pub mod metrics;
 pub mod query;
 pub mod timeline;
 
-pub use diff::{diff_documents, DiffReport, Tolerance};
+pub use diff::{diff_documents, DiffKind, DiffReport, Tolerance};
 pub use metrics::{Log2Histogram, MetricValue, Metrics};
 pub use query::{Agg, Filter, GroupTable, QuerySource, QuerySpec};
 pub use timeline::Timeline;

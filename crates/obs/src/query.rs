@@ -27,6 +27,9 @@ pub enum QuerySource {
     Records,
     /// One row per observed lock interval (spin or hold).
     Locks,
+    /// One row per contended cache line of the hot-line exhibit,
+    /// symbolized to the kernel object it holds.
+    Hotlines,
 }
 
 impl QuerySource {
@@ -35,6 +38,7 @@ impl QuerySource {
         match self {
             QuerySource::Records => "records",
             QuerySource::Locks => "locks",
+            QuerySource::Hotlines => "hotlines",
         }
     }
 }
@@ -144,7 +148,12 @@ impl QuerySpec {
         let source = match source {
             "records" => QuerySource::Records,
             "locks" => QuerySource::Locks,
-            other => return Err(format!("unknown --source `{other}` (records|locks)")),
+            "hotlines" => QuerySource::Hotlines,
+            other => {
+                return Err(format!(
+                    "unknown --source `{other}` (records|locks|hotlines)"
+                ))
+            }
         };
         let mut filters = Vec::new();
         for w in wheres {

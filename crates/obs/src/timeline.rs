@@ -39,8 +39,9 @@ pub struct CounterSample {
     pub pid: u32,
     /// Sample time, in simulated cycles.
     pub ts: u64,
-    /// Counter (track) name.
-    pub name: &'static str,
+    /// Counter (track) name. Owned: data-derived tracks (e.g. one per
+    /// hot symbol) build their names at runtime.
+    pub name: String,
     /// Stacked series values, in fixed order.
     pub series: Vec<(&'static str, u64)>,
 }
@@ -111,13 +112,13 @@ impl Timeline {
         &mut self,
         pid: u32,
         ts: u64,
-        name: &'static str,
+        name: impl Into<String>,
         series: &[(&'static str, u64)],
     ) {
         self.counters.push(CounterSample {
             pid,
             ts,
-            name,
+            name: name.into(),
             series: series.to_vec(),
         });
     }
@@ -226,7 +227,7 @@ impl Timeline {
                 "{{\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"name\":{},\"args\":{{",
                 c.pid,
                 c.ts,
-                json_str(c.name)
+                json_str(&c.name)
             );
             for (i, (k, v)) in c.series.iter().enumerate() {
                 if i > 0 {

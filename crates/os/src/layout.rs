@@ -9,6 +9,7 @@
 //! stacks and user structures, the buffer cache, and finally the frame
 //! pool that backs user pages.
 
+use crate::locks::LockFamily;
 use crate::types::ProcSlot;
 use oscar_machine::addr::{PAddr, Ppn, PAGE_SIZE};
 
@@ -297,6 +298,31 @@ impl KernelRegion {
             KernelRegion::PipeBuf => "pipe-buffers",
             KernelRegion::FramePool => "frame-pool",
         }
+    }
+}
+
+/// A physical address resolved against the kernel symbol table: the
+/// named object containing it plus its [`KernelRegion`]. This is what
+/// the paper's postprocessor gets by looking a miss address up in the
+/// OS image's symbol table (Section 2.2); the hot-line analyzer uses it
+/// to attribute contended cache lines to kernel structures by name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol {
+    /// Human-readable name, e.g. `text:swtch+0x20`, `proc[5]+0x8`,
+    /// `pfdat[1234]`, `lock:runq`.
+    pub name: String,
+    /// The region the address classifies into.
+    pub region: KernelRegion,
+}
+
+/// Byte stride of one named lock word in the misc-data carve-out.
+const LOCK_WORD_BYTES: u64 = 16;
+
+fn off_suffix(off: u64) -> String {
+    if off == 0 {
+        String::new()
+    } else {
+        format!("+0x{off:x}")
     }
 }
 
@@ -617,6 +643,25 @@ impl Layout {
         PAddr::new(self.misc_data)
     }
 
+    /// Address of the named lock word for `family`.
+    ///
+    /// The synthetic kernel keeps its lock words in the tail of the
+    /// misc-data globals, one cache line (16 bytes) per lock family —
+    /// the real kernel's `Runqlk`, `Memlock`, ... are likewise globals
+    /// the symbol table resolves by name. Synchronization accesses
+    /// travel on the separate sync bus and never appear in the trace;
+    /// these addresses exist so the symbolizer can attribute *data*
+    /// accesses that land in the lock area, and so reports can name
+    /// the lock words the paper talks about.
+    pub fn lock_word(&self, family: LockFamily) -> PAddr {
+        let carve = LockFamily::ALL.len() as u64 * LOCK_WORD_BYTES;
+        let idx = LockFamily::ALL
+            .iter()
+            .position(|&f| f == family)
+            .expect("ALL contains every family") as u64;
+        PAddr::new(self.misc_data + sizes::MISC_DATA - carve + idx * LOCK_WORD_BYTES)
+    }
+
     /// Address of pipe buffer `i`.
     pub fn pipe_buf(&self, i: usize) -> PAddr {
         debug_assert!((i as u64) < sizes::NPIPE);
@@ -693,6 +738,138 @@ impl Layout {
         } else {
             KernelRegion::FramePool
         }
+    }
+
+    /// Resolves a physical address to a named kernel object — the
+    /// symbolizer behind the hot-line attribution exhibits. Total:
+    /// every address resolves to exactly one [`Symbol`], whose region
+    /// always equals [`Layout::classify`] of the same address.
+    ///
+    /// Names are stable and index the containing object: `text:<routine>`
+    /// (replica copies get a `replica<k>:` prefix), `proc[<slot>]`,
+    /// `pfdat[<ppn>]`, `kstack[<slot>]`, `pcb[<slot>]`, `lock:<Family>`,
+    /// `frame[<ppn>]`, ... with a `+0x<off>` suffix for nonzero offsets
+    /// within the object. Addresses at or above [`Layout::ESCAPE_BASE`]
+    /// resolve to `escape:0x<addr>`.
+    pub fn symbol_at(&self, paddr: PAddr) -> Symbol {
+        let a = paddr.raw();
+        if a >= Self::ESCAPE_BASE {
+            return Symbol {
+                name: format!("escape:0x{a:x}"),
+                region: self.classify(paddr),
+            };
+        }
+        let region = self.classify(paddr);
+        let name = match region {
+            KernelRegion::Text => {
+                let canon = self.canonical_text_addr(paddr);
+                let prefix = if canon == paddr {
+                    String::new()
+                } else {
+                    let k = (a - self.replica_base) / self.replica_stride() + 1;
+                    format!("replica{k}:")
+                };
+                match self.routine_at(paddr) {
+                    Some(rid) => {
+                        let off = canon.raw() - self.routine_base[rid as usize];
+                        format!("{prefix}text:{}{}", rid.name(), off_suffix(off))
+                    }
+                    // Alignment padding between routines (or page 0).
+                    None => format!("{prefix}text{}", off_suffix(canon.raw())),
+                }
+            }
+            KernelRegion::ProcTable => {
+                let rel = a - self.proc_table;
+                format!(
+                    "proc[{}]{}",
+                    rel / sizes::PROC_ENTRY,
+                    off_suffix(rel % sizes::PROC_ENTRY)
+                )
+            }
+            KernelRegion::Pfdat => {
+                let rel = a - self.pfdat;
+                format!(
+                    "pfdat[{}]{}",
+                    rel / sizes::PFDAT_ENTRY,
+                    off_suffix(rel % sizes::PFDAT_ENTRY)
+                )
+            }
+            KernelRegion::BufHeaders => {
+                let rel = a - self.buf_hdrs;
+                format!(
+                    "bufhdr[{}]{}",
+                    rel / sizes::BUF_HDR,
+                    off_suffix(rel % sizes::BUF_HDR)
+                )
+            }
+            KernelRegion::InodeTable => {
+                let rel = a - self.inode_table;
+                format!(
+                    "inode[{}]{}",
+                    rel / sizes::INODE,
+                    off_suffix(rel % sizes::INODE)
+                )
+            }
+            KernelRegion::RunQueue => format!("runq{}", off_suffix(a - self.runq)),
+            KernelRegion::FreePgBuck => {
+                format!("freepgbuck{}", off_suffix(a - self.free_pg_buck))
+            }
+            KernelRegion::Callout => format!("callout{}", off_suffix(a - self.callout)),
+            KernelRegion::MiscData => {
+                let carve = LockFamily::ALL.len() as u64 * LOCK_WORD_BYTES;
+                let lock_base = self.misc_data + sizes::MISC_DATA - carve;
+                if a >= lock_base {
+                    let rel = a - lock_base;
+                    let fam = LockFamily::ALL[(rel / LOCK_WORD_BYTES) as usize];
+                    format!("lock:{}{}", fam.label(), off_suffix(rel % LOCK_WORD_BYTES))
+                } else {
+                    format!("misc{}", off_suffix(a - self.misc_data))
+                }
+            }
+            KernelRegion::PageTables => {
+                let rel = a - self.page_tables;
+                format!(
+                    "pagetable[{}]{}",
+                    rel / sizes::PAGE_TABLE,
+                    off_suffix(rel % sizes::PAGE_TABLE)
+                )
+            }
+            KernelRegion::KernelStack => {
+                let rel = a - self.kernel_stacks;
+                format!(
+                    "kstack[{}]{}",
+                    rel / sizes::KERNEL_STACK,
+                    off_suffix(rel % sizes::KERNEL_STACK)
+                )
+            }
+            KernelRegion::Pcb | KernelRegion::Eframe | KernelRegion::URest => {
+                let rel = a - self.ustructs;
+                let (slot, off) = (rel / sizes::USTRUCT, rel % sizes::USTRUCT);
+                match region {
+                    KernelRegion::Pcb => format!("pcb[{slot}]{}", off_suffix(off)),
+                    KernelRegion::Eframe => {
+                        format!("eframe[{slot}]{}", off_suffix(off - sizes::PCB))
+                    }
+                    _ => format!("u[{slot}]{}", off_suffix(off - sizes::PCB - sizes::EFRAME)),
+                }
+            }
+            KernelRegion::BufData => {
+                let rel = a - self.buf_data;
+                format!(
+                    "bufdata[{}]{}",
+                    rel / PAGE_SIZE,
+                    off_suffix(rel % PAGE_SIZE)
+                )
+            }
+            KernelRegion::PipeBuf => {
+                let rel = a - self.pipe_buf;
+                format!("pipe[{}]{}", rel / PAGE_SIZE, off_suffix(rel % PAGE_SIZE))
+            }
+            KernelRegion::FramePool => {
+                format!("frame[{}]{}", a / PAGE_SIZE, off_suffix(a % PAGE_SIZE))
+            }
+        };
+        Symbol { name, region }
     }
 }
 
@@ -826,5 +1003,181 @@ mod tests {
     fn escape_base_is_outside_memory() {
         let l = layout();
         assert!(Layout::ESCAPE_BASE >= l.memory_bytes());
+    }
+
+    /// The named kernel structures occupy pairwise-disjoint address
+    /// ranges: no byte belongs to two symbols.
+    #[test]
+    fn structure_ranges_are_disjoint() {
+        let l = layout();
+        let mut ranges: Vec<(u64, u64, &str)> = vec![
+            (l.text_base, l.text_end, "text"),
+            (
+                l.proc_table,
+                l.proc_table + sizes::NPROC * sizes::PROC_ENTRY,
+                "proc",
+            ),
+            (l.pfdat, l.pfdat_end, "pfdat"),
+            (
+                l.buf_hdrs,
+                l.buf_hdrs + sizes::NBUF * sizes::BUF_HDR,
+                "bufhdr",
+            ),
+            (
+                l.inode_table,
+                l.inode_table + sizes::NINODE * sizes::INODE,
+                "inode",
+            ),
+            (l.runq, l.runq + sizes::RUNQ_HEAD, "runq"),
+            (
+                l.free_pg_buck,
+                l.free_pg_buck + sizes::FREE_PG_BUCK,
+                "freepgbuck",
+            ),
+            (l.callout, l.callout + sizes::CALLOUT, "callout"),
+            (l.misc_data, l.misc_data + sizes::MISC_DATA, "misc"),
+            (
+                l.page_tables,
+                l.page_tables + sizes::NPROC * sizes::PAGE_TABLE,
+                "pagetable",
+            ),
+            (
+                l.kernel_stacks,
+                l.kernel_stacks + sizes::NPROC * sizes::KERNEL_STACK,
+                "kstack",
+            ),
+            (
+                l.ustructs,
+                l.ustructs + sizes::NPROC * sizes::USTRUCT,
+                "ustruct",
+            ),
+            (l.buf_data, l.buf_data + sizes::NBUF * PAGE_SIZE, "bufdata"),
+            (l.pipe_buf, l.pipe_buf + sizes::NPIPE * PAGE_SIZE, "pipe"),
+            (
+                l.frame_pool_first.base().raw(),
+                l.frame_pool_end.base().raw(),
+                "frames",
+            ),
+        ];
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "{} [{:#x},{:#x}) overlaps {} [{:#x},{:#x})",
+                w[0].2,
+                w[0].0,
+                w[0].1,
+                w[1].2,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+
+    /// Symbolization is total and consistent: every address in kernel
+    /// space resolves to exactly one symbol (the resolver is a total
+    /// function) whose region agrees with `classify`, and the symbol
+    /// name matches the region's naming scheme.
+    #[test]
+    fn symbolization_is_total_and_consistent() {
+        let l = layout();
+        let end = l.frame_pool_first().base().raw() + 4 * PAGE_SIZE;
+        // A coarse stride with a prime offset visits every structure,
+        // both sides of each boundary, and intra-object offsets.
+        let mut a = 0u64;
+        while a < end {
+            let p = PAddr::new(a);
+            let sym = l.symbol_at(p);
+            assert!(!sym.name.is_empty(), "no symbol for {a:#x}");
+            assert_eq!(sym.region, l.classify(p), "region mismatch at {a:#x}");
+            a += 13;
+        }
+        // The escape range resolves too.
+        let esc = l.symbol_at(PAddr::new(Layout::ESCAPE_BASE + 0x21));
+        assert!(esc.name.starts_with("escape:0x"));
+    }
+
+    /// The structure accessors round-trip through the resolver: the
+    /// address of a named object symbolizes to that object's name.
+    #[test]
+    fn accessors_round_trip_through_symbolizer() {
+        let l = layout();
+        for &rid in Rid::ALL {
+            let (base, size) = l.routine_range(rid);
+            let s = l.symbol_at(base);
+            assert_eq!(s.name, format!("text:{}", rid.name()));
+            assert_eq!(s.region, KernelRegion::Text);
+            let last = l.symbol_at(base.add(size as u64 - 1));
+            assert!(
+                last.name.starts_with(&format!("text:{}", rid.name())),
+                "{}",
+                last.name
+            );
+        }
+        for slot in [0usize, 1, 63, 127] {
+            let s = ProcSlot(slot as u16);
+            assert_eq!(l.symbol_at(l.proc_entry(s)).name, format!("proc[{slot}]"));
+            assert_eq!(
+                l.symbol_at(l.proc_entry(s).add(8)).name,
+                format!("proc[{slot}]+0x8")
+            );
+            assert_eq!(
+                l.symbol_at(l.kernel_stack(s)).name,
+                format!("kstack[{slot}]")
+            );
+            assert_eq!(l.symbol_at(l.pcb(s)).name, format!("pcb[{slot}]"));
+            assert_eq!(l.symbol_at(l.eframe(s)).name, format!("eframe[{slot}]"));
+            assert_eq!(l.symbol_at(l.u_rest(s)).name, format!("u[{slot}]"));
+            assert_eq!(
+                l.symbol_at(l.page_table(s)).name,
+                format!("pagetable[{slot}]")
+            );
+        }
+        for ppn in [0u32, 100, 8191] {
+            assert_eq!(
+                l.symbol_at(l.pfdat_entry(Ppn(ppn))).name,
+                format!("pfdat[{ppn}]")
+            );
+        }
+        assert_eq!(l.symbol_at(l.run_queue()).name, "runq");
+        assert_eq!(l.symbol_at(l.run_queue().add(8)).name, "runq+0x8");
+        assert_eq!(l.symbol_at(l.buf_hdr(5)).name, "bufhdr[5]");
+        assert_eq!(l.symbol_at(l.inode(7)).name, "inode[7]");
+        assert_eq!(l.symbol_at(l.misc_data()).name, "misc");
+    }
+
+    /// Every lock family has a named word inside misc-data, and the
+    /// words symbolize back to `lock:<Family>`.
+    #[test]
+    fn lock_words_are_named_and_disjoint() {
+        let l = layout();
+        let mut seen = Vec::new();
+        for &fam in &LockFamily::ALL {
+            let w = l.lock_word(fam);
+            assert_eq!(l.classify(w), KernelRegion::MiscData);
+            let s = l.symbol_at(w);
+            assert_eq!(s.name, format!("lock:{}", fam.label()));
+            assert_eq!(
+                l.symbol_at(w.add(4)).name,
+                format!("lock:{}+0x4", fam.label())
+            );
+            seen.push(w.raw());
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), LockFamily::ALL.len());
+    }
+
+    /// Replicated layouts symbolize replica text back to the canonical
+    /// routine, tagged with the replica index.
+    #[test]
+    fn replica_text_symbolizes_to_canonical_routine() {
+        let l = Layout::replicated(64 * 1024 * 1024, 3);
+        let base = l.routine_base(Rid::Swtch);
+        let rep = l.replicate_text_addr(base.add(4), 2);
+        assert_ne!(rep, base.add(4));
+        let s = l.symbol_at(rep);
+        assert_eq!(s.region, KernelRegion::Text);
+        assert_eq!(s.name, "replica2:text:swtch+0x4");
     }
 }

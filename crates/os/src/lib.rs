@@ -56,7 +56,7 @@ pub mod vm;
 pub use exec::NUM_KOP_KINDS;
 pub use instrument::{opcode_label, BlockOpKind, OsEvent, NUM_OPCODES};
 pub use kernel::{KernelObsReport, KernelProbes, OsTuning, OsWorld};
-pub use layout::{KernelRegion, Layout, Rid, Subsystem};
+pub use layout::{KernelRegion, Layout, Rid, Subsystem, Symbol};
 pub use locks::{FamilyStats, LockFamily, LockId, LockObsStats, LockPhase, LockSpan, LockTable};
 pub use paths::shm_base_vpn;
 pub use sched::{SchedObs, SchedPolicy};

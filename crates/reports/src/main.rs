@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use oscar_core::driver::{run_reports_pooled, ReportRequest};
+use oscar_core::observe::merge_hotlines_json;
 use oscar_core::perf::PerfSummary;
 use oscar_core::query::{compile, run_compiled};
 use oscar_core::{
@@ -91,10 +92,20 @@ flags:
                      counts (which CPU/class/op/lock produced every
                      number in the paper report) as `exhibit.*` keys in
                      one sorted JSON object. Deterministic.
+  --hotlines-out FILE
+                     dump the hot-line attribution: the most actively
+                     shared cache lines, symbolized against the kernel
+                     layout, with per-class miss counts, invalidations,
+                     sharer churn, CPU read/write sets and a
+                     false-sharing verdict from per-CPU sub-block
+                     footprints. Adds a \"most actively shared data\"
+                     section to the report and hotline counter tracks
+                     to --trace-json. Deterministic.
+  --hotlines-top N   hot lines to keep per run (default: 50)
   --help, -h         print this help
 
 query flags (see docs/OBSERVABILITY.md for the cookbook):
-  --source S         records | locks               (default: records)
+  --source S         records | locks | hotlines    (default: records)
   --where F=V        predicate; repeatable, ANDed. Value lists
                      (class=sharing,inval) and ranges (time=0..500000)
   --by F1,F2         group-key fields              (default: one group)
@@ -295,6 +306,8 @@ struct Args {
     trace_json: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     provenance_out: Option<PathBuf>,
+    hotlines_out: Option<PathBuf>,
+    hotlines_top: usize,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -310,6 +323,8 @@ fn parse_args(argv: &[String]) -> Args {
     let mut trace_json = None;
     let mut metrics_out = None;
     let mut provenance_out = None;
+    let mut hotlines_out = None;
+    let mut hotlines_top = 50usize;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -334,6 +349,16 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--provenance-out" => {
                 provenance_out = Some(PathBuf::from(flag_value(&mut it, "--provenance-out")))
+            }
+            "--hotlines-out" => {
+                hotlines_out = Some(PathBuf::from(flag_value(&mut it, "--hotlines-out")))
+            }
+            "--hotlines-top" => {
+                hotlines_top = flag_value(&mut it, "--hotlines-top")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("--hotlines-top needs a positive integer"))
             }
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -360,6 +385,8 @@ fn parse_args(argv: &[String]) -> Args {
         trace_json,
         metrics_out,
         provenance_out,
+        hotlines_out,
+        hotlines_top,
     }
 }
 
@@ -391,6 +418,8 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         AnalyzeOptions {
             provenance: args.provenance_out.is_some(),
             online_sweeps: args.provenance_out.is_some(),
+            hotlines: args.hotlines_out.is_some(),
+            hotlines_top: args.hotlines_top,
             ..AnalyzeOptions::default()
         },
     );
@@ -410,19 +439,35 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         write("fig9", csv::fig9_csv(&an));
         write("table12", csv::table12_csv(&art));
     }
-    let want_any =
-        args.trace_json.is_some() || args.metrics_out.is_some() || args.provenance_out.is_some();
+    let want_any = args.trace_json.is_some()
+        || args.metrics_out.is_some()
+        || args.provenance_out.is_some()
+        || args.hotlines_out.is_some();
     if want_any {
         // Rebuild what the monitor stream alone can support: the
         // timeline decoder and the analyzer metrics. Kernel-side probes
         // (lock spin/hold, scheduler counters) need a live run — the
         // sync bus the locks ride is invisible to the saved trace — so
         // the provenance export lacks the `exhibit.sync.*` keys here.
-        let obs = obs_from_artifacts(&art, &an);
+        // Likewise the fabric totals in the hot-line export stay zero:
+        // the saved trace has no interconnect counters.
+        let mut obs = obs_from_artifacts(&art, &an);
         let provenance = args
             .provenance_out
             .is_some()
             .then(|| provenance_metrics(&an, None));
+        let hotlines = an.hotlines.as_deref().map(|h| {
+            Box::new(oscar_core::observe::HotlineExport {
+                analysis: h.clone(),
+                invals_sent: art.interconnect.invals_sent,
+                sharer_churn: art.interconnect.sharer_churn,
+                window_cycles: an.window_cycles,
+            })
+        });
+        if let Some(h) = &hotlines {
+            oscar_core::observe::add_hotline_metrics(&mut obs.metrics, h);
+            oscar_core::observe::add_hotline_tracks(&mut obs.timeline, &art.tag(), h);
+        }
         let out = oscar_core::ReportOutput {
             kind: art.workload,
             tag: art.tag(),
@@ -433,6 +478,7 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
             trace_records: art.trace_records,
             obs: Some(Box::new(obs)),
             provenance,
+            hotlines,
         };
         let outs = [out];
         if let Some(path) = &args.trace_json {
@@ -443,6 +489,9 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         }
         if let Some(path) = &args.provenance_out {
             write_file(path, merge_provenance_json(&outs).as_bytes());
+        }
+        if let Some(path) = &args.hotlines_out {
+            write_file(path, merge_hotlines_json(&outs).as_bytes());
         }
     }
 }
@@ -465,6 +514,8 @@ fn report_main(argv: &[String]) {
             want_trace: args.save_trace_dir.is_some(),
             want_obs: args.trace_json.is_some() || args.metrics_out.is_some(),
             want_provenance: args.provenance_out.is_some(),
+            want_hotlines: args.hotlines_out.is_some(),
+            hotlines_top: args.hotlines_top,
             epoch_cycles: args.epoch_cycles,
             // One worker count for both levels of parallelism: whole
             // workloads fan out across --jobs, and within each run the
@@ -504,6 +555,9 @@ fn report_main(argv: &[String]) {
     }
     if let Some(path) = &args.provenance_out {
         write_file(path, merge_provenance_json(&outputs).as_bytes());
+    }
+    if let Some(path) = &args.hotlines_out {
+        write_file(path, merge_hotlines_json(&outputs).as_bytes());
     }
     perf.finish(started);
     eprintln!("{}", perf.human_line());

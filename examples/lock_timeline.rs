@@ -3,10 +3,12 @@
 //! Runs a workload through the streaming pipeline with observability
 //! on and prints the five most-contended kernel locks —
 //! acquire/contention counts, total spin and hold cycles, and the log2
-//! spin-time histogram the per-lock probes collect. The same data
-//! feeds the `lock-spin`/`lock-hold` tracks of
-//! `oscar-reports --trace-json` and the `locks` source of
-//! `oscar-reports query`.
+//! spin-time histogram the per-lock probes collect — followed by the
+//! five most-contended *cache lines* from the hot-line tracker, each
+//! symbolized against the kernel layout with a true/false-sharing
+//! verdict. The same data feeds the `lock-spin`/`lock-hold` tracks of
+//! `oscar-reports --trace-json`, the `locks` and `hotlines` sources of
+//! `oscar-reports query`, and `oscar-reports --hotlines-out`.
 //!
 //! Run with: `cargo run --release --example lock_timeline -- [flags]`
 //!
@@ -19,7 +21,7 @@
 
 use std::process::exit;
 
-use oscar_core::observe::lock_contention_table;
+use oscar_core::observe::{hotline_table, lock_contention_table};
 use oscar_core::pipeline::{run_streaming, StreamOptions};
 use oscar_core::ExperimentConfig;
 use oscar_workloads::WorkloadKind;
@@ -99,9 +101,10 @@ fn main() {
     }
     let opts = StreamOptions {
         observe: true,
+        hotlines: true,
         ..StreamOptions::default()
     };
-    let (art, _an) = run_streaming(&config, &opts);
+    let (art, an) = run_streaming(&config, &opts);
     let obs = art.obs.expect("observe: true collects an obs payload");
 
     println!(
@@ -121,6 +124,16 @@ fn main() {
     let spins = spans.iter().filter(|s| s.cat == "lock-spin").count();
     let holds = spans.iter().filter(|s| s.cat == "lock-hold").count();
     println!("\ntimeline: {spins} spin intervals, {holds} hold intervals recorded");
+
+    // The data the locks protect: top contended cache lines, from the
+    // same run (same seed, CPUs and window as the lock table above).
+    if let Some(h) = an.hotlines.as_deref() {
+        println!(
+            "\n{} blocks shared by 2+ CPUs ({} flagged false sharing); top 5 hot lines:\n",
+            h.blocks_shared, h.false_sharing_lines
+        );
+        print!("{}", hotline_table(h, 5));
+    }
 
     if let Some(path) = &args.csv {
         let mut csv = String::from("family,instance,acquires,contended,spin_cycles,hold_cycles\n");

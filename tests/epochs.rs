@@ -78,6 +78,7 @@ fn exhibits(config: &ExperimentConfig, opts: &StreamOptions) -> (String, String)
         trace_records: art.trace_records,
         obs,
         provenance: None,
+        hotlines: None,
     };
     let metrics = merge_metrics_json(std::slice::from_ref(&out));
     (report, metrics)

@@ -134,6 +134,7 @@ fn decoder_handles_interleaved_multi_cpu_escapes() {
                 cpu: oscar_machine::addr::CpuId(cpu as u8),
                 paddr: seq[step],
                 kind: BusKind::UncachedRead,
+                sub: 0,
             };
             if let Some(Decoded::Event { event, .. }) = d.push(rec) {
                 decoded.push(event);

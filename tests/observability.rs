@@ -97,6 +97,8 @@ fn exports_are_byte_identical_across_jobs() {
             want_trace: false,
             want_obs: true,
             want_provenance: false,
+            want_hotlines: false,
+            hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,

@@ -292,6 +292,7 @@ fn decoder_survives_arbitrary_interleavings() {
                 cpu: CpuId(c),
                 paddr,
                 kind,
+                sub: 0,
             };
             if let Some(Decoded::Event { event, cpu, .. }) = decoder.push(rec) {
                 events += 1;

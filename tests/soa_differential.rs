@@ -88,6 +88,8 @@ fn exports_match_across_jobs_on_the_block_path() {
             want_trace: false,
             want_obs: true,
             want_provenance: true,
+            want_hotlines: false,
+            hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,

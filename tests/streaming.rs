@@ -70,6 +70,8 @@ fn report_driver_output_is_independent_of_jobs() {
         want_trace: true,
         want_obs: false,
         want_provenance: false,
+        want_hotlines: false,
+        hotlines_top: 50,
         epoch_cycles: 0,
         epoch_jobs: 1,
         checkpoint_dir: None,
