@@ -186,6 +186,13 @@ pub struct ReportRequest {
     pub want_hotlines: bool,
     /// Top contended lines the hot-line exhibit keeps.
     pub hotlines_top: usize,
+    /// Also run the causal synchronization profiler: wait-for graph,
+    /// critical-path attribution, per-lock what-if curves
+    /// ([`ReportOutput::causal`], the "Critical path" report section,
+    /// `exhibit.causal.*` metrics and the timeline's wait-for flow
+    /// arrows). Implies observability; never changes any export
+    /// produced without it.
+    pub want_causal: bool,
     /// Epoch length for the time-parallel engine
     /// ([`StreamOptions::epoch_cycles`]); 0 keeps the serial producer.
     pub epoch_cycles: u64,
@@ -207,6 +214,7 @@ impl ReportRequest {
             want_provenance: false,
             want_hotlines: false,
             hotlines_top: 50,
+            want_causal: false,
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,
@@ -240,6 +248,9 @@ pub struct ReportOutput {
     /// The hot-line exhibit with the fabric coherence counters, when
     /// requested.
     pub hotlines: Option<Box<crate::observe::HotlineExport>>,
+    /// The causal synchronization profile (wait-for graph, critical
+    /// path, what-if curves), when requested.
+    pub causal: Option<Box<oscar_obs::CausalAnalysis>>,
 }
 
 fn run_one(req: &ReportRequest) -> ReportOutput {
@@ -249,7 +260,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     let t = PhaseTimer::start(format!("simulate+analyze/{tag}"));
     let opts = StreamOptions {
         keep_trace: req.want_trace,
-        observe: req.want_obs || req.want_provenance,
+        observe: req.want_obs || req.want_provenance || req.want_causal,
         provenance: req.want_provenance,
         hotlines: req.want_hotlines,
         hotlines_top: req.hotlines_top.max(1),
@@ -277,6 +288,20 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         crate::observe::add_hotline_metrics(&mut obs.metrics, h);
         crate::observe::add_hotline_tracks(&mut obs.timeline, &tag, h);
     }
+    // Causal profiling, gated the same way: metrics, flow arrows and
+    // the analysis graft onto the observability payload only when the
+    // request asked for them.
+    let causal = match (req.want_causal, obs.as_deref_mut()) {
+        (true, Some(obs)) => {
+            let mut input = crate::causal::build_causal_input(&art, obs);
+            crate::causal::attach_symbols(&mut input, &an, &crate::causal::lock_ids(obs));
+            let a = oscar_obs::causal_analyze(&input);
+            crate::causal::add_causal_metrics(&mut obs.metrics, &a);
+            crate::causal::add_causal_flows(&mut obs.timeline, &input);
+            Some(Box::new(a))
+        }
+        _ => None,
+    };
     let mut scratch = PerfSummary::new(&tag, 1);
     t.stop(
         &mut scratch,
@@ -296,7 +321,12 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
     phases.extend(art.epoch_phases.iter().cloned());
 
     let started = Instant::now();
-    let report = render_all(&art, &an);
+    let mut report = render_all(&art, &an);
+    // The "Critical path" section rides behind the causal gate so
+    // every report produced without it keeps its historical bytes.
+    if let Some(a) = &causal {
+        report += &crate::causal::render_causal_section(&art, a);
+    }
     let mut csv_out = Vec::new();
     if req.want_csv {
         let num_cpus = art.machine_config.num_cpus as usize;
@@ -332,6 +362,7 @@ fn run_one(req: &ReportRequest) -> ReportOutput {
         obs,
         provenance,
         hotlines,
+        causal,
     }
 }
 

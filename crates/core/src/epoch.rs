@@ -339,7 +339,7 @@ pub(crate) fn run_epoch_producer(
 ) -> (
     RunArtifacts,
     Option<Box<KernelObsReport>>,
-    Option<(Timeline, Metrics)>,
+    Option<(Timeline, Metrics, Vec<u64>)>,
 ) {
     let tag = config.tag();
     let mut stats = CheckpointStats::default();
@@ -513,7 +513,7 @@ pub(crate) fn run_epoch_producer(
             stats.capture_us += t.elapsed().as_micros() as u64;
             snap_slots.publish(0, snap0);
             if plan.observe {
-                prep.os.enable_obs();
+                prep.os.enable_obs(boundary(0));
             }
             // Same kernel-side effects as the serial measure(); the
             // disarmed monitor just sees none of it.
@@ -534,7 +534,7 @@ pub(crate) fn run_epoch_producer(
                 ..PhaseStats::default()
             });
             if plan.observe {
-                kernel_obs = prep.os.take_obs();
+                kernel_obs = prep.os.take_obs(boundary(n_epochs));
             }
         }
 

@@ -6,6 +6,7 @@
 //! figures of Torrellas, Gupta and Hennessy (ASPLOS 1992).
 
 pub mod analyze;
+pub mod causal;
 pub mod classify;
 pub mod csv;
 pub mod decode;
@@ -32,6 +33,7 @@ pub use analyze::{
     analyze, analyze_with, AnalyzeOptions, ExhibitProvenance, QueryRow, RowSink, StreamAnalyzer,
     TraceAnalysis, TraceMeta,
 };
+pub use causal::{causal_for_run, merge_causal_json, render_causal_section, wait_chains_table};
 pub use driver::{
     parallel_map, parallel_map_tallied, run_reports, run_reports_pooled, ReportOutput,
     ReportRequest, WorkerTally,

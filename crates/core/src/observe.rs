@@ -42,10 +42,10 @@ use crate::resim::{dcache_configs, figure6_configs};
 const BUS_BUCKET_SHIFT: u32 = 16;
 
 /// Thread-track ids per CPU: `cpu*TRACKS_PER_CPU + {MODE,OP,LOCK}`.
-const TRACKS_PER_CPU: u32 = 3;
-const TRACK_MODE: u32 = 0;
-const TRACK_OP: u32 = 1;
-const TRACK_LOCK: u32 = 2;
+pub(crate) const TRACKS_PER_CPU: u32 = 3;
+pub(crate) const TRACK_MODE: u32 = 0;
+pub(crate) const TRACK_OP: u32 = 1;
+pub(crate) const TRACK_LOCK: u32 = 2;
 
 /// Process id carrying the per-CPU thread tracks.
 pub const PID_CPUS: u32 = 0;
@@ -103,6 +103,11 @@ pub struct TimelineBuilder {
     /// Records by [`BusKind`]: read, read-ex, upgrade, write-back,
     /// uncached (escape).
     kinds: [u64; 5],
+    /// Cache fills (read / read-ex / upgrade) per originating CPU —
+    /// the causal profiler's memory-stall estimate input. Window-exact
+    /// (unlike the whole-run machine counters, this sees only the
+    /// measured records).
+    cpu_fills: Vec<u64>,
     records: u64,
     events: u64,
     escape_by_opcode: [u64; NUM_OPCODES as usize],
@@ -135,6 +140,7 @@ impl TimelineBuilder {
             ],
             timeline,
             kinds: [0; 5],
+            cpu_fills: vec![0; num_cpus],
             records: 0,
             events: 0,
             escape_by_opcode: [0; NUM_OPCODES as usize],
@@ -269,6 +275,12 @@ impl TimelineBuilder {
             BusKind::WriteBack => 3,
             BusKind::UncachedRead => 4,
         }] += 1;
+        if matches!(rec.kind, BusKind::Read | BusKind::ReadEx | BusKind::Upgrade) {
+            let c = rec.cpu.index();
+            if c < self.cpu_fills.len() {
+                self.cpu_fills[c] += 1;
+            }
+        }
         self.count_bus(&rec);
         if let Some(Decoded::Event { time, cpu, event }) = self.decoder.push(rec) {
             self.escape_by_opcode[event.opcode() as usize] += 1;
@@ -284,8 +296,9 @@ impl TimelineBuilder {
     }
 
     /// Closes open spans at `measure_end` (absolute cycles) and
-    /// returns the finished timeline plus the `trace.*` self-metrics.
-    pub fn finish(mut self, measure_end: u64) -> (Timeline, Metrics) {
+    /// returns the finished timeline, the `trace.*` self-metrics, and
+    /// the per-CPU fill counts.
+    pub fn finish(mut self, measure_end: u64) -> (Timeline, Metrics, Vec<u64>) {
         let end = self.rel(measure_end.max(self.last_time));
         for c in 0..self.cpus.len() {
             let base = c as u32 * TRACKS_PER_CPU;
@@ -330,7 +343,7 @@ impl TimelineBuilder {
                 m.add(&format!("trace.event.{}", opcode_label(op as u32)), n);
             }
         }
-        (self.timeline, m)
+        (self.timeline, m, self.cpu_fills)
     }
 }
 
@@ -351,6 +364,9 @@ pub struct RunObs {
     /// Raw lock intervals in completion order (absolute cycles) — the
     /// row stream of the `locks` query source.
     pub lock_spans: Vec<LockSpan>,
+    /// Cache fills per CPU over the measured window — the causal
+    /// profiler's memory-stall estimate input.
+    pub cpu_fills: Vec<u64>,
     /// Streaming-pipeline self-observation. The deterministic half is
     /// already folded into `metrics` (`pipeline.*`); the wall-clock
     /// channel-depth half is read by the perf summary only.
@@ -363,6 +379,7 @@ pub fn assemble_run_obs(
     tag: &str,
     mut timeline: Timeline,
     mut metrics: Metrics,
+    cpu_fills: Vec<u64>,
     art: &RunArtifacts,
     an: &TraceAnalysis,
     kernel: Option<Box<KernelObsReport>>,
@@ -500,6 +517,7 @@ pub fn assemble_run_obs(
         metrics,
         lock_profiles,
         lock_spans,
+        cpu_fills,
         pipeline: PipelineObs::default(),
     }
 }
@@ -660,7 +678,7 @@ pub fn add_hotline_tracks(timeline: &mut Timeline, tag: &str, h: &HotlineExport)
 
 /// Minimal JSON string escaping for symbol names (controlled ASCII,
 /// but quotes and backslashes must never break the document).
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -747,8 +765,8 @@ pub fn obs_from_artifacts(art: &RunArtifacts, an: &TraceAnalysis) -> RunObs {
     let tag = art.tag();
     let mut b = TimelineBuilder::new(art.machine_config.num_cpus as usize, art.measure_start);
     b.push_chunk(&art.trace);
-    let (timeline, metrics) = b.finish(art.measure_end);
-    assemble_run_obs(&tag, timeline, metrics, art, an, None)
+    let (timeline, metrics, cpu_fills) = b.finish(art.measure_end);
+    assemble_run_obs(&tag, timeline, metrics, cpu_fills, art, an, None)
 }
 
 /// Merges the per-request timelines into one Chrome trace-event JSON
@@ -909,7 +927,7 @@ mod tests {
         recs.extend(escape(0, 1500, OsEvent::OpEnd));
         recs.extend(escape(0, 1500, OsEvent::ExitOs));
         b.push_chunk(&recs);
-        let (tl, m) = b.finish(2000);
+        let (tl, m, fills) = b.finish(2000);
 
         let modes: Vec<_> = tl.spans().iter().filter(|s| s.cat == "mode").collect();
         // cpu0: user [0,100), os [100,500), user [500,1000); cpu1: user
@@ -931,6 +949,7 @@ mod tests {
         );
         assert_eq!(m.counter("trace.records"), recs.len() as u64);
         assert_eq!(m.counter("trace.records.read"), 1);
+        assert_eq!(fills, vec![1, 0]);
         assert_eq!(m.counter("trace.events"), 3);
         assert_eq!(m.counter("trace.undecodable"), 0);
     }
@@ -943,7 +962,7 @@ mod tests {
         recs.extend(escape(0, 300, OsEvent::ExitIdle));
         recs.extend(escape(0, 400, OsEvent::ExitOs));
         b.push_chunk(&recs);
-        let (tl, _) = b.finish(500);
+        let (tl, _, _) = b.finish(500);
         let modes: Vec<_> = tl.spans().iter().filter(|s| s.cat == "mode").collect();
         let labels: Vec<&str> = modes.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(labels, ["user", "idle", "os", "user"]);
@@ -971,7 +990,7 @@ mod tests {
         recs.extend(escape(0, 90, OsEvent::OpEnd));
         recs.extend(escape(0, 95, OsEvent::ExitOs));
         b.push_chunk(&recs);
-        let (tl, _) = b.finish(100);
+        let (tl, _, _) = b.finish(100);
         let ops: Vec<&str> = tl
             .spans()
             .iter()
@@ -990,7 +1009,7 @@ mod tests {
         b.push(fill(0, 10));
         b.push(fill(0, 20));
         b.push(fill(0, (1 << BUS_BUCKET_SHIFT) + 5));
-        let (tl, _) = b.finish(1 << (BUS_BUCKET_SHIFT + 1));
+        let (tl, _, _) = b.finish(1 << (BUS_BUCKET_SHIFT + 1));
         let samples = tl.counter_samples();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].ts, 0);
@@ -1012,6 +1031,7 @@ mod tests {
             obs: None,
             provenance: None,
             hotlines: None,
+            causal: None,
         };
         let outs = vec![out];
         let t = merge_trace_json(&outs);

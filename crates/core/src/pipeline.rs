@@ -369,7 +369,7 @@ fn run_streaming_inner(
             // Observability attaches only for the measured window, so
             // warm-up never pollutes the probes or the timeline.
             let obs_slot = observe.then(|| {
-                prep.os.enable_obs();
+                prep.os.enable_obs(measure_start);
                 Arc::new(Mutex::new(Some(TimelineBuilder::new(
                     config.machine.num_cpus as usize,
                     measure_start,
@@ -386,7 +386,7 @@ fn run_streaming_inner(
                 }));
             }
             prep.measure();
-            let kernel_obs = prep.os.take_obs();
+            let kernel_obs = prep.os.take_obs(measure_start + config.measure_cycles);
             // finish() detaches (and so flushes) the sinks; the channel
             // closes when the sink's sender drops.
             let mut art = prep.finish();
@@ -540,13 +540,14 @@ fn run_streaming_inner(
         if opts.keep_trace {
             art.trace = kept;
         }
-        if let (Some(p), Some((timeline, mut metrics))) = (pobs, built) {
+        if let (Some(p), Some((timeline, mut metrics, cpu_fills))) = (pobs, built) {
             let tag = config.tag();
             p.export_into(&mut metrics);
             if let Some(cs) = &art.checkpoint {
                 cs.export_into(&mut metrics);
             }
-            let mut obs = assemble_run_obs(&tag, timeline, metrics, &art, &an, kernel_obs);
+            let mut obs =
+                assemble_run_obs(&tag, timeline, metrics, cpu_fills, &art, &an, kernel_obs);
             obs.pipeline = p;
             art.obs = Some(Box::new(obs));
         }

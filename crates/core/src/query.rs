@@ -41,6 +41,8 @@ pub const LOCK_FIELDS: &str = "family, instance, cpu, phase, start, dur";
 /// Queryable fields of the `hotlines` source, for error messages.
 pub const HOTLINE_FIELDS: &str =
     "symbol, region, false_sharing, sharers, misses, invals, churn, upgrades, score, addr";
+/// Queryable fields of the `waits` source, for error messages.
+pub const WAIT_FIELDS: &str = "waiter, holder, lock, duration, holder_op, truncated";
 
 const KIND_VALUES: [(&str, BusKind); 5] = [
     ("read", BusKind::Read),
@@ -338,6 +340,48 @@ enum HotValue {
     Score,
 }
 
+/// A predicate of the `waits` source (the causal profiler's wait-for
+/// edges). `Lock` matches by prefix (`--where lock=Ino_x` admits every
+/// instance); `holder_op` is exact.
+#[derive(Debug, Clone)]
+enum WaitPred {
+    Waiter(NumPred),
+    Holder(NumPred),
+    Lock(Vec<String>),
+    HolderOp(Vec<String>),
+    Duration(NumPred),
+    Truncated(bool),
+}
+
+impl WaitPred {
+    fn matches(&self, e: &oscar_obs::WaitEdge, lock_name: &str) -> bool {
+        match self {
+            WaitPred::Waiter(n) => n.matches(e.waiter as u64),
+            WaitPred::Holder(n) => n.matches(e.holder as u64),
+            WaitPred::Lock(prefixes) => prefixes.iter().any(|p| lock_name.starts_with(p.as_str())),
+            WaitPred::HolderOp(ops) => ops.iter().any(|o| o == &e.holder_op),
+            WaitPred::Duration(n) => n.matches(e.duration()),
+            WaitPred::Truncated(v) => e.truncated == *v,
+        }
+    }
+}
+
+/// A group-key component of the `waits` source.
+#[derive(Debug, Clone, Copy)]
+enum WaitGroup {
+    Waiter,
+    Holder,
+    Lock,
+    HolderOp,
+    Truncated,
+}
+
+/// The value field of the `waits` source.
+#[derive(Debug, Clone, Copy)]
+enum WaitValue {
+    Duration,
+}
+
 /// The execution plan of a validated spec.
 #[derive(Debug, Clone)]
 enum Plan {
@@ -356,6 +400,11 @@ enum Plan {
         preds: Vec<HotPred>,
         group: Vec<HotGroup>,
         value: Option<HotValue>,
+    },
+    Waits {
+        preds: Vec<WaitPred>,
+        group: Vec<WaitGroup>,
+        value: Option<WaitValue>,
     },
 }
 
@@ -434,6 +483,7 @@ pub fn compile(spec: &QuerySpec) -> Result<CompiledQuery, String> {
         QuerySource::Records => compile_records(spec)?,
         QuerySource::Locks => compile_locks(spec)?,
         QuerySource::Hotlines => compile_hotlines(spec)?,
+        QuerySource::Waits => compile_waits(spec)?,
     };
     Ok(CompiledQuery {
         agg: spec.agg.clone(),
@@ -673,6 +723,64 @@ fn compile_hotlines(spec: &QuerySpec) -> Result<Plan, String> {
     })
 }
 
+fn compile_waits(spec: &QuerySpec) -> Result<Plan, String> {
+    let mut preds = Vec::new();
+    for f in &spec.filters {
+        preds.push(match f.field() {
+            "waiter" => WaitPred::Waiter(NumPred::from_filter(f)?),
+            "holder" => WaitPred::Holder(NumPred::from_filter(f)?),
+            "lock" => WaitPred::Lock(oneof_values(f)?.to_vec()),
+            "holder_op" => WaitPred::HolderOp(oneof_values(f)?.to_vec()),
+            "duration" => WaitPred::Duration(NumPred::from_filter(f)?),
+            "truncated" => {
+                let vs = oneof_values(f)?;
+                if vs.len() != 1 {
+                    return Err("--where truncated: needs exactly one of true, false".into());
+                }
+                WaitPred::Truncated(lookup("truncated", &vs[0], &BOOL_VALUES)?)
+            }
+            other => {
+                return Err(format!(
+                    "unknown waits field `{other}` (one of: {WAIT_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let mut group = Vec::new();
+    for g in &spec.group_by {
+        group.push(match g.as_str() {
+            "waiter" => WaitGroup::Waiter,
+            "holder" => WaitGroup::Holder,
+            "lock" => WaitGroup::Lock,
+            "holder_op" => WaitGroup::HolderOp,
+            "truncated" => WaitGroup::Truncated,
+            "duration" => return Err(format!("cannot group by continuous field `{g}`")),
+            other => {
+                return Err(format!(
+                    "unknown waits field `{other}` (one of: {WAIT_FIELDS})"
+                ))
+            }
+        });
+    }
+
+    let value = match spec.agg.value_field() {
+        None => None,
+        Some("duration") => Some(WaitValue::Duration),
+        Some(other) => {
+            return Err(format!(
+                "waits aggregation needs value field duration, not `{other}`"
+            ))
+        }
+    };
+
+    Ok(Plan::Waits {
+        preds,
+        group,
+        value,
+    })
+}
+
 /// The result of one query over one run.
 #[derive(Debug, Clone)]
 pub struct QueryRun {
@@ -875,6 +983,63 @@ pub fn run_compiled(
                 trace_records: art.trace_records,
             })
         }
+        Plan::Waits {
+            preds,
+            group,
+            value,
+        } => {
+            let opts = StreamOptions {
+                observe: true,
+                online_sweeps: false,
+                ..StreamOptions::default()
+            };
+            let (mut art, _an) = run_streaming(config, &opts);
+            let obs = art.obs.take();
+            let (edges, locks) = match obs.as_deref() {
+                Some(o) => crate::causal::wait_edges_for_run(&art, o),
+                None => (Vec::new(), Vec::new()),
+            };
+            let mut table = GroupTable::new(compiled.agg.clone()).with_top(compiled.top);
+            let mut key = String::new();
+            for e in &edges {
+                let name = locks
+                    .get(e.lock as usize)
+                    .map(String::as_str)
+                    .unwrap_or("-");
+                if !preds.iter().all(|p| p.matches(e, name)) {
+                    continue;
+                }
+                key.clear();
+                for (i, g) in group.iter().enumerate() {
+                    if i > 0 {
+                        key.push(' ');
+                    }
+                    match g {
+                        WaitGroup::Waiter => {
+                            let _ = write!(key, "cpu{}", e.waiter);
+                        }
+                        WaitGroup::Holder => {
+                            let _ = write!(key, "cpu{}", e.holder);
+                        }
+                        WaitGroup::Lock => key.push_str(name),
+                        WaitGroup::HolderOp => key.push_str(&e.holder_op),
+                        WaitGroup::Truncated => {
+                            key.push_str(if e.truncated { "truncated" } else { "complete" })
+                        }
+                    }
+                }
+                joined_key(&mut key, group.len());
+                let v = match value {
+                    Some(WaitValue::Duration) => e.duration(),
+                    None => 0,
+                };
+                table.accept(&key, v);
+            }
+            Ok(QueryRun {
+                table,
+                trace_records: art.trace_records,
+            })
+        }
     }
 }
 
@@ -1004,6 +1169,37 @@ mod tests {
                 .unwrap_err()
                 .contains("misses|invals|churn|sharers|score")
         );
+    }
+
+    #[test]
+    fn waits_vocab_compiles_and_rejects() {
+        // A valid query compiles without running any simulation.
+        assert!(compile(
+            &spec(
+                "waits",
+                &["lock=Runqlk", "duration=100..", "truncated=false"],
+                Some("lock,holder_op"),
+                Some("sum:duration"),
+            )
+            .unwrap()
+        )
+        .is_ok());
+        // Unknown fields list the full field vocabulary.
+        let e = compile(&spec("waits", &["bogus=1"], None, None).unwrap()).unwrap_err();
+        assert!(e.contains("unknown waits field"), "{e}");
+        assert!(e.contains(WAIT_FIELDS), "{e}");
+        // Bad boolean and continuous-group errors match the other
+        // sources' phrasing.
+        let e = compile(&spec("waits", &["truncated=maybe"], None, None).unwrap()).unwrap_err();
+        assert!(e.contains("one of: true, false"), "{e}");
+        assert!(
+            compile(&spec("waits", &[], Some("duration"), None).unwrap())
+                .unwrap_err()
+                .contains("continuous")
+        );
+        assert!(compile(&spec("waits", &[], None, Some("sum:dur")).unwrap())
+            .unwrap_err()
+            .contains("value field duration"));
     }
 
     #[test]

@@ -1,0 +1,1220 @@
+//! Causal synchronization profiling: wait-for graphs, critical-path
+//! extraction and Coz-style what-if lock speedups.
+//!
+//! The crate stays dependency-free, so this module works on plain
+//! window-relative interval data ([`CausalInput`]): per-CPU idle
+//! intervals, per-CPU kernel-op intervals, and lock spin/hold spans.
+//! The producer (oscar-core) extracts those from the timeline builder
+//! and the kernel probes and interprets the results back into its own
+//! vocabulary (metrics, reports, Perfetto flows).
+//!
+//! Three analyses share one segmented view of the run:
+//!
+//! - **Segments**: each CPU's timeline is cut into compute /
+//!   memory-stall / spin / hold / idle intervals that sum *exactly* to
+//!   the window length (the memory-stall share is an estimate carved
+//!   out of compute from the CPU's fill count; everything else is
+//!   measured).
+//! - **Wait-for graph**: every spin span is joined with the hold spans
+//!   of the same lock that overlap it, giving `waiter −lock→ holder`
+//!   edges with the holder's concurrent kernel operation attached, and
+//!   chains of nested waits (A spins on L1 held by B, who spins on L2
+//!   held by C, ...).
+//! - **Critical path**: a backward walk from the last non-idle cycle.
+//!   Spinning jumps to the blocking holder at the enabling release;
+//!   idle jumps to the latest non-idle CPU; work attributes its cycles
+//!   to the lock held and the kernel op running. The attributed
+//!   intervals are disjoint on the time axis, so the path length is
+//!   ≤ the wall cycles and ≥ any single CPU's busy cycles.
+//! - **What-if**: a deterministic DAG replay that rescales one lock's
+//!   hold segments and propagates through spin→release dependencies,
+//!   predicting the new makespan. A factor of 1.0 reproduces the
+//!   original schedule exactly.
+//!
+//! Everything is integer/cycle arithmetic over deterministic inputs;
+//! rendering is byte-identical for identical inputs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{json_str, Log2Histogram};
+
+/// Hold-speedup factors of the per-lock what-if curve.
+pub const WHAT_IF_FACTORS: [f64; 5] = [1.0, 1.25, 1.5, 2.0, 4.0];
+
+/// Wait chains kept in the analysis (deepest-blocking first).
+pub const TOP_CHAINS: usize = 20;
+
+/// Locks given a what-if curve (by total spin cycles, descending).
+pub const WHAT_IF_LOCKS: usize = 8;
+
+/// Nested-wait depth cap when following holder-of-holder chains.
+const MAX_CHAIN_DEPTH: usize = 8;
+
+/// One lock interval, window-relative. `lock` indexes
+/// [`CausalInput::locks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalSpan {
+    /// Index into the lock-name table.
+    pub lock: u32,
+    /// The CPU the interval is attributed to.
+    pub cpu: usize,
+    /// Hold (`true`) or spin (`false`).
+    pub hold: bool,
+    /// Start cycle (window-relative).
+    pub start: u64,
+    /// End cycle (window-relative, exclusive).
+    pub end: u64,
+    /// Whether either end was clipped at a window boundary.
+    pub truncated: bool,
+}
+
+/// Everything the profiler consumes, window-relative and
+/// deterministic. All interval lists must be time-sorted per CPU.
+#[derive(Debug, Clone, Default)]
+pub struct CausalInput {
+    /// Window length in cycles; every per-CPU decomposition sums to it.
+    pub window_cycles: u64,
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Lock-name table ([`CausalSpan::lock`] indexes it).
+    pub locks: Vec<String>,
+    /// Spin/hold spans, in completion order.
+    pub spans: Vec<CausalSpan>,
+    /// Per-CPU idle intervals `[start, end)`.
+    pub idle: Vec<Vec<(u64, u64)>>,
+    /// Per-CPU kernel-op intervals `(start, end, label)`.
+    pub ops: Vec<Vec<(u64, u64, String)>>,
+    /// Per-CPU estimated memory-stall cycles (fills × fill latency);
+    /// clamped into the compute share during segmentation.
+    pub fill_stall: Vec<u64>,
+    /// Hot-line symbols attached per lock (may be empty).
+    pub symbols: Vec<Vec<String>>,
+}
+
+/// What one CPU was doing over one elementary interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegKind {
+    Compute,
+    Idle,
+    /// Spinning; payload indexes [`CausalInput::spans`].
+    Spin(usize),
+    /// Holding; payload indexes [`CausalInput::spans`].
+    Hold(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    start: u64,
+    end: u64,
+    kind: SegKind,
+}
+
+/// Per-CPU cycle decomposition; the five buckets sum exactly to the
+/// window length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuSegments {
+    /// The CPU.
+    pub cpu: usize,
+    /// Busy cycles not spent spinning, holding or (estimated) stalled.
+    pub compute: u64,
+    /// Estimated memory-stall cycles (fill count × fill latency,
+    /// clamped to the available compute share).
+    pub mem_stall: u64,
+    /// Cycles spent spinning on locks.
+    pub spin: u64,
+    /// Cycles spent inside lock critical sections (not spinning).
+    pub hold: u64,
+    /// Idle cycles.
+    pub idle: u64,
+}
+
+impl CpuSegments {
+    /// Sum of all five buckets (equals the window length).
+    pub fn total(&self) -> u64 {
+        self.compute + self.mem_stall + self.spin + self.hold + self.idle
+    }
+
+    /// Non-idle cycles.
+    pub fn busy(&self) -> u64 {
+        self.total() - self.idle
+    }
+}
+
+/// One wait-for edge: `waiter` spun on `lock` over `[start, end)`
+/// while `holder` held it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The spinning CPU.
+    pub waiter: usize,
+    /// The CPU holding the lock.
+    pub holder: usize,
+    /// Index into the lock-name table.
+    pub lock: u32,
+    /// Overlap start (window-relative).
+    pub start: u64,
+    /// Overlap end (window-relative, exclusive).
+    pub end: u64,
+    /// The holder's concurrent kernel operation (`-` outside any op).
+    pub holder_op: String,
+    /// Whether either underlying span was window-clipped.
+    pub truncated: bool,
+}
+
+impl WaitEdge {
+    /// Blocking overlap length in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A nested wait chain rooted at one spin span: link 0 is the root
+/// waiter blocked on its holder, link 1 is that holder blocked on the
+/// next lock, and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitChain {
+    /// The root spin's blocked cycles.
+    pub duration: u64,
+    /// Number of links.
+    pub depth: usize,
+    /// Whether any link involves a truncated span.
+    pub truncated: bool,
+    /// The holder-of-holder links, outermost first.
+    pub links: Vec<WaitEdge>,
+}
+
+/// Critical-path cycles attributed to one lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPathCycles {
+    /// Index into the lock-name table.
+    pub lock: u32,
+    /// On-path cycles spent waiting for the lock.
+    pub spin: u64,
+    /// On-path cycles spent inside the lock's critical section.
+    pub hold: u64,
+}
+
+/// The extracted critical path and its attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Path length in cycles (≤ wall, ≥ max per-CPU busy).
+    pub cycles: u64,
+    /// Wall cycles of the run (last non-idle cycle).
+    pub wall_cycles: u64,
+    /// Per-lock attribution, largest first.
+    pub locks: Vec<LockPathCycles>,
+    /// Per-kernel-op attribution (`user` for user-mode work), largest
+    /// first.
+    pub ops: Vec<(String, u64)>,
+    /// On-path cycles in plain compute (incl. estimated stall).
+    pub compute_cycles: u64,
+    /// On-path cycles spent spinning.
+    pub spin_cycles: u64,
+    /// On-path cycles spent holding locks.
+    pub hold_cycles: u64,
+}
+
+/// One point of a what-if curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhatIfPoint {
+    /// Hold-speedup factor applied to the lock.
+    pub factor: f64,
+    /// Predicted wall cycles after the virtual speedup.
+    pub predicted_wall_cycles: u64,
+    /// Predicted change, in percent (negative = faster).
+    pub delta_pct: f64,
+}
+
+/// The causal profile of one lock: predicted makespan at each
+/// [`WHAT_IF_FACTORS`] hold speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfCurve {
+    /// Index into the lock-name table.
+    pub lock: u32,
+    /// Total observed spin cycles on the lock (ranking key).
+    pub spin_cycles: u64,
+    /// The curve, in [`WHAT_IF_FACTORS`] order.
+    pub points: Vec<WhatIfPoint>,
+}
+
+/// Everything the causal profiler derives from one run.
+#[derive(Debug, Clone, Default)]
+pub struct CausalAnalysis {
+    /// Window length the segments sum to.
+    pub window_cycles: u64,
+    /// Wall cycles (last non-idle cycle of the window).
+    pub wall_cycles: u64,
+    /// Lock-name table (indices used throughout).
+    pub locks: Vec<String>,
+    /// Per-CPU five-bucket decomposition.
+    pub segments: Vec<CpuSegments>,
+    /// Wait-for edges in the graph.
+    pub edges: Vec<WaitEdge>,
+    /// Spin spans with no overlapping hold (orphaned waits).
+    pub unmatched_spins: u64,
+    /// Window-clipped spans seen in the input.
+    pub truncated_spans: u64,
+    /// Top wait chains, by root blocked duration.
+    pub chains: Vec<WaitChain>,
+    /// The critical path and its attribution.
+    pub critical_path: CriticalPath,
+    /// Per-lock what-if curves, by total spin cycles.
+    pub what_if: Vec<WhatIfCurve>,
+    /// Wait-chain depth distribution (one sample per chain).
+    pub depth_hist: Log2Histogram,
+    /// Blocking-duration distribution (one sample per edge).
+    pub block_hist: Log2Histogram,
+    /// Hot-line symbols per lock, carried through from the input.
+    pub symbols: Vec<Vec<String>>,
+}
+
+/// Builds the per-CPU elementary segments. Intervals tile `[0, w)`
+/// exactly; spin overlays take precedence over hold, hold over
+/// idle/compute.
+fn segment_cpu(input: &CausalInput, cpu: usize, w: u64) -> Vec<Seg> {
+    let mut cuts: Vec<u64> = vec![0, w];
+    let idle = input.idle.get(cpu).map(|v| v.as_slice()).unwrap_or(&[]);
+    for &(s, e) in idle {
+        cuts.push(s.min(w));
+        cuts.push(e.min(w));
+    }
+    let mut spans: Vec<(usize, &CausalSpan)> = input
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.cpu == cpu && s.end > s.start)
+        .collect();
+    for (_, s) in &spans {
+        cuts.push(s.start.min(w));
+        cuts.push(s.end.min(w));
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    // Sort spans by start for the sweep cursor.
+    spans.sort_by_key(|(i, s)| (s.start, *i));
+
+    let mut segs: Vec<Seg> = Vec::with_capacity(cuts.len());
+    let mut idle_i = 0;
+    // Sweep: every span boundary is a cut, so a span overlaps an
+    // elementary interval [a, b) iff it is active at `a`. Spans enter
+    // the active list once (cursor) and leave once (retain); the list
+    // stays tiny because spans on one CPU nest shallowly.
+    let mut next_span = 0;
+    let mut active: Vec<(usize, &CausalSpan)> = Vec::new();
+    for pair in cuts.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if b <= a {
+            continue;
+        }
+        while next_span < spans.len() && spans[next_span].1.start <= a {
+            active.push(spans[next_span]);
+            next_span += 1;
+        }
+        active.retain(|(_, s)| s.end > a);
+        let mut spin: Option<usize> = None;
+        let mut hold: Option<(u64, usize)> = None;
+        for &(i, s) in &active {
+            if s.hold {
+                // Innermost (latest-acquired) hold wins.
+                if hold.is_none_or(|(st, _)| s.start >= st) {
+                    hold = Some((s.start, i));
+                }
+            } else if spin.is_none() {
+                spin = Some(i);
+            }
+        }
+        while idle_i < idle.len() && idle[idle_i].1 <= a {
+            idle_i += 1;
+        }
+        let in_idle = idle.get(idle_i).is_some_and(|&(s, e)| s <= a && b <= e);
+        let kind = if let Some(i) = spin {
+            SegKind::Spin(i)
+        } else if let Some((_, i)) = hold {
+            SegKind::Hold(i)
+        } else if in_idle {
+            SegKind::Idle
+        } else {
+            SegKind::Compute
+        };
+        match segs.last_mut() {
+            Some(last) if last.kind == kind && last.end == a => last.end = b,
+            _ => segs.push(Seg {
+                start: a,
+                end: b,
+                kind,
+            }),
+        }
+    }
+    segs
+}
+
+/// For each spin span, the index of the hold span whose release
+/// enabled the acquire (largest hold end in `(spin.start, spin.end]`
+/// on another CPU), if any.
+fn enabling_holds(input: &CausalInput) -> Vec<Option<usize>> {
+    // Per lock: hold spans sorted by end.
+    let mut holds: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, s) in input.spans.iter().enumerate() {
+        if s.hold {
+            holds.entry(s.lock).or_default().push(i);
+        }
+    }
+    for v in holds.values_mut() {
+        v.sort_by_key(|&i| (input.spans[i].end, i));
+    }
+    input
+        .spans
+        .iter()
+        .map(|s| {
+            if s.hold {
+                return None;
+            }
+            let hs = holds.get(&s.lock)?;
+            // Largest end ≤ spin end, still > spin start, other CPU.
+            // Holds of one lock are serialized, so the (end, i) sort
+            // lets a binary search find the upper bound and a short
+            // backward scan find the match.
+            let ub = hs.partition_point(|&hi| input.spans[hi].end <= s.end);
+            for &hi in hs[..ub].iter().rev() {
+                let h = &input.spans[hi];
+                if h.end <= s.start {
+                    break;
+                }
+                if h.cpu != s.cpu {
+                    return Some(hi);
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// The holder's kernel op at cycle `t` on `cpu` (`-` when outside any
+/// op interval).
+fn op_at(input: &CausalInput, cpu: usize, t: u64) -> &str {
+    let Some(ops) = input.ops.get(cpu) else {
+        return "-";
+    };
+    // Last interval starting at or before t.
+    let idx = ops.partition_point(|iv| iv.0 <= t);
+    if idx == 0 {
+        return "-";
+    }
+    let iv = &ops[idx - 1];
+    if t < iv.1 {
+        &iv.2
+    } else {
+        "-"
+    }
+}
+
+/// Builds the wait-for edges: one per (spin span, overlapping hold
+/// span of the same lock on another CPU), in spin-completion order.
+pub fn wait_edges(input: &CausalInput) -> Vec<WaitEdge> {
+    let mut holds: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, s) in input.spans.iter().enumerate() {
+        if s.hold && s.end > s.start {
+            holds.entry(s.lock).or_default().push(i);
+        }
+    }
+    for v in holds.values_mut() {
+        v.sort_by_key(|&i| (input.spans[i].start, i));
+    }
+    let mut edges = Vec::new();
+    for s in input.spans.iter().filter(|s| !s.hold && s.end > s.start) {
+        let Some(hs) = holds.get(&s.lock) else {
+            continue;
+        };
+        // Holds of one lock are serialized, so sorted-by-start is also
+        // sorted-by-end: binary-search past the holds ending before the
+        // spin starts, then walk the overlapping run.
+        let lo = hs.partition_point(|&hi| input.spans[hi].end <= s.start);
+        for &hi in &hs[lo..] {
+            let h = &input.spans[hi];
+            if h.start >= s.end {
+                break;
+            }
+            let (a, b) = (s.start.max(h.start), s.end.min(h.end));
+            if b <= a || h.cpu == s.cpu {
+                continue;
+            }
+            edges.push(WaitEdge {
+                waiter: s.cpu,
+                holder: h.cpu,
+                lock: s.lock,
+                start: a,
+                end: b,
+                holder_op: op_at(input, h.cpu, a).to_string(),
+                truncated: s.truncated || h.truncated,
+            });
+        }
+    }
+    edges
+}
+
+/// For each spin span, the enabling hold span (the release that let
+/// the acquire through), as `(spin_index, hold_index)` pairs into
+/// [`CausalInput::spans`] — the anchor pairs for viewer flow arrows.
+pub fn spin_links(input: &CausalInput) -> Vec<(usize, usize)> {
+    enabling_holds(input)
+        .iter()
+        .enumerate()
+        .filter_map(|(i, h)| h.map(|hi| (i, hi)))
+        .collect()
+}
+
+/// Follows holder-of-holder links from one root spin span.
+fn build_chain(
+    input: &CausalInput,
+    enabling: &[Option<usize>],
+    spins_by_cpu: &[Vec<usize>],
+    root: usize,
+) -> Option<WaitChain> {
+    let mut links = Vec::new();
+    let mut truncated = false;
+    let mut cur = root;
+    let mut seen: Vec<(u32, usize)> = Vec::new();
+    for _ in 0..MAX_CHAIN_DEPTH {
+        let s = &input.spans[cur];
+        let hi = enabling[cur]?;
+        let h = &input.spans[hi];
+        if seen.contains(&(s.lock, s.cpu)) {
+            break;
+        }
+        seen.push((s.lock, s.cpu));
+        let (a, b) = (s.start.max(h.start), s.end.min(h.end.max(s.start + 1)));
+        links.push(WaitEdge {
+            waiter: s.cpu,
+            holder: h.cpu,
+            lock: s.lock,
+            start: a,
+            end: b.max(a),
+            holder_op: op_at(input, h.cpu, a).to_string(),
+            truncated: s.truncated || h.truncated,
+        });
+        truncated |= s.truncated || h.truncated;
+        // Was the holder itself blocked on another lock while holding?
+        // Largest-overlap spin on the holder's CPU inside the hold.
+        // A CPU spins on one lock at a time, so its spins are
+        // serialized and the start-sort is also an end-sort: skip the
+        // spins that finished before the hold began.
+        let mut next: Option<(u64, usize)> = None;
+        let by_cpu = &spins_by_cpu[h.cpu];
+        let lo = by_cpu.partition_point(|&si| input.spans[si].end <= h.start);
+        for &si in &by_cpu[lo..] {
+            let sp = &input.spans[si];
+            if sp.start >= h.end {
+                break;
+            }
+            let ov = sp.end.min(h.end).saturating_sub(sp.start.max(h.start));
+            if ov == 0 || si == cur {
+                continue;
+            }
+            if next.is_none_or(|(best, bi)| ov > best || (ov == best && si < bi)) {
+                next = Some((ov, si));
+            }
+        }
+        match next {
+            Some((_, si)) if enabling[si].is_some() => cur = si,
+            _ => break,
+        }
+    }
+    if links.is_empty() {
+        return None;
+    }
+    let root_span = &input.spans[root];
+    Some(WaitChain {
+        duration: root_span.end - root_span.start,
+        depth: links.len(),
+        truncated,
+        links,
+    })
+}
+
+/// Per-`[from, to)`-interval kernel-op attribution on `cpu`, folded
+/// into `by_op` (uncovered cycles are `user`).
+fn attribute_ops(
+    input: &CausalInput,
+    cpu: usize,
+    from: u64,
+    to: u64,
+    by_op: &mut BTreeMap<String, u64>,
+) {
+    if to <= from {
+        return;
+    }
+    let empty: &[(u64, u64, String)] = &[];
+    let ops = input.ops.get(cpu).map(|v| v.as_slice()).unwrap_or(empty);
+    let mut t = from;
+    let mut idx = ops.partition_point(|iv| iv.1 <= from);
+    while t < to {
+        match ops.get(idx) {
+            Some(iv) if iv.0 <= t => {
+                let e = iv.1.min(to);
+                *by_op.entry(iv.2.clone()).or_default() += e - t;
+                t = e;
+                idx += 1;
+            }
+            Some(iv) if iv.0 < to => {
+                *by_op.entry("user".to_string()).or_default() += iv.0 - t;
+                t = iv.0;
+            }
+            _ => {
+                *by_op.entry("user".to_string()).or_default() += to - t;
+                t = to;
+            }
+        }
+    }
+}
+
+/// The segment on `cpu` covering cycle `t - 1` (the latest segment
+/// starting strictly before `t`).
+fn seg_before(segs: &[Seg], t: u64) -> Option<&Seg> {
+    let idx = segs.partition_point(|s| s.start < t);
+    if idx == 0 {
+        None
+    } else {
+        Some(&segs[idx - 1])
+    }
+}
+
+/// The latest non-idle instant ≤ `t` on `cpu` (0 when none).
+fn latest_busy_at_or_before(segs: &[Seg], t: u64) -> u64 {
+    let mut idx = segs.partition_point(|s| s.start < t);
+    while idx > 0 {
+        let s = &segs[idx - 1];
+        if s.kind != SegKind::Idle {
+            return s.end.min(t);
+        }
+        idx -= 1;
+    }
+    0
+}
+
+struct PathWalk {
+    by_lock_spin: BTreeMap<u32, u64>,
+    by_lock_hold: BTreeMap<u32, u64>,
+    by_op: BTreeMap<String, u64>,
+    compute: u64,
+    spin: u64,
+    hold: u64,
+}
+
+/// Extracts the critical path by walking backward from the last
+/// non-idle cycle; see the module docs for the jump rules.
+fn critical_path(
+    input: &CausalInput,
+    segs: &[Vec<Seg>],
+    enabling: &[Option<usize>],
+    wall: u64,
+) -> CriticalPath {
+    let mut walk = PathWalk {
+        by_lock_spin: BTreeMap::new(),
+        by_lock_hold: BTreeMap::new(),
+        by_op: BTreeMap::new(),
+        compute: 0,
+        spin: 0,
+        hold: 0,
+    };
+    let mut cpu = 0;
+    let mut cpu_busy = 0;
+    for (c, s) in segs.iter().enumerate() {
+        let t2 = latest_busy_at_or_before(s, wall);
+        if t2 > cpu_busy {
+            cpu_busy = t2;
+            cpu = c;
+        }
+    }
+    let mut t = wall;
+    // Each iteration either attributes a disjoint slice of the time
+    // axis or skips globally-idle time, so the walk terminates; the
+    // guard only protects against degenerate same-cycle wait loops.
+    let total_segs: usize = segs.iter().map(|s| s.len()).sum();
+    let mut guard = 4 * total_segs + 4 * segs.len() + 64;
+    while t > 0 && guard > 0 {
+        guard -= 1;
+        let Some(seg) = seg_before(&segs[cpu], t) else {
+            break;
+        };
+        match seg.kind {
+            SegKind::Idle => {
+                let mut best: Option<(u64, usize)> = None;
+                for (c, s) in segs.iter().enumerate() {
+                    let t2 = latest_busy_at_or_before(s, t);
+                    if t2 > 0 && best.is_none_or(|(bt, _)| t2 > bt) {
+                        best = Some((t2, c));
+                    }
+                }
+                match best {
+                    Some((t2, c2)) => {
+                        t = t2;
+                        cpu = c2;
+                    }
+                    None => break,
+                }
+            }
+            SegKind::Spin(si) => {
+                let lock = input.spans[si].lock;
+                match enabling[si] {
+                    Some(hi) => {
+                        let h = &input.spans[hi];
+                        if h.end < t {
+                            let spun = t - h.end;
+                            *walk.by_lock_spin.entry(lock).or_default() += spun;
+                            walk.spin += spun;
+                            t = h.end;
+                        }
+                        cpu = h.cpu;
+                    }
+                    None => {
+                        let spun = t - seg.start;
+                        *walk.by_lock_spin.entry(lock).or_default() += spun;
+                        walk.spin += spun;
+                        t = seg.start;
+                    }
+                }
+            }
+            SegKind::Hold(si) => {
+                let held = t - seg.start;
+                *walk.by_lock_hold.entry(input.spans[si].lock).or_default() += held;
+                walk.hold += held;
+                attribute_ops(input, cpu, seg.start, t, &mut walk.by_op);
+                t = seg.start;
+            }
+            SegKind::Compute => {
+                walk.compute += t - seg.start;
+                attribute_ops(input, cpu, seg.start, t, &mut walk.by_op);
+                t = seg.start;
+            }
+        }
+    }
+    let mut locks: Vec<LockPathCycles> = Vec::new();
+    for (&lock, &spin) in &walk.by_lock_spin {
+        locks.push(LockPathCycles {
+            lock,
+            spin,
+            hold: walk.by_lock_hold.get(&lock).copied().unwrap_or(0),
+        });
+    }
+    for (&lock, &hold) in &walk.by_lock_hold {
+        if !walk.by_lock_spin.contains_key(&lock) {
+            locks.push(LockPathCycles {
+                lock,
+                spin: 0,
+                hold,
+            });
+        }
+    }
+    locks.sort_by(|a, b| {
+        (b.spin + b.hold, b.lock)
+            .cmp(&(a.spin + a.hold, a.lock))
+            .then(a.lock.cmp(&b.lock))
+    });
+    let mut ops: Vec<(String, u64)> = walk.by_op.into_iter().collect();
+    ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    CriticalPath {
+        cycles: walk.compute + walk.spin + walk.hold,
+        wall_cycles: wall,
+        locks,
+        ops,
+        compute_cycles: walk.compute,
+        spin_cycles: walk.spin,
+        hold_cycles: walk.hold,
+    }
+}
+
+/// Replays the segment DAG with `target` lock holds scaled by
+/// `1/factor`, preserving slack, and returns the predicted makespan
+/// (max new end over non-idle segments).
+fn replay(
+    input: &CausalInput,
+    segs: &[Vec<Seg>],
+    enabling: &[Option<usize>],
+    order: &[(usize, usize)],
+    target: Option<u32>,
+    factor: f64,
+) -> u64 {
+    // New completion time per (cpu, seg index) and per span end.
+    let mut seg_new_end: Vec<Vec<u64>> = segs.iter().map(|s| vec![0; s.len()]).collect();
+    let mut clock: Vec<u64> = vec![0; segs.len()];
+    // The new time of each hold span's release: the new end of the
+    // last segment of that span (segments of a span are contiguous in
+    // per-CPU order, so the running maximum is exact).
+    let mut span_release: Vec<u64> = vec![0; input.spans.len()];
+    for &(cpu, i) in order {
+        let seg = &segs[cpu][i];
+        let start = clock[cpu];
+        let dur = seg.end - seg.start;
+        let end = match seg.kind {
+            SegKind::Idle => start.max(seg.end),
+            SegKind::Hold(si) => {
+                let scaled = if target == Some(input.spans[si].lock) {
+                    ((dur as f64) / factor).round() as u64
+                } else {
+                    dur
+                };
+                start + scaled
+            }
+            SegKind::Spin(si) => match enabling[si] {
+                Some(hi) => {
+                    let h = &input.spans[hi];
+                    let delta = input.spans[si].end.saturating_sub(h.end);
+                    // The spin seg may be a fragment; only the
+                    // fragment reaching the acquire waits on the
+                    // release.
+                    if seg.end == input.spans[si].end.min(seg.end) && seg.end >= h.end {
+                        start.max(span_release[hi] + delta)
+                    } else {
+                        start + dur
+                    }
+                }
+                None => start + dur,
+            },
+            SegKind::Compute => start + dur,
+        };
+        seg_new_end[cpu][i] = end;
+        clock[cpu] = end;
+        if let SegKind::Hold(si) = seg.kind {
+            span_release[si] = span_release[si].max(end);
+        }
+    }
+    let mut makespan = 0;
+    for (cpu, s) in segs.iter().enumerate() {
+        for (i, seg) in s.iter().enumerate() {
+            if seg.kind != SegKind::Idle {
+                makespan = makespan.max(seg_new_end[cpu][i]);
+            }
+        }
+    }
+    makespan
+}
+
+/// Runs the full causal analysis over one window.
+pub fn analyze(input: &CausalInput) -> CausalAnalysis {
+    let w = input.window_cycles;
+    let segs: Vec<Vec<Seg>> = (0..input.cpus).map(|c| segment_cpu(input, c, w)).collect();
+
+    // Five-bucket per-CPU decomposition.
+    let mut segments = Vec::with_capacity(input.cpus);
+    for (cpu, s) in segs.iter().enumerate() {
+        let mut out = CpuSegments {
+            cpu,
+            ..CpuSegments::default()
+        };
+        for seg in s {
+            let d = seg.end - seg.start;
+            match seg.kind {
+                SegKind::Compute => out.compute += d,
+                SegKind::Idle => out.idle += d,
+                SegKind::Spin(_) => out.spin += d,
+                SegKind::Hold(_) => out.hold += d,
+            }
+        }
+        let stall = input
+            .fill_stall
+            .get(cpu)
+            .copied()
+            .unwrap_or(0)
+            .min(out.compute);
+        out.mem_stall = stall;
+        out.compute -= stall;
+        segments.push(out);
+    }
+
+    let enabling = enabling_holds(input);
+    let edges = wait_edges(input);
+    let mut block_hist = Log2Histogram::default();
+    for e in &edges {
+        block_hist.record(e.duration());
+    }
+
+    let mut spins_by_cpu: Vec<Vec<usize>> = vec![Vec::new(); input.cpus];
+    for (i, s) in input.spans.iter().enumerate() {
+        if !s.hold && s.cpu < input.cpus {
+            spins_by_cpu[s.cpu].push(i);
+        }
+    }
+    for v in &mut spins_by_cpu {
+        v.sort_by_key(|&i| (input.spans[i].start, i));
+    }
+    let mut chains = Vec::new();
+    let mut depth_hist = Log2Histogram::default();
+    let mut unmatched_spins = 0u64;
+    for (i, s) in input.spans.iter().enumerate() {
+        if s.hold || s.end <= s.start {
+            continue;
+        }
+        match build_chain(input, &enabling, &spins_by_cpu, i) {
+            Some(ch) => {
+                depth_hist.record(ch.depth as u64);
+                chains.push(ch);
+            }
+            None => unmatched_spins += 1,
+        }
+    }
+    chains.sort_by(|a, b| {
+        b.duration
+            .cmp(&a.duration)
+            .then(a.links[0].start.cmp(&b.links[0].start))
+            .then(a.links[0].waiter.cmp(&b.links[0].waiter))
+    });
+    chains.truncate(TOP_CHAINS);
+
+    // Wall = last non-idle cycle.
+    let wall = segs
+        .iter()
+        .map(|s| latest_busy_at_or_before(s, w))
+        .max()
+        .unwrap_or(0);
+    let critical_path = critical_path(input, &segs, &enabling, wall);
+
+    // What-if: global replay order by (orig end, holds before spins,
+    // cpu) so every dependency is resolved before its dependent.
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    for (cpu, s) in segs.iter().enumerate() {
+        for i in 0..s.len() {
+            order.push((cpu, i));
+        }
+    }
+    order.sort_by_key(|&(cpu, i)| {
+        let seg = &segs[cpu][i];
+        let spin_tie = matches!(seg.kind, SegKind::Spin(_)) as u8;
+        (seg.end, spin_tie, cpu, seg.start)
+    });
+    let mut spin_by_lock: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in input.spans.iter().filter(|s| !s.hold) {
+        *spin_by_lock.entry(s.lock).or_default() += s.end.saturating_sub(s.start);
+    }
+    let mut ranked: Vec<(u64, u32)> = spin_by_lock.iter().map(|(&l, &c)| (c, l)).collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(WHAT_IF_LOCKS);
+    let base = replay(input, &segs, &enabling, &order, None, 1.0);
+    let mut what_if = Vec::new();
+    for &(spin_cycles, lock) in &ranked {
+        let mut points = Vec::with_capacity(WHAT_IF_FACTORS.len());
+        for &factor in &WHAT_IF_FACTORS {
+            let predicted = if factor == 1.0 {
+                base
+            } else {
+                replay(input, &segs, &enabling, &order, Some(lock), factor)
+            };
+            let delta_pct = if base > 0 {
+                (predicted as f64 - base as f64) / base as f64 * 100.0
+            } else {
+                0.0
+            };
+            points.push(WhatIfPoint {
+                factor,
+                predicted_wall_cycles: predicted,
+                delta_pct,
+            });
+        }
+        what_if.push(WhatIfCurve {
+            lock,
+            spin_cycles,
+            points,
+        });
+    }
+
+    let truncated_spans = input.spans.iter().filter(|s| s.truncated).count() as u64;
+    CausalAnalysis {
+        window_cycles: w,
+        wall_cycles: wall,
+        locks: input.locks.clone(),
+        segments,
+        edges,
+        unmatched_spins,
+        truncated_spans,
+        chains,
+        critical_path,
+        what_if,
+        depth_hist,
+        block_hist,
+        symbols: input.symbols.clone(),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders one run's causal analysis as a JSON object (no trailing
+/// newline), byte-identical for identical analyses.
+pub fn render_json(a: &CausalAnalysis) -> String {
+    let lock_name = |l: u32| a.locks.get(l as usize).map(|s| s.as_str()).unwrap_or("?");
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\n\"window_cycles\": {}, \"wall_cycles\": {}, \"edges\": {}, \
+         \"unmatched_spins\": {}, \"truncated_spans\": {},\n\"segments\": [",
+        a.window_cycles,
+        a.wall_cycles,
+        a.edges.len(),
+        a.unmatched_spins,
+        a.truncated_spans
+    );
+    for (i, s) in a.segments.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"cpu\": {}, \"compute\": {}, \"mem_stall\": {}, \"spin\": {}, \
+             \"hold\": {}, \"idle\": {}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            s.cpu,
+            s.compute,
+            s.mem_stall,
+            s.spin,
+            s.hold,
+            s.idle
+        );
+    }
+    out.push_str("\n],\n\"critical_path\": {");
+    let cp = &a.critical_path;
+    let _ = write!(
+        out,
+        "\"cycles\": {}, \"wall_cycles\": {}, \"compute_cycles\": {}, \
+         \"spin_cycles\": {}, \"hold_cycles\": {}, \"locks\": [",
+        cp.cycles, cp.wall_cycles, cp.compute_cycles, cp.spin_cycles, cp.hold_cycles
+    );
+    for (i, l) in cp.locks.iter().enumerate() {
+        let syms = a.symbols.get(l.lock as usize);
+        let _ = write!(
+            out,
+            "{}{{\"lock\": {}, \"spin\": {}, \"hold\": {}, \"symbols\": [",
+            if i == 0 { "\n" } else { ",\n" },
+            json_str(lock_name(l.lock)),
+            l.spin,
+            l.hold
+        );
+        for (j, sym) in syms.map(|v| v.as_slice()).unwrap_or(&[]).iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(sym));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n], \"ops\": [");
+    for (i, (op, cycles)) in cp.ops.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"op\": {}, \"cycles\": {cycles}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            json_str(op)
+        );
+    }
+    out.push_str("\n]},\n\"chains\": [");
+    for (i, ch) in a.chains.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"duration\": {}, \"depth\": {}, \"truncated\": {}, \"links\": [",
+            if i == 0 { "\n" } else { ",\n" },
+            ch.duration,
+            ch.depth,
+            ch.truncated
+        );
+        for (j, l) in ch.links.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"waiter\": {}, \"holder\": {}, \"lock\": {}, \"start\": {}, \
+                 \"end\": {}, \"holder_op\": {}, \"truncated\": {}}}",
+                if j == 0 { "" } else { ", " },
+                l.waiter,
+                l.holder,
+                json_str(lock_name(l.lock)),
+                l.start,
+                l.end,
+                json_str(&l.holder_op),
+                l.truncated
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n],\n\"what_if\": [");
+    for (i, wc) in a.what_if.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"lock\": {}, \"spin_cycles\": {}, \"curve\": [",
+            if i == 0 { "\n" } else { ",\n" },
+            json_str(lock_name(wc.lock)),
+            wc.spin_cycles
+        );
+        for (j, p) in wc.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"factor\": {}, \"predicted_wall_cycles\": {}, \"delta_pct\": {}}}",
+                if j == 0 { "" } else { ", " },
+                fmt_f64(p.factor),
+                p.predicted_wall_cycles,
+                fmt_f64(p.delta_pct)
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n],\n\"hist\": {\"chain_depth\": ");
+    a.depth_hist.write_json(&mut out);
+    let _ = write!(
+        out,
+        ", \"chain_depth_p50\": {}, \"chain_depth_p90\": {}, \"chain_depth_p99\": {}",
+        a.depth_hist.quantile(0.50),
+        a.depth_hist.quantile(0.90),
+        a.depth_hist.quantile(0.99)
+    );
+    out.push_str(", \"block_cycles\": ");
+    a.block_hist.write_json(&mut out);
+    let _ = write!(
+        out,
+        ", \"block_cycles_p50\": {}, \"block_cycles_p90\": {}, \"block_cycles_p99\": {}",
+        a.block_hist.quantile(0.50),
+        a.block_hist.quantile(0.90),
+        a.block_hist.quantile(0.99)
+    );
+    out.push_str("}\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two CPUs, one lock: CPU 1 holds [10, 40), CPU 0 spins [20, 40)
+    /// and then holds [40, 60). Window 100; CPU 0 idle [80, 100).
+    fn sample() -> CausalInput {
+        CausalInput {
+            window_cycles: 100,
+            cpus: 2,
+            locks: vec!["Runqlk".to_string()],
+            spans: vec![
+                CausalSpan {
+                    lock: 0,
+                    cpu: 1,
+                    hold: true,
+                    start: 10,
+                    end: 40,
+                    truncated: false,
+                },
+                CausalSpan {
+                    lock: 0,
+                    cpu: 0,
+                    hold: false,
+                    start: 20,
+                    end: 40,
+                    truncated: false,
+                },
+                CausalSpan {
+                    lock: 0,
+                    cpu: 0,
+                    hold: true,
+                    start: 40,
+                    end: 60,
+                    truncated: false,
+                },
+            ],
+            idle: vec![vec![(80, 100)], vec![(90, 100)]],
+            ops: vec![Vec::new(), vec![(5, 50, "dispatch".to_string())]],
+            fill_stall: vec![7, 0],
+            symbols: vec![vec!["runq[0]".to_string()]],
+        }
+    }
+
+    #[test]
+    fn segments_sum_to_window() {
+        let a = analyze(&sample());
+        for s in &a.segments {
+            assert_eq!(s.total(), 100, "cpu{} buckets must tile the window", s.cpu);
+        }
+        assert_eq!(a.segments[0].spin, 20);
+        assert_eq!(a.segments[0].hold, 20);
+        assert_eq!(a.segments[0].idle, 20);
+        assert_eq!(a.segments[0].mem_stall, 7);
+        assert_eq!(a.segments[0].compute, 33);
+        assert_eq!(a.segments[1].hold, 30);
+    }
+
+    #[test]
+    fn wait_edges_join_spin_with_holder() {
+        let a = analyze(&sample());
+        assert_eq!(a.edges.len(), 1);
+        let e = &a.edges[0];
+        assert_eq!((e.waiter, e.holder), (0, 1));
+        assert_eq!((e.start, e.end), (20, 40));
+        assert_eq!(e.holder_op, "dispatch");
+        assert!(!e.truncated);
+        assert_eq!(a.chains.len(), 1);
+        assert_eq!(a.chains[0].depth, 1);
+        assert_eq!(a.chains[0].duration, 20);
+    }
+
+    #[test]
+    fn critical_path_is_bounded() {
+        let a = analyze(&sample());
+        let cp = &a.critical_path;
+        assert!(
+            cp.cycles <= a.wall_cycles,
+            "{} > {}",
+            cp.cycles,
+            a.wall_cycles
+        );
+        let max_busy = a.segments.iter().map(|s| s.busy()).max().unwrap();
+        assert!(cp.cycles >= max_busy, "{} < {max_busy}", cp.cycles);
+        // The spin is covered via the holder, so the lock's path
+        // attribution has hold cycles.
+        assert!(cp.locks.iter().any(|l| l.hold > 0));
+        assert_eq!(
+            cp.compute_cycles + cp.spin_cycles + cp.hold_cycles,
+            cp.cycles
+        );
+    }
+
+    #[test]
+    fn what_if_identity_and_speedup() {
+        let a = analyze(&sample());
+        assert_eq!(a.what_if.len(), 1);
+        let curve = &a.what_if[0];
+        assert_eq!(curve.points[0].factor, 1.0);
+        assert_eq!(curve.points[0].predicted_wall_cycles, a.wall_cycles);
+        assert_eq!(curve.points[0].delta_pct, 0.0);
+        // Speeding the only contended lock can only help.
+        for p in &curve.points[1..] {
+            assert!(p.predicted_wall_cycles <= a.wall_cycles);
+        }
+        // 2x on a 30-cycle hold blocking the tail: strictly faster.
+        let twox = curve.points.iter().find(|p| p.factor == 2.0).unwrap();
+        assert!(twox.predicted_wall_cycles < a.wall_cycles);
+        assert!(twox.delta_pct < 0.0);
+    }
+
+    #[test]
+    fn truncated_spans_survive_into_edges() {
+        let mut input = sample();
+        input.spans[0].truncated = true;
+        let a = analyze(&input);
+        assert_eq!(a.truncated_spans, 1);
+        assert!(a.edges[0].truncated);
+        assert!(a.chains[0].truncated);
+    }
+
+    #[test]
+    fn render_json_is_stable_and_balanced() {
+        let a = analyze(&sample());
+        let j = render_json(&a);
+        assert_eq!(j, render_json(&a));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"what_if\""));
+        assert!(j.contains("\"chains\""));
+        assert!(j.contains("\"truncated_spans\": 0"));
+        assert!(j.contains("\"chain_depth_p50\""));
+        assert!(j.contains("\"Runqlk\""));
+        assert!(j.contains("\"runq[0]\""));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let a = analyze(&CausalInput::default());
+        assert_eq!(a.wall_cycles, 0);
+        assert_eq!(a.critical_path.cycles, 0);
+        assert!(a.edges.is_empty());
+        let j = render_json(&a);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

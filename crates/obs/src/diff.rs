@@ -409,9 +409,31 @@ impl DiffReport {
     }
 }
 
+/// Whether a tolerance prefix covers `key`. A plain prefix matches
+/// from the start of the key; a prefix starting with `*.` matches the
+/// remainder anywhere a dot-separated component begins, so
+/// `*.exhibit.causal.` covers `<tag>.exhibit.causal.edges` for every
+/// run tag.
+fn prefix_covers(key: &str, prefix: &str) -> bool {
+    match prefix.strip_prefix("*.") {
+        None => key.starts_with(prefix),
+        Some(rest) => {
+            let mut from = 0;
+            while let Some(pos) = key[from..].find(rest) {
+                let i = from + pos;
+                if i == 0 || key.as_bytes()[i - 1] == b'.' {
+                    return true;
+                }
+                from = i + 1;
+            }
+            false
+        }
+    }
+}
+
 fn tolerance_for<'a>(key: &str, tols: &'a [Tolerance]) -> Option<&'a Tolerance> {
     tols.iter()
-        .filter(|t| key.starts_with(&t.prefix))
+        .filter(|t| prefix_covers(key, &t.prefix))
         .max_by_key(|t| t.prefix.len())
 }
 
@@ -590,6 +612,33 @@ mod tests {
         assert_eq!(r.entries.len(), 2);
         assert!(r.entries.iter().any(|e| e.key == "perf.rate" && e.within));
         assert!(r.entries.iter().any(|e| e.key == "perf.rss" && !e.within));
+    }
+
+    #[test]
+    fn wildcard_prefix_matches_at_dot_boundaries() {
+        let a = r#"{"pmake.exhibit.causal.edges": 10, "exhibit.causal.edges": 4, "notexhibit.causal.x": 1}"#;
+        let b = r#"{"pmake.exhibit.causal.edges": 14, "exhibit.causal.edges": 9, "notexhibit.causal.x": 2}"#;
+        let tols = [Tolerance {
+            prefix: "*.exhibit.causal.".to_string(),
+            rel: 1.0,
+            abs: 0.0,
+        }];
+        let r = diff_documents(a, b, &tols).unwrap();
+        // Both tagged and untagged causal keys are covered; the
+        // `notexhibit` key is not at a dot boundary and drifts.
+        assert_eq!(r.drifted(), 1);
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.key == "pmake.exhibit.causal.edges" && e.within));
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.key == "exhibit.causal.edges" && e.within));
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.key == "notexhibit.causal.x" && !e.within));
     }
 
     #[test]

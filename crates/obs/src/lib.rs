@@ -43,12 +43,17 @@
 //! behind `oscar-reports query`, and [`diff`] compares two exports
 //! key-by-key with per-prefix tolerances for regression gating.
 
+pub mod causal;
 pub mod diff;
 pub mod metrics;
 pub mod query;
 pub mod timeline;
 
+pub use causal::{
+    analyze as causal_analyze, render_json as render_causal_json, CausalAnalysis, CausalInput,
+    CausalSpan, CpuSegments, CriticalPath, WaitChain, WaitEdge, WhatIfCurve, WhatIfPoint,
+};
 pub use diff::{diff_documents, DiffKind, DiffReport, Tolerance};
 pub use metrics::{Log2Histogram, MetricValue, Metrics};
 pub use query::{Agg, Filter, GroupTable, QuerySource, QuerySpec};
-pub use timeline::Timeline;
+pub use timeline::{Flow, Timeline};

@@ -30,6 +30,9 @@ pub enum QuerySource {
     /// One row per contended cache line of the hot-line exhibit,
     /// symbolized to the kernel object it holds.
     Hotlines,
+    /// One row per wait-for edge of the causal profiler: a CPU
+    /// spinning on a lock while another CPU held it.
+    Waits,
 }
 
 impl QuerySource {
@@ -39,6 +42,7 @@ impl QuerySource {
             QuerySource::Records => "records",
             QuerySource::Locks => "locks",
             QuerySource::Hotlines => "hotlines",
+            QuerySource::Waits => "waits",
         }
     }
 }
@@ -149,9 +153,10 @@ impl QuerySpec {
             "records" => QuerySource::Records,
             "locks" => QuerySource::Locks,
             "hotlines" => QuerySource::Hotlines,
+            "waits" => QuerySource::Waits,
             other => {
                 return Err(format!(
-                    "unknown --source `{other}` (records|locks|hotlines)"
+                    "unknown --source `{other}` (records|locks|hotlines|waits)"
                 ))
             }
         };

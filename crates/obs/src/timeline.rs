@@ -46,6 +46,27 @@ pub struct CounterSample {
     pub series: Vec<(&'static str, u64)>,
 }
 
+/// One half of a flow arrow (`ph:"s"` start / `ph:"f"` finish)
+/// linking two slices across tracks, e.g. a lock-spin span to the
+/// hold span that blocked it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Flow id; start/finish pairs share it.
+    pub id: u64,
+    /// Process of the anchoring slice.
+    pub pid: u32,
+    /// Thread of the anchoring slice.
+    pub tid: u32,
+    /// Anchor time, in simulated cycles (must fall inside a slice).
+    pub ts: u64,
+    /// Arrow name (shown on hover).
+    pub name: String,
+    /// Category (filterable in the viewer).
+    pub cat: &'static str,
+    /// `true` renders `ph:"s"`, `false` renders `ph:"f","bp":"e"`.
+    pub start: bool,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Meta {
     ProcessName { pid: u32, name: String },
@@ -62,6 +83,7 @@ pub struct Timeline {
     meta: Vec<Meta>,
     spans: Vec<Span>,
     counters: Vec<CounterSample>,
+    flows: Vec<Flow>,
 }
 
 impl Timeline {
@@ -123,9 +145,49 @@ impl Timeline {
         });
     }
 
+    /// Appends a flow arrow between two slices: a `ph:"s"` anchor on
+    /// `(from_pid, from_tid)` at `from_ts` and a `ph:"f"` anchor on
+    /// `(to_pid, to_tid)` at `to_ts`. Both timestamps must fall inside
+    /// an existing slice on their track for the viewer to draw the
+    /// arrow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_flow(
+        &mut self,
+        id: u64,
+        from: (u32, u32, u64),
+        to: (u32, u32, u64),
+        name: impl Into<String>,
+        cat: &'static str,
+    ) {
+        let name = name.into();
+        self.flows.push(Flow {
+            id,
+            pid: from.0,
+            tid: from.1,
+            ts: from.2,
+            name: name.clone(),
+            cat,
+            start: true,
+        });
+        self.flows.push(Flow {
+            id,
+            pid: to.0,
+            tid: to.1,
+            ts: to.2,
+            name,
+            cat,
+            start: false,
+        });
+    }
+
     /// The spans, in insertion order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// The flow anchors, in insertion order.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
     }
 
     /// The counter samples, in insertion order.
@@ -169,6 +231,15 @@ impl Timeline {
             self.counters.push(CounterSample {
                 pid: c.pid + pid_offset,
                 ..c.clone()
+            });
+        }
+        for f in &other.flows {
+            // Re-namespace the id so flows from different runs never
+            // pair up across processes.
+            self.flows.push(Flow {
+                id: ((pid_offset as u64) << 32) | f.id,
+                pid: f.pid + pid_offset,
+                ..f.clone()
             });
         }
     }
@@ -237,6 +308,32 @@ impl Timeline {
             }
             out.push_str("}}");
         }
+        for f in &self.flows {
+            sep(&mut out);
+            if f.start {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"s\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{},\"cat\":{},\"name\":{}}}",
+                    f.id,
+                    f.pid,
+                    f.tid,
+                    f.ts,
+                    json_str(f.cat),
+                    json_str(&f.name)
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":{},\"cat\":{},\"name\":{}}}",
+                    f.id,
+                    f.pid,
+                    f.tid,
+                    f.ts,
+                    json_str(f.cat),
+                    json_str(&f.name)
+                );
+            }
+        }
         out.push_str("\n]}\n");
         out
     }
@@ -288,6 +385,32 @@ mod tests {
         assert_eq!(a.counter_samples()[1].pid, 9);
         let j = a.to_chrome_json();
         assert!(j.contains("\"pid\":8"));
+    }
+
+    #[test]
+    fn flows_render_as_start_finish_pairs() {
+        let mut t = sample();
+        t.push_flow(3, (0, 2, 14), (0, 0, 17), "hold Runqlk", "wait-for");
+        assert_eq!(t.flows().len(), 2);
+        let j = t.to_chrome_json();
+        assert!(j.contains(
+            "{\"ph\":\"s\",\"id\":3,\"pid\":0,\"tid\":2,\"ts\":14,\"cat\":\"wait-for\",\"name\":\"hold Runqlk\"}"
+        ));
+        assert!(j.contains(
+            "{\"ph\":\"f\",\"bp\":\"e\",\"id\":3,\"pid\":0,\"tid\":0,\"ts\":17,\"cat\":\"wait-for\",\"name\":\"hold Runqlk\"}"
+        ));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn merge_renamespaces_flow_ids() {
+        let mut a = Timeline::new();
+        a.push_flow(1, (0, 0, 5), (0, 1, 9), "w", "wait-for");
+        let mut b = Timeline::new();
+        b.merge_shifted(&a, 8);
+        assert_eq!(b.flows()[0].id, (8u64 << 32) | 1);
+        assert_eq!(b.flows()[0].pid, 8);
+        assert_eq!(b.flows()[1].pid, 8);
     }
 
     #[test]

@@ -501,9 +501,11 @@ impl OsWorld {
 
     /// Turns on kernel-side observability: the lock-table probes, the
     /// run-queue probes, and the execution counters. Enable at the
-    /// measurement-window start so warmup activity is excluded.
-    pub fn enable_obs(&mut self) {
-        self.locks.enable_obs();
+    /// measurement-window start `now` so warmup activity is excluded;
+    /// locks still held from warmup are seeded as truncated spans
+    /// clipped at `now`.
+    pub fn enable_obs(&mut self, now: u64) {
+        self.locks.enable_obs(now);
         for q in &mut self.runqs {
             q.enable_obs();
         }
@@ -513,8 +515,10 @@ impl OsWorld {
     }
 
     /// Detaches everything the kernel probes collected, disabling them.
-    /// Returns `None` when observability was never enabled.
-    pub fn take_obs(&mut self) -> Option<Box<KernelObsReport>> {
+    /// Lock intervals still open at the window end `now` are closed
+    /// there as truncated spans. Returns `None` when observability was
+    /// never enabled.
+    pub fn take_obs(&mut self, now: u64) -> Option<Box<KernelObsReport>> {
         let probes = self.probes.take()?;
         let mut sched = SchedObs::default();
         for q in &mut self.runqs {
@@ -522,7 +526,7 @@ impl OsWorld {
                 sched.merge(&s);
             }
         }
-        let (lock_profiles, lock_spans) = match self.locks.take_obs() {
+        let (lock_profiles, lock_spans) = match self.locks.take_obs(now) {
             Some(obs) => {
                 let profiles = obs
                     .profiles()

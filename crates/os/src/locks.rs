@@ -263,6 +263,12 @@ pub struct LockSpan {
     pub start: u64,
     /// Interval end cycle.
     pub end: u64,
+    /// Whether the interval was clipped at a window boundary (the lock
+    /// was acquired before the probes were enabled, or still spinning /
+    /// held when they were taken). Truncated intervals appear in the
+    /// span list so wait-graph edges are never silently dropped, but
+    /// never contribute to the spin/hold statistics.
+    pub truncated: bool,
 }
 
 /// Dynamic lock probes: per-instance spin/hold statistics and the raw
@@ -273,8 +279,10 @@ pub struct LockObs {
     spans: Vec<LockSpan>,
     /// First failed attempt time per (lock, spinning CPU).
     spin_since: HashMap<(LockId, CpuId), u64>,
-    /// Acquire time and acquiring CPU per held lock.
-    hold_since: HashMap<LockId, (CpuId, u64)>,
+    /// Acquire time, acquiring CPU and truncation flag per held lock.
+    /// The flag marks holds already in flight when the probes came up
+    /// (seeded at the window edge rather than the true acquire time).
+    hold_since: HashMap<LockId, (CpuId, u64, bool)>,
 }
 
 impl LockObs {
@@ -296,25 +304,67 @@ impl LockObs {
                 phase: LockPhase::Spin,
                 start: t0,
                 end: now,
+                truncated: false,
             });
         }
-        self.hold_since.insert(lock, (cpu, now));
+        self.hold_since.insert(lock, (cpu, now, false));
     }
 
     fn on_released(&mut self, lock: LockId, now: u64) {
-        if let Some((cpu, t0)) = self.hold_since.remove(&lock) {
+        if let Some((cpu, t0, truncated)) = self.hold_since.remove(&lock) {
             let held = now.saturating_sub(t0);
-            let st = self.stats.entry(lock).or_default();
-            st.hold_cycles += held;
-            st.hold_hist.record(held);
+            if !truncated {
+                // Window-clipped holds have no real acquire time; keep
+                // them out of the statistics (they only feed the span
+                // list / wait graph).
+                let st = self.stats.entry(lock).or_default();
+                st.hold_cycles += held;
+                st.hold_hist.record(held);
+            }
             self.spans.push(LockSpan {
                 lock,
                 cpu,
                 phase: LockPhase::Hold,
                 start: t0,
                 end: now,
+                truncated,
             });
         }
+    }
+
+    /// Registers a hold already in flight when the probes come up,
+    /// clipped at the window edge `now`.
+    fn seed_hold(&mut self, lock: LockId, cpu: CpuId, now: u64) {
+        self.hold_since.insert(lock, (cpu, now, true));
+    }
+
+    /// Closes every interval still open at the window end `now` as a
+    /// truncated span. Drained deterministically (sorted by start,
+    /// lock, cpu, phase) because map iteration order is not.
+    fn finish(&mut self, now: u64) {
+        let mut open: Vec<LockSpan> = Vec::new();
+        for ((lock, cpu), t0) in self.spin_since.drain() {
+            open.push(LockSpan {
+                lock,
+                cpu,
+                phase: LockPhase::Spin,
+                start: t0,
+                end: now.max(t0),
+                truncated: true,
+            });
+        }
+        for (lock, (cpu, t0, _)) in self.hold_since.drain() {
+            open.push(LockSpan {
+                lock,
+                cpu,
+                phase: LockPhase::Hold,
+                start: t0,
+                end: now.max(t0),
+                truncated: true,
+            });
+        }
+        open.sort_by_key(|s| (s.start, s.lock, s.cpu, s.phase == LockPhase::Hold));
+        self.spans.extend(open);
     }
 
     /// Per-lock profiles, most contended first (ties broken by
@@ -485,19 +535,34 @@ impl LockTable {
         1u32 << cpu.index()
     }
 
-    /// Turns on the per-instance dynamic probes. Intervals already in
-    /// flight are not back-filled; enable at a quiescent point (the
-    /// measurement-window start) for clean data.
-    pub fn enable_obs(&mut self) {
-        if self.obs.is_none() {
-            self.obs = Some(Box::default());
+    /// Turns on the per-instance dynamic probes at window-start time
+    /// `now`. Holds already in flight are seeded as truncated
+    /// intervals clipped at `now`, so a lock acquired before the
+    /// window still produces its wait-graph edges; spins in flight
+    /// need no seeding (the next failed attempt re-registers them
+    /// within cycles).
+    pub fn enable_obs(&mut self, now: u64) {
+        if self.obs.is_some() {
+            return;
         }
+        let mut obs = Box::<LockObs>::default();
+        for (&lock, st) in &self.locks {
+            if let Some(cpu) = st.held_by {
+                obs.seed_hold(lock, cpu, now);
+            }
+        }
+        self.obs = Some(obs);
     }
 
     /// Detaches and returns the probe data, disabling the probes.
-    /// Intervals still open (locks held at the window end) are dropped.
-    pub fn take_obs(&mut self) -> Option<Box<LockObs>> {
-        self.obs.take()
+    /// Intervals still open (locks spun on or held at the window end
+    /// `now`) are closed at the window edge as truncated spans.
+    pub fn take_obs(&mut self, now: u64) -> Option<Box<LockObs>> {
+        let mut obs = self.obs.take();
+        if let Some(o) = obs.as_mut() {
+            o.finish(now);
+        }
+        obs
     }
 
     /// Attempts to acquire `lock` for `cpu` at time `now` (one
@@ -805,7 +870,7 @@ mod tests {
     #[test]
     fn obs_records_spin_and_hold_intervals() {
         let mut t = LockTable::new();
-        t.enable_obs();
+        t.enable_obs(0);
         // Uncontended acquire at 100, release at 400: one hold span.
         t.try_acquire(runq(), C0, 100);
         t.release(runq(), C0, 400);
@@ -818,7 +883,7 @@ mod tests {
         assert_eq!(t.try_acquire(runq(), C1, 500), TryAcquire::Acquired);
         t.release(runq(), C1, 900);
 
-        let obs = t.take_obs().expect("obs enabled");
+        let obs = t.take_obs(900).expect("obs enabled");
         let profiles = obs.profiles();
         assert_eq!(profiles.len(), 1);
         let (id, st) = profiles[0];
@@ -845,14 +910,59 @@ mod tests {
             .collect();
         assert_eq!(holds.len(), 3);
         assert_eq!((holds[2].start, holds[2].end, holds[2].cpu), (500, 900, C1));
+        // No window-clipped intervals in this run.
+        assert!(spans.iter().all(|s| !s.truncated));
         // Probes are off after take_obs.
-        assert!(t.take_obs().is_none());
+        assert!(t.take_obs(900).is_none());
+    }
+
+    #[test]
+    fn obs_truncates_spans_at_window_edges() {
+        let mut t = LockTable::new();
+        // Held across the window start: acquired before the probes.
+        t.try_acquire(runq(), C0, 50);
+        t.enable_obs(100);
+        t.release(runq(), C0, 150);
+        // Spinning and holding across the window end.
+        t.try_acquire(runq(), C0, 200);
+        assert_eq!(t.try_acquire(runq(), C1, 220), TryAcquire::Busy);
+        let obs = t.take_obs(300).expect("obs enabled");
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3);
+        // Seeded hold: clipped to [100, 150), flagged, kept out of the
+        // hold statistics.
+        assert_eq!(
+            (spans[0].phase, spans[0].start, spans[0].end, spans[0].cpu),
+            (LockPhase::Hold, 100, 150, C0)
+        );
+        assert!(spans[0].truncated);
+        // Open spin and hold drained at the window end, in
+        // (start, lock, cpu, phase) order.
+        assert_eq!(
+            (spans[1].phase, spans[1].start, spans[1].end, spans[1].cpu),
+            (LockPhase::Hold, 200, 300, C0)
+        );
+        assert!(spans[1].truncated);
+        assert_eq!(
+            (spans[2].phase, spans[2].start, spans[2].end, spans[2].cpu),
+            (LockPhase::Spin, 220, 300, C1)
+        );
+        assert!(spans[2].truncated);
+        // Statistics only see the completed (non-clipped) intervals:
+        // the second acquire, and no hold/spin cycles at all.
+        let profiles = obs.profiles();
+        let (_, st) = profiles[0];
+        assert_eq!(st.acquires, 1);
+        assert_eq!(st.hold_cycles, 0);
+        assert_eq!(st.hold_hist.count(), 0);
+        assert_eq!(st.spin_cycles, 0);
     }
 
     #[test]
     fn obs_profiles_sort_most_contended_first() {
         let mut t = LockTable::new();
-        t.enable_obs();
+        t.enable_obs(0);
         let quiet = LockId::new(LockFamily::Ino, 1);
         let busy = LockId::new(LockFamily::Ino, 2);
         t.try_acquire(quiet, C0, 0);
@@ -862,7 +972,7 @@ mod tests {
         t.release(busy, C0, 30);
         t.try_acquire(busy, C1, 35);
         t.release(busy, C1, 40);
-        let obs = t.take_obs().unwrap();
+        let obs = t.take_obs(40).unwrap();
         let profiles = obs.profiles();
         assert_eq!(profiles[0].0, busy);
         assert_eq!(profiles[1].0, quiet);
@@ -873,6 +983,6 @@ mod tests {
         let mut t = LockTable::new();
         t.try_acquire(runq(), C0, 0);
         t.release(runq(), C0, 10);
-        assert!(t.take_obs().is_none());
+        assert!(t.take_obs(10).is_none());
     }
 }

@@ -102,10 +102,25 @@ flags:
                      section to the report and hotline counter tracks
                      to --trace-json. Deterministic.
   --hotlines-top N   hot lines to keep per run (default: 50)
+  --causal-out FILE  dump the causal synchronization profile: per-CPU
+                     compute/memory-stall/spin/hold/idle segment
+                     accounting, the cross-CPU wait-for graph (each
+                     spin joined to the hold that blocked it, with the
+                     holder's concurrent kernel op), the top wait
+                     chains, the critical path with per-lock /
+                     per-subsystem / per-symbol cycle attribution, and
+                     Coz-style what-if curves predicting the makespan
+                     change from speeding up each lock. Adds a
+                     \"Critical path\" section to the report,
+                     exhibit.causal.* metrics to --metrics-out and
+                     wait-for flow arrows to --trace-json. Combine
+                     with --hotlines-out to attach hot-line symbols to
+                     each lock. Deterministic.
   --help, -h         print this help
 
 query flags (see docs/OBSERVABILITY.md for the cookbook):
-  --source S         records | locks | hotlines    (default: records)
+  --source S         records | locks | hotlines | waits
+                                                   (default: records)
   --where F=V        predicate; repeatable, ANDed. Value lists
                      (class=sharing,inval) and ranges (time=0..500000)
   --by F1,F2         group-key fields              (default: one group)
@@ -116,13 +131,17 @@ query flags (see docs/OBSERVABILITY.md for the cookbook):
 
 diff flags:
   --tol [PREFIX=]REL    allowed relative delta for keys under PREFIX
-                        (no prefix = all keys; default 0 = exact)
+                        (no prefix = all keys; default 0 = exact).
+                        A prefix starting `*.` matches at any dot
+                        boundary, e.g. `*.exhibit.causal.` covers the
+                        causal keys of every tagged run
   --tol-abs [PREFIX=]N  allowed absolute delta for keys under PREFIX
   --max-lines N         drifted keys to print (default: 40)
   exits 1 when any key drifts beyond tolerance, 2 on usage errors
 
-Observability is collected only when --trace-json, --metrics-out or
---provenance-out is given; it never changes the report bytes.";
+Observability is collected only when --trace-json, --metrics-out,
+--provenance-out, --hotlines-out or --causal-out is given; flags that
+are not given never change the exported bytes.";
 
 /// Prints a clean error and exits with the usage status.
 fn fail(msg: &str) -> ! {
@@ -308,6 +327,7 @@ struct Args {
     provenance_out: Option<PathBuf>,
     hotlines_out: Option<PathBuf>,
     hotlines_top: usize,
+    causal_out: Option<PathBuf>,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -325,6 +345,7 @@ fn parse_args(argv: &[String]) -> Args {
     let mut provenance_out = None;
     let mut hotlines_out = None;
     let mut hotlines_top = 50usize;
+    let mut causal_out = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -360,6 +381,7 @@ fn parse_args(argv: &[String]) -> Args {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| fail("--hotlines-top needs a positive integer"))
             }
+            "--causal-out" => causal_out = Some(PathBuf::from(flag_value(&mut it, "--causal-out"))),
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -387,6 +409,7 @@ fn parse_args(argv: &[String]) -> Args {
         provenance_out,
         hotlines_out,
         hotlines_top,
+        causal_out,
     }
 }
 
@@ -439,6 +462,11 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
         write("fig9", csv::fig9_csv(&an));
         write("table12", csv::table12_csv(&art));
     }
+    if args.causal_out.is_some() {
+        // The lock spans the wait-for graph is built from come from the
+        // kernel-side probes of a live run; a saved trace has none.
+        eprintln!("warning: --causal-out needs a live run, ignored with --from-trace");
+    }
     let want_any = args.trace_json.is_some()
         || args.metrics_out.is_some()
         || args.provenance_out.is_some()
@@ -479,6 +507,7 @@ fn emit_from_trace(path: &PathBuf, args: &Args) {
             obs: Some(Box::new(obs)),
             provenance,
             hotlines,
+            causal: None,
         };
         let outs = [out];
         if let Some(path) = &args.trace_json {
@@ -515,6 +544,7 @@ fn report_main(argv: &[String]) {
             want_obs: args.trace_json.is_some() || args.metrics_out.is_some(),
             want_provenance: args.provenance_out.is_some(),
             want_hotlines: args.hotlines_out.is_some(),
+            want_causal: args.causal_out.is_some(),
             hotlines_top: args.hotlines_top,
             epoch_cycles: args.epoch_cycles,
             // One worker count for both levels of parallelism: whole
@@ -558,6 +588,9 @@ fn report_main(argv: &[String]) {
     }
     if let Some(path) = &args.hotlines_out {
         write_file(path, merge_hotlines_json(&outputs).as_bytes());
+    }
+    if let Some(path) = &args.causal_out {
+        write_file(path, oscar_core::merge_causal_json(&outputs).as_bytes());
     }
     perf.finish(started);
     eprintln!("{}", perf.human_line());

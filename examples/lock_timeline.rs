@@ -6,9 +6,12 @@
 //! spin-time histogram the per-lock probes collect — followed by the
 //! five most-contended *cache lines* from the hot-line tracker, each
 //! symbolized against the kernel layout with a true/false-sharing
-//! verdict. The same data feeds the `lock-spin`/`lock-hold` tracks of
-//! `oscar-reports --trace-json`, the `locks` and `hotlines` sources of
-//! `oscar-reports query`, and `oscar-reports --hotlines-out`.
+//! verdict, and the causal profiler's top wait chains (who waited on
+//! whom, for how long, and what the holder was doing). The same data
+//! feeds the `lock-spin`/`lock-hold` tracks of `oscar-reports
+//! --trace-json`, the `locks`, `hotlines` and `waits` sources of
+//! `oscar-reports query`, `oscar-reports --hotlines-out` and
+//! `oscar-reports --causal-out`.
 //!
 //! Run with: `cargo run --release --example lock_timeline -- [flags]`
 //!
@@ -104,8 +107,11 @@ fn main() {
         hotlines: true,
         ..StreamOptions::default()
     };
-    let (art, an) = run_streaming(&config, &opts);
-    let obs = art.obs.expect("observe: true collects an obs payload");
+    let (mut art, an) = run_streaming(&config, &opts);
+    let obs = art
+        .obs
+        .take()
+        .expect("observe: true collects an obs payload");
 
     println!(
         "{}, {} CPUs, {} cycles measured, {} bus records",
@@ -133,6 +139,18 @@ fn main() {
             h.blocks_shared, h.false_sharing_lines
         );
         print!("{}", hotline_table(h, 5));
+    }
+
+    // Who waited on whom: the causal profiler's top wait chains, built
+    // from the same spans (spin joined to the hold that blocked it,
+    // the holder's concurrent kernel op attached).
+    let causal = oscar_core::causal_for_run(&art, &an, &obs);
+    if !causal.chains.is_empty() {
+        println!(
+            "\ntop {} wait chains by blocked cycles:\n",
+            5.min(causal.chains.len())
+        );
+        print!("{}", oscar_core::wait_chains_table(&causal, 5));
     }
 
     if let Some(path) = &args.csv {

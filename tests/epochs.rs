@@ -79,6 +79,7 @@ fn exhibits(config: &ExperimentConfig, opts: &StreamOptions) -> (String, String)
         obs,
         provenance: None,
         hotlines: None,
+        causal: None,
     };
     let metrics = merge_metrics_json(std::slice::from_ref(&out));
     (report, metrics)

@@ -98,6 +98,7 @@ fn exports_are_byte_identical_across_jobs() {
             want_obs: true,
             want_provenance: false,
             want_hotlines: false,
+            want_causal: false,
             hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,

@@ -89,6 +89,7 @@ fn exports_match_across_jobs_on_the_block_path() {
             want_obs: true,
             want_provenance: true,
             want_hotlines: false,
+            want_causal: false,
             hotlines_top: 50,
             epoch_cycles: 0,
             epoch_jobs: 1,

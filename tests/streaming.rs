@@ -71,6 +71,7 @@ fn report_driver_output_is_independent_of_jobs() {
         want_obs: false,
         want_provenance: false,
         want_hotlines: false,
+        want_causal: false,
         hotlines_top: 50,
         epoch_cycles: 0,
         epoch_jobs: 1,
