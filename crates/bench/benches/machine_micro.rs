@@ -130,6 +130,52 @@ fn main() {
     }
 
     {
+        // Columnar kind-classification kernels, every backend the host
+        // supports (scalar reference, SWAR, then SSE2/AVX2 where
+        // detected): bitmap select of write-back lanes and a bulk lane
+        // count over a 64 KiB kind column with a trace-like mix. The
+        // analyzer's block fast path runs the auto-picked backend; the
+        // group quantifies what each rung of the ladder buys.
+        use oscar_machine::kindscan::{available_backends, count_eq_with, select_eq_any_with};
+        use oscar_machine::BusKind;
+
+        let codes: Vec<u8> = {
+            let mut x = 0x9e3779b97f4a7c15u64;
+            (0..64 * 1024)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    // Roughly trace-shaped: reads dominate, ~1/8
+                    // write-backs, the rest split across the others.
+                    match x % 16 {
+                        0..=8 => BusKind::Read.code(),
+                        9..=10 => BusKind::ReadEx.code(),
+                        11 => BusKind::Upgrade.code(),
+                        12..=13 => BusKind::WriteBack.code(),
+                        _ => BusKind::UncachedRead.code(),
+                    }
+                })
+                .collect()
+        };
+        let wb = [BusKind::WriteBack.code()];
+        let mut out = Vec::new();
+        for backend in available_backends() {
+            h.bench(&format!("kindscan/select_wb_{}", backend.name()), || {
+                select_eq_any_with(backend, black_box(&codes), black_box(&wb), &mut out);
+                black_box(out.last().copied())
+            });
+            h.bench(&format!("kindscan/count_read_{}", backend.name()), || {
+                black_box(count_eq_with(
+                    backend,
+                    black_box(&codes),
+                    black_box(BusKind::Read.code()),
+                ))
+            });
+        }
+    }
+
+    {
         // False-sharing ping-pong: the measured thread increments its
         // counter while a hammer thread increments the neighbouring
         // one. Packed on one cache line, every increment invalidates

@@ -8,8 +8,10 @@
 use oscar_bench::{black_box, Harness};
 
 use oscar_core::analyze::{AnalyzeOptions, StreamAnalyzer, TraceMeta};
+use oscar_core::pipeline::{run_streaming, StreamOptions};
 use oscar_core::{run, ExperimentConfig};
-use oscar_machine::monitor::RecordBlock;
+use oscar_machine::monitor::{RecordBlock, RecordFilter};
+use oscar_machine::{BlockSelector, BusKind};
 use oscar_workloads::WorkloadKind;
 
 const CHUNK: usize = 4096;
@@ -69,6 +71,76 @@ fn main() {
         }
         black_box(a.finish().os.total())
     });
+
+    // The columnar predicate-pushdown kernel the query row path runs:
+    // kind/cpu bitmaps vectorized, addr/time refined only on set lanes.
+    let filter = RecordFilter {
+        cpus: Some(0b0101),
+        kinds: Some(
+            RecordFilter::kind_bit(BusKind::Read) | RecordFilter::kind_bit(BusKind::Upgrade),
+        ),
+        addr: Some((0, 8 << 20)),
+        time: None,
+    };
+    let mut sel = BlockSelector::new(filter);
+    h.bench("soa/filter_select_block", || {
+        let mut kept = 0usize;
+        for b in &blocks {
+            kept += black_box(sel.select(b, 0))
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        }
+        black_box(kept)
+    });
+
+    // Stage-occupancy point: one simulate+analyze run with the analyzer
+    // sharded two wide versus serial. The pair is the single-run
+    // pipeline's bench anchor; stage rows (below) show where the time
+    // in the pipelined run actually sits.
+    let cfg = ExperimentConfig::new(WorkloadKind::Pmake)
+        .warmup(2_000_000)
+        .measure(6_000_000);
+    h.bench("soa/stream_serial", || {
+        let (a, _) = run_streaming(&cfg, &StreamOptions::default());
+        black_box(a.trace_records)
+    });
+    h.bench("soa/stream_pipelined_x2", || {
+        let (a, _) = run_streaming(
+            &cfg,
+            &StreamOptions {
+                shards: 2,
+                sweep_workers: 2,
+                ..StreamOptions::default()
+            },
+        );
+        black_box(a.trace_records)
+    });
+    {
+        let (a, _) = run_streaming(
+            &cfg,
+            &StreamOptions {
+                shards: 2,
+                sweep_workers: 2,
+                stage_stats: true,
+                ..StreamOptions::default()
+            },
+        );
+        for p in &a.stage_phases {
+            let blocked = p.stall_s.unwrap_or(0.0) + p.starve_s.unwrap_or(0.0);
+            let occ = if p.wall_s > 0.0 {
+                1.0 - blocked / p.wall_s
+            } else {
+                0.0
+            };
+            println!(
+                "stage {:<18} wall {:>8.4}s occupancy {:>5.1}%",
+                p.id,
+                p.wall_s,
+                occ * 100.0
+            );
+        }
+    }
 
     h.finish();
 }

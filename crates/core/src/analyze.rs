@@ -879,6 +879,22 @@ pub struct StreamAnalyzer {
     /// Raw-field predicate applied before a row reaches the row sink
     /// (the query engine's pushdown; never affects analysis state).
     row_filter: Option<RecordFilter>,
+    /// Columnar evaluator for `row_filter`: one SIMD pass per block
+    /// computes the pass bitmap the scalar [`StreamAnalyzer::emit_row`]
+    /// checks, instead of re-evaluating the predicate per row.
+    row_selector: Option<oscar_machine::BlockSelector>,
+    /// Pass bitmap for the block currently being dispatched (64 lanes
+    /// per word); valid only while `row_pass_valid`.
+    row_pass: Vec<u64>,
+    /// Whether `row_pass`/`row_idx` describe the in-flight block (the
+    /// record-at-a-time oracle path leaves this false and falls back to
+    /// scalar predicate evaluation).
+    row_pass_valid: bool,
+    /// Lane index of the record currently being dispatched.
+    row_idx: usize,
+    /// Columnar write-back prescan scratch for
+    /// [`StreamAnalyzer::push_block`].
+    kind_scan: crate::classify::KindScan,
     /// Enriched-row consumer, when a query is attached.
     row_sink: Option<RowSink>,
     /// Per-block contention tracker, when
@@ -954,6 +970,11 @@ impl StreamAnalyzer {
             dscratch: Vec::new(),
             os_i_sub_dense: Vec::new(),
             row_filter: None,
+            row_selector: None,
+            row_pass: Vec::new(),
+            row_pass_valid: false,
+            row_idx: 0,
+            kind_scan: crate::classify::KindScan::default(),
             row_sink: None,
             hotline,
             out: TraceAnalysis {
@@ -1014,6 +1035,7 @@ impl StreamAnalyzer {
             !self.opts.deferred_classification,
             "row sink requires inline classification"
         );
+        self.row_selector = filter.map(oscar_machine::BlockSelector::new);
         self.row_filter = filter;
         self.row_sink = Some(sink);
     }
@@ -1034,7 +1056,14 @@ impl StreamAnalyzer {
         };
         let time = rec.time.saturating_sub(self.meta.measure_start);
         if let Some(f) = &self.row_filter {
-            if !f.matches_at(rec, time) {
+            if self.row_pass_valid {
+                // Block path: the SIMD pass bitmap already evaluated the
+                // predicate for every lane of the in-flight block.
+                let i = self.row_idx;
+                if self.row_pass[i / 64] & (1u64 << (i % 64)) == 0 {
+                    return;
+                }
+            } else if !f.matches_at(rec, time) {
                 return;
             }
         }
@@ -1086,7 +1115,66 @@ impl StreamAnalyzer {
     /// the escape decoder's per-CPU state machine to the rare
     /// instrumentation reads.
     pub fn push_block(&mut self, block: &RecordBlock) {
+        if self.row_sink.is_some() {
+            self.push_block_rows(block);
+            self.replay_banks();
+            return;
+        }
+        // No row sink: a write-back's only observable effect is the
+        // counter bump (see `handle`), so one SIMD prescan over the
+        // packed kind column bulk-counts every write-back lane and the
+        // dispatch loop walks only the lanes that carry classification
+        // state. Bitmap word order preserves trace order within and
+        // across words.
+        let n = block.len();
+        self.kind_scan.scan(block.kind_codes());
+        self.out.writebacks += self.kind_scan.writeback_count();
+        let wb = std::mem::take(&mut self.kind_scan.writebacks);
+        for (w, &wbits) in wb.iter().enumerate() {
+            let base = w * 64;
+            let mut lanes = !wbits;
+            if n - base < 64 {
+                lanes &= (1u64 << (n - base)) - 1;
+            }
+            while lanes != 0 {
+                let i = base + lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let kind = block.kind[i];
+                let rec = BusRecord {
+                    time: block.time[i],
+                    cpu: block.cpu[i],
+                    paddr: block.paddr[i],
+                    kind,
+                    sub: block.sub[i],
+                };
+                match kind {
+                    BusKind::Read => self.handle_access(rec, false, false),
+                    BusKind::ReadEx => self.handle_access(rec, true, false),
+                    BusKind::Upgrade => self.handle_access(rec, true, true),
+                    // Excluded by the prescan bitmap.
+                    BusKind::WriteBack => unreachable!(),
+                    BusKind::UncachedRead => self.push(rec),
+                }
+            }
+        }
+        self.kind_scan.writebacks = wb;
+        self.replay_banks();
+    }
+
+    /// The row-sink variant of the block dispatch loop: every record is
+    /// walked in order (rows must be offered for write-backs too), but
+    /// the pushdown predicate is evaluated once per block by the
+    /// columnar [`oscar_machine::BlockSelector`] instead of once per
+    /// row in [`StreamAnalyzer::emit_row`].
+    fn push_block_rows(&mut self, block: &RecordBlock) {
+        if let Some(sel) = self.row_selector.as_mut() {
+            let pass = sel.select(block, self.meta.measure_start);
+            self.row_pass.clear();
+            self.row_pass.extend_from_slice(pass);
+            self.row_pass_valid = true;
+        }
         for i in 0..block.len() {
+            self.row_idx = i;
             let kind = block.kind[i];
             let rec = BusRecord {
                 time: block.time[i],
@@ -1103,7 +1191,7 @@ impl StreamAnalyzer {
                 BusKind::UncachedRead => self.push(rec),
             }
         }
-        self.replay_banks();
+        self.row_pass_valid = false;
     }
 
     /// Replays the staged miss-stream items through every inline

@@ -321,6 +321,38 @@ impl ClassCounts {
     }
 }
 
+/// Columnar kind-dispatch prescan for the analyzer's SoA hot loop:
+/// one [`oscar_machine::kindscan`] SWAR/SIMD pass over a block's packed
+/// kind column marks the write-back lanes, so the dispatch loop can
+/// bulk-count them (a write-back carries no classification state) and
+/// walk only the lanes that need the full access handler. Owns its
+/// bitmap so steady-state scanning allocates nothing. The scalar
+/// per-record dispatch (`StreamAnalyzer::push_chunk`) is the retained
+/// differential oracle.
+#[derive(Debug, Default)]
+pub struct KindScan {
+    /// Lane bitmap (64 records per word) of the write-back records in
+    /// the last scanned block.
+    pub writebacks: Vec<u64>,
+}
+
+impl KindScan {
+    /// Scans one block's packed kind column
+    /// ([`oscar_machine::monitor::RecordBlock::kind_codes`]).
+    pub fn scan(&mut self, codes: &[u8]) {
+        oscar_machine::kindscan::select_eq_any(
+            codes,
+            &[oscar_machine::BusKind::WriteBack.code()],
+            &mut self.writebacks,
+        );
+    }
+
+    /// Write-back records in the scanned block.
+    pub fn writeback_count(&self) -> u64 {
+        oscar_machine::kindscan::popcount(&self.writebacks)
+    }
+}
+
 /// Instruction + data counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdCounts {

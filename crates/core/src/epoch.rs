@@ -96,6 +96,8 @@ pub(crate) struct EpochPlan<'a> {
     pub chunk_records: usize,
     /// Channel-depth gauge shared with the analysis loop.
     pub depth: Option<Arc<AtomicUsize>>,
+    /// Producer stall accounting shared with the stage-stats reporter.
+    pub stall: Option<Arc<crate::pipeline::StallCell>>,
 }
 
 /// Hash of everything the simulated trajectory depends on. The debug
@@ -392,7 +394,7 @@ pub(crate) fn run_epoch_producer(
     // Padded: the claim cursor must not share a line with the sink or
     // slot state the workers also touch.
     let next = CachePadded::new(AtomicUsize::new(0));
-    let sink = ChunkSink::new(tx, plan.chunk_records, plan.depth);
+    let sink = ChunkSink::new(tx, plan.chunk_records, plan.depth, plan.stall);
     let timeline = plan
         .observe
         .then(|| TimelineBuilder::new(config.machine.num_cpus as usize, measure_start));

@@ -193,6 +193,13 @@ pub struct RunArtifacts {
     /// otherwise. Wall-clock data, so it feeds the perf summary, never
     /// the metrics export.
     pub epoch_phases: Vec<crate::perf::PhaseStats>,
+    /// Per-pipeline-stage timing rows (`stage/<name>`) when the run
+    /// streamed with [`crate::pipeline::StreamOptions::stage_stats`]
+    /// on: producer, analyzer, classification shards and sweep workers,
+    /// each with busy/stall/starve seconds and channel-depth samples.
+    /// Wall-clock data, so it feeds the perf summary, never the metrics
+    /// export. Empty otherwise.
+    pub stage_phases: Vec<crate::perf::PhaseStats>,
     /// Checkpoint-cache accounting, present when the run was given a
     /// [`crate::pipeline::StreamOptions::checkpoint_dir`].
     pub checkpoint: Option<crate::epoch::CheckpointStats>,
@@ -423,6 +430,7 @@ impl PreparedRun {
             workload: self.config.workload,
             obs: None,
             epoch_phases: Vec::new(),
+            stage_phases: Vec::new(),
             checkpoint: None,
         }
     }

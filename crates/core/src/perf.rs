@@ -41,6 +41,13 @@ pub struct PhaseStats {
     pub chan_depth_max: Option<u64>,
     /// Mean sampled streaming-channel depth (`None` when not sampled).
     pub chan_depth_mean: Option<f64>,
+    /// Seconds the stage spent blocked sending into a full downstream
+    /// channel (producer stall). `None` when the phase is not an
+    /// instrumented pipeline stage.
+    pub stall_s: Option<f64>,
+    /// Seconds the stage spent blocked receiving from an empty upstream
+    /// channel (consumer starve). `None` when not instrumented.
+    pub starve_s: Option<f64>,
 }
 
 impl PhaseStats {
@@ -91,12 +98,15 @@ impl PerfSummary {
     }
 
     /// Phases that uniquely own their records/cycles. `epoch/*`,
-    /// `pass1/*` and `pool/worker/*` rows re-account work the
-    /// `simulate+analyze/*` rows already carry, so summing them would
-    /// double-count (and inflate the human throughput line).
+    /// `pass1/*`, `pool/worker/*` and `stage/*` rows re-account work
+    /// the `simulate+analyze/*` rows already carry, so summing them
+    /// would double-count (and inflate the human throughput line).
     fn owning_phases(&self) -> impl Iterator<Item = &PhaseStats> {
         self.phases.iter().filter(|p| {
-            !(p.id.starts_with("epoch/") || p.id.starts_with("pass1/") || p.id.starts_with("pool/"))
+            !(p.id.starts_with("epoch/")
+                || p.id.starts_with("pass1/")
+                || p.id.starts_with("pool/")
+                || p.id.starts_with("stage/"))
         })
     }
 
@@ -144,6 +154,12 @@ impl PerfSummary {
             }
             if let Some(mean) = p.chan_depth_mean {
                 let _ = write!(s, ", \"chan_depth_mean\": {}", json_f64(mean));
+            }
+            if let Some(v) = p.stall_s {
+                let _ = write!(s, ", \"stall_s\": {}", json_f64(v));
+            }
+            if let Some(v) = p.starve_s {
+                let _ = write!(s, ", \"starve_s\": {}", json_f64(v));
             }
             s.push('}');
         }

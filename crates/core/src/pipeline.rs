@@ -20,10 +20,11 @@
 //! streamed result is byte-identical to the batch path; the tests (and
 //! `tests/streaming.rs`) assert it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use oscar_machine::monitor::{BusRecord, RecordBlock, RecordFilter, TraceSink};
 
@@ -34,6 +35,7 @@ use crate::analyze::{
 use crate::classify::ArchClass;
 use crate::experiment::{ExperimentConfig, RunArtifacts};
 use crate::observe::{assemble_run_obs, PipelineObs, TimelineBuilder};
+use crate::perf::PhaseStats;
 use crate::resim::SweepShard;
 
 /// Tuning of the streaming pipeline.
@@ -98,6 +100,13 @@ pub struct StreamOptions {
     /// off). `None` disables caching. Cache traffic is reported in
     /// [`RunArtifacts::checkpoint`].
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Collect per-stage occupancy rows
+    /// ([`RunArtifacts::stage_phases`]): wall/stall/starve seconds and
+    /// channel-depth samples for the producer, the analysis loop and
+    /// every shard/sweep worker. Costs one `try_send`/`try_recv` probe
+    /// per channel operation; off by default and free when off. Never
+    /// affects results.
+    pub stage_stats: bool,
 }
 
 impl Default for StreamOptions {
@@ -117,7 +126,80 @@ impl Default for StreamOptions {
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,
+            stage_stats: false,
         }
+    }
+}
+
+/// Producer-side stall accounting for one bounded channel: how often
+/// and for how long the sender blocked on a full channel. Shared
+/// `Arc`-wise between the stage that sends and the coordinator that
+/// reports.
+#[derive(Debug, Default)]
+pub(crate) struct StallCell {
+    /// Sends that found the channel full and had to block.
+    pub stalls: AtomicU64,
+    /// Nanoseconds spent blocked in those sends.
+    pub stall_ns: AtomicU64,
+}
+
+impl StallCell {
+    /// Seconds spent blocked.
+    fn stall_s(&self) -> f64 {
+        self.stall_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// Consumer-side occupancy accumulator for one pipeline stage.
+#[derive(Debug, Default)]
+struct StageAcc {
+    /// Total stage lifetime.
+    wall: Duration,
+    /// Time blocked receiving from an empty upstream channel.
+    starve: Duration,
+    /// Records (or batch items) processed.
+    records: u64,
+    /// Upstream channel depth samples, taken at each receive.
+    depth_max: u64,
+    depth_sum: u64,
+    depth_samples: u64,
+}
+
+impl StageAcc {
+    fn sample_depth(&mut self, depth: u64) {
+        self.depth_max = self.depth_max.max(depth);
+        self.depth_sum += depth;
+        self.depth_samples += 1;
+    }
+
+    /// Renders the accumulator as a `stage/<id>` perf row.
+    fn row(&self, id: String) -> PhaseStats {
+        PhaseStats {
+            id,
+            wall_s: self.wall.as_secs_f64(),
+            cycles: 0,
+            records: self.records,
+            chan_depth_max: (self.depth_samples > 0).then_some(self.depth_max),
+            chan_depth_mean: (self.depth_samples > 0)
+                .then(|| self.depth_sum as f64 / self.depth_samples as f64),
+            stall_s: None,
+            starve_s: Some(self.starve.as_secs_f64()),
+        }
+    }
+}
+
+/// Receives one message, charging any blocking wait to `acc.starve`.
+/// `None` once the channel is closed and drained.
+fn recv_timed<T>(rx: &Receiver<T>, acc: &mut StageAcc) -> Option<T> {
+    match rx.try_recv() {
+        Ok(m) => Some(m),
+        Err(TryRecvError::Empty) => {
+            let t0 = Instant::now();
+            let r = rx.recv().ok();
+            acc.starve += t0.elapsed();
+            r
+        }
+        Err(TryRecvError::Disconnected) => None,
     }
 }
 
@@ -141,8 +223,10 @@ pub(crate) struct ChunkSink {
     cap: usize,
     tx: SyncSender<StreamMsg>,
     /// Chunks in flight on the channel, shared with the analysis loop
-    /// for depth sampling (observability only).
+    /// for depth sampling (observability or stage stats only).
     depth: Option<Arc<AtomicUsize>>,
+    /// Stall accounting for the producer stage (stage stats only).
+    stall: Option<Arc<StallCell>>,
 }
 
 impl ChunkSink {
@@ -150,6 +234,7 @@ impl ChunkSink {
         tx: SyncSender<StreamMsg>,
         cap: usize,
         depth: Option<Arc<AtomicUsize>>,
+        stall: Option<Arc<StallCell>>,
     ) -> Self {
         let cap = cap.max(1);
         ChunkSink {
@@ -157,6 +242,7 @@ impl ChunkSink {
             cap,
             tx,
             depth,
+            stall,
         }
     }
 
@@ -166,7 +252,22 @@ impl ChunkSink {
         }
         // A closed channel means the analysis side is gone
         // (panicked); nothing useful to do with the records.
-        self.tx.send(StreamMsg::Block(chunk)).ok();
+        match &self.stall {
+            None => {
+                self.tx.send(StreamMsg::Block(chunk)).ok();
+            }
+            Some(cell) => match self.tx.try_send(StreamMsg::Block(chunk)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    let t0 = Instant::now();
+                    self.tx.send(msg).ok();
+                    cell.stalls.fetch_add(1, Ordering::Relaxed);
+                    cell.stall_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            },
+        }
     }
 
     fn flush_full(&mut self) {
@@ -328,8 +429,11 @@ fn run_streaming_inner(
     let chunk_records = opts.chunk_records.max(1);
     let (tx, rx) = sync_channel::<StreamMsg>(opts.channel_chunks.max(1));
     let observe = opts.observe;
-    let chan_depth = observe.then(|| Arc::new(AtomicUsize::new(0)));
+    let stage_stats = opts.stage_stats;
+    let chan_depth = (observe || stage_stats).then(|| Arc::new(AtomicUsize::new(0)));
     let producer_depth = chan_depth.clone();
+    let stall = stage_stats.then(|| Arc::new(StallCell::default()));
+    let producer_stall = stall.clone();
     let epoch_cycles = opts.epoch_cycles;
     let epoch_jobs = opts.epoch_jobs.max(1);
     let checkpoint_dir = opts.checkpoint_dir.clone();
@@ -340,8 +444,9 @@ fn run_streaming_inner(
         // epoch mode on, the time-parallel engine replaces this thread's
         // body wholesale — its byte output is identical.
         let producer = s.spawn(move || {
+            let prod_t0 = Instant::now();
             if epoch_cycles > 0 {
-                return crate::epoch::run_epoch_producer(
+                let (art, kernel_obs, built) = crate::epoch::run_epoch_producer(
                     config,
                     build,
                     crate::epoch::EpochPlan {
@@ -351,9 +456,11 @@ fn run_streaming_inner(
                         observe,
                         chunk_records,
                         depth: producer_depth,
+                        stall: producer_stall,
                     },
                     tx,
                 );
+                return (art, kernel_obs, built, prod_t0.elapsed());
             }
             let mut ckpt = crate::epoch::CheckpointStats::default();
             let mut prep =
@@ -379,6 +486,7 @@ fn run_streaming_inner(
                 tx,
                 chunk_records,
                 producer_depth,
+                producer_stall,
             )));
             if let Some(slot) = &obs_slot {
                 prep.machine.monitor_mut().add_sink(Box::new(TimelineSink {
@@ -396,7 +504,7 @@ fn run_streaming_inner(
             let built = obs_slot
                 .and_then(|slot| slot.lock().expect("timeline builder poisoned").take())
                 .map(|b| b.finish(art.measure_end));
-            (art, kernel_obs, built)
+            (art, kernel_obs, built, prod_t0.elapsed())
         });
 
         // Optional sweep workers, each owning a round-robin share of the
@@ -404,19 +512,37 @@ fn run_streaming_inner(
         // staged miss stream (shipped once, shared via `Arc`).
         let num_cpus = config.machine.num_cpus as usize;
         let mut sweep_txs = Vec::new();
+        let mut sweep_depths: Vec<Option<Arc<AtomicUsize>>> = Vec::new();
         let mut sweep_handles = Vec::new();
         if sweep_workers > 1 {
             for w in 0..sweep_workers {
                 let (stx, srx) = sync_channel::<Arc<Vec<SweepItem>>>(opts.channel_chunks.max(1));
                 sweep_txs.push(stx);
+                let depth = stage_stats.then(|| Arc::new(AtomicUsize::new(0)));
+                sweep_depths.push(depth.clone());
                 sweep_handles.push(s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut acc = StageAcc::default();
                     let mut shard = SweepShard::new(num_cpus, w, sweep_workers);
-                    for batch in srx {
-                        for item in batch.iter() {
-                            shard.push(item);
+                    if stage_stats {
+                        while let Some(batch) = recv_timed(&srx, &mut acc) {
+                            if let Some(d) = &depth {
+                                acc.sample_depth(d.fetch_sub(1, Ordering::Relaxed) as u64);
+                            }
+                            acc.records += batch.len() as u64;
+                            for item in batch.iter() {
+                                shard.push(item);
+                            }
+                        }
+                    } else {
+                        for batch in srx {
+                            for item in batch.iter() {
+                                shard.push(item);
+                            }
                         }
                     }
-                    shard.finish()
+                    acc.wall = t0.elapsed();
+                    (shard.finish(), stage_stats.then_some(acc))
                 }));
             }
         }
@@ -424,20 +550,38 @@ fn run_streaming_inner(
         // Optional classification shards, each owning a subset of the
         // CPUs' cache mirrors and replaying the same message stream.
         let mut shard_txs = Vec::new();
+        let mut shard_depths: Vec<Option<Arc<AtomicUsize>>> = Vec::new();
         let mut shard_handles = Vec::new();
         if shards > 1 {
             for sh in 0..shards {
                 let (stx, srx) = sync_channel::<Vec<ClassifyMsg>>(opts.channel_chunks.max(1));
                 shard_txs.push(stx);
+                let depth = stage_stats.then(|| Arc::new(AtomicUsize::new(0)));
+                shard_depths.push(depth.clone());
                 let cfg = &config.machine;
                 shard_handles.push(s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut acc = StageAcc::default();
                     let mut shard = ClassShard::new(cfg, sh, shards);
-                    for batch in srx {
-                        for msg in &batch {
-                            shard.push(msg);
+                    if stage_stats {
+                        while let Some(batch) = recv_timed(&srx, &mut acc) {
+                            if let Some(d) = &depth {
+                                acc.sample_depth(d.fetch_sub(1, Ordering::Relaxed) as u64);
+                            }
+                            acc.records += batch.len() as u64;
+                            for msg in &batch {
+                                shard.push(msg);
+                            }
+                        }
+                    } else {
+                        for batch in srx {
+                            for msg in &batch {
+                                shard.push(msg);
+                            }
                         }
                     }
-                    shard.finish()
+                    acc.wall = t0.elapsed();
+                    (shard.finish(), stage_stats.then_some(acc))
                 }));
             }
         }
@@ -446,8 +590,20 @@ fn run_streaming_inner(
         let mut analyzer: Option<StreamAnalyzer> = None;
         let mut kept: Vec<BusRecord> = Vec::new();
         let mut pobs = observe.then(PipelineObs::default);
+        let mut an_acc = stage_stats.then(StageAcc::default);
+        let an_t0 = Instant::now();
         let mut row_hook = row_hook;
-        for msg in rx {
+        loop {
+            let msg = match &mut an_acc {
+                Some(acc) => match recv_timed(&rx, acc) {
+                    Some(m) => m,
+                    None => break,
+                },
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+            };
             match msg {
                 StreamMsg::Meta(meta) => {
                     let mut a = StreamAnalyzer::new(*meta, aopts.clone());
@@ -457,17 +613,25 @@ fn run_streaming_inner(
                     analyzer = Some(a);
                 }
                 StreamMsg::Block(recs) => {
+                    // Sample the in-flight count (including this chunk)
+                    // before releasing the slot.
+                    let depth_now = chan_depth
+                        .as_ref()
+                        .map(|d| d.fetch_sub(1, Ordering::Relaxed) as u64);
                     if let Some(p) = &mut pobs {
                         p.chunks += 1;
                         p.records += recs.len() as u64;
                         p.chunk_size.record(recs.len() as u64);
-                        if let Some(d) = &chan_depth {
-                            // Sample the in-flight count (including this
-                            // chunk) before releasing the slot.
-                            let depth = d.fetch_sub(1, Ordering::Relaxed) as u64;
+                        if let Some(depth) = depth_now {
                             p.depth_max = p.depth_max.max(depth);
                             p.depth_sum += depth;
                             p.depth_samples += 1;
+                        }
+                    }
+                    if let Some(acc) = &mut an_acc {
+                        acc.records += recs.len() as u64;
+                        if let Some(depth) = depth_now {
+                            acc.sample_depth(depth);
                         }
                     }
                     let a = analyzer
@@ -478,7 +642,10 @@ fn run_streaming_inner(
                         let items = a.take_sweep_items();
                         if !items.is_empty() {
                             let batch = Arc::new(items);
-                            for stx in &sweep_txs {
+                            for (stx, d) in sweep_txs.iter().zip(&sweep_depths) {
+                                if let Some(d) = d {
+                                    d.fetch_add(1, Ordering::Relaxed);
+                                }
                                 stx.send(Arc::clone(&batch)).ok();
                             }
                         }
@@ -486,7 +653,10 @@ fn run_streaming_inner(
                     if !shard_txs.is_empty() {
                         let msgs = a.take_classify_msgs();
                         if !msgs.is_empty() {
-                            for stx in &shard_txs {
+                            for (stx, d) in shard_txs.iter().zip(&shard_depths) {
+                                if let Some(d) = d {
+                                    d.fetch_add(1, Ordering::Relaxed);
+                                }
                                 stx.send(msgs.clone()).ok();
                             }
                         }
@@ -497,16 +667,24 @@ fn run_streaming_inner(
                 }
             }
         }
+        if let Some(acc) = &mut an_acc {
+            acc.wall = an_t0.elapsed();
+        }
 
-        let (mut art, kernel_obs, built) = producer.join().expect("simulation thread panicked");
+        let (mut art, kernel_obs, built, prod_wall) =
+            producer.join().expect("simulation thread panicked");
         let analyzer = analyzer.expect("simulation ended without trace metadata");
+        let mut class_accs: Vec<StageAcc> = Vec::new();
+        let mut sweep_accs: Vec<StageAcc> = Vec::new();
         let mut an = if shards > 1 {
             drop(shard_txs);
             let mut classes: Vec<Vec<ArchClass>> = vec![Vec::new(); num_cpus];
             for h in shard_handles {
-                for (cpu, cls) in h.join().expect("classification shard panicked") {
+                let (verdicts, acc) = h.join().expect("classification shard panicked");
+                for (cpu, cls) in verdicts {
                     classes[cpu] = cls;
                 }
+                class_accs.extend(acc);
             }
             analyzer.finish_deferred(classes)
         } else {
@@ -517,7 +695,8 @@ fn run_streaming_inner(
             let mut fig6 = vec![None; crate::resim::figure6_configs().len()];
             let mut dcache = vec![None; crate::resim::dcache_configs().len()];
             for h in sweep_handles {
-                let (ipts, dpts) = h.join().expect("sweep worker panicked");
+                let ((ipts, dpts), acc) = h.join().expect("sweep worker panicked");
+                sweep_accs.extend(acc);
                 for (k, p) in ipts {
                     fig6[k] = Some(p);
                 }
@@ -539,6 +718,29 @@ fn run_streaming_inner(
         }
         if opts.keep_trace {
             art.trace = kept;
+        }
+        if stage_stats {
+            let cell = stall.as_ref().expect("stage stats allocate a stall cell");
+            art.stage_phases.push(PhaseStats {
+                id: "stage/produce".into(),
+                wall_s: prod_wall.as_secs_f64(),
+                cycles: config.measure_cycles,
+                records: art.trace_records,
+                chan_depth_max: None,
+                chan_depth_mean: None,
+                stall_s: Some(cell.stall_s()),
+                starve_s: None,
+            });
+            if let Some(acc) = &an_acc {
+                art.stage_phases.push(acc.row("stage/analyze".into()));
+            }
+            for (k, acc) in class_accs.iter().enumerate() {
+                art.stage_phases
+                    .push(acc.row(format!("stage/classify/{k}")));
+            }
+            for (w, acc) in sweep_accs.iter().enumerate() {
+                art.stage_phases.push(acc.row(format!("stage/sweep/{w}")));
+            }
         }
         if let (Some(p), Some((timeline, mut metrics, cpu_fills))) = (pobs, built) {
             let tag = config.tag();
@@ -591,6 +793,49 @@ mod tests {
         );
         let stream_report = crate::report::render_all(&stream_art, &stream_an);
         assert_eq!(stream_report, batch_report);
+    }
+
+    #[test]
+    fn stage_stats_rows_appear_and_results_stay_identical() {
+        let config = cfg();
+        let (base_art, base_an) = run_streaming(&config, &StreamOptions::default());
+        assert!(base_art.stage_phases.is_empty(), "off by default");
+        let base_report = crate::report::render_all(&base_art, &base_an);
+
+        let opts = StreamOptions {
+            shards: 2,
+            sweep_workers: 2,
+            stage_stats: true,
+            ..StreamOptions::default()
+        };
+        let (art, an) = run_streaming(&config, &opts);
+        assert_eq!(
+            crate::report::render_all(&art, &an),
+            base_report,
+            "stage stats must not perturb results"
+        );
+        let ids: Vec<&str> = art.stage_phases.iter().map(|p| p.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "stage/produce",
+                "stage/analyze",
+                "stage/classify/0",
+                "stage/classify/1",
+                "stage/sweep/0",
+                "stage/sweep/1"
+            ]
+        );
+        let produce = &art.stage_phases[0];
+        assert!(produce.records > 0);
+        assert!(produce.stall_s.is_some() && produce.starve_s.is_none());
+        let analyze = &art.stage_phases[1];
+        assert_eq!(analyze.records, produce.records);
+        assert!(analyze.starve_s.is_some() && analyze.stall_s.is_none());
+        assert!(analyze.chan_depth_max.is_some() && analyze.chan_depth_mean.is_some());
+        for p in &art.stage_phases[2..] {
+            assert!(p.wall_s >= 0.0 && p.starve_s.is_some());
+        }
     }
 
     #[test]

@@ -197,6 +197,7 @@ pub fn load(r: &mut impl Read) -> io::Result<RunArtifacts> {
         workload,
         obs: None,
         epoch_phases: Vec::new(),
+        stage_phases: Vec::new(),
         checkpoint: None,
         interconnect: Default::default(),
     })

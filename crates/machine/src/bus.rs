@@ -7,18 +7,24 @@
 //! the paper's hardware monitor.
 
 /// Kinds of bus transactions visible to the monitor.
+///
+/// `repr(u8)` with fixed discriminants: the monitor stages kinds as a
+/// packed byte column ([`crate::monitor::RecordBlock::kind_codes`]),
+/// and the SWAR/SIMD scan kernels in [`crate::kindscan`] compare those
+/// bytes directly against [`BusKind::code`] values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum BusKind {
     /// A cache fill for a read (instruction fetch or data load).
-    Read,
+    Read = 0,
     /// A cache fill for a write (read-exclusive).
-    ReadEx,
+    ReadEx = 1,
     /// An ownership upgrade for a write hit on a shared line.
-    Upgrade,
+    Upgrade = 2,
     /// A write-back of a dirty victim (buffered; does not stall the CPU).
-    WriteBack,
+    WriteBack = 3,
     /// An uncached byte read (escape references use these).
-    UncachedRead,
+    UncachedRead = 4,
 }
 
 impl BusKind {
@@ -26,6 +32,13 @@ impl BusKind {
     /// part in miss classification).
     pub fn is_fill(self) -> bool {
         matches!(self, BusKind::Read | BusKind::ReadEx)
+    }
+
+    /// The packed byte value of this kind — the discriminant, which is
+    /// what a [`crate::monitor::RecordBlock`]'s kind column holds
+    /// byte-for-byte.
+    pub fn code(self) -> u8 {
+        self as u8
     }
 }
 

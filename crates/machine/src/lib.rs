@@ -49,6 +49,7 @@ pub mod cache;
 pub mod config;
 pub mod dir;
 pub mod fasthash;
+pub mod kindscan;
 pub mod machine;
 pub mod monitor;
 pub mod snap;
@@ -59,6 +60,8 @@ pub use bus::BusKind;
 pub use config::{CacheConfig, Coherence, MachineConfig};
 pub use dir::{DirFabric, DirStats};
 pub use machine::{AccessOutcome, CpuCounters, HitLevel, InterconnectStats, Machine, MesiState};
-pub use monitor::{BufferMode, BusRecord, FilteredSink, RecordFilter, TraceBuffer, TraceSink};
+pub use monitor::{
+    BlockSelector, BufferMode, BusRecord, FilteredSink, RecordFilter, TraceBuffer, TraceSink,
+};
 pub use snap::{SnapError, SnapReader, SnapWriter, SNAP_FORMAT_VERSION};
 pub use tlb::{Tlb, TlbEntry};

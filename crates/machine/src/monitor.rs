@@ -141,6 +141,21 @@ impl RecordBlock {
         self.kind.extend_from_slice(&other.kind);
         self.sub.extend_from_slice(&other.sub);
     }
+
+    /// The kind column as packed bytes ([`BusKind::code`] values), for
+    /// the [`crate::kindscan`] scan kernels.
+    pub fn kind_codes(&self) -> &[u8] {
+        // Sound: BusKind is a fieldless repr(u8) enum, so a BusKind
+        // column is byte-for-byte its discriminant column.
+        unsafe { std::slice::from_raw_parts(self.kind.as_ptr() as *const u8, self.kind.len()) }
+    }
+
+    /// The CPU column as packed bytes, for the [`crate::kindscan`]
+    /// scan kernels.
+    pub fn cpu_codes(&self) -> &[u8] {
+        // Sound: CpuId is repr(transparent) over u8.
+        unsafe { std::slice::from_raw_parts(self.cpu.as_ptr() as *const u8, self.cpu.len()) }
+    }
 }
 
 /// A consumer of monitored records, for streaming analysis: while a
@@ -242,10 +257,110 @@ impl RecordFilter {
     }
 }
 
+/// Columnar evaluator for one [`RecordFilter`] over [`RecordBlock`]s:
+/// the kind and CPU predicates run through the [`crate::kindscan`]
+/// SWAR/SIMD kernels over the packed byte columns, the (rare) address
+/// and time range predicates refine the surviving lanes scalar-wise.
+/// The result is a pass bitmap — bit `i` of word `w` covers record
+/// `64 * w + i` — identical lane-for-lane to evaluating
+/// [`RecordFilter::matches_at`] per record (differentially tested).
+/// Owns its scratch bitmaps so steady-state selection allocates
+/// nothing.
+#[derive(Debug)]
+pub struct BlockSelector {
+    filter: RecordFilter,
+    /// Accepted kind codes, decoded from the kind mask (empty = no
+    /// kind constraint).
+    kind_values: Vec<u8>,
+    /// Accepted CPU ids, decoded from the CPU mask (empty = no CPU
+    /// constraint).
+    cpu_values: Vec<u8>,
+    pass: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl BlockSelector {
+    /// Builds the evaluator for `filter`, precomputing the byte value
+    /// sets the scan kernels compare against.
+    pub fn new(filter: RecordFilter) -> Self {
+        const ALL_KINDS: [BusKind; 5] = [
+            BusKind::Read,
+            BusKind::ReadEx,
+            BusKind::Upgrade,
+            BusKind::WriteBack,
+            BusKind::UncachedRead,
+        ];
+        let kind_values = match filter.kinds {
+            Some(mask) => ALL_KINDS
+                .iter()
+                .filter(|&&k| mask & RecordFilter::kind_bit(k) != 0)
+                .map(|&k| k.code())
+                .collect(),
+            None => Vec::new(),
+        };
+        let cpu_values = match filter.cpus {
+            Some(mask) => (0u8..32).filter(|&c| mask & (1 << c) != 0).collect(),
+            None => Vec::new(),
+        };
+        BlockSelector {
+            filter,
+            kind_values,
+            cpu_values,
+            pass: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The filter this selector evaluates.
+    pub fn filter(&self) -> &RecordFilter {
+        &self.filter
+    }
+
+    /// Evaluates the filter over every record of `block`, with the time
+    /// window checked against `time - time_sub` (saturating — pass 0
+    /// for absolute-time filtering, the measurement-window start for
+    /// the analyzer's rebased times). Returns the pass bitmap; tail
+    /// bits past `block.len()` are zero.
+    pub fn select(&mut self, block: &RecordBlock, time_sub: u64) -> &[u64] {
+        let n = block.len();
+        if self.filter.kinds.is_some() {
+            crate::kindscan::select_eq_any(block.kind_codes(), &self.kind_values, &mut self.pass);
+        } else {
+            crate::kindscan::ones(n, &mut self.pass);
+        }
+        if self.filter.cpus.is_some() {
+            crate::kindscan::select_eq_any(block.cpu_codes(), &self.cpu_values, &mut self.scratch);
+            for (p, s) in self.pass.iter_mut().zip(&self.scratch) {
+                *p &= s;
+            }
+        }
+        if self.filter.addr.is_some() || self.filter.time.is_some() {
+            let (alo, ahi) = self.filter.addr.unwrap_or((0, u64::MAX));
+            let (tlo, thi) = self.filter.time.unwrap_or((0, u64::MAX));
+            for (w, word) in self.pass.iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let a = block.paddr[i].raw();
+                    let t = block.time[i].saturating_sub(time_sub);
+                    if a < alo || a > ahi || t < tlo || t > thi {
+                        *word &= !(1u64 << (i % 64));
+                    }
+                }
+            }
+        }
+        &self.pass
+    }
+}
+
 /// A [`TraceSink`] adapter that forwards only the records matching a
 /// [`RecordFilter`] (by absolute record time) to the wrapped sink.
+/// Block ingestion evaluates the filter columnar-wise through a
+/// [`BlockSelector`].
 pub struct FilteredSink<S> {
     filter: RecordFilter,
+    selector: BlockSelector,
     inner: S,
     batch: Vec<BusRecord>,
 }
@@ -255,6 +370,7 @@ impl<S: TraceSink> FilteredSink<S> {
     pub fn new(filter: RecordFilter, inner: S) -> Self {
         FilteredSink {
             filter,
+            selector: BlockSelector::new(filter),
             inner,
             batch: Vec::new(),
         }
@@ -284,8 +400,15 @@ impl<S: TraceSink> TraceSink for FilteredSink<S> {
 
     fn record_block(&mut self, block: &RecordBlock) {
         self.batch.clear();
-        self.batch
-            .extend(block.iter().filter(|r| self.filter.matches(r)));
+        let pass = self.selector.select(block, 0);
+        for (w, &word) in pass.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.batch.push(block.get(i));
+            }
+        }
         if !self.batch.is_empty() {
             self.inner.record_batch(&self.batch);
         }
@@ -818,5 +941,84 @@ mod tests {
         // …and dropping the buffer flushes the tail.
         drop(b);
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    /// Deterministic pseudo-random record stream for the selector
+    /// differential test (xorshift; no RNG dependency).
+    fn random_block(seed: u64, len: usize) -> RecordBlock {
+        let mut s = seed | 1;
+        let mut step = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let kinds = [
+            BusKind::Read,
+            BusKind::ReadEx,
+            BusKind::Upgrade,
+            BusKind::WriteBack,
+            BusKind::UncachedRead,
+        ];
+        let mut block = RecordBlock::with_capacity(len);
+        for _ in 0..len {
+            block.push(BusRecord {
+                time: step() % 10_000,
+                cpu: CpuId((step() % 8) as u8),
+                paddr: PAddr::new(step() % (1 << 20)),
+                kind: kinds[(step() % 5) as usize],
+                sub: (step() % 16) as u8,
+            });
+        }
+        block
+    }
+
+    #[test]
+    fn block_selector_matches_per_record_filter() {
+        let filters = [
+            RecordFilter::default(),
+            RecordFilter {
+                kinds: Some(RecordFilter::kind_bit(BusKind::Read)),
+                ..RecordFilter::default()
+            },
+            RecordFilter {
+                kinds: Some(
+                    RecordFilter::kind_bit(BusKind::ReadEx)
+                        | RecordFilter::kind_bit(BusKind::Upgrade),
+                ),
+                cpus: Some(0b101),
+                ..RecordFilter::default()
+            },
+            RecordFilter {
+                cpus: Some(0b11),
+                addr: Some((1 << 10, 1 << 18)),
+                time: Some((100, 8_000)),
+                ..RecordFilter::default()
+            },
+            RecordFilter {
+                kinds: Some(0),
+                ..RecordFilter::default()
+            },
+        ];
+        // Ragged lengths straddle the 64-lane word boundary.
+        for (i, len) in [0usize, 1, 63, 64, 65, 1000, 4096].into_iter().enumerate() {
+            let block = random_block(0xdead + i as u64, len);
+            for filter in filters {
+                let mut sel = BlockSelector::new(filter);
+                for time_sub in [0u64, 500] {
+                    let pass = sel.select(&block, time_sub);
+                    for (j, rec) in block.iter().enumerate() {
+                        let want = filter.matches_at(&rec, rec.time.saturating_sub(time_sub));
+                        let got = pass[j / 64] & (1u64 << (j % 64)) != 0;
+                        assert_eq!(got, want, "lane {j} of {len} (filter {filter:?})");
+                    }
+                    // Tail bits past the block are clear.
+                    if len % 64 != 0 {
+                        let last = pass.last().copied().unwrap_or(0);
+                        assert_eq!(last >> (len % 64), 0, "tail bits must be zero");
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,201 @@
+//! Byte-identity tests for the multi-core single-run pipeline: the
+//! sharded analyzer (classification shards + sweep workers overlapped
+//! with the simulation producer) must leave every export bit-exact at
+//! any shard count, any chunk size, and composed with the time-parallel
+//! epoch engine. The SIMD columnar row filter is pinned against the
+//! scalar predicate the same way.
+
+use oscar_core::driver::{run_reports, ReportRequest};
+use oscar_core::pipeline::{run_streaming, run_streaming_rows, StreamOptions};
+use oscar_core::{
+    analyze, merge_metrics_json, merge_provenance_json, merge_trace_json, render_all, run,
+    ExperimentConfig,
+};
+use oscar_machine::monitor::RecordFilter;
+use oscar_machine::BusKind;
+use oscar_workloads::WorkloadKind;
+
+fn small(kind: WorkloadKind) -> ExperimentConfig {
+    ExperimentConfig::new(kind)
+        .warmup(2_000_000)
+        .measure(2_500_000)
+}
+
+fn req(kind: WorkloadKind, pipeline: usize) -> ReportRequest {
+    ReportRequest {
+        config: small(kind),
+        want_csv: true,
+        want_obs: true,
+        pipeline,
+        ..ReportRequest::new(kind, 0, 0)
+    }
+}
+
+/// The tentpole claim end to end: report, CSV, `--metrics-out` and
+/// `--trace-json` bytes are identical to the serial analyzer at shard
+/// widths 1, 2 and 4.
+#[test]
+fn exports_are_identical_at_any_pipeline_width() {
+    let kind = WorkloadKind::Pmake;
+    let base = run_reports(vec![req(kind, 0)], 1);
+    let base_metrics = merge_metrics_json(&base);
+    let base_trace_json = merge_trace_json(&base);
+
+    for width in [1, 2, 4] {
+        let out = run_reports(vec![req(kind, width)], 1);
+        assert_eq!(out[0].report, base[0].report, "width {width}: report");
+        assert_eq!(out[0].csv, base[0].csv, "width {width}: csv");
+        assert_eq!(out[0].trace_records, base[0].trace_records);
+        assert_eq!(
+            merge_metrics_json(&out),
+            base_metrics,
+            "width {width}: metrics export"
+        );
+        assert_eq!(
+            merge_trace_json(&out),
+            base_trace_json,
+            "width {width}: trace-json export"
+        );
+    }
+}
+
+/// Ragged chunk sizes exercise the SIMD kernels' tail lanes (partial
+/// bitmap words) across every block boundary.
+#[test]
+fn pipelined_streaming_is_identical_at_ragged_chunk_sizes() {
+    let config = small(WorkloadKind::Multpgm);
+    let art = run(&config);
+    let an = analyze(&art);
+    let batch = render_all(&art, &an);
+
+    for (shards, chunk) in [(2, 333), (4, 777), (4, 4096), (2, 63)] {
+        let (sart, san) = run_streaming(
+            &config,
+            &StreamOptions {
+                keep_trace: true,
+                shards,
+                sweep_workers: shards,
+                chunk_records: chunk,
+                ..StreamOptions::default()
+            },
+        );
+        assert_eq!(sart.trace, art.trace, "shards {shards} chunk {chunk}");
+        assert_eq!(
+            render_all(&sart, &san),
+            batch,
+            "shards {shards} chunk {chunk}: report differs"
+        );
+    }
+}
+
+/// `--pipeline` composes with `--epoch-cycles`: the time-parallel
+/// producer feeding the sharded analyzer still yields the serial bytes,
+/// and stage stats ride along without perturbing anything.
+#[test]
+fn pipeline_composes_with_epoch_cycles() {
+    let kind = WorkloadKind::Pmake;
+    let base = run_reports(vec![req(kind, 0)], 1);
+
+    let composed = ReportRequest {
+        epoch_cycles: 600_000,
+        epoch_jobs: 2,
+        stage_stats: true,
+        ..req(kind, 3)
+    };
+    let out = run_reports(vec![composed], 1);
+    assert_eq!(out[0].report, base[0].report, "epoch+pipeline: report");
+    assert_eq!(
+        merge_metrics_json(&out),
+        merge_metrics_json(&base),
+        "epoch+pipeline: metrics export"
+    );
+    // Both engines reported their wall-clock rows: epoch re-executions
+    // and per-stage occupancy.
+    assert!(out[0].phases.iter().any(|p| p.id.starts_with("epoch/")));
+    let stage_ids: Vec<&str> = out[0]
+        .phases
+        .iter()
+        .filter(|p| p.id.starts_with("stage/"))
+        .map(|p| p.id.as_str())
+        .collect();
+    assert!(
+        stage_ids.contains(&"stage/pmake/produce")
+            && stage_ids.contains(&"stage/pmake/analyze")
+            && stage_ids.contains(&"stage/pmake/classify/2")
+            && stage_ids.contains(&"stage/pmake/sweep/2"),
+        "missing stage rows: {stage_ids:?}"
+    );
+}
+
+/// Provenance forces inline classification; requesting a pipeline width
+/// anyway must change nothing about the export.
+#[test]
+fn provenance_export_unchanged_by_pipeline_request() {
+    let kind = WorkloadKind::Pmake;
+    let mk = |pipeline| {
+        run_reports(
+            vec![ReportRequest {
+                want_provenance: true,
+                ..req(kind, pipeline)
+            }],
+            1,
+        )
+    };
+    let base = mk(0);
+    let piped = mk(4);
+    assert_eq!(base[0].report, piped[0].report);
+    assert_eq!(merge_provenance_json(&base), merge_provenance_json(&piped));
+}
+
+/// The columnar row filter (SIMD pass bitmap) must admit exactly the
+/// rows the scalar predicate admits, at ragged chunk sizes. The oracle
+/// runs unfiltered and applies the predicate row by row.
+#[test]
+fn columnar_row_filter_matches_scalar_predicate() {
+    let config = small(WorkloadKind::Pmake);
+    let filter = RecordFilter {
+        cpus: Some((1 << 0) | (1 << 2)),
+        kinds: Some(
+            RecordFilter::kind_bit(BusKind::Read) | RecordFilter::kind_bit(BusKind::WriteBack),
+        ),
+        addr: Some((0x10_0000, 0x60_0000)),
+        time: Some((100_000, 2_000_000)),
+    };
+
+    let collect = |filter: Option<RecordFilter>, chunk: usize| {
+        let rows = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink_rows = std::rc::Rc::clone(&rows);
+        let opts = StreamOptions {
+            chunk_records: chunk,
+            ..StreamOptions::default()
+        };
+        run_streaming_rows(
+            &config,
+            &opts,
+            filter,
+            Box::new(move |r| {
+                sink_rows
+                    .borrow_mut()
+                    .push((r.time, r.cpu, r.kind, r.paddr));
+            }),
+        );
+        std::rc::Rc::try_unwrap(rows).unwrap().into_inner()
+    };
+
+    // Oracle: unfiltered rows, predicate applied scalar per row.
+    let oracle: Vec<_> = collect(None, 4096)
+        .into_iter()
+        .filter(|&(time, cpu, kind, paddr)| {
+            (cpu == 0 || cpu == 2)
+                && matches!(kind, BusKind::Read | BusKind::WriteBack)
+                && (0x10_0000..=0x60_0000).contains(&paddr)
+                && (100_000..=2_000_000).contains(&time)
+        })
+        .collect();
+    assert!(!oracle.is_empty(), "filter must admit some rows");
+
+    for chunk in [63, 1000, 4096] {
+        let got = collect(Some(filter), chunk);
+        assert_eq!(got, oracle, "chunk {chunk}: filtered rows diverge");
+    }
+}

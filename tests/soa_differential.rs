@@ -94,6 +94,8 @@ fn exports_match_across_jobs_on_the_block_path() {
             epoch_cycles: 0,
             epoch_jobs: 1,
             checkpoint_dir: None,
+            pipeline: 0,
+            stage_stats: false,
         })
         .collect();
     let serial = run_reports(reqs.clone(), 1);

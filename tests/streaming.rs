@@ -76,6 +76,8 @@ fn report_driver_output_is_independent_of_jobs() {
         epoch_cycles: 0,
         epoch_jobs: 1,
         checkpoint_dir: None,
+        pipeline: 0,
+        stage_stats: false,
     })
     .collect();
 
